@@ -1,0 +1,68 @@
+//! Breadth-First Search — the paper's non-link-analysis control (§6.1).
+//!
+//! BFS propagates a frontier rather than dense values, so it exercises each
+//! engine's sparse path: Mixen/GPOP use blocked frontier expansion, Ligra
+//! its direction-optimizing switch, Polymer push-only, GraphMat dense pull.
+//! It gains nothing from Mixen's Cache step, which is exactly why the paper
+//! includes it.
+
+use crate::Engine;
+use mixen_graph::NodeId;
+
+/// BFS depths from `root` via the engine's native traversal.
+pub fn bfs<E: Engine>(engine: &E, root: NodeId) -> Vec<i32> {
+    engine.bfs(root)
+}
+
+/// Picks a deterministic high-out-degree root — the convention used by the
+/// benchmarks so every engine traverses a non-trivial component.
+pub fn default_root(g: &mixen_graph::Graph) -> NodeId {
+    (0..g.n() as NodeId)
+        .max_by_key(|&v| g.out_degree(v))
+        .unwrap_or(0)
+}
+
+/// Number of reached nodes and maximum depth — the summary the benchmark
+/// tables print for sanity.
+pub fn summarize(depths: &[i32]) -> (usize, i32) {
+    let reached = depths.iter().filter(|&&d| d >= 0).count();
+    let max_depth = depths.iter().copied().max().unwrap_or(-1);
+    (reached, max_depth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mixen_baselines::{BlockEngine, PartitionedEngine, PullEngine, PushEngine, ReferenceEngine};
+    use mixen_core::{MixenEngine, MixenOpts};
+    use mixen_graph::Graph;
+
+    #[test]
+    fn all_engines_same_depths() {
+        let g = Graph::from_pairs(
+            7,
+            &[(0, 1), (1, 2), (2, 3), (0, 4), (4, 3), (5, 0), (3, 6)],
+        );
+        let root = default_root(&g);
+        let want = bfs(&ReferenceEngine::new(&g), root);
+        assert_eq!(bfs(&MixenEngine::new(&g, MixenOpts::default()), root), want);
+        assert_eq!(bfs(&PullEngine::new(&g), root), want);
+        assert_eq!(bfs(&PushEngine::new(&g), root), want);
+        assert_eq!(bfs(&PartitionedEngine::new(&g, 2), root), want);
+        assert_eq!(bfs(&BlockEngine::new(&g, 2), root), want);
+    }
+
+    #[test]
+    fn default_root_is_max_out_degree() {
+        let g = Graph::from_pairs(4, &[(2, 0), (2, 1), (2, 3), (0, 1)]);
+        assert_eq!(default_root(&g), 2);
+    }
+
+    #[test]
+    fn summarize_counts() {
+        let (reached, depth) = summarize(&[0, 1, -1, 2, 1]);
+        assert_eq!(reached, 4);
+        assert_eq!(depth, 2);
+        assert_eq!(summarize(&[]), (0, -1));
+    }
+}

@@ -1,0 +1,301 @@
+//! The engine abstraction every algorithm is written against.
+//!
+//! An [`Engine`] runs the synchronous propagation recurrence and BFS. The
+//! trait is implemented here for Mixen and all four baselines so algorithm
+//! code never mentions a concrete framework. [`EngineKind`] enumerates them
+//! for benchmark drivers that sweep "all frameworks × all algorithms".
+
+use mixen_baselines::{BlockEngine, PartitionedEngine, PullEngine, PushEngine, ReferenceEngine};
+use mixen_core::MixenEngine;
+use mixen_graph::{AtomicProp, NodeId};
+
+/// A framework capable of running link analysis and BFS.
+///
+/// The value type is bounded by [`AtomicProp`] (32-bit lanes) because the
+/// pushing-flow baseline combines destinations atomically; all algorithm
+/// value types (`f32`, `[f32; K]`) satisfy it.
+pub trait Engine: Sync {
+    /// Runs `iters` synchronous iterations of
+    /// `x'[v] = apply(v, Σ_{u→v} x[u])`, returning final values by original
+    /// node ID.
+    fn iterate<V, FI, FA>(&self, init: FI, apply: FA, iters: usize) -> Vec<V>
+    where
+        V: AtomicProp,
+        FI: Fn(NodeId) -> V + Sync,
+        FA: Fn(NodeId, V) -> V + Sync;
+
+    /// Iterates until the max-norm step difference is at most `tol` (or
+    /// `max_iters`); returns values and iterations performed.
+    fn iterate_until<V, FI, FA>(
+        &self,
+        init: FI,
+        apply: FA,
+        tol: f64,
+        max_iters: usize,
+    ) -> (Vec<V>, usize)
+    where
+        V: AtomicProp,
+        FI: Fn(NodeId) -> V + Sync,
+        FA: Fn(NodeId, V) -> V + Sync;
+
+    /// BFS depths from `root` (`-1` = unreachable).
+    fn bfs(&self, root: NodeId) -> Vec<i32>;
+}
+
+macro_rules! delegate_engine {
+    ($ty:ty) => {
+        impl Engine for $ty {
+            fn iterate<V, FI, FA>(&self, init: FI, apply: FA, iters: usize) -> Vec<V>
+            where
+                V: AtomicProp,
+                FI: Fn(NodeId) -> V + Sync,
+                FA: Fn(NodeId, V) -> V + Sync,
+            {
+                <$ty>::iterate(self, init, apply, iters)
+            }
+
+            fn iterate_until<V, FI, FA>(
+                &self,
+                init: FI,
+                apply: FA,
+                tol: f64,
+                max_iters: usize,
+            ) -> (Vec<V>, usize)
+            where
+                V: AtomicProp,
+                FI: Fn(NodeId) -> V + Sync,
+                FA: Fn(NodeId, V) -> V + Sync,
+            {
+                <$ty>::iterate_until(self, init, apply, tol, max_iters)
+            }
+
+            fn bfs(&self, root: NodeId) -> Vec<i32> {
+                <$ty>::bfs(self, root)
+            }
+        }
+    };
+}
+
+delegate_engine!(MixenEngine);
+delegate_engine!(PullEngine<'_>);
+delegate_engine!(PushEngine<'_>);
+delegate_engine!(PartitionedEngine<'_>);
+delegate_engine!(BlockEngine<'_>);
+
+impl Engine for ReferenceEngine<'_> {
+    fn iterate<V, FI, FA>(&self, init: FI, apply: FA, iters: usize) -> Vec<V>
+    where
+        V: AtomicProp,
+        FI: Fn(NodeId) -> V + Sync,
+        FA: Fn(NodeId, V) -> V + Sync,
+    {
+        ReferenceEngine::iterate(self, init, apply, iters)
+    }
+
+    fn iterate_until<V, FI, FA>(
+        &self,
+        init: FI,
+        apply: FA,
+        tol: f64,
+        max_iters: usize,
+    ) -> (Vec<V>, usize)
+    where
+        V: AtomicProp,
+        FI: Fn(NodeId) -> V + Sync,
+        FA: Fn(NodeId, V) -> V + Sync,
+    {
+        ReferenceEngine::iterate_until(self, init, apply, tol, max_iters)
+    }
+
+    fn bfs(&self, root: NodeId) -> Vec<i32> {
+        ReferenceEngine::bfs(self, root)
+    }
+}
+
+/// The five frameworks of the paper's Table 3 (plus the serial oracle),
+/// named as the paper names them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EngineKind {
+    /// This paper's framework.
+    Mixen,
+    /// GPOP-style whole-graph blocking.
+    Gpop,
+    /// Ligra-style push with atomics.
+    Ligra,
+    /// Polymer-style destination-partitioned pull.
+    Polymer,
+    /// GraphMat-style dense pull.
+    GraphMat,
+}
+
+impl EngineKind {
+    /// Table-order list (Mixen first, as in Table 3).
+    pub const ALL: [EngineKind; 5] = [
+        EngineKind::Mixen,
+        EngineKind::Gpop,
+        EngineKind::Ligra,
+        EngineKind::Polymer,
+        EngineKind::GraphMat,
+    ];
+
+    /// The display name used in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::Mixen => "Mixen",
+            EngineKind::Gpop => "GPOP",
+            EngineKind::Ligra => "Ligra",
+            EngineKind::Polymer => "Polymer",
+            EngineKind::GraphMat => "GraphMat",
+        }
+    }
+}
+
+/// A uniformly-typed engine, for drivers that sweep frameworks at runtime
+/// (the Table 3 harness). Construction runs the framework's preprocessing.
+/// Mixen's preprocessed state is boxed so the enum stays pointer-sized per
+/// variant.
+pub enum AnyEngine<'g> {
+    /// This paper's framework.
+    Mixen(Box<MixenEngine>),
+    /// GPOP-style whole-graph blocking.
+    Gpop(BlockEngine<'g>),
+    /// Ligra-style push with atomics.
+    Ligra(PushEngine<'g>),
+    /// Polymer-style partitioned pull.
+    Polymer(PartitionedEngine<'g>),
+    /// GraphMat-style dense pull.
+    GraphMat(PullEngine<'g>),
+}
+
+impl<'g> AnyEngine<'g> {
+    /// Builds the engine of `kind` over `g` with each framework's default
+    /// configuration (Mixen: paper defaults; GPOP: 64 Ki-node blocks;
+    /// Polymer: 4 partitions per thread).
+    pub fn build(kind: EngineKind, g: &'g mixen_graph::Graph) -> Self {
+        match kind {
+            EngineKind::Mixen => {
+                AnyEngine::Mixen(Box::new(MixenEngine::new(g, Default::default())))
+            }
+            EngineKind::Gpop => AnyEngine::Gpop(BlockEngine::with_default_blocks(g)),
+            EngineKind::Ligra => AnyEngine::Ligra(PushEngine::new(g)),
+            EngineKind::Polymer => AnyEngine::Polymer(PartitionedEngine::with_default_partitions(g)),
+            EngineKind::GraphMat => AnyEngine::GraphMat(PullEngine::new(g)),
+        }
+    }
+
+    /// The kind this engine was built as.
+    pub fn kind(&self) -> EngineKind {
+        match self {
+            AnyEngine::Mixen(_) => EngineKind::Mixen,
+            AnyEngine::Gpop(_) => EngineKind::Gpop,
+            AnyEngine::Ligra(_) => EngineKind::Ligra,
+            AnyEngine::Polymer(_) => EngineKind::Polymer,
+            AnyEngine::GraphMat(_) => EngineKind::GraphMat,
+        }
+    }
+}
+
+macro_rules! any_dispatch {
+    ($self:expr, $e:ident => $body:expr) => {
+        match $self {
+            AnyEngine::Mixen($e) => $body,
+            AnyEngine::Gpop($e) => $body,
+            AnyEngine::Ligra($e) => $body,
+            AnyEngine::Polymer($e) => $body,
+            AnyEngine::GraphMat($e) => $body,
+        }
+    };
+}
+
+impl Engine for AnyEngine<'_> {
+    fn iterate<V, FI, FA>(&self, init: FI, apply: FA, iters: usize) -> Vec<V>
+    where
+        V: AtomicProp,
+        FI: Fn(NodeId) -> V + Sync,
+        FA: Fn(NodeId, V) -> V + Sync,
+    {
+        any_dispatch!(self, e => e.iterate(init, apply, iters))
+    }
+
+    fn iterate_until<V, FI, FA>(
+        &self,
+        init: FI,
+        apply: FA,
+        tol: f64,
+        max_iters: usize,
+    ) -> (Vec<V>, usize)
+    where
+        V: AtomicProp,
+        FI: Fn(NodeId) -> V + Sync,
+        FA: Fn(NodeId, V) -> V + Sync,
+    {
+        any_dispatch!(self, e => e.iterate_until(init, apply, tol, max_iters))
+    }
+
+    fn bfs(&self, root: NodeId) -> Vec<i32> {
+        any_dispatch!(self, e => e.bfs(root))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mixen_core::MixenOpts;
+    use mixen_graph::Graph;
+
+    fn toy() -> Graph {
+        Graph::from_pairs(5, &[(0, 1), (1, 2), (2, 0), (3, 1), (2, 4)])
+    }
+
+    /// Exercise each implementation through the trait to prove the
+    /// delegation compiles and agrees.
+    fn run_engine<E: Engine>(e: &E) -> (Vec<f32>, Vec<i32>) {
+        let vals = Engine::iterate::<f32, _, _>(e, |_| 1.0, |_, s| s + 1.0, 2);
+        let depths = Engine::bfs(e, 0);
+        (vals, depths)
+    }
+
+    #[test]
+    fn all_engines_agree_through_trait() {
+        let g = toy();
+        let reference = run_engine(&ReferenceEngine::new(&g));
+        let mixen = run_engine(&MixenEngine::new(&g, MixenOpts::default()));
+        let pull = run_engine(&PullEngine::new(&g));
+        let push = run_engine(&PushEngine::new(&g));
+        let part = run_engine(&PartitionedEngine::new(&g, 2));
+        let block = run_engine(&BlockEngine::new(&g, 2));
+        for (name, got) in [
+            ("mixen", &mixen),
+            ("pull", &pull),
+            ("push", &push),
+            ("polymer", &part),
+            ("gpop", &block),
+        ] {
+            for (a, b) in got.0.iter().zip(&reference.0) {
+                assert!((a - b).abs() < 1e-4, "{name} values diverge");
+            }
+            assert_eq!(got.1, reference.1, "{name} BFS diverges");
+        }
+    }
+
+    #[test]
+    fn kind_names() {
+        assert_eq!(EngineKind::Mixen.name(), "Mixen");
+        assert_eq!(EngineKind::ALL.len(), 5);
+    }
+
+    #[test]
+    fn any_engine_dispatches_every_kind() {
+        let g = toy();
+        let reference = run_engine(&ReferenceEngine::new(&g));
+        for kind in EngineKind::ALL {
+            let e = AnyEngine::build(kind, &g);
+            assert_eq!(e.kind(), kind);
+            let got = run_engine(&e);
+            for (a, b) in got.0.iter().zip(&reference.0) {
+                assert!((a - b).abs() < 1e-4, "{} diverges", kind.name());
+            }
+            assert_eq!(got.1, reference.1, "{} BFS diverges", kind.name());
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! HITS — Hyperlink-Induced Topic Search (Kleinberg), §2.2.
+//!
+//! Two mutually-reinforcing scores per node: authorities are pointed at by
+//! good hubs, hubs point at good authorities. Each half-step is one SpMV —
+//! the authority update pulls along in-edges of `G`, the hub update pulls
+//! along in-edges of `G` reversed — so the algorithm takes two engines, one
+//! per direction (build the second over [`mixen_graph::Graph::reversed`]).
+
+use crate::Engine;
+use mixen_graph::NodeId;
+
+/// The two HITS score vectors.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HitsScores {
+    /// Authority scores (L2-normalized).
+    pub authority: Vec<f32>,
+    /// Hub scores (L2-normalized).
+    pub hub: Vec<f32>,
+}
+
+/// Runs `iters` HITS iterations. `fwd` must be an engine over the original
+/// graph, `rev` over its reverse.
+pub fn hits<F: Engine, R: Engine>(n: usize, fwd: &F, rev: &R, iters: usize) -> HitsScores {
+    let mut hub = vec![1.0f32; n];
+    let mut authority = vec![1.0f32; n];
+    normalize(&mut hub);
+    normalize(&mut authority);
+    for _ in 0..iters {
+        let h = &hub;
+        authority = fwd.iterate(|v: NodeId| h[v as usize], |_, s: f32| s, 1);
+        normalize(&mut authority);
+        let a = &authority;
+        hub = rev.iterate(|v: NodeId| a[v as usize], |_, s: f32| s, 1);
+        normalize(&mut hub);
+    }
+    HitsScores { authority, hub }
+}
+
+fn normalize(v: &mut [f32]) {
+    let norm = v.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>().sqrt();
+    if norm > 0.0 {
+        let inv = (1.0 / norm) as f32;
+        for x in v.iter_mut() {
+            *x *= inv;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mixen_baselines::ReferenceEngine;
+    use mixen_core::{MixenEngine, MixenOpts};
+    use mixen_graph::Graph;
+
+    /// A small bipartite-ish web: 0,1 are hubs pointing at 2,3 (authorities).
+    fn web() -> Graph {
+        Graph::from_pairs(5, &[(0, 2), (0, 3), (1, 2), (1, 3), (4, 2)])
+    }
+
+    #[test]
+    fn hubs_and_authorities_separate() {
+        let g = web();
+        let rev = g.reversed();
+        let scores = hits(
+            g.n(),
+            &ReferenceEngine::new(&g),
+            &ReferenceEngine::new(&rev),
+            20,
+        );
+        // 2 and 3 are the authorities; 0 and 1 the strongest hubs.
+        assert!(scores.authority[2] > scores.authority[0]);
+        assert!(scores.authority[3] > scores.authority[0]);
+        assert!(scores.hub[0] > scores.hub[2]);
+        assert!(scores.hub[0] > scores.hub[4], "two-link hub beats one-link");
+    }
+
+    #[test]
+    fn scores_are_normalized() {
+        let g = web();
+        let rev = g.reversed();
+        let s = hits(
+            g.n(),
+            &ReferenceEngine::new(&g),
+            &ReferenceEngine::new(&rev),
+            5,
+        );
+        let na: f64 = s.authority.iter().map(|&x| (x as f64).powi(2)).sum();
+        let nh: f64 = s.hub.iter().map(|&x| (x as f64).powi(2)).sum();
+        assert!((na - 1.0).abs() < 1e-4);
+        assert!((nh - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn mixen_matches_reference() {
+        let g = web();
+        let rev = g.reversed();
+        let opts = MixenOpts {
+            block_side: 2,
+            min_tasks_per_thread: 1,
+            ..MixenOpts::default()
+        };
+        let a = hits(
+            g.n(),
+            &MixenEngine::new(&g, opts),
+            &MixenEngine::new(&rev, opts),
+            8,
+        );
+        let b = hits(
+            g.n(),
+            &ReferenceEngine::new(&g),
+            &ReferenceEngine::new(&rev),
+            8,
+        );
+        for (x, y) in a.authority.iter().zip(&b.authority) {
+            assert!((x - y).abs() < 1e-4);
+        }
+        for (x, y) in a.hub.iter().zip(&b.hub) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::from_pairs(0, &[]);
+        let rev = g.reversed();
+        let s = hits(
+            0,
+            &ReferenceEngine::new(&g),
+            &ReferenceEngine::new(&rev),
+            3,
+        );
+        assert!(s.authority.is_empty() && s.hub.is_empty());
+    }
+}

@@ -1,0 +1,306 @@
+//! PageRank (§2.2, Table 3's PR workload).
+//!
+//! The pull formulation the paper times:
+//! `rank'[v] = (1-d)/n + d · Σ_{u→v} rank[u]/outdeg(u)`.
+//!
+//! The *propagated* value is `rank/outdeg`, so `apply` folds the damping and
+//! the division in one step. Seed nodes (in-degree 0) are initialized at
+//! their fixed point `(1-d)/n` — the contract that lets Mixen cache their
+//! contribution once and still match a conventional engine at every
+//! iteration (see `mixen_core::engine`).
+//!
+//! Like the paper's implementation, dangling (sink) rank mass is not
+//! redistributed by default; [`PageRankOpts::redistribute`] enables the
+//! textbook correction as an extension.
+
+use crate::Engine;
+use mixen_graph::{Graph, NodeId};
+
+/// PageRank parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct PageRankOpts {
+    /// Damping factor `d` (the usual 0.85).
+    pub damping: f32,
+    /// Redistribute dangling-node mass uniformly each iteration (off in the
+    /// paper's formulation).
+    pub redistribute: bool,
+}
+
+impl Default for PageRankOpts {
+    fn default() -> Self {
+        Self {
+            damping: 0.85,
+            redistribute: false,
+        }
+    }
+}
+
+/// Runs a fixed number of PageRank iterations; returns per-node scores.
+pub fn pagerank<E: Engine>(g: &Graph, engine: &E, opts: PageRankOpts, iters: usize) -> Vec<f32> {
+    let (scores, _) = pagerank_impl(g, engine, opts, f64::NEG_INFINITY, iters, true);
+    scores
+}
+
+/// Runs PageRank until the propagated values change by at most `tol`
+/// (max-norm) or `max_iters`; returns scores and iterations.
+pub fn pagerank_until<E: Engine>(
+    g: &Graph,
+    engine: &E,
+    opts: PageRankOpts,
+    tol: f64,
+    max_iters: usize,
+) -> (Vec<f32>, usize) {
+    pagerank_impl(g, engine, opts, tol, max_iters, false)
+}
+
+fn pagerank_impl<E: Engine>(
+    g: &Graph,
+    engine: &E,
+    opts: PageRankOpts,
+    tol: f64,
+    iters: usize,
+    fixed: bool,
+) -> (Vec<f32>, usize) {
+    let n = g.n().max(1) as f32;
+    let d = opts.damping;
+    let base = (1.0 - d) / n;
+    let out_deg: Vec<u32> = (0..g.n() as NodeId)
+        .map(|v| g.out_degree(v).max(1) as u32)
+        .collect();
+    let in_zero: Vec<bool> = (0..g.n() as NodeId).map(|v| g.in_degree(v) == 0).collect();
+
+    if opts.redistribute {
+        return pagerank_redistribute(g, engine, opts, tol, iters, fixed);
+    }
+
+    let init = |v: NodeId| {
+        let rank0 = if in_zero[v as usize] { base } else { 1.0 / n };
+        rank0 / out_deg[v as usize] as f32
+    };
+    let apply = |v: NodeId, sum: f32| (base + d * sum) / out_deg[v as usize] as f32;
+    let (vals, performed) = if fixed {
+        (engine.iterate(init, apply, iters), iters)
+    } else {
+        engine.iterate_until(init, apply, tol, iters)
+    };
+    let scores = vals
+        .iter()
+        .zip(&out_deg)
+        .map(|(&p, &odeg)| p * odeg as f32)
+        .collect();
+    (scores, performed)
+}
+
+/// The textbook dangling-mass variant: each iteration adds
+/// `d · (Σ_{sinks} rank) / n` to every node. The dangling sum depends on the
+/// previous iteration's global state, so it runs the engine one iteration at
+/// a time.
+fn pagerank_redistribute<E: Engine>(
+    g: &Graph,
+    engine: &E,
+    opts: PageRankOpts,
+    tol: f64,
+    max_iters: usize,
+    fixed: bool,
+) -> (Vec<f32>, usize) {
+    let n = g.n().max(1) as f32;
+    let d = opts.damping;
+    let base = (1.0 - d) / n;
+    let out_deg: Vec<u32> = (0..g.n() as NodeId)
+        .map(|v| g.out_degree(v).max(1) as u32)
+        .collect();
+    let is_sink: Vec<bool> = (0..g.n() as NodeId).map(|v| g.out_degree(v) == 0).collect();
+    let mut rank: Vec<f32> = vec![1.0 / n; g.n()];
+    let mut performed = 0usize;
+    for _ in 0..max_iters {
+        let dangling: f32 = rank
+            .iter()
+            .zip(&is_sink)
+            .filter(|&(_, &s)| s)
+            .map(|(&r, _)| r)
+            .sum();
+        let extra = d * dangling / n;
+        let init = |v: NodeId| rank[v as usize] / out_deg[v as usize] as f32;
+        let apply = move |_v: NodeId, sum: f32| base + extra + d * sum;
+        let next: Vec<f32> = engine.iterate(init, apply, 1);
+        let diff = next
+            .iter()
+            .zip(&rank)
+            .map(|(a, b)| (a - b).abs() as f64)
+            .fold(0.0, f64::max);
+        rank = next;
+        performed += 1;
+        if !fixed && diff <= tol {
+            break;
+        }
+    }
+    (rank, performed)
+}
+
+/// Adaptive PageRank on the Mixen engine (the delta-iteration extension):
+/// nodes stop propagating once their rank moves by at most `epsilon` per
+/// round. Returns scores and the engine's [`mixen_core::DeltaStats`].
+pub fn pagerank_adaptive(
+    g: &Graph,
+    engine: &mixen_core::MixenEngine,
+    opts: PageRankOpts,
+    epsilon: f32,
+    max_iters: usize,
+) -> (Vec<f32>, mixen_core::DeltaStats) {
+    assert!(
+        !opts.redistribute,
+        "adaptive mode does not support dangling redistribution"
+    );
+    let n = g.n().max(1) as f32;
+    let d = opts.damping;
+    let base = (1.0 - d) / n;
+    let out_deg: Vec<u32> = (0..g.n() as NodeId)
+        .map(|v| g.out_degree(v).max(1) as u32)
+        .collect();
+    let in_zero: Vec<bool> = (0..g.n() as NodeId).map(|v| g.in_degree(v) == 0).collect();
+    let init = |v: NodeId| {
+        let rank0 = if in_zero[v as usize] { base } else { 1.0 / n };
+        rank0 / out_deg[v as usize] as f32
+    };
+    let apply = |v: NodeId, sum: f32| (base + d * sum) / out_deg[v as usize] as f32;
+    let (vals, stats) = engine.iterate_delta(init, apply, epsilon, max_iters);
+    let scores = vals
+        .iter()
+        .zip(&out_deg)
+        .map(|(&p, &odeg)| p * odeg as f32)
+        .collect();
+    (scores, stats)
+}
+
+/// Sum of all PageRank scores — without redistribution this leaks the
+/// dangling mass, so it lies in `(1-d, 1]`; with redistribution it stays at
+/// 1 (up to float error). Exposed for tests and examples.
+pub fn total_mass(scores: &[f32]) -> f64 {
+    scores.iter().map(|&s| s as f64).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mixen_baselines::ReferenceEngine;
+    use mixen_core::{MixenEngine, MixenOpts};
+
+    fn ring() -> Graph {
+        Graph::from_pairs(4, &[(0, 1), (1, 2), (2, 3), (3, 0)])
+    }
+
+    #[test]
+    fn uniform_on_a_ring() {
+        // A symmetric ring must stay uniform at 1/n.
+        let g = ring();
+        let scores = pagerank(&g, &ReferenceEngine::new(&g), PageRankOpts::default(), 20);
+        for &s in &scores {
+            assert!((s - 0.25).abs() < 1e-5, "{scores:?}");
+        }
+        assert!((total_mass(&scores) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn hub_ranks_highest() {
+        // Everyone links to node 0; node 0 links to 1.
+        let g = Graph::from_pairs(5, &[(1, 0), (2, 0), (3, 0), (4, 0), (0, 1)]);
+        let scores = pagerank(&g, &ReferenceEngine::new(&g), PageRankOpts::default(), 30);
+        assert!(scores[0] > scores[1]);
+        assert!(scores[1] > scores[2]);
+        assert!((scores[2] - scores[3]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mixen_matches_reference_every_iteration() {
+        let g = Graph::from_pairs(
+            7,
+            &[(0, 1), (1, 2), (2, 0), (3, 0), (3, 2), (1, 4), (2, 5), (4, 5)],
+        );
+        let eng = MixenEngine::new(
+            &g,
+            MixenOpts {
+                block_side: 2,
+                min_tasks_per_thread: 1,
+                ..MixenOpts::default()
+            },
+        );
+        let reference = ReferenceEngine::new(&g);
+        for iters in 1..8 {
+            let a = pagerank(&g, &eng, PageRankOpts::default(), iters);
+            let b = pagerank(&g, &reference, PageRankOpts::default(), iters);
+            for (x, y) in a.iter().zip(&b) {
+                assert!((x - y).abs() < 1e-5, "iters {iters}: {a:?} vs {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn convergence_variant_stops() {
+        let g = ring();
+        let (scores, iters) = pagerank_until(
+            &g,
+            &ReferenceEngine::new(&g),
+            PageRankOpts::default(),
+            1e-9,
+            500,
+        );
+        assert!(iters < 100);
+        assert!((total_mass(&scores) - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn adaptive_matches_fixed_iteration_pagerank() {
+        let g = Graph::from_pairs(
+            7,
+            &[(0, 1), (1, 2), (2, 0), (3, 0), (3, 2), (1, 4), (2, 5), (4, 5)],
+        );
+        let engine = MixenEngine::new(&g, MixenOpts::default());
+        let (scores, stats) =
+            pagerank_adaptive(&g, &engine, PageRankOpts::default(), 0.0, 25);
+        let dense = pagerank(&g, &engine, PageRankOpts::default(), stats.iterations);
+        for (a, b) in scores.iter().zip(&dense) {
+            assert!((a - b).abs() < 1e-5, "{scores:?} vs {dense:?}");
+        }
+    }
+
+    #[test]
+    fn adaptive_converges_with_epsilon() {
+        let g = Graph::from_pairs(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let engine = MixenEngine::new(&g, MixenOpts::default());
+        let (scores, stats) =
+            pagerank_adaptive(&g, &engine, PageRankOpts::default(), 1e-9, 500);
+        assert!(stats.converged);
+        for &sc in &scores {
+            assert!((sc - 0.25).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn redistribution_conserves_mass_with_sinks() {
+        // Node 2 is a sink; without redistribution mass leaks.
+        let g = Graph::from_pairs(3, &[(0, 1), (1, 2), (1, 0)]);
+        let leaky = pagerank(&g, &ReferenceEngine::new(&g), PageRankOpts::default(), 50);
+        assert!(total_mass(&leaky) < 0.999);
+        let conserved = pagerank(
+            &g,
+            &ReferenceEngine::new(&g),
+            PageRankOpts {
+                redistribute: true,
+                ..PageRankOpts::default()
+            },
+            50,
+        );
+        assert!(
+            (total_mass(&conserved) - 1.0).abs() < 1e-3,
+            "mass = {}",
+            total_mass(&conserved)
+        );
+    }
+
+    #[test]
+    fn empty_graph_is_fine() {
+        let g = Graph::from_pairs(0, &[]);
+        let scores = pagerank(&g, &ReferenceEngine::new(&g), PageRankOpts::default(), 3);
+        assert!(scores.is_empty());
+    }
+}

@@ -1,0 +1,41 @@
+//! Criterion bench behind **Fig. 6**: PageRank per-iteration time as a
+//! function of Mixen's block side, on the two graphs the paper's
+//! discussion singles out (pld for the L2 regime, weibo for the
+//! small-regular-count regime).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mixen_algos::{pagerank, PageRankOpts};
+use mixen_core::{MixenEngine, MixenOpts};
+use mixen_graph::{Dataset, Scale};
+
+fn bench_block_sizes(c: &mut Criterion) {
+    for d in [Dataset::Pld, Dataset::Weibo] {
+        let g = d.generate(Scale::Tiny, 42);
+        let mut group = c.benchmark_group(format!("fig6/{}", d.name()));
+        for shift in 0..7 {
+            let side = 256usize << shift;
+            let engine = MixenEngine::new(
+                &g,
+                MixenOpts {
+                    block_side: side,
+                    min_tasks_per_thread: 1,
+                    ..MixenOpts::default()
+                },
+            );
+            group.bench_with_input(BenchmarkId::from_parameter(side), &engine, |b, e| {
+                b.iter(|| pagerank(&g, e, PageRankOpts::default(), 5));
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_block_sizes
+}
+criterion_main!(benches);

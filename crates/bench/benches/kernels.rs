@@ -1,0 +1,55 @@
+//! Micro-benchmarks of Mixen's building blocks: filtering, partitioning,
+//! one Scatter+Gather round, the Pre-Phase seed push, and BFS level
+//! expansion. These back the preprocessing numbers of Table 4 and the
+//! phase-cost discussion of §4.3.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mixen_core::bins::{DynamicBins, StaticBin};
+use mixen_core::{scga, BlockedSubgraph, FilteredGraph, MixenEngine, MixenOpts};
+use mixen_graph::{Dataset, Scale};
+
+fn bench_kernels(c: &mut Criterion) {
+    let g = Dataset::Wiki.generate(Scale::Tiny, 42);
+    let opts = MixenOpts::default();
+
+    c.bench_function("filter/wiki", |b| {
+        b.iter(|| FilteredGraph::new(&g));
+    });
+
+    let filtered = FilteredGraph::new(&g);
+    c.bench_function("partition/wiki", |b| {
+        b.iter(|| BlockedSubgraph::new(filtered.reg_csr(), &opts, 1));
+    });
+
+    let blocked = BlockedSubgraph::new(filtered.reg_csr(), &opts, 1);
+    let r = filtered.num_regular();
+    c.bench_function("scatter_gather/wiki", |b| {
+        let mut bins: DynamicBins<f32> = DynamicBins::new(&blocked);
+        let mut x = vec![1.0f32; r];
+        let mut y = vec![0.0f32; r];
+        b.iter(|| {
+            scga::scatter(&blocked, &mut x, &mut bins, None);
+            scga::gather(&blocked, &bins, &mut y, |_, s| s * 0.5);
+        });
+    });
+
+    c.bench_function("pre_phase_seed_push/wiki", |b| {
+        let seed_vals = vec![1.0f32; filtered.num_seed()];
+        b.iter(|| StaticBin::compute(filtered.seed_csr(), &seed_vals, r));
+    });
+
+    let engine = MixenEngine::new(&g, opts);
+    c.bench_function("bfs/wiki", |b| {
+        b.iter(|| engine.bfs(0));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_kernels
+}
+criterion_main!(benches);

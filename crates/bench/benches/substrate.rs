@@ -1,0 +1,50 @@
+//! Micro-benchmarks of the graph substrate: CSR construction, transpose,
+//! classification, statistics and dataset generation — the building blocks
+//! behind Table 4's preprocessing costs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mixen_graph::{Classification, Csr, Dataset, Graph, Scale, StructuralStats};
+
+fn bench_substrate(c: &mut Criterion) {
+    let g = Dataset::Wiki.generate(Scale::Tiny, 42);
+    let pairs: Vec<(u32, u32)> = g.edges().collect();
+    let n = g.n();
+
+    c.bench_function("substrate/csr_from_edges", |b| {
+        b.iter(|| Csr::from_edges(n, &pairs));
+    });
+
+    c.bench_function("substrate/transpose", |b| {
+        b.iter(|| g.out_csr().transpose());
+    });
+
+    c.bench_function("substrate/graph_from_pairs", |b| {
+        b.iter(|| Graph::from_pairs(n, &pairs));
+    });
+
+    c.bench_function("substrate/classification", |b| {
+        b.iter(|| Classification::of(&g));
+    });
+
+    c.bench_function("substrate/structural_stats", |b| {
+        b.iter(|| StructuralStats::of(&g));
+    });
+
+    let mut group = c.benchmark_group("substrate/generate");
+    for d in [Dataset::Weibo, Dataset::Rmat, Dataset::Road] {
+        group.bench_function(d.name(), |b| {
+            b.iter(|| d.generate(Scale::Tiny, 1));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_substrate
+}
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Criterion bench behind **Table 3**: per-iteration time of each
+//! algorithm × framework on each dataset (tiny scale, so the full sweep
+//! stays tractable under Criterion's sampling; run the `table3` binary with
+//! `--scale medium` for the paper-shaped wall-clock table).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mixen_algos::{
+    bfs, collaborative_filtering, default_root, indegree_iterated, pagerank, AnyEngine, CfOpts, EngineKind,
+    PageRankOpts,
+};
+use mixen_graph::{Dataset, Scale};
+
+fn bench_table3(c: &mut Criterion) {
+    // A representative subset: the paper's headline skewed graph types plus
+    // one non-skewed control.
+    let datasets = [Dataset::Weibo, Dataset::Wiki, Dataset::Rmat, Dataset::Urand];
+    for d in datasets {
+        let g = d.generate(Scale::Tiny, 42);
+        let engines: Vec<(EngineKind, AnyEngine<'_>)> = EngineKind::ALL
+            .iter()
+            .map(|&k| (k, AnyEngine::build(k, &g)))
+            .collect();
+        let root = default_root(&g);
+
+        let mut group = c.benchmark_group(format!("indegree/{}", d.name()));
+        for (kind, engine) in &engines {
+            group.bench_with_input(BenchmarkId::from_parameter(kind.name()), engine, |b, e| {
+                b.iter(|| indegree_iterated(e, 5));
+            });
+        }
+        group.finish();
+
+        let mut group = c.benchmark_group(format!("pagerank/{}", d.name()));
+        for (kind, engine) in &engines {
+            group.bench_with_input(BenchmarkId::from_parameter(kind.name()), engine, |b, e| {
+                b.iter(|| pagerank(&g, e, PageRankOpts::default(), 5));
+            });
+        }
+        group.finish();
+
+        let mut group = c.benchmark_group(format!("cf/{}", d.name()));
+        for (kind, engine) in &engines {
+            group.bench_with_input(BenchmarkId::from_parameter(kind.name()), engine, |b, e| {
+                b.iter(|| {
+                    collaborative_filtering(
+                        &g,
+                        e,
+                        CfOpts {
+                            blend: 0.5,
+                            iters: 2,
+                        },
+                    )
+                });
+            });
+        }
+        group.finish();
+
+        let mut group = c.benchmark_group(format!("bfs/{}", d.name()));
+        for (kind, engine) in &engines {
+            group.bench_with_input(BenchmarkId::from_parameter(kind.name()), engine, |b, e| {
+                b.iter(|| bfs(e, root));
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_table3
+}
+criterion_main!(benches);

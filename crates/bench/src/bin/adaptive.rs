@@ -1,0 +1,53 @@
+//! Extension benchmark: adaptive (delta) PageRank vs. dense iteration.
+//!
+//! Convergence-driven runs spend most late iterations re-propagating
+//! already-converged nodes; the delta extension scatters only nodes whose
+//! rank still moves. This binary reports, per graph: iterations to
+//! convergence, total node-scatters for dense vs. adaptive execution (the
+//! work ratio), wall-clock for both, and the max score deviation.
+
+use mixen_algos::{pagerank, pagerank_adaptive, PageRankOpts};
+use mixen_bench::{timed, BenchOpts};
+use mixen_core::{MixenEngine, MixenOpts};
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    let eps = 1e-9f32;
+    println!("Adaptive (delta) PageRank vs dense, epsilon = {eps:.0e}");
+    println!(
+        "{:>8}  {:>6} {:>12} {:>12} {:>8}  {:>9} {:>9}  {:>10}",
+        "graph", "iters", "dense scat", "delta scat", "ratio", "t dense", "t delta", "max dev"
+    );
+    for d in &opts.datasets {
+        let g = opts.gen(*d);
+        let engine = MixenEngine::new(&g, MixenOpts::default());
+        let ((scores_a, stats), t_delta) = timed(|| {
+            pagerank_adaptive(&g, &engine, PageRankOpts::default(), eps, 200)
+        });
+        let (scores_d, t_dense) = timed(|| {
+            pagerank(&g, &engine, PageRankOpts::default(), stats.iterations)
+        });
+        let r = engine.filtered().num_regular() as u64;
+        let dense_scatters = r * stats.iterations as u64;
+        let dev = scores_a
+            .iter()
+            .zip(&scores_d)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        println!(
+            "{:>8}  {:>6} {:>12} {:>12} {:>7.1}x  {:>8.3}s {:>8.3}s  {:>10.2e}",
+            d.name(),
+            stats.iterations,
+            dense_scatters,
+            stats.scattered_nodes,
+            dense_scatters as f64 / stats.scattered_nodes.max(1) as f64,
+            t_dense,
+            t_delta,
+            dev
+        );
+    }
+    println!(
+        "\n(ratio = dense node-scatters / adaptive node-scatters at equal\n\
+         iteration counts; deviations stay at float-rounding level.)"
+    );
+}

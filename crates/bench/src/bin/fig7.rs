@@ -1,0 +1,67 @@
+//! Reproduces **Fig. 7**: LLC hits and memory traffic as functions of the
+//! block size, for graph *pld* (the paper's worked example of the
+//! block-size trade-off). Small blocks overload LLC and memory; oversized
+//! blocks stop fitting in cache; the best execution time lands where both
+//! factors are balanced, around the (scaled) L2 capacity.
+
+use mixen_algos::{pagerank, PageRankOpts};
+use mixen_bench::{time_per_iter, BenchOpts};
+use mixen_cachesim::{trace_mixen, CacheConfig};
+use mixen_core::{MixenEngine, MixenOpts};
+use mixen_graph::Dataset;
+
+fn main() {
+    let mut opts = BenchOpts::from_args();
+    if opts.datasets.len() == Dataset::ALL.len() {
+        opts.datasets = vec![Dataset::Pld];
+    }
+    let cfg = CacheConfig::scaled_paper(opts.divisor());
+    let l1_nodes = cfg.levels[0].capacity / 4;
+    let l2_nodes = cfg.levels[1].capacity / 4;
+    let sides: Vec<usize> = (0..11).map(|i| (l1_nodes / 4) << i).collect();
+
+    for d in &opts.datasets {
+        let g = opts.gen(*d);
+        println!(
+            "Fig 7 ({}): LLC hits and DRAM traffic vs block side (scaled L1 = {} nodes, L2 = {} nodes)",
+            d.name(),
+            l1_nodes,
+            l2_nodes
+        );
+        println!(
+            "{:>10} {:>12} {:>14} {:>14} {:>12}",
+            "side", "LLC hits", "LLC miss %", "DRAM MB/iter", "time (norm)"
+        );
+        let mut rows = Vec::new();
+        for &c in &sides {
+            let engine = MixenEngine::new(
+                &g,
+                MixenOpts {
+                    block_side: c,
+                    min_tasks_per_thread: 1,
+                    ..MixenOpts::default()
+                },
+            );
+            let report = trace_mixen(&engine, &cfg);
+            let secs = time_per_iter(opts.iters, |n| {
+                std::hint::black_box(pagerank(&g, &engine, PageRankOpts::default(), n));
+            });
+            rows.push((c, report, secs));
+        }
+        let best = rows
+            .iter()
+            .map(|r| r.2)
+            .fold(f64::INFINITY, f64::min)
+            .max(1e-12);
+        for (c, report, secs) in &rows {
+            println!(
+                "{:>10} {:>12} {:>13.0}% {:>14.3} {:>12.2}",
+                c,
+                report.llc().hits,
+                report.llc().miss_ratio() * 100.0,
+                report.dram_bytes() as f64 / (1024.0 * 1024.0),
+                secs / best
+            );
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Validates the §5 analytic performance model against the instrumented
+//! twins: predicted traffic (elements → bytes at the 4-byte property width)
+//! vs the simulator's logical traffic, and predicted random-access counts
+//! (`b²`, `(n/c)²`, `m`) per variant.
+
+use mixen_baselines::BlockEngine;
+use mixen_bench::BenchOpts;
+use mixen_cachesim::{trace_block, trace_mixen, trace_pull, CacheConfig};
+use mixen_core::{MixenEngine, MixenOpts, PerfModel};
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    let cfg = CacheConfig::scaled_paper(opts.divisor());
+    println!("Model check: Eq.(1)/(2) predictions vs instrumented twins");
+    println!(
+        "{:>8}  {:>11} {:>11} {:>5}  {:>11} {:>11} {:>5}  {:>9} {:>9}  {:>9} {:>9}",
+        "graph",
+        "mx pred B",
+        "mx meas B",
+        "r",
+        "pl pred B",
+        "pl meas B",
+        "r",
+        "jump pred",
+        "jump meas",
+        "pull pred",
+        "pull meas"
+    );
+    for d in &opts.datasets {
+        let g = opts.gen(*d);
+        let engine = MixenEngine::new(&g, MixenOpts::default());
+        let c = engine.blocked().block_side();
+        let model = PerfModel::from_filtered(engine.filtered(), c);
+
+        // Predicted traffic in bytes at 4-byte elements.
+        let mixen_pred = model.mixen_traffic_bytes(4);
+        let pull_pred = model.pull_traffic() * 4.0;
+
+        // Measured logical traffic (CPU-side bytes; index arrays included,
+        // so measured >= predicted — the model counts only data elements).
+        let mixen_meas = trace_mixen(&engine, &cfg).logical_bytes as f64;
+        let pull_meas = trace_pull(&g, &cfg).logical_bytes as f64;
+
+        let block_engine = BlockEngine::with_default_blocks(&g);
+        let _ = trace_block(&g, block_engine.blocked(), &cfg);
+
+        // Eq.(2) counts only cross-block bin switches (b^2); the measured
+        // per-array jump counter additionally sees cache-resident restarts
+        // *inside* blocks, so compare orderings, not magnitudes: Mixen's
+        // jumps must stay at or below Pull's, whose jumps track m (every x
+        // read is random).
+        let mixen_jumps = trace_mixen(&engine, &cfg).random_jumps as f64;
+        let pull_jumps = trace_pull(&g, &cfg).random_jumps as f64;
+
+        println!(
+            "{:>8}  {:>11.0} {:>11.0} {:>5.2}  {:>11.0} {:>11.0} {:>5.2}  {:>9.0} {:>9.0}  {:>9.0} {:>9.0}",
+            d.name(),
+            mixen_pred,
+            mixen_meas,
+            mixen_meas / mixen_pred.max(1.0),
+            pull_pred,
+            pull_meas,
+            pull_meas / pull_pred.max(1.0),
+            model.mixen_random(),
+            mixen_jumps,
+            model.pull_random(),
+            pull_jumps,
+        );
+    }
+    println!(
+        "\nThe model counts data elements only (no index arrays), so measured/\n\
+         predicted byte ratios must be near 1 and stable across graphs. The\n\
+         measured jump counter includes cache-resident within-block restarts\n\
+         the model's Eq.(2) idealizes away; the comparable signal is the\n\
+         ordering (Mixen <= Pull on skewed graphs, shrinking with alpha)."
+    );
+}

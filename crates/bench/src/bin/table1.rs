@@ -1,0 +1,50 @@
+//! Reproduces **Table 1**: structural characteristics of skewed and
+//! non-skewed graphs — `V_hub`, `E_hub` and the regular/seed/sink/isolated
+//! percentages.
+
+use mixen_bench::BenchOpts;
+use mixen_graph::StructuralStats;
+
+/// Paper's Table 1 values for side-by-side comparison: (V_hub, E_hub, Reg,
+/// Seed, Sink, Iso) percentages.
+const PAPER: [(&str, [f64; 6]); 8] = [
+    ("weibo", [1.0, 99.0, 1.0, 99.0, 0.0, 0.0]),
+    ("track", [5.0, 88.0, 46.0, 54.0, 0.0, 0.0]),
+    ("wiki", [11.0, 88.0, 22.0, 33.0, 45.0, 0.0]),
+    ("pld", [15.0, 82.0, 56.0, 8.0, 28.0, 8.0]),
+    ("rmat", [7.0, 94.0, 26.0, 7.0, 8.0, 59.0]),
+    ("kron", [8.0, 92.0, 49.0, 0.0, 0.0, 51.0]),
+    ("road", [50.0, 66.0, 100.0, 0.0, 0.0, 0.0]),
+    ("urand", [52.0, 59.0, 100.0, 0.0, 0.0, 0.0]),
+];
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    println!("Table 1: structural characteristics (measured | paper)");
+    println!(
+        "{:>8}  {:>11}  {:>11}  {:>9}  {:>9}  {:>9}  {:>9}",
+        "graph", "V_hub %", "E_hub %", "Reg %", "Seed %", "Sink %", "Iso %"
+    );
+    for d in &opts.datasets {
+        let g = opts.gen(*d);
+        let s = StructuralStats::of(&g);
+        let paper = PAPER
+            .iter()
+            .find(|(name, _)| *name == d.name())
+            .map(|(_, v)| *v)
+            .unwrap_or([f64::NAN; 6]);
+        let measured = [
+            s.v_hub * 100.0,
+            s.e_hub * 100.0,
+            s.frac_regular * 100.0,
+            s.frac_seed * 100.0,
+            s.frac_sink * 100.0,
+            s.frac_isolated * 100.0,
+        ];
+        print!("{:>8}", d.name());
+        for (m, p) in measured.iter().zip(paper) {
+            print!("  {m:>4.0} |{p:>4.0}");
+        }
+        println!();
+    }
+}

@@ -1,0 +1,52 @@
+//! Reproduces **Table 2**: dataset attributes — n, m, skewed/real/directed
+//! flags and the α/β ratios the §5 performance model depends on.
+
+use mixen_bench::BenchOpts;
+use mixen_graph::StructuralStats;
+
+/// Paper's Table 2 (α, β) for comparison.
+const PAPER_AB: [(&str, f64, f64); 8] = [
+    ("weibo", 0.01, 0.06),
+    ("track", 0.46, 0.60),
+    ("wiki", 0.22, 0.78),
+    ("pld", 0.56, 0.84),
+    ("rmat", 0.26, 0.59),
+    ("kron", 0.49, 1.0),
+    ("road", 1.0, 1.0),
+    ("urand", 1.0, 1.0),
+];
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    println!(
+        "Table 2: dataset attributes at {:?} scale (paper sizes / {})",
+        opts.scale,
+        opts.divisor()
+    );
+    println!(
+        "{:>8}  {:>10} {:>12}  {:>6} {:>5} {:>8}  {:>12} {:>12}",
+        "graph", "n", "m", "skewed", "real", "directed", "alpha|paper", "beta|paper"
+    );
+    for d in &opts.datasets {
+        let g = opts.gen(*d);
+        let s = StructuralStats::of(&g);
+        let (_, pa, pb) = PAPER_AB
+            .iter()
+            .find(|(name, _, _)| *name == d.name())
+            .copied()
+            .unwrap_or(("", f64::NAN, f64::NAN));
+        println!(
+            "{:>8}  {:>10} {:>12}  {:>6} {:>5} {:>8}  {:>5.2} |{:>4.2}  {:>5.2} |{:>4.2}",
+            d.name(),
+            s.n,
+            s.m,
+            if s.is_skewed() { "Yes" } else { "No" },
+            if d.is_real() { "Yes" } else { "No" },
+            if d.is_directed() { "Yes" } else { "No" },
+            s.alpha,
+            pa,
+            s.beta,
+            pb,
+        );
+    }
+}

@@ -1,0 +1,186 @@
+//! Shared harness for the table/figure reproduction binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the paper
+//! (see DESIGN.md's per-experiment index). They share:
+//!
+//! * [`BenchOpts`] — command-line options (`--scale tiny|small|medium|large`,
+//!   `--seed N`, `--iters N`, `--datasets a,b,c`),
+//! * [`timed`] / [`time_per_iter`] — wall-clock measurement helpers,
+//! * [`normalize`] — the "normalized to X" transformation the paper's
+//!   figures use.
+//!
+//! All binaries print plain text tables shaped like the paper's, so
+//! paper-vs-measured comparisons (EXPERIMENTS.md) are a visual diff.
+
+use std::time::Instant;
+
+use mixen_graph::{Dataset, Graph, Scale};
+
+/// Command-line options shared by the reproduction binaries.
+#[derive(Clone, Debug)]
+pub struct BenchOpts {
+    /// Dataset scale (default `small`; the paper shape holds from `tiny` up).
+    pub scale: Scale,
+    /// Generator seed.
+    pub seed: u64,
+    /// Timed iterations per measurement (the paper uses 100).
+    pub iters: usize,
+    /// Datasets to run (default: all eight).
+    pub datasets: Vec<Dataset>,
+}
+
+impl Default for BenchOpts {
+    fn default() -> Self {
+        Self {
+            scale: Scale::Small,
+            seed: 42,
+            iters: 10,
+            datasets: Dataset::ALL.to_vec(),
+        }
+    }
+}
+
+impl BenchOpts {
+    /// Parses `std::env::args`; unknown flags abort with a usage message.
+    pub fn from_args() -> Self {
+        let mut opts = Self::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(flag) = args.next() {
+            let mut value = |name: &str| {
+                args.next()
+                    .unwrap_or_else(|| usage(&format!("{name} needs a value")))
+            };
+            match flag.as_str() {
+                "--scale" => {
+                    opts.scale = match value("--scale").as_str() {
+                        "tiny" => Scale::Tiny,
+                        "small" => Scale::Small,
+                        "medium" => Scale::Medium,
+                        "large" => Scale::Large,
+                        other => usage(&format!("unknown scale '{other}'")),
+                    }
+                }
+                "--seed" => {
+                    opts.seed = value("--seed")
+                        .parse()
+                        .unwrap_or_else(|_| usage("--seed must be an integer"))
+                }
+                "--iters" => {
+                    opts.iters = value("--iters")
+                        .parse()
+                        .unwrap_or_else(|_| usage("--iters must be an integer"))
+                }
+                "--datasets" => {
+                    opts.datasets = value("--datasets")
+                        .split(',')
+                        .map(|name| {
+                            Dataset::from_name(name.trim())
+                                .unwrap_or_else(|| usage(&format!("unknown dataset '{name}'")))
+                        })
+                        .collect()
+                }
+                "--help" | "-h" => usage(""),
+                other => usage(&format!("unknown flag '{other}'")),
+            }
+        }
+        opts
+    }
+
+    /// The divisor of this run's scale (for cache-hierarchy scaling).
+    pub fn divisor(&self) -> usize {
+        self.scale.divisor()
+    }
+
+    /// Generates one dataset at this run's scale/seed, reporting progress
+    /// on stderr.
+    pub fn gen(&self, d: Dataset) -> Graph {
+        eprintln!("[gen] {} at {:?} scale ...", d.name(), self.scale);
+        let t = Instant::now();
+        let g = d.generate(self.scale, self.seed);
+        eprintln!(
+            "[gen] {}: n = {}, m = {} ({:.2}s)",
+            d.name(),
+            g.n(),
+            g.m(),
+            t.elapsed().as_secs_f64()
+        );
+        g
+    }
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!(
+        "usage: <bin> [--scale tiny|small|medium|large] [--seed N] [--iters N] \
+         [--datasets weibo,track,...]"
+    );
+    std::process::exit(if err.is_empty() { 0 } else { 2 })
+}
+
+/// Wall-clock of one call.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t = Instant::now();
+    let out = f();
+    (out, t.elapsed().as_secs_f64())
+}
+
+/// Average seconds per iteration of a workload run `iters` times by `f`
+/// (which receives the iteration count, runs them all, and returns).
+pub fn time_per_iter(iters: usize, f: impl FnOnce(usize)) -> f64 {
+    let t = Instant::now();
+    f(iters);
+    t.elapsed().as_secs_f64() / iters.max(1) as f64
+}
+
+/// Normalizes a series to its first element (the paper's figures normalize
+/// to Mixen or to the best configuration).
+pub fn normalize(series: &[f64]) -> Vec<f64> {
+    let base = series.first().copied().unwrap_or(1.0).max(1e-12);
+    series.iter().map(|&x| x / base).collect()
+}
+
+/// Geometric mean of positive values (the cross-graph speedup summary).
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    (values.iter().map(|v| v.max(1e-12).ln()).sum::<f64>() / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_to_first() {
+        assert_eq!(normalize(&[2.0, 4.0, 1.0]), vec![1.0, 2.0, 0.5]);
+        assert!(normalize(&[]).is_empty());
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    fn timers_return_positive() {
+        let (_, secs) = timed(|| std::hint::black_box(1 + 1));
+        assert!(secs >= 0.0);
+        let per = time_per_iter(4, |n| {
+            for _ in 0..n {
+                std::hint::black_box(0);
+            }
+        });
+        assert!(per >= 0.0);
+    }
+
+    #[test]
+    fn default_opts_cover_all_datasets() {
+        let o = BenchOpts::default();
+        assert_eq!(o.datasets.len(), 8);
+        assert_eq!(o.divisor(), 256);
+    }
+}

@@ -1,0 +1,501 @@
+//! Set-associative LRU cache hierarchy with DRAM traffic accounting.
+//!
+//! Semantics:
+//! * inclusive hierarchy, checked top-down (L1 → L2 → LLC → DRAM),
+//! * write-back, write-allocate,
+//! * a miss at level `i` is a reference at level `i+1`,
+//! * DRAM read traffic = LLC miss fills; DRAM write traffic = dirty lines
+//!   evicted from the LLC.
+
+/// One cache level's geometry.
+#[derive(Clone, Copy, Debug)]
+pub struct LevelConfig {
+    /// Total capacity in bytes.
+    pub capacity: usize,
+    /// Associativity.
+    pub ways: usize,
+}
+
+/// Hierarchy geometry.
+#[derive(Clone, Debug)]
+pub struct CacheConfig {
+    /// Line size in bytes (64 on the paper's machine).
+    pub line: usize,
+    /// Levels from closest (L1) to farthest (LLC).
+    pub levels: Vec<LevelConfig>,
+}
+
+impl CacheConfig {
+    /// The paper's hierarchy (§6.1): L1 64 KB / L2 1 MB / LLC 27.5 MB,
+    /// 64-byte lines, typical Skylake-SP associativities.
+    pub fn paper_default() -> Self {
+        Self {
+            line: 64,
+            levels: vec![
+                LevelConfig {
+                    capacity: 64 * 1024,
+                    ways: 8,
+                },
+                LevelConfig {
+                    capacity: 1024 * 1024,
+                    ways: 16,
+                },
+                LevelConfig {
+                    capacity: 27 * 1024 * 1024 + 512 * 1024,
+                    ways: 11,
+                },
+            ],
+        }
+    }
+
+    /// The paper hierarchy with every capacity divided by `divisor` —
+    /// matching the scaled-down stand-in datasets, so that cache pressure
+    /// (working set ÷ capacity) is shape-preserving. Floors keep each level
+    /// meaningful: L1 ≥ 1 KB, L2 ≥ 4 KB, LLC ≥ 16 KB.
+    pub fn scaled_paper(divisor: usize) -> Self {
+        let d = divisor.max(1);
+        Self {
+            line: 64,
+            levels: vec![
+                LevelConfig {
+                    capacity: (64 * 1024 / d).max(1024),
+                    ways: 8,
+                },
+                LevelConfig {
+                    capacity: (1024 * 1024 / d).max(4 * 1024),
+                    ways: 16,
+                },
+                LevelConfig {
+                    capacity: ((27 * 1024 * 1024 + 512 * 1024) / d).max(16 * 1024),
+                    ways: 11,
+                },
+            ],
+        }
+    }
+
+    /// Like [`CacheConfig::scaled_paper`], but with the *aggregate* private
+    /// capacities of the paper's 20-core run: the hardware counters the
+    /// paper reports (perf/likwid) sum over all cores, and each core's
+    /// private L1/L2 holds a distinct slice of the working set, so a
+    /// single-stream simulation should see 20 x L1 and 20 x L2 (the LLC is
+    /// already shared). Used by the Fig. 4/5 twins.
+    pub fn scaled_paper_aggregate(divisor: usize, cores: usize) -> Self {
+        let d = divisor.max(1);
+        let k = cores.max(1);
+        Self {
+            line: 64,
+            levels: vec![
+                LevelConfig {
+                    capacity: (64 * 1024 * k / d).max(1024),
+                    ways: 8,
+                },
+                LevelConfig {
+                    capacity: (1024 * 1024 * k / d).max(4 * 1024),
+                    ways: 16,
+                },
+                LevelConfig {
+                    capacity: ((27 * 1024 * 1024 + 512 * 1024) / d).max(16 * 1024),
+                    ways: 11,
+                },
+            ],
+        }
+    }
+
+    /// A tiny hierarchy for unit tests (1 line set geometry is easy to
+    /// reason about by hand).
+    pub fn tiny_for_tests() -> Self {
+        Self {
+            line: 16,
+            levels: vec![
+                LevelConfig {
+                    capacity: 64,
+                    ways: 2,
+                },
+                LevelConfig {
+                    capacity: 256,
+                    ways: 4,
+                },
+            ],
+        }
+    }
+}
+
+/// Reference/hit/miss counters of one level.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LevelStats {
+    /// Total lookups (hits + misses).
+    pub references: u64,
+    /// Lookups served by this level.
+    pub hits: u64,
+    /// Lookups passed to the next level.
+    pub misses: u64,
+}
+
+impl LevelStats {
+    /// Miss ratio (0 when never referenced).
+    pub fn miss_ratio(&self) -> f64 {
+        if self.references == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.references as f64
+        }
+    }
+}
+
+struct Way {
+    tag: u64,
+    dirty: bool,
+    stamp: u64,
+    valid: bool,
+}
+
+struct Level {
+    sets: Vec<Vec<Way>>,
+    ways: usize,
+    set_mask: u64,
+}
+
+impl Level {
+    fn new(cfg: LevelConfig, line: usize) -> Self {
+        let lines = (cfg.capacity / line).max(1);
+        let ways = cfg.ways.min(lines).max(1);
+        let mut n_sets = (lines / ways).max(1);
+        // Round down to a power of two so the set index is a mask.
+        n_sets = 1 << (usize::BITS - 1 - n_sets.leading_zeros());
+        let sets = (0..n_sets)
+            .map(|_| Vec::with_capacity(ways))
+            .collect();
+        Self {
+            sets,
+            ways,
+            set_mask: n_sets as u64 - 1,
+        }
+    }
+
+    /// Looks up a line; on hit refreshes LRU. Returns whether it hit.
+    fn lookup(&mut self, line_addr: u64, write: bool, clock: u64) -> bool {
+        let set = &mut self.sets[(line_addr & self.set_mask) as usize];
+        if let Some(w) = set.iter_mut().find(|w| w.valid && w.tag == line_addr) {
+            w.stamp = clock;
+            w.dirty |= write;
+            return true;
+        }
+        false
+    }
+
+    /// Inserts a line, evicting LRU if needed. Returns the evicted dirty
+    /// line address, if any.
+    fn fill(&mut self, line_addr: u64, write: bool, clock: u64) -> Option<u64> {
+        let ways = self.ways;
+        let set = &mut self.sets[(line_addr & self.set_mask) as usize];
+        if set.len() < ways {
+            set.push(Way {
+                tag: line_addr,
+                dirty: write,
+                stamp: clock,
+                valid: true,
+            });
+            return None;
+        }
+        let victim = set
+            .iter_mut()
+            .min_by_key(|w| if w.valid { w.stamp } else { 0 })
+            .expect("non-empty set");
+        let evicted = (victim.valid && victim.dirty).then_some(victim.tag);
+        *victim = Way {
+            tag: line_addr,
+            dirty: write,
+            stamp: clock,
+            valid: true,
+        };
+        evicted
+    }
+}
+
+/// The simulator: feed it reads/writes, read the counters.
+pub struct CacheSim {
+    levels: Vec<Level>,
+    line: usize,
+    clock: u64,
+    /// Per-level counters, L1 first.
+    pub level_stats: Vec<LevelStats>,
+    /// Bytes read from DRAM (LLC miss fills).
+    pub dram_read_bytes: u64,
+    /// Bytes written to DRAM (dirty LLC evictions).
+    pub dram_write_bytes: u64,
+    /// Total bytes the program touched (CPU-side logical traffic).
+    pub logical_bytes: u64,
+    /// Non-sequential address jumps, counted per registered region (see
+    /// [`CacheSim::set_regions`]): an access whose line is neither the same
+    /// as nor adjacent to the previous access *to the same array*. This is
+    /// the "random memory access" count of the paper's §3/§5 analysis —
+    /// sequential scans of ptr/idx/value arrays contribute ~0, random
+    /// lookups contribute ~1 each.
+    pub random_jumps: u64,
+    region_bases: Vec<u64>,
+    last_line_per_region: Vec<Option<u64>>,
+}
+
+impl CacheSim {
+    /// Builds a simulator from a configuration.
+    pub fn new(cfg: &CacheConfig) -> Self {
+        Self {
+            levels: cfg.levels.iter().map(|&l| Level::new(l, cfg.line)).collect(),
+            line: cfg.line,
+            clock: 0,
+            level_stats: vec![LevelStats::default(); cfg.levels.len()],
+            dram_read_bytes: 0,
+            dram_write_bytes: 0,
+            logical_bytes: 0,
+            random_jumps: 0,
+            region_bases: Vec::new(),
+            last_line_per_region: vec![None],
+        }
+    }
+
+    /// Registers the base addresses of the arrays in the traced address
+    /// space (ascending), so random-jump counting is per-array. Without
+    /// registration the whole address space is one region and interleaved
+    /// array scans pollute the count.
+    pub fn set_regions(&mut self, bases: &[u64]) {
+        debug_assert!(bases.windows(2).all(|w| w[0] <= w[1]));
+        self.region_bases = bases.to_vec();
+        self.last_line_per_region = vec![None; bases.len() + 1];
+    }
+
+    /// Simulates a read of `bytes` at `addr` (split across lines).
+    pub fn read(&mut self, addr: u64, bytes: usize) {
+        self.access(addr, bytes, false);
+    }
+
+    /// Simulates a write of `bytes` at `addr` (write-allocate).
+    pub fn write(&mut self, addr: u64, bytes: usize) {
+        self.access(addr, bytes, true);
+    }
+
+    /// Total DRAM traffic in bytes.
+    pub fn dram_bytes(&self) -> u64 {
+        self.dram_read_bytes + self.dram_write_bytes
+    }
+
+    /// Clears all counters but keeps cache contents — call after a warm-up
+    /// pass so steady-state iterations are measured without cold misses.
+    pub fn reset_stats(&mut self) {
+        self.level_stats = vec![LevelStats::default(); self.levels.len()];
+        self.dram_read_bytes = 0;
+        self.dram_write_bytes = 0;
+        self.logical_bytes = 0;
+        self.random_jumps = 0;
+        self.last_line_per_region = vec![None; self.region_bases.len() + 1];
+    }
+
+    fn access(&mut self, addr: u64, bytes: usize, write: bool) {
+        self.logical_bytes += bytes as u64;
+        let first = addr / self.line as u64;
+        let region = self.region_bases.partition_point(|&b| b <= addr);
+        match self.last_line_per_region[region] {
+            Some(prev) if first == prev || first == prev + 1 => {}
+            Some(_) => self.random_jumps += 1,
+            None => {}
+        }
+        let last = (addr + bytes.max(1) as u64 - 1) / self.line as u64;
+        for line_addr in first..=last {
+            self.access_line(line_addr, write);
+        }
+        self.last_line_per_region[region] = Some(last);
+    }
+
+    fn access_line(&mut self, line_addr: u64, write: bool) {
+        self.clock += 1;
+        let mut hit_level = None;
+        for (i, level) in self.levels.iter_mut().enumerate() {
+            self.level_stats[i].references += 1;
+            if level.lookup(line_addr, write, self.clock) {
+                self.level_stats[i].hits += 1;
+                hit_level = Some(i);
+                break;
+            }
+            self.level_stats[i].misses += 1;
+        }
+        let fill_upto = match hit_level {
+            Some(0) => return,
+            Some(i) => i,
+            None => {
+                self.dram_read_bytes += self.line as u64;
+                self.levels.len()
+            }
+        };
+        // Fill all levels above the hit (inclusive hierarchy). Dirty
+        // evictions from the last level go to DRAM; dirty evictions from
+        // inner levels write back into the level below (already present in
+        // an inclusive hierarchy, so just mark dirty).
+        let clock = self.clock;
+        for i in (0..fill_upto).rev() {
+            if let Some(evicted) = self.levels[i].fill(line_addr, write, clock) {
+                if i + 1 == self.levels.len() {
+                    self.dram_write_bytes += self.line as u64;
+                } else {
+                    self.levels[i + 1].lookup(evicted, true, clock);
+                }
+            }
+        }
+        // An LLC-level dirty eviction when the hit was in LLC itself cannot
+        // happen (no fill at that level), which matches inclusion.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sim() -> CacheSim {
+        CacheSim::new(&CacheConfig::tiny_for_tests())
+    }
+
+    #[test]
+    fn first_touch_misses_everywhere_then_hits() {
+        let mut s = sim();
+        s.read(0, 4);
+        assert_eq!(s.level_stats[0].misses, 1);
+        assert_eq!(s.level_stats[1].misses, 1);
+        assert_eq!(s.dram_read_bytes, 16);
+        s.read(4, 4); // same 16-byte line
+        assert_eq!(s.level_stats[0].hits, 1);
+        assert_eq!(s.dram_read_bytes, 16);
+    }
+
+    #[test]
+    fn straddling_access_touches_two_lines() {
+        let mut s = sim();
+        s.read(12, 8); // crosses the line boundary at 16
+        assert_eq!(s.level_stats[0].references, 2);
+        assert_eq!(s.dram_read_bytes, 32);
+        assert_eq!(s.logical_bytes, 8);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        // L1: 64 B, 2-way, 16 B lines => 2 sets. Lines 0,2,4 map to set 0.
+        let mut s = sim();
+        s.read(0, 1); // line 0 -> set 0
+        s.read(32, 1); // line 2 -> set 0
+        s.read(0, 1); // refresh line 0
+        s.read(64, 1); // line 4 -> set 0, evicts line 2 (LRU)
+        s.read(0, 1); // still resident
+        assert_eq!(s.level_stats[0].hits, 2);
+        s.read(32, 1); // line 2 was evicted from L1, but hits L2
+        assert_eq!(s.level_stats[0].misses, 4);
+        assert_eq!(s.level_stats[1].hits, 1);
+    }
+
+    #[test]
+    fn dirty_eviction_writes_back_to_dram() {
+        // Write enough distinct lines to evict dirty data out of both
+        // levels. L2 = 256 B = 16 lines; write 64 lines.
+        let mut s = sim();
+        for i in 0..64u64 {
+            s.write(i * 16, 4);
+        }
+        assert!(s.dram_write_bytes > 0, "dirty evictions must reach DRAM");
+        assert_eq!(s.dram_read_bytes, 64 * 16); // write-allocate fills
+    }
+
+    #[test]
+    fn sequential_scan_has_high_hit_ratio() {
+        let mut s = CacheSim::new(&CacheConfig::paper_default());
+        for i in 0..100_000u64 {
+            s.read(i * 4, 4);
+        }
+        // 16 accesses per 64-byte line -> ~93.75 % L1 hits.
+        let l1 = s.level_stats[0];
+        assert!(l1.miss_ratio() < 0.07, "miss ratio {}", l1.miss_ratio());
+    }
+
+    #[test]
+    fn random_scan_has_low_hit_ratio() {
+        let mut s = CacheSim::new(&CacheConfig::paper_default());
+        // Touch a 400 MB range pseudo-randomly: way beyond LLC.
+        let mut x = 0x12345678u64;
+        for _ in 0..100_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s.read((x >> 16) % (400 << 20), 4);
+        }
+        let l1 = s.level_stats[0];
+        assert!(l1.miss_ratio() > 0.9, "miss ratio {}", l1.miss_ratio());
+        assert!(s.dram_read_bytes > 90_000 * 64);
+    }
+
+    #[test]
+    fn llc_capacity_respected() {
+        // A working set fitting in LLC but not L2: second pass must hit LLC.
+        let mut s = CacheSim::new(&CacheConfig::paper_default());
+        let lines = (4 << 20) / 64; // 4 MB
+        for pass in 0..2 {
+            for i in 0..lines as u64 {
+                s.read(i * 64, 1);
+            }
+            if pass == 1 {
+                let llc = s.level_stats[2];
+                assert!(llc.hits >= lines as u64, "LLC hits {}", llc.hits);
+            }
+        }
+        // No extra DRAM reads in the second pass.
+        assert_eq!(s.dram_read_bytes, lines as u64 * 64);
+    }
+
+    #[test]
+    fn miss_ratio_of_empty_stats() {
+        assert_eq!(LevelStats::default().miss_ratio(), 0.0);
+    }
+
+    #[test]
+    fn sequential_scan_has_zero_jumps() {
+        let mut s = sim();
+        for i in 0..1000u64 {
+            s.read(i * 4, 4);
+        }
+        assert_eq!(s.random_jumps, 0);
+    }
+
+    #[test]
+    fn random_pattern_counts_jumps() {
+        let mut s = sim();
+        // Alternate between two far-apart addresses within one region.
+        for i in 0..100u64 {
+            s.read((i % 2) * 100_000, 4);
+        }
+        assert_eq!(s.random_jumps, 99);
+    }
+
+    #[test]
+    fn interleaved_sequential_arrays_are_not_jumps_with_regions() {
+        let mut a = sim();
+        a.set_regions(&[0, 1_000_000]);
+        // Interleave two sequential scans, one per region.
+        for i in 0..500u64 {
+            a.read(i * 4, 4);
+            a.read(1_000_000 + i * 4, 4);
+        }
+        assert_eq!(a.random_jumps, 0);
+        // Without regions the same pattern is all jumps.
+        let mut b = sim();
+        for i in 0..500u64 {
+            b.read(i * 4, 4);
+            b.read(1_000_000 + i * 4, 4);
+        }
+        assert!(b.random_jumps > 900);
+    }
+
+    #[test]
+    fn reset_stats_clears_jump_state() {
+        let mut s = sim();
+        s.read(0, 4);
+        s.read(100_000, 4);
+        assert_eq!(s.random_jumps, 1);
+        s.reset_stats();
+        assert_eq!(s.random_jumps, 0);
+        // First access after reset is never a jump.
+        s.read(500_000, 4);
+        assert_eq!(s.random_jumps, 0);
+    }
+}

@@ -1,0 +1,25 @@
+//! Software cache-hierarchy and memory-traffic simulator.
+//!
+//! The paper measures cache references with Linux `perf` and memory traffic
+//! with likwid on a two-socket Xeon (§6.1: L1 64 KB, L2 1 MB, LLC 27.5 MB).
+//! Those counters are unavailable here, so this crate simulates the
+//! hierarchy directly:
+//!
+//! * [`cache::CacheSim`] — set-associative LRU levels with write-back /
+//!   write-allocate semantics and DRAM-traffic accounting.
+//! * [`layout::MemLayout`] — a synthetic address space assigning each data
+//!   array a disjoint range, so traces model the real arrays' spatial
+//!   locality.
+//! * [`traced`] — *instrumented twins* of the Pull, Block and Mixen
+//!   per-iteration kernels: they replay the exact access streams of the real
+//!   implementations into the simulator. The hit/miss/traffic *ratios*
+//!   between variants — which is what Figs. 4, 5 and 7 plot — are determined
+//!   by those streams.
+
+pub mod cache;
+pub mod layout;
+pub mod traced;
+
+pub use cache::{CacheConfig, CacheSim, LevelStats};
+pub use layout::MemLayout;
+pub use traced::{trace_block, trace_mixen, trace_pull, trace_push, TraceReport};

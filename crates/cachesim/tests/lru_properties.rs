@@ -1,0 +1,100 @@
+//! Property-based tests of the cache simulator: LRU/working-set laws that
+//! must hold for arbitrary access sequences.
+
+use mixen_cachesim::{CacheConfig, CacheSim};
+use proptest::prelude::*;
+
+fn single_level(capacity: usize, ways: usize, line: usize) -> CacheConfig {
+    CacheConfig {
+        line,
+        levels: vec![mixen_cachesim::cache::LevelConfig { capacity, ways }],
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Counters are always consistent: refs = hits + misses at each level,
+    /// and a lower level's references equal the upper level's misses.
+    #[test]
+    fn counter_identities(addrs in proptest::collection::vec(0u64..10_000, 1..200)) {
+        let mut sim = CacheSim::new(&CacheConfig::tiny_for_tests());
+        for (i, &a) in addrs.iter().enumerate() {
+            if i % 3 == 0 {
+                sim.write(a, 4);
+            } else {
+                sim.read(a, 4);
+            }
+        }
+        for s in &sim.level_stats {
+            prop_assert_eq!(s.references, s.hits + s.misses);
+        }
+        for w in sim.level_stats.windows(2) {
+            prop_assert_eq!(w[0].misses, w[1].references);
+        }
+        // DRAM reads = last-level miss fills.
+        let llc = sim.level_stats.last().unwrap();
+        prop_assert_eq!(sim.dram_read_bytes, llc.misses * 16);
+    }
+
+    /// Immediately repeating an access always hits L1.
+    #[test]
+    fn repeat_access_hits(addrs in proptest::collection::vec(0u64..100_000, 1..100)) {
+        let mut sim = CacheSim::new(&CacheConfig::tiny_for_tests());
+        for &a in &addrs {
+            sim.read(a, 1);
+            let misses_before = sim.level_stats[0].misses;
+            sim.read(a, 1);
+            prop_assert_eq!(sim.level_stats[0].misses, misses_before, "repeat of {} missed", a);
+        }
+    }
+
+    /// A fully-associative cache obeys the LRU stack property: any address
+    /// re-accessed after at most `ways - 1` distinct other lines must hit.
+    #[test]
+    fn lru_stack_property(
+        others in proptest::collection::vec(1u64..1000, 0..3),
+    ) {
+        // 4-way fully associative (capacity 64, line 16 -> 4 lines, 1 set).
+        let mut sim = CacheSim::new(&single_level(64, 4, 16));
+        sim.read(0, 1);
+        for &o in &others {
+            sim.read(o * 16, 1); // distinct lines, same single set
+        }
+        let misses_before = sim.level_stats[0].misses;
+        sim.read(0, 1);
+        prop_assert_eq!(
+            sim.level_stats[0].misses, misses_before,
+            "line 0 evicted after only {} intervening lines", others.len()
+        );
+    }
+
+    /// Traffic is monotone: adding accesses never decreases any counter.
+    #[test]
+    fn counters_are_monotone(addrs in proptest::collection::vec(0u64..50_000, 2..100)) {
+        let mut sim = CacheSim::new(&CacheConfig::tiny_for_tests());
+        let mut last = (0u64, 0u64, 0u64);
+        for &a in &addrs {
+            sim.write(a, 4);
+            let now = (
+                sim.level_stats[0].references,
+                sim.dram_read_bytes + sim.dram_write_bytes,
+                sim.logical_bytes,
+            );
+            prop_assert!(now.0 >= last.0 && now.1 >= last.1 && now.2 > last.2);
+            last = now;
+        }
+    }
+
+    /// Jump counting never exceeds the access count and resets cleanly.
+    #[test]
+    fn jumps_bounded_by_accesses(addrs in proptest::collection::vec(0u64..100_000, 1..200)) {
+        let mut sim = CacheSim::new(&CacheConfig::tiny_for_tests());
+        for &a in &addrs {
+            sim.read(a, 1);
+        }
+        prop_assert!(sim.random_jumps < addrs.len() as u64);
+        sim.reset_stats();
+        prop_assert_eq!(sim.random_jumps, 0);
+    }
+}

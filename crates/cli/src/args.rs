@@ -1,0 +1,129 @@
+//! Minimal flag parser shared by the subcommands.
+//!
+//! Supports `--flag value` pairs and bare positional arguments, with typed
+//! accessors that produce readable errors. Deliberately dependency-free.
+
+use std::collections::BTreeMap;
+
+/// Parsed command-line arguments: positionals plus `--key value` options.
+#[derive(Clone, Debug, Default)]
+pub struct Args {
+    positional: Vec<String>,
+    options: BTreeMap<String, String>,
+}
+
+/// A user-facing argument error.
+pub type ArgError = String;
+
+impl Args {
+    /// Parses raw arguments (without the program/subcommand names).
+    pub fn parse(raw: impl IntoIterator<Item = String>) -> Result<Self, ArgError> {
+        let mut out = Args::default();
+        let mut iter = raw.into_iter();
+        while let Some(tok) = iter.next() {
+            if let Some(key) = tok.strip_prefix("--") {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| format!("--{key} requires a value"))?;
+                if out.options.insert(key.to_string(), value).is_some() {
+                    return Err(format!("--{key} given twice"));
+                }
+            } else {
+                out.positional.push(tok);
+            }
+        }
+        Ok(out)
+    }
+
+    /// The `i`-th positional argument.
+    pub fn positional(&self, i: usize, name: &str) -> Result<&str, ArgError> {
+        self.positional
+            .get(i)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing <{name}> argument"))
+    }
+
+    /// Number of positional arguments.
+    pub fn positional_len(&self) -> usize {
+        self.positional.len()
+    }
+
+    /// Optional string flag.
+    pub fn opt(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// Optional parsed flag.
+    pub fn opt_parse<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, ArgError> {
+        match self.options.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("--{key} has invalid value '{v}'")),
+        }
+    }
+
+    /// Parsed flag with a default.
+    pub fn opt_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError> {
+        Ok(self.opt_parse(key)?.unwrap_or(default))
+    }
+
+    /// Rejects unknown option keys (call after reading the known ones).
+    pub fn expect_only(&self, known: &[&str]) -> Result<(), ArgError> {
+        for key in self.options.keys() {
+            if !known.contains(&key.as_str()) {
+                return Err(format!("unknown flag --{key}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Result<Args, ArgError> {
+        Args::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn mixes_positional_and_flags() {
+        let a = parse("input.mxg --iters 10 output.tsv --algo pagerank").unwrap();
+        assert_eq!(a.positional(0, "input").unwrap(), "input.mxg");
+        assert_eq!(a.positional(1, "output").unwrap(), "output.tsv");
+        assert_eq!(a.opt("algo"), Some("pagerank"));
+        assert_eq!(a.opt_or("iters", 0usize).unwrap(), 10);
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        assert!(parse("--iters").is_err());
+    }
+
+    #[test]
+    fn duplicate_flag_is_an_error() {
+        assert!(parse("--x 1 --x 2").is_err());
+    }
+
+    #[test]
+    fn invalid_typed_value() {
+        let a = parse("--iters ten").unwrap();
+        assert!(a.opt_or("iters", 0usize).is_err());
+    }
+
+    #[test]
+    fn unknown_flags_rejected() {
+        let a = parse("--good 1 --bad 2").unwrap();
+        assert!(a.expect_only(&["good"]).is_err());
+        assert!(a.expect_only(&["good", "bad"]).is_ok());
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = parse("").unwrap();
+        assert_eq!(a.opt_or("seed", 42u64).unwrap(), 42);
+        assert!(a.positional(0, "x").is_err());
+    }
+}

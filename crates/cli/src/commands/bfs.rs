@@ -1,0 +1,43 @@
+//! `mixen bfs` — breadth-first search with reachability summary.
+
+use crate::args::{ArgError, Args};
+use crate::commands::{build_engine, load_graph};
+use mixen_algos::{bfs, default_root, summarize};
+
+pub fn run(args: &Args) -> Result<(), ArgError> {
+    args.expect_only(&["root", "engine", "out"])?;
+    let path = args.positional(0, "graph.mxg")?;
+    let g = load_graph(path)?;
+    let engine = build_engine(args.opt("engine"), &g)?;
+    let root: u32 = match args.opt_parse("root")? {
+        Some(r) => {
+            if (r as usize) >= g.n() {
+                return Err(format!("--root {r} out of range (n = {})", g.n()));
+            }
+            r
+        }
+        None => default_root(&g),
+    };
+
+    let t = std::time::Instant::now();
+    let depths = bfs(&engine, root);
+    let secs = t.elapsed().as_secs_f64();
+    let (reached, max_depth) = summarize(&depths);
+    println!(
+        "bfs from {root}: reached {reached}/{} nodes, max depth {max_depth}, {secs:.3}s",
+        g.n()
+    );
+
+    if let Some(out) = args.opt("out") {
+        use std::io::Write;
+        let mut w = std::io::BufWriter::new(
+            std::fs::File::create(out).map_err(|e| format!("cannot create '{out}': {e}"))?,
+        );
+        writeln!(w, "# node\tdepth").map_err(|e| e.to_string())?;
+        for (v, d) in depths.iter().enumerate() {
+            writeln!(w, "{v}\t{d}").map_err(|e| e.to_string())?;
+        }
+        println!("wrote depths to {out}");
+    }
+    Ok(())
+}

@@ -1,0 +1,37 @@
+//! `mixen convert` — convert between the text edge-list format and the
+//! binary MXG1 CSR format (either direction, inferred from extensions).
+
+use std::io::BufReader;
+
+use crate::args::{ArgError, Args};
+
+pub fn run(args: &Args) -> Result<(), ArgError> {
+    args.expect_only(&["min-nodes"])?;
+    if args.positional_len() != 2 {
+        return Err("convert takes exactly <input> and <output>".into());
+    }
+    let input = args.positional(0, "input")?;
+    let output = args.positional(1, "output")?;
+    let min_n: usize = args.opt_or("min-nodes", 0)?;
+
+    let g = if input.ends_with(".mxg") {
+        mixen_graph::io::load(input).map_err(|e| format!("cannot read '{input}': {e}"))?
+    } else {
+        let file =
+            std::fs::File::open(input).map_err(|e| format!("cannot open '{input}': {e}"))?;
+        mixen_graph::io::read_edge_list(BufReader::new(file), min_n)
+            .map_err(|e| format!("cannot parse '{input}': {e}"))?
+    };
+
+    if output.ends_with(".mxg") {
+        mixen_graph::io::save(&g, output).map_err(|e| format!("cannot write '{output}': {e}"))?;
+    } else {
+        let mut file = std::io::BufWriter::new(
+            std::fs::File::create(output).map_err(|e| format!("cannot create '{output}': {e}"))?,
+        );
+        mixen_graph::io::write_edge_list(&g, &mut file)
+            .map_err(|e| format!("cannot write '{output}': {e}"))?;
+    }
+    println!("converted {input} -> {output} (n = {}, m = {})", g.n(), g.m());
+    Ok(())
+}

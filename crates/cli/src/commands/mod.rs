@@ -1,0 +1,50 @@
+//! Subcommand implementations.
+
+pub mod bfs;
+pub mod convert;
+pub mod gen;
+pub mod rank;
+pub mod stats;
+
+use crate::args::ArgError;
+use mixen_algos::{AnyEngine, EngineKind};
+use mixen_graph::{Dataset, Graph, Scale};
+
+/// Loads a binary `.mxg` graph, mapping I/O errors to user-facing text.
+pub fn load_graph(path: &str) -> Result<Graph, ArgError> {
+    mixen_graph::io::load(path).map_err(|e| format!("cannot read graph '{path}': {e}"))
+}
+
+/// Parses `--scale`.
+pub fn parse_scale(s: Option<&str>) -> Result<Scale, ArgError> {
+    Ok(match s.unwrap_or("tiny") {
+        "tiny" => Scale::Tiny,
+        "small" => Scale::Small,
+        "medium" => Scale::Medium,
+        "large" => Scale::Large,
+        other => return Err(format!("unknown scale '{other}'")),
+    })
+}
+
+/// Parses `--dataset`.
+pub fn parse_dataset(s: &str) -> Result<Dataset, ArgError> {
+    Dataset::from_name(s).ok_or_else(|| {
+        format!(
+            "unknown dataset '{s}' (expected one of: {})",
+            Dataset::ALL.map(|d| d.name()).join(" ")
+        )
+    })
+}
+
+/// Parses `--engine` and builds it over `g`.
+pub fn build_engine<'g>(s: Option<&str>, g: &'g Graph) -> Result<AnyEngine<'g>, ArgError> {
+    let kind = match s.unwrap_or("mixen") {
+        "mixen" => EngineKind::Mixen,
+        "gpop" => EngineKind::Gpop,
+        "ligra" => EngineKind::Ligra,
+        "polymer" => EngineKind::Polymer,
+        "graphmat" => EngineKind::GraphMat,
+        other => return Err(format!("unknown engine '{other}'")),
+    };
+    Ok(AnyEngine::build(kind, g))
+}

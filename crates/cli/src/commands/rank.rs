@@ -1,0 +1,85 @@
+//! `mixen rank` — run a link-analysis algorithm and print/save the scores.
+
+use std::io::Write;
+
+use crate::args::{ArgError, Args};
+use crate::commands::{build_engine, load_graph};
+use mixen_algos::{
+    collaborative_filtering, hits, indegree, pagerank, salsa, CfOpts, PageRankOpts,
+};
+
+pub fn run(args: &Args) -> Result<(), ArgError> {
+    args.expect_only(&["algo", "engine", "iters", "top", "out", "damping"])?;
+    let path = args.positional(0, "graph.mxg")?;
+    let g = load_graph(path)?;
+    let engine = build_engine(args.opt("engine"), &g)?;
+    let iters: usize = args.opt_or("iters", 20)?;
+    let top: usize = args.opt_or("top", 10)?;
+    let algo = args.opt("algo").unwrap_or("pagerank");
+
+    let (label, scores): (&str, Vec<f32>) = match algo {
+        "indegree" => ("indegree", indegree(&engine)),
+        "pagerank" => {
+            let damping: f32 = args.opt_or("damping", 0.85)?;
+            (
+                "pagerank",
+                pagerank(
+                    &g,
+                    &engine,
+                    PageRankOpts {
+                        damping,
+                        ..PageRankOpts::default()
+                    },
+                    iters,
+                ),
+            )
+        }
+        "hits" => {
+            let rev = g.reversed();
+            let engine_rev = build_engine(args.opt("engine"), &rev)?;
+            ("hits-authority", hits(g.n(), &engine, &engine_rev, iters).authority)
+        }
+        "salsa" => {
+            let rev = g.reversed();
+            let engine_rev = build_engine(args.opt("engine"), &rev)?;
+            ("salsa-authority", salsa(&g, &engine, &engine_rev, iters).authority)
+        }
+        "cf" => {
+            let vecs = collaborative_filtering(
+                &g,
+                &engine,
+                CfOpts {
+                    blend: 0.5,
+                    iters,
+                },
+            );
+            // Report the L2 norm of each latent vector as a scalar score.
+            (
+                "cf-norm",
+                vecs.iter()
+                    .map(|v| v.iter().map(|x| x * x).sum::<f32>().sqrt())
+                    .collect(),
+            )
+        }
+        other => return Err(format!("unknown algorithm '{other}'")),
+    };
+
+    if let Some(out) = args.opt("out") {
+        let mut w = std::io::BufWriter::new(
+            std::fs::File::create(out).map_err(|e| format!("cannot create '{out}': {e}"))?,
+        );
+        writeln!(w, "# node\t{label}").map_err(|e| e.to_string())?;
+        for (v, s) in scores.iter().enumerate() {
+            writeln!(w, "{v}\t{s}").map_err(|e| e.to_string())?;
+        }
+        println!("wrote {} scores to {out}", scores.len());
+    }
+
+    let mut ranked: Vec<(usize, f32)> = scores.iter().copied().enumerate().collect();
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
+    println!("top {top} nodes by {label}:");
+    for (v, s) in ranked.iter().take(top) {
+        println!("  {v:>10}  {s:.6}");
+    }
+    Ok(())
+}

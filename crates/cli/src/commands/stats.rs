@@ -1,0 +1,61 @@
+//! `mixen stats` — structural report for a graph: the paper's Table 1/2
+//! attributes, degree-distribution skew and component structure.
+
+use crate::args::{ArgError, Args};
+use crate::commands::load_graph;
+use mixen_graph::{
+    weakly_connected_components, DegreeDistribution, Direction, StructuralStats,
+};
+
+pub fn run(args: &Args) -> Result<(), ArgError> {
+    args.expect_only(&[])?;
+    let path = args.positional(0, "graph.mxg")?;
+    let g = load_graph(path)?;
+
+    let s = StructuralStats::of(&g);
+    println!("{path}");
+    println!("  nodes            {:>12}", s.n);
+    println!("  edges            {:>12}", s.m);
+    println!("  avg degree       {:>12.2}", g.avg_degree());
+    println!("  symmetric        {:>12}", s.symmetric);
+    println!("  skewed           {:>12}", s.is_skewed());
+    println!();
+    println!("connectivity classes (the paper's Table 1):");
+    println!("  regular          {:>11.1}%   alpha = {:.3}", s.frac_regular * 100.0, s.alpha);
+    println!("  seed (out-only)  {:>11.1}%", s.frac_seed * 100.0);
+    println!("  sink (in-only)   {:>11.1}%", s.frac_sink * 100.0);
+    println!("  isolated         {:>11.1}%", s.frac_isolated * 100.0);
+    println!("  hubs             {:>11.1}%   owning {:.1}% of in-edges", s.v_hub * 100.0, s.e_hub * 100.0);
+    println!("  beta (reg-reg edges) {:>8.3}", s.beta);
+    println!();
+
+    let din = DegreeDistribution::of(&g, Direction::In, g.avg_degree().ceil() as u32);
+    println!("in-degree distribution:");
+    println!("  max              {:>12}", din.max);
+    println!("  gini             {:>12.3}", din.gini);
+    println!(
+        "  top 1% share     {:>11.1}%",
+        din.top_share(0.01) * 100.0
+    );
+    if let Some(alpha) = din.powerlaw_alpha {
+        println!("  power-law alpha  {:>12.2}", alpha);
+    }
+    print!("  log2 histogram  ");
+    for (i, &c) in din.bins.iter().enumerate() {
+        if c > 0 {
+            print!(" 2^{i}:{c}");
+        }
+    }
+    println!();
+    println!();
+
+    let comps = weakly_connected_components(&g);
+    println!("weak components:");
+    println!("  count            {:>12}", comps.count);
+    println!(
+        "  largest          {:>12} ({:.1}% of nodes)",
+        comps.largest,
+        comps.largest_fraction() * 100.0
+    );
+    Ok(())
+}

@@ -1,0 +1,5 @@
+//! Library surface of the `mixen` CLI — exposed so the subcommands are
+//! unit-testable without spawning processes.
+
+pub mod args;
+pub mod commands;

@@ -1,0 +1,53 @@
+//! `mixen` — command-line interface to the Mixen graph-analytics framework.
+//!
+//! ```text
+//! mixen gen     --dataset wiki --scale tiny --seed 42 --out wiki.mxg
+//! mixen convert edges.txt graph.mxg          # text edge list -> binary CSR
+//! mixen stats   graph.mxg                    # structure, degrees, components
+//! mixen rank    graph.mxg --algo pagerank --engine mixen --iters 100 --top 10
+//! mixen bfs     graph.mxg --root 0 --engine mixen
+//! ```
+
+use mixen_cli::args::Args;
+use mixen_cli::commands;
+
+fn main() {
+    let mut argv = std::env::args().skip(1);
+    let sub = argv.next().unwrap_or_else(|| usage(None));
+    let parsed = Args::parse(argv).unwrap_or_else(|e| usage(Some(&e)));
+    let result = match sub.as_str() {
+        "gen" => commands::gen::run(&parsed),
+        "convert" => commands::convert::run(&parsed),
+        "stats" => commands::stats::run(&parsed),
+        "rank" => commands::rank::run(&parsed),
+        "bfs" => commands::bfs::run(&parsed),
+        "help" | "--help" | "-h" => usage(None),
+        other => usage(Some(&format!("unknown subcommand '{other}'"))),
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn usage(err: Option<&str>) -> ! {
+    if let Some(e) = err {
+        eprintln!("error: {e}\n");
+    }
+    eprintln!(
+        "mixen — connectivity-aware link analysis for skewed graphs\n\
+         \n\
+         usage: mixen <subcommand> [args]\n\
+         \n\
+         subcommands:\n\
+         \x20 gen      --dataset <name> [--scale tiny|small|medium|large] [--seed N] --out <file.mxg>\n\
+         \x20 convert  <in: .txt edge list | .mxg> <out: .mxg | .txt>\n\
+         \x20 stats    <graph.mxg>\n\
+         \x20 rank     <graph.mxg> [--algo indegree|pagerank|hits|salsa|cf] [--engine mixen|gpop|ligra|polymer|graphmat]\n\
+         \x20          [--iters N] [--top K] [--out scores.tsv]\n\
+         \x20 bfs      <graph.mxg> [--root N] [--engine ...]\n\
+         \n\
+         datasets: weibo track wiki pld rmat kron road urand"
+    );
+    std::process::exit(if err.is_some() { 2 } else { 0 })
+}

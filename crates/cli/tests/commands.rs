@@ -1,0 +1,121 @@
+//! End-to-end tests of the CLI subcommands through their library entry
+//! points (no process spawning): generate → stats → rank → bfs → convert
+//! over temp files, plus error paths.
+
+use mixen_cli::args::Args;
+use mixen_cli::commands;
+
+fn args(s: &str) -> Args {
+    Args::parse(s.split_whitespace().map(String::from)).unwrap()
+}
+
+fn tmpdir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("mixen_cli_test_{name}"));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn gen_stats_rank_bfs_pipeline() {
+    let dir = tmpdir("pipeline");
+    let mxg = dir.join("g.mxg");
+    let scores = dir.join("scores.tsv");
+    let mxg_s = mxg.to_str().unwrap();
+
+    commands::gen::run(&args(&format!(
+        "--dataset track --scale tiny --seed 5 --out {mxg_s}"
+    )))
+    .unwrap();
+    assert!(mxg.exists());
+
+    commands::stats::run(&args(mxg_s)).unwrap();
+
+    commands::rank::run(&args(&format!(
+        "{mxg_s} --algo pagerank --engine gpop --iters 5 --top 3 --out {}",
+        scores.to_str().unwrap()
+    )))
+    .unwrap();
+    let body = std::fs::read_to_string(&scores).unwrap();
+    assert!(body.starts_with("# node\tpagerank"));
+    // One line per node plus header.
+    let g = mixen_graph::io::load(&mxg).unwrap();
+    assert_eq!(body.lines().count(), g.n() + 1);
+
+    commands::bfs::run(&args(&format!("{mxg_s} --engine ligra"))).unwrap();
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn convert_roundtrip_is_identical() {
+    let dir = tmpdir("convert");
+    let mxg = dir.join("a.mxg");
+    let txt = dir.join("a.txt");
+    let back = dir.join("b.mxg");
+    commands::gen::run(&args(&format!(
+        "--dataset rmat --scale tiny --seed 2 --out {}",
+        mxg.to_str().unwrap()
+    )))
+    .unwrap();
+    commands::convert::run(&args(&format!(
+        "{} {}",
+        mxg.to_str().unwrap(),
+        txt.to_str().unwrap()
+    )))
+    .unwrap();
+    commands::convert::run(&args(&format!(
+        "{} {}",
+        txt.to_str().unwrap(),
+        back.to_str().unwrap()
+    )))
+    .unwrap();
+    let a = std::fs::read(&mxg).unwrap();
+    let b = std::fs::read(&back).unwrap();
+    assert_eq!(a, b, "binary -> text -> binary must be lossless");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn every_algo_and_engine_combination_runs() {
+    let dir = tmpdir("matrix");
+    let mxg = dir.join("g.mxg");
+    let mxg_s = mxg.to_str().unwrap();
+    commands::gen::run(&args(&format!(
+        "--dataset wiki --scale tiny --seed 8 --out {mxg_s}"
+    )))
+    .unwrap();
+    for algo in ["indegree", "pagerank", "hits", "salsa", "cf"] {
+        for engine in ["mixen", "gpop", "ligra", "polymer", "graphmat"] {
+            commands::rank::run(&args(&format!(
+                "{mxg_s} --algo {algo} --engine {engine} --iters 2 --top 1"
+            )))
+            .unwrap_or_else(|e| panic!("{algo}/{engine}: {e}"));
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn error_paths_are_reported() {
+    assert!(commands::gen::run(&args("--dataset nope --out /tmp/x.mxg")).is_err());
+    assert!(commands::gen::run(&args("--dataset wiki")).is_err(), "--out required");
+    assert!(commands::stats::run(&args("/nonexistent/file.mxg")).is_err());
+    assert!(commands::rank::run(&args("/nonexistent.mxg")).is_err());
+    assert!(commands::convert::run(&args("only_one_arg")).is_err());
+
+    let dir = tmpdir("errors");
+    let mxg = dir.join("g.mxg");
+    let mxg_s = mxg.to_str().unwrap();
+    commands::gen::run(&args(&format!(
+        "--dataset urand --scale tiny --out {mxg_s}"
+    )))
+    .unwrap();
+    assert!(commands::rank::run(&args(&format!("{mxg_s} --algo nope"))).is_err());
+    assert!(commands::rank::run(&args(&format!("{mxg_s} --engine nope"))).is_err());
+    assert!(commands::bfs::run(&args(&format!("{mxg_s} --root 999999999"))).is_err());
+    assert!(
+        commands::rank::run(&args(&format!("{mxg_s} --bogus 1"))).is_err(),
+        "unknown flags must be rejected"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,189 @@
+//! Dynamic and static propagation bins (§4.2).
+//!
+//! * [`DynamicBins`] are rewritten every iteration: the Scatter step streams
+//!   one value per (source, block) pair into them — sequential writes — and
+//!   the Gather step drains them column-wise — sequential reads. They turn
+//!   the random memory jumps of direct propagation into streaming accesses.
+//! * [`StaticBin`] is written once in the Pre-Phase: it accumulates the
+//!   contributions of seed nodes to every regular node. Because seeds never
+//!   change, the Cache step of every subsequent iteration simply re-primes
+//!   the accumulator from this bin instead of re-propagating seed messages.
+//!   It is shared across all blocks of a block-row (the paper allocates it
+//!   per block-row as a 1-D vector; a single `r`-length vector segmented by
+//!   row ranges is the same layout).
+
+use mixen_graph::{Csr, PropValue};
+use rayon::prelude::*;
+
+use crate::block::BlockedSubgraph;
+
+/// Per-iteration value streams, one `Vec` per (block-row task, block-col).
+#[derive(Clone, Debug)]
+pub struct DynamicBins<V> {
+    per_task: Vec<TaskBins<V>>,
+}
+
+/// The bins owned by one scatter task (one per block-column).
+#[derive(Clone, Debug)]
+pub struct TaskBins<V> {
+    per_col: Vec<Vec<V>>,
+}
+
+impl<V: PropValue> DynamicBins<V> {
+    /// Allocates value streams sized to the compressed message counts of
+    /// `blocked`. Allocation happens once; iterations only overwrite.
+    pub fn new(blocked: &BlockedSubgraph) -> Self {
+        let per_task = blocked
+            .rows()
+            .iter()
+            .map(|row| TaskBins {
+                per_col: row
+                    .blocks
+                    .iter()
+                    .map(|b| vec![V::identity(); b.msg_count()])
+                    .collect(),
+            })
+            .collect();
+        Self { per_task }
+    }
+
+    /// Mutable slice of all task bins (scatter side).
+    pub fn tasks_mut(&mut self) -> &mut [TaskBins<V>] {
+        &mut self.per_task
+    }
+
+    /// Shared view of all task bins (gather side).
+    pub fn tasks(&self) -> &[TaskBins<V>] {
+        &self.per_task
+    }
+
+    /// Total buffered values per iteration.
+    pub fn total_slots(&self) -> usize {
+        self.per_task
+            .iter()
+            .flat_map(|t| t.per_col.iter())
+            .map(Vec::len)
+            .sum()
+    }
+}
+
+impl<V: PropValue> TaskBins<V> {
+    /// The value stream for block-column `j`.
+    #[inline]
+    pub fn col(&self, j: usize) -> &[V] {
+        &self.per_col[j]
+    }
+
+    /// Mutable value stream for block-column `j`.
+    #[inline]
+    pub fn col_mut(&mut self, j: usize) -> &mut [V] {
+        &mut self.per_col[j]
+    }
+}
+
+/// The seed-contribution cache: `sta[v] = Σ_{seed s → v} value(s)` for every
+/// regular node `v`.
+#[derive(Clone, Debug)]
+pub struct StaticBin<V> {
+    vals: Vec<V>,
+}
+
+impl<V: PropValue> StaticBin<V> {
+    /// Pre-Phase: pushes every seed's value along its seed→regular edges and
+    /// accumulates per destination. Parallelized as a fold over seed-row
+    /// chunks with a tree reduction.
+    pub fn compute(seed_csr: &Csr, seed_vals: &[V], r: usize) -> Self {
+        assert_eq!(seed_csr.n_rows(), seed_vals.len());
+        assert_eq!(seed_csr.n_cols(), r);
+        let vals = (0..seed_csr.n_rows() as u32)
+            .into_par_iter()
+            .fold(
+                || vec![V::identity(); r],
+                |mut acc, s| {
+                    let v = seed_vals[s as usize];
+                    for &d in seed_csr.neighbors(s) {
+                        acc[d as usize].combine(v);
+                    }
+                    acc
+                },
+            )
+            .reduce(
+                || vec![V::identity(); r],
+                |mut a, b| {
+                    for (x, y) in a.iter_mut().zip(b) {
+                        x.combine(y);
+                    }
+                    a
+                },
+            );
+        Self { vals }
+    }
+
+    /// An all-identity bin for graphs without seeds (or with the Cache step
+    /// disabled at priming time).
+    pub fn zero(r: usize) -> Self {
+        Self {
+            vals: vec![V::identity(); r],
+        }
+    }
+
+    /// The cached contributions, indexed by regular (new) ID.
+    #[inline]
+    pub fn values(&self) -> &[V] {
+        &self.vals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MixenOpts;
+    use mixen_graph::Csr;
+
+    #[test]
+    fn dynamic_bins_match_block_geometry() {
+        let csr = Csr::from_edges(8, &[(0, 1), (0, 5), (1, 4), (7, 0), (7, 1)]);
+        let blocked = BlockedSubgraph::new(
+            &csr,
+            &MixenOpts {
+                block_side: 4,
+                min_tasks_per_thread: 1,
+                ..MixenOpts::default()
+            },
+            1,
+        );
+        let bins: DynamicBins<f32> = DynamicBins::new(&blocked);
+        assert_eq!(bins.total_slots(), blocked.total_msg_slots());
+        // Node 0 hits cols {1} and {5}: one slot in each column block.
+        // Node 7 hits cols {0,1}: one compressed slot.
+        assert_eq!(bins.total_slots(), 4);
+    }
+
+    #[test]
+    fn static_bin_accumulates_seed_pushes() {
+        // 2 seeds over 3 regular nodes: seed 0 -> {0, 2}, seed 1 -> {2}.
+        let seed_csr = Csr::from_edges_rect(2, 3, &[(0, 0), (0, 2), (1, 2)]);
+        let sta = StaticBin::compute(&seed_csr, &[1.5f32, 2.0], 3);
+        assert_eq!(sta.values(), &[1.5, 0.0, 3.5]);
+    }
+
+    #[test]
+    fn static_bin_zero() {
+        let sta: StaticBin<f32> = StaticBin::zero(4);
+        assert_eq!(sta.values(), &[0.0; 4]);
+    }
+
+    #[test]
+    fn static_bin_no_seeds() {
+        let seed_csr = Csr::from_edges_rect(0, 3, &[]);
+        let sta = StaticBin::compute(&seed_csr, &[] as &[f32], 3);
+        assert_eq!(sta.values(), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn static_bin_vector_values() {
+        let seed_csr = Csr::from_edges_rect(1, 2, &[(0, 1)]);
+        let sta = StaticBin::compute(&seed_csr, &[[1.0f32, 2.0]], 2);
+        assert_eq!(sta.values(), &[[0.0, 0.0], [1.0, 2.0]]);
+    }
+}

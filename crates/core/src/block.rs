@@ -1,0 +1,389 @@
+//! 2-D partitioning of the regular subgraph (§4.2).
+//!
+//! The `r × r` regular adjacency is cut into cache-sized blocks. Block-rows
+//! (source ranges) are the parallel unit of the Scatter step; fixed-width
+//! block-columns (destination ranges) are the parallel unit of the Gather
+//! step. Each block stores a *compressed local CSR*:
+//!
+//! * `src_ids`  — local source indices with ≥ 1 edge into this block,
+//! * `dest_ptr` — per-source offsets into `dests`,
+//! * `dests`    — local destination indices.
+//!
+//! A dynamic bin streams exactly **one value per `src_ids` entry** per
+//! iteration — the paper's edge-compression technique [Lakhotia et al.,
+//! ATC'18]: messages from one source to many destinations inside a block
+//! collapse into a single transmission. (The paper encodes the same
+//! information with an MSB flag on the first destination of each source;
+//! the explicit `src_ids`/`dest_ptr` arrays carry identical content and
+//! additionally enable the sparse frontier traversal used by BFS.)
+//!
+//! Load balancing (§4.2): block-row heights start at the block side `c`,
+//! but any row range whose edge count exceeds `balance_factor ×` the
+//! average block-row load is split greedily, so the number of non-zeros per
+//! scatter task stays bounded.
+
+use mixen_graph::Csr;
+use rayon::prelude::*;
+
+use crate::MixenOpts;
+
+/// One cache-sized block: the edges from a source row range into one
+/// destination column range, in compressed-local-CSR form.
+#[derive(Clone, Debug, Default)]
+pub struct Block {
+    /// Local source indices (ascending) that own at least one edge here.
+    pub src_ids: Box<[u32]>,
+    /// Offsets into `dests`; length `src_ids.len() + 1`.
+    pub dest_ptr: Box<[u32]>,
+    /// Local destination indices, grouped by source.
+    pub dests: Box<[u32]>,
+}
+
+impl Block {
+    /// Number of edges stored in the block.
+    pub fn nnz(&self) -> usize {
+        self.dests.len()
+    }
+
+    /// Number of values a dynamic bin streams for this block per iteration
+    /// (the compressed message count).
+    pub fn msg_count(&self) -> usize {
+        self.src_ids.len()
+    }
+
+    /// The destinations of the `k`-th active source.
+    #[inline]
+    pub fn dests_of(&self, k: usize) -> &[u32] {
+        &self.dests[self.dest_ptr[k] as usize..self.dest_ptr[k + 1] as usize]
+    }
+}
+
+/// A load-balanced block-row: one scatter task.
+#[derive(Clone, Debug)]
+pub struct BlockRow {
+    /// Source node range (new IDs within the regular subgraph).
+    pub src_start: u32,
+    /// Exclusive end of the source range.
+    pub src_end: u32,
+    /// One block per block-column.
+    pub blocks: Vec<Block>,
+    /// Total edges in this row range.
+    pub nnz: usize,
+}
+
+/// The blocked regular subgraph.
+#[derive(Clone, Debug)]
+pub struct BlockedSubgraph {
+    r: usize,
+    c: usize,
+    n_col_blocks: usize,
+    rows: Vec<BlockRow>,
+}
+
+impl BlockedSubgraph {
+    /// Partitions `reg_csr` (which must be square, `r × r`) according to
+    /// `opts`, using `threads` to pick the effective block side (§6.4).
+    pub fn new(reg_csr: &Csr, opts: &MixenOpts, threads: usize) -> Self {
+        assert_eq!(reg_csr.n_rows(), reg_csr.n_cols(), "regular CSR must be square");
+        let r = reg_csr.n_rows();
+        let c = opts.effective_block_side(r, threads);
+        let n_col_blocks = if r == 0 { 0 } else { r.div_ceil(c) };
+
+        // Row ranges: start from fixed height c, split overloaded ranges.
+        let ranges = plan_row_ranges(reg_csr, c, opts);
+
+        let rows: Vec<BlockRow> = ranges
+            .par_iter()
+            .map(|&(lo, hi)| build_block_row(reg_csr, lo, hi, c, n_col_blocks))
+            .collect();
+
+        Self {
+            r,
+            c,
+            n_col_blocks,
+            rows,
+        }
+    }
+
+    /// Regular node count.
+    pub fn r(&self) -> usize {
+        self.r
+    }
+
+    /// Effective block side in nodes.
+    pub fn block_side(&self) -> usize {
+        self.c
+    }
+
+    /// Number of block-columns (gather tasks).
+    pub fn n_col_blocks(&self) -> usize {
+        self.n_col_blocks
+    }
+
+    /// The destination node range of block-column `j`.
+    pub fn col_range(&self, j: usize) -> std::ops::Range<usize> {
+        let lo = j * self.c;
+        lo..((lo + self.c).min(self.r))
+    }
+
+    /// Block-rows (scatter tasks).
+    pub fn rows(&self) -> &[BlockRow] {
+        &self.rows
+    }
+
+    /// Total edges across all blocks (must equal the regular subgraph nnz).
+    pub fn nnz(&self) -> usize {
+        self.rows.iter().map(|row| row.nnz).sum()
+    }
+
+    /// Total compressed message slots (the per-iteration dynamic-bin value
+    /// traffic, in values).
+    pub fn total_msg_slots(&self) -> usize {
+        self.rows
+            .iter()
+            .flat_map(|row| row.blocks.iter())
+            .map(Block::msg_count)
+            .sum()
+    }
+}
+
+/// Greedy row-range planning with the 2× overload split.
+fn plan_row_ranges(reg_csr: &Csr, c: usize, opts: &MixenOpts) -> Vec<(u32, u32)> {
+    let r = reg_csr.n_rows();
+    if r == 0 {
+        return Vec::new();
+    }
+    let base: Vec<(u32, u32)> = (0..r.div_ceil(c))
+        .map(|i| ((i * c) as u32, ((i + 1) * c).min(r) as u32))
+        .collect();
+    if !opts.load_balance {
+        return base;
+    }
+    let total_nnz = reg_csr.nnz();
+    let avg = (total_nnz as f64 / base.len() as f64).max(1.0);
+    let cap = (opts.balance_factor * avg).ceil() as usize;
+    let mut out = Vec::with_capacity(base.len());
+    for (lo, hi) in base {
+        let ptr = reg_csr.ptr();
+        let range_nnz = ptr[hi as usize] - ptr[lo as usize];
+        if range_nnz <= cap {
+            out.push((lo, hi));
+            continue;
+        }
+        // Split greedily at the cap (a single huge row still forms its own
+        // range — it cannot be split without breaking bin disjointness).
+        let mut start = lo;
+        let mut acc = 0usize;
+        for u in lo..hi {
+            let deg = ptr[u as usize + 1] - ptr[u as usize];
+            if acc > 0 && acc + deg > cap {
+                out.push((start, u));
+                start = u;
+                acc = 0;
+            }
+            acc += deg;
+        }
+        if start < hi {
+            out.push((start, hi));
+        }
+    }
+    out
+}
+
+/// Builds the per-column blocks of one row range in a single pass over the
+/// rows (neighbour lists are sorted, so each row contributes one ascending
+/// run per touched column block).
+fn build_block_row(reg_csr: &Csr, lo: u32, hi: u32, c: usize, n_col_blocks: usize) -> BlockRow {
+    struct Builder {
+        src_ids: Vec<u32>,
+        dest_ptr: Vec<u32>,
+        dests: Vec<u32>,
+    }
+    let mut builders: Vec<Builder> = (0..n_col_blocks)
+        .map(|_| Builder {
+            src_ids: Vec::new(),
+            dest_ptr: vec![0],
+            dests: Vec::new(),
+        })
+        .collect();
+    let mut nnz = 0usize;
+    for u in lo..hi {
+        let local_src = u - lo;
+        let neigh = reg_csr.neighbors(u);
+        nnz += neigh.len();
+        let mut k = 0usize;
+        while k < neigh.len() {
+            let j = neigh[k] as usize / c;
+            let col_base = (j * c) as u32;
+            let b = &mut builders[j];
+            b.src_ids.push(local_src);
+            while k < neigh.len() && (neigh[k] as usize) / c == j {
+                b.dests.push(neigh[k] - col_base);
+                k += 1;
+            }
+            b.dest_ptr.push(b.dests.len() as u32);
+        }
+    }
+    BlockRow {
+        src_start: lo,
+        src_end: hi,
+        blocks: builders
+            .into_iter()
+            .map(|b| Block {
+                src_ids: b.src_ids.into_boxed_slice(),
+                dest_ptr: b.dest_ptr.into_boxed_slice(),
+                dests: b.dests.into_boxed_slice(),
+            })
+            .collect(),
+        nnz,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mixen_graph::Csr;
+
+    fn opts(c: usize) -> MixenOpts {
+        MixenOpts {
+            block_side: c,
+            min_tasks_per_thread: 1,
+            ..MixenOpts::default()
+        }
+    }
+
+    fn grid_csr() -> Csr {
+        // 8 nodes; edges spread over two 4-wide column blocks with c = 4.
+        Csr::from_edges(
+            8,
+            &[
+                (0, 1),
+                (0, 5),
+                (1, 4),
+                (2, 3),
+                (3, 0),
+                (5, 6),
+                (6, 2),
+                (7, 7),
+                (0, 2),
+            ],
+        )
+    }
+
+    #[test]
+    fn covers_every_edge_exactly_once() {
+        let csr = grid_csr();
+        let b = BlockedSubgraph::new(&csr, &opts(4), 1);
+        assert_eq!(b.nnz(), csr.nnz());
+        // Reconstruct the edge multiset from the blocks.
+        let mut got: Vec<(u32, u32)> = Vec::new();
+        for row in b.rows() {
+            for (j, blk) in row.blocks.iter().enumerate() {
+                let col_base = (j * b.block_side()) as u32;
+                for (k, &src) in blk.src_ids.iter().enumerate() {
+                    for &d in blk.dests_of(k) {
+                        got.push((row.src_start + src, col_base + d));
+                    }
+                }
+            }
+        }
+        got.sort_unstable();
+        let mut want: Vec<(u32, u32)> = csr.edges().collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn block_geometry() {
+        let csr = grid_csr();
+        let b = BlockedSubgraph::new(&csr, &opts(4), 1);
+        assert_eq!(b.n_col_blocks(), 2);
+        assert_eq!(b.col_range(0), 0..4);
+        assert_eq!(b.col_range(1), 4..8);
+        // Local indices stay inside the block.
+        for row in b.rows() {
+            for blk in &row.blocks {
+                assert!(blk.dests.iter().all(|&d| (d as usize) < b.block_side()));
+                assert!(blk
+                    .src_ids
+                    .iter()
+                    .all(|&s| s < row.src_end - row.src_start));
+            }
+        }
+    }
+
+    #[test]
+    fn msg_count_compresses_multi_dest_sources() {
+        // One source with 3 edges into the same block => 1 message slot.
+        let csr = Csr::from_edges(4, &[(0, 0), (0, 1), (0, 2)]);
+        let b = BlockedSubgraph::new(&csr, &opts(4), 1);
+        assert_eq!(b.total_msg_slots(), 1);
+        assert_eq!(b.nnz(), 3);
+    }
+
+    #[test]
+    fn load_balance_splits_hot_row_ranges() {
+        // Node 0 has 12 edges, everyone else 0 or 1: with c = 4 and factor
+        // 2, the first range would hold nearly all edges and must split.
+        let mut edges = vec![];
+        for d in 0..12u32 {
+            edges.push((0u32, d % 16));
+        }
+        for u in 1..16u32 {
+            edges.push((u, (u + 1) % 16));
+        }
+        let csr = Csr::from_edges(16, &edges);
+        let balanced = BlockedSubgraph::new(&csr, &opts(4), 1);
+        let unbalanced = BlockedSubgraph::new(
+            &csr,
+            &MixenOpts {
+                load_balance: false,
+                ..opts(4)
+            },
+            1,
+        );
+        assert_eq!(unbalanced.rows().len(), 4);
+        assert!(balanced.rows().len() >= unbalanced.rows().len());
+        assert_eq!(balanced.nnz(), csr.nnz());
+        // No multi-row range exceeds the cap.
+        let avg = csr.nnz() as f64 / 4.0;
+        for row in balanced.rows() {
+            if row.src_end - row.src_start > 1 {
+                assert!(row.nnz as f64 <= 2.0 * avg + avg, "row nnz {}", row.nnz);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_subgraph() {
+        let csr = Csr::empty(0);
+        let b = BlockedSubgraph::new(&csr, &opts(4), 1);
+        assert_eq!(b.rows().len(), 0);
+        assert_eq!(b.n_col_blocks(), 0);
+        assert_eq!(b.nnz(), 0);
+    }
+
+    #[test]
+    fn single_node_self_loop() {
+        let csr = Csr::from_edges(1, &[(0, 0)]);
+        let b = BlockedSubgraph::new(&csr, &opts(4), 1);
+        assert_eq!(b.rows().len(), 1);
+        assert_eq!(b.nnz(), 1);
+        assert_eq!(b.col_range(0), 0..1);
+    }
+
+    #[test]
+    fn row_ranges_cover_r_exactly() {
+        let csr = grid_csr();
+        for c in [1usize, 2, 3, 4, 8, 100] {
+            let b = BlockedSubgraph::new(&csr, &opts(c), 1);
+            let mut expected_start = 0u32;
+            for row in b.rows() {
+                assert_eq!(row.src_start, expected_start);
+                assert!(row.src_end > row.src_start);
+                expected_start = row.src_end;
+            }
+            assert_eq!(expected_start as usize, csr.n_rows());
+        }
+    }
+}

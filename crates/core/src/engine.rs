@@ -1,0 +1,677 @@
+//! The Mixen execution engine (§4.3).
+//!
+//! Work is scheduled into three phases:
+//!
+//! * **Pre-Phase** — seed nodes push their (constant) values once; the
+//!   results are cached in the static bin.
+//! * **Main-Phase** — the regular subgraph iterates under the
+//!   Scatter–Cache–Gather–Apply model. Scatter (parallel over block-rows)
+//!   streams source values into the dynamic bins; Cache re-primes the dead
+//!   source segment with the static bin so that, after the end-of-iteration
+//!   swap, the next accumulator already contains the seed contributions;
+//!   Gather (parallel over block-columns) drains the bins into the
+//!   accumulator; Apply runs the user function in the same parallel region.
+//!   No atomics anywhere: block-rows own disjoint source segments,
+//!   block-columns own disjoint destination segments.
+//! * **Post-Phase** — sink values are computed once, pull-style, from the
+//!   values the other nodes propagated in the final iteration (the paper:
+//!   "propagation towards sink nodes can be delayed until the completion of
+//!   other nodes in the final iteration"). Consequently Mixen's output is
+//!   bit-comparable to a conventional engine running the same number of
+//!   synchronous iterations.
+//!
+//! BFS (a non-link-analysis control in the paper) runs on the same blocked
+//! structure with frontier-sparse scatter and a dense fallback; it gains
+//! nothing from the Cache step, as the paper notes.
+
+use std::sync::atomic::{AtomicI32, Ordering};
+use std::time::Instant;
+
+use mixen_graph::{Graph, NodeId, PropValue};
+use rayon::prelude::*;
+
+use crate::bins::{DynamicBins, StaticBin};
+use crate::block::BlockedSubgraph;
+use crate::filter::FilteredGraph;
+use crate::opts::MixenOpts;
+
+/// Wall-clock breakdown of one [`MixenEngine::iterate_with_stats`] run,
+/// following the paper's phase vocabulary (§4.3).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PhaseStats {
+    /// Pre-Phase: seed push into the static bins (runs once).
+    pub pre_seconds: f64,
+    /// Main-Phase Scatter + Cache steps, summed over iterations.
+    pub scatter_seconds: f64,
+    /// Main-Phase Gather + Apply steps, summed over iterations.
+    pub gather_seconds: f64,
+    /// Post-Phase: one-shot sink pull + assembly into original IDs.
+    pub post_seconds: f64,
+    /// Iterations executed.
+    pub iterations: usize,
+}
+
+impl PhaseStats {
+    /// Total Main-Phase time.
+    pub fn main_seconds(&self) -> f64 {
+        self.scatter_seconds + self.gather_seconds
+    }
+
+    /// Fraction of the whole run spent outside the Main-Phase — large on
+    /// seed-dominated graphs like weibo, where Mixen schedules most traffic
+    /// out of the iteration (Fig. 4 discussion).
+    pub fn out_of_main_fraction(&self) -> f64 {
+        let total = self.pre_seconds + self.main_seconds() + self.post_seconds;
+        if total <= 0.0 {
+            0.0
+        } else {
+            (self.pre_seconds + self.post_seconds) / total
+        }
+    }
+}
+
+/// The Mixen engine: preprocessed state plus iteration drivers.
+#[derive(Clone, Debug)]
+pub struct MixenEngine {
+    filtered: FilteredGraph,
+    blocked: BlockedSubgraph,
+    opts: MixenOpts,
+    filter_seconds: f64,
+    partition_seconds: f64,
+}
+
+impl MixenEngine {
+    /// Preprocesses `g`: filtering/relabeling, then 2-D partitioning.
+    pub fn new(g: &Graph, opts: MixenOpts) -> Self {
+        let threads = rayon::current_num_threads();
+        let t0 = Instant::now();
+        let filtered = FilteredGraph::with_ordering(g, opts.ordering);
+        let filter_seconds = t0.elapsed().as_secs_f64();
+        let t1 = Instant::now();
+        let blocked = BlockedSubgraph::new(filtered.reg_csr(), &opts, threads);
+        let partition_seconds = t1.elapsed().as_secs_f64();
+        Self {
+            filtered,
+            blocked,
+            opts,
+            filter_seconds,
+            partition_seconds,
+        }
+    }
+
+    /// The filtered graph (exposed for inspection, stats and the cache
+    /// simulator's instrumented twin).
+    pub fn filtered(&self) -> &FilteredGraph {
+        &self.filtered
+    }
+
+    /// The blocked regular subgraph.
+    pub fn blocked(&self) -> &BlockedSubgraph {
+        &self.blocked
+    }
+
+    /// The options this engine was built with.
+    pub fn opts(&self) -> &MixenOpts {
+        &self.opts
+    }
+
+    /// Preprocessing time spent in graph filtering (Table 4).
+    pub fn filter_seconds(&self) -> f64 {
+        self.filter_seconds
+    }
+
+    /// Preprocessing time spent in partitioning/binning (Table 4).
+    pub fn partition_seconds(&self) -> f64 {
+        self.partition_seconds
+    }
+
+    /// Runs `iters` synchronous iterations of
+    /// `x'[v] = apply(v, Σ_{u→v} x[u])` and returns the final values in
+    /// original-ID order. `init` provides iteration-0 values; both closures
+    /// receive original node IDs.
+    pub fn iterate<V, FI, FA>(&self, init: FI, apply: FA, iters: usize) -> Vec<V>
+    where
+        V: PropValue,
+        FI: Fn(NodeId) -> V + Sync,
+        FA: Fn(NodeId, V) -> V + Sync,
+    {
+        self.run(init, apply, iters, None, &mut PhaseStats::default()).0
+    }
+
+    /// Like [`MixenEngine::iterate`], additionally returning the per-phase
+    /// wall-clock breakdown.
+    pub fn iterate_with_stats<V, FI, FA>(
+        &self,
+        init: FI,
+        apply: FA,
+        iters: usize,
+    ) -> (Vec<V>, PhaseStats)
+    where
+        V: PropValue,
+        FI: Fn(NodeId) -> V + Sync,
+        FA: Fn(NodeId, V) -> V + Sync,
+    {
+        let mut stats = PhaseStats::default();
+        let (vals, performed) = self.run(init, apply, iters, None, &mut stats);
+        stats.iterations = performed;
+        (vals, stats)
+    }
+
+    /// Iterates until the regular nodes' values change by at most `tol`
+    /// (max-norm) or `max_iters` is reached. Returns the values and the
+    /// number of iterations performed.
+    pub fn iterate_until<V, FI, FA>(
+        &self,
+        init: FI,
+        apply: FA,
+        tol: f64,
+        max_iters: usize,
+    ) -> (Vec<V>, usize)
+    where
+        V: PropValue,
+        FI: Fn(NodeId) -> V + Sync,
+        FA: Fn(NodeId, V) -> V + Sync,
+    {
+        self.run(init, apply, max_iters, Some(tol), &mut PhaseStats::default())
+    }
+
+    fn run<V, FI, FA>(
+        &self,
+        init: FI,
+        apply: FA,
+        max_iters: usize,
+        tol: Option<f64>,
+        stats: &mut PhaseStats,
+    ) -> (Vec<V>, usize)
+    where
+        V: PropValue,
+        FI: Fn(NodeId) -> V + Sync,
+        FA: Fn(NodeId, V) -> V + Sync,
+    {
+        let f = &self.filtered;
+        let n = f.n();
+        let r = f.num_regular();
+        let s = f.num_seed();
+
+        if max_iters == 0 {
+            return (
+                (0..n as NodeId).into_par_iter().map(&init).collect(),
+                0,
+            );
+        }
+
+        // Seed values are constant for the whole run.
+        let seed_vals: Vec<V> = (0..s)
+            .into_par_iter()
+            .map(|i| init(f.to_old((r + i) as NodeId)))
+            .collect();
+
+        // Pre-Phase: cache seed→regular contributions. With the Cache step
+        // disabled (ablation), this work is redone every iteration below.
+        let t_pre = Instant::now();
+        let sta: StaticBin<V> = if self.opts.cache_step {
+            StaticBin::compute(f.seed_csr(), &seed_vals, r)
+        } else {
+            StaticBin::zero(r)
+        };
+        stats.pre_seconds = t_pre.elapsed().as_secs_f64();
+
+        let mut x: Vec<V> = (0..r)
+            .into_par_iter()
+            .map(|v| init(f.to_old(v as NodeId)))
+            .collect();
+        let mut y: Vec<V> = vec![V::identity(); r];
+        self.prime(&mut y, &sta, &seed_vals);
+        let mut bins: DynamicBins<V> = DynamicBins::new(&self.blocked);
+        let mut prev: Vec<V> = if tol.is_some() { x.clone() } else { Vec::new() };
+
+        let mut performed = 0usize;
+        for t in 0..max_iters {
+            let last_fixed = tol.is_none() && t + 1 == max_iters;
+            if tol.is_some() {
+                prev.copy_from_slice(&x);
+            }
+            // Scatter + Cache (parallel over block-rows).
+            let cache_from = if !last_fixed && self.opts.cache_step {
+                Some(sta.values())
+            } else {
+                None
+            };
+            let t_scatter = Instant::now();
+            crate::scga::scatter(&self.blocked, &mut x, &mut bins, cache_from);
+            stats.scatter_seconds += t_scatter.elapsed().as_secs_f64();
+            if !last_fixed && !self.opts.cache_step {
+                // Ablation: redo the seed push and re-prime x by hand, the
+                // redundant traffic Mixen normally avoids.
+                let fresh = StaticBin::compute(f.seed_csr(), &seed_vals, r);
+                x.copy_from_slice(fresh.values());
+            }
+            // Gather + Apply (parallel over block-columns).
+            let t_gather = Instant::now();
+            crate::scga::gather(&self.blocked, &bins, &mut y, |new, sum| {
+                apply(f.to_old(new), sum)
+            });
+            stats.gather_seconds += t_gather.elapsed().as_secs_f64();
+            std::mem::swap(&mut x, &mut y);
+            performed += 1;
+            if let Some(tol) = tol {
+                let diff = mixen_graph::max_diff(&x, &prev);
+                // Re-prime the (now dead) y for the next round.
+                self.prime(&mut y, &sta, &seed_vals);
+                if diff <= tol {
+                    break;
+                }
+            }
+        }
+
+        // The values regular nodes propagated in the final iteration.
+        let x_prev: &[V] = if tol.is_some() { &prev } else { &y };
+
+        let t_post = Instant::now();
+        let out = self.assemble(&x, x_prev, &seed_vals, &apply);
+        stats.post_seconds = t_post.elapsed().as_secs_f64();
+        (out, performed)
+    }
+
+    /// Primes an accumulator with the static-bin contents (or recomputes the
+    /// seed push when the Cache step is ablated away).
+    fn prime<V: PropValue>(&self, y: &mut [V], sta: &StaticBin<V>, seed_vals: &[V]) {
+        if self.opts.cache_step {
+            y.copy_from_slice(sta.values());
+        } else {
+            let fresh = StaticBin::compute(self.filtered.seed_csr(), seed_vals, y.len());
+            y.copy_from_slice(fresh.values());
+        }
+    }
+
+    /// Post-Phase plus final assembly into original-ID order.
+    fn assemble<V, FA>(&self, x: &[V], x_prev: &[V], seed_vals: &[V], apply: &FA) -> Vec<V>
+    where
+        V: PropValue,
+        FA: Fn(NodeId, V) -> V + Sync,
+    {
+        let f = &self.filtered;
+        let n = f.n();
+        let r = f.num_regular();
+        let s = f.num_seed();
+        let sink_base = r + s;
+
+        // Post-Phase: sinks pull from the final propagated values.
+        let sink_vals: Vec<V> = (0..f.num_sink() as NodeId)
+            .into_par_iter()
+            .map(|k| {
+                let mut sum = V::identity();
+                for &v in f.sink_csc().neighbors(k) {
+                    let msg = if (v as usize) < r {
+                        x_prev[v as usize]
+                    } else {
+                        seed_vals[v as usize - r]
+                    };
+                    sum.combine(msg);
+                }
+                apply(f.to_old(sink_base as NodeId + k), sum)
+            })
+            .collect();
+
+        (0..n)
+            .into_par_iter()
+            .map(|new| {
+                let old = f.to_old(new as NodeId);
+                if new < r {
+                    x[new]
+                } else if new < sink_base {
+                    // Seeds (in-degree 0) sit at their fixed point.
+                    apply(old, V::identity())
+                } else if new < sink_base + f.num_sink() {
+                    sink_vals[new - sink_base]
+                } else {
+                    // Isolated nodes also sit at their fixed point.
+                    apply(old, V::identity())
+                }
+            })
+            .collect::<Vec<V>>()
+            // Values above are in new-ID order; put them back.
+            .into_iter()
+            .enumerate()
+            .fold(vec![V::identity(); n], |mut out, (new, val)| {
+                out[f.to_old(new as NodeId) as usize] = val;
+                out
+            })
+    }
+
+    /// Breadth-first search from `root`, returning depths in original-ID
+    /// order (`-1` = unreachable). Runs frontier-sparse blocked propagation
+    /// with a dense fallback for fat frontiers; seeds can only start a
+    /// traversal and sinks can only end one, so they are handled in the
+    /// Pre-/Post-Phase positions just like link analysis.
+    pub fn bfs(&self, root: NodeId) -> Vec<i32> {
+        let f = &self.filtered;
+        let n = f.n();
+        assert!((root as usize) < n, "root out of range");
+        let r = f.num_regular();
+        let s = f.num_seed();
+        let root_new = f.to_new(root) as usize;
+
+        let reg_depth: Vec<AtomicI32> = (0..r).map(|_| AtomicI32::new(-1)).collect();
+        let mut frontier: Vec<u32> = Vec::new();
+
+        if root_new < r {
+            reg_depth[root_new].store(0, Ordering::Relaxed);
+            frontier.push(root_new as u32);
+        } else if root_new < r + s {
+            // Seed root: its regular out-neighbours form level 1.
+            let local = (root_new - r) as u32;
+            for &v in f.seed_csr().neighbors(local) {
+                if reg_depth[v as usize]
+                    .compare_exchange(-1, 1, Ordering::Relaxed, Ordering::Relaxed)
+                    .is_ok()
+                {
+                    frontier.push(v);
+                }
+            }
+            frontier.sort_unstable();
+        }
+        // Sink or isolated roots have no out-edges: nothing to expand.
+
+        let mut level = if root_new < r { 0 } else { 1 };
+        while !frontier.is_empty() {
+            frontier = if frontier.len() * 16 > r {
+                crate::scga::bfs_level_dense(&self.blocked, &reg_depth, level)
+            } else {
+                crate::scga::bfs_level_sparse(&self.blocked, &reg_depth, &frontier, level)
+            };
+            frontier.sort_unstable();
+            level += 1;
+        }
+
+        // Post-Phase: a sink's depth is 1 + the minimum depth among its
+        // in-neighbours (regulars take their BFS depth; the only seed with a
+        // depth is the root itself).
+        let sink_base = (r + s) as u32;
+        let mut out = vec![-1i32; n];
+        out[root as usize] = 0;
+        for v in 0..r {
+            let d = reg_depth[v].load(Ordering::Relaxed);
+            if d >= 0 {
+                out[f.to_old(v as u32) as usize] = d;
+            }
+        }
+        let sink_depths: Vec<i32> = (0..f.num_sink() as u32)
+            .into_par_iter()
+            .map(|k| {
+                let mut best = i32::MAX;
+                for &v in f.sink_csc().neighbors(k) {
+                    let d = if (v as usize) < r {
+                        reg_depth[v as usize].load(Ordering::Relaxed)
+                    } else if v as usize == root_new {
+                        0
+                    } else {
+                        -1
+                    };
+                    if d >= 0 {
+                        best = best.min(d + 1);
+                    }
+                }
+                if best == i32::MAX {
+                    -1
+                } else {
+                    best
+                }
+            })
+            .collect();
+        for (k, &d) in sink_depths.iter().enumerate() {
+            let old = f.to_old(sink_base + k as u32) as usize;
+            if d >= 0 && out[old] < 0 {
+                out[old] = d;
+            }
+        }
+        out
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mixen_graph::Graph;
+
+    /// Serial reference: x'[v] = apply(v, Σ_{u→v} x[u]).
+    fn reference<V: PropValue>(
+        g: &Graph,
+        init: impl Fn(NodeId) -> V,
+        apply: impl Fn(NodeId, V) -> V,
+        iters: usize,
+    ) -> Vec<V> {
+        let mut x: Vec<V> = (0..g.n() as NodeId).map(&init).collect();
+        for _ in 0..iters {
+            let mut y = vec![V::identity(); g.n()];
+            for u in 0..g.n() as NodeId {
+                for &v in g.out_neighbors(u) {
+                    y[v as usize].combine(x[u as usize]);
+                }
+            }
+            for v in 0..g.n() as NodeId {
+                y[v as usize] = apply(v, y[v as usize]);
+            }
+            x = y;
+        }
+        x
+    }
+
+    fn serial_bfs(g: &Graph, root: NodeId) -> Vec<i32> {
+        let mut depth = vec![-1i32; g.n()];
+        depth[root as usize] = 0;
+        let mut queue = std::collections::VecDeque::from([root]);
+        while let Some(u) = queue.pop_front() {
+            for &v in g.out_neighbors(u) {
+                if depth[v as usize] < 0 {
+                    depth[v as usize] = depth[u as usize] + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        depth
+    }
+
+    fn mixed_graph() -> Graph {
+        // regular: 0,1,2; seed: 3,4; sink: 5,6; isolated: 7.
+        Graph::from_pairs(
+            8,
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 0),
+                (1, 0),
+                (3, 0),
+                (3, 5),
+                (4, 1),
+                (4, 2),
+                (0, 5),
+                (2, 6),
+            ],
+        )
+    }
+
+    fn small_opts() -> MixenOpts {
+        MixenOpts {
+            block_side: 2,
+            min_tasks_per_thread: 1,
+            ..MixenOpts::default()
+        }
+    }
+
+    #[test]
+    fn single_spmv_matches_reference() {
+        let g = mixed_graph();
+        let e = MixenEngine::new(&g, small_opts());
+        let got = e.iterate::<f32, _, _>(|v| (v + 1) as f32, |_, sum| sum, 1);
+        let want = reference::<f32>(&g, |v| (v + 1) as f32, |_, sum| sum, 1);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn multi_iteration_matches_reference() {
+        let g = mixed_graph();
+        let e = MixenEngine::new(&g, small_opts());
+        // A damped update with per-node offsets; init respects the
+        // seed-fixed-point contract: init(v) = apply(v, 0) for seeds.
+        let apply = |v: NodeId, sum: f32| 0.5 * sum + 0.1 * (v as f32 + 1.0);
+        let init = |v: NodeId| 0.1 * (v as f32 + 1.0);
+        for iters in 1..6 {
+            let got = e.iterate::<f32, _, _>(init, apply, iters);
+            let want = reference::<f32>(&g, init, apply, iters);
+            for (a, b) in got.iter().zip(&want) {
+                assert!((a - b).abs() < 1e-4, "iters={iters}: {got:?} vs {want:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_iterations_returns_init() {
+        let g = mixed_graph();
+        let e = MixenEngine::new(&g, small_opts());
+        let got = e.iterate::<f32, _, _>(|v| v as f32, |_, _| f32::NAN, 0);
+        assert_eq!(got, (0..8).map(|v| v as f32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn vector_values_propagate() {
+        let g = mixed_graph();
+        let e = MixenEngine::new(&g, small_opts());
+        let init = |v: NodeId| [v as f32, 1.0];
+        let apply = |_: NodeId, sum: [f32; 2]| sum;
+        let got = e.iterate::<[f32; 2], _, _>(init, apply, 1);
+        let want = reference::<[f32; 2]>(&g, init, apply, 1);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn iterate_until_converges() {
+        let g = mixed_graph();
+        let e = MixenEngine::new(&g, small_opts());
+        // Contraction: converges to a fixed point.
+        let apply = |_: NodeId, sum: f32| 0.25 * sum + 1.0;
+        let (vals, iters) = e.iterate_until::<f32, _, _>(|_| 1.0, apply, 1e-7, 200);
+        assert!(iters < 200, "should converge, took {iters}");
+        // Fixed point check on a regular node: x0 = 0.25*(x1 + x2 + seeds...) + 1.
+        let again = e.iterate::<f32, _, _>(|_| 1.0, apply, iters + 5);
+        for (a, b) in vals.iter().zip(&again) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn ablation_no_cache_step_same_results() {
+        let g = mixed_graph();
+        let base = MixenEngine::new(&g, small_opts());
+        let nocache = MixenEngine::new(
+            &g,
+            MixenOpts {
+                cache_step: false,
+                ..small_opts()
+            },
+        );
+        let apply = |_: NodeId, sum: f32| 0.5 * sum + 0.3;
+        let init = |_: NodeId| 0.3f32;
+        for iters in 1..4 {
+            let a = base.iterate::<f32, _, _>(init, apply, iters);
+            let b = nocache.iterate::<f32, _, _>(init, apply, iters);
+            for (x, y) in a.iter().zip(&b) {
+                assert!((x - y).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn ablation_no_hub_sort_same_results() {
+        let g = mixed_graph();
+        let base = MixenEngine::new(&g, small_opts());
+        let nohub = MixenEngine::new(
+            &g,
+            MixenOpts {
+                ordering: crate::opts::RegularOrdering::Original,
+                ..small_opts()
+            },
+        );
+        let a = base.iterate::<f32, _, _>(|v| v as f32, |_, s| s, 2);
+        let b = nohub.iterate::<f32, _, _>(|v| v as f32, |_, s| s, 2);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn bfs_matches_serial_from_every_root() {
+        let g = mixed_graph();
+        let e = MixenEngine::new(&g, small_opts());
+        for root in 0..g.n() as NodeId {
+            assert_eq!(e.bfs(root), serial_bfs(&g, root), "root {root}");
+        }
+    }
+
+    #[test]
+    fn bfs_on_chain_hits_every_level() {
+        // 0 -> 1 -> 2 -> ... -> 9: forces many sparse levels.
+        let pairs: Vec<_> = (0..9u32).map(|u| (u, u + 1)).collect();
+        let g = Graph::from_pairs(10, &pairs);
+        let e = MixenEngine::new(&g, small_opts());
+        let d = e.bfs(0);
+        assert_eq!(d, (0..10).map(|i| i as i32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn engine_on_empty_and_tiny_graphs() {
+        for g in [
+            Graph::from_pairs(0, &[]),
+            Graph::from_pairs(1, &[]),
+            Graph::from_pairs(1, &[(0, 0)]),
+            Graph::from_pairs(3, &[]),
+        ] {
+            let e = MixenEngine::new(&g, small_opts());
+            let got = e.iterate::<f32, _, _>(|_| 1.0, |_, s| s + 1.0, 2);
+            let want = reference::<f32>(&g, |_| 1.0, |_, s| s + 1.0, 2);
+            assert_eq!(got, want, "n = {}", g.n());
+        }
+    }
+
+    #[test]
+    fn seed_only_bipartite_graph() {
+        // All edges seed -> sink: no regular nodes at all.
+        let g = Graph::from_pairs(4, &[(0, 2), (0, 3), (1, 3)]);
+        let e = MixenEngine::new(&g, small_opts());
+        assert_eq!(e.filtered().num_regular(), 0);
+        let got = e.iterate::<f32, _, _>(|v| (v + 1) as f32, |_, s| s, 1);
+        let want = reference::<f32>(&g, |v| (v + 1) as f32, |_, s| s, 1);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn phase_stats_are_recorded_and_consistent() {
+        let g = mixed_graph();
+        let e = MixenEngine::new(&g, small_opts());
+        let (vals, stats) = e.iterate_with_stats::<f32, _, _>(|_| 1.0, |_, s| 0.5 * s, 4);
+        assert_eq!(stats.iterations, 4);
+        assert!(stats.pre_seconds >= 0.0);
+        assert!(stats.main_seconds() >= 0.0);
+        assert!(stats.post_seconds >= 0.0);
+        assert!((0.0..=1.0).contains(&stats.out_of_main_fraction()));
+        // Values must match the plain driver.
+        let plain = e.iterate::<f32, _, _>(|_| 1.0, |_, s| 0.5 * s, 4);
+        assert_eq!(vals, plain);
+    }
+
+    #[test]
+    fn preprocessing_times_recorded() {
+        let e = MixenEngine::new(&mixed_graph(), small_opts());
+        assert!(e.filter_seconds() >= 0.0);
+        assert!(e.partition_seconds() >= 0.0);
+    }
+
+    #[test]
+    fn merge_positions_finds_intersection() {
+        use crate::scga::merge_positions;
+        assert_eq!(merge_positions(&[1, 3, 5, 7], &[3, 4, 7]), vec![1, 3]);
+        assert_eq!(merge_positions(&[], &[1]), Vec::<u32>::new());
+        assert_eq!(merge_positions(&[1], &[]), Vec::<u32>::new());
+    }
+}

@@ -1,0 +1,513 @@
+//! Graph filtering and relabeling (§4.1).
+//!
+//! In a single logical scan, Mixen classifies every node by connectivity,
+//! assigns new IDs in the order `[hub regulars | other regulars | seeds |
+//! sinks | isolated]` — preserving relative order inside each bucket, so the
+//! original structure is disturbed as little as possible — and extracts the
+//! mixed representation:
+//!
+//! * `reg_csr` — CSR of the regular×regular subgraph (the Main-Phase input),
+//! * `seed_csr` — CSR of seed→regular edges (the Pre-Phase input),
+//! * `sink_csc` — CSC rows for sink nodes over their in-neighbours
+//!   (the Post-Phase input; covers regular→sink *and* seed→sink edges).
+//!
+//! Every edge of the original graph lands in exactly one of the three
+//! sub-structures (verified by tests), so no redundant pointer entries for
+//! zero-degree directions are ever scanned again during iteration.
+
+use mixen_graph::{Classification, Csr, Graph, NodeClass, NodeId};
+
+use crate::opts::RegularOrdering;
+
+/// The filtered, relabeled form of a graph (Mixen's preprocessing output).
+#[derive(Clone, Debug)]
+pub struct FilteredGraph {
+    n: usize,
+    m: usize,
+    perm: Vec<NodeId>,
+    inv: Vec<NodeId>,
+    num_hub: usize,
+    num_regular: usize,
+    num_seed: usize,
+    num_sink: usize,
+    num_isolated: usize,
+    reg_csr: Csr,
+    seed_csr: Csr,
+    sink_csc: Csr,
+    out_degree: Vec<u32>,
+}
+
+impl FilteredGraph {
+    /// Filters `g` with hub relocation enabled (the paper's default).
+    pub fn new(g: &Graph) -> Self {
+        Self::with_ordering(g, RegularOrdering::HubsFirst)
+    }
+
+    /// Filters `g` with an explicit regular-range ordering (step 2 of the
+    /// filtering procedure; `Original` ablates hub relocation away).
+    pub fn with_ordering(g: &Graph, ordering: RegularOrdering) -> Self {
+        let class = Classification::of(g);
+        Self::from_classification(g, &class, ordering)
+    }
+
+    /// Filters `g` reusing an existing classification.
+    pub fn from_classification(
+        g: &Graph,
+        class: &Classification,
+        ordering: RegularOrdering,
+    ) -> Self {
+        let n = g.n();
+        // Bucket order: hub-regular, non-hub-regular, seed, sink, isolated.
+        let bucket = |u: NodeId| -> usize {
+            match class.class(u) {
+                NodeClass::Regular => {
+                    if ordering == RegularOrdering::HubsFirst && class.is_hub(u) {
+                        0
+                    } else {
+                        1
+                    }
+                }
+                NodeClass::Seed => 2,
+                NodeClass::Sink => 3,
+                NodeClass::Isolated => 4,
+            }
+        };
+        let mut bucket_counts = [0usize; 5];
+        for u in 0..n as NodeId {
+            bucket_counts[bucket(u)] += 1;
+        }
+        let mut offsets = [0usize; 5];
+        let mut acc = 0;
+        for (o, &c) in offsets.iter_mut().zip(&bucket_counts) {
+            *o = acc;
+            acc += c;
+        }
+        // Stable assignment: scanning old IDs in order preserves relative
+        // order within each bucket.
+        let mut perm = vec![0 as NodeId; n];
+        let mut cursors = offsets;
+        for u in 0..n as NodeId {
+            let b = bucket(u);
+            perm[u as usize] = cursors[b] as NodeId;
+            cursors[b] += 1;
+        }
+        if ordering == RegularOrdering::ByInDegree {
+            // Extension: stable full sort of the regular range by
+            // descending in-degree.
+            let r_total = bucket_counts[0] + bucket_counts[1];
+            let mut regulars: Vec<NodeId> = (0..n as NodeId)
+                .filter(|&u| class.class(u) == NodeClass::Regular)
+                .collect();
+            regulars.sort_by_key(|&u| std::cmp::Reverse(g.in_degree(u)));
+            debug_assert_eq!(regulars.len(), r_total);
+            for (new, &old) in regulars.iter().enumerate() {
+                perm[old as usize] = new as NodeId;
+            }
+        }
+        let mut inv = vec![0 as NodeId; n];
+        for (old, &new) in perm.iter().enumerate() {
+            inv[new as usize] = old as NodeId;
+        }
+
+        let num_hub = match ordering {
+            RegularOrdering::Original => 0,
+            _ => class.hub_count(),
+        };
+        let num_regular = bucket_counts[0] + bucket_counts[1];
+        let num_seed = bucket_counts[2];
+        let num_sink = bucket_counts[3];
+        let num_isolated = bucket_counts[4];
+        let r = num_regular as NodeId;
+        let seed_end = (num_regular + num_seed) as NodeId;
+
+        // Sub-structure extraction straight from the existing CSR/CSC.
+        let reg_csr = Csr::from_row_fn(num_regular, num_regular, |u_new, out| {
+            let old = inv[u_new as usize];
+            out.extend(
+                g.out_neighbors(old)
+                    .iter()
+                    .map(|&v| perm[v as usize])
+                    .filter(|&v| v < r),
+            );
+        });
+        let seed_csr = Csr::from_row_fn(num_seed, num_regular, |s_local, out| {
+            let old = inv[num_regular + s_local as usize];
+            out.extend(
+                g.out_neighbors(old)
+                    .iter()
+                    .map(|&v| perm[v as usize])
+                    .filter(|&v| v < r),
+            );
+        });
+        let sink_csc = Csr::from_row_fn(num_sink, num_regular + num_seed, |k_local, out| {
+            let old = inv[num_regular + num_seed + k_local as usize];
+            out.extend(
+                g.in_neighbors(old)
+                    .iter()
+                    .map(|&v| perm[v as usize])
+                    .inspect(|&v| debug_assert!(v < seed_end, "sink in-neighbor must be regular/seed")),
+            );
+        });
+
+        let mut out_degree = vec![0u32; n];
+        for old in 0..n {
+            out_degree[perm[old] as usize] = g.out_degree(old as NodeId) as u32;
+        }
+
+        Self {
+            n,
+            m: g.m(),
+            perm,
+            inv,
+            num_hub,
+            num_regular,
+            num_seed,
+            num_sink,
+            num_isolated,
+            reg_csr,
+            seed_csr,
+            sink_csc,
+            out_degree,
+        }
+    }
+
+    /// Original node count.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Original edge count.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Hubs (front of the regular range).
+    pub fn num_hub(&self) -> usize {
+        self.num_hub
+    }
+
+    /// Regular nodes `r` (including hubs): new IDs `0..r`.
+    pub fn num_regular(&self) -> usize {
+        self.num_regular
+    }
+
+    /// Seed nodes: new IDs `r..r+s`.
+    pub fn num_seed(&self) -> usize {
+        self.num_seed
+    }
+
+    /// Sink nodes: new IDs `r+s..r+s+k`.
+    pub fn num_sink(&self) -> usize {
+        self.num_sink
+    }
+
+    /// Isolated nodes: the tail of the new ID space.
+    pub fn num_isolated(&self) -> usize {
+        self.num_isolated
+    }
+
+    /// `α = r / n` (§5).
+    pub fn alpha(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.num_regular as f64 / self.n as f64
+        }
+    }
+
+    /// `β = m̃ / m` (§5): fraction of edges inside the regular subgraph.
+    pub fn beta(&self) -> f64 {
+        if self.m == 0 {
+            0.0
+        } else {
+            self.reg_csr.nnz() as f64 / self.m as f64
+        }
+    }
+
+    /// Heap bytes of the mixed representation: the three sub-structures
+    /// plus the two permutation arrays and the out-degree vector. §4.1
+    /// claims this is smaller than keeping the original CSR + CSC resident;
+    /// `memory_bytes() < g.memory_bytes()` is asserted by tests for every
+    /// directed dataset.
+    pub fn memory_bytes(&self) -> usize {
+        self.reg_csr.memory_bytes()
+            + self.seed_csr.memory_bytes()
+            + self.sink_csc.memory_bytes()
+            + self.perm.len() * std::mem::size_of::<NodeId>()
+            + self.inv.len() * std::mem::size_of::<NodeId>()
+            + self.out_degree.len() * std::mem::size_of::<u32>()
+    }
+
+    /// New ID of an original node.
+    #[inline]
+    pub fn to_new(&self, old: NodeId) -> NodeId {
+        self.perm[old as usize]
+    }
+
+    /// Original ID of a relabeled node.
+    #[inline]
+    pub fn to_old(&self, new: NodeId) -> NodeId {
+        self.inv[new as usize]
+    }
+
+    /// The full old→new permutation.
+    pub fn perm(&self) -> &[NodeId] {
+        &self.perm
+    }
+
+    /// The full new→old permutation.
+    pub fn inv(&self) -> &[NodeId] {
+        &self.inv
+    }
+
+    /// CSR of the regular×regular subgraph.
+    pub fn reg_csr(&self) -> &Csr {
+        &self.reg_csr
+    }
+
+    /// CSR of seed→regular edges (rows are seed-local IDs).
+    pub fn seed_csr(&self) -> &Csr {
+        &self.seed_csr
+    }
+
+    /// CSC rows of sink nodes over in-neighbours (rows are sink-local IDs;
+    /// columns are new IDs `< r + s`).
+    pub fn sink_csc(&self) -> &Csr {
+        &self.sink_csc
+    }
+
+    /// Full out-degree (in the original graph) of the node with new ID `v`.
+    /// Algorithms like PageRank normalize by this, not by the subgraph
+    /// degree, because edges to sinks still carry rank away.
+    #[inline]
+    pub fn out_degree_new(&self, v: NodeId) -> u32 {
+        self.out_degree[v as usize]
+    }
+
+    /// Out-degree slice indexed by new ID.
+    pub fn out_degrees(&self) -> &[u32] {
+        &self.out_degree
+    }
+
+    /// Scatters a value slice indexed by new IDs back to original IDs.
+    pub fn unpermute<V: Copy>(&self, new_vals: &[V]) -> Vec<V> {
+        assert_eq!(new_vals.len(), self.n);
+        (0..self.n)
+            .map(|old| new_vals[self.perm[old] as usize])
+            .collect()
+    }
+
+    /// Gathers a value slice indexed by original IDs into new-ID order.
+    pub fn permute<V: Copy>(&self, old_vals: &[V]) -> Vec<V> {
+        assert_eq!(old_vals.len(), self.n);
+        (0..self.n)
+            .map(|new| old_vals[self.inv[new] as usize])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mixen_graph::Graph;
+
+    /// 0 seed, 1 hub-regular, 2 regular, 3 sink, 4 isolated.
+    /// Edges: 0->1 0->2 1->2 2->1 1->3 2->3 ... make 1 a hub.
+    fn toy() -> Graph {
+        Graph::from_pairs(
+            5,
+            &[(0, 1), (0, 2), (1, 2), (2, 1), (1, 3), (2, 3), (0, 1), (0, 1)],
+        )
+    }
+
+    #[test]
+    fn boundaries_partition_n() {
+        // toy() has duplicate edges; Graph keeps multi-edges, fine here.
+        let g = toy();
+        let f = FilteredGraph::new(&g);
+        assert_eq!(
+            f.num_regular() + f.num_seed() + f.num_sink() + f.num_isolated(),
+            g.n()
+        );
+        assert_eq!(f.num_regular(), 2);
+        assert_eq!(f.num_seed(), 1);
+        assert_eq!(f.num_sink(), 1);
+        assert_eq!(f.num_isolated(), 1);
+    }
+
+    #[test]
+    fn permutation_is_bijective() {
+        let g = toy();
+        let f = FilteredGraph::new(&g);
+        for u in 0..g.n() as NodeId {
+            assert_eq!(f.to_old(f.to_new(u)), u);
+            assert_eq!(f.to_new(f.to_old(u)), u);
+        }
+    }
+
+    #[test]
+    fn class_ranges_ordered() {
+        let g = toy();
+        let f = FilteredGraph::new(&g);
+        // Seed node 0 must map into the seed range.
+        let r = f.num_regular() as NodeId;
+        let s = f.num_seed() as NodeId;
+        assert!(f.to_new(0) >= r && f.to_new(0) < r + s);
+        // Sink node 3 into the sink range.
+        assert!(f.to_new(3) >= r + s && f.to_new(3) < r + s + f.num_sink() as NodeId);
+        // Isolated node 4 at the tail.
+        assert_eq!(f.to_new(4), 4);
+    }
+
+    #[test]
+    fn hub_goes_first() {
+        let g = toy();
+        let f = FilteredGraph::new(&g);
+        // Node 1 has in-degree 4 (> avg 8/5); node 2 has in-degree 2 (> 1.6
+        // too). Both hubs here. With a bigger spread:
+        let g2 = Graph::from_pairs(
+            6,
+            &[(0, 1), (2, 1), (3, 1), (4, 1), (1, 2), (2, 0), (0, 2), (1, 0)],
+        );
+        let f2 = FilteredGraph::new(&g2);
+        // avg degree = 8/6 = 1.33; node 1 in-deg 4 => hub; nodes 0,2 in-deg 2 => hubs.
+        assert!(f2.num_hub() >= 1);
+        // Hubs occupy the lowest new IDs among regulars.
+        for u in 0..g2.n() as NodeId {
+            if f2.to_new(u) < f2.num_hub() as NodeId {
+                assert!(g2.in_degree(u) as f64 > g2.avg_degree());
+            }
+        }
+        let _ = f;
+    }
+
+    #[test]
+    fn edges_partition_across_substructures() {
+        let g = toy();
+        let f = FilteredGraph::new(&g);
+        assert_eq!(
+            f.reg_csr().nnz() + f.seed_csr().nnz() + f.sink_csc().nnz(),
+            g.m()
+        );
+    }
+
+    #[test]
+    fn reg_csr_edges_match_original() {
+        let g = toy();
+        let f = FilteredGraph::new(&g);
+        // Multiset of regular->regular edges must be preserved under perm.
+        let mut want: Vec<(NodeId, NodeId)> = g
+            .edges()
+            .filter(|&(s, d)| {
+                (f.to_new(s) as usize) < f.num_regular() && (f.to_new(d) as usize) < f.num_regular()
+            })
+            .map(|(s, d)| (f.to_new(s), f.to_new(d)))
+            .collect();
+        let mut got: Vec<(NodeId, NodeId)> = f.reg_csr().edges().collect();
+        want.sort_unstable();
+        got.sort_unstable();
+        assert_eq!(want, got);
+    }
+
+    #[test]
+    fn sink_csc_covers_all_sink_in_edges() {
+        let g = toy();
+        let f = FilteredGraph::new(&g);
+        let sink_old = 3u32;
+        let local = f.to_new(sink_old) - (f.num_regular() + f.num_seed()) as NodeId;
+        let mut got: Vec<NodeId> = f.sink_csc().neighbors(local).to_vec();
+        let mut want: Vec<NodeId> = g
+            .in_neighbors(sink_old)
+            .iter()
+            .map(|&v| f.to_new(v))
+            .collect();
+        got.sort_unstable();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn out_degrees_follow_permutation() {
+        let g = toy();
+        let f = FilteredGraph::new(&g);
+        for u in 0..g.n() as NodeId {
+            assert_eq!(f.out_degree_new(f.to_new(u)) as usize, g.out_degree(u));
+        }
+    }
+
+    #[test]
+    fn permute_roundtrip() {
+        let g = toy();
+        let f = FilteredGraph::new(&g);
+        let vals: Vec<f32> = (0..g.n()).map(|i| i as f32).collect();
+        let permuted = f.permute(&vals);
+        let back = f.unpermute(&permuted);
+        assert_eq!(vals, back);
+    }
+
+    #[test]
+    fn alpha_beta_match_stats() {
+        let g = toy();
+        let f = FilteredGraph::new(&g);
+        let s = mixen_graph::StructuralStats::of(&g);
+        assert!((f.alpha() - s.alpha).abs() < 1e-12);
+        assert!((f.beta() - s.beta).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_hub_sort_keeps_regular_order() {
+        let g = toy();
+        let f = FilteredGraph::with_ordering(&g, RegularOrdering::Original);
+        assert_eq!(f.num_hub(), 0);
+        // Regular nodes 1,2 keep relative order.
+        assert!(f.to_new(1) < f.to_new(2));
+    }
+
+    #[test]
+    fn by_in_degree_sorts_regulars_descending() {
+        let g = toy();
+        let f = FilteredGraph::with_ordering(&g, RegularOrdering::ByInDegree);
+        let r = f.num_regular();
+        let degs: Vec<usize> = (0..r as NodeId)
+            .map(|new| g.in_degree(f.to_old(new)))
+            .collect();
+        assert!(degs.windows(2).all(|w| w[0] >= w[1]), "degs {degs:?}");
+        // Edge partition invariant still holds.
+        assert_eq!(
+            f.reg_csr().nnz() + f.seed_csr().nnz() + f.sink_csc().nnz(),
+            g.m()
+        );
+    }
+
+    #[test]
+    fn mixed_representation_is_smaller_than_csr_plus_csc() {
+        use mixen_graph::{Dataset, Scale};
+        for d in [Dataset::Weibo, Dataset::Wiki, Dataset::Pld] {
+            let g = d.generate(Scale::Tiny, 9);
+            let f = FilteredGraph::new(&g);
+            assert!(
+                f.memory_bytes() < g.memory_bytes(),
+                "{}: {} vs {}",
+                d.name(),
+                f.memory_bytes(),
+                g.memory_bytes()
+            );
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::from_pairs(0, &[]);
+        let f = FilteredGraph::new(&g);
+        assert_eq!(f.n(), 0);
+        assert_eq!(f.num_regular(), 0);
+    }
+
+    #[test]
+    fn all_isolated() {
+        let g = Graph::from_pairs(4, &[]);
+        let f = FilteredGraph::new(&g);
+        assert_eq!(f.num_isolated(), 4);
+        assert_eq!(f.reg_csr().nnz(), 0);
+    }
+}

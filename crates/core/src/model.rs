@@ -1,0 +1,192 @@
+//! Analytic performance models (§3 and §5 of the paper).
+//!
+//! The paper derives closed-form memory-traffic and random-access counts for
+//! three executions of one InDegree/SpMV iteration, assuming one "element"
+//! of data per node/link/update:
+//!
+//! | approach | traffic (elements)   | random accesses |
+//! |----------|----------------------|-----------------|
+//! | Pull     | `2m + 2n`            | `m`             |
+//! | Block    | `4m + 3n`            | `(n/c)²`        |
+//! | Mixen    | `4αn + 4βm` (Eq. 1)  | `(αn/c)²` (Eq. 2)|
+//!
+//! `α = r/n` is the regular-node fraction, `β = m̃/m` the regular-subgraph
+//! edge fraction, `c` the block side in nodes. The `model_check` benchmark
+//! compares these predictions against the cache simulator's measured
+//! traffic.
+
+use crate::FilteredGraph;
+
+/// Inputs of the §5 model for one graph + block configuration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PerfModel {
+    /// Node count `n`.
+    pub n: usize,
+    /// Edge count `m`.
+    pub m: usize,
+    /// Regular-node fraction `α`.
+    pub alpha: f64,
+    /// Regular-edge fraction `β`.
+    pub beta: f64,
+    /// Block side `c` in nodes.
+    pub c: usize,
+}
+
+impl PerfModel {
+    /// Builds the model from a filtered graph and block side.
+    pub fn from_filtered(f: &FilteredGraph, c: usize) -> Self {
+        Self {
+            n: f.n(),
+            m: f.m(),
+            alpha: f.alpha(),
+            beta: f.beta(),
+            c,
+        }
+    }
+
+    /// Number of regular nodes `r = αn`.
+    pub fn r(&self) -> f64 {
+        self.alpha * self.n as f64
+    }
+
+    /// Regular-subgraph edges `m̃ = βm`.
+    pub fn m_tilde(&self) -> f64 {
+        self.beta * self.m as f64
+    }
+
+    /// Number of blocks per dimension `b = ⌈αn / c⌉`.
+    pub fn b(&self) -> f64 {
+        (self.r() / self.c as f64).ceil().max(0.0)
+    }
+
+    /// Eq. (1): Mixen Main-Phase traffic per iteration, in elements:
+    /// `4αn + 4βm`.
+    pub fn mixen_traffic(&self) -> f64 {
+        4.0 * self.r() + 4.0 * self.m_tilde()
+    }
+
+    /// Eq. (2): Mixen random accesses per iteration, `b²`.
+    pub fn mixen_random(&self) -> f64 {
+        self.b() * self.b()
+    }
+
+    /// §3: pulling-flow traffic, `2m + 2n` elements.
+    pub fn pull_traffic(&self) -> f64 {
+        2.0 * self.m as f64 + 2.0 * self.n as f64
+    }
+
+    /// §3: pulling-flow worst-case random accesses, `m`.
+    pub fn pull_random(&self) -> f64 {
+        self.m as f64
+    }
+
+    /// §3: whole-graph blocking traffic, `4m + 3n` elements.
+    pub fn block_traffic(&self) -> f64 {
+        4.0 * self.m as f64 + 3.0 * self.n as f64
+    }
+
+    /// §3: whole-graph blocking random accesses, `(n/c)²`.
+    pub fn block_random(&self) -> f64 {
+        let b = (self.n as f64 / self.c as f64).ceil();
+        b * b
+    }
+
+    /// Traffic in bytes for a given element width (the paper's datatypes are
+    /// 4 bytes; its worked examples use 1).
+    pub fn mixen_traffic_bytes(&self, elem_bytes: usize) -> f64 {
+        self.mixen_traffic() * elem_bytes as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's §3 worked example: wiki with n = 18.2 M, m = 172.2 M,
+    /// c = 64 K nodes => ~285² ≈ 81 K blocks for whole-graph blocking.
+    #[test]
+    fn paper_wiki_example() {
+        let m = PerfModel {
+            n: 18_200_000,
+            m: 172_200_000,
+            alpha: 1.0,
+            beta: 1.0,
+            c: 64 * 1024,
+        };
+        let blocks = m.block_random();
+        assert!((blocks.sqrt() - 278.0).abs() < 5.0, "b = {}", blocks.sqrt());
+        assert_eq!(m.pull_random(), 172_200_000.0);
+        // Blocking adds (4m+3n) - (2m+2n) = 2m + n elements of traffic:
+        // ≈ 362.6 M elements (the paper's 362.6 MB at 1 B/element).
+        let extra = m.block_traffic() - m.pull_traffic();
+        assert!((extra - 362_600_000.0).abs() < 1_000_000.0, "extra = {extra}");
+    }
+
+    #[test]
+    fn mixen_degenerates_to_block_when_all_regular() {
+        let m = PerfModel {
+            n: 1000,
+            m: 10_000,
+            alpha: 1.0,
+            beta: 1.0,
+            c: 100,
+        };
+        // §5: at α = β = 1, Mixen traffic 4n + 4m exceeds Block's 4m + 3n.
+        assert_eq!(m.mixen_traffic(), 4.0 * 1000.0 + 4.0 * 10_000.0);
+        assert!(m.mixen_traffic() > m.block_traffic());
+        assert_eq!(m.mixen_random(), m.block_random());
+    }
+
+    #[test]
+    fn mixen_wins_at_low_alpha() {
+        let m = PerfModel {
+            n: 1_000_000,
+            m: 45_000_000,
+            alpha: 0.01,
+            beta: 0.06,
+            c: 65536,
+        };
+        assert!(m.mixen_traffic() < 0.2 * m.pull_traffic());
+        assert!(m.mixen_random() < m.block_random());
+        assert!(m.mixen_random() < m.pull_random());
+    }
+
+    #[test]
+    fn random_accesses_scale_with_alpha_squared() {
+        let base = PerfModel {
+            n: 2_000_000,
+            m: 30_000_000,
+            alpha: 1.0,
+            beta: 1.0,
+            c: 1000,
+        };
+        let half = PerfModel { alpha: 0.5, ..base };
+        let ratio = half.mixen_random() / base.mixen_random();
+        assert!((ratio - 0.25).abs() < 0.01, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn from_filtered_consistency() {
+        let g = mixen_graph::Graph::from_pairs(4, &[(0, 1), (1, 0), (2, 0), (1, 3)]);
+        let f = FilteredGraph::new(&g);
+        let m = PerfModel::from_filtered(&f, 2);
+        assert_eq!(m.n, 4);
+        assert_eq!(m.m, 4);
+        assert!((m.alpha - 0.5).abs() < 1e-12);
+        assert!((m.beta - 0.5).abs() < 1e-12);
+        assert_eq!(m.b(), 1.0);
+    }
+
+    #[test]
+    fn empty_graph_model() {
+        let m = PerfModel {
+            n: 0,
+            m: 0,
+            alpha: 0.0,
+            beta: 0.0,
+            c: 64,
+        };
+        assert_eq!(m.mixen_traffic(), 0.0);
+        assert_eq!(m.mixen_random(), 0.0);
+    }
+}

@@ -1,0 +1,120 @@
+//! Mixen configuration knobs.
+//!
+//! Defaults follow the paper's evaluation setup (§6.1): 64 Ki-node block
+//! side (a 256 KB property segment at 4 bytes per value, the sweet spot of
+//! Fig. 6/7), hub relocation on, the Cache step on, and the 2× load-balance
+//! split on. The ablation benchmark toggles each knob individually.
+
+/// How regular nodes are ordered within their relabeled range (step 2 of
+/// the filtering procedure, §4.1).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RegularOrdering {
+    /// Keep original relative order (hub relocation ablated away).
+    Original,
+    /// The paper's scheme: hubs (in-degree > average) first, original
+    /// relative order preserved within hubs and within non-hubs.
+    #[default]
+    HubsFirst,
+    /// Extension: full stable sort by descending in-degree — the
+    /// degree-reordering strategy of frameworks like Gorder/DegreeSort,
+    /// exposed to compare against the paper's cheaper two-bucket split.
+    ByInDegree,
+}
+
+/// Configuration for [`crate::MixenEngine`].
+#[derive(Clone, Copy, Debug)]
+pub struct MixenOpts {
+    /// Block side `c` in nodes: each 2-D block spans `c` source nodes by
+    /// `c` destination nodes. The paper's default is 64 Ki nodes = 256 KB.
+    pub block_side: usize,
+    /// Step 2 of filtering: how the regular range is ordered.
+    pub ordering: RegularOrdering,
+    /// Use static bins to cache seed→regular contributions (the Cache step
+    /// of SCGA). When disabled, seed contributions are recomputed and
+    /// re-propagated every iteration (the redundancy the paper eliminates).
+    pub cache_step: bool,
+    /// Split block-rows whose edge count exceeds `balance_factor`× the
+    /// average so no single task dominates (§4.2).
+    pub load_balance: bool,
+    /// Overload threshold multiplier (the paper uses 2×).
+    pub balance_factor: f64,
+    /// §6.4: keep at least `min_tasks_per_thread` block-rows per thread by
+    /// shrinking the block side on graphs with few regular nodes.
+    pub min_tasks_per_thread: usize,
+}
+
+impl Default for MixenOpts {
+    fn default() -> Self {
+        Self {
+            block_side: 64 * 1024,
+            ordering: RegularOrdering::HubsFirst,
+            cache_step: true,
+            load_balance: true,
+            balance_factor: 2.0,
+            min_tasks_per_thread: 4,
+        }
+    }
+}
+
+impl MixenOpts {
+    /// Builder-style override of the block side.
+    pub fn with_block_side(mut self, c: usize) -> Self {
+        assert!(c > 0, "block side must be positive");
+        self.block_side = c;
+        self
+    }
+
+    /// The block side actually used for a regular subgraph of `r` nodes on
+    /// `threads` workers: shrunk when `r` is too small to produce
+    /// `min_tasks_per_thread × threads` block-rows (§6.4), floored at 256
+    /// nodes so blocks never degenerate.
+    pub fn effective_block_side(&self, r: usize, threads: usize) -> usize {
+        if r == 0 {
+            return self.block_side;
+        }
+        let want_tasks = (self.min_tasks_per_thread * threads.max(1)).max(1);
+        let cap = r.div_ceil(want_tasks).max(256);
+        self.block_side.min(cap).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let o = MixenOpts::default();
+        assert_eq!(o.block_side, 65536);
+        assert_eq!(o.ordering, RegularOrdering::HubsFirst);
+        assert!(o.cache_step && o.load_balance);
+        assert_eq!(o.balance_factor, 2.0);
+    }
+
+    #[test]
+    fn effective_side_shrinks_for_small_graphs() {
+        let o = MixenOpts::default();
+        // 20 threads, 4 tasks each => 80 tasks wanted; r = 100_000 =>
+        // side <= 1250, floored at 256.
+        let c = o.effective_block_side(100_000, 20);
+        assert!(c <= 1250 && c >= 256, "c = {c}");
+    }
+
+    #[test]
+    fn effective_side_keeps_default_for_large_graphs() {
+        let o = MixenOpts::default();
+        assert_eq!(o.effective_block_side(100_000_000, 20), 65536);
+    }
+
+    #[test]
+    fn effective_side_handles_zero_regular() {
+        let o = MixenOpts::default();
+        assert_eq!(o.effective_block_side(0, 8), o.block_side);
+    }
+
+    #[test]
+    #[should_panic(expected = "block side must be positive")]
+    fn zero_block_side_rejected() {
+        let _ = MixenOpts::default().with_block_side(0);
+    }
+}

@@ -1,0 +1,287 @@
+//! Reusable Scatter/Gather kernels over a [`BlockedSubgraph`].
+//!
+//! [`crate::MixenEngine`] composes these with its Cache step and phase
+//! scheduling; the GPOP-style whole-graph blocking baseline uses them
+//! directly (its Scatter–Gather–Apply model is the same data path without
+//! filtering or seed caching).
+//!
+//! Parallel safety without atomics:
+//! * Scatter parallelizes over block-rows; each task owns a disjoint source
+//!   segment of `x` (which it may also overwrite — Mixen's Cache step).
+//! * Gather parallelizes over block-columns; each task owns a disjoint
+//!   destination segment of `y`.
+
+use mixen_graph::{NodeId, PropValue};
+use rayon::prelude::*;
+
+use crate::bins::DynamicBins;
+use crate::block::BlockedSubgraph;
+
+/// Scatter step: stream each block-row's source values into its dynamic
+/// bins (one value per compressed message slot). If `prime` is given, the
+/// now-dead source segment is overwritten with the corresponding slice of
+/// `prime` afterwards — Mixen's Cache step.
+pub fn scatter<V: PropValue>(
+    blocked: &BlockedSubgraph,
+    x: &mut [V],
+    bins: &mut DynamicBins<V>,
+    prime: Option<&[V]>,
+) {
+    let rows = blocked.rows();
+    let segs = split_by_rows(x, blocked);
+    segs.par_iter()
+        .zip(bins.tasks_mut().par_iter_mut())
+        .zip(rows.par_iter())
+        .for_each(|((xseg, task), row)| {
+            // SAFETY: segments are disjoint sub-slices, one per task.
+            let xseg = unsafe { xseg.as_slice_mut() };
+            for (j, blk) in row.blocks.iter().enumerate() {
+                let vals = task.col_mut(j);
+                for (slot, &src) in vals.iter_mut().zip(blk.src_ids.iter()) {
+                    *slot = xseg[src as usize];
+                }
+            }
+            if let Some(p) = prime {
+                xseg.copy_from_slice(&p[row.src_start as usize..row.src_end as usize]);
+            }
+        });
+}
+
+/// Gather + Apply step: drain the bins column-wise, combining into `y`
+/// (which the caller pre-initializes — to the identity for plain GAS, or to
+/// the static-bin contents for Mixen), then map every destination through
+/// `finish(new_id, accumulated)` in the same parallel region.
+pub fn gather<V, F>(blocked: &BlockedSubgraph, bins: &DynamicBins<V>, y: &mut [V], finish: F)
+where
+    V: PropValue,
+    F: Fn(NodeId, V) -> V + Sync,
+{
+    let rows = blocked.rows();
+    let c = blocked.block_side();
+    let mut segs: Vec<&mut [V]> = Vec::with_capacity(blocked.n_col_blocks());
+    let mut rest = y;
+    for j in 0..blocked.n_col_blocks() {
+        let len = blocked.col_range(j).len();
+        let (seg, tail) = rest.split_at_mut(len);
+        segs.push(seg);
+        rest = tail;
+    }
+    segs.par_iter_mut().enumerate().for_each(|(j, yseg)| {
+        for (row, task) in rows.iter().zip(bins.tasks()) {
+            let blk = &row.blocks[j];
+            for (k, &val) in task.col(j).iter().enumerate() {
+                for &d in blk.dests_of(k) {
+                    yseg[d as usize].combine(val);
+                }
+            }
+        }
+        let col_base = (j * c) as NodeId;
+        for (d, yv) in yseg.iter_mut().enumerate() {
+            *yv = finish(col_base + d as NodeId, *yv);
+        }
+    });
+}
+
+/// One sparse BFS level over the blocked structure: merge-join the sorted
+/// `frontier` against each block's `src_ids`, then relax destinations per
+/// block-column with CAS claims on `depth`. Returns the (unsorted) next
+/// frontier.
+pub fn bfs_level_sparse(
+    blocked: &BlockedSubgraph,
+    depth: &[std::sync::atomic::AtomicI32],
+    frontier: &[u32],
+    level: i32,
+) -> Vec<u32> {
+    use std::sync::atomic::Ordering;
+    let rows = blocked.rows();
+    let active: Vec<Vec<Vec<u32>>> = rows
+        .par_iter()
+        .map(|row| {
+            let lo = frontier.partition_point(|&u| u < row.src_start);
+            let hi = frontier.partition_point(|&u| u < row.src_end);
+            let local: Vec<u32> = frontier[lo..hi]
+                .iter()
+                .map(|&u| u - row.src_start)
+                .collect();
+            row.blocks
+                .iter()
+                .map(|blk| merge_positions(&blk.src_ids, &local))
+                .collect()
+        })
+        .collect();
+    (0..blocked.n_col_blocks())
+        .into_par_iter()
+        .flat_map_iter(|j| {
+            let col_base = (j * blocked.block_side()) as u32;
+            let mut next = Vec::new();
+            for (row, acts) in rows.iter().zip(&active) {
+                let blk = &row.blocks[j];
+                for &k in &acts[j] {
+                    for &d in blk.dests_of(k as usize) {
+                        let v = col_base + d;
+                        if depth[v as usize]
+                            .compare_exchange(-1, level + 1, Ordering::Relaxed, Ordering::Relaxed)
+                            .is_ok()
+                        {
+                            next.push(v);
+                        }
+                    }
+                }
+            }
+            next
+        })
+        .collect()
+}
+
+/// One dense BFS level: walk every block, activating sources whose depth
+/// equals `level`. Returns the (unsorted) next frontier.
+pub fn bfs_level_dense(
+    blocked: &BlockedSubgraph,
+    depth: &[std::sync::atomic::AtomicI32],
+    level: i32,
+) -> Vec<u32> {
+    use std::sync::atomic::Ordering;
+    let rows = blocked.rows();
+    (0..blocked.n_col_blocks())
+        .into_par_iter()
+        .flat_map_iter(|j| {
+            let col_base = (j * blocked.block_side()) as u32;
+            let mut next = Vec::new();
+            for row in rows {
+                let blk = &row.blocks[j];
+                for (k, &src) in blk.src_ids.iter().enumerate() {
+                    let u = row.src_start + src;
+                    if depth[u as usize].load(Ordering::Relaxed) != level {
+                        continue;
+                    }
+                    for &d in blk.dests_of(k) {
+                        let v = col_base + d;
+                        if depth[v as usize]
+                            .compare_exchange(-1, level + 1, Ordering::Relaxed, Ordering::Relaxed)
+                            .is_ok()
+                        {
+                            next.push(v);
+                        }
+                    }
+                }
+            }
+            next
+        })
+        .collect()
+}
+
+/// Positions in `src_ids` whose value occurs in the sorted `active` list.
+pub fn merge_positions(src_ids: &[u32], active: &[u32]) -> Vec<u32> {
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < src_ids.len() && j < active.len() {
+        match src_ids[i].cmp(&active[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(i as u32);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Disjoint mutable segment handles, one per block-row, shareable across a
+/// parallel region. Constructed from non-overlapping `split_at_mut` pieces.
+pub(crate) struct SegPtr<'a, V> {
+    ptr: *mut V,
+    len: usize,
+    _marker: std::marker::PhantomData<&'a mut [V]>,
+}
+
+unsafe impl<V: Send> Send for SegPtr<'_, V> {}
+unsafe impl<V: Send> Sync for SegPtr<'_, V> {}
+
+impl<V> SegPtr<'_, V> {
+    /// SAFETY: each segment wraps a distinct sub-slice; only the one scatter
+    /// task owning the block-row may call this.
+    #[allow(clippy::mut_from_ref)]
+    pub(crate) unsafe fn as_slice_mut(&self) -> &mut [V] {
+        std::slice::from_raw_parts_mut(self.ptr, self.len)
+    }
+}
+
+pub(crate) fn split_by_rows<'a, V>(x: &'a mut [V], blocked: &BlockedSubgraph) -> Vec<SegPtr<'a, V>> {
+    let mut segs = Vec::with_capacity(blocked.rows().len());
+    let mut rest: &mut [V] = x;
+    let mut offset = 0u32;
+    for row in blocked.rows() {
+        debug_assert_eq!(row.src_start, offset);
+        let len = (row.src_end - row.src_start) as usize;
+        let (seg, tail) = rest.split_at_mut(len);
+        segs.push(SegPtr {
+            ptr: seg.as_mut_ptr(),
+            len,
+            _marker: std::marker::PhantomData,
+        });
+        rest = tail;
+        offset = row.src_end;
+    }
+    segs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MixenOpts;
+    use mixen_graph::Csr;
+
+    fn blocked(csr: &Csr, c: usize) -> BlockedSubgraph {
+        BlockedSubgraph::new(
+            csr,
+            &MixenOpts {
+                block_side: c,
+                min_tasks_per_thread: 1,
+                ..MixenOpts::default()
+            },
+            1,
+        )
+    }
+
+    #[test]
+    fn scatter_gather_computes_transpose_spmv() {
+        // y = A^T x over a 6-node graph, c = 2.
+        let csr = Csr::from_edges(6, &[(0, 3), (0, 4), (1, 0), (2, 0), (5, 5), (3, 1)]);
+        let b = blocked(&csr, 2);
+        let mut bins: DynamicBins<f32> = DynamicBins::new(&b);
+        let mut x: Vec<f32> = (0..6).map(|i| (i + 1) as f32).collect();
+        let mut y = vec![0.0f32; 6];
+        scatter(&b, &mut x, &mut bins, None);
+        gather(&b, &bins, &mut y, |_, s| s);
+        // In-sums: node 0 <- {1,2} = 2+3=5; 1 <- {3} = 4; 3 <- {0} = 1;
+        // 4 <- {0} = 1; 5 <- {5} = 6.
+        assert_eq!(y, vec![5.0, 4.0, 0.0, 1.0, 1.0, 6.0]);
+        // x untouched without priming.
+        assert_eq!(x, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn scatter_priming_overwrites_source_segments() {
+        let csr = Csr::from_edges(4, &[(0, 1), (2, 3)]);
+        let b = blocked(&csr, 2);
+        let mut bins: DynamicBins<f32> = DynamicBins::new(&b);
+        let mut x = vec![1.0f32, 2.0, 3.0, 4.0];
+        let prime = vec![9.0f32, 8.0, 7.0, 6.0];
+        scatter(&b, &mut x, &mut bins, Some(&prime));
+        assert_eq!(x, prime);
+    }
+
+    #[test]
+    fn gather_finish_sees_new_ids() {
+        let csr = Csr::from_edges(3, &[(0, 2)]);
+        let b = blocked(&csr, 3);
+        let mut bins: DynamicBins<f32> = DynamicBins::new(&b);
+        let mut x = vec![5.0f32, 0.0, 0.0];
+        let mut y = vec![0.0f32; 3];
+        scatter(&b, &mut x, &mut bins, None);
+        gather(&b, &bins, &mut y, |v, s| s + v as f32 * 100.0);
+        assert_eq!(y, vec![0.0, 100.0, 205.0]);
+    }
+}

@@ -1,0 +1,428 @@
+//! Weighted Mixen engine — general-semiring SCGA.
+//!
+//! The unweighted engine computes `x'[v] = apply(v, ⊕_{u→v} x[u])`; this
+//! one computes `x'[v] = apply(v, ⊕_{u→v} x[u] ⊗ w(u,v))`, where `⊗` is
+//! [`mixen_graph::PropValue::scale_edge`]. With `(+, ×)` that is weighted
+//! SpMV (the general matrix the paper's §1 SpMV formulation implies); with
+//! the tropical `(min, +)` it is shortest-path relaxation.
+//!
+//! All of Mixen's machinery carries over unchanged, because weights ride
+//! along the *static* side of the data path:
+//! * filtering/relabeling only looks at topology,
+//! * dynamic bins still stream one (unweighted) value per source per block
+//!   — the edge weight is applied at Gather time from a weight array
+//!   aligned with each block's destination list, preserving the edge
+//!   compression,
+//! * the static bin caches `⊕ seed ⊗ w` — weighted seed contributions are
+//!   just as constant as unweighted ones,
+//! * the Post-Phase pulls `x ⊗ w` for sinks once.
+
+use std::time::Instant;
+
+use mixen_graph::{NodeId, PropValue, WGraph};
+use rayon::prelude::*;
+
+use crate::bins::DynamicBins;
+use crate::block::BlockedSubgraph;
+use crate::filter::FilteredGraph;
+use crate::opts::MixenOpts;
+use crate::scga;
+
+/// Weighted-graph Mixen engine.
+pub struct WMixenEngine {
+    filtered: FilteredGraph,
+    blocked: BlockedSubgraph,
+    /// Per (task, col-block): weights aligned with the block's `dests`.
+    block_weights: Vec<Vec<Box<[f32]>>>,
+    /// Weights aligned with `filtered.seed_csr().idx()`.
+    seed_weights: Box<[f32]>,
+    /// Weights aligned with `filtered.sink_csc().idx()`.
+    sink_weights: Box<[f32]>,
+    build_seconds: f64,
+}
+
+impl WMixenEngine {
+    /// Preprocesses a weighted graph: topology filtering + blocking as in
+    /// the unweighted engine, plus weight alignment for every
+    /// sub-structure.
+    pub fn new(wg: &WGraph, opts: MixenOpts) -> Self {
+        let t0 = Instant::now();
+        let g = wg.topology();
+        let filtered = FilteredGraph::with_ordering(g, opts.ordering);
+        let blocked =
+            BlockedSubgraph::new(filtered.reg_csr(), &opts, rayon::current_num_threads());
+        let weight_of = |new_src: NodeId, new_dst: NodeId| -> f32 {
+            wg.weight(filtered.to_old(new_src), filtered.to_old(new_dst))
+                .expect("edge present in filtered structure must exist in the graph")
+        };
+
+        let block_weights: Vec<Vec<Box<[f32]>>> = blocked
+            .rows()
+            .par_iter()
+            .map(|row| {
+                row.blocks
+                    .iter()
+                    .enumerate()
+                    .map(|(j, blk)| {
+                        let col_base = (j * blocked.block_side()) as NodeId;
+                        let mut w = Vec::with_capacity(blk.dests.len());
+                        for (k, &src) in blk.src_ids.iter().enumerate() {
+                            let new_src = row.src_start + src;
+                            for &d in blk.dests_of(k) {
+                                w.push(weight_of(new_src, col_base + d));
+                            }
+                        }
+                        w.into_boxed_slice()
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let r = filtered.num_regular() as NodeId;
+        let seed_weights: Box<[f32]> = (0..filtered.num_seed() as NodeId)
+            .into_par_iter()
+            .flat_map_iter(|s| {
+                let new_src = r + s;
+                filtered
+                    .seed_csr()
+                    .neighbors(s)
+                    .iter()
+                    .map(move |&dst| weight_of(new_src, dst))
+                    .collect::<Vec<f32>>()
+            })
+            .collect::<Vec<f32>>()
+            .into_boxed_slice();
+
+        let sink_base = (filtered.num_regular() + filtered.num_seed()) as NodeId;
+        let sink_weights: Box<[f32]> = (0..filtered.num_sink() as NodeId)
+            .into_par_iter()
+            .flat_map_iter(|k| {
+                let new_dst = sink_base + k;
+                filtered
+                    .sink_csc()
+                    .neighbors(k)
+                    .iter()
+                    .map(move |&src| weight_of(src, new_dst))
+                    .collect::<Vec<f32>>()
+            })
+            .collect::<Vec<f32>>()
+            .into_boxed_slice();
+
+        Self {
+            filtered,
+            blocked,
+            block_weights,
+            seed_weights,
+            sink_weights,
+            build_seconds: t0.elapsed().as_secs_f64(),
+        }
+    }
+
+    /// The filtered topology.
+    pub fn filtered(&self) -> &FilteredGraph {
+        &self.filtered
+    }
+
+    /// Preprocessing wall-clock.
+    pub fn build_seconds(&self) -> f64 {
+        self.build_seconds
+    }
+
+    /// Runs `iters` iterations of
+    /// `x'[v] = apply(v, ⊕_{u→v} x[u] ⊗ w(u,v))`; closures take original
+    /// node IDs.
+    pub fn iterate<V, FI, FA>(&self, init: FI, apply: FA, iters: usize) -> Vec<V>
+    where
+        V: PropValue,
+        FI: Fn(NodeId) -> V + Sync,
+        FA: Fn(NodeId, V) -> V + Sync,
+    {
+        self.run(init, apply, iters, None).0
+    }
+
+    /// Iterates until the max-norm step difference is at most `tol`.
+    pub fn iterate_until<V, FI, FA>(
+        &self,
+        init: FI,
+        apply: FA,
+        tol: f64,
+        max_iters: usize,
+    ) -> (Vec<V>, usize)
+    where
+        V: PropValue,
+        FI: Fn(NodeId) -> V + Sync,
+        FA: Fn(NodeId, V) -> V + Sync,
+    {
+        self.run(init, apply, max_iters, Some(tol))
+    }
+
+    fn run<V, FI, FA>(
+        &self,
+        init: FI,
+        apply: FA,
+        max_iters: usize,
+        tol: Option<f64>,
+    ) -> (Vec<V>, usize)
+    where
+        V: PropValue,
+        FI: Fn(NodeId) -> V + Sync,
+        FA: Fn(NodeId, V) -> V + Sync,
+    {
+        let f = &self.filtered;
+        let n = f.n();
+        let r = f.num_regular();
+        let s = f.num_seed();
+        if max_iters == 0 {
+            return ((0..n as NodeId).into_par_iter().map(&init).collect(), 0);
+        }
+
+        let seed_vals: Vec<V> = (0..s)
+            .into_par_iter()
+            .map(|i| init(f.to_old((r + i) as NodeId)))
+            .collect();
+
+        // Pre-Phase: weighted seed contributions.
+        let sta: Vec<V> = {
+            let mut acc = vec![V::identity(); r];
+            let mut e = 0usize;
+            for srow in 0..s as NodeId {
+                let val = seed_vals[srow as usize];
+                for &dst in f.seed_csr().neighbors(srow) {
+                    acc[dst as usize].combine(val.scale_edge(self.seed_weights[e]));
+                    e += 1;
+                }
+            }
+            acc
+        };
+
+        let mut x: Vec<V> = (0..r)
+            .into_par_iter()
+            .map(|v| init(f.to_old(v as NodeId)))
+            .collect();
+        let mut y: Vec<V> = sta.clone();
+        let mut bins: DynamicBins<V> = DynamicBins::new(&self.blocked);
+        let mut prev: Vec<V> = if tol.is_some() { x.clone() } else { Vec::new() };
+
+        let mut performed = 0usize;
+        for t in 0..max_iters {
+            let last_fixed = tol.is_none() && t + 1 == max_iters;
+            if tol.is_some() {
+                prev.copy_from_slice(&x);
+            }
+            let cache_from = (!last_fixed).then_some(&sta[..]);
+            scga::scatter(&self.blocked, &mut x, &mut bins, cache_from);
+            self.gather_weighted(&bins, &mut y, |new, sum| apply(f.to_old(new), sum));
+            std::mem::swap(&mut x, &mut y);
+            performed += 1;
+            if let Some(tol) = tol {
+                let diff = mixen_graph::max_diff(&x, &prev);
+                y.copy_from_slice(&sta);
+                if diff <= tol {
+                    break;
+                }
+            }
+        }
+        let x_prev: &[V] = if tol.is_some() { &prev } else { &y };
+
+        // Post-Phase + assembly.
+        let sink_base = r + s;
+        let sink_ptr = f.sink_csc().ptr();
+        let by_new: Vec<V> = (0..n)
+            .into_par_iter()
+            .map(|new| {
+                let old = f.to_old(new as NodeId);
+                if new < r {
+                    x[new]
+                } else if new < sink_base {
+                    apply(old, V::identity())
+                } else if new < sink_base + f.num_sink() {
+                    let k = (new - sink_base) as NodeId;
+                    let mut sum = V::identity();
+                    let base = sink_ptr[k as usize];
+                    for (i, &v) in f.sink_csc().neighbors(k).iter().enumerate() {
+                        let msg = if (v as usize) < r {
+                            x_prev[v as usize]
+                        } else {
+                            seed_vals[v as usize - r]
+                        };
+                        sum.combine(msg.scale_edge(self.sink_weights[base + i]));
+                    }
+                    apply(old, sum)
+                } else {
+                    apply(old, V::identity())
+                }
+            })
+            .collect();
+        (f.unpermute(&by_new), performed)
+    }
+
+    /// Weighted Gather + Apply: like [`scga::gather`], but each destination
+    /// combine applies the edge weight to the streamed value.
+    fn gather_weighted<V, FA>(&self, bins: &DynamicBins<V>, y: &mut [V], finish: FA)
+    where
+        V: PropValue,
+        FA: Fn(NodeId, V) -> V + Sync,
+    {
+        let rows = self.blocked.rows();
+        let c = self.blocked.block_side();
+        let mut segs: Vec<&mut [V]> = Vec::with_capacity(self.blocked.n_col_blocks());
+        let mut rest = y;
+        for j in 0..self.blocked.n_col_blocks() {
+            let len = self.blocked.col_range(j).len();
+            let (seg, tail) = rest.split_at_mut(len);
+            segs.push(seg);
+            rest = tail;
+        }
+        segs.par_iter_mut().enumerate().for_each(|(j, yseg)| {
+            for ((row, task), weights) in rows.iter().zip(bins.tasks()).zip(&self.block_weights) {
+                let blk = &row.blocks[j];
+                let wblk = &weights[j];
+                let mut e = 0usize;
+                for (k, &val) in task.col(j).iter().enumerate() {
+                    for &d in blk.dests_of(k) {
+                        yseg[d as usize].combine(val.scale_edge(wblk[e]));
+                        e += 1;
+                    }
+                }
+            }
+            let col_base = (j * c) as NodeId;
+            for (d, yv) in yseg.iter_mut().enumerate() {
+                *yv = finish(col_base + d as NodeId, *yv);
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mixen_graph::{Graph, MinF32};
+
+    /// Serial weighted reference.
+    fn reference<V: PropValue>(
+        wg: &WGraph,
+        init: impl Fn(NodeId) -> V,
+        apply: impl Fn(NodeId, V) -> V,
+        iters: usize,
+    ) -> Vec<V> {
+        let n = wg.n();
+        let mut x: Vec<V> = (0..n as NodeId).map(&init).collect();
+        for _ in 0..iters {
+            x = (0..n as NodeId)
+                .map(|v| {
+                    let mut sum = V::identity();
+                    for (u, w) in wg.in_edges(v) {
+                        sum.combine(x[u as usize].scale_edge(w));
+                    }
+                    apply(v, sum)
+                })
+                .collect();
+        }
+        x
+    }
+
+    fn toy() -> WGraph {
+        // regular 0,1,2; seed 3; sink 4.
+        WGraph::from_triples(
+            5,
+            &[
+                (0, 1, 2.0),
+                (1, 2, 0.5),
+                (2, 0, 1.5),
+                (3, 0, 4.0),
+                (3, 4, 1.0),
+                (1, 4, 3.0),
+            ],
+        )
+    }
+
+    fn opts() -> MixenOpts {
+        MixenOpts {
+            block_side: 2,
+            min_tasks_per_thread: 1,
+            ..MixenOpts::default()
+        }
+    }
+
+    #[test]
+    fn weighted_spmv_matches_reference() {
+        let wg = toy();
+        let e = WMixenEngine::new(&wg, opts());
+        // Seed-fixed-point contract: in-degree-0 nodes start at apply(v, 0).
+        let g = wg.topology().clone();
+        let apply = |_: NodeId, s: f32| 0.5 * s + 1.0;
+        let init = move |v: NodeId| {
+            if g.in_degree(v) == 0 {
+                1.0
+            } else {
+                (v + 1) as f32
+            }
+        };
+        for iters in 0..5 {
+            let got = e.iterate::<f32, _, _>(&init, apply, iters);
+            let want = reference::<f32>(&wg, &init, apply, iters);
+            for (a, b) in got.iter().zip(&want) {
+                assert!((a - b).abs() < 1e-4, "iters {iters}: {got:?} vs {want:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn one_shot_weighted_spmv_by_hand() {
+        let wg = toy();
+        let e = WMixenEngine::new(&wg, opts());
+        let y = e.iterate::<f32, _, _>(|v| (v + 1) as f32, |_, s| s, 1);
+        // y[0] = 1.5*x[2] + 4*x[3] = 4.5 + 16 = 20.5
+        // y[1] = 2*x[0] = 2; y[2] = 0.5*x[1] = 1
+        // y[4] = 1*x[3] + 3*x[1] = 4 + 6 = 10
+        assert_eq!(y, vec![20.5, 2.0, 1.0, 0.0, 10.0]);
+    }
+
+    #[test]
+    fn tropical_semiring_gives_shortest_paths() {
+        let wg = toy();
+        let e = WMixenEngine::new(&wg, opts());
+        let root = 3u32;
+        let init = |v: NodeId| if v == root { MinF32(0.0) } else { MinF32::identity() };
+        let apply = move |v: NodeId, s: MinF32| {
+            let mut out = s;
+            out.combine(if v == root { MinF32(0.0) } else { MinF32::identity() });
+            out
+        };
+        let (dist, _) = e.iterate_until(init, apply, 0.0, 50);
+        // 3->0 = 4; 3->0->1 = 6; ->2 = 6.5; 3->4 = 1 (vs 3->0->1->4 = 9).
+        assert_eq!(dist[3].0, 0.0);
+        assert_eq!(dist[0].0, 4.0);
+        assert_eq!(dist[1].0, 6.0);
+        assert_eq!(dist[2].0, 6.5);
+        assert_eq!(dist[4].0, 1.0);
+    }
+
+    #[test]
+    fn unit_weights_match_unweighted_engine() {
+        let g = Graph::from_pairs(
+            6,
+            &[(0, 1), (1, 2), (2, 0), (3, 1), (3, 4), (2, 4), (0, 5)],
+        );
+        let wg = WGraph::from_graph(&g, |_, _| 1.0);
+        let weighted = WMixenEngine::new(&wg, opts());
+        let unweighted = crate::MixenEngine::new(&g, opts());
+        // Both engines share the same seed semantics, so any init agrees.
+        let a = weighted.iterate::<f32, _, _>(|v| v as f32, |_, s| 0.5 * s + 1.0, 3);
+        let b = unweighted.iterate::<f32, _, _>(|v| v as f32, |_, s| 0.5 * s + 1.0, 3);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn zero_iterations_and_empty_graph() {
+        let wg = WGraph::from_triples(0, &[]);
+        let e = WMixenEngine::new(&wg, opts());
+        assert!(e.iterate::<f32, _, _>(|_| 1.0, |_, s| s, 3).is_empty());
+        let wg = toy();
+        let e = WMixenEngine::new(&wg, opts());
+        let got = e.iterate::<f32, _, _>(|v| v as f32, |_, _| f32::NAN, 0);
+        assert_eq!(got, vec![0.0, 1.0, 2.0, 3.0, 4.0]);
+    }
+}

@@ -1,0 +1,169 @@
+//! Weakly-connected components via union-find.
+//!
+//! Dataset validation uses this: the crawled graphs the paper uses are
+//! dominated by one giant component, the road network must be fully
+//! connected (otherwise BFS comparisons are meaningless), and R-MAT's
+//! isolated nodes show up as singleton components.
+
+use crate::{Graph, NodeId};
+
+/// Union-find with path halving and union by size.
+#[derive(Clone, Debug)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// `n` singletons.
+    pub fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+            components: n,
+        }
+    }
+
+    /// Representative of `x`'s set (with path halving).
+    pub fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            self.parent[x as usize] = self.parent[self.parent[x as usize] as usize];
+            x = self.parent[x as usize];
+        }
+        x
+    }
+
+    /// Merges the sets of `a` and `b`; returns true if they were distinct.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (big, small) = if self.size[ra as usize] >= self.size[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small as usize] = big;
+        self.size[big as usize] += self.size[small as usize];
+        self.components -= 1;
+        true
+    }
+
+    /// Number of disjoint sets.
+    pub fn count(&self) -> usize {
+        self.components
+    }
+
+    /// Size of `x`'s set.
+    pub fn size_of(&mut self, x: u32) -> usize {
+        let r = self.find(x);
+        self.size[r as usize] as usize
+    }
+}
+
+/// Result of a weakly-connected-components run.
+#[derive(Clone, Debug)]
+pub struct Components {
+    /// Component label per node (the representative's ID).
+    pub labels: Vec<u32>,
+    /// Number of components.
+    pub count: usize,
+    /// Size of the largest component.
+    pub largest: usize,
+}
+
+impl Components {
+    /// Fraction of nodes inside the largest component.
+    pub fn largest_fraction(&self) -> f64 {
+        if self.labels.is_empty() {
+            0.0
+        } else {
+            self.largest as f64 / self.labels.len() as f64
+        }
+    }
+}
+
+/// Computes weakly-connected components (directions ignored).
+pub fn weakly_connected_components(g: &Graph) -> Components {
+    let mut uf = UnionFind::new(g.n());
+    for (u, v) in g.edges() {
+        uf.union(u, v);
+    }
+    let labels: Vec<u32> = (0..g.n() as NodeId).map(|v| uf.find(v)).collect();
+    let count = uf.count();
+    let largest = (0..g.n() as NodeId)
+        .map(|v| uf.size_of(v))
+        .max()
+        .unwrap_or(0);
+    Components {
+        labels,
+        count,
+        largest,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Graph;
+
+    #[test]
+    fn two_components_plus_singleton() {
+        let g = Graph::from_pairs(5, &[(0, 1), (1, 0), (2, 3)]);
+        let c = weakly_connected_components(&g);
+        assert_eq!(c.count, 3); // {0,1}, {2,3}, {4}
+        assert_eq!(c.largest, 2);
+        assert_eq!(c.labels[0], c.labels[1]);
+        assert_eq!(c.labels[2], c.labels[3]);
+        assert_ne!(c.labels[0], c.labels[2]);
+    }
+
+    #[test]
+    fn direction_is_ignored() {
+        // A directed chain is weakly connected.
+        let g = Graph::from_pairs(4, &[(0, 1), (2, 1), (2, 3)]);
+        let c = weakly_connected_components(&g);
+        assert_eq!(c.count, 1);
+        assert_eq!(c.largest_fraction(), 1.0);
+    }
+
+    #[test]
+    fn union_find_counts() {
+        let mut uf = UnionFind::new(4);
+        assert_eq!(uf.count(), 4);
+        assert!(uf.union(0, 1));
+        assert!(!uf.union(1, 0));
+        assert!(uf.union(2, 3));
+        assert!(uf.union(0, 3));
+        assert_eq!(uf.count(), 1);
+        assert_eq!(uf.size_of(2), 4);
+    }
+
+    #[test]
+    fn road_dataset_is_connected() {
+        use crate::{Dataset, Scale};
+        let g = Dataset::Road.generate(Scale::Tiny, 3);
+        let c = weakly_connected_components(&g);
+        assert_eq!(c.count, 1, "road backbone must connect everything");
+    }
+
+    #[test]
+    fn rmat_isolated_nodes_are_singletons() {
+        use crate::{Classification, Dataset, NodeClass, Scale};
+        let g = Dataset::Rmat.generate(Scale::Tiny, 4);
+        let cls = Classification::of(&g);
+        let c = weakly_connected_components(&g);
+        assert!(c.count > cls.count(NodeClass::Isolated));
+        assert!(c.largest_fraction() > 0.5, "giant component expected");
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::from_pairs(0, &[]);
+        let c = weakly_connected_components(&g);
+        assert_eq!(c.count, 0);
+        assert_eq!(c.largest_fraction(), 0.0);
+    }
+}

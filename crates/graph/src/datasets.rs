@@ -1,0 +1,269 @@
+//! The eight named datasets of the paper's evaluation, as scaled stand-ins.
+//!
+//! The crawled graphs (weibo, track, wiki, pld) are produced by the
+//! [`crate::gen::generate_profile`] generator targeting their published
+//! structure;
+//! rmat/kron/urand use the same generators (and parameters) as the paper;
+//! road is a partial 2-D lattice with road-network characteristics. See
+//! DESIGN.md §5 for the substitution rationale.
+//!
+//! [`Scale`] divides the paper's node counts by a power of two so the whole
+//! suite runs on one machine: `Medium` is 1/64 of the published sizes.
+
+use crate::gen::{self, ProfileSpec, RmatParams};
+use crate::Graph;
+
+/// Size multiplier relative to the paper's published graph sizes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Scale {
+    /// ~1/1024 of the paper — unit/integration tests (thousands of nodes).
+    Tiny,
+    /// ~1/256 of the paper — quick experiments.
+    Small,
+    /// ~1/64 of the paper — default for the benchmark harness.
+    Medium,
+    /// ~1/16 of the paper — slower, closest shape to the published runs.
+    Large,
+}
+
+impl Scale {
+    /// Divisor applied to the paper's node counts.
+    pub fn divisor(self) -> usize {
+        match self {
+            Scale::Tiny => 1024,
+            Scale::Small => 256,
+            Scale::Medium => 64,
+            Scale::Large => 16,
+        }
+    }
+
+    /// log2 of the divisor, used by the 2^scale generators.
+    fn log2_divisor(self) -> u32 {
+        self.divisor().trailing_zeros()
+    }
+}
+
+/// The eight evaluation datasets (Table 2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Dataset {
+    /// Social network; 99 % seed nodes, extreme hub concentration.
+    Weibo,
+    /// Web-tracker bipartite-ish crawl.
+    Track,
+    /// Wikipedia links (DBpedia); 45 % sinks.
+    Wiki,
+    /// Pay-level-domain web graph; all four classes present.
+    Pld,
+    /// Synthetic R-MAT (GAP parameters), 59 % isolated.
+    Rmat,
+    /// Synthetic Kronecker, undirected, 51 % isolated.
+    Kron,
+    /// Road network: undirected, non-skewed, huge diameter.
+    Road,
+    /// Uniform random: undirected, non-skewed.
+    Urand,
+}
+
+impl Dataset {
+    /// All datasets in the paper's table order.
+    pub const ALL: [Dataset; 8] = [
+        Dataset::Weibo,
+        Dataset::Track,
+        Dataset::Wiki,
+        Dataset::Pld,
+        Dataset::Rmat,
+        Dataset::Kron,
+        Dataset::Road,
+        Dataset::Urand,
+    ];
+
+    /// The skewed subset (Table 1 top block).
+    pub const SKEWED: [Dataset; 6] = [
+        Dataset::Weibo,
+        Dataset::Track,
+        Dataset::Wiki,
+        Dataset::Pld,
+        Dataset::Rmat,
+        Dataset::Kron,
+    ];
+
+    /// Lower-case name as printed in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Dataset::Weibo => "weibo",
+            Dataset::Track => "track",
+            Dataset::Wiki => "wiki",
+            Dataset::Pld => "pld",
+            Dataset::Rmat => "rmat",
+            Dataset::Kron => "kron",
+            Dataset::Road => "road",
+            Dataset::Urand => "urand",
+        }
+    }
+
+    /// Parses a dataset name (as printed by [`Dataset::name`]).
+    pub fn from_name(name: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|d| d.name() == name)
+    }
+
+    /// Whether the paper labels the dataset "Real" (Table 2).
+    pub fn is_real(self) -> bool {
+        matches!(
+            self,
+            Dataset::Weibo | Dataset::Track | Dataset::Wiki | Dataset::Pld | Dataset::Road
+        )
+    }
+
+    /// Whether the paper stores the dataset as a directed graph (Table 2).
+    pub fn is_directed(self) -> bool {
+        !matches!(self, Dataset::Kron | Dataset::Road | Dataset::Urand)
+    }
+
+    /// Generates the dataset at `scale` with a deterministic `seed`.
+    pub fn generate(self, scale: Scale, seed: u64) -> Graph {
+        let div = scale.divisor();
+        let k = scale.log2_divisor();
+        match self {
+            Dataset::Weibo => gen::generate_profile(&ProfileSpec {
+                n: 5_800_000 / div,
+                avg_degree: 45.0,
+                frac_regular: 0.01,
+                frac_seed: 0.99,
+                frac_sink: 0.0,
+                frac_isolated: 0.0,
+                beta: 0.06,
+                in_skew: 1.05,
+                out_skew: 0.55,
+                seed,
+            }),
+            Dataset::Track => gen::generate_profile(&ProfileSpec {
+                n: 12_800_000 / div,
+                avg_degree: 11.0,
+                frac_regular: 0.46,
+                frac_seed: 0.54,
+                frac_sink: 0.0,
+                frac_isolated: 0.0,
+                beta: 0.60,
+                in_skew: 0.95,
+                out_skew: 0.55,
+                seed,
+            }),
+            Dataset::Wiki => gen::generate_profile(&ProfileSpec {
+                n: 18_200_000 / div,
+                avg_degree: 9.5,
+                frac_regular: 0.22,
+                frac_seed: 0.33,
+                frac_sink: 0.45,
+                frac_isolated: 0.0,
+                beta: 0.78,
+                in_skew: 0.85,
+                out_skew: 0.55,
+                seed,
+            }),
+            Dataset::Pld => gen::generate_profile(&ProfileSpec {
+                n: 42_900_000 / div,
+                avg_degree: 14.5,
+                frac_regular: 0.56,
+                frac_seed: 0.08,
+                frac_sink: 0.28,
+                frac_isolated: 0.08,
+                beta: 0.84,
+                in_skew: 0.95,
+                out_skew: 0.55,
+                seed,
+            }),
+            // Paper rmat: n = 8.4 M = 2^23, edge factor 16.
+            Dataset::Rmat => gen::rmat(23 - k, 16, RmatParams::default(), seed),
+            // Paper kron: n = 67.1 M = 2^26, 2.1 B edges => edge factor 16
+            // before symmetrization.
+            Dataset::Kron => gen::kronecker(26 - k, 16, seed),
+            // Paper road: n = 23.9 M, avg directed degree 2.4.
+            Dataset::Road => {
+                let n = 23_900_000 / div;
+                let side = (n as f64).sqrt().round() as usize;
+                gen::road(side, side, 0.12, seed)
+            }
+            // Paper urand: n = 8.4 M = 2^23, m = 268 M => degree 32.
+            Dataset::Urand => gen::uniform(8_400_000 / div, 32, seed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StructuralStats;
+
+    #[test]
+    fn names_roundtrip() {
+        for d in Dataset::ALL {
+            assert_eq!(Dataset::from_name(d.name()), Some(d));
+        }
+        assert_eq!(Dataset::from_name("nope"), None);
+    }
+
+    #[test]
+    fn tiny_scale_generates_all() {
+        for d in Dataset::ALL {
+            let g = d.generate(Scale::Tiny, 1);
+            assert!(g.n() > 100, "{} too small: {}", d.name(), g.n());
+            g.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn skewed_flags_match_paper() {
+        for d in Dataset::SKEWED {
+            let g = d.generate(Scale::Tiny, 2);
+            let s = StructuralStats::of(&g);
+            assert!(s.is_skewed(), "{} should be skewed: {:?}", d.name(), s);
+        }
+        for d in [Dataset::Road, Dataset::Urand] {
+            let g = d.generate(Scale::Tiny, 2);
+            let s = StructuralStats::of(&g);
+            assert!(!s.is_skewed(), "{} should not be skewed", d.name());
+        }
+    }
+
+    #[test]
+    fn undirected_datasets_are_symmetric() {
+        for d in Dataset::ALL {
+            let g = d.generate(Scale::Tiny, 3);
+            assert_eq!(
+                g.is_symmetric(),
+                !d.is_directed(),
+                "symmetry mismatch for {}",
+                d.name()
+            );
+        }
+    }
+
+    #[test]
+    fn alpha_beta_close_to_paper() {
+        // Paper Table 2 values; tolerance is generous at tiny scale.
+        let targets = [
+            (Dataset::Weibo, 0.01, 0.06, 0.05, 0.25),
+            (Dataset::Track, 0.46, 0.60, 0.06, 0.15),
+            (Dataset::Wiki, 0.22, 0.78, 0.05, 0.15),
+            (Dataset::Pld, 0.56, 0.84, 0.06, 0.12),
+        ];
+        for (d, alpha, beta, tol_a, tol_b) in targets {
+            let g = d.generate(Scale::Tiny, 4);
+            let s = StructuralStats::of(&g);
+            assert!(
+                (s.alpha - alpha).abs() < tol_a,
+                "{}: alpha {} vs paper {}",
+                d.name(),
+                s.alpha,
+                alpha
+            );
+            assert!(
+                (s.beta - beta).abs() < tol_b,
+                "{}: beta {} vs paper {}",
+                d.name(),
+                s.beta,
+                beta
+            );
+        }
+    }
+}

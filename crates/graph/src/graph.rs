@@ -1,0 +1,205 @@
+//! The directed graph type shared by every engine.
+//!
+//! A [`Graph`] owns both the out-edge CSR and the in-edge CSC (stored as the
+//! CSR of the transpose), mirroring the paper's assumption (§6.5) that
+//! frameworks ingest a prebuilt CSR binary. Keeping both directions around is
+//! what lets Mixen extract its mixed CSR/CSC representation without a format
+//! conversion (§4.1).
+
+use crate::{Csr, EdgeList, NodeId};
+
+/// A directed graph with `n` nodes, holding out- and in-adjacency.
+#[derive(Clone, Debug)]
+pub struct Graph {
+    out: Csr,
+    inn: Csr,
+}
+
+impl Graph {
+    /// Builds a graph from an edge list (the CSC is derived by transposition).
+    pub fn from_edge_list(edges: &EdgeList) -> Self {
+        let out = Csr::from_edges(edges.n(), edges.pairs());
+        let inn = out.transpose();
+        Self { out, inn }
+    }
+
+    /// Builds directly from pairs without normalization.
+    pub fn from_pairs(n: usize, pairs: &[(NodeId, NodeId)]) -> Self {
+        let out = Csr::from_edges(n, pairs);
+        let inn = out.transpose();
+        Self { out, inn }
+    }
+
+    /// Wraps an existing out-CSR (the in-CSC is derived).
+    pub fn from_csr(out: Csr) -> Self {
+        assert_eq!(out.n_rows(), out.n_cols(), "adjacency must be square");
+        let inn = out.transpose();
+        Self { out, inn }
+    }
+
+    /// Wraps both directions. Panics if they are not transposes of each
+    /// other in debug builds (cheap cardinality checks always run).
+    pub fn from_parts(out: Csr, inn: Csr) -> Self {
+        assert_eq!(out.n_rows(), inn.n_rows());
+        assert_eq!(out.nnz(), inn.nnz());
+        debug_assert_eq!(inn, out.transpose(), "inn must be the transpose of out");
+        Self { out, inn }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.out.n_rows()
+    }
+
+    /// Number of directed edges.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.out.nnz()
+    }
+
+    /// Average degree `m / n` (0 for the empty graph).
+    pub fn avg_degree(&self) -> f64 {
+        if self.n() == 0 {
+            0.0
+        } else {
+            self.m() as f64 / self.n() as f64
+        }
+    }
+
+    /// Out-edge CSR.
+    #[inline]
+    pub fn out_csr(&self) -> &Csr {
+        &self.out
+    }
+
+    /// In-edge CSC (CSR of the transpose).
+    #[inline]
+    pub fn in_csc(&self) -> &Csr {
+        &self.inn
+    }
+
+    /// Out-degree of `u`.
+    #[inline]
+    pub fn out_degree(&self, u: NodeId) -> usize {
+        self.out.degree(u)
+    }
+
+    /// In-degree of `u`.
+    #[inline]
+    pub fn in_degree(&self, u: NodeId) -> usize {
+        self.inn.degree(u)
+    }
+
+    /// Out-neighbours of `u` (sorted).
+    #[inline]
+    pub fn out_neighbors(&self, u: NodeId) -> &[NodeId] {
+        self.out.neighbors(u)
+    }
+
+    /// In-neighbours of `u` (sorted).
+    #[inline]
+    pub fn in_neighbors(&self, u: NodeId) -> &[NodeId] {
+        self.inn.neighbors(u)
+    }
+
+    /// Iterates all edges in row-major order of the out-CSR.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.out.edges()
+    }
+
+    /// Heap bytes of both adjacency structures (the CSR + CSC a
+    /// conventional framework keeps resident).
+    pub fn memory_bytes(&self) -> usize {
+        self.out.memory_bytes() + self.inn.memory_bytes()
+    }
+
+    /// The reverse graph: every edge `u -> v` becomes `v -> u`. Cheap — the
+    /// two internal CSRs just swap roles. Used by algorithms that propagate
+    /// in both directions (HITS, SALSA).
+    pub fn reversed(&self) -> Graph {
+        Graph {
+            out: self.inn.clone(),
+            inn: self.out.clone(),
+        }
+    }
+
+    /// True when for every `u -> v` the edge `v -> u` is also present.
+    pub fn is_symmetric(&self) -> bool {
+        (0..self.n() as NodeId).all(|u| self.out.neighbors(u) == self.inn.neighbors(u))
+    }
+
+    /// Structural validation of both directions.
+    pub fn validate(&self) -> Result<(), String> {
+        self.out.validate()?;
+        self.inn.validate()?;
+        if self.out.nnz() != self.inn.nnz() {
+            return Err("out/in edge counts differ".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Graph {
+        Graph::from_pairs(5, &[(0, 1), (0, 2), (1, 2), (3, 0), (2, 4)])
+    }
+
+    #[test]
+    fn degrees_are_consistent() {
+        let g = toy();
+        assert_eq!(g.n(), 5);
+        assert_eq!(g.m(), 5);
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.in_degree(2), 2);
+        assert_eq!(g.out_degree(4), 0);
+        assert_eq!(g.in_degree(3), 0);
+        let out_sum: usize = (0..5).map(|u| g.out_degree(u)).sum();
+        let in_sum: usize = (0..5).map(|u| g.in_degree(u)).sum();
+        assert_eq!(out_sum, g.m());
+        assert_eq!(in_sum, g.m());
+    }
+
+    #[test]
+    fn in_neighbors_match_transposed_edges() {
+        let g = toy();
+        assert_eq!(g.in_neighbors(2), &[0, 1]);
+        assert_eq!(g.in_neighbors(0), &[3]);
+        assert_eq!(g.out_neighbors(3), &[0]);
+    }
+
+    #[test]
+    fn symmetric_detection() {
+        let g = toy();
+        assert!(!g.is_symmetric());
+        let mut e = EdgeList::from_pairs(3, vec![(0, 1), (1, 2)]);
+        e.symmetrize();
+        let s = Graph::from_edge_list(&e);
+        assert!(s.is_symmetric());
+    }
+
+    #[test]
+    fn validate_ok() {
+        toy().validate().unwrap();
+    }
+
+    #[test]
+    fn reversed_swaps_directions() {
+        let g = toy();
+        let r = g.reversed();
+        assert_eq!(r.out_neighbors(2), g.in_neighbors(2));
+        assert_eq!(r.in_neighbors(0), g.out_neighbors(0));
+        assert_eq!(r.m(), g.m());
+        let rr = r.reversed();
+        assert_eq!(rr.out_csr(), g.out_csr());
+    }
+
+    #[test]
+    fn avg_degree_empty() {
+        let g = Graph::from_pairs(0, &[]);
+        assert_eq!(g.avg_degree(), 0.0);
+    }
+}

@@ -1,0 +1,217 @@
+//! Graph serialization.
+//!
+//! * A compact binary CSR format (`MXG1`) mirroring the paper's setup, where
+//!   GPOP and Mixen ingest a prebuilt CSR binary directly (§6.5 / Table 4).
+//! * A whitespace text edge-list format (`src dst` per line, `#` comments)
+//!   matching what Ligra/Polymer/GraphMat-style frameworks convert from.
+
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::{Csr, EdgeList, Graph, NodeId};
+
+const MAGIC: &[u8; 4] = b"MXG1";
+
+/// Writes the out-CSR of `g` in the binary `MXG1` format.
+pub fn write_csr<W: Write>(g: &Graph, w: &mut W) -> io::Result<()> {
+    let csr = g.out_csr();
+    w.write_all(MAGIC)?;
+    w.write_all(&(csr.n_rows() as u64).to_le_bytes())?;
+    w.write_all(&(csr.nnz() as u64).to_le_bytes())?;
+    for &p in csr.ptr() {
+        w.write_all(&(p as u64).to_le_bytes())?;
+    }
+    for &v in csr.idx() {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// Reads a binary `MXG1` graph; the in-CSC is rebuilt by transposition.
+pub fn read_csr<R: Read>(r: &mut R) -> io::Result<Graph> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "bad magic: not an MXG1 file",
+        ));
+    }
+    let n = read_u64(r)? as usize;
+    let m = read_u64(r)? as usize;
+    let mut ptr = Vec::with_capacity(n + 1);
+    for _ in 0..=n {
+        ptr.push(read_u64(r)? as usize);
+    }
+    let mut idx = Vec::with_capacity(m);
+    let mut buf = [0u8; 4];
+    for _ in 0..m {
+        r.read_exact(&mut buf)?;
+        idx.push(NodeId::from_le_bytes(buf));
+    }
+    let csr = Csr::from_parts(n, ptr, idx);
+    Ok(Graph::from_csr(csr))
+}
+
+/// Writes `g` to a file in binary CSR format.
+pub fn save(g: &Graph, path: impl AsRef<Path>) -> io::Result<()> {
+    let mut w = BufWriter::new(std::fs::File::create(path)?);
+    write_csr(g, &mut w)?;
+    w.flush()
+}
+
+/// Loads a binary CSR graph from a file.
+pub fn load(path: impl AsRef<Path>) -> io::Result<Graph> {
+    let mut r = BufReader::new(std::fs::File::open(path)?);
+    read_csr(&mut r)
+}
+
+/// Writes a text edge list (`src dst` per line).
+pub fn write_edge_list<W: Write>(g: &Graph, w: &mut W) -> io::Result<()> {
+    writeln!(w, "# mixen edge list: n={} m={}", g.n(), g.m())?;
+    for (s, d) in g.edges() {
+        writeln!(w, "{s} {d}")?;
+    }
+    Ok(())
+}
+
+/// Parses a text edge list. Node count is `max endpoint + 1` unless a larger
+/// `min_n` is given or the header comment declares `n=<count>` (which
+/// [`write_edge_list`] emits, so trailing isolated nodes round-trip).
+pub fn read_edge_list<R: BufRead>(r: R, min_n: usize) -> io::Result<Graph> {
+    let mut pairs: Vec<(NodeId, NodeId)> = Vec::new();
+    let mut max_node = 0u32;
+    let mut min_n = min_n;
+    for (lineno, line) in r.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            // Recover the declared node count from the header, if present.
+            if let Some(decl) = line.split_whitespace().find_map(|tok| {
+                tok.strip_prefix("n=").and_then(|v| v.parse::<usize>().ok())
+            }) {
+                min_n = min_n.max(decl);
+            }
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let parse = |tok: Option<&str>| -> io::Result<u32> {
+            tok.ok_or_else(|| bad_line(lineno))?
+                .parse::<u32>()
+                .map_err(|_| bad_line(lineno))
+        };
+        let s = parse(it.next())?;
+        let d = parse(it.next())?;
+        max_node = max_node.max(s).max(d);
+        pairs.push((s, d));
+    }
+    let n = if pairs.is_empty() {
+        min_n
+    } else {
+        (max_node as usize + 1).max(min_n)
+    };
+    Ok(Graph::from_edge_list(&EdgeList::from_pairs(n, pairs)))
+}
+
+fn bad_line(lineno: usize) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("malformed edge on line {}", lineno + 1),
+    )
+}
+
+fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Graph {
+        Graph::from_pairs(5, &[(0, 1), (0, 2), (1, 2), (3, 0), (2, 4)])
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let g = toy();
+        let mut buf = Vec::new();
+        write_csr(&g, &mut buf).unwrap();
+        let back = read_csr(&mut buf.as_slice()).unwrap();
+        assert_eq!(g.out_csr(), back.out_csr());
+        assert_eq!(g.in_csc(), back.in_csc());
+    }
+
+    #[test]
+    fn binary_rejects_bad_magic() {
+        let err = read_csr(&mut &b"NOPE"[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn binary_rejects_truncation() {
+        let g = toy();
+        let mut buf = Vec::new();
+        write_csr(&g, &mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(read_csr(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let g = toy();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let back = read_edge_list(buf.as_slice(), 0).unwrap();
+        assert_eq!(g.out_csr(), back.out_csr());
+    }
+
+    #[test]
+    fn text_handles_comments_blanks_and_min_n() {
+        let text = "# header\n\n0 1\n1 2\n";
+        let g = read_edge_list(text.as_bytes(), 10).unwrap();
+        assert_eq!(g.n(), 10);
+        assert_eq!(g.m(), 2);
+    }
+
+    #[test]
+    fn text_roundtrip_keeps_trailing_isolated_nodes() {
+        // Node 4 has no edges; the n= header must preserve it.
+        let g = Graph::from_pairs(5, &[(0, 1), (2, 3)]);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let back = read_edge_list(buf.as_slice(), 0).unwrap();
+        assert_eq!(back.n(), 5);
+        assert_eq!(g.out_csr(), back.out_csr());
+    }
+
+    #[test]
+    fn text_rejects_garbage() {
+        let err = read_edge_list("0 x\n".as_bytes(), 0).unwrap_err();
+        assert!(err.to_string().contains("line 1"));
+    }
+
+    #[test]
+    fn file_save_load() {
+        let dir = std::env::temp_dir().join("mixen_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("toy.mxg");
+        let g = toy();
+        save(&g, &path).unwrap();
+        let back = load(&path).unwrap();
+        assert_eq!(g.out_csr(), back.out_csr());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn empty_graph_roundtrip() {
+        let g = Graph::from_pairs(0, &[]);
+        let mut buf = Vec::new();
+        write_csr(&g, &mut buf).unwrap();
+        let back = read_csr(&mut buf.as_slice()).unwrap();
+        assert_eq!(back.n(), 0);
+        assert_eq!(back.m(), 0);
+    }
+}

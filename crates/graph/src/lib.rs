@@ -1,0 +1,48 @@
+//! Graph substrate for the Mixen reproduction.
+//!
+//! This crate provides everything the Mixen framework and its baseline
+//! engines consume:
+//!
+//! * [`EdgeList`] — a mutable edge buffer with parallel sort/dedup.
+//! * [`Csr`] — compressed sparse row storage with parallel construction and
+//!   transposition. A CSC is simply the [`Csr`] of the transposed graph.
+//! * [`Graph`] — a directed graph holding both the out-edge CSR and the
+//!   in-edge CSC, the unit every engine is built from.
+//! * [`classify`] — connectivity classification (regular / seed / sink /
+//!   isolated) and hub detection, per §2.1 of the paper.
+//! * [`stats`] — structural statistics reproducing Table 1 and Table 2.
+//! * [`gen`] — deterministic graph generators: R-MAT, Kronecker,
+//!   uniform-random, road lattices and the profile generator that stands in
+//!   for the paper's crawled datasets.
+//! * [`datasets`] — the eight named stand-in datasets at selectable scales.
+//! * [`io`] — binary CSR and text edge-list readers/writers.
+//!
+//! Node identifiers are `u32` (the paper uses 32-bit node IDs); edge offsets
+//! are `usize` so graphs larger than 4 G edges remain representable.
+
+pub mod classify;
+pub mod components;
+pub mod csr;
+pub mod datasets;
+pub mod degree;
+pub mod edgelist;
+pub mod gen;
+pub mod graph;
+pub mod io;
+pub mod prop;
+pub mod stats;
+pub mod weighted;
+
+pub use classify::{Classification, NodeClass};
+pub use components::{weakly_connected_components, Components, UnionFind};
+pub use csr::Csr;
+pub use datasets::{Dataset, Scale};
+pub use degree::{gini_coefficient, DegreeDistribution, Direction};
+pub use edgelist::EdgeList;
+pub use graph::Graph;
+pub use prop::{max_diff, AtomicProp, MinF32, PropValue};
+pub use stats::StructuralStats;
+pub use weighted::WGraph;
+
+/// Node identifier. 32 bits, matching the paper's data types (§6.1).
+pub type NodeId = u32;

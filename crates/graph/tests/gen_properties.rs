@@ -1,0 +1,104 @@
+//! Property-based tests of the dataset generators: arbitrary valid
+//! parameters must produce structurally valid graphs whose realized classes
+//! match the requested profile.
+
+use mixen_graph::gen::{generate_profile, ProfileSpec};
+use mixen_graph::{gen, Classification, NodeClass, StructuralStats};
+use proptest::prelude::*;
+
+/// Arbitrary class mix: four non-negative weights normalized to 1.
+fn arb_fractions() -> impl Strategy<Value = [f64; 4]> {
+    (1u32..100, 0u32..100, 0u32..100, 0u32..100).prop_map(|(a, b, c, d)| {
+        let total = (a + b + c + d) as f64;
+        [
+            a as f64 / total,
+            b as f64 / total,
+            c as f64 / total,
+            d as f64 / total,
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn profile_generator_respects_any_valid_spec(
+        fracs in arb_fractions(),
+        n in 200usize..2000,
+        avg_degree in 1.0f64..12.0,
+        beta in 0.0f64..1.0,
+        in_skew in 0.0f64..1.3,
+        seed in 0u64..1000,
+    ) {
+        let spec = ProfileSpec {
+            n,
+            avg_degree,
+            frac_regular: fracs[0],
+            frac_seed: fracs[1],
+            frac_sink: fracs[2],
+            frac_isolated: fracs[3],
+            beta,
+            in_skew,
+            out_skew: 0.5,
+            seed,
+        };
+        let g = generate_profile(&spec);
+        prop_assert_eq!(g.n(), n);
+        g.validate().unwrap();
+        let c = Classification::of(&g);
+        // Realized class fractions within 5 points of the request.
+        let targets = [fracs[0], fracs[1], fracs[2], fracs[3]];
+        for (class, &target) in NodeClass::ALL.iter().zip(&targets) {
+            let realized = c.count(*class) as f64 / n as f64;
+            prop_assert!(
+                (realized - target).abs() < 0.05,
+                "{:?}: realized {} vs target {}",
+                class, realized, target
+            );
+        }
+        // No self loops survive.
+        prop_assert_eq!(g.edges().filter(|&(s, d)| s == d).count(), 0);
+    }
+
+    #[test]
+    fn rmat_always_valid(scale in 4u32..11, ef in 1usize..16, seed in 0u64..100) {
+        let g = gen::rmat(scale, ef, gen::RmatParams::default(), seed);
+        g.validate().unwrap();
+        prop_assert_eq!(g.n(), 1usize << scale);
+        prop_assert!(g.m() <= (1usize << scale) * ef);
+    }
+
+    #[test]
+    fn kron_always_symmetric(scale in 4u32..10, seed in 0u64..100) {
+        let g = gen::kronecker(scale, 8, seed);
+        g.validate().unwrap();
+        prop_assert!(g.is_symmetric());
+        let s = StructuralStats::of(&g);
+        prop_assert!(s.frac_seed == 0.0 && s.frac_sink == 0.0);
+    }
+
+    #[test]
+    fn road_always_connected_and_regular(
+        w in 3usize..40,
+        h in 3usize..40,
+        keep in 0.0f64..0.5,
+        seed in 0u64..50,
+    ) {
+        let g = gen::road(w, h, keep, seed);
+        g.validate().unwrap();
+        let comps = mixen_graph::weakly_connected_components(&g);
+        prop_assert_eq!(comps.count, 1);
+        let c = Classification::of(&g);
+        prop_assert_eq!(c.count(NodeClass::Regular), g.n());
+    }
+
+    #[test]
+    fn uniform_always_all_regular(n in 10usize..500, deg in 2usize..20, seed in 0u64..50) {
+        let g = gen::uniform(n, deg, seed);
+        g.validate().unwrap();
+        let c = Classification::of(&g);
+        prop_assert_eq!(c.count(NodeClass::Regular), n);
+        prop_assert!(g.is_symmetric());
+    }
+}

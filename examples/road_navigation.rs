@@ -1,0 +1,73 @@
+//! Reachability analysis on a road network — the paper's non-skewed,
+//! high-diameter control case (graph *road*), where design trade-offs
+//! invert: pulling beats blocking (Fig. 4 discussion) and BFS is dominated
+//! by the enormous level count.
+//!
+//! ```sh
+//! cargo run --release --example road_navigation
+//! ```
+
+use mixen_algos::{bfs, default_root, summarize, Engine};
+use mixen_baselines::{PullEngine, PushEngine};
+use mixen_core::{MixenEngine, MixenOpts};
+use mixen_graph::{Dataset, Scale, StructuralStats};
+use std::time::Instant;
+
+fn time_bfs<E: Engine>(name: &str, engine: &E, root: u32) -> Vec<i32> {
+    let t = Instant::now();
+    let depths = bfs(engine, root);
+    let (reached, diameter) = summarize(&depths);
+    println!(
+        "  {name:>22}: {:.3}s, reached {reached} intersections, max depth {diameter}",
+        t.elapsed().as_secs_f64()
+    );
+    depths
+}
+
+fn main() {
+    let g = Dataset::Road.generate(Scale::Tiny, 5);
+    let s = StructuralStats::of(&g);
+    println!(
+        "road network: n = {}, m = {}, avg degree {:.1}, skewed: {}",
+        s.n,
+        s.m,
+        g.avg_degree(),
+        s.is_skewed()
+    );
+
+    let root = default_root(&g);
+    println!("BFS from intersection {root} (highest degree junction):");
+
+    let mixen = MixenEngine::new(&g, MixenOpts::default());
+    let a = time_bfs("Mixen (blocked)", &mixen, root);
+    let b = time_bfs("Ligra-style (dir-opt)", &PushEngine::new(&g), root);
+    let c = time_bfs("GraphMat (dense pull)", &PullEngine::new(&g), root);
+    assert_eq!(a, b);
+    assert_eq!(a, c);
+
+    // Depth histogram: road networks reach most nodes at large depths — the
+    // property that makes per-level dense scans (GraphMat) hopeless.
+    let (_, max_depth) = summarize(&a);
+    let buckets = 8usize;
+    let mut hist = vec![0usize; buckets];
+    for &d in &a {
+        if d >= 0 {
+            let b = (d as usize * buckets / (max_depth as usize + 1)).min(buckets - 1);
+            hist[b] += 1;
+        }
+    }
+    println!("\nnodes per depth range (diameter ≈ {max_depth}):");
+    for (i, count) in hist.iter().enumerate() {
+        let lo = i * (max_depth as usize + 1) / buckets;
+        let hi = (i + 1) * (max_depth as usize + 1) / buckets;
+        let bar = "#".repeat(count * 40 / a.len().max(1) + 1);
+        println!("  depth {lo:>5}..{hi:<5} {count:>7} {bar}");
+    }
+    println!(
+        "\n(A dense-pull BFS scans all {} edges once per depth level — ~{} scans\n\
+         on this diameter — which is why GraphMat's road BFS is the slowest\n\
+         entry of the paper's Table 3.)",
+        g.m(),
+        max_depth
+    );
+}

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Regenerates every table/figure of EXPERIMENTS.md into results/.
+# Usage: scripts/run_all.sh [scale] [iters]   (defaults: small 10)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+SCALE="${1:-small}"
+ITERS="${2:-10}"
+cargo build --release -p mixen-bench
+mkdir -p results
+for b in table1 table2 table4 fig4 fig5 fig6 fig7 model_check ablation phases adaptive; do
+  echo "=== $b ($SCALE) ==="
+  ./target/release/$b --scale "$SCALE" --iters "$ITERS" | tee "results/${b}_${SCALE}.txt"
+done
+echo "=== table3 ($SCALE) ==="
+./target/release/table3 --scale "$SCALE" --iters "$ITERS" | tee "results/table3_${SCALE}.txt"
+echo "all results written to results/"

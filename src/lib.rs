@@ -1,0 +1,11 @@
+//! Umbrella crate for the Mixen reproduction workspace.
+//!
+//! Re-exports the public surface of every member crate so the examples and
+//! integration tests read naturally. Library users should depend on the
+//! individual crates (`mixen-core`, `mixen-graph`, …) directly.
+
+pub use mixen_algos as algos;
+pub use mixen_baselines as baselines;
+pub use mixen_cachesim as cachesim;
+pub use mixen_core as core;
+pub use mixen_graph as graph;

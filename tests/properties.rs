@@ -1,0 +1,179 @@
+//! Property-based tests over randomly generated graphs: the invariants of
+//! DESIGN.md §6, checked with proptest on arbitrary edge sets.
+
+use mixen_baselines::{BlockEngine, PullEngine, PushEngine, ReferenceEngine};
+use mixen_core::{FilteredGraph, MixenEngine, MixenOpts};
+use mixen_graph::{Classification, Graph, NodeClass, StructuralStats};
+use proptest::prelude::*;
+
+/// Arbitrary directed graph: up to 24 nodes, up to 80 edges (duplicates and
+/// self-loops allowed — the substrate must cope).
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2usize..24).prop_flat_map(|n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..80)
+            .prop_map(move |edges| Graph::from_pairs(n, &edges))
+    })
+}
+
+fn small_opts() -> MixenOpts {
+    MixenOpts {
+        block_side: 4,
+        min_tasks_per_thread: 1,
+        ..MixenOpts::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn filtering_is_a_bijection(g in arb_graph()) {
+        let f = FilteredGraph::new(&g);
+        let mut seen = vec![false; g.n()];
+        for old in 0..g.n() as u32 {
+            let new = f.to_new(old);
+            prop_assert!(!seen[new as usize]);
+            seen[new as usize] = true;
+            prop_assert_eq!(f.to_old(new), old);
+        }
+    }
+
+    #[test]
+    fn class_boundaries_partition_nodes(g in arb_graph()) {
+        let f = FilteredGraph::new(&g);
+        let c = Classification::of(&g);
+        prop_assert_eq!(
+            f.num_regular() + f.num_seed() + f.num_sink() + f.num_isolated(),
+            g.n()
+        );
+        prop_assert_eq!(f.num_regular(), c.count(NodeClass::Regular));
+        prop_assert_eq!(f.num_seed(), c.count(NodeClass::Seed));
+        prop_assert_eq!(f.num_sink(), c.count(NodeClass::Sink));
+        prop_assert_eq!(f.num_isolated(), c.count(NodeClass::Isolated));
+    }
+
+    #[test]
+    fn every_edge_lands_in_exactly_one_substructure(g in arb_graph()) {
+        let f = FilteredGraph::new(&g);
+        prop_assert_eq!(
+            f.reg_csr().nnz() + f.seed_csr().nnz() + f.sink_csc().nnz(),
+            g.m()
+        );
+    }
+
+    #[test]
+    fn blocking_covers_regular_edges_exactly_once(g in arb_graph()) {
+        let f = FilteredGraph::new(&g);
+        let blocked = mixen_core::BlockedSubgraph::new(f.reg_csr(), &small_opts(), 1);
+        prop_assert_eq!(blocked.nnz(), f.reg_csr().nnz());
+        // Reconstruct and compare edge multisets.
+        let mut got: Vec<(u32, u32)> = Vec::new();
+        for row in blocked.rows() {
+            for (j, blk) in row.blocks.iter().enumerate() {
+                let col_base = (j * blocked.block_side()) as u32;
+                for (k, &src) in blk.src_ids.iter().enumerate() {
+                    for &d in blk.dests_of(k) {
+                        got.push((row.src_start + src, col_base + d));
+                    }
+                }
+            }
+        }
+        got.sort_unstable();
+        let mut want: Vec<(u32, u32)> = f.reg_csr().edges().collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn mixen_spmv_equals_reference(g in arb_graph()) {
+        let engine = MixenEngine::new(&g, small_opts());
+        let reference = ReferenceEngine::new(&g);
+        let init = |v: u32| (v % 7) as f32 + 0.5;
+        let got = engine.iterate::<f32, _, _>(init, |_, s| s, 1);
+        let want = reference.iterate::<f32, _, _>(init, |_, s| s, 1);
+        for (a, b) in got.iter().zip(&want) {
+            prop_assert!((a - b).abs() < 1e-3, "{:?} vs {:?}", got, want);
+        }
+    }
+
+    #[test]
+    fn all_engines_agree_on_random_graphs(g in arb_graph()) {
+        let reference = ReferenceEngine::new(&g);
+        let apply = |_: u32, s: f32| 0.5 * s + 1.0;
+        let init = |_: u32| 1.0f32;
+        let want = reference.iterate::<f32, _, _>(init, apply, 3);
+        let engines_out = [
+            MixenEngine::new(&g, small_opts()).iterate::<f32, _, _>(init, apply, 3),
+            PullEngine::new(&g).iterate::<f32, _, _>(init, apply, 3),
+            PushEngine::new(&g).iterate::<f32, _, _>(init, apply, 3),
+            BlockEngine::new(&g, 4).iterate::<f32, _, _>(init, apply, 3),
+        ];
+        for out in &engines_out {
+            for (a, b) in out.iter().zip(&want) {
+                prop_assert!((a - b).abs() < 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_depths_are_consistent(g in arb_graph(), root_seed in 0u32..100) {
+        let root = root_seed % g.n() as u32;
+        let engine = MixenEngine::new(&g, small_opts());
+        let depths = engine.bfs(root);
+        prop_assert_eq!(depths[root as usize], 0);
+        // Every reached node at depth d > 0 has an in-neighbour at depth d-1,
+        // and no edge skips a level downward (BFS optimality).
+        for v in 0..g.n() as u32 {
+            let d = depths[v as usize];
+            if d > 0 {
+                let has_parent = g
+                    .in_neighbors(v)
+                    .iter()
+                    .any(|&u| depths[u as usize] == d - 1);
+                prop_assert!(has_parent, "node {} depth {} lacks a parent", v, d);
+            }
+            if d >= 0 {
+                for &w in g.out_neighbors(v) {
+                    let dw = depths[w as usize];
+                    prop_assert!(dw >= 0 && dw <= d + 1, "edge {}->{} skips levels", v, w);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spmv_is_linear(g in arb_graph()) {
+        let engine = MixenEngine::new(&g, small_opts());
+        let xa: Vec<f32> = (0..g.n()).map(|i| (i % 5) as f32).collect();
+        let xb: Vec<f32> = (0..g.n()).map(|i| ((i * 3) % 7) as f32).collect();
+        let ya = engine.iterate::<f32, _, _>(|v| xa[v as usize], |_, s| s, 1);
+        let yb = engine.iterate::<f32, _, _>(|v| xb[v as usize], |_, s| s, 1);
+        let ysum = engine.iterate::<f32, _, _>(|v| xa[v as usize] + xb[v as usize], |_, s| s, 1);
+        for i in 0..g.n() {
+            prop_assert!((ya[i] + yb[i] - ysum[i]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn structural_stats_fractions_sum_to_one(g in arb_graph()) {
+        let s = StructuralStats::of(&g);
+        let sum = s.frac_regular + s.frac_seed + s.frac_sink + s.frac_isolated;
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        prop_assert!(s.beta <= 1.0 + 1e-9);
+        prop_assert!(s.alpha <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn permute_unpermute_roundtrip(g in arb_graph()) {
+        let f = FilteredGraph::new(&g);
+        let vals: Vec<u32> = (0..g.n() as u32).map(|i| i * 13 + 1).collect();
+        prop_assert_eq!(f.unpermute(&f.permute(&vals)), vals);
+    }
+
+    #[test]
+    fn csr_transpose_is_involutive(g in arb_graph()) {
+        let t = g.out_csr().transpose();
+        prop_assert_eq!(&t.transpose(), g.out_csr());
+        prop_assert_eq!(&t, g.in_csc());
+    }
+}

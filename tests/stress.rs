@@ -1,0 +1,172 @@
+//! Stress tests: larger randomized structures, degenerate shapes and long
+//! iteration counts — the configurations most likely to expose indexing or
+//! phase-scheduling bugs that small hand-built graphs miss.
+
+use mixen_algos::{bfs, connected_components, default_root, pagerank, Engine, PageRankOpts};
+use mixen_baselines::ReferenceEngine;
+use mixen_core::{MixenEngine, MixenOpts, RegularOrdering};
+use mixen_graph::{gen, Dataset, EdgeList, Graph, Scale};
+
+fn close_all(a: &[f32], b: &[f32], tol: f32, ctx: &str) {
+    assert_eq!(a.len(), b.len(), "{ctx}: length");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert!(
+            (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())),
+            "{ctx}: node {i}: {x} vs {y}"
+        );
+    }
+}
+
+#[test]
+fn long_pagerank_runs_stay_in_agreement() {
+    let g = Dataset::Wiki.generate(Scale::Tiny, 55);
+    let mixen = MixenEngine::new(&g, MixenOpts::default());
+    let reference = ReferenceEngine::new(&g);
+    let a = pagerank(&g, &mixen, PageRankOpts::default(), 100);
+    let b = pagerank(&g, &reference, PageRankOpts::default(), 100);
+    close_all(&a, &b, 1e-3, "100-iteration pagerank");
+}
+
+#[test]
+fn every_ordering_policy_gives_identical_results() {
+    let g = Dataset::Pld.generate(Scale::Tiny, 66);
+    let reference = pagerank(
+        &g,
+        &ReferenceEngine::new(&g),
+        PageRankOpts::default(),
+        8,
+    );
+    for ordering in [
+        RegularOrdering::Original,
+        RegularOrdering::HubsFirst,
+        RegularOrdering::ByInDegree,
+    ] {
+        let engine = MixenEngine::new(
+            &g,
+            MixenOpts {
+                ordering,
+                ..MixenOpts::default()
+            },
+        );
+        let got = pagerank(&g, &engine, PageRankOpts::default(), 8);
+        close_all(&got, &reference, 1e-3, &format!("{ordering:?}"));
+    }
+}
+
+#[test]
+fn pathological_single_hub_star() {
+    // 50k spokes into one hub: one giant row, extreme load imbalance.
+    let n = 50_001u32;
+    let mut pairs: Vec<(u32, u32)> = (1..n).map(|u| (u, 0)).collect();
+    pairs.push((0, 1)); // make the hub regular
+    let g = Graph::from_pairs(n as usize, &pairs);
+    let engine = MixenEngine::new(
+        &g,
+        MixenOpts {
+            block_side: 1024,
+            min_tasks_per_thread: 1,
+            ..MixenOpts::default()
+        },
+    );
+    let got = Engine::iterate::<f32, _, _>(&engine, |_| 1.0, |_, s| s, 1);
+    assert_eq!(got[0], (n - 1) as f32);
+    assert_eq!(got[1], 1.0);
+    assert_eq!(got[2], 0.0);
+}
+
+#[test]
+fn giant_single_row_cannot_be_split_but_still_works() {
+    // One source with edges to every node: the load balancer must keep the
+    // row intact (bins are per block-row) and still cover every edge.
+    let n = 10_000u32;
+    let mut pairs: Vec<(u32, u32)> = (0..n).map(|v| (0, v)).collect();
+    pairs.extend((1..n).map(|u| (u, 0)));
+    let g = Graph::from_pairs(n as usize, &pairs);
+    let engine = MixenEngine::new(
+        &g,
+        MixenOpts {
+            block_side: 64,
+            min_tasks_per_thread: 1,
+            ..MixenOpts::default()
+        },
+    );
+    let got = Engine::iterate::<f32, _, _>(&engine, |_| 1.0, |_, s| s, 1);
+    let want = ReferenceEngine::new(&g).iterate::<f32, _, _>(|_| 1.0, |_, s| s, 1);
+    close_all(&got, &want, 1e-3, "giant row");
+}
+
+#[test]
+fn bfs_on_deep_chain_exercises_many_sparse_levels() {
+    let n = 30_000u32;
+    let pairs: Vec<(u32, u32)> = (0..n - 1).map(|u| (u, u + 1)).collect();
+    let g = Graph::from_pairs(n as usize, &pairs);
+    let engine = MixenEngine::new(
+        &g,
+        MixenOpts {
+            block_side: 512,
+            min_tasks_per_thread: 1,
+            ..MixenOpts::default()
+        },
+    );
+    let depths = bfs(&engine, 0);
+    for (v, &d) in depths.iter().enumerate() {
+        assert_eq!(d, v as i32);
+    }
+}
+
+#[test]
+fn cc_on_many_small_components() {
+    // 1000 disjoint triangles.
+    let mut el = EdgeList::new(3000);
+    for t in 0..1000u32 {
+        let base = t * 3;
+        el.push(base, base + 1);
+        el.push(base + 1, base + 2);
+        el.push(base + 2, base);
+    }
+    el.symmetrize();
+    let g = Graph::from_edge_list(&el);
+    let engine = MixenEngine::new(&g, MixenOpts::default());
+    let labels = connected_components(&g, &engine, 20);
+    for t in 0..1000u32 {
+        let base = t * 3;
+        assert_eq!(labels[base as usize], base);
+        assert_eq!(labels[base as usize + 1], base);
+        assert_eq!(labels[base as usize + 2], base);
+    }
+}
+
+#[test]
+fn profile_generator_scales_smoothly() {
+    // Same spec at growing n keeps its class fractions.
+    for n in [500usize, 2000, 8000] {
+        let g = gen::generate_profile(&gen::ProfileSpec {
+            n,
+            avg_degree: 8.0,
+            frac_regular: 0.3,
+            frac_seed: 0.3,
+            frac_sink: 0.3,
+            frac_isolated: 0.1,
+            beta: 0.5,
+            in_skew: 0.8,
+            out_skew: 0.5,
+            seed: 77,
+        });
+        let s = mixen_graph::StructuralStats::of(&g);
+        assert!((s.frac_regular - 0.3).abs() < 0.05, "n={n}: {}", s.frac_regular);
+        assert!((s.frac_isolated - 0.1).abs() < 0.05, "n={n}");
+    }
+}
+
+#[test]
+fn default_root_traverses_giant_component() {
+    let g = Dataset::Rmat.generate(Scale::Tiny, 88);
+    let engine = MixenEngine::new(&g, MixenOpts::default());
+    let depths = bfs(&engine, default_root(&g));
+    let reached = depths.iter().filter(|&&d| d >= 0).count();
+    assert!(
+        reached * 3 > g.n(),
+        "root must reach a sizable component: {reached}/{}",
+        g.n()
+    );
+}

@@ -33,16 +33,15 @@ pub fn summarize(depths: &[i32]) -> (usize, i32) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mixen_baselines::{BlockEngine, PartitionedEngine, PullEngine, PushEngine, ReferenceEngine};
+    use mixen_baselines::{
+        BlockEngine, PartitionedEngine, PullEngine, PushEngine, ReferenceEngine,
+    };
     use mixen_core::{MixenEngine, MixenOpts};
     use mixen_graph::Graph;
 
     #[test]
     fn all_engines_same_depths() {
-        let g = Graph::from_pairs(
-            7,
-            &[(0, 1), (1, 2), (2, 3), (0, 4), (4, 3), (5, 0), (3, 6)],
-        );
+        let g = Graph::from_pairs(7, &[(0, 1), (1, 2), (2, 3), (0, 4), (4, 3), (5, 0), (3, 6)]);
         let root = default_root(&g);
         let want = bfs(&ReferenceEngine::new(&g), root);
         assert_eq!(bfs(&MixenEngine::new(&g, MixenOpts::default()), root), want);

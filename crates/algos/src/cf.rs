@@ -84,10 +84,7 @@ mod tests {
     use mixen_graph::Graph;
 
     fn toy() -> Graph {
-        Graph::from_pairs(
-            6,
-            &[(0, 1), (1, 2), (2, 0), (3, 1), (3, 4), (1, 4), (2, 5)],
-        )
+        Graph::from_pairs(6, &[(0, 1), (1, 2), (2, 0), (3, 1), (3, 4), (1, 4), (2, 5)])
     }
 
     #[test]

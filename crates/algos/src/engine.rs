@@ -178,7 +178,9 @@ impl<'g> AnyEngine<'g> {
             }
             EngineKind::Gpop => AnyEngine::Gpop(BlockEngine::with_default_blocks(g)),
             EngineKind::Ligra => AnyEngine::Ligra(PushEngine::new(g)),
-            EngineKind::Polymer => AnyEngine::Polymer(PartitionedEngine::with_default_partitions(g)),
+            EngineKind::Polymer => {
+                AnyEngine::Polymer(PartitionedEngine::with_default_partitions(g))
+            }
             EngineKind::GraphMat => AnyEngine::GraphMat(PullEngine::new(g)),
         }
     }

@@ -37,7 +37,11 @@ pub fn hits<F: Engine, R: Engine>(n: usize, fwd: &F, rev: &R, iters: usize) -> H
 }
 
 fn normalize(v: &mut [f32]) {
-    let norm = v.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>().sqrt();
+    let norm = v
+        .iter()
+        .map(|&x| (x as f64) * (x as f64))
+        .sum::<f64>()
+        .sqrt();
     if norm > 0.0 {
         let inv = (1.0 / norm) as f32;
         for x in v.iter_mut() {
@@ -124,12 +128,7 @@ mod tests {
     fn empty_graph() {
         let g = Graph::from_pairs(0, &[]);
         let rev = g.reversed();
-        let s = hits(
-            0,
-            &ReferenceEngine::new(&g),
-            &ReferenceEngine::new(&rev),
-            3,
-        );
+        let s = hits(0, &ReferenceEngine::new(&g), &ReferenceEngine::new(&rev), 3);
         assert!(s.authority.is_empty() && s.hub.is_empty());
     }
 }

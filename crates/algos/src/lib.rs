@@ -29,7 +29,9 @@ pub use cf::{collaborative_filtering, CfOpts, LATENT_DIM};
 pub use engine::{AnyEngine, Engine, EngineKind};
 pub use hits::{hits, HitsScores};
 pub use indegree::{indegree, indegree_iterated, spmv};
-pub use pagerank::{pagerank, pagerank_adaptive, pagerank_until, PageRankOpts};
+pub use pagerank::{
+    pagerank, pagerank_adaptive, pagerank_supervised, pagerank_until, PageRankOpts,
+};
 pub use ranking::{kendall_tau, kendall_tau_sampled, top_k, top_k_overlap};
 pub use salsa::{salsa, SalsaScores};
 pub use sssp::{dijkstra, sssp, sssp_pull, weighted_spmv};

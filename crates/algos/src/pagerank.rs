@@ -137,6 +137,45 @@ fn pagerank_redistribute<E: Engine>(
     (rank, performed)
 }
 
+/// Supervised PageRank through [`mixen_core::RobustRunner`]: per-iteration
+/// numeric health checks (NaN / Inf / divergence), preprocessing validation
+/// with graceful degradation to the pull baseline, and a populated
+/// [`mixen_core::RunReport`] on success *and* failure.
+///
+/// Returns the scores alongside the report; a numeric fault surfaces as
+/// `Err(RunFailure)` whose error is [`mixen_graph::GraphError::Numeric`].
+#[allow(clippy::result_large_err)] // RunFailure carries the run report by design
+pub fn pagerank_supervised(
+    g: &Graph,
+    runner: &mixen_core::RobustRunner,
+    opts: PageRankOpts,
+    iters: usize,
+) -> Result<(Vec<f32>, mixen_core::RunReport), mixen_core::RunFailure> {
+    assert!(
+        !opts.redistribute,
+        "supervised mode does not support dangling redistribution"
+    );
+    let n = g.n().max(1) as f32;
+    let d = opts.damping;
+    let base = (1.0 - d) / n;
+    let out_deg: Vec<u32> = (0..g.n() as NodeId)
+        .map(|v| g.out_degree(v).max(1) as u32)
+        .collect();
+    let in_zero: Vec<bool> = (0..g.n() as NodeId).map(|v| g.in_degree(v) == 0).collect();
+    let init = |v: NodeId| {
+        let rank0 = if in_zero[v as usize] { base } else { 1.0 / n };
+        rank0 / out_deg[v as usize] as f32
+    };
+    let apply = |v: NodeId, sum: f32| (base + d * sum) / out_deg[v as usize] as f32;
+    let (vals, report) = runner.run(g, init, apply, iters)?;
+    let scores = vals
+        .iter()
+        .zip(&out_deg)
+        .map(|(&p, &odeg)| p * odeg as f32)
+        .collect();
+    Ok((scores, report))
+}
+
 /// Adaptive PageRank on the Mixen engine (the delta-iteration extension):
 /// nodes stop propagating once their rank moves by at most `epsilon` per
 /// round. Returns scores and the engine's [`mixen_core::DeltaStats`].
@@ -214,7 +253,16 @@ mod tests {
     fn mixen_matches_reference_every_iteration() {
         let g = Graph::from_pairs(
             7,
-            &[(0, 1), (1, 2), (2, 0), (3, 0), (3, 2), (1, 4), (2, 5), (4, 5)],
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 0),
+                (3, 0),
+                (3, 2),
+                (1, 4),
+                (2, 5),
+                (4, 5),
+            ],
         );
         let eng = MixenEngine::new(
             &g,
@@ -252,11 +300,19 @@ mod tests {
     fn adaptive_matches_fixed_iteration_pagerank() {
         let g = Graph::from_pairs(
             7,
-            &[(0, 1), (1, 2), (2, 0), (3, 0), (3, 2), (1, 4), (2, 5), (4, 5)],
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 0),
+                (3, 0),
+                (3, 2),
+                (1, 4),
+                (2, 5),
+                (4, 5),
+            ],
         );
         let engine = MixenEngine::new(&g, MixenOpts::default());
-        let (scores, stats) =
-            pagerank_adaptive(&g, &engine, PageRankOpts::default(), 0.0, 25);
+        let (scores, stats) = pagerank_adaptive(&g, &engine, PageRankOpts::default(), 0.0, 25);
         let dense = pagerank(&g, &engine, PageRankOpts::default(), stats.iterations);
         for (a, b) in scores.iter().zip(&dense) {
             assert!((a - b).abs() < 1e-5, "{scores:?} vs {dense:?}");
@@ -267,8 +323,7 @@ mod tests {
     fn adaptive_converges_with_epsilon() {
         let g = Graph::from_pairs(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
         let engine = MixenEngine::new(&g, MixenOpts::default());
-        let (scores, stats) =
-            pagerank_adaptive(&g, &engine, PageRankOpts::default(), 1e-9, 500);
+        let (scores, stats) = pagerank_adaptive(&g, &engine, PageRankOpts::default(), 1e-9, 500);
         assert!(stats.converged);
         for &sc in &scores {
             assert!((sc - 0.25).abs() < 1e-4);
@@ -295,6 +350,61 @@ mod tests {
             "mass = {}",
             total_mass(&conserved)
         );
+    }
+
+    #[test]
+    fn supervised_matches_reference() {
+        let g = Graph::from_pairs(
+            7,
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 0),
+                (3, 0),
+                (3, 2),
+                (1, 4),
+                (2, 5),
+                (4, 5),
+            ],
+        );
+        let runner = mixen_core::RobustRunner::new(mixen_core::RunnerOpts {
+            mixen: MixenOpts {
+                block_side: 2,
+                min_tasks_per_thread: 1,
+                ..MixenOpts::default()
+            },
+            ..mixen_core::RunnerOpts::default()
+        });
+        let (scores, report) =
+            pagerank_supervised(&g, &runner, PageRankOpts::default(), 10).unwrap();
+        let want = pagerank(&g, &ReferenceEngine::new(&g), PageRankOpts::default(), 10);
+        for (a, b) in scores.iter().zip(&want) {
+            assert!((a - b).abs() < 1e-5, "{scores:?} vs {want:?}");
+        }
+        assert_eq!(report.iterations, 10);
+        assert!(report.degradations.is_empty());
+    }
+
+    #[test]
+    fn supervised_catches_nan_damping() {
+        let g = ring();
+        let runner = mixen_core::RobustRunner::new(mixen_core::RunnerOpts::default());
+        let failure = pagerank_supervised(
+            &g,
+            &runner,
+            PageRankOpts {
+                damping: f32::NAN,
+                ..PageRankOpts::default()
+            },
+            10,
+        )
+        .unwrap_err();
+        assert!(matches!(
+            failure.error,
+            mixen_graph::GraphError::Numeric { .. }
+        ));
+        // The report still describes the run up to the fault.
+        assert_eq!(failure.report.engine, mixen_core::EngineUsed::Mixen);
     }
 
     #[test]

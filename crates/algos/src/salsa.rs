@@ -34,18 +34,10 @@ pub fn salsa<F: Engine, R: Engine>(g: &Graph, fwd: &F, rev: &R, iters: usize) ->
     for _ in 0..iters {
         let h = &hub;
         let od = &out_deg;
-        authority = fwd.iterate(
-            |v: NodeId| h[v as usize] / od[v as usize],
-            |_, s: f32| s,
-            1,
-        );
+        authority = fwd.iterate(|v: NodeId| h[v as usize] / od[v as usize], |_, s: f32| s, 1);
         let a = &authority;
         let id = &in_deg;
-        hub = rev.iterate(
-            |v: NodeId| a[v as usize] / id[v as usize],
-            |_, s: f32| s,
-            1,
-        );
+        hub = rev.iterate(|v: NodeId| a[v as usize] / id[v as usize], |_, s: f32| s, 1);
     }
     SalsaScores { authority, hub }
 }
@@ -102,7 +94,12 @@ mod tests {
             min_tasks_per_thread: 1,
             ..MixenOpts::default()
         };
-        let a = salsa(&g, &MixenEngine::new(&g, opts), &MixenEngine::new(&rev, opts), 6);
+        let a = salsa(
+            &g,
+            &MixenEngine::new(&g, opts),
+            &MixenEngine::new(&rev, opts),
+            6,
+        );
         let b = salsa(
             &g,
             &ReferenceEngine::new(&g),

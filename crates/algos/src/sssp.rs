@@ -15,24 +15,14 @@ use mixen_baselines::WPullEngine;
 /// Shortest-path distances from `root` over non-negative edge weights,
 /// computed on the weighted Mixen engine. `f32::INFINITY` = unreachable.
 pub fn sssp(engine: &WMixenEngine, root: NodeId, max_iters: usize) -> Vec<f32> {
-    let (dist, _) = engine.iterate_until(
-        sssp_init(root),
-        sssp_apply(root),
-        0.0,
-        max_iters,
-    );
+    let (dist, _) = engine.iterate_until(sssp_init(root), sssp_apply(root), 0.0, max_iters);
     dist.into_iter().map(|MinF32(d)| d).collect()
 }
 
 /// SSSP on the dense weighted pull baseline (the oracle for tests).
 pub fn sssp_pull(wg: &WGraph, root: NodeId, max_iters: usize) -> Vec<f32> {
     let engine = WPullEngine::new(wg);
-    let (dist, _) = engine.iterate_until(
-        sssp_init(root),
-        sssp_apply(root),
-        0.0,
-        max_iters,
-    );
+    let (dist, _) = engine.iterate_until(sssp_init(root), sssp_apply(root), 0.0, max_iters);
     dist.into_iter().map(|MinF32(d)| d).collect()
 }
 

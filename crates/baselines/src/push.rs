@@ -123,10 +123,7 @@ impl<'g> PushEngine<'g> {
         let mut frontier = vec![root];
         let mut level = 0i32;
         while !frontier.is_empty() {
-            let frontier_edges: usize = frontier
-                .iter()
-                .map(|&u| self.g.out_degree(u))
-                .sum();
+            let frontier_edges: usize = frontier.iter().map(|&u| self.g.out_degree(u)).sum();
             frontier = if frontier_edges * 20 > m.max(1) {
                 // Bottom-up: every unvisited node scans its in-neighbours.
                 (0..n)

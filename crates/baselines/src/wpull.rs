@@ -94,10 +94,20 @@ mod tests {
         // 0 -> 1 (5), 0 -> 2 (1), 2 -> 1 (2): shortest 0->1 is 3.
         let wg = WGraph::from_triples(3, &[(0, 1, 5.0), (0, 2, 1.0), (2, 1, 2.0)]);
         let e = WPullEngine::new(&wg);
-        let init = |v: NodeId| if v == 0 { MinF32(0.0) } else { MinF32::identity() };
+        let init = |v: NodeId| {
+            if v == 0 {
+                MinF32(0.0)
+            } else {
+                MinF32::identity()
+            }
+        };
         let apply = |v: NodeId, s: MinF32| {
             let mut out = s;
-            out.combine(if v == 0 { MinF32(0.0) } else { MinF32::identity() });
+            out.combine(if v == 0 {
+                MinF32(0.0)
+            } else {
+                MinF32::identity()
+            });
             out
         };
         let (dist, iters) = e.iterate_until(init, apply, 0.0, 10);

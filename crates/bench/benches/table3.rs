@@ -5,8 +5,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mixen_algos::{
-    bfs, collaborative_filtering, default_root, indegree_iterated, pagerank, AnyEngine, CfOpts, EngineKind,
-    PageRankOpts,
+    bfs, collaborative_filtering, default_root, indegree_iterated, pagerank, AnyEngine, CfOpts,
+    EngineKind, PageRankOpts,
 };
 use mixen_graph::{Dataset, Scale};
 

@@ -21,12 +21,10 @@ fn main() {
     for d in &opts.datasets {
         let g = opts.gen(*d);
         let engine = MixenEngine::new(&g, MixenOpts::default());
-        let ((scores_a, stats), t_delta) = timed(|| {
-            pagerank_adaptive(&g, &engine, PageRankOpts::default(), eps, 200)
-        });
-        let (scores_d, t_dense) = timed(|| {
-            pagerank(&g, &engine, PageRankOpts::default(), stats.iterations)
-        });
+        let ((scores_a, stats), t_delta) =
+            timed(|| pagerank_adaptive(&g, &engine, PageRankOpts::default(), eps, 200));
+        let (scores_d, t_dense) =
+            timed(|| pagerank(&g, &engine, PageRankOpts::default(), stats.iterations));
         let r = engine.filtered().num_regular() as u64;
         let dense_scatters = r * stats.iterations as u64;
         let dev = scores_a

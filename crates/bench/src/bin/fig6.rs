@@ -45,12 +45,18 @@ fn main() {
             });
             times.push(secs);
         }
-        let best = times.iter().cloned().fold(f64::INFINITY, f64::min).max(1e-12);
+        let best = times
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min)
+            .max(1e-12);
         print!("{:>8}", d.name());
         for t in &times {
             print!(" {:>8.2}", t / best);
         }
         println!();
     }
-    println!("\n(1.00 marks each graph's best block side; the paper's optimum sits at L1-L2 capacity.)");
+    println!(
+        "\n(1.00 marks each graph's best block side; the paper's optimum sits at L1-L2 capacity.)"
+    );
 }

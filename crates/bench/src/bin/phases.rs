@@ -30,9 +30,8 @@ fn main() {
             .map(|v| g.out_degree(v).max(1) as f32)
             .collect();
         let in_zero: Vec<bool> = (0..g.n() as NodeId).map(|v| g.in_degree(v) == 0).collect();
-        let init = |v: NodeId| {
-            (if in_zero[v as usize] { base } else { 1.0 / n }) / out_deg[v as usize]
-        };
+        let init =
+            |v: NodeId| (if in_zero[v as usize] { base } else { 1.0 / n }) / out_deg[v as usize];
         let apply = |v: NodeId, sum: f32| (base + 0.85 * sum) / out_deg[v as usize];
         let (vals, stats) = engine.iterate_with_stats::<f32, _, _>(init, apply, opts.iters);
         // Sanity: agree with the trait driver.

@@ -162,9 +162,7 @@ impl Level {
         let mut n_sets = (lines / ways).max(1);
         // Round down to a power of two so the set index is a mask.
         n_sets = 1 << (usize::BITS - 1 - n_sets.leading_zeros());
-        let sets = (0..n_sets)
-            .map(|_| Vec::with_capacity(ways))
-            .collect();
+        let sets = (0..n_sets).map(|_| Vec::with_capacity(ways)).collect();
         Self {
             sets,
             ways,
@@ -240,7 +238,11 @@ impl CacheSim {
     /// Builds a simulator from a configuration.
     pub fn new(cfg: &CacheConfig) -> Self {
         Self {
-            levels: cfg.levels.iter().map(|&l| Level::new(l, cfg.line)).collect(),
+            levels: cfg
+                .levels
+                .iter()
+                .map(|&l| Level::new(l, cfg.line))
+                .collect(),
             line: cfg.line,
             clock: 0,
             level_stats: vec![LevelStats::default(); cfg.levels.len()],
@@ -417,7 +419,9 @@ mod tests {
         // Touch a 400 MB range pseudo-randomly: way beyond LLC.
         let mut x = 0x12345678u64;
         for _ in 0..100_000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             s.read((x >> 16) % (400 << 20), 4);
         }
         let l1 = s.level_stats[0];

@@ -151,10 +151,7 @@ fn trace_blocked(
     let y = layout.array(x_len, 4);
     let sta = layout.array(if cache_step { x_len } else { 0 }, 4);
     let (seed_vals, seed_idx) = match seed_push {
-        Some(csr) => (
-            layout.array(csr.n_rows(), 4),
-            layout.array(csr.nnz(), 4),
-        ),
+        Some(csr) => (layout.array(csr.n_rows(), 4), layout.array(csr.nnz(), 4)),
         None => (layout.array(0, 4), layout.array(0, 4)),
     };
 

@@ -1,10 +1,11 @@
 //! `mixen bfs` — breadth-first search with reachability summary.
 
-use crate::args::{ArgError, Args};
+use crate::args::Args;
 use crate::commands::{build_engine, load_graph};
+use crate::error::CliError;
 use mixen_algos::{bfs, default_root, summarize};
 
-pub fn run(args: &Args) -> Result<(), ArgError> {
+pub fn run(args: &Args) -> Result<(), CliError> {
     args.expect_only(&["root", "engine", "out"])?;
     let path = args.positional(0, "graph.mxg")?;
     let g = load_graph(path)?;
@@ -12,7 +13,10 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
     let root: u32 = match args.opt_parse("root")? {
         Some(r) => {
             if (r as usize) >= g.n() {
-                return Err(format!("--root {r} out of range (n = {})", g.n()));
+                return Err(CliError::usage(format!(
+                    "--root {r} out of range (n = {})",
+                    g.n()
+                )));
             }
             r
         }
@@ -31,11 +35,12 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
     if let Some(out) = args.opt("out") {
         use std::io::Write;
         let mut w = std::io::BufWriter::new(
-            std::fs::File::create(out).map_err(|e| format!("cannot create '{out}': {e}"))?,
+            std::fs::File::create(out)
+                .map_err(|e| CliError::runtime(format!("cannot create '{out}': {e}")))?,
         );
-        writeln!(w, "# node\tdepth").map_err(|e| e.to_string())?;
+        writeln!(w, "# node\tdepth").map_err(|e| CliError::runtime(e.to_string()))?;
         for (v, d) in depths.iter().enumerate() {
-            writeln!(w, "{v}\t{d}").map_err(|e| e.to_string())?;
+            writeln!(w, "{v}\t{d}").map_err(|e| CliError::runtime(e.to_string()))?;
         }
         println!("wrote depths to {out}");
     }

@@ -1,18 +1,28 @@
 //! `mixen gen` — generate one of the paper's stand-in datasets to disk.
 
-use crate::args::{ArgError, Args};
+use crate::args::Args;
 use crate::commands::{parse_dataset, parse_scale};
+use crate::error::CliError;
 
-pub fn run(args: &Args) -> Result<(), ArgError> {
+pub fn run(args: &Args) -> Result<(), CliError> {
     args.expect_only(&["dataset", "scale", "seed", "out"])?;
-    let dataset = parse_dataset(args.opt("dataset").ok_or("--dataset is required")?)?;
+    let dataset = parse_dataset(
+        args.opt("dataset")
+            .ok_or_else(|| CliError::usage("--dataset is required"))?,
+    )?;
     let scale = parse_scale(args.opt("scale"))?;
     let seed: u64 = args.opt_or("seed", 42)?;
-    let out = args.opt("out").ok_or("--out is required")?;
+    let out = args
+        .opt("out")
+        .ok_or_else(|| CliError::usage("--out is required"))?;
 
-    eprintln!("generating {name} at {scale:?} scale (seed {seed})...", name = dataset.name());
+    eprintln!(
+        "generating {name} at {scale:?} scale (seed {seed})...",
+        name = dataset.name()
+    );
     let g = dataset.generate(scale, seed);
-    mixen_graph::io::save(&g, out).map_err(|e| format!("cannot write '{out}': {e}"))?;
-    println!("wrote {out}: n = {}, m = {} (MXG1 format)", g.n(), g.m());
+    mixen_graph::io::save(&g, out)
+        .map_err(|e| CliError::runtime(format!("cannot write '{out}': {e}")))?;
+    println!("wrote {out}: n = {}, m = {} (MXG2 format)", g.n(), g.m());
     Ok(())
 }

@@ -1,4 +1,8 @@
 //! Subcommand implementations.
+//!
+//! Every subcommand returns `Result<(), CliError>`: usage errors (bad flags,
+//! unknown names) exit with code 2, runtime errors (missing files, corrupt
+//! graphs, numeric faults) with code 1 — see [`crate::error`].
 
 pub mod bfs;
 pub mod convert;
@@ -6,45 +10,47 @@ pub mod gen;
 pub mod rank;
 pub mod stats;
 
-use crate::args::ArgError;
+use crate::error::CliError;
 use mixen_algos::{AnyEngine, EngineKind};
 use mixen_graph::{Dataset, Graph, Scale};
 
-/// Loads a binary `.mxg` graph, mapping I/O errors to user-facing text.
-pub fn load_graph(path: &str) -> Result<Graph, ArgError> {
-    mixen_graph::io::load(path).map_err(|e| format!("cannot read graph '{path}': {e}"))
+/// Loads a binary `.mxg` graph; failures are runtime errors with the typed
+/// [`mixen_graph::GraphError`] rendered for the user.
+pub fn load_graph(path: &str) -> Result<Graph, CliError> {
+    mixen_graph::io::load(path)
+        .map_err(|e| CliError::runtime(format!("cannot read graph '{path}': {e}")))
 }
 
 /// Parses `--scale`.
-pub fn parse_scale(s: Option<&str>) -> Result<Scale, ArgError> {
+pub fn parse_scale(s: Option<&str>) -> Result<Scale, CliError> {
     Ok(match s.unwrap_or("tiny") {
         "tiny" => Scale::Tiny,
         "small" => Scale::Small,
         "medium" => Scale::Medium,
         "large" => Scale::Large,
-        other => return Err(format!("unknown scale '{other}'")),
+        other => return Err(CliError::usage(format!("unknown scale '{other}'"))),
     })
 }
 
 /// Parses `--dataset`.
-pub fn parse_dataset(s: &str) -> Result<Dataset, ArgError> {
+pub fn parse_dataset(s: &str) -> Result<Dataset, CliError> {
     Dataset::from_name(s).ok_or_else(|| {
-        format!(
+        CliError::usage(format!(
             "unknown dataset '{s}' (expected one of: {})",
             Dataset::ALL.map(|d| d.name()).join(" ")
-        )
+        ))
     })
 }
 
 /// Parses `--engine` and builds it over `g`.
-pub fn build_engine<'g>(s: Option<&str>, g: &'g Graph) -> Result<AnyEngine<'g>, ArgError> {
+pub fn build_engine<'g>(s: Option<&str>, g: &'g Graph) -> Result<AnyEngine<'g>, CliError> {
     let kind = match s.unwrap_or("mixen") {
         "mixen" => EngineKind::Mixen,
         "gpop" => EngineKind::Gpop,
         "ligra" => EngineKind::Ligra,
         "polymer" => EngineKind::Polymer,
         "graphmat" => EngineKind::GraphMat,
-        other => return Err(format!("unknown engine '{other}'")),
+        other => return Err(CliError::usage(format!("unknown engine '{other}'"))),
     };
     Ok(AnyEngine::build(kind, g))
 }

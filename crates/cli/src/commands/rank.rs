@@ -1,76 +1,149 @@
 //! `mixen rank` — run a link-analysis algorithm and print/save the scores.
+//!
+//! `--supervised true` (PageRank only) routes the computation through
+//! [`mixen_core::RobustRunner`]: preprocessing is validated (degrading to the
+//! pull baseline if it fails), values are health-checked every iteration, and
+//! a NaN/Inf/divergence fault exits with code 1 and a typed error. All other
+//! algorithm/engine combinations get a final non-finite score scan.
 
 use std::io::Write;
 
-use crate::args::{ArgError, Args};
+use crate::args::Args;
 use crate::commands::{build_engine, load_graph};
+use crate::error::CliError;
 use mixen_algos::{
-    collaborative_filtering, hits, indegree, pagerank, salsa, CfOpts, PageRankOpts,
+    collaborative_filtering, hits, indegree, pagerank, pagerank_supervised, salsa, CfOpts,
+    PageRankOpts,
 };
+use mixen_core::{DegradationEvent, EngineUsed, RobustRunner, RunnerOpts};
 
-pub fn run(args: &Args) -> Result<(), ArgError> {
-    args.expect_only(&["algo", "engine", "iters", "top", "out", "damping"])?;
+pub fn run(args: &Args) -> Result<(), CliError> {
+    args.expect_only(&[
+        "algo",
+        "engine",
+        "iters",
+        "top",
+        "out",
+        "damping",
+        "supervised",
+    ])?;
     let path = args.positional(0, "graph.mxg")?;
     let g = load_graph(path)?;
-    let engine = build_engine(args.opt("engine"), &g)?;
     let iters: usize = args.opt_or("iters", 20)?;
     let top: usize = args.opt_or("top", 10)?;
     let algo = args.opt("algo").unwrap_or("pagerank");
+    let supervised: bool = args.opt_or("supervised", false)?;
+    if supervised && algo != "pagerank" {
+        return Err(CliError::usage(format!(
+            "--supervised only applies to --algo pagerank, not '{algo}'"
+        )));
+    }
+    if supervised && args.opt("engine").is_some_and(|e| e != "mixen") {
+        return Err(CliError::usage(
+            "--supervised runs on the mixen engine; drop --engine",
+        ));
+    }
 
-    let (label, scores): (&str, Vec<f32>) = match algo {
-        "indegree" => ("indegree", indegree(&engine)),
-        "pagerank" => {
-            let damping: f32 = args.opt_or("damping", 0.85)?;
-            (
-                "pagerank",
-                pagerank(
-                    &g,
-                    &engine,
-                    PageRankOpts {
-                        damping,
-                        ..PageRankOpts::default()
-                    },
-                    iters,
-                ),
-            )
+    let (label, scores): (&str, Vec<f32>) = if supervised {
+        let damping: f32 = args.opt_or("damping", 0.85)?;
+        let runner = RobustRunner::new(RunnerOpts::default());
+        let (scores, report) = pagerank_supervised(
+            &g,
+            &runner,
+            PageRankOpts {
+                damping,
+                ..PageRankOpts::default()
+            },
+            iters,
+        )
+        .map_err(|f| {
+            CliError::runtime(format!(
+                "supervised pagerank failed at iteration {}: {}",
+                f.report.iterations, f.error
+            ))
+        })?;
+        for d in &report.degradations {
+            match d {
+                DegradationEvent::LoadRetry { attempt, error } => {
+                    eprintln!("warning: load retry {attempt}: {error}")
+                }
+                DegradationEvent::EngineFallback { reason } => {
+                    eprintln!("warning: degraded to pull baseline: {reason}")
+                }
+            }
         }
-        "hits" => {
-            let rev = g.reversed();
-            let engine_rev = build_engine(args.opt("engine"), &rev)?;
-            ("hits-authority", hits(g.n(), &engine, &engine_rev, iters).authority)
+        let engine_name = match report.engine {
+            EngineUsed::Mixen => "mixen",
+            EngineUsed::PullFallback => "pull-fallback",
+        };
+        eprintln!(
+            "supervised: engine {engine_name}, {} iterations, residual {:.3e}",
+            report.iterations, report.residual
+        );
+        ("pagerank", scores)
+    } else {
+        let engine = build_engine(args.opt("engine"), &g)?;
+        match algo {
+            "indegree" => ("indegree", indegree(&engine)),
+            "pagerank" => {
+                let damping: f32 = args.opt_or("damping", 0.85)?;
+                (
+                    "pagerank",
+                    pagerank(
+                        &g,
+                        &engine,
+                        PageRankOpts {
+                            damping,
+                            ..PageRankOpts::default()
+                        },
+                        iters,
+                    ),
+                )
+            }
+            "hits" => {
+                let rev = g.reversed();
+                let engine_rev = build_engine(args.opt("engine"), &rev)?;
+                (
+                    "hits-authority",
+                    hits(g.n(), &engine, &engine_rev, iters).authority,
+                )
+            }
+            "salsa" => {
+                let rev = g.reversed();
+                let engine_rev = build_engine(args.opt("engine"), &rev)?;
+                (
+                    "salsa-authority",
+                    salsa(&g, &engine, &engine_rev, iters).authority,
+                )
+            }
+            "cf" => {
+                let vecs = collaborative_filtering(&g, &engine, CfOpts { blend: 0.5, iters });
+                // Report the L2 norm of each latent vector as a scalar score.
+                (
+                    "cf-norm",
+                    vecs.iter()
+                        .map(|v| v.iter().map(|x| x * x).sum::<f32>().sqrt())
+                        .collect(),
+                )
+            }
+            other => return Err(CliError::usage(format!("unknown algorithm '{other}'"))),
         }
-        "salsa" => {
-            let rev = g.reversed();
-            let engine_rev = build_engine(args.opt("engine"), &rev)?;
-            ("salsa-authority", salsa(&g, &engine, &engine_rev, iters).authority)
-        }
-        "cf" => {
-            let vecs = collaborative_filtering(
-                &g,
-                &engine,
-                CfOpts {
-                    blend: 0.5,
-                    iters,
-                },
-            );
-            // Report the L2 norm of each latent vector as a scalar score.
-            (
-                "cf-norm",
-                vecs.iter()
-                    .map(|v| v.iter().map(|x| x * x).sum::<f32>().sqrt())
-                    .collect(),
-            )
-        }
-        other => return Err(format!("unknown algorithm '{other}'")),
     };
+
+    if let Some(bad) = scores.iter().position(|s| !s.is_finite()) {
+        return Err(CliError::runtime(format!(
+            "{label} produced a non-finite score at node {bad} — refusing to report"
+        )));
+    }
 
     if let Some(out) = args.opt("out") {
         let mut w = std::io::BufWriter::new(
-            std::fs::File::create(out).map_err(|e| format!("cannot create '{out}': {e}"))?,
+            std::fs::File::create(out)
+                .map_err(|e| CliError::runtime(format!("cannot create '{out}': {e}")))?,
         );
-        writeln!(w, "# node\t{label}").map_err(|e| e.to_string())?;
+        writeln!(w, "# node\t{label}").map_err(|e| CliError::runtime(e.to_string()))?;
         for (v, s) in scores.iter().enumerate() {
-            writeln!(w, "{v}\t{s}").map_err(|e| e.to_string())?;
+            writeln!(w, "{v}\t{s}").map_err(|e| CliError::runtime(e.to_string()))?;
         }
         println!("wrote {} scores to {out}", scores.len());
     }

@@ -1,13 +1,12 @@
 //! `mixen stats` — structural report for a graph: the paper's Table 1/2
 //! attributes, degree-distribution skew and component structure.
 
-use crate::args::{ArgError, Args};
+use crate::args::Args;
 use crate::commands::load_graph;
-use mixen_graph::{
-    weakly_connected_components, DegreeDistribution, Direction, StructuralStats,
-};
+use crate::error::CliError;
+use mixen_graph::{weakly_connected_components, DegreeDistribution, Direction, StructuralStats};
 
-pub fn run(args: &Args) -> Result<(), ArgError> {
+pub fn run(args: &Args) -> Result<(), CliError> {
     args.expect_only(&[])?;
     let path = args.positional(0, "graph.mxg")?;
     let g = load_graph(path)?;
@@ -21,11 +20,19 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
     println!("  skewed           {:>12}", s.is_skewed());
     println!();
     println!("connectivity classes (the paper's Table 1):");
-    println!("  regular          {:>11.1}%   alpha = {:.3}", s.frac_regular * 100.0, s.alpha);
+    println!(
+        "  regular          {:>11.1}%   alpha = {:.3}",
+        s.frac_regular * 100.0,
+        s.alpha
+    );
     println!("  seed (out-only)  {:>11.1}%", s.frac_seed * 100.0);
     println!("  sink (in-only)   {:>11.1}%", s.frac_sink * 100.0);
     println!("  isolated         {:>11.1}%", s.frac_isolated * 100.0);
-    println!("  hubs             {:>11.1}%   owning {:.1}% of in-edges", s.v_hub * 100.0, s.e_hub * 100.0);
+    println!(
+        "  hubs             {:>11.1}%   owning {:.1}% of in-edges",
+        s.v_hub * 100.0,
+        s.e_hub * 100.0
+    );
     println!("  beta (reg-reg edges) {:>8.3}", s.beta);
     println!();
 
@@ -33,10 +40,7 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
     println!("in-degree distribution:");
     println!("  max              {:>12}", din.max);
     println!("  gini             {:>12.3}", din.gini);
-    println!(
-        "  top 1% share     {:>11.1}%",
-        din.top_share(0.01) * 100.0
-    );
+    println!("  top 1% share     {:>11.1}%", din.top_share(0.01) * 100.0);
     if let Some(alpha) = din.powerlaw_alpha {
         println!("  power-law alpha  {:>12.2}", alpha);
     }

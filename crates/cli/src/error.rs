@@ -1,0 +1,98 @@
+//! CLI error channel: every failure is either a *usage* error (the command
+//! line itself is wrong — exit code 2) or a *runtime* error (the command was
+//! well-formed but the work failed — exit code 1).
+//!
+//! `Result<_, ArgError>` from the flag parser converts into `Usage` via
+//! `From<String>`, so `?` on argument accessors picks the right channel
+//! automatically; runtime failures are wrapped explicitly.
+
+use std::fmt;
+
+use mixen_graph::GraphError;
+
+/// Exit code for runtime failures (I/O, corrupt graphs, numeric faults).
+pub const EXIT_RUNTIME: i32 = 1;
+/// Exit code for usage errors (bad flags, unknown subcommands).
+pub const EXIT_USAGE: i32 = 2;
+
+/// A failed CLI invocation, tagged with which exit code it deserves.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CliError {
+    /// The command line is wrong; exits with [`EXIT_USAGE`].
+    Usage(String),
+    /// The work itself failed; exits with [`EXIT_RUNTIME`].
+    Runtime(String),
+}
+
+impl CliError {
+    pub fn usage(msg: impl Into<String>) -> Self {
+        CliError::Usage(msg.into())
+    }
+
+    pub fn runtime(msg: impl Into<String>) -> Self {
+        CliError::Runtime(msg.into())
+    }
+
+    /// The process exit code this error maps to.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            CliError::Usage(_) => EXIT_USAGE,
+            CliError::Runtime(_) => EXIT_RUNTIME,
+        }
+    }
+
+    pub fn message(&self) -> &str {
+        match self {
+            CliError::Usage(m) | CliError::Runtime(m) => m,
+        }
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.message())
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Argument-parser errors are usage errors by construction.
+impl From<String> for CliError {
+    fn from(msg: String) -> Self {
+        CliError::Usage(msg)
+    }
+}
+
+/// Graph-layer errors are runtime errors (the command line was fine).
+impl From<GraphError> for CliError {
+    fn from(e: GraphError) -> Self {
+        CliError::Runtime(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_codes_are_distinct() {
+        assert_eq!(CliError::usage("x").exit_code(), EXIT_USAGE);
+        assert_eq!(CliError::runtime("x").exit_code(), EXIT_RUNTIME);
+        assert_ne!(EXIT_USAGE, EXIT_RUNTIME);
+        assert_ne!(EXIT_USAGE, 0);
+        assert_ne!(EXIT_RUNTIME, 0);
+    }
+
+    #[test]
+    fn arg_errors_become_usage() {
+        let e: CliError = String::from("missing <graph.mxg> argument").into();
+        assert!(matches!(e, CliError::Usage(_)));
+    }
+
+    #[test]
+    fn graph_errors_become_runtime() {
+        let e: CliError = GraphError::Format("bad magic".into()).into();
+        assert_eq!(e.exit_code(), EXIT_RUNTIME);
+        assert!(e.to_string().contains("bad magic"));
+    }
+}

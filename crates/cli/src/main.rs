@@ -7,13 +7,19 @@
 //! mixen rank    graph.mxg --algo pagerank --engine mixen --iters 100 --top 10
 //! mixen bfs     graph.mxg --root 0 --engine mixen
 //! ```
+//!
+//! Exit codes: 0 on success, 1 on runtime failure (missing/corrupt graph,
+//! numeric fault), 2 on usage error (bad flags, unknown subcommand).
 
 use mixen_cli::args::Args;
 use mixen_cli::commands;
+use mixen_cli::error::{CliError, EXIT_USAGE};
 
 fn main() {
     let mut argv = std::env::args().skip(1);
-    let sub = argv.next().unwrap_or_else(|| usage(None));
+    let sub = argv
+        .next()
+        .unwrap_or_else(|| usage(Some("missing subcommand")));
     let parsed = Args::parse(argv).unwrap_or_else(|e| usage(Some(&e)));
     let result = match sub.as_str() {
         "gen" => commands::gen::run(&parsed),
@@ -25,8 +31,11 @@ fn main() {
         other => usage(Some(&format!("unknown subcommand '{other}'"))),
     };
     if let Err(e) = result {
+        if let CliError::Usage(msg) = &e {
+            usage(Some(msg));
+        }
         eprintln!("error: {e}");
-        std::process::exit(1);
+        std::process::exit(e.exit_code());
     }
 }
 
@@ -41,13 +50,14 @@ fn usage(err: Option<&str>) -> ! {
          \n\
          subcommands:\n\
          \x20 gen      --dataset <name> [--scale tiny|small|medium|large] [--seed N] --out <file.mxg>\n\
-         \x20 convert  <in: .txt edge list | .mxg> <out: .mxg | .txt>\n\
+         \x20 convert  <in: .txt edge list | .mxg> <out: .mxg | .txt> [--min-nodes N] [--max-nodes N]\n\
          \x20 stats    <graph.mxg>\n\
          \x20 rank     <graph.mxg> [--algo indegree|pagerank|hits|salsa|cf] [--engine mixen|gpop|ligra|polymer|graphmat]\n\
-         \x20          [--iters N] [--top K] [--out scores.tsv]\n\
+         \x20          [--iters N] [--top K] [--out scores.tsv] [--supervised true]\n\
          \x20 bfs      <graph.mxg> [--root N] [--engine ...]\n\
          \n\
-         datasets: weibo track wiki pld rmat kron road urand"
+         datasets: weibo track wiki pld rmat kron road urand\n\
+         exit codes: 0 ok, 1 runtime failure, 2 usage error"
     );
-    std::process::exit(if err.is_some() { 2 } else { 0 })
+    std::process::exit(if err.is_some() { EXIT_USAGE } else { 0 })
 }

@@ -1,9 +1,11 @@
 //! End-to-end tests of the CLI subcommands through their library entry
 //! points (no process spawning): generate → stats → rank → bfs → convert
-//! over temp files, plus error paths.
+//! over temp files, plus error paths. A final section spawns the real
+//! `mixen` binary to pin down the exit-code contract (0/1/2).
 
 use mixen_cli::args::Args;
 use mixen_cli::commands;
+use mixen_cli::error::CliError;
 
 fn args(s: &str) -> Args {
     Args::parse(s.split_whitespace().map(String::from)).unwrap()
@@ -98,7 +100,10 @@ fn every_algo_and_engine_combination_runs() {
 #[test]
 fn error_paths_are_reported() {
     assert!(commands::gen::run(&args("--dataset nope --out /tmp/x.mxg")).is_err());
-    assert!(commands::gen::run(&args("--dataset wiki")).is_err(), "--out required");
+    assert!(
+        commands::gen::run(&args("--dataset wiki")).is_err(),
+        "--out required"
+    );
     assert!(commands::stats::run(&args("/nonexistent/file.mxg")).is_err());
     assert!(commands::rank::run(&args("/nonexistent.mxg")).is_err());
     assert!(commands::convert::run(&args("only_one_arg")).is_err());
@@ -117,5 +122,175 @@ fn error_paths_are_reported() {
         commands::rank::run(&args(&format!("{mxg_s} --bogus 1"))).is_err(),
         "unknown flags must be rejected"
     );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn errors_pick_the_right_channel() {
+    // Bad command lines are usage errors; broken inputs are runtime errors.
+    assert!(matches!(
+        commands::gen::run(&args("--dataset nope --out /tmp/x.mxg")),
+        Err(CliError::Usage(_))
+    ));
+    assert!(matches!(
+        commands::convert::run(&args("only_one_arg")),
+        Err(CliError::Usage(_))
+    ));
+    assert!(matches!(
+        commands::stats::run(&args("/nonexistent/file.mxg")),
+        Err(CliError::Runtime(_))
+    ));
+
+    let dir = tmpdir("channels");
+    let mxg = dir.join("g.mxg");
+    let mxg_s = mxg.to_str().unwrap();
+    commands::gen::run(&args(&format!(
+        "--dataset urand --scale tiny --out {mxg_s}"
+    )))
+    .unwrap();
+    assert!(matches!(
+        commands::rank::run(&args(&format!("{mxg_s} --algo nope"))),
+        Err(CliError::Usage(_))
+    ));
+    assert!(matches!(
+        commands::rank::run(&args(&format!("{mxg_s} --supervised true --algo hits"))),
+        Err(CliError::Usage(_))
+    ));
+    // A corrupt graph file is a runtime error.
+    std::fs::write(&mxg, b"MXG2 this is not a graph").unwrap();
+    assert!(matches!(
+        commands::stats::run(&args(mxg_s)),
+        Err(CliError::Runtime(_))
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn supervised_rank_matches_plain_rank() {
+    let dir = tmpdir("supervised");
+    let mxg = dir.join("g.mxg");
+    let plain = dir.join("plain.tsv");
+    let sup = dir.join("sup.tsv");
+    let mxg_s = mxg.to_str().unwrap();
+    commands::gen::run(&args(&format!(
+        "--dataset wiki --scale tiny --seed 3 --out {mxg_s}"
+    )))
+    .unwrap();
+    commands::rank::run(&args(&format!(
+        "{mxg_s} --algo pagerank --iters 5 --out {}",
+        plain.to_str().unwrap()
+    )))
+    .unwrap();
+    commands::rank::run(&args(&format!(
+        "{mxg_s} --algo pagerank --iters 5 --supervised true --out {}",
+        sup.to_str().unwrap()
+    )))
+    .unwrap();
+    let a = std::fs::read_to_string(&plain).unwrap();
+    let b = std::fs::read_to_string(&sup).unwrap();
+    assert_eq!(a, b, "supervision must not change the scores");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn nan_damping_is_a_runtime_error_not_a_panic() {
+    let dir = tmpdir("nan_rank");
+    let mxg = dir.join("g.mxg");
+    let mxg_s = mxg.to_str().unwrap();
+    commands::gen::run(&args(&format!(
+        "--dataset urand --scale tiny --out {mxg_s}"
+    )))
+    .unwrap();
+    for extra in ["--supervised true", ""] {
+        let r = commands::rank::run(&args(&format!(
+            "{mxg_s} --algo pagerank --damping NaN --iters 3 {extra}"
+        )));
+        assert!(
+            matches!(r, Err(CliError::Runtime(_))),
+            "NaN damping ({extra:?}) must be a runtime error, got {r:?}"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+// ---------------------------------------------------------------------------
+// Exit-code contract of the real binary.
+// ---------------------------------------------------------------------------
+
+fn run_bin(cli_args: &[&str]) -> std::process::Output {
+    std::process::Command::new(env!("CARGO_BIN_EXE_mixen"))
+        .args(cli_args)
+        .output()
+        .expect("failed to spawn mixen binary")
+}
+
+#[test]
+fn binary_exit_codes_follow_the_contract() {
+    let dir = tmpdir("exit_codes");
+    let good = dir.join("good.mxg");
+    let good_s = good.to_str().unwrap();
+
+    // 0: success and help.
+    assert_eq!(
+        run_bin(&[
+            "gen",
+            "--dataset",
+            "road",
+            "--scale",
+            "tiny",
+            "--out",
+            good_s
+        ])
+        .status
+        .code(),
+        Some(0)
+    );
+    assert_eq!(run_bin(&["stats", good_s]).status.code(), Some(0));
+    assert_eq!(run_bin(&["help"]).status.code(), Some(0));
+
+    // 2: usage errors.
+    assert_eq!(run_bin(&[]).status.code(), Some(2), "no subcommand");
+    assert_eq!(
+        run_bin(&["frobnicate"]).status.code(),
+        Some(2),
+        "unknown subcommand"
+    );
+    assert_eq!(
+        run_bin(&["rank", good_s, "--algo", "nope"]).status.code(),
+        Some(2),
+        "unknown algorithm"
+    );
+    assert_eq!(
+        run_bin(&["stats", good_s, "--bogus", "1"]).status.code(),
+        Some(2),
+        "unknown flag"
+    );
+
+    // 1: runtime errors.
+    assert_eq!(
+        run_bin(&["stats", "/nonexistent/graph.mxg"]).status.code(),
+        Some(1),
+        "missing file"
+    );
+    let corrupt = dir.join("corrupt.mxg");
+    let mut bytes = std::fs::read(&good).unwrap();
+    let flip = bytes.len() - 3;
+    bytes[flip] ^= 0x40;
+    std::fs::write(&corrupt, &bytes).unwrap();
+    let out = run_bin(&["stats", corrupt.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "corrupt graph");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("error:"), "stderr: {stderr}");
+
+    let truncated = dir.join("truncated.mxg");
+    std::fs::write(&truncated, &std::fs::read(&good).unwrap()[..21]).unwrap();
+    assert_eq!(
+        run_bin(&["rank", truncated.to_str().unwrap()])
+            .status
+            .code(),
+        Some(1),
+        "truncated graph"
+    );
+
     std::fs::remove_dir_all(&dir).ok();
 }

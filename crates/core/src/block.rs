@@ -84,7 +84,11 @@ impl BlockedSubgraph {
     /// Partitions `reg_csr` (which must be square, `r × r`) according to
     /// `opts`, using `threads` to pick the effective block side (§6.4).
     pub fn new(reg_csr: &Csr, opts: &MixenOpts, threads: usize) -> Self {
-        assert_eq!(reg_csr.n_rows(), reg_csr.n_cols(), "regular CSR must be square");
+        assert_eq!(
+            reg_csr.n_rows(),
+            reg_csr.n_cols(),
+            "regular CSR must be square"
+        );
         let r = reg_csr.n_rows();
         let c = opts.effective_block_side(r, threads);
         let n_col_blocks = if r == 0 { 0 } else { r.div_ceil(c) };
@@ -304,10 +308,7 @@ mod tests {
         for row in b.rows() {
             for blk in &row.blocks {
                 assert!(blk.dests.iter().all(|&d| (d as usize) < b.block_side()));
-                assert!(blk
-                    .src_ids
-                    .iter()
-                    .all(|&s| s < row.src_end - row.src_start));
+                assert!(blk.src_ids.iter().all(|&s| s < row.src_end - row.src_start));
             }
         }
     }

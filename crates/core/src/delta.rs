@@ -237,16 +237,19 @@ mod tests {
         }
     }
 
-    fn pagerank_kernel(g: &Graph) -> (impl Fn(NodeId) -> f32 + Sync + '_, impl Fn(NodeId, f32) -> f32 + Sync + '_) {
+    fn pagerank_kernel(
+        g: &Graph,
+    ) -> (
+        impl Fn(NodeId) -> f32 + Sync + '_,
+        impl Fn(NodeId, f32) -> f32 + Sync + '_,
+    ) {
         let n = g.n().max(1) as f32;
         let base = 0.15 / n;
         let init = move |v: NodeId| {
             let odeg = g.out_degree(v).max(1) as f32;
             (if g.in_degree(v) == 0 { base } else { 1.0 / n }) / odeg
         };
-        let apply = move |v: NodeId, s: f32| {
-            (base + 0.85 * s) / g.out_degree(v).max(1) as f32
-        };
+        let apply = move |v: NodeId, s: f32| (base + 0.85 * s) / g.out_degree(v).max(1) as f32;
         (init, apply)
     }
 
@@ -288,8 +291,7 @@ mod tests {
         // A contraction converges quickly; the active set must empty.
         let g = Graph::from_pairs(5, &[(0, 1), (1, 2), (2, 0), (3, 1), (2, 4)]);
         let e = MixenEngine::new(&g, small_opts());
-        let (vals, stats) =
-            e.iterate_delta(|_| 1.0, |_, s| 0.25 * s + 0.5, 1e-9, 200);
+        let (vals, stats) = e.iterate_delta(|_| 1.0, |_, s| 0.25 * s + 0.5, 1e-9, 200);
         assert!(stats.converged, "{stats:?}");
         assert!(stats.iterations < 60);
         // Agree with the dense fixed point.

@@ -27,7 +27,7 @@
 use std::sync::atomic::{AtomicI32, Ordering};
 use std::time::Instant;
 
-use mixen_graph::{Graph, NodeId, PropValue};
+use mixen_graph::{Graph, GraphError, NodeId, PropValue};
 use rayon::prelude::*;
 
 use crate::bins::{DynamicBins, StaticBin};
@@ -99,6 +99,56 @@ impl MixenEngine {
         }
     }
 
+    /// Like [`MixenEngine::new`], but validates the options and the
+    /// preprocessing invariants instead of panicking — the entry point for
+    /// supervised execution over untrusted graphs (see `crate::runner`).
+    pub fn try_new(g: &Graph, opts: MixenOpts) -> Result<Self, GraphError> {
+        if opts.block_side == 0 {
+            return Err(GraphError::Invariant("block_side must be positive".into()));
+        }
+        if opts.balance_factor <= 0.0 || !opts.balance_factor.is_finite() {
+            return Err(GraphError::Invariant(format!(
+                "balance_factor must be a positive finite number, got {}",
+                opts.balance_factor
+            )));
+        }
+        let engine = Self::new(g, opts);
+        engine.validate()?;
+        Ok(engine)
+    }
+
+    /// Cross-checks the preprocessing invariants the iteration drivers rely
+    /// on: the connectivity classes partition the nodes, the relabeling is a
+    /// bijection, and blocking preserved every regular edge.
+    pub fn validate(&self) -> Result<(), GraphError> {
+        let f = &self.filtered;
+        let n = f.n();
+        let parts = f.num_regular() + f.num_seed() + f.num_sink() + f.num_isolated();
+        if parts != n {
+            return Err(GraphError::Invariant(format!(
+                "connectivity classes cover {parts} nodes, graph has {n}"
+            )));
+        }
+        let mut seen = vec![false; n];
+        for new in 0..n {
+            let old = f.to_old(new as NodeId) as usize;
+            if old >= n || seen[old] {
+                return Err(GraphError::Invariant(format!(
+                    "relabeling is not a bijection at new id {new}"
+                )));
+            }
+            seen[old] = true;
+        }
+        if self.blocked.nnz() != f.reg_csr().nnz() {
+            return Err(GraphError::Invariant(format!(
+                "blocked subgraph holds {} edges, regular CSR has {}",
+                self.blocked.nnz(),
+                f.reg_csr().nnz()
+            )));
+        }
+        Ok(())
+    }
+
     /// The filtered graph (exposed for inspection, stats and the cache
     /// simulator's instrumented twin).
     pub fn filtered(&self) -> &FilteredGraph {
@@ -135,7 +185,8 @@ impl MixenEngine {
         FI: Fn(NodeId) -> V + Sync,
         FA: Fn(NodeId, V) -> V + Sync,
     {
-        self.run(init, apply, iters, None, &mut PhaseStats::default()).0
+        self.run(init, apply, iters, None, &mut PhaseStats::default())
+            .0
     }
 
     /// Like [`MixenEngine::iterate`], additionally returning the per-phase
@@ -172,7 +223,13 @@ impl MixenEngine {
         FI: Fn(NodeId) -> V + Sync,
         FA: Fn(NodeId, V) -> V + Sync,
     {
-        self.run(init, apply, max_iters, Some(tol), &mut PhaseStats::default())
+        self.run(
+            init,
+            apply,
+            max_iters,
+            Some(tol),
+            &mut PhaseStats::default(),
+        )
     }
 
     fn run<V, FI, FA>(
@@ -194,10 +251,7 @@ impl MixenEngine {
         let s = f.num_seed();
 
         if max_iters == 0 {
-            return (
-                (0..n as NodeId).into_par_iter().map(&init).collect(),
-                0,
-            );
+            return ((0..n as NodeId).into_par_iter().map(&init).collect(), 0);
         }
 
         // Seed values are constant for the whole run.
@@ -427,7 +481,6 @@ impl MixenEngine {
         }
         out
     }
-
 }
 
 #[cfg(test)]
@@ -616,7 +669,7 @@ mod tests {
         let g = Graph::from_pairs(10, &pairs);
         let e = MixenEngine::new(&g, small_opts());
         let d = e.bfs(0);
-        assert_eq!(d, (0..10).map(|i| i as i32).collect::<Vec<_>>());
+        assert_eq!(d, (0..10).collect::<Vec<i32>>());
     }
 
     #[test]

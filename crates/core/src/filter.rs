@@ -145,7 +145,9 @@ impl FilteredGraph {
                 g.in_neighbors(old)
                     .iter()
                     .map(|&v| perm[v as usize])
-                    .inspect(|&v| debug_assert!(v < seed_end, "sink in-neighbor must be regular/seed")),
+                    .inspect(|&v| {
+                        debug_assert!(v < seed_end, "sink in-neighbor must be regular/seed")
+                    }),
             );
         });
 
@@ -316,7 +318,16 @@ mod tests {
     fn toy() -> Graph {
         Graph::from_pairs(
             5,
-            &[(0, 1), (0, 2), (1, 2), (2, 1), (1, 3), (2, 3), (0, 1), (0, 1)],
+            &[
+                (0, 1),
+                (0, 2),
+                (1, 2),
+                (2, 1),
+                (1, 3),
+                (2, 3),
+                (0, 1),
+                (0, 1),
+            ],
         )
     }
 
@@ -367,7 +378,16 @@ mod tests {
         // too). Both hubs here. With a bigger spread:
         let g2 = Graph::from_pairs(
             6,
-            &[(0, 1), (2, 1), (3, 1), (4, 1), (1, 2), (2, 0), (0, 2), (1, 0)],
+            &[
+                (0, 1),
+                (2, 1),
+                (3, 1),
+                (4, 1),
+                (1, 2),
+                (2, 0),
+                (0, 2),
+                (1, 0),
+            ],
         );
         let f2 = FilteredGraph::new(&g2);
         // avg degree = 8/6 = 1.33; node 1 in-deg 4 => hub; nodes 0,2 in-deg 2 => hubs.

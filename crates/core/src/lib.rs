@@ -40,6 +40,7 @@ pub mod engine;
 pub mod filter;
 pub mod model;
 pub mod opts;
+pub mod runner;
 pub mod scga;
 pub mod wengine;
 
@@ -49,4 +50,8 @@ pub use engine::{MixenEngine, PhaseStats};
 pub use filter::FilteredGraph;
 pub use model::PerfModel;
 pub use opts::{MixenOpts, RegularOrdering};
+pub use runner::{
+    DegradationEvent, EngineUsed, NumericIssue, RobustRunner, RunFailure, RunReport, RunnerOpts,
+    ValueCheck,
+};
 pub use wengine::WMixenEngine;

@@ -119,7 +119,10 @@ mod tests {
         // Blocking adds (4m+3n) - (2m+2n) = 2m + n elements of traffic:
         // ≈ 362.6 M elements (the paper's 362.6 MB at 1 B/element).
         let extra = m.block_traffic() - m.pull_traffic();
-        assert!((extra - 362_600_000.0).abs() < 1_000_000.0, "extra = {extra}");
+        assert!(
+            (extra - 362_600_000.0).abs() < 1_000_000.0,
+            "extra = {extra}"
+        );
     }
 
     #[test]

@@ -97,7 +97,7 @@ mod tests {
         // 20 threads, 4 tasks each => 80 tasks wanted; r = 100_000 =>
         // side <= 1250, floored at 256.
         let c = o.effective_block_side(100_000, 20);
-        assert!(c <= 1250 && c >= 256, "c = {c}");
+        assert!((256..=1250).contains(&c), "c = {c}");
     }
 
     #[test]

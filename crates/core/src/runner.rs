@@ -1,0 +1,617 @@
+//! Supervised execution: retries, numeric health checks, and graceful
+//! degradation around the Mixen engine.
+//!
+//! [`RobustRunner`] wraps the whole lifecycle of a link-analysis run:
+//!
+//! 1. **Load** — [`RobustRunner::load_graph`] retries transient I/O errors
+//!    with exponential backoff before giving up.
+//! 2. **Preprocess** — the engine is built through
+//!    [`MixenEngine::try_new`]; if a preprocessing invariant fails, the
+//!    runner degrades to a dense pull baseline (same synchronous semantics,
+//!    none of the Mixen machinery) instead of aborting.
+//! 3. **Iterate** — values are re-checked every [`RunnerOpts::check_every`]
+//!    iterations through the [`ValueCheck`] trait; NaN, Inf, or magnitudes
+//!    beyond [`RunnerOpts::divergence_limit`] stop the run with
+//!    [`GraphError::Numeric`].
+//!
+//! Every outcome — success or failure — carries a [`RunReport`] recording
+//! iterations, the last residual, phase timings, and each degradation event,
+//! so operators can see *how* a run succeeded, not just that it did.
+
+// `RunFailure` is deliberately larger than a bare error: it carries the
+// report accumulated up to the failure point.
+#![allow(clippy::result_large_err)]
+
+use std::fmt;
+use std::io::Read;
+use std::path::Path;
+use std::time::Duration;
+
+use mixen_graph::{max_diff, Graph, GraphError, NodeId, PropValue};
+use rayon::prelude::*;
+
+use crate::engine::{MixenEngine, PhaseStats};
+use crate::opts::MixenOpts;
+
+/// A numeric problem found in a value vector.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum NumericIssue {
+    NaN,
+    Infinite,
+    /// Finite but with magnitude beyond the divergence limit.
+    Diverged(f64),
+}
+
+impl fmt::Display for NumericIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NumericIssue::NaN => write!(f, "NaN"),
+            NumericIssue::Infinite => write!(f, "infinite value"),
+            NumericIssue::Diverged(mag) => write!(f, "magnitude {mag:e} beyond limit"),
+        }
+    }
+}
+
+/// Per-value numeric health probe used by the supervised iteration loop.
+pub trait ValueCheck: Copy {
+    /// Returns the first problem with this value, or `None` when healthy.
+    /// `limit` bounds the acceptable magnitude.
+    fn issue(&self, limit: f64) -> Option<NumericIssue>;
+}
+
+impl ValueCheck for f32 {
+    fn issue(&self, limit: f64) -> Option<NumericIssue> {
+        (*self as f64).issue(limit)
+    }
+}
+
+impl ValueCheck for f64 {
+    fn issue(&self, limit: f64) -> Option<NumericIssue> {
+        if self.is_nan() {
+            Some(NumericIssue::NaN)
+        } else if self.is_infinite() {
+            Some(NumericIssue::Infinite)
+        } else if self.abs() > limit {
+            Some(NumericIssue::Diverged(self.abs()))
+        } else {
+            None
+        }
+    }
+}
+
+impl<const K: usize> ValueCheck for [f32; K] {
+    fn issue(&self, limit: f64) -> Option<NumericIssue> {
+        self.iter().find_map(|v| v.issue(limit))
+    }
+}
+
+/// Which execution path actually produced the results.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum EngineUsed {
+    /// The full Mixen engine (filter → block → SCGA).
+    #[default]
+    Mixen,
+    /// The dense pull baseline, after Mixen preprocessing was rejected.
+    PullFallback,
+}
+
+/// One recorded degradation during a supervised run.
+#[derive(Clone, Debug)]
+pub enum DegradationEvent {
+    /// A transient load error was retried.
+    LoadRetry { attempt: u32, error: String },
+    /// Mixen preprocessing failed validation; the run continued on the pull
+    /// baseline.
+    EngineFallback { reason: String },
+}
+
+/// What happened during a supervised run — populated on success *and* on
+/// failure (see [`RunFailure`]).
+#[derive(Clone, Debug, Default)]
+pub struct RunReport {
+    /// Execution path that produced (or was producing) the values.
+    pub engine: EngineUsed,
+    /// Iterations completed, including the one a numeric fault was found in.
+    pub iterations: usize,
+    /// Max-norm change across the last health-check boundary (`∞` until two
+    /// checkpoints exist).
+    pub residual: f64,
+    /// Accumulated per-phase wall clock (Mixen path only).
+    pub phase_stats: PhaseStats,
+    /// Every degradation, in order.
+    pub degradations: Vec<DegradationEvent>,
+    /// Transient load errors that were retried.
+    pub load_retries: u32,
+}
+
+impl RunReport {
+    fn absorb(&mut self, s: PhaseStats) {
+        self.phase_stats.pre_seconds += s.pre_seconds;
+        self.phase_stats.scatter_seconds += s.scatter_seconds;
+        self.phase_stats.gather_seconds += s.gather_seconds;
+        self.phase_stats.post_seconds += s.post_seconds;
+        self.phase_stats.iterations += s.iterations;
+    }
+}
+
+/// A failed supervised run: the typed error plus the report accumulated up
+/// to the failure point.
+#[derive(Debug)]
+pub struct RunFailure {
+    pub error: GraphError,
+    pub report: RunReport,
+}
+
+impl fmt::Display for RunFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "supervised run failed after {} iterations: {}",
+            self.report.iterations, self.error
+        )
+    }
+}
+
+impl std::error::Error for RunFailure {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
+}
+
+impl From<RunFailure> for GraphError {
+    fn from(f: RunFailure) -> Self {
+        f.error
+    }
+}
+
+/// Supervision policy for [`RobustRunner`].
+#[derive(Clone, Debug)]
+pub struct RunnerOpts {
+    /// Options for the underlying Mixen engine.
+    pub mixen: MixenOpts,
+    /// Health-check cadence in iterations (1 = every iteration).
+    pub check_every: usize,
+    /// Values with magnitude above this are treated as divergence.
+    pub divergence_limit: f64,
+    /// Transient load errors retried before giving up.
+    pub max_load_retries: u32,
+    /// Initial backoff between load retries (doubles each attempt).
+    pub retry_backoff: Duration,
+    /// Degrade to the pull baseline when Mixen preprocessing fails; with
+    /// `false` the preprocessing error is returned instead.
+    pub allow_fallback: bool,
+    /// Fault-injection hook: pretend preprocessing failed with this message.
+    /// Used by the robustness test suite to exercise the fallback path on
+    /// graphs that preprocess fine.
+    pub inject_preprocess_fault: Option<String>,
+}
+
+impl Default for RunnerOpts {
+    fn default() -> Self {
+        Self {
+            mixen: MixenOpts::default(),
+            check_every: 1,
+            divergence_limit: 1e12,
+            max_load_retries: 3,
+            retry_backoff: Duration::from_millis(5),
+            allow_fallback: true,
+            inject_preprocess_fault: None,
+        }
+    }
+}
+
+/// Supervised execution wrapper around [`MixenEngine`]; see the module docs.
+#[derive(Clone, Debug, Default)]
+pub struct RobustRunner {
+    opts: RunnerOpts,
+}
+
+impl RobustRunner {
+    pub fn new(opts: RunnerOpts) -> Self {
+        Self { opts }
+    }
+
+    pub fn opts(&self) -> &RunnerOpts {
+        &self.opts
+    }
+
+    /// Loads a binary graph, retrying transient I/O failures with
+    /// exponential backoff. The report carries the retry trail.
+    pub fn load_graph(&self, path: impl AsRef<Path>) -> Result<(Graph, RunReport), RunFailure> {
+        let path = path.as_ref();
+        self.load_graph_with(|| std::fs::File::open(path).map(std::io::BufReader::new))
+    }
+
+    /// [`RobustRunner::load_graph`] over an arbitrary reusable byte source:
+    /// `open` is called once per attempt (so a fresh stream each retry).
+    pub fn load_graph_with<R, F>(&self, mut open: F) -> Result<(Graph, RunReport), RunFailure>
+    where
+        R: Read,
+        F: FnMut() -> std::io::Result<R>,
+    {
+        let mut report = RunReport::default();
+        let mut delay = self.opts.retry_backoff;
+        let mut attempt = 0u32;
+        loop {
+            let result = match open() {
+                Ok(mut r) => mixen_graph::io::read_csr(&mut r),
+                Err(e) => Err(GraphError::Io(e)),
+            };
+            match result {
+                Ok(g) => return Ok((g, report)),
+                Err(e) if e.is_transient() && attempt < self.opts.max_load_retries => {
+                    attempt += 1;
+                    report.load_retries = attempt;
+                    report.degradations.push(DegradationEvent::LoadRetry {
+                        attempt,
+                        error: e.to_string(),
+                    });
+                    std::thread::sleep(delay);
+                    delay = delay.saturating_mul(2);
+                }
+                Err(e) => return Err(RunFailure { error: e, report }),
+            }
+        }
+    }
+
+    /// Runs `iters` supervised synchronous iterations of
+    /// `x'[v] = apply(v, Σ_{u→v} x[u])`; see [`MixenEngine::iterate`] for
+    /// the closure contract. Values are health-checked every
+    /// [`RunnerOpts::check_every`] iterations.
+    pub fn run<V, FI, FA>(
+        &self,
+        g: &Graph,
+        init: FI,
+        apply: FA,
+        iters: usize,
+    ) -> Result<(Vec<V>, RunReport), RunFailure>
+    where
+        V: PropValue + ValueCheck,
+        FI: Fn(NodeId) -> V + Sync,
+        FA: Fn(NodeId, V) -> V + Sync,
+    {
+        self.run_with_report(g, RunReport::default(), init, apply, iters)
+    }
+
+    /// [`RobustRunner::run`] continuing a report (e.g. one produced by
+    /// [`RobustRunner::load_graph`]), so retry events and iteration stats
+    /// end up in a single trail.
+    pub fn run_with_report<V, FI, FA>(
+        &self,
+        g: &Graph,
+        mut report: RunReport,
+        init: FI,
+        apply: FA,
+        iters: usize,
+    ) -> Result<(Vec<V>, RunReport), RunFailure>
+    where
+        V: PropValue + ValueCheck,
+        FI: Fn(NodeId) -> V + Sync,
+        FA: Fn(NodeId, V) -> V + Sync,
+    {
+        let engine = match self.build_engine(g) {
+            Ok(e) => Some(e),
+            Err(err) if self.opts.allow_fallback => {
+                report.degradations.push(DegradationEvent::EngineFallback {
+                    reason: err.to_string(),
+                });
+                report.engine = EngineUsed::PullFallback;
+                None
+            }
+            Err(error) => return Err(RunFailure { error, report }),
+        };
+
+        let limit = self.opts.divergence_limit;
+        let batch = self.opts.check_every.max(1);
+        let mut cur: Vec<V> = (0..g.n() as NodeId).into_par_iter().map(&init).collect();
+        if let Some(fault) = scan(&cur, limit) {
+            report.iterations = 0;
+            return Err(RunFailure {
+                error: numeric_error(0, fault),
+                report,
+            });
+        }
+
+        let mut done = 0usize;
+        while done < iters {
+            let step = batch.min(iters - done);
+            let next: Vec<V> = match &engine {
+                Some(e) => {
+                    let (vals, stats) = if done == 0 {
+                        e.iterate_with_stats(&init, &apply, step)
+                    } else {
+                        let prev = &cur;
+                        e.iterate_with_stats(|v| prev[v as usize], &apply, step)
+                    };
+                    report.absorb(stats);
+                    vals
+                }
+                None => pull_iterate(g, &cur, &apply, step),
+            };
+            done += step;
+            report.iterations = done;
+            if let Some(fault) = scan(&next, limit) {
+                return Err(RunFailure {
+                    error: numeric_error(done, fault),
+                    report,
+                });
+            }
+            report.residual = max_diff(&next, &cur);
+            cur = next;
+        }
+        Ok((cur, report))
+    }
+
+    fn build_engine(&self, g: &Graph) -> Result<MixenEngine, GraphError> {
+        if let Some(reason) = &self.opts.inject_preprocess_fault {
+            return Err(GraphError::Invariant(reason.clone()));
+        }
+        MixenEngine::try_new(g, self.opts.mixen)
+    }
+}
+
+/// `step` synchronous pull iterations over the in-CSC — the degradation
+/// target: same semantics as the Mixen engine, none of its machinery.
+fn pull_iterate<V, FA>(g: &Graph, x0: &[V], apply: &FA, step: usize) -> Vec<V>
+where
+    V: PropValue,
+    FA: Fn(NodeId, V) -> V + Sync,
+{
+    let mut x = x0.to_vec();
+    for _ in 0..step {
+        x = (0..g.n() as NodeId)
+            .into_par_iter()
+            .map(|v| {
+                let mut sum = V::identity();
+                for &u in g.in_csc().neighbors(v) {
+                    sum.combine(x[u as usize]);
+                }
+                apply(v, sum)
+            })
+            .collect();
+    }
+    x
+}
+
+fn scan<V: ValueCheck>(vals: &[V], limit: f64) -> Option<(usize, NumericIssue)> {
+    vals.iter()
+        .enumerate()
+        .find_map(|(i, v)| v.issue(limit).map(|iss| (i, iss)))
+}
+
+fn numeric_error(iteration: usize, (node, issue): (usize, NumericIssue)) -> GraphError {
+    GraphError::Numeric {
+        iteration,
+        msg: format!("node {node}: {issue}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mixed_graph() -> Graph {
+        Graph::from_pairs(
+            8,
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 0),
+                (1, 0),
+                (3, 0),
+                (3, 5),
+                (4, 1),
+                (4, 2),
+                (0, 5),
+                (2, 6),
+            ],
+        )
+    }
+
+    fn small_runner() -> RobustRunner {
+        RobustRunner::new(RunnerOpts {
+            mixen: MixenOpts {
+                block_side: 2,
+                min_tasks_per_thread: 1,
+                ..MixenOpts::default()
+            },
+            ..RunnerOpts::default()
+        })
+    }
+
+    #[test]
+    fn supervised_matches_unsupervised() {
+        let g = mixed_graph();
+        let runner = small_runner();
+        let apply = |v: NodeId, sum: f32| 0.5 * sum + 0.1 * (v as f32 + 1.0);
+        let init = |v: NodeId| 0.1 * (v as f32 + 1.0);
+        let engine = MixenEngine::new(&g, runner.opts().mixen);
+        for iters in 0..6 {
+            let (got, report) = runner.run(&g, init, apply, iters).unwrap();
+            let want = engine.iterate::<f32, _, _>(init, apply, iters);
+            for (a, b) in got.iter().zip(&want) {
+                assert!((a - b).abs() < 1e-5, "iters={iters}: {got:?} vs {want:?}");
+            }
+            assert_eq!(report.iterations, iters);
+            assert_eq!(report.engine, EngineUsed::Mixen);
+            assert!(report.degradations.is_empty());
+        }
+    }
+
+    #[test]
+    fn batched_checks_do_not_change_results() {
+        let g = mixed_graph();
+        let apply = |_: NodeId, sum: f32| 0.5 * sum + 0.3;
+        let init = |_: NodeId| 0.3f32;
+        let every_iter = small_runner();
+        let mut batched_opts = every_iter.opts().clone();
+        batched_opts.check_every = 3;
+        let batched = RobustRunner::new(batched_opts);
+        let (a, _) = every_iter.run(&g, init, apply, 7).unwrap();
+        let (b, _) = batched.run(&g, init, apply, 7).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn nan_poisoned_apply_is_caught_with_report() {
+        let g = mixed_graph();
+        let runner = small_runner();
+        let failure = runner
+            .run::<f32, _, _>(&g, |_| 1.0, |_, _| f32::NAN, 5)
+            .unwrap_err();
+        assert!(matches!(
+            failure.error,
+            GraphError::Numeric { iteration: 1, .. }
+        ));
+        assert_eq!(failure.report.iterations, 1);
+        assert_eq!(failure.report.engine, EngineUsed::Mixen);
+    }
+
+    #[test]
+    fn poisoned_init_is_caught_at_iteration_zero() {
+        let g = mixed_graph();
+        let runner = small_runner();
+        let failure = runner
+            .run::<f32, _, _>(
+                &g,
+                |v| if v == 3 { f32::INFINITY } else { 1.0 },
+                |_, s| s,
+                5,
+            )
+            .unwrap_err();
+        assert!(matches!(
+            failure.error,
+            GraphError::Numeric { iteration: 0, .. }
+        ));
+        assert_eq!(failure.report.iterations, 0);
+    }
+
+    #[test]
+    fn divergence_is_caught() {
+        let g = mixed_graph();
+        let mut opts = small_runner().opts().clone();
+        opts.divergence_limit = 1e3;
+        let runner = RobustRunner::new(opts);
+        // Doubling per iteration on a cyclic graph blows past 1e3.
+        let failure = runner
+            .run::<f32, _, _>(&g, |_| 100.0, |_, s| 10.0 * s + 100.0, 50)
+            .unwrap_err();
+        match failure.error {
+            GraphError::Numeric { iteration, ref msg } => {
+                assert!(iteration >= 1);
+                assert!(msg.contains("magnitude"), "{msg}");
+            }
+            ref other => panic!("expected Numeric, got {other}"),
+        }
+    }
+
+    #[test]
+    fn fallback_to_pull_matches_mixen_results() {
+        let g = mixed_graph();
+        let mut opts = small_runner().opts().clone();
+        opts.inject_preprocess_fault = Some("synthetic invariant failure".into());
+        let degraded = RobustRunner::new(opts);
+        let healthy = small_runner();
+        let apply = |v: NodeId, sum: f32| 0.5 * sum + 0.1 * (v as f32 + 1.0);
+        let init = |v: NodeId| 0.1 * (v as f32 + 1.0);
+        let (a, ra) = degraded.run(&g, init, apply, 4).unwrap();
+        let (b, rb) = healthy.run(&g, init, apply, 4).unwrap();
+        assert_eq!(ra.engine, EngineUsed::PullFallback);
+        assert_eq!(rb.engine, EngineUsed::Mixen);
+        assert!(matches!(
+            ra.degradations.as_slice(),
+            [DegradationEvent::EngineFallback { .. }]
+        ));
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-5, "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn fallback_disabled_surfaces_the_error() {
+        let g = mixed_graph();
+        let mut opts = small_runner().opts().clone();
+        opts.inject_preprocess_fault = Some("synthetic invariant failure".into());
+        opts.allow_fallback = false;
+        let runner = RobustRunner::new(opts);
+        let failure = runner
+            .run::<f32, _, _>(&g, |_| 1.0, |_, s| s, 2)
+            .unwrap_err();
+        assert!(matches!(failure.error, GraphError::Invariant(_)));
+    }
+
+    #[test]
+    fn invalid_opts_are_rejected_by_try_new() {
+        let g = mixed_graph();
+        let err = MixenEngine::try_new(
+            &g,
+            MixenOpts {
+                block_side: 0,
+                ..MixenOpts::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, GraphError::Invariant(_)));
+        assert!(MixenEngine::try_new(&g, MixenOpts::default()).is_ok());
+    }
+
+    #[test]
+    fn load_retries_transient_errors_then_succeeds() {
+        let g = mixed_graph();
+        let mut bytes = Vec::new();
+        mixen_graph::io::write_csr(&g, &mut bytes).unwrap();
+        let mut attempts = 0;
+        let runner = small_runner();
+        let (loaded, report) = runner
+            .load_graph_with(|| {
+                attempts += 1;
+                if attempts <= 2 {
+                    Err(std::io::Error::new(std::io::ErrorKind::TimedOut, "flaky"))
+                } else {
+                    Ok(bytes.as_slice())
+                }
+            })
+            .unwrap();
+        assert_eq!(loaded.n(), g.n());
+        assert_eq!(report.load_retries, 2);
+        assert_eq!(report.degradations.len(), 2);
+    }
+
+    #[test]
+    fn load_gives_up_on_persistent_errors() {
+        let runner = small_runner();
+        let failure = runner
+            .load_graph_with(|| -> std::io::Result<&[u8]> {
+                Err(std::io::Error::new(std::io::ErrorKind::TimedOut, "flaky"))
+            })
+            .unwrap_err();
+        assert!(matches!(failure.error, GraphError::Io(_)));
+        assert_eq!(failure.report.load_retries, runner.opts().max_load_retries);
+    }
+
+    #[test]
+    fn load_does_not_retry_corruption() {
+        let g = mixed_graph();
+        let mut bytes = Vec::new();
+        mixen_graph::io::write_csr(&g, &mut bytes).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        let runner = small_runner();
+        let failure = runner.load_graph_with(|| Ok(bytes.as_slice())).unwrap_err();
+        assert_eq!(failure.report.load_retries, 0);
+        assert!(matches!(
+            failure.error,
+            GraphError::Checksum { .. } | GraphError::Invariant(_)
+        ));
+    }
+
+    #[test]
+    fn missing_file_fails_without_retry() {
+        let runner = small_runner();
+        let failure = runner.load_graph("/no/such/file.mxg").unwrap_err();
+        assert!(matches!(failure.error, GraphError::Io(_)));
+        assert_eq!(failure.report.load_retries, 0);
+    }
+}

@@ -208,7 +208,10 @@ impl<V> SegPtr<'_, V> {
     }
 }
 
-pub(crate) fn split_by_rows<'a, V>(x: &'a mut [V], blocked: &BlockedSubgraph) -> Vec<SegPtr<'a, V>> {
+pub(crate) fn split_by_rows<'a, V>(
+    x: &'a mut [V],
+    blocked: &BlockedSubgraph,
+) -> Vec<SegPtr<'a, V>> {
     let mut segs = Vec::with_capacity(blocked.rows().len());
     let mut rest: &mut [V] = x;
     let mut offset = 0u32;

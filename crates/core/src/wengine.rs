@@ -49,8 +49,7 @@ impl WMixenEngine {
         let t0 = Instant::now();
         let g = wg.topology();
         let filtered = FilteredGraph::with_ordering(g, opts.ordering);
-        let blocked =
-            BlockedSubgraph::new(filtered.reg_csr(), &opts, rayon::current_num_threads());
+        let blocked = BlockedSubgraph::new(filtered.reg_csr(), &opts, rayon::current_num_threads());
         let weight_of = |new_src: NodeId, new_dst: NodeId| -> f32 {
             wg.weight(filtered.to_old(new_src), filtered.to_old(new_dst))
                 .expect("edge present in filtered structure must exist in the graph")
@@ -383,10 +382,20 @@ mod tests {
         let wg = toy();
         let e = WMixenEngine::new(&wg, opts());
         let root = 3u32;
-        let init = |v: NodeId| if v == root { MinF32(0.0) } else { MinF32::identity() };
+        let init = |v: NodeId| {
+            if v == root {
+                MinF32(0.0)
+            } else {
+                MinF32::identity()
+            }
+        };
         let apply = move |v: NodeId, s: MinF32| {
             let mut out = s;
-            out.combine(if v == root { MinF32(0.0) } else { MinF32::identity() });
+            out.combine(if v == root {
+                MinF32(0.0)
+            } else {
+                MinF32::identity()
+            });
             out
         };
         let (dist, _) = e.iterate_until(init, apply, 0.0, 50);
@@ -400,10 +409,7 @@ mod tests {
 
     #[test]
     fn unit_weights_match_unweighted_engine() {
-        let g = Graph::from_pairs(
-            6,
-            &[(0, 1), (1, 2), (2, 0), (3, 1), (3, 4), (2, 4), (0, 5)],
-        );
+        let g = Graph::from_pairs(6, &[(0, 1), (1, 2), (2, 0), (3, 1), (3, 4), (2, 4), (0, 5)]);
         let wg = WGraph::from_graph(&g, |_, _| 1.0);
         let weighted = WMixenEngine::new(&wg, opts());
         let unweighted = crate::MixenEngine::new(&g, opts());

@@ -11,6 +11,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 use rayon::prelude::*;
 
+use crate::error::GraphError;
 use crate::NodeId;
 
 /// Compressed sparse row adjacency structure.
@@ -108,16 +109,28 @@ impl Csr {
         }
     }
 
-    /// Assembles a CSR from raw parts. Panics if the invariants do not hold.
-    pub fn from_parts(n_cols: usize, ptr: Vec<usize>, idx: Vec<NodeId>) -> Self {
+    /// Assembles a CSR from raw parts, checking every structural invariant
+    /// (monotone `ptr`, `ptr[0] == 0`, `ptr[n] == idx.len()`, in-range and
+    /// row-sorted `idx`). This is the entry point for untrusted data.
+    pub fn try_from_parts(
+        n_cols: usize,
+        ptr: Vec<usize>,
+        idx: Vec<NodeId>,
+    ) -> Result<Self, GraphError> {
         let csr = Self {
             n_rows: ptr.len().saturating_sub(1),
             n_cols,
             ptr: ptr.into_boxed_slice(),
             idx: idx.into_boxed_slice(),
         };
-        csr.validate().expect("invalid CSR parts");
-        csr
+        csr.validate().map_err(GraphError::Invariant)?;
+        Ok(csr)
+    }
+
+    /// Assembles a CSR from raw parts. Panics if the invariants do not hold;
+    /// use [`Csr::try_from_parts`] for untrusted data.
+    pub fn from_parts(n_cols: usize, ptr: Vec<usize>, idx: Vec<NodeId>) -> Self {
+        Self::try_from_parts(n_cols, ptr, idx).expect("invalid CSR parts")
     }
 
     /// An empty square CSR over `n` nodes.
@@ -187,10 +200,7 @@ impl Csr {
     /// scatter, then per-row sort. The result's rows are the columns of
     /// `self`.
     pub fn transpose(&self) -> Self {
-        let ptr = prefix_sum(&count_rows(
-            self.n_cols,
-            self.idx.par_iter().copied(),
-        ));
+        let ptr = prefix_sum(&count_rows(self.n_cols, self.idx.par_iter().copied()));
         let mut idx = vec![0 as NodeId; self.nnz()].into_boxed_slice();
         let cursors: Vec<AtomicUsize> = ptr[..self.n_cols]
             .par_iter()
@@ -420,12 +430,7 @@ mod tests {
         let edges = vec![(0u32, 2u32), (0, 1), (2, 0), (1, 1)];
         let a = Csr::from_edges(3, &edges);
         let b = Csr::from_row_fn(3, 3, |u, out| {
-            out.extend(
-                edges
-                    .iter()
-                    .filter(|&&(s, _)| s == u)
-                    .map(|&(_, d)| d),
-            );
+            out.extend(edges.iter().filter(|&&(s, _)| s == u).map(|&(_, d)| d));
         });
         assert_eq!(a, b);
     }

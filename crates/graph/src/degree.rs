@@ -111,8 +111,7 @@ impl DegreeDistribution {
         if total == 0 || self.degrees.is_empty() {
             return 0.0;
         }
-        let k = ((self.degrees.len() as f64 * frac).ceil() as usize)
-            .clamp(1, self.degrees.len());
+        let k = ((self.degrees.len() as f64 * frac).ceil() as usize).clamp(1, self.degrees.len());
         let mut sorted = self.degrees.clone();
         sorted.sort_unstable_by(|a, b| b.cmp(a));
         let top: u64 = sorted[..k].iter().map(|&d| d as u64).sum();
@@ -189,17 +188,16 @@ mod tests {
     #[test]
     fn skewed_dataset_more_concentrated_than_uniform() {
         use crate::{Dataset, Scale};
-        let weibo = DegreeDistribution::of(
-            &Dataset::Weibo.generate(Scale::Tiny, 3),
-            Direction::In,
-            1,
+        let weibo =
+            DegreeDistribution::of(&Dataset::Weibo.generate(Scale::Tiny, 3), Direction::In, 1);
+        let urand =
+            DegreeDistribution::of(&Dataset::Urand.generate(Scale::Tiny, 3), Direction::In, 1);
+        assert!(
+            weibo.gini > urand.gini + 0.3,
+            "{} vs {}",
+            weibo.gini,
+            urand.gini
         );
-        let urand = DegreeDistribution::of(
-            &Dataset::Urand.generate(Scale::Tiny, 3),
-            Direction::In,
-            1,
-        );
-        assert!(weibo.gini > urand.gini + 0.3, "{} vs {}", weibo.gini, urand.gini);
         assert!(weibo.top_share(0.01) > 0.8);
     }
 

@@ -1,21 +1,161 @@
 //! Graph serialization.
 //!
-//! * A compact binary CSR format (`MXG1`) mirroring the paper's setup, where
-//!   GPOP and Mixen ingest a prebuilt CSR binary directly (§6.5 / Table 4).
+//! * A compact binary CSR format mirroring the paper's setup, where GPOP and
+//!   Mixen ingest a prebuilt CSR binary directly (§6.5 / Table 4). Two
+//!   versions exist:
+//!   * `MXG1` (legacy): `magic | n:u64 | m:u64 | ptr[(n+1)×u64] | idx[m×u32]`,
+//!     all little-endian, no integrity check. Still readable and writable
+//!     (via [`write_csr_v1`]) for compatibility with seed-era files.
+//!   * `MXG2` (current): same payload, preceded by a CRC-32/IEEE checksum of
+//!     the payload bytes: `magic | n:u64 | m:u64 | crc32:u32 | payload`.
+//!     [`write_csr`] emits this; [`read_csr`] verifies the checksum.
 //! * A whitespace text edge-list format (`src dst` per line, `#` comments)
 //!   matching what Ligra/Polymer/GraphMat-style frameworks convert from.
+//!
+//! All readers treat their input as untrusted: sizes declared in headers are
+//! capped before any allocation, every `u64 → usize` cast is checked, and
+//! every failure surfaces as a typed [`GraphError`] — never a panic.
 
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
+use crate::error::{GraphError, Result};
 use crate::{Csr, EdgeList, Graph, NodeId};
 
-const MAGIC: &[u8; 4] = b"MXG1";
+const MAGIC_V1: &[u8; 4] = b"MXG1";
+const MAGIC_V2: &[u8; 4] = b"MXG2";
 
-/// Writes the out-CSR of `g` in the binary `MXG1` format.
+/// Hard cap on node counts accepted from untrusted headers. Node IDs are
+/// `u32`, and the paper's largest graphs stay well under 2^31 nodes.
+pub const MAX_NODES: u64 = 1 << 31;
+
+/// Hard cap on edge counts accepted from untrusted headers (512 G edges —
+/// an order of magnitude above the largest public web crawls).
+pub const MAX_EDGES: u64 = 1 << 39;
+
+/// Incremental-read chunk bound: never pre-allocate more than this many
+/// elements on the say-so of a header; grow as bytes actually arrive.
+const ALLOC_CHUNK: usize = 1 << 20;
+
+// ---------------------------------------------------------------------------
+// CRC-32/IEEE (the zlib/PNG polynomial), table-driven, no dependencies.
+// ---------------------------------------------------------------------------
+
+fn crc32_table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, slot) in table.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *slot = c;
+        }
+        table
+    })
+}
+
+/// CRC-32/IEEE over `bytes` (init `!0`, final xor `!0`), resumable via
+/// [`Crc32::update`].
+#[derive(Clone, Copy, Debug)]
+pub struct Crc32(u32);
+
+impl Crc32 {
+    pub fn new() -> Self {
+        Crc32(!0)
+    }
+
+    pub fn update(&mut self, bytes: &[u8]) {
+        let table = crc32_table();
+        for &b in bytes {
+            self.0 = table[((self.0 ^ b as u32) & 0xFF) as usize] ^ (self.0 >> 8);
+        }
+    }
+
+    pub fn finish(self) -> u32 {
+        !self.0
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Computes the CRC-32 of a byte slice in one call.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(bytes);
+    c.finish()
+}
+
+/// `Read` adapter that folds every byte it passes through into a CRC-32.
+struct Crc32Reader<'a, R> {
+    inner: &'a mut R,
+    crc: Crc32,
+}
+
+impl<'a, R: Read> Crc32Reader<'a, R> {
+    fn new(inner: &'a mut R) -> Self {
+        Self {
+            inner,
+            crc: Crc32::new(),
+        }
+    }
+}
+
+impl<R: Read> Read for Crc32Reader<'_, R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.crc.update(&buf[..n]);
+        Ok(n)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Binary CSR
+// ---------------------------------------------------------------------------
+
+/// Writes the out-CSR of `g` in the current binary format (`MXG2`,
+/// checksummed). Use [`write_csr_v1`] for the legacy format.
 pub fn write_csr<W: Write>(g: &Graph, w: &mut W) -> io::Result<()> {
     let csr = g.out_csr();
-    w.write_all(MAGIC)?;
+    // First pass over the payload computes the checksum so the header can be
+    // written up front without buffering the payload.
+    let mut crc = Crc32::new();
+    for &p in csr.ptr() {
+        crc.update(&(p as u64).to_le_bytes());
+    }
+    for &v in csr.idx() {
+        crc.update(&v.to_le_bytes());
+    }
+    let checksum = crc.finish();
+
+    w.write_all(MAGIC_V2)?;
+    w.write_all(&(csr.n_rows() as u64).to_le_bytes())?;
+    w.write_all(&(csr.nnz() as u64).to_le_bytes())?;
+    w.write_all(&checksum.to_le_bytes())?;
+    for &p in csr.ptr() {
+        w.write_all(&(p as u64).to_le_bytes())?;
+    }
+    for &v in csr.idx() {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// Writes the out-CSR of `g` in the legacy `MXG1` format (no checksum),
+/// byte-identical to what the seed code produced.
+pub fn write_csr_v1<W: Write>(g: &Graph, w: &mut W) -> io::Result<()> {
+    let csr = g.out_csr();
+    w.write_all(MAGIC_V1)?;
     w.write_all(&(csr.n_rows() as u64).to_le_bytes())?;
     w.write_all(&(csr.nnz() as u64).to_le_bytes())?;
     for &p in csr.ptr() {
@@ -27,44 +167,89 @@ pub fn write_csr<W: Write>(g: &Graph, w: &mut W) -> io::Result<()> {
     Ok(())
 }
 
-/// Reads a binary `MXG1` graph; the in-CSC is rebuilt by transposition.
-pub fn read_csr<R: Read>(r: &mut R) -> io::Result<Graph> {
+/// Reads a binary graph in either `MXG1` (legacy, unchecksummed) or `MXG2`
+/// (checksummed) format; the in-CSC is rebuilt by transposition.
+pub fn read_csr<R: Read>(r: &mut R) -> Result<Graph> {
     let mut magic = [0u8; 4];
-    r.read_exact(&mut magic)?;
-    if &magic != MAGIC {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "bad magic: not an MXG1 file",
-        ));
+    r.read_exact(&mut magic).map_err(GraphError::Io)?;
+    let versioned = match &magic {
+        m if m == MAGIC_V1 => false,
+        m if m == MAGIC_V2 => true,
+        _ => {
+            return Err(GraphError::Format(format!(
+                "bad magic {:02x?}: not an MXG1/MXG2 file",
+                magic
+            )))
+        }
+    };
+    let n64 = read_u64(r)?;
+    let m64 = read_u64(r)?;
+    if n64 >= MAX_NODES {
+        return Err(GraphError::Capacity {
+            what: "node count",
+            requested: n64,
+            limit: MAX_NODES,
+        });
     }
-    let n = read_u64(r)? as usize;
-    let m = read_u64(r)? as usize;
-    let mut ptr = Vec::with_capacity(n + 1);
-    for _ in 0..=n {
-        ptr.push(read_u64(r)? as usize);
+    if m64 >= MAX_EDGES {
+        return Err(GraphError::Capacity {
+            what: "edge count",
+            requested: m64,
+            limit: MAX_EDGES,
+        });
     }
-    let mut idx = Vec::with_capacity(m);
-    let mut buf = [0u8; 4];
-    for _ in 0..m {
-        r.read_exact(&mut buf)?;
-        idx.push(NodeId::from_le_bytes(buf));
+    let n = checked_usize(n64, "node count")?;
+    let m = checked_usize(m64, "edge count")?;
+
+    let (csr, stored, computed) = if versioned {
+        let stored = read_u32(r)?;
+        let mut cr = Crc32Reader::new(r);
+        let csr = read_payload(&mut cr, n, m)?;
+        (csr, Some(stored), cr.crc.finish())
+    } else {
+        (read_payload(r, n, m)?, None, 0)
+    };
+    if let Some(stored) = stored {
+        if stored != computed {
+            return Err(GraphError::Checksum { stored, computed });
+        }
     }
-    let csr = Csr::from_parts(n, ptr, idx);
     Ok(Graph::from_csr(csr))
 }
 
-/// Writes `g` to a file in binary CSR format.
+/// Reads `ptr` and `idx` incrementally — allocation grows with bytes that
+/// actually arrive, never in one jump from the untrusted header — and
+/// validates every CSR invariant before construction.
+fn read_payload<R: Read>(r: &mut R, n: usize, m: usize) -> Result<Csr> {
+    let mut ptr = Vec::with_capacity((n + 1).min(ALLOC_CHUNK));
+    for _ in 0..=n {
+        ptr.push(checked_usize(read_u64(r)?, "row pointer")?);
+    }
+    let mut idx = Vec::with_capacity(m.min(ALLOC_CHUNK));
+    let mut buf = [0u8; 4];
+    for _ in 0..m {
+        r.read_exact(&mut buf).map_err(GraphError::Io)?;
+        idx.push(NodeId::from_le_bytes(buf));
+    }
+    Csr::try_from_parts(n, ptr, idx)
+}
+
+/// Writes `g` to a file in the current binary CSR format.
 pub fn save(g: &Graph, path: impl AsRef<Path>) -> io::Result<()> {
     let mut w = BufWriter::new(std::fs::File::create(path)?);
     write_csr(g, &mut w)?;
     w.flush()
 }
 
-/// Loads a binary CSR graph from a file.
-pub fn load(path: impl AsRef<Path>) -> io::Result<Graph> {
-    let mut r = BufReader::new(std::fs::File::open(path)?);
+/// Loads a binary CSR graph (`MXG1` or `MXG2`) from a file.
+pub fn load(path: impl AsRef<Path>) -> Result<Graph> {
+    let mut r = BufReader::new(std::fs::File::open(path).map_err(GraphError::Io)?);
     read_csr(&mut r)
 }
+
+// ---------------------------------------------------------------------------
+// Text edge list
+// ---------------------------------------------------------------------------
 
 /// Writes a text edge list (`src dst` per line).
 pub fn write_edge_list<W: Write>(g: &Graph, w: &mut W) -> io::Result<()> {
@@ -75,33 +260,68 @@ pub fn write_edge_list<W: Write>(g: &Graph, w: &mut W) -> io::Result<()> {
     Ok(())
 }
 
-/// Parses a text edge list. Node count is `max endpoint + 1` unless a larger
-/// `min_n` is given or the header comment declares `n=<count>` (which
-/// [`write_edge_list`] emits, so trailing isolated nodes round-trip).
-pub fn read_edge_list<R: BufRead>(r: R, min_n: usize) -> io::Result<Graph> {
+/// Parses a text edge list with the default node-count cap ([`MAX_NODES`]).
+/// Node count is `max endpoint + 1` unless a larger `min_n` is given or the
+/// header comment declares `n=<count>` (which [`write_edge_list`] emits, so
+/// trailing isolated nodes round-trip).
+pub fn read_edge_list<R: BufRead>(r: R, min_n: usize) -> Result<Graph> {
+    read_edge_list_capped(r, min_n, MAX_NODES)
+}
+
+/// [`read_edge_list`] with a configurable cap on the `n=` header
+/// declaration. A declaration above `max_nodes`, a duplicate declaration,
+/// or one that overflows `u64` is reported with its line number.
+pub fn read_edge_list_capped<R: BufRead>(r: R, min_n: usize, max_nodes: u64) -> Result<Graph> {
     let mut pairs: Vec<(NodeId, NodeId)> = Vec::new();
     let mut max_node = 0u32;
     let mut min_n = min_n;
+    let mut declared_on: Option<usize> = None;
     for (lineno, line) in r.lines().enumerate() {
-        let line = line?;
+        let line = line.map_err(GraphError::Io)?;
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
             // Recover the declared node count from the header, if present.
-            if let Some(decl) = line.split_whitespace().find_map(|tok| {
-                tok.strip_prefix("n=").and_then(|v| v.parse::<usize>().ok())
-            }) {
-                min_n = min_n.max(decl);
+            // Only all-digit `n=` tokens count as declarations; anything
+            // else is ordinary comment text.
+            let decl_tok = line.split_whitespace().find_map(|tok| {
+                tok.strip_prefix("n=")
+                    .filter(|v| !v.is_empty() && v.bytes().all(|b| b.is_ascii_digit()))
+            });
+            if let Some(digits) = decl_tok {
+                let decl = digits.parse::<u64>().map_err(|_| GraphError::Parse {
+                    line: lineno + 1,
+                    msg: format!("node count declaration n={digits} overflows u64"),
+                })?;
+                if decl > max_nodes {
+                    return Err(GraphError::Parse {
+                        line: lineno + 1,
+                        msg: format!(
+                            "node count declaration n={decl} exceeds the cap of {max_nodes}"
+                        ),
+                    });
+                }
+                if let Some(first) = declared_on {
+                    return Err(GraphError::Parse {
+                        line: lineno + 1,
+                        msg: format!("duplicate n= declaration (first on line {first})"),
+                    });
+                }
+                declared_on = Some(lineno + 1);
+                min_n = min_n.max(decl as usize);
             }
             continue;
         }
         let mut it = line.split_whitespace();
-        let parse = |tok: Option<&str>| -> io::Result<u32> {
+        let parse = |tok: Option<&str>| -> Result<u32> {
             tok.ok_or_else(|| bad_line(lineno))?
                 .parse::<u32>()
                 .map_err(|_| bad_line(lineno))
         };
         let s = parse(it.next())?;
         let d = parse(it.next())?;
+        if it.next().is_some() {
+            return Err(bad_line(lineno));
+        }
         max_node = max_node.max(s).max(d);
         pairs.push((s, d));
     }
@@ -110,20 +330,41 @@ pub fn read_edge_list<R: BufRead>(r: R, min_n: usize) -> io::Result<Graph> {
     } else {
         (max_node as usize + 1).max(min_n)
     };
+    if n as u64 > max_nodes {
+        return Err(GraphError::Capacity {
+            what: "node count",
+            requested: n as u64,
+            limit: max_nodes,
+        });
+    }
     Ok(Graph::from_edge_list(&EdgeList::from_pairs(n, pairs)))
 }
 
-fn bad_line(lineno: usize) -> io::Error {
-    io::Error::new(
-        io::ErrorKind::InvalidData,
-        format!("malformed edge on line {}", lineno + 1),
-    )
+fn bad_line(lineno: usize) -> GraphError {
+    GraphError::Parse {
+        line: lineno + 1,
+        msg: "malformed edge".into(),
+    }
 }
 
-fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+fn checked_usize(v: u64, what: &'static str) -> Result<usize> {
+    usize::try_from(v).map_err(|_| GraphError::Capacity {
+        what,
+        requested: v,
+        limit: usize::MAX as u64,
+    })
+}
+
+fn read_u64<R: Read>(r: &mut R) -> Result<u64> {
     let mut buf = [0u8; 8];
-    r.read_exact(&mut buf)?;
+    r.read_exact(&mut buf).map_err(GraphError::Io)?;
     Ok(u64::from_le_bytes(buf))
+}
+
+fn read_u32<R: Read>(r: &mut R) -> Result<u32> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf).map_err(GraphError::Io)?;
+    Ok(u32::from_le_bytes(buf))
 }
 
 #[cfg(test)]
@@ -139,15 +380,26 @@ mod tests {
         let g = toy();
         let mut buf = Vec::new();
         write_csr(&g, &mut buf).unwrap();
+        assert_eq!(&buf[..4], MAGIC_V2);
         let back = read_csr(&mut buf.as_slice()).unwrap();
         assert_eq!(g.out_csr(), back.out_csr());
         assert_eq!(g.in_csc(), back.in_csc());
     }
 
     #[test]
+    fn legacy_v1_roundtrip() {
+        let g = toy();
+        let mut buf = Vec::new();
+        write_csr_v1(&g, &mut buf).unwrap();
+        assert_eq!(&buf[..4], MAGIC_V1);
+        let back = read_csr(&mut buf.as_slice()).unwrap();
+        assert_eq!(g.out_csr(), back.out_csr());
+    }
+
+    #[test]
     fn binary_rejects_bad_magic() {
         let err = read_csr(&mut &b"NOPE"[..]).unwrap_err();
-        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(matches!(err, GraphError::Format(_)), "{err}");
     }
 
     #[test]
@@ -156,7 +408,40 @@ mod tests {
         let mut buf = Vec::new();
         write_csr(&g, &mut buf).unwrap();
         buf.truncate(buf.len() - 3);
-        assert!(read_csr(&mut buf.as_slice()).is_err());
+        let err = read_csr(&mut buf.as_slice()).unwrap_err();
+        assert!(matches!(err, GraphError::Io(_)), "{err}");
+    }
+
+    #[test]
+    fn binary_rejects_flipped_payload_bit() {
+        let g = toy();
+        let mut buf = Vec::new();
+        write_csr(&g, &mut buf).unwrap();
+        let last = buf.len() - 1;
+        buf[last] ^= 0x04;
+        let err = read_csr(&mut buf.as_slice()).unwrap_err();
+        // A flipped bit either breaks an invariant (if it pushes an index
+        // out of range) or — the interesting case — is caught by the CRC.
+        assert!(
+            matches!(err, GraphError::Checksum { .. } | GraphError::Invariant(_)),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn binary_rejects_absurd_header_without_allocating() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC_V1);
+        buf.extend_from_slice(&u64::MAX.to_le_bytes()); // n
+        buf.extend_from_slice(&0u64.to_le_bytes()); // m
+        let err = read_csr(&mut buf.as_slice()).unwrap_err();
+        assert!(matches!(err, GraphError::Capacity { .. }), "{err}");
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // The classic check value for CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
     }
 
     #[test]
@@ -190,7 +475,33 @@ mod tests {
     #[test]
     fn text_rejects_garbage() {
         let err = read_edge_list("0 x\n".as_bytes(), 0).unwrap_err();
-        assert!(err.to_string().contains("line 1"));
+        assert!(err.to_string().contains("line 1"), "{err}");
+    }
+
+    #[test]
+    fn text_rejects_oversized_declaration() {
+        let text = format!("# n={}\n0 1\n", u64::from(u32::MAX) + 10);
+        let err = read_edge_list(text.as_bytes(), 0).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }), "{err}");
+    }
+
+    #[test]
+    fn text_rejects_duplicate_declaration() {
+        let err = read_edge_list("# n=5\n# n=7\n0 1\n".as_bytes(), 0).unwrap_err();
+        match err {
+            GraphError::Parse { line, msg } => {
+                assert_eq!(line, 2);
+                assert!(msg.contains("duplicate"), "{msg}");
+                assert!(msg.contains("line 1"), "{msg}");
+            }
+            other => panic!("expected Parse, got {other}"),
+        }
+    }
+
+    #[test]
+    fn text_ignores_non_numeric_n_tokens_in_comments() {
+        let g = read_edge_list("# note: n=lots of nodes\n0 1\n".as_bytes(), 0).unwrap();
+        assert_eq!(g.n(), 2);
     }
 
     #[test]
@@ -203,6 +514,12 @@ mod tests {
         let back = load(&path).unwrap();
         assert_eq!(g.out_csr(), back.out_csr());
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = load("/definitely/not/here.mxg").unwrap_err();
+        assert!(matches!(err, GraphError::Io(_)), "{err}");
     }
 
     #[test]

@@ -15,7 +15,10 @@
 //!   uniform-random, road lattices and the profile generator that stands in
 //!   for the paper's crawled datasets.
 //! * [`datasets`] — the eight named stand-in datasets at selectable scales.
-//! * [`io`] — binary CSR and text edge-list readers/writers.
+//! * [`io`] — binary CSR (`MXG1`/`MXG2`) and text edge-list readers/writers,
+//!   hardened against hostile inputs.
+//! * [`error`] — the [`GraphError`] type every fallible path returns.
+//! * [`faults`] — deterministic I/O fault injection for robustness tests.
 //!
 //! Node identifiers are `u32` (the paper uses 32-bit node IDs); edge offsets
 //! are `usize` so graphs larger than 4 G edges remain representable.
@@ -26,6 +29,8 @@ pub mod csr;
 pub mod datasets;
 pub mod degree;
 pub mod edgelist;
+pub mod error;
+pub mod faults;
 pub mod gen;
 pub mod graph;
 pub mod io;
@@ -39,6 +44,8 @@ pub use csr::Csr;
 pub use datasets::{Dataset, Scale};
 pub use degree::{gini_coefficient, DegreeDistribution, Direction};
 pub use edgelist::EdgeList;
+pub use error::GraphError;
+pub use faults::{Fault, FaultPlan, FaultyReader, FaultyWriter};
 pub use graph::Graph;
 pub use prop::{max_diff, AtomicProp, MinF32, PropValue};
 pub use stats::StructuralStats;

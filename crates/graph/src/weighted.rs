@@ -179,7 +179,13 @@ mod tests {
     fn toy() -> WGraph {
         WGraph::from_triples(
             4,
-            &[(0, 1, 2.0), (0, 2, 3.0), (2, 1, 0.5), (3, 3, 1.0), (1, 0, 4.0)],
+            &[
+                (0, 1, 2.0),
+                (0, 2, 3.0),
+                (2, 1, 0.5),
+                (3, 3, 1.0),
+                (1, 0, 4.0),
+            ],
         )
     }
 

@@ -72,9 +72,7 @@ fn main() {
 
     // Weighted influence: one weighted SpMV spreads depot capacity along
     // road quality (1/time as conductance).
-    let conductance = WGraph::from_graph(&g, |u, v| {
-        1.0 / roads.weight(u, v).unwrap_or(1.0)
-    });
+    let conductance = WGraph::from_graph(&g, |u, v| 1.0 / roads.weight(u, v).unwrap_or(1.0));
     let engine2 = WMixenEngine::new(&conductance, MixenOpts::default());
     let mut x = vec![0.0f32; roads.n()];
     x[depot as usize] = 100.0;

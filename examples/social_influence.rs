@@ -70,9 +70,7 @@ fn main() {
         .fold(0.0f32, f32::max);
     assert!(drift < 1e-5, "engines disagree: {drift}");
 
-    let mut top: Vec<(usize, f32, f32)> = (0..g.n())
-        .map(|v| (v, followers[v], rank[v]))
-        .collect();
+    let mut top: Vec<(usize, f32, f32)> = (0..g.n()).map(|v| (v, followers[v], rank[v])).collect();
     top.sort_by(|a, b| b.2.total_cmp(&a.2));
     println!("top influencers (account, followers, pagerank):");
     for (v, fol, pr) in top.iter().take(5) {

@@ -1,0 +1,400 @@
+//! Sequential shim of the `rayon` API subset this workspace uses.
+//!
+//! The build environment has no network access and no crates.io mirror, so
+//! the real rayon cannot be fetched. This stub keeps the exact call-site API
+//! (`par_iter`, `into_par_iter`, `fold`/`reduce`, `par_sort_unstable`, …)
+//! but executes everything sequentially on the calling thread. Correctness
+//! is unaffected: every parallel pattern in the workspace (disjoint-slot
+//! writes through atomic cursors, per-chunk fold/reduce) is valid under
+//! sequential execution, which is simply the one-thread schedule.
+//!
+//! [`ParIter`] deliberately does NOT implement [`Iterator`]: the adapter
+//! names (`map`, `filter`, `fold`, …) would otherwise be ambiguous at every
+//! call site that has both the std prelude and `rayon::prelude` in scope.
+
+/// Number of worker threads (always 1: everything runs on the caller).
+pub fn current_num_threads() -> usize {
+    1
+}
+
+/// Runs both closures (sequentially) and returns their results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// Wrapper turning a sequential [`Iterator`] into a "parallel" iterator.
+pub struct ParIter<I>(I);
+
+pub mod iter {
+    use super::ParIter;
+
+    /// Mirror of `rayon::iter::IntoParallelIterator`.
+    pub trait IntoParallelIterator {
+        type Item;
+        type Iter: ParallelIterator<Item = Self::Item>;
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    macro_rules! impl_into_par_for_range {
+        ($($t:ty),*) => {$(
+            impl IntoParallelIterator for std::ops::Range<$t> {
+                type Item = $t;
+                type Iter = ParIter<std::ops::Range<$t>>;
+
+                fn into_par_iter(self) -> Self::Iter {
+                    ParIter(self)
+                }
+            }
+        )*};
+    }
+    impl_into_par_for_range!(u16, u32, u64, usize, i32, i64);
+
+    impl<T> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        type Iter = ParIter<std::vec::IntoIter<T>>;
+
+        fn into_par_iter(self) -> Self::Iter {
+            ParIter(self.into_iter())
+        }
+    }
+
+    impl<I: Iterator> IntoParallelIterator for ParIter<I> {
+        type Item = I::Item;
+        type Iter = Self;
+
+        fn into_par_iter(self) -> Self {
+            self
+        }
+    }
+
+    /// Mirror of `rayon::iter::IntoParallelRefIterator` (`.par_iter()`).
+    pub trait IntoParallelRefIterator<'a> {
+        type Item: 'a;
+        type Iter: ParallelIterator<Item = Self::Item>;
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    impl<'a, T: 'a> IntoParallelRefIterator<'a> for [T] {
+        type Item = &'a T;
+        type Iter = ParIter<std::slice::Iter<'a, T>>;
+
+        fn par_iter(&'a self) -> Self::Iter {
+            ParIter(self.iter())
+        }
+    }
+
+    impl<'a, T: 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Item = &'a T;
+        type Iter = ParIter<std::slice::Iter<'a, T>>;
+
+        fn par_iter(&'a self) -> Self::Iter {
+            ParIter(self.as_slice().iter())
+        }
+    }
+
+    /// Mirror of `rayon::iter::IntoParallelRefMutIterator`
+    /// (`.par_iter_mut()`).
+    pub trait IntoParallelRefMutIterator<'a> {
+        type Item: 'a;
+        type Iter: ParallelIterator<Item = Self::Item>;
+        fn par_iter_mut(&'a mut self) -> Self::Iter;
+    }
+
+    impl<'a, T: 'a> IntoParallelRefMutIterator<'a> for [T] {
+        type Item = &'a mut T;
+        type Iter = ParIter<std::slice::IterMut<'a, T>>;
+
+        fn par_iter_mut(&'a mut self) -> Self::Iter {
+            ParIter(self.iter_mut())
+        }
+    }
+
+    impl<'a, T: 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+        type Item = &'a mut T;
+        type Iter = ParIter<std::slice::IterMut<'a, T>>;
+
+        fn par_iter_mut(&'a mut self) -> Self::Iter {
+            ParIter(self.as_mut_slice().iter_mut())
+        }
+    }
+
+    /// The adapter surface of `rayon::iter::ParallelIterator`, implemented
+    /// on top of a plain sequential iterator.
+    pub trait ParallelIterator: Sized {
+        type Item;
+        type Inner: Iterator<Item = Self::Item>;
+
+        fn into_seq(self) -> Self::Inner;
+
+        fn map<F, R>(self, f: F) -> ParIter<std::iter::Map<Self::Inner, F>>
+        where
+            F: FnMut(Self::Item) -> R,
+        {
+            ParIter(self.into_seq().map(f))
+        }
+
+        fn filter<F>(self, f: F) -> ParIter<std::iter::Filter<Self::Inner, F>>
+        where
+            F: FnMut(&Self::Item) -> bool,
+        {
+            ParIter(self.into_seq().filter(f))
+        }
+
+        fn filter_map<F, R>(self, f: F) -> ParIter<std::iter::FilterMap<Self::Inner, F>>
+        where
+            F: FnMut(Self::Item) -> Option<R>,
+        {
+            ParIter(self.into_seq().filter_map(f))
+        }
+
+        fn flat_map<F, U>(self, f: F) -> ParIter<std::iter::FlatMap<Self::Inner, U, F>>
+        where
+            F: FnMut(Self::Item) -> U,
+            U: IntoIterator,
+        {
+            ParIter(self.into_seq().flat_map(f))
+        }
+
+        fn flat_map_iter<F, U>(self, f: F) -> ParIter<std::iter::FlatMap<Self::Inner, U, F>>
+        where
+            F: FnMut(Self::Item) -> U,
+            U: IntoIterator,
+        {
+            ParIter(self.into_seq().flat_map(f))
+        }
+
+        fn enumerate(self) -> ParIter<std::iter::Enumerate<Self::Inner>> {
+            ParIter(self.into_seq().enumerate())
+        }
+
+        #[allow(clippy::type_complexity)]
+        fn zip<Z>(
+            self,
+            other: Z,
+        ) -> ParIter<std::iter::Zip<Self::Inner, <Z::Iter as ParallelIterator>::Inner>>
+        where
+            Z: IntoParallelIterator,
+        {
+            ParIter(self.into_seq().zip(other.into_par_iter().into_seq()))
+        }
+
+        fn copied<'a, T>(self) -> ParIter<std::iter::Copied<Self::Inner>>
+        where
+            Self: ParallelIterator<Item = &'a T>,
+            T: 'a + Copy,
+        {
+            ParIter(self.into_seq().copied())
+        }
+
+        fn cloned<'a, T>(self) -> ParIter<std::iter::Cloned<Self::Inner>>
+        where
+            Self: ParallelIterator<Item = &'a T>,
+            T: 'a + Clone,
+        {
+            ParIter(self.into_seq().cloned())
+        }
+
+        fn for_each<F>(self, f: F)
+        where
+            F: FnMut(Self::Item),
+        {
+            self.into_seq().for_each(f)
+        }
+
+        /// Rayon's two-closure fold: sequentially there is exactly one
+        /// "chunk", so this yields a single accumulator.
+        fn fold<ID, B, F>(self, identity: ID, fold_op: F) -> ParIter<std::iter::Once<B>>
+        where
+            ID: Fn() -> B,
+            F: FnMut(B, Self::Item) -> B,
+        {
+            ParIter(std::iter::once(self.into_seq().fold(identity(), fold_op)))
+        }
+
+        fn reduce<ID, F>(self, identity: ID, reduce_op: F) -> Self::Item
+        where
+            ID: Fn() -> Self::Item,
+            F: FnMut(Self::Item, Self::Item) -> Self::Item,
+        {
+            self.into_seq().fold(identity(), reduce_op)
+        }
+
+        fn collect<C: FromIterator<Self::Item>>(self) -> C {
+            self.into_seq().collect()
+        }
+
+        fn sum<S: std::iter::Sum<Self::Item>>(self) -> S {
+            self.into_seq().sum()
+        }
+
+        fn count(self) -> usize {
+            self.into_seq().count()
+        }
+
+        fn any<F>(self, f: F) -> bool
+        where
+            F: FnMut(Self::Item) -> bool,
+        {
+            self.into_seq().any(f)
+        }
+
+        fn all<F>(self, f: F) -> bool
+        where
+            F: FnMut(Self::Item) -> bool,
+        {
+            self.into_seq().all(f)
+        }
+
+        fn max(self) -> Option<Self::Item>
+        where
+            Self::Item: Ord,
+        {
+            self.into_seq().max()
+        }
+
+        fn min(self) -> Option<Self::Item>
+        where
+            Self::Item: Ord,
+        {
+            self.into_seq().min()
+        }
+
+        fn with_min_len(self, _len: usize) -> Self {
+            self
+        }
+
+        fn with_max_len(self, _len: usize) -> Self {
+            self
+        }
+    }
+
+    /// Indexed variant; sequentially identical to [`ParallelIterator`].
+    pub trait IndexedParallelIterator: ParallelIterator {}
+
+    impl<I: Iterator> ParallelIterator for ParIter<I> {
+        type Item = I::Item;
+        type Inner = I;
+
+        fn into_seq(self) -> I {
+            self.0
+        }
+    }
+
+    impl<I: Iterator> IndexedParallelIterator for ParIter<I> {}
+
+    /// Mirror of `rayon::slice::ParallelSliceMut` (`par_sort_*`).
+    pub trait ParallelSliceMut<T> {
+        fn par_sort_unstable(&mut self)
+        where
+            T: Ord;
+
+        fn par_sort_unstable_by<F>(&mut self, compare: F)
+        where
+            F: FnMut(&T, &T) -> std::cmp::Ordering;
+
+        fn par_sort(&mut self)
+        where
+            T: Ord;
+
+        fn par_sort_by<F>(&mut self, compare: F)
+        where
+            F: FnMut(&T, &T) -> std::cmp::Ordering;
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_sort_unstable(&mut self)
+        where
+            T: Ord,
+        {
+            self.sort_unstable();
+        }
+
+        fn par_sort_unstable_by<F>(&mut self, compare: F)
+        where
+            F: FnMut(&T, &T) -> std::cmp::Ordering,
+        {
+            self.sort_unstable_by(compare);
+        }
+
+        fn par_sort(&mut self)
+        where
+            T: Ord,
+        {
+            self.sort();
+        }
+
+        fn par_sort_by<F>(&mut self, compare: F)
+        where
+            F: FnMut(&T, &T) -> std::cmp::Ordering,
+        {
+            self.sort_by(compare);
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::iter::{
+        IndexedParallelIterator, IntoParallelIterator, IntoParallelRefIterator,
+        IntoParallelRefMutIterator, ParallelIterator, ParallelSliceMut,
+    };
+}
+
+pub mod slice {
+    pub use crate::iter::ParallelSliceMut;
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn map_collect_roundtrip() {
+        let v: Vec<u32> = (0u32..5).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(v, vec![0, 2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn fold_then_reduce_matches_histogram() {
+        let hist = [0u32, 1, 1, 2]
+            .par_iter()
+            .copied()
+            .fold(
+                || vec![0usize; 3],
+                |mut h, r| {
+                    h[r as usize] += 1;
+                    h
+                },
+            )
+            .reduce(
+                || vec![0usize; 3],
+                |mut a, b| {
+                    a.iter_mut().zip(b).for_each(|(x, y)| *x += y);
+                    a
+                },
+            );
+        assert_eq!(hist, vec![1, 2, 1]);
+    }
+
+    #[test]
+    fn zip_and_mut_iteration() {
+        let mut a = vec![1, 2, 3];
+        let b = vec![10, 20, 30];
+        a.par_iter_mut()
+            .zip(b.par_iter())
+            .for_each(|(x, y)| *x += *y);
+        assert_eq!(a, vec![11, 22, 33]);
+    }
+
+    #[test]
+    fn par_sorts() {
+        let mut v = vec![3, 1, 2];
+        v.par_sort_unstable();
+        assert_eq!(v, vec![1, 2, 3]);
+        v.par_sort_unstable_by(|a, b| b.cmp(a));
+        assert_eq!(v, vec![3, 2, 1]);
+    }
+}

@@ -1,0 +1,338 @@
+//! Corrupted-input corpus: every malformed, truncated, or bit-flipped graph
+//! file must surface as a typed `Err(GraphError)` — never a panic — through
+//! both format versions, and numeric poison must be caught by the supervised
+//! runner with a populated report.
+//!
+//! Fault-injection cases are driven by `mixen_graph::faults`, so each
+//! failure is reproducible from `(input, plan)`.
+
+use mixen_algos::{pagerank_supervised, PageRankOpts};
+use mixen_core::{EngineUsed, RobustRunner, RunnerOpts};
+use mixen_graph::io::{self, crc32, MAX_EDGES, MAX_NODES};
+use mixen_graph::{FaultPlan, FaultyReader, Graph, GraphError};
+
+fn sample_graph() -> Graph {
+    Graph::from_pairs(
+        9,
+        &[
+            (0, 1),
+            (1, 2),
+            (2, 0),
+            (1, 0),
+            (3, 0),
+            (3, 5),
+            (4, 1),
+            (4, 2),
+            (0, 5),
+            (2, 6),
+            (6, 7),
+        ],
+    )
+}
+
+fn v2_bytes(g: &Graph) -> Vec<u8> {
+    let mut out = Vec::new();
+    io::write_csr(g, &mut out).unwrap();
+    out
+}
+
+fn v1_bytes(g: &Graph) -> Vec<u8> {
+    let mut out = Vec::new();
+    io::write_csr_v1(g, &mut out).unwrap();
+    out
+}
+
+fn assert_same(a: &Graph, b: &Graph) {
+    assert_eq!(a.n(), b.n());
+    assert_eq!(a.m(), b.m());
+    assert_eq!(a.out_csr().ptr(), b.out_csr().ptr());
+    assert_eq!(a.out_csr().idx(), b.out_csr().idx());
+}
+
+#[test]
+fn v2_roundtrip_with_checksum() {
+    let g = sample_graph();
+    let bytes = v2_bytes(&g);
+    assert_eq!(&bytes[..4], b"MXG2");
+    let loaded = io::read_csr(&mut bytes.as_slice()).unwrap();
+    assert_same(&g, &loaded);
+}
+
+#[test]
+fn v1_files_still_load() {
+    // Read-compat with files written by the seed (pre-checksum) format.
+    let g = sample_graph();
+    let bytes = v1_bytes(&g);
+    assert_eq!(&bytes[..4], b"MXG1");
+    let loaded = io::read_csr(&mut bytes.as_slice()).unwrap();
+    assert_same(&g, &loaded);
+}
+
+#[test]
+fn every_truncation_errors_never_panics() {
+    let g = sample_graph();
+    for bytes in [v1_bytes(&g), v2_bytes(&g)] {
+        for cut in 0..bytes.len() {
+            let err = io::read_csr(&mut &bytes[..cut]).expect_err(&format!(
+                "prefix of {cut}/{} bytes must not parse",
+                bytes.len()
+            ));
+            // Truncation may surface as plain I/O (header EOF), an
+            // invariant breach, or a checksum mismatch — but always typed.
+            match err {
+                GraphError::Io(_)
+                | GraphError::Format(_)
+                | GraphError::Invariant(_)
+                | GraphError::Checksum { .. } => {}
+                other => panic!("unexpected variant for cut {cut}: {other}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn every_single_bit_flip_is_caught_in_v2() {
+    // The CRC32 guarantees any single-bit corruption in a v2 file is
+    // detected (header flips change magic/counts, payload flips break the
+    // checksum).
+    let g = sample_graph();
+    let bytes = v2_bytes(&g);
+    for byte in 0..bytes.len() {
+        for bit in 0..8 {
+            let mut mutated = bytes.clone();
+            mutated[byte] ^= 1 << bit;
+            assert!(
+                io::read_csr(&mut mutated.as_slice()).is_err(),
+                "flip at byte {byte} bit {bit} went unnoticed"
+            );
+        }
+    }
+}
+
+#[test]
+fn flipped_payload_bit_is_a_checksum_error() {
+    let g = sample_graph();
+    let mut bytes = v2_bytes(&g);
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x10;
+    match io::read_csr(&mut bytes.as_slice()) {
+        // Flips that keep the CSR structurally valid are caught by the CRC;
+        // flips that break monotonicity first may surface as Invariant.
+        Err(GraphError::Checksum { stored, computed }) => assert_ne!(stored, computed),
+        Err(GraphError::Invariant(_)) => {}
+        other => panic!("expected checksum/invariant error, got {other:?}"),
+    }
+}
+
+#[test]
+fn flipped_stored_crc_is_a_checksum_error() {
+    let g = sample_graph();
+    let mut bytes = v2_bytes(&g);
+    bytes[20] ^= 0x01; // the stored CRC field (after magic + n + m)
+    match io::read_csr(&mut bytes.as_slice()) {
+        Err(GraphError::Checksum { stored, computed }) => assert_ne!(stored, computed),
+        other => panic!("expected checksum error, got {other:?}"),
+    }
+}
+
+#[test]
+fn bad_magic_is_a_format_error() {
+    for magic in [*b"MXG0", *b"GXM1", *b"\0\0\0\0", *b"MXG3"] {
+        let mut bytes = v2_bytes(&sample_graph());
+        bytes[..4].copy_from_slice(&magic);
+        match io::read_csr(&mut bytes.as_slice()) {
+            Err(GraphError::Format(_)) => {}
+            other => panic!("magic {magic:?}: expected format error, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn absurd_headers_are_capacity_errors() {
+    // A header claiming u64::MAX nodes must be rejected before any
+    // allocation is attempted (the pre-allocation DoS).
+    for (n, m) in [
+        (u64::MAX, 0),
+        (MAX_NODES + 1, 0),
+        (1, u64::MAX),
+        (1, MAX_EDGES + 1),
+    ] {
+        for magic in [*b"MXG1", *b"MXG2"] {
+            let mut bytes = Vec::new();
+            bytes.extend_from_slice(&magic);
+            bytes.extend_from_slice(&n.to_le_bytes());
+            bytes.extend_from_slice(&m.to_le_bytes());
+            bytes.extend_from_slice(&[0u8; 64]);
+            match io::read_csr(&mut bytes.as_slice()) {
+                Err(GraphError::Capacity {
+                    requested, limit, ..
+                }) => {
+                    assert!(requested > limit);
+                }
+                other => panic!("n={n} m={m}: expected capacity error, got {other:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn non_monotone_ptr_is_an_invariant_error() {
+    // Hand-build a v1 file whose ptr array decreases.
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(b"MXG1");
+    bytes.extend_from_slice(&3u64.to_le_bytes());
+    bytes.extend_from_slice(&2u64.to_le_bytes());
+    for p in [0u64, 2, 1, 2] {
+        bytes.extend_from_slice(&p.to_le_bytes());
+    }
+    for i in [0u32, 1] {
+        bytes.extend_from_slice(&i.to_le_bytes());
+    }
+    match io::read_csr(&mut bytes.as_slice()) {
+        Err(GraphError::Invariant(msg)) => assert!(!msg.is_empty()),
+        other => panic!("expected invariant error, got {other:?}"),
+    }
+}
+
+#[test]
+fn out_of_range_idx_is_an_invariant_error() {
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(b"MXG1");
+    bytes.extend_from_slice(&3u64.to_le_bytes());
+    bytes.extend_from_slice(&2u64.to_le_bytes());
+    for p in [0u64, 1, 2, 2] {
+        bytes.extend_from_slice(&p.to_le_bytes());
+    }
+    for i in [1u32, 99] {
+        bytes.extend_from_slice(&i.to_le_bytes());
+    }
+    match io::read_csr(&mut bytes.as_slice()) {
+        Err(GraphError::Invariant(msg)) => assert!(!msg.is_empty()),
+        other => panic!("expected invariant error, got {other:?}"),
+    }
+}
+
+#[test]
+fn seeded_fault_plans_never_panic_and_are_deterministic() {
+    let g = sample_graph();
+    let bytes = v2_bytes(&g);
+    for seed in 0..200u64 {
+        let read = |s| {
+            let plan = FaultPlan::from_seed(s, bytes.len() as u64);
+            let mut r = FaultyReader::new(bytes.as_slice(), plan);
+            io::read_csr(&mut r)
+        };
+        let (a, b) = (read(seed), read(seed));
+        match (&a, &b) {
+            (Ok(ga), Ok(gb)) => assert_same(ga, gb),
+            (Err(ea), Err(eb)) => {
+                assert_eq!(
+                    ea.kind_name(),
+                    eb.kind_name(),
+                    "seed {seed} not deterministic"
+                )
+            }
+            _ => panic!("seed {seed}: one attempt succeeded, the other failed"),
+        }
+    }
+}
+
+#[test]
+fn interrupted_storms_alone_are_survivable() {
+    // Interruption-only plans must not lose data: read_csr retries through
+    // them and still verifies the checksum.
+    let g = sample_graph();
+    let bytes = v2_bytes(&g);
+    for count in [1u32, 2, 5] {
+        let plan = FaultPlan::from_faults([
+            mixen_graph::Fault::Interrupted { count },
+            mixen_graph::Fault::ShortChunks(3),
+        ]);
+        let mut r = FaultyReader::new(bytes.as_slice(), plan);
+        let loaded = io::read_csr(&mut r).unwrap_or_else(|e| panic!("count {count}: {e}"));
+        assert_same(&g, &loaded);
+    }
+}
+
+#[test]
+fn crc32_check_vector() {
+    assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+}
+
+#[test]
+fn malformed_text_lines_are_reported_with_line_numbers() {
+    let cases: &[(&str, usize)] = &[
+        ("0 1\n1 two\n", 2),
+        ("x\n", 1),
+        ("0 1\n2\n", 2),
+        ("0 1\n\n1 2 3\n", 3),
+    ];
+    for (text, line) in cases {
+        match io::read_edge_list(text.as_bytes(), 0) {
+            Err(GraphError::Parse { line: l, .. }) => assert_eq!(l, *line, "input {text:?}"),
+            other => panic!("{text:?}: expected parse error, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn oversized_text_declarations_are_rejected() {
+    // n= beyond the cap, with the line number pinpointed.
+    let text = "# n=4294967295\n0 1\n";
+    match io::read_edge_list_capped(text.as_bytes(), 0, 1 << 20) {
+        Err(GraphError::Parse { line, .. }) => assert_eq!(line, 1),
+        other => panic!("expected parse error, got {other:?}"),
+    }
+    // Edge endpoints beyond the cap are a capacity error.
+    let text = "0 2000000\n";
+    match io::read_edge_list_capped(text.as_bytes(), 0, 1 << 20) {
+        Err(GraphError::Capacity {
+            requested, limit, ..
+        }) => {
+            assert_eq!(requested, 2_000_001);
+            assert_eq!(limit, 1 << 20);
+        }
+        other => panic!("expected capacity error, got {other:?}"),
+    }
+}
+
+#[test]
+fn nan_poisoned_pagerank_is_a_numeric_error_with_report() {
+    let g = sample_graph();
+    let runner = RobustRunner::new(RunnerOpts::default());
+    let failure = pagerank_supervised(
+        &g,
+        &runner,
+        PageRankOpts {
+            damping: f32::NAN,
+            ..PageRankOpts::default()
+        },
+        10,
+    )
+    .expect_err("NaN damping must fail");
+    match &failure.error {
+        GraphError::Numeric { iteration, msg } => {
+            assert!(*iteration <= 1);
+            assert!(msg.contains("NaN"), "msg: {msg}");
+        }
+        other => panic!("expected numeric error, got {other}"),
+    }
+    // The report describes the run up to the fault.
+    assert_eq!(failure.report.engine, EngineUsed::Mixen);
+    assert!(failure.report.iterations <= 1);
+    assert!(failure.to_string().contains("iteration"));
+}
+
+#[test]
+fn divergent_iteration_is_a_numeric_error() {
+    let g = sample_graph();
+    let runner = RobustRunner::new(RunnerOpts {
+        divergence_limit: 1e6,
+        ..RunnerOpts::default()
+    });
+    let failure = runner
+        .run::<f32, _, _>(&g, |_| 1.0, |_, s| 100.0 * s + 100.0, 64)
+        .expect_err("exponential blowup must be caught");
+    assert!(matches!(failure.error, GraphError::Numeric { .. }));
+    assert!(failure.report.iterations >= 1);
+}

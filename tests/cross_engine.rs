@@ -3,8 +3,8 @@
 //! that the benchmark tables compare identical computations.
 
 use mixen_algos::{
-    bfs, collaborative_filtering, default_root, hits, indegree, pagerank, salsa, AnyEngine,
-    CfOpts, Engine, EngineKind, PageRankOpts, LATENT_DIM,
+    bfs, collaborative_filtering, default_root, hits, indegree, pagerank, salsa, AnyEngine, CfOpts,
+    Engine, EngineKind, PageRankOpts, LATENT_DIM,
 };
 use mixen_baselines::ReferenceEngine;
 use mixen_core::{MixenEngine, MixenOpts};

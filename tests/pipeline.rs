@@ -43,12 +43,7 @@ fn text_edge_list_roundtrip_preserves_analysis() {
     let mut buf = Vec::new();
     io::write_edge_list(&g, &mut buf).unwrap();
     let loaded = io::read_edge_list(buf.as_slice(), g.n()).unwrap();
-    let a = pagerank(
-        &g,
-        &ReferenceEngine::new(&g),
-        PageRankOpts::default(),
-        3,
-    );
+    let a = pagerank(&g, &ReferenceEngine::new(&g), PageRankOpts::default(), 3);
     let b = pagerank(
         &loaded,
         &ReferenceEngine::new(&loaded),

@@ -30,12 +30,7 @@ fn long_pagerank_runs_stay_in_agreement() {
 #[test]
 fn every_ordering_policy_gives_identical_results() {
     let g = Dataset::Pld.generate(Scale::Tiny, 66);
-    let reference = pagerank(
-        &g,
-        &ReferenceEngine::new(&g),
-        PageRankOpts::default(),
-        8,
-    );
+    let reference = pagerank(&g, &ReferenceEngine::new(&g), PageRankOpts::default(), 8);
     for ordering in [
         RegularOrdering::Original,
         RegularOrdering::HubsFirst,
@@ -153,7 +148,11 @@ fn profile_generator_scales_smoothly() {
             seed: 77,
         });
         let s = mixen_graph::StructuralStats::of(&g);
-        assert!((s.frac_regular - 0.3).abs() < 0.05, "n={n}: {}", s.frac_regular);
+        assert!(
+            (s.frac_regular - 0.3).abs() < 0.05,
+            "n={n}: {}",
+            s.frac_regular
+        );
         assert!((s.frac_isolated - 0.1).abs() < 0.05, "n={n}");
     }
 }

@@ -7,6 +7,7 @@
 //! includes it.
 
 use crate::Engine;
+use mixen_graph::nid;
 use mixen_graph::NodeId;
 
 /// BFS depths from `root` via the engine's native traversal.
@@ -17,7 +18,7 @@ pub fn bfs<E: Engine>(engine: &E, root: NodeId) -> Vec<i32> {
 /// Picks a deterministic high-out-degree root — the convention used by the
 /// benchmarks so every engine traverses a non-trivial component.
 pub fn default_root(g: &mixen_graph::Graph) -> NodeId {
-    (0..g.n() as NodeId)
+    (0..nid(g.n()))
         .max_by_key(|&v| g.out_degree(v))
         .unwrap_or(0)
 }

@@ -39,6 +39,7 @@ pub fn connected_components<E: Engine>(g: &Graph, engine: &E, max_iters: usize) 
         out
     };
     let (labels, _) = engine.iterate_until(init, apply, 0.0, max_iters);
+    // lint: allow(truncation) reason=labels are node ids < 2^24, exactly representable in f32
     labels.into_iter().map(|MinF32(x)| x as u32).collect()
 }
 

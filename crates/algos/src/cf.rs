@@ -9,6 +9,7 @@
 //! Table 3's CF rows are uniformly slower than InDegree's.
 
 use crate::Engine;
+use mixen_graph::nid;
 use mixen_graph::NodeId;
 
 /// The latent dimensionality used throughout the benchmarks.
@@ -53,7 +54,7 @@ pub fn collaborative_filtering<E: Engine>(
     engine: &E,
     opts: CfOpts,
 ) -> Vec<[f32; LATENT_DIM]> {
-    let in_deg: Vec<f32> = (0..g.n() as NodeId)
+    let in_deg: Vec<f32> = (0..nid(g.n()))
         .map(|v| g.in_degree(v).max(1) as f32)
         .collect();
     let blend = opts.blend;
@@ -64,7 +65,7 @@ pub fn collaborative_filtering<E: Engine>(
     };
     // Seed-consistency: in-degree-0 nodes start at their fixed point
     // apply(v, 0) = (1 - blend) * anchor(v).
-    let in_zero: Vec<bool> = (0..g.n() as NodeId).map(|v| g.in_degree(v) == 0).collect();
+    let in_zero: Vec<bool> = (0..nid(g.n())).map(|v| g.in_degree(v) == 0).collect();
     let init = move |v: NodeId| {
         let a = anchor(v);
         if in_zero[v as usize] {

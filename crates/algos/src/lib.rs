@@ -12,6 +12,8 @@
 //! integration tests exploit this to cross-check every engine × algorithm
 //! pair against the serial reference.
 
+#![forbid(unsafe_code)]
+
 pub mod bfs;
 pub mod cc;
 pub mod cf;

@@ -14,6 +14,7 @@
 //! textbook correction as an extension.
 
 use crate::Engine;
+use mixen_graph::nid;
 use mixen_graph::{Graph, NodeId};
 
 /// PageRank parameters.
@@ -64,10 +65,10 @@ fn pagerank_impl<E: Engine>(
     let n = g.n().max(1) as f32;
     let d = opts.damping;
     let base = (1.0 - d) / n;
-    let out_deg: Vec<u32> = (0..g.n() as NodeId)
-        .map(|v| g.out_degree(v).max(1) as u32)
+    let out_deg: Vec<u32> = (0..nid(g.n()))
+        .map(|v| nid(g.out_degree(v).max(1)))
         .collect();
-    let in_zero: Vec<bool> = (0..g.n() as NodeId).map(|v| g.in_degree(v) == 0).collect();
+    let in_zero: Vec<bool> = (0..nid(g.n())).map(|v| g.in_degree(v) == 0).collect();
 
     if opts.redistribute {
         return pagerank_redistribute(g, engine, opts, tol, iters, fixed);
@@ -106,10 +107,10 @@ fn pagerank_redistribute<E: Engine>(
     let n = g.n().max(1) as f32;
     let d = opts.damping;
     let base = (1.0 - d) / n;
-    let out_deg: Vec<u32> = (0..g.n() as NodeId)
-        .map(|v| g.out_degree(v).max(1) as u32)
+    let out_deg: Vec<u32> = (0..nid(g.n()))
+        .map(|v| nid(g.out_degree(v).max(1)))
         .collect();
-    let is_sink: Vec<bool> = (0..g.n() as NodeId).map(|v| g.out_degree(v) == 0).collect();
+    let is_sink: Vec<bool> = (0..nid(g.n())).map(|v| g.out_degree(v) == 0).collect();
     let mut rank: Vec<f32> = vec![1.0 / n; g.n()];
     let mut performed = 0usize;
     for _ in 0..max_iters {
@@ -158,10 +159,10 @@ pub fn pagerank_supervised(
     let n = g.n().max(1) as f32;
     let d = opts.damping;
     let base = (1.0 - d) / n;
-    let out_deg: Vec<u32> = (0..g.n() as NodeId)
-        .map(|v| g.out_degree(v).max(1) as u32)
+    let out_deg: Vec<u32> = (0..nid(g.n()))
+        .map(|v| nid(g.out_degree(v).max(1)))
         .collect();
-    let in_zero: Vec<bool> = (0..g.n() as NodeId).map(|v| g.in_degree(v) == 0).collect();
+    let in_zero: Vec<bool> = (0..nid(g.n())).map(|v| g.in_degree(v) == 0).collect();
     let init = |v: NodeId| {
         let rank0 = if in_zero[v as usize] { base } else { 1.0 / n };
         rank0 / out_deg[v as usize] as f32
@@ -193,10 +194,10 @@ pub fn pagerank_adaptive(
     let n = g.n().max(1) as f32;
     let d = opts.damping;
     let base = (1.0 - d) / n;
-    let out_deg: Vec<u32> = (0..g.n() as NodeId)
-        .map(|v| g.out_degree(v).max(1) as u32)
+    let out_deg: Vec<u32> = (0..nid(g.n()))
+        .map(|v| nid(g.out_degree(v).max(1)))
         .collect();
-    let in_zero: Vec<bool> = (0..g.n() as NodeId).map(|v| g.in_degree(v) == 0).collect();
+    let in_zero: Vec<bool> = (0..nid(g.n())).map(|v| g.in_degree(v) == 0).collect();
     let init = |v: NodeId| {
         let rank0 = if in_zero[v as usize] { base } else { 1.0 / n };
         rank0 / out_deg[v as usize] as f32

@@ -8,6 +8,7 @@
 //! reversed `G` with authority mass split over in-degrees.
 
 use crate::Engine;
+use mixen_graph::nid;
 use mixen_graph::{Graph, NodeId};
 
 /// The two SALSA score vectors (each sums to 1 over reachable nodes).
@@ -23,12 +24,8 @@ pub struct SalsaScores {
 /// on `g.reversed()`.
 pub fn salsa<F: Engine, R: Engine>(g: &Graph, fwd: &F, rev: &R, iters: usize) -> SalsaScores {
     let n = g.n();
-    let out_deg: Vec<f32> = (0..n as NodeId)
-        .map(|v| g.out_degree(v).max(1) as f32)
-        .collect();
-    let in_deg: Vec<f32> = (0..n as NodeId)
-        .map(|v| g.in_degree(v).max(1) as f32)
-        .collect();
+    let out_deg: Vec<f32> = (0..nid(n)).map(|v| g.out_degree(v).max(1) as f32).collect();
+    let in_deg: Vec<f32> = (0..nid(n)).map(|v| g.in_degree(v).max(1) as f32).collect();
     let mut hub = vec![1.0 / n.max(1) as f32; n];
     let mut authority = vec![1.0 / n.max(1) as f32; n];
     for _ in 0..iters {

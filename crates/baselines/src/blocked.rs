@@ -8,6 +8,7 @@
 //! the GPOP column of Table 3 — cache-friendly, but paying the full
 //! `4m + 3n` GAS traffic and the redundant zero-degree work Mixen removes.
 
+use mixen_graph::nid;
 use std::sync::atomic::{AtomicI32, Ordering};
 use std::time::Instant;
 
@@ -64,7 +65,7 @@ impl<'g> BlockEngine<'g> {
         FA: Fn(NodeId, V) -> V + Sync,
     {
         let n = self.g.n();
-        let mut x: Vec<V> = (0..n as NodeId).into_par_iter().map(&init).collect();
+        let mut x: Vec<V> = (0..nid(n)).into_par_iter().map(&init).collect();
         if iters == 0 {
             return x;
         }
@@ -94,7 +95,7 @@ impl<'g> BlockEngine<'g> {
         FA: Fn(NodeId, V) -> V + Sync,
     {
         let n = self.g.n();
-        let mut x: Vec<V> = (0..n as NodeId).into_par_iter().map(&init).collect();
+        let mut x: Vec<V> = (0..nid(n)).into_par_iter().map(&init).collect();
         let mut y: Vec<V> = vec![V::identity(); n];
         let mut bins: DynamicBins<V> = DynamicBins::new(&self.blocked);
         for t in 0..max_iters {

@@ -17,6 +17,8 @@
 //! times, plus a `bfs` driver — so any engine can be swapped under any
 //! algorithm in `mixen-algos` and cross-checked value-for-value.
 
+#![forbid(unsafe_code)]
+
 pub mod blocked;
 pub mod partitioned;
 pub mod pull;

@@ -13,6 +13,7 @@
 //! optimization — matching Polymer's BFS regression on high-diameter graphs
 //! (road: 11.5 s vs Ligra's 0.79 s in Table 3).
 
+use mixen_graph::nid;
 use std::sync::atomic::{AtomicI32, Ordering};
 
 use mixen_graph::{Graph, NodeId, PropValue};
@@ -37,7 +38,7 @@ impl<'g> PartitionedEngine<'g> {
         let mut bounds = vec![0usize];
         let mut acc = 0usize;
         for v in 0..n {
-            acc += g.in_degree(v as NodeId);
+            acc += g.in_degree(nid(v));
             if acc >= target && bounds.len() < p {
                 bounds.push(v + 1);
                 acc = 0;
@@ -69,7 +70,7 @@ impl<'g> PartitionedEngine<'g> {
         FA: Fn(NodeId, V) -> V + Sync,
     {
         let n = self.g.n();
-        let mut x: Vec<V> = (0..n as NodeId).into_par_iter().map(&init).collect();
+        let mut x: Vec<V> = (0..nid(n)).into_par_iter().map(&init).collect();
         for _ in 0..iters {
             x = self.step(&x, &apply);
         }
@@ -90,7 +91,7 @@ impl<'g> PartitionedEngine<'g> {
         FA: Fn(NodeId, V) -> V + Sync,
     {
         let n = self.g.n();
-        let mut x: Vec<V> = (0..n as NodeId).into_par_iter().map(&init).collect();
+        let mut x: Vec<V> = (0..nid(n)).into_par_iter().map(&init).collect();
         for t in 0..max_iters {
             let y = self.step(&x, &apply);
             let diff = mixen_graph::max_diff(&y, &x);
@@ -118,7 +119,7 @@ impl<'g> PartitionedEngine<'g> {
         segs.par_iter_mut().enumerate().for_each(|(p, seg)| {
             let lo = self.bounds[p];
             for (off, slot) in seg.iter_mut().enumerate() {
-                let v = (lo + off) as NodeId;
+                let v = nid(lo + off);
                 let mut sum = V::identity();
                 for &u in self.g.in_neighbors(v) {
                     sum.combine(x[u as usize]);

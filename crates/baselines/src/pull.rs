@@ -11,6 +11,7 @@
 //! level — the reason GraphMat's road BFS is by far the slowest entry of
 //! Table 3.
 
+use mixen_graph::nid;
 use mixen_graph::{Graph, NodeId, PropValue};
 use rayon::prelude::*;
 
@@ -44,7 +45,7 @@ impl<'g> PullEngine<'g> {
         FA: Fn(NodeId, V) -> V + Sync,
     {
         let n = self.g.n();
-        let mut x: Vec<V> = (0..n as NodeId).into_par_iter().map(&init).collect();
+        let mut x: Vec<V> = (0..nid(n)).into_par_iter().map(&init).collect();
         for _ in 0..iters {
             x = self.step(&x, &apply);
         }
@@ -65,7 +66,7 @@ impl<'g> PullEngine<'g> {
         FA: Fn(NodeId, V) -> V + Sync,
     {
         let n = self.g.n();
-        let mut x: Vec<V> = (0..n as NodeId).into_par_iter().map(&init).collect();
+        let mut x: Vec<V> = (0..nid(n)).into_par_iter().map(&init).collect();
         for t in 0..max_iters {
             let y = self.step(&x, &apply);
             let diff = mixen_graph::max_diff(&y, &x);
@@ -82,7 +83,7 @@ impl<'g> PullEngine<'g> {
         V: PropValue,
         FA: Fn(NodeId, V) -> V + Sync,
     {
-        (0..self.g.n() as NodeId)
+        (0..nid(self.g.n()))
             .into_par_iter()
             .map(|v| {
                 let mut sum = V::identity();
@@ -107,7 +108,7 @@ impl<'g> PullEngine<'g> {
                 .filter_map(|v| {
                     let hit = self
                         .g
-                        .in_neighbors(v as NodeId)
+                        .in_neighbors(nid(v))
                         .iter()
                         .any(|&u| depth[u as usize] == level);
                     hit.then_some((v, level + 1))

@@ -10,6 +10,7 @@
 //! the frontier is thin, dense bottom-up pull when it is fat — the reason
 //! Ligra wins most BFS rows of Table 3.
 
+use mixen_graph::nid;
 use std::sync::atomic::{AtomicI32, AtomicU32, Ordering};
 
 use mixen_graph::{AtomicProp, Graph, NodeId};
@@ -35,7 +36,7 @@ impl<'g> PushEngine<'g> {
         FA: Fn(NodeId, V) -> V + Sync,
     {
         let n = self.g.n();
-        let mut x: Vec<V> = (0..n as NodeId).into_par_iter().map(&init).collect();
+        let mut x: Vec<V> = (0..nid(n)).into_par_iter().map(&init).collect();
         if iters == 0 {
             return x;
         }
@@ -62,7 +63,7 @@ impl<'g> PushEngine<'g> {
         FA: Fn(NodeId, V) -> V + Sync,
     {
         let n = self.g.n();
-        let mut x: Vec<V> = (0..n as NodeId).into_par_iter().map(&init).collect();
+        let mut x: Vec<V> = (0..nid(n)).into_par_iter().map(&init).collect();
         let slots: Vec<AtomicU32> = (0..n * V::LANES).map(|_| AtomicU32::new(0)).collect();
         for t in 0..max_iters {
             self.reset_slots::<V>(&slots);
@@ -86,7 +87,7 @@ impl<'g> PushEngine<'g> {
     }
 
     fn push_all<V: AtomicProp>(&self, x: &[V], slots: &[AtomicU32]) {
-        (0..self.g.n() as NodeId).into_par_iter().for_each(|u| {
+        (0..nid(self.g.n())).into_par_iter().for_each(|u| {
             let val = x[u as usize];
             for &v in self.g.out_neighbors(u) {
                 let base = v as usize * V::LANES;
@@ -102,7 +103,7 @@ impl<'g> PushEngine<'g> {
         V: AtomicProp,
         FA: Fn(NodeId, V) -> V + Sync,
     {
-        (0..self.g.n() as NodeId)
+        (0..nid(self.g.n()))
             .into_par_iter()
             .map(|v| {
                 let base = v as usize * V::LANES;
@@ -132,12 +133,12 @@ impl<'g> PushEngine<'g> {
                     .filter_map(|v| {
                         let hit = self
                             .g
-                            .in_neighbors(v as NodeId)
+                            .in_neighbors(nid(v))
                             .iter()
                             .any(|&u| depth[u as usize].load(Ordering::Relaxed) == level);
                         if hit {
                             depth[v].store(level + 1, Ordering::Relaxed);
-                            Some(v as u32)
+                            Some(nid(v))
                         } else {
                             None
                         }

@@ -4,6 +4,7 @@
 //! a deterministic (in-neighbour order) float summation. Every other engine
 //! must agree with it within floating-point reassociation tolerance.
 
+use mixen_graph::nid;
 use mixen_graph::{Graph, NodeId, PropValue};
 
 /// A single-threaded pull engine.
@@ -25,9 +26,9 @@ impl<'g> ReferenceEngine<'g> {
         FA: Fn(NodeId, V) -> V,
     {
         let n = self.g.n();
-        let mut x: Vec<V> = (0..n as NodeId).map(&init).collect();
+        let mut x: Vec<V> = (0..nid(n)).map(&init).collect();
         for _ in 0..iters {
-            x = (0..n as NodeId)
+            x = (0..nid(n))
                 .map(|v| {
                     let mut sum = V::identity();
                     for &u in self.g.in_neighbors(v) {
@@ -54,9 +55,9 @@ impl<'g> ReferenceEngine<'g> {
         FA: Fn(NodeId, V) -> V,
     {
         let n = self.g.n();
-        let mut x: Vec<V> = (0..n as NodeId).map(&init).collect();
+        let mut x: Vec<V> = (0..nid(n)).map(&init).collect();
         for t in 0..max_iters {
-            let y: Vec<V> = (0..n as NodeId)
+            let y: Vec<V> = (0..nid(n))
                 .map(|v| {
                     let mut sum = V::identity();
                     for &u in self.g.in_neighbors(v) {

@@ -2,6 +2,7 @@
 //! (general-semiring) computations: `x'[v] = apply(v, ⊕ x[u] ⊗ w(u,v))`
 //! over the weighted CSC, parallel over destinations.
 
+use mixen_graph::nid;
 use mixen_graph::{NodeId, PropValue, WGraph};
 use rayon::prelude::*;
 
@@ -24,7 +25,7 @@ impl<'g> WPullEngine<'g> {
         FA: Fn(NodeId, V) -> V + Sync,
     {
         let n = self.wg.n();
-        let mut x: Vec<V> = (0..n as NodeId).into_par_iter().map(&init).collect();
+        let mut x: Vec<V> = (0..nid(n)).into_par_iter().map(&init).collect();
         for _ in 0..iters {
             x = self.step(&x, &apply);
         }
@@ -45,7 +46,7 @@ impl<'g> WPullEngine<'g> {
         FA: Fn(NodeId, V) -> V + Sync,
     {
         let n = self.wg.n();
-        let mut x: Vec<V> = (0..n as NodeId).into_par_iter().map(&init).collect();
+        let mut x: Vec<V> = (0..nid(n)).into_par_iter().map(&init).collect();
         for t in 0..max_iters {
             let y = self.step(&x, &apply);
             let diff = mixen_graph::max_diff(&y, &x);
@@ -62,7 +63,7 @@ impl<'g> WPullEngine<'g> {
         V: PropValue,
         FA: Fn(NodeId, V) -> V + Sync,
     {
-        (0..self.wg.n() as NodeId)
+        (0..nid(self.wg.n()))
             .into_par_iter()
             .map(|v| {
                 let mut sum = V::identity();

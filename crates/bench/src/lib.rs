@@ -12,6 +12,8 @@
 //! All binaries print plain text tables shaped like the paper's, so
 //! paper-vs-measured comparisons (EXPERIMENTS.md) are a visual diff.
 
+#![forbid(unsafe_code)]
+
 use std::time::Instant;
 
 use mixen_graph::{Dataset, Graph, Scale};

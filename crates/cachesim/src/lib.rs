@@ -16,6 +16,8 @@
 //!   between variants — which is what Figs. 4, 5 and 7 plot — are determined
 //!   by those streams.
 
+#![forbid(unsafe_code)]
+
 pub mod cache;
 pub mod layout;
 pub mod traced;

@@ -1,6 +1,8 @@
 //! Library surface of the `mixen` CLI — exposed so the subcommands are
 //! unit-testable without spawning processes.
 
+#![forbid(unsafe_code)]
+
 pub mod args;
 pub mod commands;
 pub mod error;

@@ -12,7 +12,8 @@
 //!   per block-row as a 1-D vector; a single `r`-length vector segmented by
 //!   row ranges is the same layout).
 
-use mixen_graph::{Csr, PropValue};
+use mixen_graph::nid;
+use mixen_graph::{Csr, GraphError, PropValue};
 use rayon::prelude::*;
 
 use crate::block::BlockedSubgraph;
@@ -44,7 +45,13 @@ impl<V: PropValue> DynamicBins<V> {
                     .collect(),
             })
             .collect();
-        Self { per_task }
+        let bins = Self { per_task };
+        #[cfg(feature = "strict-invariants")]
+        if let Err(e) = bins.debug_validate(blocked) {
+            // lint: allow(panic) reason=strict-invariants mode turns violated bin metadata into loud failures
+            panic!("strict-invariants: {e}");
+        }
+        bins
     }
 
     /// Mutable slice of all task bins (scatter side).
@@ -64,6 +71,40 @@ impl<V: PropValue> DynamicBins<V> {
             .flat_map(|t| t.per_col.iter())
             .map(Vec::len)
             .sum()
+    }
+
+    /// Validates the bin metadata against the partition it was allocated
+    /// for: one task per block-row, one stream per block-column, and every
+    /// stream sized to its block's compressed message count. Used by the
+    /// `strict-invariants` feature and callable directly from tests.
+    pub fn debug_validate(&self, blocked: &BlockedSubgraph) -> Result<(), GraphError> {
+        let invariant = |msg: String| Err(GraphError::Invariant(msg));
+        if self.per_task.len() != blocked.rows().len() {
+            return invariant(format!(
+                "{} task bins for {} block-rows",
+                self.per_task.len(),
+                blocked.rows().len()
+            ));
+        }
+        for (t, (task, row)) in self.per_task.iter().zip(blocked.rows()).enumerate() {
+            if task.per_col.len() != row.blocks.len() {
+                return invariant(format!(
+                    "task {t} has {} streams for {} blocks",
+                    task.per_col.len(),
+                    row.blocks.len()
+                ));
+            }
+            for (j, (stream, blk)) in task.per_col.iter().zip(&row.blocks).enumerate() {
+                if stream.len() != blk.msg_count() {
+                    return invariant(format!(
+                        "bin ({t},{j}) holds {} slots, block compresses to {} messages",
+                        stream.len(),
+                        blk.msg_count()
+                    ));
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -95,7 +136,7 @@ impl<V: PropValue> StaticBin<V> {
     pub fn compute(seed_csr: &Csr, seed_vals: &[V], r: usize) -> Self {
         assert_eq!(seed_csr.n_rows(), seed_vals.len());
         assert_eq!(seed_csr.n_cols(), r);
-        let vals = (0..seed_csr.n_rows() as u32)
+        let vals = (0..nid(seed_csr.n_rows()))
             .into_par_iter()
             .fold(
                 || vec![V::identity(); r],
@@ -157,6 +198,29 @@ mod tests {
         // Node 0 hits cols {1} and {5}: one slot in each column block.
         // Node 7 hits cols {0,1}: one compressed slot.
         assert_eq!(bins.total_slots(), 4);
+    }
+
+    #[test]
+    fn debug_validate_rejects_missized_streams() {
+        let csr = Csr::from_edges(8, &[(0, 1), (0, 5), (1, 4), (7, 0), (7, 1)]);
+        let blocked = BlockedSubgraph::new(
+            &csr,
+            &MixenOpts {
+                block_side: 4,
+                min_tasks_per_thread: 1,
+                ..MixenOpts::default()
+            },
+            1,
+        );
+        let mut bins: DynamicBins<f32> = DynamicBins::new(&blocked);
+        bins.debug_validate(&blocked).unwrap();
+        let stream = bins.per_task[0]
+            .per_col
+            .iter_mut()
+            .find(|s| !s.is_empty())
+            .unwrap();
+        stream.push(0.0);
+        assert!(bins.debug_validate(&blocked).is_err());
     }
 
     #[test]

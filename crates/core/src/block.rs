@@ -22,7 +22,8 @@
 //! average block-row load is split greedily, so the number of non-zeros per
 //! scatter task stays bounded.
 
-use mixen_graph::Csr;
+use mixen_graph::nid;
+use mixen_graph::{Csr, GraphError};
 use rayon::prelude::*;
 
 use crate::MixenOpts;
@@ -149,6 +150,108 @@ impl BlockedSubgraph {
             .map(Block::msg_count)
             .sum()
     }
+
+    /// Deep structural validation of the 2-D partition (§4.2) against the
+    /// CSR and options it was built from: row ranges tile `0..r`
+    /// contiguously, every block's local-CSR metadata is well-formed and
+    /// in-bounds, per-range edge counts match the source CSR, and — when
+    /// load balancing is on — no multi-node range exceeds the balance cap.
+    /// Used by the `strict-invariants` feature at engine construction and
+    /// callable directly from tests.
+    pub fn debug_validate(&self, reg_csr: &Csr, opts: &MixenOpts) -> Result<(), GraphError> {
+        let invariant = |msg: String| Err(GraphError::Invariant(msg));
+        if reg_csr.n_rows() != self.r || reg_csr.n_cols() != self.r {
+            return invariant(format!(
+                "blocked over {} rows but CSR is {}x{}",
+                self.r,
+                reg_csr.n_rows(),
+                reg_csr.n_cols()
+            ));
+        }
+        let expected_cols = if self.r == 0 {
+            0
+        } else {
+            self.r.div_ceil(self.c)
+        };
+        if self.n_col_blocks != expected_cols {
+            return invariant(format!(
+                "{} column blocks for r = {} and c = {}, expected {expected_cols}",
+                self.n_col_blocks, self.r, self.c
+            ));
+        }
+        // Row ranges tile 0..r contiguously.
+        let mut expected_start = 0u32;
+        for (t, row) in self.rows.iter().enumerate() {
+            if row.src_start != expected_start || row.src_end <= row.src_start {
+                return invariant(format!(
+                    "row range {t} is {}..{}, expected to start at {expected_start}",
+                    row.src_start, row.src_end
+                ));
+            }
+            expected_start = row.src_end;
+            let height = (row.src_end - row.src_start) as usize;
+            if row.blocks.len() != self.n_col_blocks {
+                return invariant(format!(
+                    "row range {t} has {} blocks, expected {}",
+                    row.blocks.len(),
+                    self.n_col_blocks
+                ));
+            }
+            let mut row_nnz = 0usize;
+            for (j, blk) in row.blocks.iter().enumerate() {
+                let width = self.col_range(j).len();
+                if blk.dest_ptr.len() != blk.src_ids.len() + 1
+                    || blk.dest_ptr.first().copied().unwrap_or(0) != 0
+                    || blk.dest_ptr.last().copied().unwrap_or(0) as usize != blk.dests.len()
+                    || blk.dest_ptr.windows(2).any(|w| w[0] > w[1])
+                {
+                    return invariant(format!("block ({t},{j}) has malformed dest_ptr metadata"));
+                }
+                if blk.src_ids.windows(2).any(|w| w[0] >= w[1])
+                    || blk.src_ids.iter().any(|&s| s as usize >= height)
+                {
+                    return invariant(format!(
+                        "block ({t},{j}) src_ids not strictly ascending within 0..{height}"
+                    ));
+                }
+                if blk.dests.iter().any(|&d| d as usize >= width) {
+                    return invariant(format!(
+                        "block ({t},{j}) has a local destination out of 0..{width}"
+                    ));
+                }
+                row_nnz += blk.nnz();
+            }
+            let csr_nnz =
+                reg_csr.ptr()[row.src_end as usize] - reg_csr.ptr()[row.src_start as usize];
+            if row_nnz != row.nnz || row_nnz != csr_nnz {
+                return invariant(format!(
+                    "row range {t} stores {row_nnz} edges, metadata says {}, CSR says {csr_nnz}",
+                    row.nnz
+                ));
+            }
+        }
+        if expected_start as usize != self.r {
+            return invariant(format!(
+                "row ranges cover 0..{expected_start}, expected 0..{}",
+                self.r
+            ));
+        }
+        // Load-balance cap (§4.2): recompute the cap exactly as planning did.
+        if opts.load_balance && !self.rows.is_empty() {
+            let base_len = self.r.div_ceil(self.c);
+            let avg = (reg_csr.nnz() as f64 / base_len as f64).max(1.0);
+            let cap = (opts.balance_factor * avg).ceil() as usize;
+            for (t, row) in self.rows.iter().enumerate() {
+                if row.src_end - row.src_start > 1 && row.nnz > cap {
+                    return invariant(format!(
+                        "row range {t} holds {} edges, above the balance cap {cap}",
+                        row.nnz
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Greedy row-range planning with the 2× overload split.
@@ -158,7 +261,7 @@ fn plan_row_ranges(reg_csr: &Csr, c: usize, opts: &MixenOpts) -> Vec<(u32, u32)>
         return Vec::new();
     }
     let base: Vec<(u32, u32)> = (0..r.div_ceil(c))
-        .map(|i| ((i * c) as u32, ((i + 1) * c).min(r) as u32))
+        .map(|i| (nid(i * c), nid(((i + 1) * c).min(r))))
         .collect();
     if !opts.load_balance {
         return base;
@@ -218,14 +321,14 @@ fn build_block_row(reg_csr: &Csr, lo: u32, hi: u32, c: usize, n_col_blocks: usiz
         let mut k = 0usize;
         while k < neigh.len() {
             let j = neigh[k] as usize / c;
-            let col_base = (j * c) as u32;
+            let col_base = nid(j * c);
             let b = &mut builders[j];
             b.src_ids.push(local_src);
             while k < neigh.len() && (neigh[k] as usize) / c == j {
                 b.dests.push(neigh[k] - col_base);
                 k += 1;
             }
-            b.dest_ptr.push(b.dests.len() as u32);
+            b.dest_ptr.push(nid(b.dests.len()));
         }
     }
     BlockRow {
@@ -386,5 +489,41 @@ mod tests {
             }
             assert_eq!(expected_start as usize, csr.n_rows());
         }
+    }
+
+    #[test]
+    fn debug_validate_accepts_fresh_partitions() {
+        let csr = grid_csr();
+        for c in [1usize, 2, 4, 100] {
+            let o = opts(c);
+            let b = BlockedSubgraph::new(&csr, &o, 1);
+            b.debug_validate(&csr, &o).unwrap();
+        }
+    }
+
+    #[test]
+    fn debug_validate_rejects_lost_edges() {
+        let csr = grid_csr();
+        let o = opts(4);
+        let mut b = BlockedSubgraph::new(&csr, &o, 1);
+        // Drop one destination from the first non-empty block.
+        let blk = b
+            .rows
+            .iter_mut()
+            .flat_map(|r| r.blocks.iter_mut())
+            .find(|blk| blk.nnz() > 0)
+            .unwrap();
+        let shorter: Box<[u32]> = blk.dests[..blk.dests.len() - 1].into();
+        blk.dests = shorter;
+        assert!(b.debug_validate(&csr, &o).is_err());
+    }
+
+    #[test]
+    fn debug_validate_rejects_wrong_row_tiling() {
+        let csr = grid_csr();
+        let o = opts(4);
+        let mut b = BlockedSubgraph::new(&csr, &o, 1);
+        b.rows[0].src_end += 1;
+        assert!(b.debug_validate(&csr, &o).is_err());
     }
 }

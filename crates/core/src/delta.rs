@@ -14,6 +14,7 @@
 //! (through the static bin) and their delta is zero forever after — the
 //! Cache step's insight, taken to every node.
 
+use mixen_graph::nid;
 use mixen_graph::NodeId;
 use rayon::prelude::*;
 
@@ -54,13 +55,13 @@ impl MixenEngine {
         let mut stats = DeltaStats::default();
 
         if max_iters == 0 {
-            let out: Vec<f32> = (0..f.n() as NodeId).into_par_iter().map(&init).collect();
+            let out: Vec<f32> = (0..nid(f.n())).into_par_iter().map(&init).collect();
             return (out, stats);
         }
 
         let seed_vals: Vec<f32> = (0..s)
             .into_par_iter()
-            .map(|i| init(f.to_old((r + i) as NodeId)))
+            .map(|i| init(f.to_old(nid(r + i))))
             .collect();
 
         // Persistent in-sums, seeded with the Pre-Phase contributions.
@@ -70,11 +71,11 @@ impl MixenEngine {
         // Initializing full pass: everyone scatters x0.
         let mut x: Vec<f32> = (0..r)
             .into_par_iter()
-            .map(|v| init(f.to_old(v as NodeId)))
+            .map(|v| init(f.to_old(nid(v))))
             .collect();
         {
             let deltas: Vec<f32> = x.clone();
-            let all: Vec<u32> = (0..r as u32).collect();
+            let all: Vec<u32> = (0..nid(r)).collect();
             self.scatter_deltas(&all, &deltas, &mut sums);
             stats.scattered_nodes += r as u64;
             stats.iterations = 1;
@@ -84,9 +85,9 @@ impl MixenEngine {
             // Apply on the maintained sums; collect deltas above epsilon.
             let new_x: Vec<f32> = (0..r)
                 .into_par_iter()
-                .map(|v| apply(f.to_old(v as NodeId), sums[v]))
+                .map(|v| apply(f.to_old(nid(v)), sums[v]))
                 .collect();
-            let active: Vec<u32> = (0..r as u32)
+            let active: Vec<u32> = (0..nid(r))
                 .into_par_iter()
                 .filter(|&v| (new_x[v as usize] - x[v as usize]).abs() > epsilon)
                 .collect();
@@ -112,7 +113,7 @@ impl MixenEngine {
         let x_prev = x;
         let x_final: Vec<f32> = (0..r)
             .into_par_iter()
-            .map(|v| apply(f.to_old(v as NodeId), sums[v]))
+            .map(|v| apply(f.to_old(nid(v)), sums[v]))
             .collect();
 
         // Post-Phase: sinks pull the final propagated values; results are
@@ -121,13 +122,13 @@ impl MixenEngine {
         let by_new: Vec<f32> = (0..f.n())
             .into_par_iter()
             .map(|new| {
-                let old = f.to_old(new as NodeId);
+                let old = f.to_old(nid(new));
                 if new < r {
                     x_final[new]
                 } else if new < r + s {
                     apply(old, 0.0)
                 } else if new < sink_base + f.num_sink() {
-                    let k = (new - sink_base) as u32;
+                    let k = nid(new - sink_base);
                     let mut sum = 0.0f32;
                     for &v in f.sink_csc().neighbors(k) {
                         sum += if (v as usize) < r {

@@ -24,6 +24,7 @@
 //! structure with frontier-sparse scatter and a dense fallback; it gains
 //! nothing from the Cache step, as the paper notes.
 
+use mixen_graph::nid;
 use std::sync::atomic::{AtomicI32, Ordering};
 use std::time::Instant;
 
@@ -90,6 +91,17 @@ impl MixenEngine {
         let t1 = Instant::now();
         let blocked = BlockedSubgraph::new(filtered.reg_csr(), &opts, threads);
         let partition_seconds = t1.elapsed().as_secs_f64();
+        #[cfg(feature = "strict-invariants")]
+        {
+            if let Err(e) = filtered.debug_validate() {
+                // lint: allow(panic) reason=strict-invariants mode turns violated preprocessing invariants into loud failures
+                panic!("strict-invariants: {e}");
+            }
+            if let Err(e) = blocked.debug_validate(filtered.reg_csr(), &opts) {
+                // lint: allow(panic) reason=strict-invariants mode turns violated partition invariants into loud failures
+                panic!("strict-invariants: {e}");
+            }
+        }
         Self {
             filtered,
             blocked,
@@ -131,7 +143,7 @@ impl MixenEngine {
         }
         let mut seen = vec![false; n];
         for new in 0..n {
-            let old = f.to_old(new as NodeId) as usize;
+            let old = f.to_old(nid(new)) as usize;
             if old >= n || seen[old] {
                 return Err(GraphError::Invariant(format!(
                     "relabeling is not a bijection at new id {new}"
@@ -251,13 +263,13 @@ impl MixenEngine {
         let s = f.num_seed();
 
         if max_iters == 0 {
-            return ((0..n as NodeId).into_par_iter().map(&init).collect(), 0);
+            return ((0..nid(n)).into_par_iter().map(&init).collect(), 0);
         }
 
         // Seed values are constant for the whole run.
         let seed_vals: Vec<V> = (0..s)
             .into_par_iter()
-            .map(|i| init(f.to_old((r + i) as NodeId)))
+            .map(|i| init(f.to_old(nid(r + i))))
             .collect();
 
         // Pre-Phase: cache seed→regular contributions. With the Cache step
@@ -272,7 +284,7 @@ impl MixenEngine {
 
         let mut x: Vec<V> = (0..r)
             .into_par_iter()
-            .map(|v| init(f.to_old(v as NodeId)))
+            .map(|v| init(f.to_old(nid(v))))
             .collect();
         let mut y: Vec<V> = vec![V::identity(); r];
         self.prime(&mut y, &sta, &seed_vals);
@@ -351,7 +363,7 @@ impl MixenEngine {
         let sink_base = r + s;
 
         // Post-Phase: sinks pull from the final propagated values.
-        let sink_vals: Vec<V> = (0..f.num_sink() as NodeId)
+        let sink_vals: Vec<V> = (0..nid(f.num_sink()))
             .into_par_iter()
             .map(|k| {
                 let mut sum = V::identity();
@@ -363,14 +375,14 @@ impl MixenEngine {
                     };
                     sum.combine(msg);
                 }
-                apply(f.to_old(sink_base as NodeId + k), sum)
+                apply(f.to_old(nid(sink_base) + k), sum)
             })
             .collect();
 
         (0..n)
             .into_par_iter()
             .map(|new| {
-                let old = f.to_old(new as NodeId);
+                let old = f.to_old(nid(new));
                 if new < r {
                     x[new]
                 } else if new < sink_base {
@@ -388,7 +400,7 @@ impl MixenEngine {
             .into_iter()
             .enumerate()
             .fold(vec![V::identity(); n], |mut out, (new, val)| {
-                out[f.to_old(new as NodeId) as usize] = val;
+                out[f.to_old(nid(new)) as usize] = val;
                 out
             })
     }
@@ -411,10 +423,10 @@ impl MixenEngine {
 
         if root_new < r {
             reg_depth[root_new].store(0, Ordering::Relaxed);
-            frontier.push(root_new as u32);
+            frontier.push(nid(root_new));
         } else if root_new < r + s {
             // Seed root: its regular out-neighbours form level 1.
-            let local = (root_new - r) as u32;
+            let local = nid(root_new - r);
             for &v in f.seed_csr().neighbors(local) {
                 if reg_depth[v as usize]
                     .compare_exchange(-1, 1, Ordering::Relaxed, Ordering::Relaxed)
@@ -441,16 +453,16 @@ impl MixenEngine {
         // Post-Phase: a sink's depth is 1 + the minimum depth among its
         // in-neighbours (regulars take their BFS depth; the only seed with a
         // depth is the root itself).
-        let sink_base = (r + s) as u32;
+        let sink_base = nid(r + s);
         let mut out = vec![-1i32; n];
         out[root as usize] = 0;
         for v in 0..r {
             let d = reg_depth[v].load(Ordering::Relaxed);
             if d >= 0 {
-                out[f.to_old(v as u32) as usize] = d;
+                out[f.to_old(nid(v)) as usize] = d;
             }
         }
-        let sink_depths: Vec<i32> = (0..f.num_sink() as u32)
+        let sink_depths: Vec<i32> = (0..nid(f.num_sink()))
             .into_par_iter()
             .map(|k| {
                 let mut best = i32::MAX;
@@ -474,7 +486,7 @@ impl MixenEngine {
             })
             .collect();
         for (k, &d) in sink_depths.iter().enumerate() {
-            let old = f.to_old(sink_base + k as u32) as usize;
+            let old = f.to_old(sink_base + nid(k)) as usize;
             if d >= 0 && out[old] < 0 {
                 out[old] = d;
             }

@@ -15,7 +15,8 @@
 //! sub-structures (verified by tests), so no redundant pointer entries for
 //! zero-degree directions are ever scanned again during iteration.
 
-use mixen_graph::{Classification, Csr, Graph, NodeClass, NodeId};
+use mixen_graph::nid;
+use mixen_graph::{Classification, Csr, Graph, GraphError, NodeClass, NodeId};
 
 use crate::opts::RegularOrdering;
 
@@ -35,6 +36,10 @@ pub struct FilteredGraph {
     seed_csr: Csr,
     sink_csc: Csr,
     out_degree: Vec<u32>,
+    /// The regular-range ordering this graph was built with; recorded so
+    /// [`FilteredGraph::debug_validate`] knows which stability guarantees
+    /// apply.
+    ordering: RegularOrdering,
 }
 
 impl FilteredGraph {
@@ -73,7 +78,7 @@ impl FilteredGraph {
             }
         };
         let mut bucket_counts = [0usize; 5];
-        for u in 0..n as NodeId {
+        for u in 0..nid(n) {
             bucket_counts[bucket(u)] += 1;
         }
         let mut offsets = [0usize; 5];
@@ -86,39 +91,44 @@ impl FilteredGraph {
         // order within each bucket.
         let mut perm = vec![0 as NodeId; n];
         let mut cursors = offsets;
-        for u in 0..n as NodeId {
+        for u in 0..nid(n) {
             let b = bucket(u);
-            perm[u as usize] = cursors[b] as NodeId;
+            perm[u as usize] = nid(cursors[b]);
             cursors[b] += 1;
         }
         if ordering == RegularOrdering::ByInDegree {
             // Extension: stable full sort of the regular range by
             // descending in-degree.
             let r_total = bucket_counts[0] + bucket_counts[1];
-            let mut regulars: Vec<NodeId> = (0..n as NodeId)
+            let mut regulars: Vec<NodeId> = (0..nid(n))
                 .filter(|&u| class.class(u) == NodeClass::Regular)
                 .collect();
             regulars.sort_by_key(|&u| std::cmp::Reverse(g.in_degree(u)));
             debug_assert_eq!(regulars.len(), r_total);
             for (new, &old) in regulars.iter().enumerate() {
-                perm[old as usize] = new as NodeId;
+                perm[old as usize] = nid(new);
             }
         }
         let mut inv = vec![0 as NodeId; n];
         for (old, &new) in perm.iter().enumerate() {
-            inv[new as usize] = old as NodeId;
+            inv[new as usize] = nid(old);
         }
 
+        // Only hubs that are also Regular sit at the front of the regular
+        // range; `class.hub_count()` would overcount by including hub seeds
+        // and hub sinks, which live in their own class ranges.
         let num_hub = match ordering {
             RegularOrdering::Original => 0,
-            _ => class.hub_count(),
+            _ => (0..nid(n))
+                .filter(|&u| class.class(u) == NodeClass::Regular && class.is_hub(u))
+                .count(),
         };
         let num_regular = bucket_counts[0] + bucket_counts[1];
         let num_seed = bucket_counts[2];
         let num_sink = bucket_counts[3];
         let num_isolated = bucket_counts[4];
-        let r = num_regular as NodeId;
-        let seed_end = (num_regular + num_seed) as NodeId;
+        let r = nid(num_regular);
+        let seed_end = nid(num_regular + num_seed);
 
         // Sub-structure extraction straight from the existing CSR/CSC.
         let reg_csr = Csr::from_row_fn(num_regular, num_regular, |u_new, out| {
@@ -153,7 +163,7 @@ impl FilteredGraph {
 
         let mut out_degree = vec![0u32; n];
         for old in 0..n {
-            out_degree[perm[old] as usize] = g.out_degree(old as NodeId) as u32;
+            out_degree[perm[old] as usize] = nid(g.out_degree(nid(old)));
         }
 
         Self {
@@ -170,7 +180,102 @@ impl FilteredGraph {
             seed_csr,
             sink_csc,
             out_degree,
+            ordering,
         }
+    }
+
+    /// Deep structural validation of the relabeling and the mixed
+    /// representation (§4.1): perm/inv are mutually inverse, the class
+    /// ranges partition the ID space, the three sub-structures have the
+    /// advertised shapes and jointly hold every edge, and relabeling is
+    /// stable within each class range. Used by the `strict-invariants`
+    /// feature at engine construction and callable directly from tests.
+    pub fn debug_validate(&self) -> Result<(), GraphError> {
+        let invariant = |msg: String| Err(GraphError::Invariant(msg));
+        let n = self.n;
+        if self.perm.len() != n || self.inv.len() != n || self.out_degree.len() != n {
+            return invariant(format!(
+                "perm/inv/out_degree lengths {}/{}/{} != n = {n}",
+                self.perm.len(),
+                self.inv.len(),
+                self.out_degree.len()
+            ));
+        }
+        // Bijection: perm and inv are mutual inverses (this also implies
+        // each is a permutation of 0..n).
+        for old in 0..n {
+            let new = self.perm[old] as usize;
+            if new >= n || self.inv[new] as usize != old {
+                return invariant(format!("perm/inv are not mutual inverses at old id {old}"));
+            }
+        }
+        // Class ranges partition the ID space.
+        let (r, s, k, iso) = (
+            self.num_regular,
+            self.num_seed,
+            self.num_sink,
+            self.num_isolated,
+        );
+        if r + s + k + iso != n {
+            return invariant(format!(
+                "class counts {r}+{s}+{k}+{iso} do not partition n = {n}"
+            ));
+        }
+        if self.num_hub > r {
+            return invariant(format!(
+                "hub count {} exceeds regular count {r}",
+                self.num_hub
+            ));
+        }
+        // Sub-format boundaries: reg r×r, seed s×r, sink k×(r+s).
+        for (name, csr, rows, cols) in [
+            ("reg_csr", &self.reg_csr, r, r),
+            ("seed_csr", &self.seed_csr, s, r),
+            ("sink_csc", &self.sink_csc, k, r + s),
+        ] {
+            if csr.n_rows() != rows || csr.n_cols() != cols {
+                return invariant(format!(
+                    "{name} is {}x{}, expected {rows}x{cols}",
+                    csr.n_rows(),
+                    csr.n_cols()
+                ));
+            }
+            csr.validate()?;
+        }
+        // Every original edge lands in exactly one sub-structure.
+        let nnz = self.reg_csr.nnz() + self.seed_csr.nnz() + self.sink_csc.nnz();
+        if nnz != self.m {
+            return invariant(format!(
+                "sub-structures hold {nnz} edges, graph has {}",
+                self.m
+            ));
+        }
+        // Stability: within each class range, relabeling preserves the
+        // original relative order, i.e. `inv` is strictly increasing. The
+        // regular range is checked per hub/non-hub sub-range under
+        // `HubsFirst`, as one range under `Original`, and not at all under
+        // `ByInDegree` (which re-sorts regulars by in-degree).
+        let mut ranges = match self.ordering {
+            RegularOrdering::HubsFirst => vec![(0, self.num_hub), (self.num_hub, r)],
+            RegularOrdering::Original => vec![(0, r)],
+            RegularOrdering::ByInDegree => vec![],
+        };
+        ranges.extend([(r, r + s), (r + s, r + s + k), (r + s + k, n)]);
+        for (lo, hi) in ranges {
+            for new in lo.max(1)..hi {
+                if new > lo && self.inv[new - 1] >= self.inv[new] {
+                    return invariant(format!(
+                        "relabeling is not stable inside class range {lo}..{hi} at new id {new}"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The regular-range ordering this graph was built with.
+    pub fn ordering(&self) -> RegularOrdering {
+        self.ordering
     }
 
     /// Original node count.
@@ -529,5 +634,58 @@ mod tests {
         let f = FilteredGraph::new(&g);
         assert_eq!(f.num_isolated(), 4);
         assert_eq!(f.reg_csr().nnz(), 0);
+    }
+
+    #[test]
+    fn debug_validate_accepts_every_ordering() {
+        let g = toy();
+        for ordering in [
+            RegularOrdering::HubsFirst,
+            RegularOrdering::Original,
+            RegularOrdering::ByInDegree,
+        ] {
+            let f = FilteredGraph::with_ordering(&g, ordering);
+            f.debug_validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn debug_validate_rejects_corrupt_permutation() {
+        let mut f = FilteredGraph::new(&toy());
+        f.perm.swap(0, 1);
+        let err = f.debug_validate().unwrap_err();
+        assert!(err.to_string().contains("mutual inverses"), "{err}");
+    }
+
+    #[test]
+    fn debug_validate_rejects_broken_partition() {
+        let mut f = FilteredGraph::new(&toy());
+        f.num_isolated += 1;
+        let err = f.debug_validate().unwrap_err();
+        assert!(err.to_string().contains("partition"), "{err}");
+    }
+
+    #[test]
+    fn debug_validate_rejects_hub_overflow() {
+        let mut f = FilteredGraph::new(&toy());
+        f.num_hub = f.num_regular + 1;
+        let err = f.debug_validate().unwrap_err();
+        assert!(err.to_string().contains("hub count"), "{err}");
+    }
+
+    #[test]
+    fn debug_validate_rejects_unstable_relabeling() {
+        let mut f = FilteredGraph::new(&toy());
+        // Swap two new ids inside the same class range (seed..sink..iso are
+        // singletons in toy(), so swap the two regulars and mark the graph
+        // Original so the whole regular range must be stable).
+        let r = f.num_regular;
+        assert_eq!(r, 2);
+        f.ordering = RegularOrdering::Original;
+        f.num_hub = 0;
+        f.inv.swap(0, 1);
+        f.perm.swap(f.inv[0] as usize, f.inv[1] as usize);
+        let err = f.debug_validate().unwrap_err();
+        assert!(err.to_string().contains("not stable"), "{err}");
     }
 }

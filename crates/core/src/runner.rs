@@ -22,6 +22,7 @@
 // report accumulated up to the failure point.
 #![allow(clippy::result_large_err)]
 
+use mixen_graph::nid;
 use std::fmt;
 use std::io::Read;
 use std::path::Path;
@@ -303,7 +304,7 @@ impl RobustRunner {
 
         let limit = self.opts.divergence_limit;
         let batch = self.opts.check_every.max(1);
-        let mut cur: Vec<V> = (0..g.n() as NodeId).into_par_iter().map(&init).collect();
+        let mut cur: Vec<V> = (0..nid(g.n())).into_par_iter().map(&init).collect();
         if let Some(fault) = scan(&cur, limit) {
             report.iterations = 0;
             return Err(RunFailure {
@@ -359,7 +360,7 @@ where
 {
     let mut x = x0.to_vec();
     for _ in 0..step {
-        x = (0..g.n() as NodeId)
+        x = (0..nid(g.n()))
             .into_par_iter()
             .map(|v| {
                 let mut sum = V::identity();

@@ -11,6 +11,7 @@
 //! * Gather parallelizes over block-columns; each task owns a disjoint
 //!   destination segment of `y`.
 
+use mixen_graph::nid;
 use mixen_graph::{NodeId, PropValue};
 use rayon::prelude::*;
 
@@ -75,9 +76,9 @@ where
                 }
             }
         }
-        let col_base = (j * c) as NodeId;
+        let col_base = nid(j * c);
         for (d, yv) in yseg.iter_mut().enumerate() {
-            *yv = finish(col_base + d as NodeId, *yv);
+            *yv = finish(col_base + nid(d), *yv);
         }
     });
 }
@@ -112,7 +113,7 @@ pub fn bfs_level_sparse(
     (0..blocked.n_col_blocks())
         .into_par_iter()
         .flat_map_iter(|j| {
-            let col_base = (j * blocked.block_side()) as u32;
+            let col_base = nid(j * blocked.block_side());
             let mut next = Vec::new();
             for (row, acts) in rows.iter().zip(&active) {
                 let blk = &row.blocks[j];
@@ -145,7 +146,7 @@ pub fn bfs_level_dense(
     (0..blocked.n_col_blocks())
         .into_par_iter()
         .flat_map_iter(|j| {
-            let col_base = (j * blocked.block_side()) as u32;
+            let col_base = nid(j * blocked.block_side());
             let mut next = Vec::new();
             for row in rows {
                 let blk = &row.blocks[j];
@@ -179,7 +180,7 @@ pub fn merge_positions(src_ids: &[u32], active: &[u32]) -> Vec<u32> {
             std::cmp::Ordering::Less => i += 1,
             std::cmp::Ordering::Greater => j += 1,
             std::cmp::Ordering::Equal => {
-                out.push(i as u32);
+                out.push(nid(i));
                 i += 1;
                 j += 1;
             }
@@ -193,17 +194,37 @@ pub fn merge_positions(src_ids: &[u32], active: &[u32]) -> Vec<u32> {
 pub(crate) struct SegPtr<'a, V> {
     ptr: *mut V,
     len: usize,
+    /// Double-materialization guard: `as_slice_mut`'s contract says exactly
+    /// one task may claim the segment; under `debug_assertions` or the
+    /// `race-detector` feature a second claim panics instead of aliasing.
+    #[cfg(any(debug_assertions, feature = "race-detector"))]
+    claimed: std::sync::atomic::AtomicBool,
     _marker: std::marker::PhantomData<&'a mut [V]>,
 }
 
+// SAFETY: SegPtr borrows a disjoint sub-slice produced by `split_by_rows`
+// (via split_at_mut), whose lifetime it captures; moving it to another thread
+// moves only the pointer, which is safe whenever `V: Send`.
 unsafe impl<V: Send> Send for SegPtr<'_, V> {}
+// SAFETY: `&SegPtr` exposes mutation only through the `unsafe fn
+// as_slice_mut`, whose contract requires exactly one scatter task (the
+// block-row owner) to materialize the slice — distinct SegPtrs never alias
+// and a single segment is never shared by two tasks.
 unsafe impl<V: Send> Sync for SegPtr<'_, V> {}
 
 impl<V> SegPtr<'_, V> {
     /// SAFETY: each segment wraps a distinct sub-slice; only the one scatter
-    /// task owning the block-row may call this.
+    /// task owning the block-row may call this, and at most once.
     #[allow(clippy::mut_from_ref)]
     pub(crate) unsafe fn as_slice_mut(&self) -> &mut [V] {
+        #[cfg(any(debug_assertions, feature = "race-detector"))]
+        if self
+            .claimed
+            .swap(true, std::sync::atomic::Ordering::Relaxed)
+        {
+            // lint: allow(panic) reason=race detector turning a double-claimed segment into a diagnosable failure
+            panic!("SegPtr race detected: segment materialized more than once");
+        }
         std::slice::from_raw_parts_mut(self.ptr, self.len)
     }
 }
@@ -222,6 +243,8 @@ pub(crate) fn split_by_rows<'a, V>(
         segs.push(SegPtr {
             ptr: seg.as_mut_ptr(),
             len,
+            #[cfg(any(debug_assertions, feature = "race-detector"))]
+            claimed: std::sync::atomic::AtomicBool::new(false),
             _marker: std::marker::PhantomData,
         });
         rest = tail;
@@ -235,6 +258,22 @@ mod tests {
     use super::*;
     use crate::MixenOpts;
     use mixen_graph::Csr;
+
+    /// The race detector must catch a segment claimed by two "tasks".
+    #[test]
+    #[cfg(any(debug_assertions, feature = "race-detector"))]
+    #[should_panic(expected = "SegPtr race detected")]
+    fn race_detector_catches_double_claim() {
+        let csr = Csr::from_edges(4, &[(0, 1), (2, 3)]);
+        let b = blocked(&csr, 2);
+        let mut x = vec![0.0f32; 4];
+        let segs = split_by_rows(&mut x, &b);
+        // SAFETY: first claim is the legitimate owner's.
+        let _first = unsafe { segs[0].as_slice_mut() };
+        // SAFETY: deliberately violates the single-claim contract; the
+        // detector must panic before any aliasing mutation happens.
+        let _second = unsafe { segs[0].as_slice_mut() };
+    }
 
     fn blocked(csr: &Csr, c: usize) -> BlockedSubgraph {
         BlockedSubgraph::new(

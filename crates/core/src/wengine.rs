@@ -17,6 +17,7 @@
 //!   just as constant as unweighted ones,
 //! * the Post-Phase pulls `x ⊗ w` for sinks once.
 
+use mixen_graph::nid;
 use std::time::Instant;
 
 use mixen_graph::{NodeId, PropValue, WGraph};
@@ -50,8 +51,20 @@ impl WMixenEngine {
         let g = wg.topology();
         let filtered = FilteredGraph::with_ordering(g, opts.ordering);
         let blocked = BlockedSubgraph::new(filtered.reg_csr(), &opts, rayon::current_num_threads());
+        #[cfg(feature = "strict-invariants")]
+        {
+            if let Err(e) = filtered.debug_validate() {
+                // lint: allow(panic) reason=strict-invariants mode turns violated preprocessing invariants into loud failures
+                panic!("strict-invariants: {e}");
+            }
+            if let Err(e) = blocked.debug_validate(filtered.reg_csr(), &opts) {
+                // lint: allow(panic) reason=strict-invariants mode turns violated partition invariants into loud failures
+                panic!("strict-invariants: {e}");
+            }
+        }
         let weight_of = |new_src: NodeId, new_dst: NodeId| -> f32 {
             wg.weight(filtered.to_old(new_src), filtered.to_old(new_dst))
+                // lint: allow(panic) reason=filtered structure is derived from wg so the edge exists; a miss is a construction bug
                 .expect("edge present in filtered structure must exist in the graph")
         };
 
@@ -63,7 +76,7 @@ impl WMixenEngine {
                     .iter()
                     .enumerate()
                     .map(|(j, blk)| {
-                        let col_base = (j * blocked.block_side()) as NodeId;
+                        let col_base = nid(j * blocked.block_side());
                         let mut w = Vec::with_capacity(blk.dests.len());
                         for (k, &src) in blk.src_ids.iter().enumerate() {
                             let new_src = row.src_start + src;
@@ -77,8 +90,8 @@ impl WMixenEngine {
             })
             .collect();
 
-        let r = filtered.num_regular() as NodeId;
-        let seed_weights: Box<[f32]> = (0..filtered.num_seed() as NodeId)
+        let r = nid(filtered.num_regular());
+        let seed_weights: Box<[f32]> = (0..nid(filtered.num_seed()))
             .into_par_iter()
             .flat_map_iter(|s| {
                 let new_src = r + s;
@@ -92,8 +105,8 @@ impl WMixenEngine {
             .collect::<Vec<f32>>()
             .into_boxed_slice();
 
-        let sink_base = (filtered.num_regular() + filtered.num_seed()) as NodeId;
-        let sink_weights: Box<[f32]> = (0..filtered.num_sink() as NodeId)
+        let sink_base = nid(filtered.num_regular() + filtered.num_seed());
+        let sink_weights: Box<[f32]> = (0..nid(filtered.num_sink()))
             .into_par_iter()
             .flat_map_iter(|k| {
                 let new_dst = sink_base + k;
@@ -172,19 +185,19 @@ impl WMixenEngine {
         let r = f.num_regular();
         let s = f.num_seed();
         if max_iters == 0 {
-            return ((0..n as NodeId).into_par_iter().map(&init).collect(), 0);
+            return ((0..nid(n)).into_par_iter().map(&init).collect(), 0);
         }
 
         let seed_vals: Vec<V> = (0..s)
             .into_par_iter()
-            .map(|i| init(f.to_old((r + i) as NodeId)))
+            .map(|i| init(f.to_old(nid(r + i))))
             .collect();
 
         // Pre-Phase: weighted seed contributions.
         let sta: Vec<V> = {
             let mut acc = vec![V::identity(); r];
             let mut e = 0usize;
-            for srow in 0..s as NodeId {
+            for srow in 0..nid(s) {
                 let val = seed_vals[srow as usize];
                 for &dst in f.seed_csr().neighbors(srow) {
                     acc[dst as usize].combine(val.scale_edge(self.seed_weights[e]));
@@ -196,7 +209,7 @@ impl WMixenEngine {
 
         let mut x: Vec<V> = (0..r)
             .into_par_iter()
-            .map(|v| init(f.to_old(v as NodeId)))
+            .map(|v| init(f.to_old(nid(v))))
             .collect();
         let mut y: Vec<V> = sta.clone();
         let mut bins: DynamicBins<V> = DynamicBins::new(&self.blocked);
@@ -229,13 +242,13 @@ impl WMixenEngine {
         let by_new: Vec<V> = (0..n)
             .into_par_iter()
             .map(|new| {
-                let old = f.to_old(new as NodeId);
+                let old = f.to_old(nid(new));
                 if new < r {
                     x[new]
                 } else if new < sink_base {
                     apply(old, V::identity())
                 } else if new < sink_base + f.num_sink() {
-                    let k = (new - sink_base) as NodeId;
+                    let k = nid(new - sink_base);
                     let mut sum = V::identity();
                     let base = sink_ptr[k as usize];
                     for (i, &v) in f.sink_csc().neighbors(k).iter().enumerate() {
@@ -284,9 +297,9 @@ impl WMixenEngine {
                     }
                 }
             }
-            let col_base = (j * c) as NodeId;
+            let col_base = nid(j * c);
             for (d, yv) in yseg.iter_mut().enumerate() {
-                *yv = finish(col_base + d as NodeId, *yv);
+                *yv = finish(col_base + nid(d), *yv);
             }
         });
     }

@@ -6,6 +6,7 @@
 //! class determines where a node lands in the relabeled ID space, and hubs
 //! are additionally moved to the front of the regular range.
 
+use crate::nid;
 use rayon::prelude::*;
 
 use crate::{Graph, NodeId};
@@ -61,7 +62,7 @@ impl Classification {
     /// paper's definition in §2.1).
     pub fn of(g: &Graph) -> Self {
         let avg = g.avg_degree();
-        let per_node: Vec<(NodeClass, bool, usize)> = (0..g.n() as NodeId)
+        let per_node: Vec<(NodeClass, bool, usize)> = (0..nid(g.n()))
             .into_par_iter()
             .map(|u| {
                 let ind = g.in_degree(u);

@@ -5,7 +5,8 @@
 //! connected (otherwise BFS comparisons are meaningless), and R-MAT's
 //! isolated nodes show up as singleton components.
 
-use crate::{Graph, NodeId};
+use crate::nid;
+use crate::Graph;
 
 /// Union-find with path halving and union by size.
 #[derive(Clone, Debug)]
@@ -19,7 +20,7 @@ impl UnionFind {
     /// `n` singletons.
     pub fn new(n: usize) -> Self {
         Self {
-            parent: (0..n as u32).collect(),
+            parent: (0..nid(n)).collect(),
             size: vec![1; n],
             components: n,
         }
@@ -91,12 +92,9 @@ pub fn weakly_connected_components(g: &Graph) -> Components {
     for (u, v) in g.edges() {
         uf.union(u, v);
     }
-    let labels: Vec<u32> = (0..g.n() as NodeId).map(|v| uf.find(v)).collect();
+    let labels: Vec<u32> = (0..nid(g.n())).map(|v| uf.find(v)).collect();
     let count = uf.count();
-    let largest = (0..g.n() as NodeId)
-        .map(|v| uf.size_of(v))
-        .max()
-        .unwrap_or(0);
+    let largest = (0..nid(g.n())).map(|v| uf.size_of(v)).max().unwrap_or(0);
     Components {
         labels,
         count,

@@ -7,6 +7,7 @@
 //! rayon: degree counting uses per-chunk histograms, placement uses atomic
 //! cursors, and per-row sorting is embarrassingly parallel.
 
+use crate::nid;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use rayon::prelude::*;
@@ -80,7 +81,7 @@ impl Csr {
     where
         F: Fn(NodeId, &mut Vec<NodeId>) + Sync,
     {
-        let rows: Vec<Vec<NodeId>> = (0..n_rows as NodeId)
+        let rows: Vec<Vec<NodeId>> = (0..nid(n_rows))
             .into_par_iter()
             .map(|u| {
                 let mut scratch = Vec::new();
@@ -123,13 +124,14 @@ impl Csr {
             ptr: ptr.into_boxed_slice(),
             idx: idx.into_boxed_slice(),
         };
-        csr.validate().map_err(GraphError::Invariant)?;
+        csr.validate()?;
         Ok(csr)
     }
 
     /// Assembles a CSR from raw parts. Panics if the invariants do not hold;
     /// use [`Csr::try_from_parts`] for untrusted data.
     pub fn from_parts(n_cols: usize, ptr: Vec<usize>, idx: Vec<NodeId>) -> Self {
+        // lint: allow(panic) reason=documented panicking constructor for trusted inputs
         Self::try_from_parts(n_cols, ptr, idx).expect("invalid CSR parts")
     }
 
@@ -193,7 +195,7 @@ impl Csr {
 
     /// Iterates all `(row, col)` entries in row-major order.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
-        (0..self.n_rows as NodeId).flat_map(move |u| self.neighbors(u).iter().map(move |&v| (u, v)))
+        (0..nid(self.n_rows)).flat_map(move |u| self.neighbors(u).iter().map(move |&v| (u, v)))
     }
 
     /// Transposes the matrix in parallel: counting pass, prefix sum, atomic
@@ -211,7 +213,7 @@ impl Csr {
             (0..self.n_rows).into_par_iter().for_each(|u| {
                 for &v in &self.idx[self.ptr[u]..self.ptr[u + 1]] {
                     let slot = cursors[v as usize].fetch_add(1, Ordering::Relaxed);
-                    idx_cell.write(slot, u as NodeId);
+                    idx_cell.write(slot, nid(u));
                 }
             });
         }
@@ -225,38 +227,39 @@ impl Csr {
         t
     }
 
-    /// Checks every structural invariant; returns a description of the first
-    /// violation.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Checks every structural invariant; reports the first violation as a
+    /// [`GraphError::Invariant`].
+    pub fn validate(&self) -> Result<(), GraphError> {
+        let invariant = |msg: String| Err(GraphError::Invariant(msg));
         if self.ptr.len() != self.n_rows + 1 {
-            return Err(format!(
+            return invariant(format!(
                 "ptr length {} != n_rows + 1 = {}",
                 self.ptr.len(),
                 self.n_rows + 1
             ));
         }
         if self.ptr[0] != 0 {
-            return Err("ptr[0] != 0".into());
+            return invariant("ptr[0] != 0".into());
         }
-        if *self.ptr.last().unwrap() != self.idx.len() {
-            return Err(format!(
+        if self.ptr[self.n_rows] != self.idx.len() {
+            return invariant(format!(
                 "ptr[n] = {} != nnz = {}",
-                self.ptr.last().unwrap(),
+                self.ptr[self.n_rows],
                 self.idx.len()
             ));
         }
         for w in self.ptr.windows(2) {
             if w[0] > w[1] {
-                return Err("ptr not monotone".into());
+                return invariant("ptr not monotone".into());
             }
         }
         if let Some(&bad) = self.idx.iter().find(|&&v| v as usize >= self.n_cols) {
-            return Err(format!("column index {bad} out of range {}", self.n_cols));
+            return invariant(format!("column index {bad} out of range {}", self.n_cols));
         }
         for u in 0..self.n_rows {
             let row = &self.idx[self.ptr[u]..self.ptr[u + 1]];
             if row.windows(2).any(|w| w[0] > w[1]) {
-                return Err(format!("row {u} not sorted"));
+                return invariant(format!("row {u} not sorted"));
             }
         }
         Ok(())
@@ -288,27 +291,51 @@ impl Csr {
 ///
 /// Every writer must target a distinct index; the constructors in this module
 /// guarantee that by reserving slots through atomic cursors.
-struct SliceWriter<'a, T> {
+///
+/// Under `debug_assertions` or the `race-detector` feature, a shadow
+/// ownership map records every written slot and the writer panics on an
+/// overlapping or double write — turning a silent data race into a loud,
+/// attributable failure.
+pub(crate) struct SliceWriter<'a, T> {
     ptr: *mut T,
     len: usize,
+    #[cfg(any(debug_assertions, feature = "race-detector"))]
+    claimed: Box<[std::sync::atomic::AtomicU8]>,
     _marker: std::marker::PhantomData<&'a mut [T]>,
 }
 
+// SAFETY: SliceWriter is a raw-pointer view of a `&mut [T]` whose lifetime it
+// captures, so the underlying buffer outlives it; sending it to another
+// thread moves only the pointer and is safe whenever `T: Send` (the values
+// written cross threads).
 unsafe impl<T: Send> Send for SliceWriter<'_, T> {}
+// SAFETY: sharing `&SliceWriter` across threads is safe because the only
+// mutation path is `write`, which bounds-checks and requires callers to
+// reserve distinct slots through atomic cursors — concurrent writes never
+// alias, and no method reads the buffer.
 unsafe impl<T: Send> Sync for SliceWriter<'_, T> {}
 
 impl<'a, T> SliceWriter<'a, T> {
-    fn new(slice: &'a mut [T]) -> Self {
+    pub(crate) fn new(slice: &'a mut [T]) -> Self {
         Self {
             ptr: slice.as_mut_ptr(),
             len: slice.len(),
+            #[cfg(any(debug_assertions, feature = "race-detector"))]
+            claimed: (0..slice.len())
+                .map(|_| std::sync::atomic::AtomicU8::new(0))
+                .collect(),
             _marker: std::marker::PhantomData,
         }
     }
 
     #[inline]
-    fn write(&self, i: usize, value: T) {
+    pub(crate) fn write(&self, i: usize, value: T) {
         assert!(i < self.len);
+        #[cfg(any(debug_assertions, feature = "race-detector"))]
+        if self.claimed[i].swap(1, Ordering::Relaxed) != 0 {
+            // lint: allow(panic) reason=race detector turning a violated disjoint-write contract into a diagnosable failure
+            panic!("SliceWriter race detected: slot {i} written more than once");
+        }
         // SAFETY: `i < len` is checked above, and callers reserve distinct
         // slots via atomic fetch_add so no two threads write the same index.
         unsafe { self.ptr.add(i).write(value) }
@@ -348,6 +375,41 @@ pub fn prefix_sum(counts: &[usize]) -> Vec<usize> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The race detector must catch an intentionally overlapping write.
+    #[test]
+    #[cfg(any(debug_assertions, feature = "race-detector"))]
+    #[should_panic(expected = "SliceWriter race detected")]
+    fn race_detector_catches_double_write() {
+        let mut buf = vec![0u32; 8];
+        let w = SliceWriter::new(&mut buf);
+        w.write(3, 1);
+        w.write(3, 2); // same slot twice — a violated disjoint-write contract
+    }
+
+    /// Seeded stress: thousands of concurrent disjoint writes through the
+    /// shadow map must neither panic nor lose a value.
+    #[test]
+    fn race_detector_stress_disjoint_writes_are_clean() {
+        use rand::prelude::*;
+        let n = 1 << 14;
+        let mut rng = StdRng::seed_from_u64(0x5eed);
+        let mut order: Vec<usize> = (0..n).collect();
+        order.shuffle(&mut rng);
+        let mut buf = vec![u32::MAX; n];
+        {
+            let w = SliceWriter::new(&mut buf);
+            let cursor = AtomicUsize::new(0);
+            (0..n).into_par_iter().for_each(|_| {
+                let k = cursor.fetch_add(1, Ordering::Relaxed);
+                let slot = order[k];
+                w.write(slot, nid(slot).wrapping_mul(2654435761));
+            });
+        }
+        for (i, &v) in buf.iter().enumerate() {
+            assert_eq!(v, nid(i).wrapping_mul(2654435761));
+        }
+    }
 
     fn toy() -> Csr {
         // 0 -> 1, 0 -> 2, 2 -> 0, 3 -> 3 (self loop), plus node 1 with no out.

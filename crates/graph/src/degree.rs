@@ -7,9 +7,10 @@
 //! coefficient of degree concentration, and a discrete power-law exponent
 //! estimate (Clauset-style MLE).
 
+use crate::nid;
 use rayon::prelude::*;
 
-use crate::{Graph, NodeId};
+use crate::Graph;
 
 /// Which direction's degrees to analyze.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -47,11 +48,11 @@ impl DegreeDistribution {
     /// Analyzes `g`'s degrees in the given direction. `d_min` is the
     /// power-law fit cutoff (a common choice is the mean degree).
     pub fn of(g: &Graph, dir: Direction, d_min: u32) -> Self {
-        let degrees: Vec<u32> = (0..g.n() as NodeId)
+        let degrees: Vec<u32> = (0..nid(g.n()))
             .into_par_iter()
             .map(|v| match dir {
-                Direction::In => g.in_degree(v) as u32,
-                Direction::Out => g.out_degree(v) as u32,
+                Direction::In => nid(g.in_degree(v)),
+                Direction::Out => nid(g.out_degree(v)),
             })
             .collect();
         Self::from_degrees(degrees, d_min)

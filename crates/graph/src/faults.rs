@@ -10,6 +10,7 @@
 //! The contract under test: whatever the plan does, the readers in
 //! [`crate::io`] must return `Err(GraphError)` or succeed — never panic.
 
+use crate::nid;
 use std::io::{self, Read, Write};
 
 /// One scheduled fault.
@@ -75,7 +76,7 @@ impl FaultPlan {
         let mut faults = vec![
             Fault::ShortChunks(1 + (next() % 7) as usize),
             Fault::Interrupted {
-                count: (next() % 4) as u32,
+                count: nid((next() % 4) as usize),
             },
             Fault::BitFlip {
                 offset: next() % len,

@@ -25,6 +25,7 @@ pub use road::road;
 pub use sampling::AliasTable;
 pub use uniform::uniform;
 
+use crate::nid;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -38,7 +39,7 @@ pub(crate) fn rng(seed: u64) -> StdRng {
 /// step) has real work to do instead of receiving class-contiguous IDs.
 pub fn random_permutation(n: usize, seed: u64) -> Vec<u32> {
     use rand::seq::SliceRandom;
-    let mut perm: Vec<u32> = (0..n as u32).collect();
+    let mut perm: Vec<u32> = (0..nid(n)).collect();
     perm.shuffle(&mut rng(seed ^ 0x9e37_79b9_7f4a_7c15));
     perm
 }

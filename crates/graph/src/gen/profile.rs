@@ -17,6 +17,7 @@
 //! 4. IDs are scrambled by a random permutation so Mixen's relabeling pass
 //!    has real work to do.
 
+use crate::nid;
 use rand::Rng;
 use rayon::prelude::*;
 
@@ -95,15 +96,21 @@ pub fn generate_profile(spec: &ProfileSpec) -> Graph {
             counts[i] = 0;
         }
     }
-    // Rebalance to sum exactly n, adjusting the largest class.
-    let largest = (0..4).max_by_key(|&i| counts[i]).unwrap();
+    // Rebalance to sum exactly n, adjusting the largest class (ties pick the
+    // last index, matching `max_by_key` semantics).
+    let mut largest = 0;
+    for i in 1..4 {
+        if counts[i] >= counts[largest] {
+            largest = i;
+        }
+    }
     let others: usize = (0..4).filter(|&i| i != largest).map(|i| counts[i]).sum();
     assert!(others <= n, "class fractions infeasible for n = {n}");
     counts[largest] = n - others;
     let [n_reg, n_seed, n_sink, _n_iso] = counts;
     let reg_base = 0u32;
-    let seed_base = n_reg as u32;
-    let sink_base = (n_reg + n_seed) as u32;
+    let seed_base = nid(n_reg);
+    let sink_base = nid(n_reg + n_seed);
 
     let m = (spec.avg_degree * n as f64).round() as usize;
 
@@ -225,33 +232,33 @@ fn repair_classes(
         in_deg[d as usize] += 1;
     }
     let mut rng = super::rng(seed ^ 0x5EED);
-    let reg_range = 0..n_reg as u32;
-    let seed_range = n_reg as u32..(n_reg + n_seed) as u32;
-    let sink_range = (n_reg + n_seed) as u32..(n_reg + n_seed + n_sink) as u32;
+    let reg_range = 0..nid(n_reg);
+    let seed_range = nid(n_reg)..nid(n_reg + n_seed);
+    let sink_range = nid(n_reg + n_seed)..nid(n_reg + n_seed + n_sink);
     // A receiver for dangling out-edges and a sender for missing in-edges.
     // Prefer regular hubs (index 0 region) so repairs reinforce the skew.
     let pick_receiver = |rng: &mut rand::rngs::StdRng, avoid: u32| -> Option<u32> {
         if n_reg > 1 || (n_reg == 1 && avoid != 0) {
-            let mut v = rng.gen_range(0..(n_reg as u32).clamp(1, 8));
+            let mut v = rng.gen_range(0..(nid(n_reg)).clamp(1, 8));
             if v == avoid {
-                v = (v + 1) % n_reg as u32;
+                v = (v + 1) % nid(n_reg);
             }
             Some(v)
         } else if n_sink > 0 {
-            Some(sink_range.start + rng.gen_range(0..n_sink as u32))
+            Some(sink_range.start + rng.gen_range(0..nid(n_sink)))
         } else {
             None
         }
     };
     let pick_sender = |rng: &mut rand::rngs::StdRng, avoid: u32| -> Option<u32> {
         if n_reg > 1 || (n_reg == 1 && avoid != 0) {
-            let mut v = rng.gen_range(0..(n_reg as u32).clamp(1, 8));
+            let mut v = rng.gen_range(0..(nid(n_reg)).clamp(1, 8));
             if v == avoid {
-                v = (v + 1) % n_reg as u32;
+                v = (v + 1) % nid(n_reg);
             }
             Some(v)
         } else if n_seed > 0 {
-            Some(seed_range.start + rng.gen_range(0..n_seed as u32))
+            Some(seed_range.start + rng.gen_range(0..nid(n_seed)))
         } else {
             None
         }

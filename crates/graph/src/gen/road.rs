@@ -7,9 +7,10 @@
 //! a serpentine backbone guarantees connectivity and the huge diameter,
 //! while a thinned set of lattice links tunes the average degree.
 
+use crate::nid;
 use rand::Rng;
 
-use crate::{EdgeList, Graph, NodeId};
+use crate::{EdgeList, Graph};
 
 /// Generates a `width x height` partial-lattice road network. `keep_prob` is
 /// the probability of retaining each non-backbone lattice edge; the paper's
@@ -18,7 +19,7 @@ use crate::{EdgeList, Graph, NodeId};
 pub fn road(width: usize, height: usize, keep_prob: f64, seed: u64) -> Graph {
     assert!(width >= 2 && height >= 1, "lattice too small");
     let n = width * height;
-    let id = |x: usize, y: usize| (y * width + x) as NodeId;
+    let id = |x: usize, y: usize| nid(y * width + x);
     let mut rng = super::rng(seed);
     let mut el = EdgeList::new(n);
     // Serpentine backbone: row-major snake visiting every node once.

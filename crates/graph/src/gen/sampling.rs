@@ -5,6 +5,7 @@
 //! which keeps dataset generation off the critical path (the paper's
 //! preprocessing measurements must not be polluted by slow generation).
 
+use crate::nid;
 use rand::Rng;
 
 /// Walker alias table for O(1) sampling from a discrete distribution.
@@ -33,9 +34,9 @@ impl AliasTable {
         let mut large: Vec<u32> = Vec::new();
         for (i, &p) in prob.iter().enumerate() {
             if p < 1.0 {
-                small.push(i as u32);
+                small.push(nid(i));
             } else {
-                large.push(i as u32);
+                large.push(nid(i));
             }
         }
         while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
@@ -71,7 +72,7 @@ impl AliasTable {
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
         let i = rng.gen_range(0..self.prob.len());
         if rng.gen::<f64>() < self.prob[i] {
-            i as u32
+            nid(i)
         } else {
             self.alias[i]
         }

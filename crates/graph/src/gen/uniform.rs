@@ -1,5 +1,6 @@
 //! Uniform-random undirected graph (the paper's *urand*, GAP's `-u`).
 
+use crate::nid;
 use rand::Rng;
 use rayon::prelude::*;
 
@@ -23,8 +24,8 @@ pub fn uniform(n: usize, degree: usize, seed: u64) -> Graph {
             let mut rng = super::rng(seed.wrapping_add(0xA24B * chunk as u64 + 3));
             (lo..hi)
                 .map(move |_| {
-                    let s = rng.gen_range(0..n as u32);
-                    let mut d = rng.gen_range(0..n as u32 - 1);
+                    let s = rng.gen_range(0..nid(n));
+                    let mut d = rng.gen_range(0..nid(n) - 1);
                     if d >= s {
                         d += 1; // avoid self-loops without rejection
                     }
@@ -34,7 +35,7 @@ pub fn uniform(n: usize, degree: usize, seed: u64) -> Graph {
         })
         .collect();
     // Ring backbone guarantees no isolated nodes.
-    pairs.extend((0..n as u32).map(|u| (u, ((u as usize + 1) % n) as u32)));
+    pairs.extend((0..nid(n)).map(|u| (u, nid((u as usize + 1) % n))));
     let mut el = EdgeList::from_pairs(n, pairs);
     el.symmetrize();
     Graph::from_edge_list(&el)

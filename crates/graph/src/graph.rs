@@ -6,7 +6,8 @@
 //! what lets Mixen extract its mixed CSR/CSC representation without a format
 //! conversion (§4.1).
 
-use crate::{Csr, EdgeList, NodeId};
+use crate::nid;
+use crate::{Csr, EdgeList, GraphError, NodeId};
 
 /// A directed graph with `n` nodes, holding out- and in-adjacency.
 #[derive(Clone, Debug)]
@@ -126,15 +127,15 @@ impl Graph {
 
     /// True when for every `u -> v` the edge `v -> u` is also present.
     pub fn is_symmetric(&self) -> bool {
-        (0..self.n() as NodeId).all(|u| self.out.neighbors(u) == self.inn.neighbors(u))
+        (0..nid(self.n())).all(|u| self.out.neighbors(u) == self.inn.neighbors(u))
     }
 
     /// Structural validation of both directions.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), GraphError> {
         self.out.validate()?;
         self.inn.validate()?;
         if self.out.nnz() != self.inn.nnz() {
-            return Err("out/in edge counts differ".into());
+            return Err(GraphError::Invariant("out/in edge counts differ".into()));
         }
         Ok(())
     }

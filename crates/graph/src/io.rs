@@ -16,6 +16,7 @@
 //! capped before any allocation, every `u64 → usize` cast is checked, and
 //! every failure surfaces as a typed [`GraphError`] — never a panic.
 
+use crate::nid;
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
@@ -47,7 +48,7 @@ fn crc32_table() -> &'static [u32; 256] {
     TABLE.get_or_init(|| {
         let mut table = [0u32; 256];
         for (i, slot) in table.iter_mut().enumerate() {
-            let mut c = i as u32;
+            let mut c = nid(i);
             for _ in 0..8 {
                 c = if c & 1 != 0 {
                     0xEDB8_8320 ^ (c >> 1)
@@ -74,7 +75,7 @@ impl Crc32 {
     pub fn update(&mut self, bytes: &[u8]) {
         let table = crc32_table();
         for &b in bytes {
-            self.0 = table[((self.0 ^ b as u32) & 0xFF) as usize] ^ (self.0 >> 8);
+            self.0 = table[((self.0 ^ u32::from(b)) & 0xFF) as usize] ^ (self.0 >> 8);
         }
     }
 

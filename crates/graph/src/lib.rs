@@ -53,3 +53,22 @@ pub use weighted::WGraph;
 
 /// Node identifier. 32 bits, matching the paper's data types (§6.1).
 pub type NodeId = u32;
+
+/// Debug-checked narrowing of a `usize` index to a [`NodeId`].
+///
+/// Every node/edge index in the workspace is derived from a graph with
+/// `n <= u32::MAX` nodes (enforced by [`Csr`] construction and the io
+/// readers), so the narrowing cannot lose information; the debug assertion
+/// catches any future violation of that invariant. This is the single
+/// audited truncation site — library code must call `nid()` instead of
+/// writing bare `as NodeId` casts (enforced by `mixen-lint`'s `truncation`
+/// rule).
+#[inline(always)]
+pub fn nid(i: usize) -> NodeId {
+    debug_assert!(
+        u32::try_from(i).is_ok(),
+        "index {i} exceeds u32::MAX and cannot be a NodeId"
+    );
+    // lint: allow(truncation) reason=the single audited narrowing site; debug-asserted above
+    i as NodeId
+}

@@ -6,6 +6,7 @@
 //!   regular nodes) and `β = m̃/m` (fraction of edges inside the regular
 //!   subgraph).
 
+use crate::nid;
 use rayon::prelude::*;
 
 use crate::{Classification, Graph, NodeClass};
@@ -57,7 +58,7 @@ impl StructuralStats {
             .into_par_iter()
             .map(|u| {
                 if classes[u] == NodeClass::Regular {
-                    g.out_neighbors(u as u32)
+                    g.out_neighbors(nid(u))
                         .iter()
                         .filter(|&&v| classes[v as usize] == NodeClass::Regular)
                         .count()

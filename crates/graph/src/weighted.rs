@@ -15,6 +15,7 @@
 //! weights of duplicate edges, because per-edge weight alignment is
 //! ambiguous under multi-edges.
 
+use crate::nid;
 use rayon::prelude::*;
 
 use crate::{Csr, Graph, NodeId};
@@ -154,7 +155,7 @@ fn align_weights(csr: &Csr, sorted: &[(NodeId, NodeId, f32)], transposed: bool) 
         debug_assert!(i < sorted.len() && (sorted[i].0, sorted[i].1) == key);
         sorted[i].2
     };
-    (0..csr.n_rows() as NodeId)
+    (0..nid(csr.n_rows()))
         .into_par_iter()
         .flat_map_iter(|row| {
             csr.neighbors(row)

@@ -1,0 +1,354 @@
+//! A line-aware token scanner for Rust source.
+//!
+//! This is not a full Rust lexer — it is exactly enough machinery for the
+//! token-level rules in [`crate::rules`]: it separates identifiers,
+//! integer-ish literals and punctuation from comments and string/char
+//! literals (whose *contents* must never trigger a rule), records the line
+//! of every token, and keeps per-line comment text so rules can find
+//! `// SAFETY:` justifications and `// lint: allow(...)` annotations.
+//!
+//! Handled: line comments, nested block comments, doc comments, string
+//! literals with escapes, raw strings (`r"…"`, `r#"…"#`, `br##"…"##`),
+//! byte strings, char literals, and the lifetime-vs-char ambiguity
+//! (`'a` vs `'a'`).
+
+/// What kind of token was scanned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unsafe`, `as`, `unwrap`, …).
+    Ident,
+    /// Numeric literal (`0`, `0xFF`, `1_000u32`). Floats lex as several
+    /// tokens (`1`, `.`, `5`), which is fine for every rule we run.
+    Lit,
+    /// Single punctuation character (`.`, `(`, `!`, `<`, …). String and
+    /// char literals are swallowed whole and emit no token.
+    Punct,
+}
+
+/// One scanned token with its 1-based source line.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: usize,
+}
+
+/// Per-line facts the rules consult.
+#[derive(Clone, Debug, Default)]
+pub struct LineInfo {
+    /// Any non-comment token starts on this line.
+    pub has_code: bool,
+    /// Concatenated comment text appearing on this line (both `//` and the
+    /// portion of a `/* */` that crosses it).
+    pub comment: String,
+    /// The raw source line, trimmed.
+    pub raw: String,
+}
+
+/// A scanned file: token stream plus per-line metadata.
+#[derive(Clone, Debug)]
+pub struct Scanned {
+    pub toks: Vec<Tok>,
+    /// Indexed by `line - 1`.
+    pub lines: Vec<LineInfo>,
+}
+
+impl Scanned {
+    /// Line info for a 1-based line number (empty default out of range).
+    pub fn line(&self, line: usize) -> Option<&LineInfo> {
+        line.checked_sub(1).and_then(|i| self.lines.get(i))
+    }
+}
+
+/// Scans `source` into tokens and line metadata.
+pub fn scan(source: &str) -> Scanned {
+    let mut lines: Vec<LineInfo> = source
+        .lines()
+        .map(|l| LineInfo {
+            raw: l.trim().to_string(),
+            ..LineInfo::default()
+        })
+        .collect();
+    if lines.is_empty() {
+        lines.push(LineInfo::default());
+    }
+    let bytes = source.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1usize;
+
+    let note_comment = |lines: &mut Vec<LineInfo>, line: usize, text: &str| {
+        if let Some(info) = lines.get_mut(line - 1) {
+            info.comment.push_str(text);
+            info.comment.push(' ');
+        }
+    };
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                let start = i;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                note_comment(&mut lines, line, &source[start..i]);
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                let mut depth = 1usize;
+                let mut seg_start = i;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'\n' {
+                        note_comment(&mut lines, line, &source[seg_start..i]);
+                        line += 1;
+                        i += 1;
+                        seg_start = i;
+                    } else if bytes[i] == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else if bytes[i] == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                note_comment(&mut lines, line, &source[seg_start..i.min(bytes.len())]);
+            }
+            b'"' => {
+                mark_code(&mut lines, line);
+                i = skip_string(bytes, i, &mut line);
+            }
+            b'\'' => {
+                mark_code(&mut lines, line);
+                i = skip_char_or_lifetime(bytes, i);
+            }
+            c if c.is_ascii_whitespace() => {
+                i += 1;
+            }
+            c if c == b'_' || c.is_ascii_alphabetic() => {
+                let start = i;
+                while i < bytes.len() && (bytes[i] == b'_' || bytes[i].is_ascii_alphanumeric()) {
+                    i += 1;
+                }
+                let text = &source[start..i];
+                // Raw/byte string prefixes: the "identifier" is actually the
+                // start of a string literal.
+                if matches!(text, "r" | "b" | "br")
+                    && i < bytes.len()
+                    && (bytes[i] == b'"' || (text != "b" && bytes[i] == b'#'))
+                {
+                    if let Some(next) = skip_raw_or_byte_string(bytes, i, &mut line) {
+                        mark_code(&mut lines, line);
+                        i = next;
+                        continue;
+                    }
+                }
+                mark_code(&mut lines, line);
+                toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text: text.to_string(),
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && (bytes[i] == b'_' || bytes[i].is_ascii_alphanumeric()) {
+                    i += 1;
+                }
+                mark_code(&mut lines, line);
+                toks.push(Tok {
+                    kind: TokKind::Lit,
+                    text: source[start..i].to_string(),
+                    line,
+                });
+            }
+            c => {
+                mark_code(&mut lines, line);
+                toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text: (c as char).to_string(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    Scanned { toks, lines }
+}
+
+fn mark_code(lines: &mut [LineInfo], line: usize) {
+    if let Some(info) = lines.get_mut(line - 1) {
+        info.has_code = true;
+    }
+}
+
+/// Skips a `"…"` literal starting at the opening quote; returns the index
+/// past the closing quote. Tracks newlines inside multi-line strings.
+fn skip_string(bytes: &[u8], start: usize, line: &mut usize) -> usize {
+    let mut i = start + 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Skips a raw or byte string whose prefix ident has just been consumed and
+/// whose next byte is `"` or `#`. Returns the index past the closing
+/// delimiter, or `None` if this is not actually a string start.
+fn skip_raw_or_byte_string(bytes: &[u8], start: usize, line: &mut usize) -> Option<usize> {
+    let mut i = start;
+    let mut hashes = 0usize;
+    while i < bytes.len() && bytes[i] == b'#' {
+        hashes += 1;
+        i += 1;
+    }
+    if i >= bytes.len() || bytes[i] != b'"' {
+        return None;
+    }
+    i += 1;
+    if hashes == 0 {
+        // Plain b"…" (escapes apply) or r"…" (no escapes; a backslash can't
+        // precede the closing quote meaningfully either way for skipping).
+        while i < bytes.len() {
+            match bytes[i] {
+                b'\\' => i += 2,
+                b'"' => return Some(i + 1),
+                b'\n' => {
+                    *line += 1;
+                    i += 1;
+                }
+                _ => i += 1,
+            }
+        }
+        return Some(i);
+    }
+    // r#"…"# with `hashes` trailing hashes.
+    while i < bytes.len() {
+        if bytes[i] == b'\n' {
+            *line += 1;
+            i += 1;
+            continue;
+        }
+        if bytes[i] == b'"' {
+            let mut j = i + 1;
+            let mut seen = 0usize;
+            while j < bytes.len() && bytes[j] == b'#' && seen < hashes {
+                seen += 1;
+                j += 1;
+            }
+            if seen == hashes {
+                return Some(j);
+            }
+        }
+        i += 1;
+    }
+    Some(i)
+}
+
+/// Distinguishes `'a'` (char literal) from `'a` (lifetime) and skips either;
+/// returns the index past the construct.
+fn skip_char_or_lifetime(bytes: &[u8], start: usize) -> usize {
+    let mut i = start + 1;
+    if i >= bytes.len() {
+        return i;
+    }
+    if bytes[i] == b'\\' {
+        // Escaped char literal: '\n', '\'', '\\', '\u{…}'.
+        i += 2;
+        while i < bytes.len() && bytes[i] != b'\'' {
+            i += 1;
+        }
+        return (i + 1).min(bytes.len());
+    }
+    if bytes[i] == b'_' || bytes[i].is_ascii_alphanumeric() {
+        let mut j = i;
+        while j < bytes.len() && (bytes[j] == b'_' || bytes[j].is_ascii_alphanumeric()) {
+            j += 1;
+        }
+        if j < bytes.len() && bytes[j] == b'\'' {
+            return j + 1; // 'a'
+        }
+        return j; // 'lifetime
+    }
+    // Punctuation char literal like '(' or ' '.
+    let mut j = i + 1;
+    while j < bytes.len() && bytes[j] != b'\'' {
+        j += 1;
+    }
+    (j + 1).min(bytes.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(s: &Scanned) -> Vec<&str> {
+        s.toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_emit_no_tokens() {
+        let s = scan("let x = \"unsafe unwrap()\"; // unsafe panic!\n");
+        assert_eq!(idents(&s), vec!["let", "x"]);
+        assert!(s.lines[0].comment.contains("unsafe panic!"));
+    }
+
+    #[test]
+    fn raw_strings_are_skipped() {
+        let s = scan("let r2 = r#\"unsafe \" quote\"#; let b2 = br\"panic!\";");
+        assert_eq!(idents(&s), vec!["let", "r2", "let", "b2"]);
+    }
+
+    #[test]
+    fn lifetimes_do_not_eat_code() {
+        let s = scan("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert!(idents(&s).contains(&"str"));
+        assert!(idents(&s).contains(&"char"));
+    }
+
+    #[test]
+    fn escaped_char_literals() {
+        let s = scan("let c = '\\''; let d = '\\n'; let e = unsafe_token;");
+        assert!(idents(&s).contains(&"unsafe_token"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let s = scan("/* outer /* inner unsafe */ still comment */ fn f() {}");
+        assert_eq!(idents(&s), vec!["fn", "f"]);
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let s = scan("fn a() {}\n\nfn b() {}\n");
+        let b_tok = s.toks.iter().find(|t| t.text == "b").unwrap();
+        assert_eq!(b_tok.line, 3);
+        assert!(s.lines[0].has_code);
+        assert!(!s.lines[1].has_code);
+    }
+
+    #[test]
+    fn numeric_literals_keep_suffix() {
+        let s = scan("let x = 0xFFu32 as u32;");
+        let lit = s.toks.iter().find(|t| t.kind == TokKind::Lit).unwrap();
+        assert_eq!(lit.text, "0xFFu32");
+    }
+}

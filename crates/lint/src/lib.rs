@@ -1,0 +1,153 @@
+//! `mixen-lint`: dependency-free, token-level static analysis for the Mixen
+//! workspace.
+//!
+//! The engine walks every workspace crate's `src/` tree (plus the root
+//! `src/`), scans each Rust file with [`lexer::scan`], and applies the
+//! repo-specific rules in [`rules`]. See `DESIGN.md` § "Static & dynamic
+//! analysis" for the rule catalogue and the allowlist annotation syntax.
+//!
+//! Run as `cargo run -p mixen-lint -- check`. Exit codes: 0 = clean,
+//! 1 = findings, 2 = usage or I/O error.
+
+pub mod lexer;
+pub mod rules;
+
+pub use rules::{Finding, Rule};
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// What to check and which rules to run.
+#[derive(Clone, Debug)]
+pub struct LintConfig {
+    /// Workspace root (must contain `Cargo.toml` and `crates/`).
+    pub root: PathBuf,
+    /// Rules to apply; defaults to all of them.
+    pub enabled: Vec<Rule>,
+}
+
+impl LintConfig {
+    pub fn new(root: impl Into<PathBuf>) -> Self {
+        LintConfig {
+            root: root.into(),
+            enabled: Rule::ALL.to_vec(),
+        }
+    }
+
+    /// Globally disable one rule (the CLI's `--allow <rule>`).
+    pub fn allow(&mut self, rule: Rule) {
+        self.enabled.retain(|&r| r != rule);
+    }
+}
+
+/// Lints one file's source text under a given crate name. The workhorse for
+/// both the workspace walk and the fixture tests.
+pub fn check_file_source(
+    crate_name: &str,
+    file: &str,
+    source: &str,
+    enabled: &[Rule],
+) -> Vec<Finding> {
+    let scanned = lexer::scan(source);
+    rules::check_file(crate_name, file, &scanned, enabled)
+}
+
+/// Walks the workspace and lints every library/binary source file.
+///
+/// Scans `crates/*/src/**/*.rs` (crate names read from each `Cargo.toml`)
+/// and the root package's `src/**/*.rs`. Integration tests, benches,
+/// examples, and the vendored `stubs/` tree are out of scope: the rules
+/// govern shipping library code.
+pub fn check_workspace(cfg: &LintConfig) -> Result<Vec<Finding>, String> {
+    let root = &cfg.root;
+    if !root.join("Cargo.toml").is_file() {
+        return Err(format!("{} does not contain a Cargo.toml", root.display()));
+    }
+    let crates_dir = root.join("crates");
+    if !crates_dir.is_dir() {
+        return Err(format!(
+            "{} does not contain a crates/ directory",
+            root.display()
+        ));
+    }
+
+    let mut units: Vec<(String, PathBuf)> = Vec::new(); // (crate name, src dir)
+    let mut entries: Vec<PathBuf> = fs::read_dir(&crates_dir)
+        .map_err(|e| format!("reading {}: {e}", crates_dir.display()))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir())
+        .collect();
+    entries.sort();
+    for dir in entries {
+        let manifest = dir.join("Cargo.toml");
+        if !manifest.is_file() {
+            continue;
+        }
+        let name = crate_name_from_manifest(&manifest)
+            .ok_or_else(|| format!("no package name in {}", manifest.display()))?;
+        let src = dir.join("src");
+        if src.is_dir() {
+            units.push((name, src));
+        }
+    }
+    // Root package (mixen-suite).
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        let name = crate_name_from_manifest(&root.join("Cargo.toml"))
+            .unwrap_or_else(|| "mixen-suite".to_string());
+        units.push((name, root_src));
+    }
+
+    let mut findings = Vec::new();
+    for (name, src) in units {
+        let mut files = Vec::new();
+        collect_rs_files(&src, &mut files)?;
+        files.sort();
+        for f in files {
+            let source =
+                fs::read_to_string(&f).map_err(|e| format!("reading {}: {e}", f.display()))?;
+            let display = f
+                .strip_prefix(root)
+                .unwrap_or(&f)
+                .to_string_lossy()
+                .into_owned();
+            findings.extend(check_file_source(&name, &display, &source, &cfg.enabled));
+        }
+    }
+    Ok(findings)
+}
+
+/// First `name = "…"` in the `[package]` section of a manifest.
+fn crate_name_from_manifest(manifest: &Path) -> Option<String> {
+    let text = fs::read_to_string(manifest).ok()?;
+    let mut in_package = false;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            in_package = line == "[package]";
+            continue;
+        }
+        if in_package {
+            if let Some(rest) = line.strip_prefix("name") {
+                let rest = rest.trim_start();
+                if let Some(rest) = rest.strip_prefix('=') {
+                    return Some(rest.trim().trim_matches('"').to_string());
+                }
+            }
+        }
+    }
+    None
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    for entry in fs::read_dir(dir).map_err(|e| format!("reading {}: {e}", dir.display()))? {
+        let entry = entry.map_err(|e| format!("reading {}: {e}", dir.display()))?;
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}

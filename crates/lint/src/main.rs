@@ -1,0 +1,85 @@
+//! CLI for the workspace lint pass.
+//!
+//! ```text
+//! mixen-lint check [--root PATH] [--allow RULE]...
+//! ```
+//!
+//! Exit codes: 0 = no findings, 1 = findings reported, 2 = usage/IO error.
+
+use mixen_lint::{check_workspace, LintConfig, Rule};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+mixen-lint: repo-specific static analysis for the Mixen workspace
+
+USAGE:
+    mixen-lint check [--root PATH] [--allow RULE]...
+
+OPTIONS:
+    --root PATH    Workspace root to scan (default: current directory)
+    --allow RULE   Globally disable one rule; repeatable.
+                   Rules: safety-comment, panic, truncation, error-type
+
+EXIT CODES:
+    0  no findings
+    1  one or more findings
+    2  usage or I/O error
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let mut it = args.iter();
+    match it.next().map(String::as_str) {
+        Some("check") => {}
+        Some("--help") | Some("-h") => {
+            println!("{USAGE}");
+            return Ok(ExitCode::SUCCESS);
+        }
+        Some(other) => return Err(format!("unknown subcommand `{other}`")),
+        None => return Err("missing subcommand (expected `check`)".into()),
+    }
+
+    let mut cfg = LintConfig::new(".");
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                let path = it.next().ok_or("--root requires a path")?;
+                cfg.root = path.into();
+            }
+            "--allow" => {
+                let id = it.next().ok_or("--allow requires a rule id")?;
+                let rule =
+                    Rule::from_id(id).ok_or_else(|| format!("unknown rule `{id}` (see --help)"))?;
+                cfg.allow(rule);
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(ExitCode::SUCCESS);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+
+    let findings = check_workspace(&cfg)?;
+    if findings.is_empty() {
+        println!("mixen-lint: clean ({} rules)", cfg.enabled.len());
+        Ok(ExitCode::SUCCESS)
+    } else {
+        for f in &findings {
+            println!("{f}");
+        }
+        println!("mixen-lint: {} finding(s)", findings.len());
+        Ok(ExitCode::from(1))
+    }
+}

@@ -1,0 +1,23 @@
+// Fixture: stringly-typed public error APIs. Expected finding (under
+// mixen-graph/mixen-core): error-type at line 4.
+
+pub fn validate(n: usize) -> Result<(), String> {
+    if n == 0 {
+        return Err("empty".to_string());
+    }
+    Ok(())
+}
+
+pub fn good(n: usize) -> Result<usize, GraphError> {
+    Ok(n)
+}
+
+fn private_helper() -> Result<(), String> {
+    Ok(()) // private: not public API, not flagged
+}
+
+pub(crate) fn internal() -> Result<(), String> {
+    Ok(()) // pub(crate): not public API, not flagged
+}
+
+pub struct GraphError;

@@ -1,0 +1,28 @@
+// Fixture: panic-discipline violations in library code. Expected findings
+// (when checked under an id-critical crate name): panic at lines 5, 9, 13.
+
+pub fn first(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}
+
+pub fn second(xs: &[u32]) -> u32 {
+    *xs.get(1).expect("needs two elements")
+}
+
+pub fn boom() {
+    panic!("library code must not panic");
+}
+
+pub fn annotated(xs: &[u32]) -> u32 {
+    // lint: allow(panic) reason=fixture demonstrates a justified site
+    *xs.first().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let xs = vec![1u32];
+        assert_eq!(xs.first().copied().unwrap(), 1);
+    }
+}

@@ -1,0 +1,17 @@
+// Fixture: unsafe sites with no SAFETY justification. Expected findings:
+// safety-comment at lines 5, 8 and 12.
+
+pub fn read_first(xs: &[u32]) -> u32 {
+    unsafe { *xs.get_unchecked(0) }
+}
+
+unsafe impl Send for Holder {}
+
+pub struct Holder(*mut u32);
+
+pub unsafe fn poke(p: *mut u32) {
+    *p = 1;
+}
+
+// SAFETY: this one is justified and must NOT be flagged.
+unsafe impl Sync for Holder {}

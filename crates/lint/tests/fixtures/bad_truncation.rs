@@ -1,0 +1,25 @@
+// Fixture: bare narrowing id casts. Expected findings (under an id-critical
+// crate name): truncation at lines 7 and 11.
+
+pub type NodeId = u32;
+
+pub fn to_node(i: usize) -> NodeId {
+    i as NodeId
+}
+
+pub fn to_raw(i: usize) -> u32 {
+    i as u32
+}
+
+pub fn widening(i: u32) -> usize {
+    i as usize // widening: not flagged
+}
+
+pub fn literal() -> u32 {
+    7 as u32 // literal cast: not flagged
+}
+
+pub fn annotated(i: usize) -> u32 {
+    // lint: allow(truncation) reason=i < block_side <= 2^16 by construction
+    i as u32
+}

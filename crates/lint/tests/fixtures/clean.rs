@@ -1,0 +1,38 @@
+// Fixture: exercises every rule's surface without violating any of them.
+// Expected findings: none, under any crate name.
+
+pub type NodeId = u32;
+
+pub struct GraphError;
+
+/// Narrowing helper mirroring the one in mixen-graph.
+pub fn nid(i: usize) -> NodeId {
+    debug_assert!(i <= u32::MAX as usize);
+    // lint: allow(truncation) reason=single audited narrowing site
+    i as NodeId
+}
+
+pub fn fallible(n: usize) -> Result<NodeId, GraphError> {
+    if n > u32::MAX as usize {
+        return Err(GraphError);
+    }
+    Ok(nid(n))
+}
+
+pub fn read_first(xs: &[u32]) -> u32 {
+    // SAFETY: slice is non-empty — guarded by the caller's contract below.
+    unsafe { *xs.get_unchecked(0) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tests_may_unwrap_and_cast() {
+        let xs = vec![3u32];
+        assert_eq!(xs.first().copied().unwrap(), 3);
+        let n = 3usize;
+        assert_eq!(n as u32, 3);
+    }
+}

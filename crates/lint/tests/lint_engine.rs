@@ -1,0 +1,103 @@
+//! Fixture-driven tests for the lint engine: each known-bad file must
+//! produce exactly the expected (rule, line) diagnostics, and the clean
+//! fixture must produce none.
+
+use mixen_lint::{check_file_source, Rule};
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {path}: {e}"))
+}
+
+fn lint(crate_name: &str, name: &str) -> Vec<(Rule, usize)> {
+    check_file_source(crate_name, name, &fixture(name), &Rule::ALL)
+        .into_iter()
+        .map(|f| (f.rule, f.line))
+        .collect()
+}
+
+#[test]
+fn bad_safety_fixture() {
+    let got = lint("mixen-graph", "bad_safety.rs");
+    assert_eq!(
+        got,
+        vec![
+            (Rule::SafetyComment, 5),
+            (Rule::SafetyComment, 8),
+            (Rule::SafetyComment, 12),
+        ],
+    );
+}
+
+#[test]
+fn bad_panic_fixture() {
+    let got = lint("mixen-core", "bad_panic.rs");
+    assert_eq!(
+        got,
+        vec![(Rule::Panic, 5), (Rule::Panic, 9), (Rule::Panic, 13)],
+    );
+}
+
+#[test]
+fn bad_panic_fixture_out_of_scope_crate_is_clean() {
+    assert!(lint("mixen-cli", "bad_panic.rs").is_empty());
+}
+
+#[test]
+fn bad_truncation_fixture() {
+    let got = lint("mixen-graph", "bad_truncation.rs");
+    assert_eq!(got, vec![(Rule::Truncation, 7), (Rule::Truncation, 11)]);
+}
+
+#[test]
+fn bad_error_type_fixture() {
+    let got = lint("mixen-graph", "bad_error_type.rs");
+    assert_eq!(got, vec![(Rule::ErrorType, 4)]);
+}
+
+#[test]
+fn clean_fixture_is_clean_everywhere() {
+    for krate in ["mixen-graph", "mixen-core", "mixen-algos", "mixen-cli"] {
+        let got = lint(krate, "clean.rs");
+        assert!(got.is_empty(), "{krate}: {got:?}");
+    }
+}
+
+#[test]
+fn disabling_a_rule_suppresses_its_findings() {
+    let enabled: Vec<Rule> = Rule::ALL
+        .into_iter()
+        .filter(|&r| r != Rule::Panic)
+        .collect();
+    let got = check_file_source(
+        "mixen-core",
+        "bad_panic.rs",
+        &fixture("bad_panic.rs"),
+        &enabled,
+    );
+    assert!(got.is_empty(), "{got:?}");
+}
+
+#[test]
+fn diagnostics_render_file_line_and_rule_id() {
+    let got = check_file_source(
+        "mixen-graph",
+        "crates/graph/src/x.rs",
+        "fn f() { unsafe { g(); } }\n",
+        &Rule::ALL,
+    );
+    assert_eq!(got.len(), 1);
+    let rendered = got[0].to_string();
+    assert!(
+        rendered.starts_with("crates/graph/src/x.rs:1: [safety-comment]"),
+        "{rendered}"
+    );
+}
+
+#[test]
+fn rule_ids_round_trip() {
+    for rule in Rule::ALL {
+        assert_eq!(Rule::from_id(rule.id()), Some(rule));
+    }
+    assert_eq!(Rule::from_id("nonsense"), None);
+}

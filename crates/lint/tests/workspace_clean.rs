@@ -1,0 +1,22 @@
+//! The real workspace must lint clean — this is the same check CI runs via
+//! `cargo run -p mixen-lint -- check`.
+
+use mixen_lint::{check_workspace, LintConfig};
+use std::path::PathBuf;
+
+#[test]
+fn workspace_has_zero_findings() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("lint crate lives at <root>/crates/lint")
+        .to_path_buf();
+    let cfg = LintConfig::new(root);
+    let findings = check_workspace(&cfg).expect("workspace walk succeeds");
+    let rendered: Vec<String> = findings.iter().map(|f| f.to_string()).collect();
+    assert!(
+        findings.is_empty(),
+        "workspace lint findings:\n{}",
+        rendered.join("\n")
+    );
+}

@@ -6,7 +6,7 @@
 
 use mixen_algos::Engine;
 use mixen_bench::BenchOpts;
-use mixen_core::{MixenEngine, MixenOpts};
+use mixen_core::{Json, MixenEngine, MixenOpts};
 use mixen_graph::NodeId;
 
 fn main() {
@@ -19,6 +19,7 @@ fn main() {
         "{:>8}  {:>9} {:>9} {:>9} {:>9}  {:>12}",
         "graph", "pre", "scatter", "gather", "post", "out-of-main"
     );
+    let mut graphs_json: Vec<Json> = Vec::new();
     for d in &opts.datasets {
         let g = opts.gen(*d);
         let engine = MixenEngine::new(&g, MixenOpts::default());
@@ -34,6 +35,8 @@ fn main() {
             |v: NodeId| (if in_zero[v as usize] { base } else { 1.0 / n }) / out_deg[v as usize];
         let apply = |v: NodeId, sum: f32| (base + 0.85 * sum) / out_deg[v as usize];
         let (vals, stats) = engine.iterate_with_stats::<f32, _, _>(init, apply, opts.iters);
+        // Freeze counters before the sanity re-run below doubles them.
+        let counters = engine.metrics().snapshot();
         // Sanity: agree with the trait driver.
         let check = Engine::iterate::<f32, _, _>(&engine, init, apply, opts.iters);
         assert_eq!(vals, check);
@@ -46,10 +49,19 @@ fn main() {
             stats.post_seconds,
             stats.out_of_main_fraction() * 100.0
         );
+        // Same `phases`/`counters` schema as RunReport::to_json (DESIGN.md §6d).
+        graphs_json.push(Json::Obj(vec![
+            ("graph".into(), Json::Str(d.name().into())),
+            ("n".into(), Json::from_u64(g.n() as u64)),
+            ("m".into(), Json::from_u64(g.m() as u64)),
+            ("phases".into(), stats.to_json()),
+            ("counters".into(), counters.to_json()),
+        ]));
     }
     println!(
         "\n(Pre- and Post-Phase run once regardless of iteration count; on\n\
          seed/sink-heavy graphs they carry the traffic the Main-Phase no\n\
          longer has to touch.)"
     );
+    opts.write_json_sidecar("phases", vec![("graphs".into(), Json::Arr(graphs_json))]);
 }

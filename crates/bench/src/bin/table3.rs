@@ -9,6 +9,7 @@ use mixen_algos::{
     EngineKind, PageRankOpts,
 };
 use mixen_bench::{geomean, time_per_iter, timed, BenchOpts};
+use mixen_core::Json;
 use mixen_graph::Graph;
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -77,6 +78,7 @@ fn main() {
         .map(|&k| (k, Vec::new()))
         .collect();
 
+    let mut algos_json: Vec<Json> = Vec::new();
     for algo in Algo::ALL {
         println!("\n=== {} (seconds per iteration) ===", algo.name());
         print!("{:>9}", "Frwk");
@@ -119,10 +121,40 @@ fn main() {
                 }
             }
         }
+        // One row object per framework: seconds/iteration keyed by graph name.
+        algos_json.push(Json::Obj(vec![
+            ("algo".into(), Json::Str(algo.name().into())),
+            (
+                "rows".into(),
+                Json::Arr(
+                    table
+                        .iter()
+                        .map(|(kind, row)| {
+                            Json::Obj(vec![
+                                ("framework".into(), Json::Str(kind.name().into())),
+                                (
+                                    "seconds_per_iter".into(),
+                                    Json::Obj(
+                                        graphs
+                                            .iter()
+                                            .zip(row)
+                                            .map(|((name, _), &secs)| {
+                                                (name.clone(), Json::from_f64(secs))
+                                            })
+                                            .collect(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]));
     }
 
     println!("\n=== Average speedup of Mixen over each framework ===");
     println!("(paper: GPOP 3.42x, Ligra 7.81x, Polymer 19.37x, GraphMat 7.74x)");
+    let mut speedups_json: Vec<(String, Json)> = Vec::new();
     for (kind, r) in &ratios {
         let arith = r.iter().sum::<f64>() / r.len().max(1) as f64;
         println!(
@@ -132,5 +164,20 @@ fn main() {
             geomean(r),
             r.len()
         );
+        speedups_json.push((
+            kind.name().to_string(),
+            Json::Obj(vec![
+                ("arithmetic_mean".into(), Json::from_f64(arith)),
+                ("geometric_mean".into(), Json::from_f64(geomean(r))),
+                ("cells".into(), Json::from_u64(r.len() as u64)),
+            ]),
+        ));
     }
+    opts.write_json_sidecar(
+        "table3",
+        vec![
+            ("algos".into(), Json::Arr(algos_json)),
+            ("speedups_vs_mixen".into(), Json::Obj(speedups_json)),
+        ],
+    );
 }

@@ -29,6 +29,9 @@ pub struct BenchOpts {
     pub iters: usize,
     /// Datasets to run (default: all eight).
     pub datasets: Vec<Dataset>,
+    /// Machine-readable sidecar: write the run's results as JSON here, next
+    /// to the plain-text table on stdout.
+    pub json: Option<String>,
 }
 
 impl Default for BenchOpts {
@@ -38,6 +41,7 @@ impl Default for BenchOpts {
             seed: 42,
             iters: 10,
             datasets: Dataset::ALL.to_vec(),
+            json: None,
         }
     }
 }
@@ -81,11 +85,36 @@ impl BenchOpts {
                         })
                         .collect()
                 }
+                "--json" => opts.json = Some(value("--json")),
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown flag '{other}'")),
             }
         }
         opts
+    }
+
+    /// Writes a sidecar JSON file when `--json PATH` was given; `body` holds
+    /// the bin-specific results and is wrapped with the shared run header
+    /// (`scale`, `seed`, `iters`). Aborts with exit code 1 on I/O failure —
+    /// a requested-but-missing sidecar must not look like success.
+    pub fn write_json_sidecar(&self, bin: &str, body: Vec<(String, mixen_core::Json)>) {
+        use mixen_core::Json;
+        let Some(path) = &self.json else { return };
+        let mut members = vec![
+            ("bin".to_string(), Json::Str(bin.to_string())),
+            (
+                "scale".to_string(),
+                Json::Str(format!("{:?}", self.scale).to_lowercase()),
+            ),
+            ("seed".to_string(), Json::from_u64(self.seed)),
+            ("iters".to_string(), Json::from_u64(self.iters as u64)),
+        ];
+        members.extend(body);
+        if let Err(e) = std::fs::write(path, Json::Obj(members).render_pretty()) {
+            eprintln!("error: cannot write JSON sidecar '{path}': {e}");
+            std::process::exit(1);
+        }
+        eprintln!("[json] wrote {path}");
     }
 
     /// The divisor of this run's scale (for cache-hierarchy scaling).
@@ -116,7 +145,7 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: <bin> [--scale tiny|small|medium|large] [--seed N] [--iters N] \
-         [--datasets weibo,track,...]"
+         [--datasets weibo,track,...] [--json out.json]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 })
 }

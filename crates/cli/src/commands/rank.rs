@@ -5,6 +5,11 @@
 //! pull baseline if it fails), values are health-checked every iteration, and
 //! a NaN/Inf/divergence fault exits with code 1 and a typed error. All other
 //! algorithm/engine combinations get a final non-finite score scan.
+//!
+//! `--metrics-json PATH` (supervised only) writes the full machine-readable
+//! [`mixen_core::RunReport`] — phase timings, counters, degradations — as
+//! pretty-printed JSON. The file is written on failed runs too, so a faulted
+//! run still leaves its diagnostic trail behind.
 
 use std::io::Write;
 
@@ -15,7 +20,15 @@ use mixen_algos::{
     collaborative_filtering, hits, indegree, pagerank, pagerank_supervised, salsa, CfOpts,
     PageRankOpts,
 };
-use mixen_core::{DegradationEvent, EngineUsed, RobustRunner, RunnerOpts};
+use mixen_core::{DegradationEvent, EngineUsed, RobustRunner, RunReport, RunnerOpts};
+
+/// Writes a supervised run's report as pretty-printed JSON.
+fn write_metrics_json(path: &str, report: &RunReport) -> Result<(), CliError> {
+    std::fs::write(path, report.to_json().render_pretty())
+        .map_err(|e| CliError::runtime(format!("cannot write metrics to '{path}': {e}")))?;
+    eprintln!("wrote metrics to {path}");
+    Ok(())
+}
 
 pub fn run(args: &Args) -> Result<(), CliError> {
     args.expect_only(&[
@@ -26,6 +39,7 @@ pub fn run(args: &Args) -> Result<(), CliError> {
         "out",
         "damping",
         "supervised",
+        "metrics-json",
     ])?;
     let path = args.positional(0, "graph.mxg")?;
     let g = load_graph(path)?;
@@ -33,6 +47,7 @@ pub fn run(args: &Args) -> Result<(), CliError> {
     let top: usize = args.opt_or("top", 10)?;
     let algo = args.opt("algo").unwrap_or("pagerank");
     let supervised: bool = args.opt_or("supervised", false)?;
+    let metrics_json = args.opt("metrics-json");
     if supervised && algo != "pagerank" {
         return Err(CliError::usage(format!(
             "--supervised only applies to --algo pagerank, not '{algo}'"
@@ -43,11 +58,16 @@ pub fn run(args: &Args) -> Result<(), CliError> {
             "--supervised runs on the mixen engine; drop --engine",
         ));
     }
+    if metrics_json.is_some() && !supervised {
+        return Err(CliError::usage(
+            "--metrics-json requires --supervised true (the report is produced by the supervised runner)",
+        ));
+    }
 
     let (label, scores): (&str, Vec<f32>) = if supervised {
         let damping: f32 = args.opt_or("damping", 0.85)?;
         let runner = RobustRunner::new(RunnerOpts::default());
-        let (scores, report) = pagerank_supervised(
+        let (scores, report) = match pagerank_supervised(
             &g,
             &runner,
             PageRankOpts {
@@ -55,13 +75,22 @@ pub fn run(args: &Args) -> Result<(), CliError> {
                 ..PageRankOpts::default()
             },
             iters,
-        )
-        .map_err(|f| {
-            CliError::runtime(format!(
-                "supervised pagerank failed at iteration {}: {}",
-                f.report.iterations, f.error
-            ))
-        })?;
+        ) {
+            Ok(ok) => ok,
+            Err(f) => {
+                // A faulted run still leaves its report behind.
+                if let Some(path) = metrics_json {
+                    write_metrics_json(path, &f.report)?;
+                }
+                return Err(CliError::runtime(format!(
+                    "supervised pagerank failed at iteration {}: {}",
+                    f.report.iterations, f.error
+                )));
+            }
+        };
+        if let Some(path) = metrics_json {
+            write_metrics_json(path, &report)?;
+        }
         for d in &report.degradations {
             match d {
                 DegradationEvent::LoadRetry { attempt, error } => {

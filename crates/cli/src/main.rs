@@ -53,7 +53,7 @@ fn usage(err: Option<&str>) -> ! {
          \x20 convert  <in: .txt edge list | .mxg> <out: .mxg | .txt> [--min-nodes N] [--max-nodes N]\n\
          \x20 stats    <graph.mxg>\n\
          \x20 rank     <graph.mxg> [--algo indegree|pagerank|hits|salsa|cf] [--engine mixen|gpop|ligra|polymer|graphmat]\n\
-         \x20          [--iters N] [--top K] [--out scores.tsv] [--supervised true]\n\
+         \x20          [--iters N] [--top K] [--out scores.tsv] [--supervised true] [--metrics-json report.json]\n\
          \x20 bfs      <graph.mxg> [--root N] [--engine ...]\n\
          \n\
          datasets: weibo track wiki pld rmat kron road urand\n\

@@ -193,6 +193,56 @@ fn supervised_rank_matches_plain_rank() {
 }
 
 #[test]
+fn metrics_json_sidecar_is_written_and_valid() {
+    let dir = tmpdir("metrics_json");
+    let mxg = dir.join("g.mxg");
+    let json = dir.join("report.json");
+    let mxg_s = mxg.to_str().unwrap();
+    let json_s = json.to_str().unwrap();
+    commands::gen::run(&args(&format!(
+        "--dataset wiki --scale tiny --seed 3 --out {mxg_s}"
+    )))
+    .unwrap();
+
+    // Without --supervised the flag is a usage error.
+    assert!(matches!(
+        commands::rank::run(&args(&format!("{mxg_s} --metrics-json {json_s}"))),
+        Err(CliError::Usage(_))
+    ));
+    assert!(!json.exists());
+
+    commands::rank::run(&args(&format!(
+        "{mxg_s} --algo pagerank --iters 5 --supervised true --metrics-json {json_s}"
+    )))
+    .unwrap();
+    let body = std::fs::read_to_string(&json).unwrap();
+    let report = mixen_core::Json::parse(&body).expect("sidecar must be valid JSON");
+    assert_eq!(report.get("engine").unwrap().as_str(), Some("mixen"));
+    assert_eq!(report.get("iterations").unwrap().as_u64(), Some(5));
+    assert!(report.get("residual").unwrap().as_f64().is_some());
+    let phases = report.get("phases").unwrap();
+    assert!(phases.get("pre_seconds").unwrap().as_f64().is_some());
+    let counters = report.get("counters").unwrap();
+    assert!(counters.get("edges_scattered").unwrap().as_u64().unwrap() > 0);
+    assert!(matches!(
+        report.get("degradations"),
+        Some(mixen_core::Json::Arr(_))
+    ));
+
+    // A faulted supervised run still writes the report.
+    let fault_json = dir.join("fault.json");
+    let fault_json_s = fault_json.to_str().unwrap();
+    let r = commands::rank::run(&args(&format!(
+        "{mxg_s} --algo pagerank --damping NaN --iters 3 --supervised true --metrics-json {fault_json_s}"
+    )));
+    assert!(matches!(r, Err(CliError::Runtime(_))));
+    let body = std::fs::read_to_string(&fault_json).unwrap();
+    let report = mixen_core::Json::parse(&body).unwrap();
+    assert!(report.get("counters").is_some());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn nan_damping_is_a_runtime_error_not_a_panic() {
     let dir = tmpdir("nan_rank");
     let mxg = dir.join("g.mxg");

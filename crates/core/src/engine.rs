@@ -26,7 +26,6 @@
 
 use mixen_graph::nid;
 use std::sync::atomic::{AtomicI32, Ordering};
-use std::time::Instant;
 
 use mixen_graph::{Graph, GraphError, NodeId, PropValue};
 use rayon::prelude::*;
@@ -34,6 +33,7 @@ use rayon::prelude::*;
 use crate::bins::{DynamicBins, StaticBin};
 use crate::block::BlockedSubgraph;
 use crate::filter::FilteredGraph;
+use crate::obs::{Json, Metrics, Span};
 use crate::opts::MixenOpts;
 
 /// Wall-clock breakdown of one [`MixenEngine::iterate_with_stats`] run,
@@ -69,6 +69,26 @@ impl PhaseStats {
             (self.pre_seconds + self.post_seconds) / total
         }
     }
+
+    /// JSON object with every phase timing plus the derived main-phase and
+    /// out-of-main aggregates (the `phases` object of DESIGN.md §6d).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("pre_seconds".into(), Json::from_f64(self.pre_seconds)),
+            (
+                "scatter_seconds".into(),
+                Json::from_f64(self.scatter_seconds),
+            ),
+            ("gather_seconds".into(), Json::from_f64(self.gather_seconds)),
+            ("post_seconds".into(), Json::from_f64(self.post_seconds)),
+            ("main_seconds".into(), Json::from_f64(self.main_seconds())),
+            (
+                "out_of_main_fraction".into(),
+                Json::from_f64(self.out_of_main_fraction()),
+            ),
+            ("iterations".into(), Json::from_u64(self.iterations as u64)),
+        ])
+    }
 }
 
 /// The Mixen engine: preprocessed state plus iteration drivers.
@@ -79,18 +99,23 @@ pub struct MixenEngine {
     opts: MixenOpts,
     filter_seconds: f64,
     partition_seconds: f64,
+    metrics: Metrics,
 }
 
 impl MixenEngine {
     /// Preprocesses `g`: filtering/relabeling, then 2-D partitioning.
     pub fn new(g: &Graph, opts: MixenOpts) -> Self {
         let threads = rayon::current_num_threads();
-        let t0 = Instant::now();
-        let filtered = FilteredGraph::with_ordering(g, opts.ordering);
-        let filter_seconds = t0.elapsed().as_secs_f64();
-        let t1 = Instant::now();
-        let blocked = BlockedSubgraph::new(filtered.reg_csr(), &opts, threads);
-        let partition_seconds = t1.elapsed().as_secs_f64();
+        let mut filter_seconds = 0.0;
+        let filtered = {
+            let _span = Span::new(&mut filter_seconds);
+            FilteredGraph::with_ordering(g, opts.ordering)
+        };
+        let mut partition_seconds = 0.0;
+        let blocked = {
+            let _span = Span::new(&mut partition_seconds);
+            BlockedSubgraph::new(filtered.reg_csr(), &opts, threads)
+        };
         #[cfg(feature = "strict-invariants")]
         {
             if let Err(e) = filtered.debug_validate() {
@@ -108,6 +133,7 @@ impl MixenEngine {
             opts,
             filter_seconds,
             partition_seconds,
+            metrics: Metrics::default(),
         }
     }
 
@@ -185,6 +211,13 @@ impl MixenEngine {
     /// Preprocessing time spent in partitioning/binning (Table 4).
     pub fn partition_seconds(&self) -> f64 {
         self.partition_seconds
+    }
+
+    /// The engine's live metrics registry. Counters accumulate across all
+    /// iteration-driver calls on this engine; `metrics().reset()` starts a
+    /// fresh measurement window, `metrics().snapshot()` freezes one.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
     }
 
     /// Runs `iters` synchronous iterations of
@@ -274,13 +307,18 @@ impl MixenEngine {
 
         // Pre-Phase: cache seed→regular contributions. With the Cache step
         // disabled (ablation), this work is redone every iteration below.
-        let t_pre = Instant::now();
-        let sta: StaticBin<V> = if self.opts.cache_step {
-            StaticBin::compute(f.seed_csr(), &seed_vals, r)
-        } else {
-            StaticBin::zero(r)
+        let sta: StaticBin<V> = {
+            let _span = Span::new(&mut stats.pre_seconds);
+            if self.opts.cache_step {
+                self.metrics.static_bin_recomputes.inc();
+                StaticBin::compute(f.seed_csr(), &seed_vals, r)
+            } else {
+                StaticBin::zero(r)
+            }
         };
-        stats.pre_seconds = t_pre.elapsed().as_secs_f64();
+        self.metrics
+            .static_bin_entries
+            .set(sta.values().len() as u64);
 
         let mut x: Vec<V> = (0..r)
             .into_par_iter()
@@ -289,6 +327,9 @@ impl MixenEngine {
         let mut y: Vec<V> = vec![V::identity(); r];
         self.prime(&mut y, &sta, &seed_vals);
         let mut bins: DynamicBins<V> = DynamicBins::new(&self.blocked);
+        self.metrics
+            .dynamic_bin_slots
+            .set(self.blocked.total_msg_slots() as u64);
         let mut prev: Vec<V> = if tol.is_some() { x.clone() } else { Vec::new() };
 
         let mut performed = 0usize;
@@ -303,21 +344,37 @@ impl MixenEngine {
             } else {
                 None
             };
-            let t_scatter = Instant::now();
-            crate::scga::scatter(&self.blocked, &mut x, &mut bins, cache_from);
-            stats.scatter_seconds += t_scatter.elapsed().as_secs_f64();
+            {
+                let _span = Span::new(&mut stats.scatter_seconds);
+                crate::scga::scatter_with(
+                    &self.blocked,
+                    &mut x,
+                    &mut bins,
+                    cache_from,
+                    Some(&self.metrics),
+                );
+                if cache_from.is_some() {
+                    self.metrics.static_bin_reuses.inc();
+                }
+            }
             if !last_fixed && !self.opts.cache_step {
                 // Ablation: redo the seed push and re-prime x by hand, the
                 // redundant traffic Mixen normally avoids.
+                self.metrics.static_bin_recomputes.inc();
                 let fresh = StaticBin::compute(f.seed_csr(), &seed_vals, r);
                 x.copy_from_slice(fresh.values());
             }
             // Gather + Apply (parallel over block-columns).
-            let t_gather = Instant::now();
-            crate::scga::gather(&self.blocked, &bins, &mut y, |new, sum| {
-                apply(f.to_old(new), sum)
-            });
-            stats.gather_seconds += t_gather.elapsed().as_secs_f64();
+            {
+                let _span = Span::new(&mut stats.gather_seconds);
+                crate::scga::gather_with(
+                    &self.blocked,
+                    &bins,
+                    &mut y,
+                    |new, sum| apply(f.to_old(new), sum),
+                    Some(&self.metrics),
+                );
+            }
             std::mem::swap(&mut x, &mut y);
             performed += 1;
             if let Some(tol) = tol {
@@ -333,9 +390,10 @@ impl MixenEngine {
         // The values regular nodes propagated in the final iteration.
         let x_prev: &[V] = if tol.is_some() { &prev } else { &y };
 
-        let t_post = Instant::now();
-        let out = self.assemble(&x, x_prev, &seed_vals, &apply);
-        stats.post_seconds = t_post.elapsed().as_secs_f64();
+        let out = {
+            let _span = Span::new(&mut stats.post_seconds);
+            self.assemble(&x, x_prev, &seed_vals, &apply)
+        };
         (out, performed)
     }
 
@@ -343,8 +401,10 @@ impl MixenEngine {
     /// seed push when the Cache step is ablated away).
     fn prime<V: PropValue>(&self, y: &mut [V], sta: &StaticBin<V>, seed_vals: &[V]) {
         if self.opts.cache_step {
+            self.metrics.static_bin_reuses.inc();
             y.copy_from_slice(sta.values());
         } else {
+            self.metrics.static_bin_recomputes.inc();
             let fresh = StaticBin::compute(self.filtered.seed_csr(), seed_vals, y.len());
             y.copy_from_slice(fresh.values());
         }
@@ -442,8 +502,10 @@ impl MixenEngine {
         let mut level = if root_new < r { 0 } else { 1 };
         while !frontier.is_empty() {
             frontier = if frontier.len() * 16 > r {
+                self.metrics.bfs_dense_levels.inc();
                 crate::scga::bfs_level_dense(&self.blocked, &reg_depth, level)
             } else {
+                self.metrics.bfs_sparse_levels.inc();
                 crate::scga::bfs_level_sparse(&self.blocked, &reg_depth, &frontier, level)
             };
             frontier.sort_unstable();
@@ -723,6 +785,60 @@ mod tests {
         // Values must match the plain driver.
         let plain = e.iterate::<f32, _, _>(|_| 1.0, |_, s| 0.5 * s, 4);
         assert_eq!(vals, plain);
+    }
+
+    #[test]
+    fn metrics_track_kernels_and_static_bin_usage() {
+        let g = mixed_graph();
+        let e = MixenEngine::new(&g, small_opts());
+        let reg_nnz = e.filtered().reg_csr().nnz() as u64;
+        let iters = 4usize;
+        let _ = e.iterate::<f32, _, _>(|_| 1.0, |_, s| 0.5 * s, iters);
+        let snap = e.metrics().snapshot();
+        assert_eq!(snap.get("edges_scattered"), iters as u64 * reg_nnz);
+        assert_eq!(snap.get("edges_gathered"), iters as u64 * reg_nnz);
+        assert_eq!(snap.get("static_bin_recomputes"), 1);
+        // Initial prime + one Cache-step re-prime per non-final iteration.
+        assert_eq!(snap.get("static_bin_reuses"), iters as u64);
+        assert!(snap.get("bin_bytes_streamed") > 0);
+        assert_eq!(
+            snap.get("static_bin_entries"),
+            e.filtered().num_regular() as u64
+        );
+        e.metrics().reset();
+        assert_eq!(e.metrics().snapshot().get("edges_scattered"), 0);
+    }
+
+    #[test]
+    fn ablated_cache_step_counts_redundant_recomputes() {
+        let g = mixed_graph();
+        let e = MixenEngine::new(
+            &g,
+            MixenOpts {
+                cache_step: false,
+                ..small_opts()
+            },
+        );
+        let iters = 3usize;
+        let _ = e.iterate::<f32, _, _>(|_| 1.0, |_, s| 0.5 * s, iters);
+        let snap = e.metrics().snapshot();
+        // One recompute for the initial prime plus one per non-final
+        // iteration — the redundant traffic the Cache step exists to avoid.
+        assert_eq!(snap.get("static_bin_recomputes"), iters as u64);
+        assert_eq!(snap.get("static_bin_reuses"), 0);
+    }
+
+    #[test]
+    fn bfs_level_choices_are_counted() {
+        // 0 -> 1 -> ... -> 9: every level is frontier-sparse... until the
+        // dense heuristic kicks in on the tiny regular set.
+        let pairs: Vec<_> = (0..9u32).map(|u| (u, u + 1)).collect();
+        let g = Graph::from_pairs(10, &pairs);
+        let e = MixenEngine::new(&g, small_opts());
+        let _ = e.bfs(0);
+        let snap = e.metrics().snapshot();
+        let levels = snap.get("bfs_sparse_levels") + snap.get("bfs_dense_levels");
+        assert!(levels > 0, "a 10-level chain must expand levels: {snap:?}");
     }
 
     #[test]

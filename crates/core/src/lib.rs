@@ -39,6 +39,7 @@ pub mod delta;
 pub mod engine;
 pub mod filter;
 pub mod model;
+pub mod obs;
 pub mod opts;
 pub mod runner;
 pub mod scga;
@@ -49,6 +50,7 @@ pub use delta::DeltaStats;
 pub use engine::{MixenEngine, PhaseStats};
 pub use filter::FilteredGraph;
 pub use model::PerfModel;
+pub use obs::{Json, Metrics, MetricsSnapshot, Span};
 pub use opts::{MixenOpts, RegularOrdering};
 pub use runner::{
     DegradationEvent, EngineUsed, NumericIssue, RobustRunner, RunFailure, RunReport, RunnerOpts,

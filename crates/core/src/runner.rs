@@ -32,6 +32,7 @@ use mixen_graph::{max_diff, Graph, GraphError, NodeId, PropValue};
 use rayon::prelude::*;
 
 use crate::engine::{MixenEngine, PhaseStats};
+use crate::obs::{Json, MetricsSnapshot};
 use crate::opts::MixenOpts;
 
 /// A numeric problem found in a value vector.
@@ -106,9 +107,26 @@ pub enum DegradationEvent {
     EngineFallback { reason: String },
 }
 
+impl DegradationEvent {
+    /// JSON object for the report's `degradations` array.
+    pub fn to_json(&self) -> Json {
+        match self {
+            DegradationEvent::LoadRetry { attempt, error } => Json::Obj(vec![
+                ("kind".into(), Json::Str("load_retry".into())),
+                ("attempt".into(), Json::from_u64(u64::from(*attempt))),
+                ("error".into(), Json::Str(error.clone())),
+            ]),
+            DegradationEvent::EngineFallback { reason } => Json::Obj(vec![
+                ("kind".into(), Json::Str("engine_fallback".into())),
+                ("reason".into(), Json::Str(reason.clone())),
+            ]),
+        }
+    }
+}
+
 /// What happened during a supervised run — populated on success *and* on
 /// failure (see [`RunFailure`]).
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct RunReport {
     /// Execution path that produced (or was producing) the values.
     pub engine: EngineUsed,
@@ -117,21 +135,112 @@ pub struct RunReport {
     /// Max-norm change across the last health-check boundary (`∞` until two
     /// checkpoints exist).
     pub residual: f64,
-    /// Accumulated per-phase wall clock (Mixen path only).
+    /// Per-phase wall clock (Mixen path only), normalized across batch
+    /// re-entries: one Pre-Phase (the first entry's), Scatter/Gather summed
+    /// over every iteration, and one Post-Phase (the last entry's). The
+    /// redundant re-entry work lives in
+    /// [`RunReport::reentry_pre_seconds`]/[`RunReport::reentry_post_seconds`]
+    /// so `out_of_main_fraction` stays an honest Fig. 4-style number.
     pub phase_stats: PhaseStats,
     /// Every degradation, in order.
     pub degradations: Vec<DegradationEvent>,
     /// Transient load errors that were retried.
     pub load_retries: u32,
+    /// Supervised batches beyond the first that re-entered the engine
+    /// (`ceil(iters / check_every) - 1` on an engine run without faults).
+    pub batch_reentries: usize,
+    /// Pre-Phase seconds burned by batch re-entries — supervision overhead,
+    /// not part of the algorithm's phase breakdown.
+    pub reentry_pre_seconds: f64,
+    /// Post-Phase seconds of superseded intermediate assemblies — likewise
+    /// supervision overhead.
+    pub reentry_post_seconds: f64,
+    /// Counter snapshot: engine kernels merged with runner supervision
+    /// events (see [`crate::obs::Metrics`] for the catalogue).
+    pub metrics: MetricsSnapshot,
+}
+
+impl Default for RunReport {
+    fn default() -> Self {
+        Self {
+            engine: EngineUsed::default(),
+            iterations: 0,
+            // No residual can exist until two checkpoints have been seen.
+            residual: f64::INFINITY,
+            phase_stats: PhaseStats::default(),
+            degradations: Vec::new(),
+            load_retries: 0,
+            batch_reentries: 0,
+            reentry_pre_seconds: 0.0,
+            reentry_post_seconds: 0.0,
+            metrics: MetricsSnapshot::default(),
+        }
+    }
 }
 
 impl RunReport {
+    /// Folds one engine entry's stats into the report. The first entry
+    /// contributes all four phases; later (re-entry) batches contribute only
+    /// their Main-Phase — their redundant Pre-Phase is booked under
+    /// `reentry_pre_seconds`, and the previous entry's Post-Phase (now
+    /// superseded by this entry's final assembly) moves to
+    /// `reentry_post_seconds`.
     fn absorb(&mut self, s: PhaseStats) {
-        self.phase_stats.pre_seconds += s.pre_seconds;
+        if self.phase_stats.iterations == 0 {
+            self.phase_stats.pre_seconds += s.pre_seconds;
+            self.phase_stats.post_seconds += s.post_seconds;
+        } else {
+            self.batch_reentries += 1;
+            self.metrics.add("batch_reentries", 1);
+            self.reentry_pre_seconds += s.pre_seconds;
+            self.reentry_post_seconds += self.phase_stats.post_seconds;
+            self.phase_stats.post_seconds = s.post_seconds;
+        }
         self.phase_stats.scatter_seconds += s.scatter_seconds;
         self.phase_stats.gather_seconds += s.gather_seconds;
-        self.phase_stats.post_seconds += s.post_seconds;
         self.phase_stats.iterations += s.iterations;
+    }
+
+    /// The complete machine-readable report (DESIGN.md §6d schema): engine,
+    /// iterations, residual, phase timings, re-entry accounting, degradation
+    /// trail, and the counter snapshot.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            (
+                "engine".into(),
+                Json::Str(
+                    match self.engine {
+                        EngineUsed::Mixen => "mixen",
+                        EngineUsed::PullFallback => "pull_fallback",
+                    }
+                    .into(),
+                ),
+            ),
+            ("iterations".into(), Json::from_u64(self.iterations as u64)),
+            ("residual".into(), Json::from_f64(self.residual)),
+            ("phases".into(), self.phase_stats.to_json()),
+            (
+                "batch_reentries".into(),
+                Json::from_u64(self.batch_reentries as u64),
+            ),
+            (
+                "reentry_pre_seconds".into(),
+                Json::from_f64(self.reentry_pre_seconds),
+            ),
+            (
+                "reentry_post_seconds".into(),
+                Json::from_f64(self.reentry_post_seconds),
+            ),
+            (
+                "load_retries".into(),
+                Json::from_u64(u64::from(self.load_retries)),
+            ),
+            (
+                "degradations".into(),
+                Json::Arr(self.degradations.iter().map(|d| d.to_json()).collect()),
+            ),
+            ("counters".into(), self.metrics.to_json()),
+        ])
     }
 }
 
@@ -243,6 +352,7 @@ impl RobustRunner {
                 Err(e) if e.is_transient() && attempt < self.opts.max_load_retries => {
                     attempt += 1;
                     report.load_retries = attempt;
+                    report.metrics.add("load_retries", 1);
                     report.degradations.push(DegradationEvent::LoadRetry {
                         attempt,
                         error: e.to_string(),
@@ -297,9 +407,16 @@ impl RobustRunner {
                     reason: err.to_string(),
                 });
                 report.engine = EngineUsed::PullFallback;
+                report.metrics.add("engine_fallbacks", 1);
                 None
             }
             Err(error) => return Err(RunFailure { error, report }),
+        };
+        // Merge the engine's kernel counters into the report on every exit.
+        let finish = |report: &mut RunReport| {
+            if let Some(e) = &engine {
+                report.metrics.merge(&e.metrics().snapshot());
+            }
         };
 
         let limit = self.opts.divergence_limit;
@@ -307,6 +424,7 @@ impl RobustRunner {
         let mut cur: Vec<V> = (0..nid(g.n())).into_par_iter().map(&init).collect();
         if let Some(fault) = scan(&cur, limit) {
             report.iterations = 0;
+            finish(&mut report);
             return Err(RunFailure {
                 error: numeric_error(0, fault),
                 report,
@@ -329,18 +447,72 @@ impl RobustRunner {
                 }
                 None => pull_iterate(g, &cur, &apply, step),
             };
-            done += step;
-            report.iterations = done;
             if let Some(fault) = scan(&next, limit) {
+                // The fault surfaced somewhere inside this batch; replay it
+                // one iteration at a time from the pre-batch checkpoint so
+                // the error names the first bad iteration, exactly as a
+                // `check_every = 1` run would.
+                let (bad_iter, fault) =
+                    self.locate_fault(&engine, g, &cur, &apply, step, done, fault, &mut report);
+                report.iterations = bad_iter;
+                finish(&mut report);
                 return Err(RunFailure {
-                    error: numeric_error(done, fault),
+                    error: numeric_error(bad_iter, fault),
                     report,
                 });
             }
+            done += step;
+            report.iterations = done;
             report.residual = max_diff(&next, &cur);
             cur = next;
         }
+        finish(&mut report);
         Ok((cur, report))
+    }
+
+    /// Replays a faulty batch from its healthy checkpoint, one iteration at
+    /// a time, to find the first iteration whose values fail the health
+    /// check. The replay's phase stats are *not* absorbed (they are
+    /// diagnostic re-execution, not algorithm progress); each single-step
+    /// replay is counted under `fault_bisect_steps`. Both engines are
+    /// deterministic, so the fault reproduces; if it somehow does not, the
+    /// end-of-batch attribution is kept.
+    #[allow(clippy::too_many_arguments)]
+    fn locate_fault<V, FA>(
+        &self,
+        engine: &Option<MixenEngine>,
+        g: &Graph,
+        checkpoint: &[V],
+        apply: &FA,
+        step: usize,
+        done: usize,
+        batch_fault: (usize, NumericIssue),
+        report: &mut RunReport,
+    ) -> (usize, (usize, NumericIssue))
+    where
+        V: PropValue + ValueCheck,
+        FA: Fn(NodeId, V) -> V + Sync,
+    {
+        if step <= 1 {
+            return (done + step, batch_fault);
+        }
+        let limit = self.opts.divergence_limit;
+        let mut probe = checkpoint.to_vec();
+        for k in 1..=step {
+            let next = match engine {
+                Some(e) => {
+                    let p = &probe;
+                    e.iterate::<V, _, _>(|v| p[v as usize], apply, 1)
+                }
+                None => pull_iterate(g, &probe, apply, 1),
+            };
+            report.metrics.add("fault_bisect_steps", 1);
+            if let Some(fault) = scan(&next, limit) {
+                return (done + k, fault);
+            }
+            probe = next;
+        }
+        (done + step, batch_fault)
     }
 
     fn build_engine(&self, g: &Graph) -> Result<MixenEngine, GraphError> {
@@ -453,6 +625,197 @@ mod tests {
         for (x, y) in a.iter().zip(&b) {
             assert!((x - y).abs() < 1e-5);
         }
+    }
+
+    fn runner_with_check_every(check_every: usize) -> RobustRunner {
+        let mut opts = small_runner().opts().clone();
+        opts.check_every = check_every;
+        RobustRunner::new(opts)
+    }
+
+    /// Regression (residual init): the doc promises `∞` until two
+    /// checkpoints exist, so a 0-iteration run must not report 0.0.
+    #[test]
+    fn zero_iteration_run_reports_infinite_residual() {
+        let g = mixed_graph();
+        let runner = small_runner();
+        let (vals, report) = runner.run::<f32, _, _>(&g, |_| 1.0, |_, s| s, 0).unwrap();
+        assert_eq!(vals.len(), g.n());
+        assert_eq!(report.iterations, 0);
+        assert!(report.residual.is_infinite());
+        // A run with iterations does produce a finite residual.
+        let (_, report) = runner
+            .run::<f32, _, _>(&g, |_| 1.0, |_, s| 0.5 * s, 2)
+            .unwrap();
+        assert!(report.residual.is_finite());
+    }
+
+    /// Satellite 4: identical values, re-entry accounting, and phase-stat
+    /// consistency across `check_every ∈ {1, 3, 7}`.
+    #[test]
+    fn check_every_variants_agree_and_account_reentries() {
+        let g = mixed_graph();
+        let apply = |v: NodeId, sum: f32| 0.5 * sum + 0.1 * (v as f32 + 1.0);
+        let init = |v: NodeId| 0.1 * (v as f32 + 1.0);
+        let iters = 7usize;
+        let mut baseline: Option<Vec<f32>> = None;
+        for ce in [1usize, 3, 7] {
+            let runner = runner_with_check_every(ce);
+            let (vals, report) = runner.run(&g, init, apply, iters).unwrap();
+            if let Some(base) = &baseline {
+                for (a, b) in vals.iter().zip(base) {
+                    assert!((a - b).abs() < 1e-5, "check_every={ce}");
+                }
+            } else {
+                baseline = Some(vals);
+            }
+            let batches = iters.div_ceil(ce);
+            assert_eq!(report.batch_reentries, batches - 1, "check_every={ce}");
+            assert_eq!(
+                report.metrics.get("batch_reentries"),
+                (batches - 1) as u64,
+                "check_every={ce}"
+            );
+            // Each engine entry recomputes the static bin exactly once.
+            assert_eq!(
+                report.metrics.get("static_bin_recomputes"),
+                batches as u64,
+                "check_every={ce}"
+            );
+            // The normalized breakdown covers exactly `iters` Main-Phase
+            // iterations and books one pre + one post, with re-entry
+            // overhead split out rather than inflating the phases.
+            assert_eq!(report.phase_stats.iterations, iters, "check_every={ce}");
+            assert!(report.phase_stats.pre_seconds >= 0.0);
+            assert!(report.phase_stats.post_seconds >= 0.0);
+            if batches == 1 {
+                assert_eq!(report.reentry_pre_seconds, 0.0);
+                assert_eq!(report.reentry_post_seconds, 0.0);
+            }
+            assert!((0.0..=1.0).contains(&report.phase_stats.out_of_main_fraction()));
+        }
+    }
+
+    /// Satellite 4 (fault attribution): a deterministic divergence must be
+    /// pinned to the same first-bad iteration whatever the batch size.
+    #[test]
+    fn fault_iteration_is_identical_across_check_every() {
+        let g = mixed_graph();
+        // Values grow ~10x per iteration; with limit 1e3 the first bad
+        // iteration is fixed by the dynamics alone.
+        let apply = |_: NodeId, s: f32| 10.0 * s + 100.0;
+        let init = |_: NodeId| 100.0f32;
+        let mut expected: Option<usize> = None;
+        for ce in [1usize, 3, 7] {
+            let mut opts = runner_with_check_every(ce).opts().clone();
+            opts.divergence_limit = 1e3;
+            let runner = RobustRunner::new(opts);
+            let failure = runner.run::<f32, _, _>(&g, init, apply, 50).unwrap_err();
+            let iteration = match failure.error {
+                GraphError::Numeric { iteration, .. } => iteration,
+                ref other => panic!("expected Numeric, got {other}"),
+            };
+            assert_eq!(failure.report.iterations, iteration, "check_every={ce}");
+            match expected {
+                None => expected = Some(iteration),
+                Some(want) => assert_eq!(iteration, want, "check_every={ce}"),
+            }
+            if ce == 1 {
+                assert_eq!(failure.report.metrics.get("fault_bisect_steps"), 0);
+            } else {
+                // The batched runs had to replay to locate the iteration.
+                assert_eq!(
+                    failure.report.metrics.get("fault_bisect_steps"),
+                    iteration as u64 - (iteration - 1) as u64 / ce as u64 * ce as u64,
+                    "check_every={ce}"
+                );
+            }
+        }
+        // With limit 1e3 and ~10x growth from 100, iteration 1 already
+        // overflows the limit on the cyclic core.
+        assert_eq!(expected, Some(1));
+    }
+
+    /// Satellite 4 (counter exactness): every Main-Phase iteration streams
+    /// exactly the regular subgraph's edges.
+    #[test]
+    fn edges_scattered_matches_regular_nnz_per_iteration() {
+        let g = mixed_graph();
+        let runner = small_runner();
+        let reg_nnz = MixenEngine::new(&g, runner.opts().mixen)
+            .filtered()
+            .reg_csr()
+            .nnz() as u64;
+        assert!(reg_nnz > 0);
+        for iters in [1usize, 3, 5] {
+            let (_, report) = runner
+                .run::<f32, _, _>(&g, |_| 1.0, |_, s| 0.5 * s, iters)
+                .unwrap();
+            assert_eq!(
+                report.metrics.get("edges_scattered"),
+                iters as u64 * reg_nnz,
+                "iters={iters}"
+            );
+            assert_eq!(
+                report.metrics.get("edges_gathered"),
+                iters as u64 * reg_nnz,
+                "iters={iters}"
+            );
+        }
+    }
+
+    /// The report JSON carries the full schema and survives a round-trip
+    /// through the validating parser.
+    #[test]
+    fn run_report_json_round_trips() {
+        let g = mixed_graph();
+        let runner = runner_with_check_every(3);
+        let (_, report) = runner
+            .run::<f32, _, _>(&g, |_| 1.0, |_, s| 0.5 * s, 7)
+            .unwrap();
+        let json = report.to_json();
+        let parsed = Json::parse(&json.render_pretty()).unwrap();
+        assert_eq!(parsed, json);
+        assert_eq!(parsed.get("engine").unwrap().as_str(), Some("mixen"));
+        assert_eq!(parsed.get("iterations").unwrap().as_u64(), Some(7));
+        assert_eq!(parsed.get("batch_reentries").unwrap().as_u64(), Some(2));
+        let phases = parsed.get("phases").unwrap();
+        assert_eq!(phases.get("iterations").unwrap().as_u64(), Some(7));
+        let counters = parsed.get("counters").unwrap();
+        assert!(counters.get("edges_scattered").unwrap().as_u64().unwrap() > 0);
+        // A fresh report's residual serializes as the string "inf".
+        let fresh = RunReport::default().to_json();
+        assert_eq!(fresh.get("residual").unwrap().as_f64(), Some(f64::INFINITY));
+    }
+
+    /// Runner degradation events surface in the counter snapshot too.
+    #[test]
+    fn degradations_are_counted_in_metrics() {
+        let g = mixed_graph();
+        let mut opts = small_runner().opts().clone();
+        opts.inject_preprocess_fault = Some("synthetic invariant failure".into());
+        let degraded = RobustRunner::new(opts);
+        let (_, report) = degraded
+            .run::<f32, _, _>(&g, |_| 1.0, |_, s| 0.5 * s, 2)
+            .unwrap();
+        assert_eq!(report.metrics.get("engine_fallbacks"), 1);
+        // The pull baseline has no kernel counters.
+        assert_eq!(report.metrics.get("edges_scattered"), 0);
+
+        let mut bytes = Vec::new();
+        mixen_graph::io::write_csr(&g, &mut bytes).unwrap();
+        let mut attempts = 0;
+        let (_, report) = small_runner()
+            .load_graph_with(|| {
+                attempts += 1;
+                if attempts <= 2 {
+                    Err(std::io::Error::new(std::io::ErrorKind::TimedOut, "flaky"))
+                } else {
+                    Ok(bytes.as_slice())
+                }
+            })
+            .unwrap();
+        assert_eq!(report.metrics.get("load_retries"), 2);
     }
 
     #[test]

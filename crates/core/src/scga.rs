@@ -17,6 +17,7 @@ use rayon::prelude::*;
 
 use crate::bins::DynamicBins;
 use crate::block::BlockedSubgraph;
+use crate::obs::Metrics;
 
 /// Scatter step: stream each block-row's source values into its dynamic
 /// bins (one value per compressed message slot). If `prime` is given, the
@@ -28,6 +29,25 @@ pub fn scatter<V: PropValue>(
     bins: &mut DynamicBins<V>,
     prime: Option<&[V]>,
 ) {
+    scatter_with(blocked, x, bins, prime, None);
+}
+
+/// [`scatter`] with optional metrics: advances `edges_scattered` by the
+/// subgraph's edge count and `bin_bytes_streamed` by the compressed slot
+/// bytes actually written. The kernel streams every block unconditionally,
+/// so these per-call totals are exact.
+pub fn scatter_with<V: PropValue>(
+    blocked: &BlockedSubgraph,
+    x: &mut [V],
+    bins: &mut DynamicBins<V>,
+    prime: Option<&[V]>,
+    metrics: Option<&Metrics>,
+) {
+    if let Some(m) = metrics {
+        m.edges_scattered.add(blocked.nnz() as u64);
+        m.bin_bytes_streamed
+            .add((blocked.total_msg_slots() * std::mem::size_of::<V>()) as u64);
+    }
     let rows = blocked.rows();
     let segs = split_by_rows(x, blocked);
     segs.par_iter()
@@ -57,6 +77,25 @@ where
     V: PropValue,
     F: Fn(NodeId, V) -> V + Sync,
 {
+    gather_with(blocked, bins, y, finish, None);
+}
+
+/// [`gather`] with optional metrics: advances `edges_gathered` by the
+/// subgraph's edge count (every compressed message fans out to all of its
+/// destinations, so the drained-edge total per call is exact).
+pub fn gather_with<V, F>(
+    blocked: &BlockedSubgraph,
+    bins: &DynamicBins<V>,
+    y: &mut [V],
+    finish: F,
+    metrics: Option<&Metrics>,
+) where
+    V: PropValue,
+    F: Fn(NodeId, V) -> V + Sync,
+{
+    if let Some(m) = metrics {
+        m.edges_gathered.add(blocked.nnz() as u64);
+    }
     let rows = blocked.rows();
     let c = blocked.block_side();
     let mut segs: Vec<&mut [V]> = Vec::with_capacity(blocked.n_col_blocks());

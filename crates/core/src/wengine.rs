@@ -18,14 +18,15 @@
 //! * the Post-Phase pulls `x ⊗ w` for sinks once.
 
 use mixen_graph::nid;
-use std::time::Instant;
 
 use mixen_graph::{NodeId, PropValue, WGraph};
 use rayon::prelude::*;
 
 use crate::bins::DynamicBins;
 use crate::block::BlockedSubgraph;
+use crate::engine::PhaseStats;
 use crate::filter::FilteredGraph;
+use crate::obs::{Metrics, Span};
 use crate::opts::MixenOpts;
 use crate::scga;
 
@@ -40,6 +41,7 @@ pub struct WMixenEngine {
     /// Weights aligned with `filtered.sink_csc().idx()`.
     sink_weights: Box<[f32]>,
     build_seconds: f64,
+    metrics: Metrics,
 }
 
 impl WMixenEngine {
@@ -47,7 +49,8 @@ impl WMixenEngine {
     /// the unweighted engine, plus weight alignment for every
     /// sub-structure.
     pub fn new(wg: &WGraph, opts: MixenOpts) -> Self {
-        let t0 = Instant::now();
+        let mut build_seconds = 0.0;
+        let build_span = Span::new(&mut build_seconds);
         let g = wg.topology();
         let filtered = FilteredGraph::with_ordering(g, opts.ordering);
         let blocked = BlockedSubgraph::new(filtered.reg_csr(), &opts, rayon::current_num_threads());
@@ -120,13 +123,15 @@ impl WMixenEngine {
             .collect::<Vec<f32>>()
             .into_boxed_slice();
 
+        drop(build_span);
         Self {
             filtered,
             blocked,
             block_weights,
             seed_weights,
             sink_weights,
-            build_seconds: t0.elapsed().as_secs_f64(),
+            build_seconds,
+            metrics: Metrics::default(),
         }
     }
 
@@ -140,6 +145,12 @@ impl WMixenEngine {
         self.build_seconds
     }
 
+    /// The engine's live metrics registry (same catalogue and semantics as
+    /// [`crate::MixenEngine::metrics`]).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
     /// Runs `iters` iterations of
     /// `x'[v] = apply(v, ⊕_{u→v} x[u] ⊗ w(u,v))`; closures take original
     /// node IDs.
@@ -149,7 +160,27 @@ impl WMixenEngine {
         FI: Fn(NodeId) -> V + Sync,
         FA: Fn(NodeId, V) -> V + Sync,
     {
-        self.run(init, apply, iters, None).0
+        self.run(init, apply, iters, None, &mut PhaseStats::default())
+            .0
+    }
+
+    /// Like [`WMixenEngine::iterate`], additionally returning the per-phase
+    /// wall-clock breakdown (same vocabulary as the unweighted engine).
+    pub fn iterate_with_stats<V, FI, FA>(
+        &self,
+        init: FI,
+        apply: FA,
+        iters: usize,
+    ) -> (Vec<V>, PhaseStats)
+    where
+        V: PropValue,
+        FI: Fn(NodeId) -> V + Sync,
+        FA: Fn(NodeId, V) -> V + Sync,
+    {
+        let mut stats = PhaseStats::default();
+        let (vals, performed) = self.run(init, apply, iters, None, &mut stats);
+        stats.iterations = performed;
+        (vals, stats)
     }
 
     /// Iterates until the max-norm step difference is at most `tol`.
@@ -165,7 +196,13 @@ impl WMixenEngine {
         FI: Fn(NodeId) -> V + Sync,
         FA: Fn(NodeId, V) -> V + Sync,
     {
-        self.run(init, apply, max_iters, Some(tol))
+        self.run(
+            init,
+            apply,
+            max_iters,
+            Some(tol),
+            &mut PhaseStats::default(),
+        )
     }
 
     fn run<V, FI, FA>(
@@ -174,6 +211,7 @@ impl WMixenEngine {
         apply: FA,
         max_iters: usize,
         tol: Option<f64>,
+        stats: &mut PhaseStats,
     ) -> (Vec<V>, usize)
     where
         V: PropValue,
@@ -193,8 +231,10 @@ impl WMixenEngine {
             .map(|i| init(f.to_old(nid(r + i))))
             .collect();
 
-        // Pre-Phase: weighted seed contributions.
+        // Pre-Phase: weighted seed contributions (the weighted static bin).
         let sta: Vec<V> = {
+            let _span = Span::new(&mut stats.pre_seconds);
+            self.metrics.static_bin_recomputes.inc();
             let mut acc = vec![V::identity(); r];
             let mut e = 0usize;
             for srow in 0..nid(s) {
@@ -206,13 +246,18 @@ impl WMixenEngine {
             }
             acc
         };
+        self.metrics.static_bin_entries.set(sta.len() as u64);
 
         let mut x: Vec<V> = (0..r)
             .into_par_iter()
             .map(|v| init(f.to_old(nid(v))))
             .collect();
         let mut y: Vec<V> = sta.clone();
+        self.metrics.static_bin_reuses.inc();
         let mut bins: DynamicBins<V> = DynamicBins::new(&self.blocked);
+        self.metrics
+            .dynamic_bin_slots
+            .set(self.blocked.total_msg_slots() as u64);
         let mut prev: Vec<V> = if tol.is_some() { x.clone() } else { Vec::new() };
 
         let mut performed = 0usize;
@@ -222,12 +267,28 @@ impl WMixenEngine {
                 prev.copy_from_slice(&x);
             }
             let cache_from = (!last_fixed).then_some(&sta[..]);
-            scga::scatter(&self.blocked, &mut x, &mut bins, cache_from);
-            self.gather_weighted(&bins, &mut y, |new, sum| apply(f.to_old(new), sum));
+            {
+                let _span = Span::new(&mut stats.scatter_seconds);
+                scga::scatter_with(
+                    &self.blocked,
+                    &mut x,
+                    &mut bins,
+                    cache_from,
+                    Some(&self.metrics),
+                );
+                if cache_from.is_some() {
+                    self.metrics.static_bin_reuses.inc();
+                }
+            }
+            {
+                let _span = Span::new(&mut stats.gather_seconds);
+                self.gather_weighted(&bins, &mut y, |new, sum| apply(f.to_old(new), sum));
+            }
             std::mem::swap(&mut x, &mut y);
             performed += 1;
             if let Some(tol) = tol {
                 let diff = mixen_graph::max_diff(&x, &prev);
+                self.metrics.static_bin_reuses.inc();
                 y.copy_from_slice(&sta);
                 if diff <= tol {
                     break;
@@ -236,6 +297,7 @@ impl WMixenEngine {
         }
         let x_prev: &[V] = if tol.is_some() { &prev } else { &y };
 
+        let _post_span = Span::new(&mut stats.post_seconds);
         // Post-Phase + assembly.
         let sink_base = r + s;
         let sink_ptr = f.sink_csc().ptr();
@@ -275,6 +337,7 @@ impl WMixenEngine {
         V: PropValue,
         FA: Fn(NodeId, V) -> V + Sync,
     {
+        self.metrics.edges_gathered.add(self.blocked.nnz() as u64);
         let rows = self.blocked.rows();
         let c = self.blocked.block_side();
         let mut segs: Vec<&mut [V]> = Vec::with_capacity(self.blocked.n_col_blocks());
@@ -432,6 +495,26 @@ mod tests {
         for (x, y) in a.iter().zip(&b) {
             assert!((x - y).abs() < 1e-4);
         }
+    }
+
+    #[test]
+    fn phase_stats_and_metrics_are_recorded() {
+        let wg = toy();
+        let e = WMixenEngine::new(&wg, opts());
+        let (vals, stats) = e.iterate_with_stats::<f32, _, _>(|v| (v + 1) as f32, |_, s| s, 3);
+        assert_eq!(stats.iterations, 3);
+        assert!(stats.pre_seconds >= 0.0);
+        assert!(stats.main_seconds() >= 0.0);
+        assert!(stats.post_seconds >= 0.0);
+        let plain = e.iterate::<f32, _, _>(|v| (v + 1) as f32, |_, s| s, 3);
+        assert_eq!(vals, plain);
+        let snap = e.metrics().snapshot();
+        let reg_nnz = e.filtered().reg_csr().nnz() as u64;
+        // Two runs of 3 iterations each hit the gather kernel 6 times.
+        assert_eq!(snap.get("edges_gathered"), 6 * reg_nnz);
+        assert_eq!(snap.get("edges_scattered"), 6 * reg_nnz);
+        // One weighted static-bin build per run entry.
+        assert_eq!(snap.get("static_bin_recomputes"), 2);
     }
 
     #[test]

@@ -7,10 +7,14 @@ SCALE="${1:-small}"
 ITERS="${2:-10}"
 cargo build --release -p mixen-bench
 mkdir -p results
-for b in table1 table2 table4 fig4 fig5 fig6 fig7 model_check ablation phases adaptive; do
+for b in table1 table2 table4 fig4 fig5 fig6 fig7 model_check ablation adaptive; do
   echo "=== $b ($SCALE) ==="
   ./target/release/$b --scale "$SCALE" --iters "$ITERS" | tee "results/${b}_${SCALE}.txt"
 done
-echo "=== table3 ($SCALE) ==="
-./target/release/table3 --scale "$SCALE" --iters "$ITERS" | tee "results/table3_${SCALE}.txt"
+# phases and table3 also emit machine-readable JSON sidecars.
+for b in phases table3; do
+  echo "=== $b ($SCALE) ==="
+  ./target/release/$b --scale "$SCALE" --iters "$ITERS" \
+    --json "results/${b}_${SCALE}.json" | tee "results/${b}_${SCALE}.txt"
+done
 echo "all results written to results/"

@@ -1,0 +1,115 @@
+//! Thread-scaling sweep of the Mixen engine (EXPERIMENTS.md "Scaling"
+//! protocol). Runs PageRank at 1/2/4/8 worker lanes on every requested
+//! dataset, reporting seconds per iteration, speedup over the single-lane
+//! run, and the maximum absolute score deviation from the single-lane
+//! scores (the determinism tolerance the engine documents).
+//!
+//! The sweep uses `mixen_pool::with_threads`, so each measurement runs on a
+//! fresh pool of exactly that width regardless of `MIXEN_THREADS` or the
+//! host default. Speedups are only meaningful up to the host's physical
+//! parallelism: on a single-core host every configuration shares one core
+//! and the sweep measures scheduling overhead, not speedup — the table
+//! therefore also prints the host's available parallelism.
+
+use mixen_algos::{pagerank, PageRankOpts};
+use mixen_bench::{geomean, time_per_iter, BenchOpts};
+use mixen_core::{Json, MixenEngine, MixenOpts};
+
+/// Lane counts of the sweep (EXPERIMENTS.md commits results for these).
+const SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "PageRank thread scaling: seconds/iteration at 1/2/4/8 lanes \
+         ({} iterations, host parallelism {host})",
+        opts.iters
+    );
+    println!(
+        "{:>8}  {:>9} {:>9} {:>9} {:>9}  {:>7} {:>7} {:>7}  {:>9}",
+        "graph", "t1", "t2", "t4", "t8", "s2", "s4", "s8", "max|dev|"
+    );
+    let mut graphs_json: Vec<Json> = Vec::new();
+    // Per-lane-count speedups across graphs, for the geomean summary row.
+    let mut speedups: Vec<Vec<f64>> = vec![Vec::new(); SWEEP.len()];
+    for d in &opts.datasets {
+        let g = opts.gen(*d);
+        let mut secs = Vec::with_capacity(SWEEP.len());
+        let mut baseline: Vec<f32> = Vec::new();
+        let mut max_dev = 0.0f64;
+        for (i, &t) in SWEEP.iter().enumerate() {
+            let (scores, per) = mixen_pool::with_threads(t, || {
+                // Engine construction inside the override so the blocked
+                // layout is also built at this width; only the iterations
+                // are timed, matching the other reproduction binaries.
+                let engine = MixenEngine::new(&g, MixenOpts::default());
+                let mut out = Vec::new();
+                let per = time_per_iter(opts.iters, |n| {
+                    out = pagerank(&g, &engine, PageRankOpts::default(), n);
+                });
+                (out, per)
+            });
+            if i == 0 {
+                baseline = scores;
+            } else {
+                let dev = scores
+                    .iter()
+                    .zip(&baseline)
+                    .map(|(a, b)| (a - b).abs() as f64)
+                    .fold(0.0, f64::max);
+                max_dev = max_dev.max(dev);
+                speedups[i].push(secs[0] / per.max(1e-12));
+            }
+            secs.push(per);
+        }
+        println!(
+            "{:>8}  {:>9.5} {:>9.5} {:>9.5} {:>9.5}  {:>6.2}x {:>6.2}x {:>6.2}x  {:>9.2e}",
+            d.name(),
+            secs[0],
+            secs[1],
+            secs[2],
+            secs[3],
+            secs[0] / secs[1].max(1e-12),
+            secs[0] / secs[2].max(1e-12),
+            secs[0] / secs[3].max(1e-12),
+            max_dev
+        );
+        graphs_json.push(Json::Obj(vec![
+            ("graph".into(), Json::Str(d.name().into())),
+            ("n".into(), Json::from_u64(g.n() as u64)),
+            ("m".into(), Json::from_u64(g.m() as u64)),
+            (
+                "threads".into(),
+                Json::Arr(SWEEP.iter().map(|&t| Json::from_u64(t as u64)).collect()),
+            ),
+            (
+                "seconds_per_iter".into(),
+                Json::Arr(secs.iter().map(|&s| Json::Num(s)).collect()),
+            ),
+            ("max_abs_deviation_vs_t1".into(), Json::Num(max_dev)),
+        ]));
+    }
+    print!(
+        "{:>8}  {:>9} {:>9} {:>9} {:>9}  ",
+        "geomean", "", "", "", ""
+    );
+    for s in speedups.iter().skip(1) {
+        print!("{:>6.2}x ", geomean(s));
+    }
+    println!();
+    println!(
+        "\n(sN = t1 time / tN time. Expect sN ≈ min(N, host cores) at best;\n\
+         with host parallelism {host} every lane count above {host} only adds\n\
+         scheduling overhead. max|dev| is the largest per-node score gap vs\n\
+         the single-lane run — nonzero because float sums reduce in a\n\
+         different association order per lane count.)"
+    );
+    opts.write_json_sidecar(
+        "scaling",
+        vec![
+            ("host_parallelism".into(), Json::from_u64(host as u64)),
+            ("graphs".into(), Json::Arr(graphs_json)),
+        ],
+    );
+}

@@ -32,6 +32,10 @@ pub struct BenchOpts {
     /// Machine-readable sidecar: write the run's results as JSON here, next
     /// to the plain-text table on stdout.
     pub json: Option<String>,
+    /// Worker lanes for the parallel kernels (`--threads N`). `None` leaves
+    /// the pool at its `MIXEN_THREADS`/host default; `from_args` applies a
+    /// given value globally before any kernel runs.
+    pub threads: Option<usize>,
 }
 
 impl Default for BenchOpts {
@@ -42,6 +46,7 @@ impl Default for BenchOpts {
             iters: 10,
             datasets: Dataset::ALL.to_vec(),
             json: None,
+            threads: None,
         }
     }
 }
@@ -86,8 +91,25 @@ impl BenchOpts {
                         .collect()
                 }
                 "--json" => opts.json = Some(value("--json")),
+                "--threads" => {
+                    let n: usize = value("--threads")
+                        .parse()
+                        .unwrap_or_else(|_| usage("--threads must be an integer"));
+                    if n == 0 {
+                        usage("--threads must be at least 1");
+                    }
+                    opts.threads = Some(n);
+                }
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown flag '{other}'")),
+            }
+        }
+        if let Some(n) = opts.threads {
+            // Applied before any kernel touches the pool, so the whole run
+            // (graph generation included) executes at the requested width.
+            if let Err(e) = mixen_pool::configure_global(n) {
+                eprintln!("error: {e}");
+                std::process::exit(1);
             }
         }
         opts
@@ -145,7 +167,7 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: <bin> [--scale tiny|small|medium|large] [--seed N] [--iters N] \
-         [--datasets weibo,track,...] [--json out.json]"
+         [--datasets weibo,track,...] [--json out.json] [--threads N]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 })
 }

@@ -6,7 +6,7 @@ use crate::error::CliError;
 use mixen_algos::{bfs, default_root, summarize};
 
 pub fn run(args: &Args) -> Result<(), CliError> {
-    args.expect_only(&["root", "engine", "out"])?;
+    args.expect_only(&["root", "engine", "out", "threads"])?;
     let path = args.positional(0, "graph.mxg")?;
     let g = load_graph(path)?;
     let engine = build_engine(args.opt("engine"), &g)?;

@@ -8,7 +8,7 @@ use crate::args::Args;
 use crate::error::CliError;
 
 pub fn run(args: &Args) -> Result<(), CliError> {
-    args.expect_only(&["min-nodes", "max-nodes"])?;
+    args.expect_only(&["min-nodes", "max-nodes", "threads"])?;
     if args.positional_len() != 2 {
         return Err(CliError::usage(
             "convert takes exactly <input> and <output>",

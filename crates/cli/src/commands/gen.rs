@@ -5,7 +5,7 @@ use crate::commands::{parse_dataset, parse_scale};
 use crate::error::CliError;
 
 pub fn run(args: &Args) -> Result<(), CliError> {
-    args.expect_only(&["dataset", "scale", "seed", "out"])?;
+    args.expect_only(&["dataset", "scale", "seed", "out", "threads"])?;
     let dataset = parse_dataset(
         args.opt("dataset")
             .ok_or_else(|| CliError::usage("--dataset is required"))?,

@@ -40,6 +40,7 @@ pub fn run(args: &Args) -> Result<(), CliError> {
         "damping",
         "supervised",
         "metrics-json",
+        "threads",
     ])?;
     let path = args.positional(0, "graph.mxg")?;
     let g = load_graph(path)?;

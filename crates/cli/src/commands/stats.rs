@@ -7,7 +7,7 @@ use crate::error::CliError;
 use mixen_graph::{weakly_connected_components, DegreeDistribution, Direction, StructuralStats};
 
 pub fn run(args: &Args) -> Result<(), CliError> {
-    args.expect_only(&[])?;
+    args.expect_only(&["threads"])?;
     let path = args.positional(0, "graph.mxg")?;
     let g = load_graph(path)?;
 

@@ -21,6 +21,7 @@ fn main() {
         .next()
         .unwrap_or_else(|| usage(Some("missing subcommand")));
     let parsed = Args::parse(argv).unwrap_or_else(|e| usage(Some(&e)));
+    configure_threads(&parsed);
     let result = match sub.as_str() {
         "gen" => commands::gen::run(&parsed),
         "convert" => commands::convert::run(&parsed),
@@ -36,6 +37,25 @@ fn main() {
         }
         eprintln!("error: {e}");
         std::process::exit(e.exit_code());
+    }
+}
+
+/// Applies a global `--threads N` override before any subcommand touches the
+/// pool. The flag beats the `MIXEN_THREADS` environment variable because it
+/// is resolved first, while the global pool is still unbuilt; `--threads 1`
+/// selects the exact sequential execution order.
+fn configure_threads(args: &Args) {
+    let threads: Option<usize> = args
+        .opt_parse("threads")
+        .unwrap_or_else(|e| usage(Some(&e)));
+    if let Some(n) = threads {
+        if n == 0 {
+            usage(Some("--threads must be at least 1"));
+        }
+        if let Err(e) = mixen_pool::configure_global(n) {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
     }
 }
 
@@ -55,6 +75,10 @@ fn usage(err: Option<&str>) -> ! {
          \x20 rank     <graph.mxg> [--algo indegree|pagerank|hits|salsa|cf] [--engine mixen|gpop|ligra|polymer|graphmat]\n\
          \x20          [--iters N] [--top K] [--out scores.tsv] [--supervised true] [--metrics-json report.json]\n\
          \x20 bfs      <graph.mxg> [--root N] [--engine ...]\n\
+         \n\
+         global flags:\n\
+         \x20 --threads N   worker lanes for parallel kernels (default: MIXEN_THREADS env,\n\
+         \x20               else the host's available parallelism; 1 = exact sequential order)\n\
          \n\
          datasets: weibo track wiki pld rmat kron road urand\n\
          exit codes: 0 ok, 1 runtime failure, 2 usage error"

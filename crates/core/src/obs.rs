@@ -92,7 +92,13 @@ impl Gauge {
 
 /// The fixed counter catalogue. Names are the JSON keys of the `counters`
 /// object in every report; see DESIGN.md §6d for the full schema.
-pub const COUNTER_NAMES: [&str; 13] = [
+///
+/// The two `pool_*` entries are *report-level* counters: they describe the
+/// process-wide `mixen-pool` executor rather than one engine, so they are
+/// written into report snapshots by the supervised runner (`pool_workers`
+/// with gauge semantics, `pool_tasks_executed` as the delta observed across
+/// the run) and have no field in the live [`Metrics`] registry.
+pub const COUNTER_NAMES: [&str; 15] = [
     "edges_scattered",
     "edges_gathered",
     "bin_bytes_streamed",
@@ -106,6 +112,8 @@ pub const COUNTER_NAMES: [&str; 13] = [
     "engine_fallbacks",
     "batch_reentries",
     "fault_bisect_steps",
+    "pool_workers",
+    "pool_tasks_executed",
 ];
 
 /// The live metrics registry one engine (or runner) owns. All fields are
@@ -141,11 +149,16 @@ pub struct Metrics {
 }
 
 impl Metrics {
-    /// Freezes the registry into a plain value snapshot.
+    /// Freezes the registry into a plain value snapshot. The snapshot always
+    /// carries the full [`COUNTER_NAMES`] catalogue: entries with no live
+    /// field (the report-level `pool_*` pair) stay zero until the supervised
+    /// runner stamps them.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        MetricsSnapshot {
-            counters: self.entries().collect(),
+        let mut snap = MetricsSnapshot::default();
+        for (name, value) in self.entries() {
+            snap.add(name, value);
         }
+        snap
     }
 
     /// `(name, value)` pairs in catalogue order.
@@ -242,6 +255,15 @@ impl MetricsSnapshot {
         match self.counters.iter_mut().find(|(n, _)| *n == name) {
             Some((_, v)) => *v += delta,
             None => self.counters.push((name, delta)),
+        }
+    }
+
+    /// Overwrites `name` with `value` (gauge semantics), inserting it when
+    /// new. Used for level-style entries such as `pool_workers`.
+    pub fn set(&mut self, name: &'static str, value: u64) {
+        match self.counters.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, v)) => *v = value,
+            None => self.counters.push((name, value)),
         }
     }
 

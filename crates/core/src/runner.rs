@@ -412,11 +412,21 @@ impl RobustRunner {
             }
             Err(error) => return Err(RunFailure { error, report }),
         };
-        // Merge the engine's kernel counters into the report on every exit.
+        // Pool counters are process-global; remember the entry level so the
+        // report carries only this run's task delta.
+        let pool_tasks_at_entry = mixen_pool::stats().tasks_executed;
+        // Merge the engine's kernel counters into the report on every exit,
+        // and stamp the executor's shape and work for this run.
         let finish = |report: &mut RunReport| {
             if let Some(e) = &engine {
                 report.metrics.merge(&e.metrics().snapshot());
             }
+            let pool = mixen_pool::stats();
+            report.metrics.set("pool_workers", pool.threads as u64);
+            report.metrics.set(
+                "pool_tasks_executed",
+                pool.tasks_executed.saturating_sub(pool_tasks_at_entry),
+            );
         };
 
         let limit = self.opts.divergence_limit;

@@ -1,0 +1,905 @@
+//! `mixen-pool` — a dependency-free fixed thread pool with chunked
+//! work-stealing deques, built on `std::thread`, mutexes and atomics only.
+//!
+//! This crate is the execution substrate for the whole Mixen workspace: the
+//! vendored `stubs/rayon` shim lowers every `par_iter` pipeline onto the
+//! primitives exported here, so the Scatter–Cache–Gather–Apply engine and the
+//! baselines all share one pool and one `--threads` / `MIXEN_THREADS` knob.
+//!
+//! # Execution model
+//!
+//! A pool with `threads = t` means *total* parallelism `t`: it spawns `t - 1`
+//! background workers and the calling thread participates as the `t`-th lane
+//! while it blocks in [`scope`] or [`join`]. `threads = 1` spawns no workers
+//! at all and every task runs inline on the caller, in spawn order — this is
+//! the bit-for-bit sequential fallback the engine's determinism contract
+//! relies on (float sums are performed in exactly the single-threaded order).
+//!
+//! Each worker owns a deque protected by a mutex: the owner pops newest-first
+//! (LIFO, cache-friendly for nested splits) while idle workers steal
+//! oldest-first (FIFO, largest-remaining chunks). Tasks submitted from
+//! threads outside the pool land in a shared injector queue. Callers waiting
+//! on a [`Scope`] *help*: they repeatedly pop/steal pending tasks instead of
+//! blocking, so a pool can never deadlock on its own scope.
+//!
+//! # Which pool runs my task?
+//!
+//! Free functions ([`scope`], [`join`], [`par_chunks`], …) resolve the
+//! *ambient* pool in this order:
+//!
+//! 1. if the current thread is a pool worker, that worker's own pool;
+//! 2. the innermost [`ThreadPool::install`] / [`with_threads`] override;
+//! 3. the process-global pool, lazily created from the `MIXEN_THREADS`
+//!    environment variable (or [`std::thread::available_parallelism`] when
+//!    unset) on first use; [`configure_global`] pins it explicitly first.
+//!
+//! # Memory ordering
+//!
+//! Task handoff is synchronized by the deque mutexes. Scope completion uses a
+//! `pending` counter: each task's final decrement is `Release` and the
+//! waiter's read of `pending == 0` is `Acquire`, so every write performed by
+//! a task *happens-before* the scope returns. The [`PoolStats`] counters are
+//! plain `Relaxed` statistics — they are exact once a scope has completed
+//! (the Release/Acquire pair above orders them too), and merely monotonic
+//! while tasks are still in flight.
+//!
+//! # Example
+//!
+//! ```
+//! // Sum a slice in parallel chunks, then check against the sequential sum.
+//! use std::sync::atomic::{AtomicU64, Ordering};
+//!
+//! let data: Vec<u64> = (0..10_000).collect();
+//! let total = AtomicU64::new(0);
+//! mixen_pool::par_chunks(&data, 1024, |_part, chunk| {
+//!     let s: u64 = chunk.iter().sum();
+//!     total.fetch_add(s, Ordering::Relaxed);
+//! });
+//! assert_eq!(total.into_inner(), data.iter().sum::<u64>());
+//! ```
+
+#![warn(missing_docs)]
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
+
+/// A queued unit of work. Scopes erase the `'scope` lifetime before boxing
+/// (see [`Scope::spawn`]), which is sound because a scope never returns until
+/// its pending count reaches zero.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// How long a parked worker sleeps before re-checking for work or shutdown.
+/// Wakeups are normally explicit (every push notifies); the timeout is a
+/// belt-and-braces bound on any missed-notify window.
+const PARK_TIMEOUT: Duration = Duration::from_millis(50);
+
+/// How long a scope waiter sleeps when all of its tasks are already running
+/// on other lanes and there is nothing left to help with.
+const HELP_TIMEOUT: Duration = Duration::from_millis(1);
+
+// ---------------------------------------------------------------------------
+// Pool core
+// ---------------------------------------------------------------------------
+
+struct PoolCore {
+    /// Total parallelism including the caller lane; `queues.len() + 1`.
+    threads: usize,
+    /// One deque per background worker. Owner pops back, thieves pop front.
+    queues: Vec<Mutex<VecDeque<Job>>>,
+    /// Overflow queue for tasks submitted from non-worker threads.
+    injector: Mutex<VecDeque<Job>>,
+    /// Parking lot: workers sleep on `wakeup` holding `sleep`.
+    sleep: Mutex<()>,
+    wakeup: Condvar,
+    shutdown: AtomicBool,
+    tasks_executed: AtomicU64,
+    steals: AtomicU64,
+}
+
+impl PoolCore {
+    fn new(threads: usize) -> Arc<PoolCore> {
+        let workers = threads - 1;
+        Arc::new(PoolCore {
+            threads,
+            queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            injector: Mutex::new(VecDeque::new()),
+            sleep: Mutex::new(()),
+            wakeup: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            tasks_executed: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+        })
+    }
+
+    /// Spawns the background workers for an already-constructed core.
+    fn start_workers(core: &Arc<PoolCore>) -> Vec<std::thread::JoinHandle<()>> {
+        (0..core.queues.len())
+            .map(|index| {
+                let core = Arc::clone(core);
+                std::thread::Builder::new()
+                    .name(format!("mixen-pool-{index}"))
+                    .spawn(move || worker_main(core, index))
+                    .expect("mixen-pool: failed to spawn worker thread")
+            })
+            .collect()
+    }
+
+    /// Enqueues a job: onto the submitting worker's own deque when the
+    /// submitter belongs to this pool, otherwise into the shared injector.
+    fn push(self: &Arc<Self>, job: Job) {
+        match local_worker_index(self) {
+            Some(i) => self.queues[i].lock().unwrap().push_back(job),
+            None => self.injector.lock().unwrap().push_back(job),
+        }
+        // Serialize the notify against parked workers' "is there work?"
+        // check so a push cannot slip into their check-then-wait window.
+        let _park = self.sleep.lock().unwrap();
+        self.wakeup.notify_all();
+    }
+
+    /// Pops local work (LIFO), then injector work, then steals (FIFO).
+    fn find_work(&self, own_index: Option<usize>) -> Option<Job> {
+        if let Some(i) = own_index {
+            if let Some(job) = self.queues[i].lock().unwrap().pop_back() {
+                return Some(job);
+            }
+        }
+        if let Some(job) = self.injector.lock().unwrap().pop_front() {
+            return Some(job);
+        }
+        let n = self.queues.len();
+        let start = own_index.map_or(0, |i| i + 1);
+        for k in 0..n {
+            let victim = (start + k) % n;
+            if Some(victim) == own_index {
+                continue;
+            }
+            if let Some(job) = self.queues[victim].lock().unwrap().pop_front() {
+                self.steals.fetch_add(1, Ordering::Relaxed);
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    fn work_available(&self) -> bool {
+        if !self.injector.lock().unwrap().is_empty() {
+            return true;
+        }
+        self.queues.iter().any(|q| !q.lock().unwrap().is_empty())
+    }
+
+    fn run(&self, job: Job) {
+        self.tasks_executed.fetch_add(1, Ordering::Relaxed);
+        // Jobs never unwind: every producer (Scope::spawn) wraps the user
+        // closure in catch_unwind and stores the payload in the scope.
+        job();
+    }
+}
+
+fn worker_main(core: Arc<PoolCore>, index: usize) {
+    WORKER.with(|w| {
+        *w.borrow_mut() = Some(WorkerCtx {
+            core: Arc::clone(&core),
+            index,
+        });
+    });
+    loop {
+        while let Some(job) = core.find_work(Some(index)) {
+            core.run(job);
+        }
+        let mut park = core.sleep.lock().unwrap();
+        loop {
+            if core.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            if core.work_available() {
+                break;
+            }
+            let (guard, _timeout) = core.wakeup.wait_timeout(park, PARK_TIMEOUT).unwrap();
+            park = guard;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Ambient-pool resolution
+// ---------------------------------------------------------------------------
+
+struct WorkerCtx {
+    core: Arc<PoolCore>,
+    index: usize,
+}
+
+thread_local! {
+    /// Set once at worker startup; identifies the worker's pool and deque.
+    static WORKER: RefCell<Option<WorkerCtx>> = const { RefCell::new(None) };
+    /// Stack of `ThreadPool::install` overrides on this thread.
+    static OVERRIDE: RefCell<Vec<Arc<PoolCore>>> = const { RefCell::new(Vec::new()) };
+}
+
+static GLOBAL: OnceLock<Arc<PoolCore>> = OnceLock::new();
+static GLOBAL_HANDLES: OnceLock<()> = OnceLock::new();
+
+/// If the current thread is a worker of `core`, its deque index.
+fn local_worker_index(core: &Arc<PoolCore>) -> Option<usize> {
+    WORKER.with(|w| {
+        w.borrow()
+            .as_ref()
+            .and_then(|ctx| Arc::ptr_eq(&ctx.core, core).then_some(ctx.index))
+    })
+}
+
+fn parse_threads_env(value: Option<&str>) -> Option<usize> {
+    value
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+}
+
+fn default_threads() -> usize {
+    parse_threads_env(std::env::var("MIXEN_THREADS").ok().as_deref()).unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+fn global_core() -> &'static Arc<PoolCore> {
+    let core = GLOBAL.get_or_init(|| PoolCore::new(default_threads()));
+    // Workers for the global pool are started exactly once, detached: the
+    // global pool lives for the whole process and is never shut down.
+    GLOBAL_HANDLES.get_or_init(|| {
+        let _handles = PoolCore::start_workers(core);
+    });
+    core
+}
+
+fn current_core() -> Arc<PoolCore> {
+    if let Some(core) = WORKER.with(|w| w.borrow().as_ref().map(|ctx| Arc::clone(&ctx.core))) {
+        return core;
+    }
+    if let Some(core) = OVERRIDE.with(|o| o.borrow().last().cloned()) {
+        return core;
+    }
+    Arc::clone(global_core())
+}
+
+/// Error returned by [`configure_global`] when the global pool already
+/// exists with a different thread count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolConfigError {
+    /// The thread count the global pool was already initialized with.
+    pub current: usize,
+    /// The thread count the rejected call asked for.
+    pub requested: usize,
+}
+
+impl fmt::Display for PoolConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "global pool already initialized with {} threads (requested {})",
+            self.current, self.requested
+        )
+    }
+}
+
+impl std::error::Error for PoolConfigError {}
+
+/// Pins the process-global pool to `threads` total lanes.
+///
+/// Must run before anything touches the global pool (the pool is created
+/// lazily on first use and cannot be resized afterwards). Calling again with
+/// the same value is a no-op; a different value returns [`PoolConfigError`].
+/// `threads = 0` is treated as `1`.
+pub fn configure_global(threads: usize) -> Result<(), PoolConfigError> {
+    let requested = threads.max(1);
+    let mut created = false;
+    let core = GLOBAL.get_or_init(|| {
+        created = true;
+        PoolCore::new(requested)
+    });
+    if !created && core.threads != requested {
+        return Err(PoolConfigError {
+            current: core.threads,
+            requested,
+        });
+    }
+    if created {
+        GLOBAL_HANDLES.get_or_init(|| {
+            let _handles = PoolCore::start_workers(core);
+        });
+    }
+    Ok(())
+}
+
+/// Total parallelism of the ambient pool (workers plus the caller lane).
+pub fn current_num_threads() -> usize {
+    current_core().threads
+}
+
+/// Runs `f` with a temporary pool of `threads` lanes installed as the
+/// ambient pool on this thread, then tears the pool down.
+///
+/// This is how tests exercise several thread counts inside one process: the
+/// process-global pool cannot be reconfigured, but overrides nest freely.
+pub fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    ThreadPool::new(threads).install(f)
+}
+
+/// Snapshot of a pool's lifetime counters. See [`stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Total parallelism (background workers + the caller lane).
+    pub threads: usize,
+    /// Number of background worker threads (`threads - 1`).
+    pub workers: usize,
+    /// Tasks executed since the pool started (monotonic).
+    pub tasks_executed: u64,
+    /// Tasks taken from another worker's deque (monotonic).
+    pub steals: u64,
+}
+
+/// Counters of the ambient pool. Exact for all completed scopes; merely
+/// monotonic while tasks are in flight (the counters are `Relaxed`).
+pub fn stats() -> PoolStats {
+    let core = current_core();
+    PoolStats {
+        threads: core.threads,
+        workers: core.queues.len(),
+        tasks_executed: core.tasks_executed.load(Ordering::Relaxed),
+        steals: core.steals.load(Ordering::Relaxed),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool
+// ---------------------------------------------------------------------------
+
+/// A fixed-size pool of worker threads with per-worker work-stealing deques.
+///
+/// Dropping the pool signals shutdown and joins all workers. The pool cannot
+/// be cloned; share work through [`ThreadPool::install`] or the free
+/// functions on the ambient pool instead.
+pub struct ThreadPool {
+    core: Arc<PoolCore>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Creates a pool with `threads` total lanes: `threads - 1` background
+    /// workers plus the calling thread while it waits inside [`scope`] or
+    /// [`join`]. `threads = 0` is treated as `1` (no workers; every task
+    /// runs inline on the caller in spawn order).
+    ///
+    /// [`scope`]: ThreadPool::scope
+    /// [`join`]: ThreadPool::join
+    pub fn new(threads: usize) -> ThreadPool {
+        let core = PoolCore::new(threads.max(1));
+        let handles = PoolCore::start_workers(&core);
+        ThreadPool { core, handles }
+    }
+
+    /// Total parallelism of this pool (workers + caller lane).
+    pub fn threads(&self) -> usize {
+        self.core.threads
+    }
+
+    /// Number of background worker threads (`threads() - 1`).
+    pub fn workers(&self) -> usize {
+        self.core.queues.len()
+    }
+
+    /// Lifetime counters for this pool. See [`PoolStats`].
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            threads: self.core.threads,
+            workers: self.core.queues.len(),
+            tasks_executed: self.core.tasks_executed.load(Ordering::Relaxed),
+            steals: self.core.steals.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Runs `op` with a [`Scope`] that can spawn tasks borrowing from the
+    /// enclosing stack frame, and blocks (helping to run pending tasks)
+    /// until every spawned task has finished.
+    ///
+    /// If `op` or any spawned task panics, the panic is re-raised here after
+    /// all tasks have completed — borrowed data is never freed while a task
+    /// can still reach it.
+    pub fn scope<'scope, R>(&self, op: impl FnOnce(&Scope<'scope>) -> R) -> R {
+        scope_on(&self.core, op)
+    }
+
+    /// Runs `a` on the calling thread while `b` is eligible to run on any
+    /// idle lane, and returns both results. With a single-lane pool the two
+    /// closures simply run sequentially, `a` first.
+    pub fn join<A, B, RA, RB>(&self, a: A, b: B) -> (RA, RB)
+    where
+        A: FnOnce() -> RA + Send,
+        B: FnOnce() -> RB + Send,
+        RA: Send,
+        RB: Send,
+    {
+        join_on(&self.core, a, b)
+    }
+
+    /// Runs `f` with this pool installed as the ambient pool for the
+    /// current thread (nestable; restored on return or panic).
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        struct PopOnDrop;
+        impl Drop for PopOnDrop {
+            fn drop(&mut self) {
+                OVERRIDE.with(|o| {
+                    o.borrow_mut().pop();
+                });
+            }
+        }
+        OVERRIDE.with(|o| o.borrow_mut().push(Arc::clone(&self.core)));
+        let _guard = PopOnDrop;
+        f()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.core.shutdown.store(true, Ordering::Release);
+        {
+            let _park = self.core.sleep.lock().unwrap();
+            self.core.wakeup.notify_all();
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("threads", &self.core.threads)
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scope
+// ---------------------------------------------------------------------------
+
+struct ScopeState {
+    pending: AtomicUsize,
+    lock: Mutex<()>,
+    done: Condvar,
+    panic: Mutex<Option<Box<dyn Any + Send + 'static>>>,
+}
+
+/// Spawns tasks that may borrow from the stack frame enclosing the
+/// [`scope`] / [`ThreadPool::scope`] call. See those functions.
+pub struct Scope<'scope> {
+    core: Arc<PoolCore>,
+    state: Arc<ScopeState>,
+    /// Makes `'scope` invariant so it cannot be shortened to allow escaping
+    /// borrows.
+    _marker: PhantomData<fn(&'scope ()) -> &'scope ()>,
+}
+
+impl<'scope> Scope<'scope> {
+    /// Queues `f` to run on the pool. On a single-lane pool the task runs
+    /// immediately, inline, preserving exact sequential order and panic
+    /// behaviour.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        if self.core.queues.is_empty() {
+            // Single-lane pool: run inline. A panic unwinds straight through
+            // the scope body, exactly like plain sequential code.
+            self.core.tasks_executed.fetch_add(1, Ordering::Relaxed);
+            f();
+            return;
+        }
+        self.state.pending.fetch_add(1, Ordering::SeqCst);
+        let state = Arc::clone(&self.state);
+        let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(f)) {
+                let mut slot = state.panic.lock().unwrap();
+                // Keep the first panic; later ones are duplicates of the
+                // same logical failure as far as the scope is concerned.
+                slot.get_or_insert(payload);
+            }
+            if state.pending.fetch_sub(1, Ordering::Release) == 1 {
+                let _sync = state.lock.lock().unwrap();
+                state.done.notify_all();
+            }
+        });
+        // SAFETY: the job's `'scope` borrows stay valid until the scope call
+        // returns, and `scope_on` does not return (even on panic) until
+        // `pending` has dropped to zero — i.e. until this job has run to
+        // completion. Erasing the lifetime to `'static` therefore never lets
+        // the job outlive the data it borrows.
+        let job: Job = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Box<dyn FnOnce() + Send>>(job)
+        };
+        self.core.push(job);
+    }
+}
+
+impl fmt::Debug for Scope<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Scope")
+            .field("pending", &self.state.pending.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+fn scope_on<'scope, R>(core: &Arc<PoolCore>, op: impl FnOnce(&Scope<'scope>) -> R) -> R {
+    let scope = Scope {
+        core: Arc::clone(core),
+        state: Arc::new(ScopeState {
+            pending: AtomicUsize::new(0),
+            lock: Mutex::new(()),
+            done: Condvar::new(),
+            panic: Mutex::new(None),
+        }),
+        _marker: PhantomData,
+    };
+    // Catch a panic in the scope body itself so already-spawned tasks are
+    // still waited for before unwinding frees their borrowed data.
+    let body = catch_unwind(AssertUnwindSafe(|| op(&scope)));
+    wait_scope(core, &scope.state);
+    if let Some(payload) = scope.state.panic.lock().unwrap().take() {
+        resume_unwind(payload);
+    }
+    match body {
+        Ok(result) => result,
+        Err(payload) => resume_unwind(payload),
+    }
+}
+
+/// Blocks until the scope's pending count reaches zero, running any pool
+/// task it can find in the meantime (the caller "helps" as an extra lane).
+fn wait_scope(core: &Arc<PoolCore>, state: &ScopeState) {
+    let own_index = local_worker_index(core);
+    while state.pending.load(Ordering::Acquire) != 0 {
+        if let Some(job) = core.find_work(own_index) {
+            core.run(job);
+            continue;
+        }
+        // Nothing to help with: our remaining tasks are running on other
+        // lanes. Sleep until the last decrement notifies us. The re-check
+        // under the lock closes the check-then-wait race with the task-side
+        // lock/notify sequence.
+        let guard = state.lock.lock().unwrap();
+        if state.pending.load(Ordering::Acquire) == 0 {
+            return;
+        }
+        let _ = state.done.wait_timeout(guard, HELP_TIMEOUT).unwrap();
+    }
+}
+
+fn join_on<A, B, RA, RB>(core: &Arc<PoolCore>, a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if core.queues.is_empty() {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+    let mut rb: Option<RB> = None;
+    let ra = scope_on(core, |s| {
+        let slot = &mut rb;
+        s.spawn(move || *slot = Some(b()));
+        a()
+    });
+    match rb {
+        Some(rb) => (ra, rb),
+        // The scope returned normally, so `b` ran to completion (a panic in
+        // `b` would have propagated out of `scope_on`).
+        None => unreachable!("mixen-pool join: task b completed without storing a result"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Free functions on the ambient pool
+// ---------------------------------------------------------------------------
+
+/// [`ThreadPool::scope`] on the ambient pool.
+///
+/// ```
+/// let mut histogram = [0usize; 4];
+/// let (a, b) = histogram.split_at_mut(2);
+/// mixen_pool::scope(|s| {
+///     s.spawn(|| a[0] = 1);
+///     s.spawn(|| b[1] = 2);
+/// });
+/// assert_eq!(histogram, [1, 0, 0, 2]);
+/// ```
+pub fn scope<'scope, R>(op: impl FnOnce(&Scope<'scope>) -> R) -> R {
+    scope_on(&current_core(), op)
+}
+
+/// [`ThreadPool::join`] on the ambient pool.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    join_on(&current_core(), a, b)
+}
+
+/// Calls `f(part_index, chunk)` for consecutive `chunk_size`-sized chunks of
+/// `items` (last chunk may be shorter), in parallel on the ambient pool.
+///
+/// An empty slice spawns no tasks. Panics if `chunk_size == 0`.
+pub fn par_chunks<T, F>(items: &[T], chunk_size: usize, f: F)
+where
+    T: Sync,
+    F: Fn(usize, &[T]) + Sync,
+{
+    assert!(chunk_size > 0, "par_chunks: chunk_size must be non-zero");
+    scope(|s| {
+        for (part, chunk) in items.chunks(chunk_size).enumerate() {
+            let f = &f;
+            s.spawn(move || f(part, chunk));
+        }
+    });
+}
+
+/// Mutable variant of [`par_chunks`]: `f(part_index, chunk)` over disjoint
+/// mutable chunks.
+///
+/// An empty slice spawns no tasks. Panics if `chunk_size == 0`.
+pub fn par_chunks_mut<T, F>(items: &mut [T], chunk_size: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(
+        chunk_size > 0,
+        "par_chunks_mut: chunk_size must be non-zero"
+    );
+    scope(|s| {
+        for (part, chunk) in items.chunks_mut(chunk_size).enumerate() {
+            let f = &f;
+            s.spawn(move || f(part, chunk));
+        }
+    });
+}
+
+/// Calls `f(i)` for every `i` in `range`, split into one contiguous
+/// sub-range per task (about four tasks per lane on the ambient pool).
+pub fn par_range<F>(range: Range<usize>, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    let len = range.end.saturating_sub(range.start);
+    if len == 0 {
+        return;
+    }
+    let threads = current_num_threads();
+    let parts = if threads <= 1 {
+        1
+    } else {
+        (threads * 4).min(len)
+    };
+    if parts == 1 {
+        for i in range {
+            f(i);
+        }
+        return;
+    }
+    let start = range.start;
+    scope(|s| {
+        for p in 0..parts {
+            let lo = start + len * p / parts;
+            let hi = start + len * (p + 1) / parts;
+            let f = &f;
+            s.spawn(move || {
+                for i in lo..hi {
+                    f(i);
+                }
+            });
+        }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Tests
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    fn fib_join(pool: &ThreadPool, n: u64) -> u64 {
+        if n < 2 {
+            return n;
+        }
+        let (a, b) = pool.join(|| fib_join(pool, n - 1), || fib_join(pool, n - 2));
+        a + b
+    }
+
+    #[test]
+    fn nested_join_computes_fib() {
+        for threads in [1, 2, 4] {
+            let pool = ThreadPool::new(threads);
+            assert_eq!(fib_join(&pool, 15), 610, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn scope_tasks_mutate_borrowed_slice() {
+        let pool = ThreadPool::new(4);
+        let mut data = vec![0usize; 64];
+        pool.scope(|s| {
+            for (i, slot) in data.iter_mut().enumerate() {
+                s.spawn(move || *slot = i * i);
+            }
+        });
+        assert!(data.iter().enumerate().all(|(i, &v)| v == i * i));
+    }
+
+    #[test]
+    fn panic_in_scope_task_propagates() {
+        let pool = ThreadPool::new(2);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                s.spawn(|| panic!("task boom"));
+            });
+        }));
+        let payload = caught.expect_err("scope should propagate the task panic");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or("");
+        assert_eq!(msg, "task boom");
+    }
+
+    #[test]
+    fn panic_in_join_branch_propagates() {
+        for threads in [1, 2] {
+            let pool = ThreadPool::new(threads);
+            let caught = catch_unwind(AssertUnwindSafe(|| {
+                pool.join(|| 1, || -> i32 { panic!("join boom") })
+            }));
+            assert!(caught.is_err(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn scope_waits_for_tasks_even_when_body_panics() {
+        let pool = ThreadPool::new(2);
+        let ran = AtomicUsize::new(0);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                for _ in 0..8 {
+                    s.spawn(|| {
+                        std::thread::sleep(Duration::from_millis(2));
+                        ran.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+                panic!("body boom");
+            });
+        }));
+        assert!(caught.is_err());
+        // All spawned tasks must have completed before the panic resumed.
+        assert_eq!(ran.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn par_chunks_handles_empty_input() {
+        let calls = AtomicUsize::new(0);
+        let empty: [u8; 0] = [];
+        par_chunks(&empty, 16, |_, _| {
+            calls.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 0);
+
+        let mut empty_mut: [u8; 0] = [];
+        par_chunks_mut(&mut empty_mut, 16, |_, _| {
+            calls.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk_size must be non-zero")]
+    fn par_chunks_rejects_zero_chunk_size() {
+        par_chunks(&[1, 2, 3], 0, |_, _| {});
+    }
+
+    #[test]
+    fn par_chunks_mut_covers_disjoint_chunks() {
+        with_threads(4, || {
+            let mut data = vec![0u32; 1000];
+            par_chunks_mut(&mut data, 64, |part, chunk| {
+                for v in chunk.iter_mut() {
+                    *v = part as u32 + 1;
+                }
+            });
+            assert!(data.iter().all(|&v| v >= 1));
+            assert_eq!(data[0], 1);
+            assert_eq!(data[999], 1000 / 64 + 1);
+        });
+    }
+
+    #[test]
+    fn par_range_visits_every_index_once() {
+        with_threads(3, || {
+            let hits: Vec<AtomicUsize> = (0..257).map(|_| AtomicUsize::new(0)).collect();
+            par_range(0..257, |i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        });
+    }
+
+    #[test]
+    fn with_threads_overrides_nest_and_restore() {
+        with_threads(2, || {
+            assert_eq!(current_num_threads(), 2);
+            with_threads(5, || assert_eq!(current_num_threads(), 5));
+            assert_eq!(current_num_threads(), 2);
+        });
+    }
+
+    #[test]
+    fn single_lane_pool_runs_tasks_inline_in_spawn_order() {
+        let pool = ThreadPool::new(1);
+        assert_eq!(pool.workers(), 0);
+        let order = Mutex::new(Vec::new());
+        pool.scope(|s| {
+            for i in 0..10 {
+                let order = &order;
+                s.spawn(move || order.lock().unwrap().push(i));
+            }
+        });
+        assert_eq!(*order.lock().unwrap(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stats_count_executed_tasks() {
+        let pool = ThreadPool::new(3);
+        let before = pool.stats();
+        assert_eq!(before.threads, 3);
+        assert_eq!(before.workers, 2);
+        pool.scope(|s| {
+            for _ in 0..20 {
+                s.spawn(|| {});
+            }
+        });
+        let after = pool.stats();
+        assert_eq!(after.tasks_executed - before.tasks_executed, 20);
+    }
+
+    #[test]
+    fn parse_threads_env_accepts_positive_integers_only() {
+        assert_eq!(parse_threads_env(Some("4")), Some(4));
+        assert_eq!(parse_threads_env(Some(" 8 ")), Some(8));
+        assert_eq!(parse_threads_env(Some("0")), None);
+        assert_eq!(parse_threads_env(Some("-2")), None);
+        assert_eq!(parse_threads_env(Some("many")), None);
+        assert_eq!(parse_threads_env(None), None);
+    }
+
+    #[test]
+    fn join_returns_both_results_across_thread_counts() {
+        for threads in [1, 2, 4] {
+            let pool = ThreadPool::new(threads);
+            let (a, b) = pool.join(|| "left".len(), || "right".len());
+            assert_eq!((a, b), (4, 5));
+        }
+    }
+}

@@ -1,20 +1,45 @@
 #!/usr/bin/env bash
 # Regenerates every table/figure of EXPERIMENTS.md into results/.
-# Usage: scripts/run_all.sh [scale] [iters]   (defaults: small 10)
+# Usage: scripts/run_all.sh [scale] [iters] [--threads N]
+#   defaults: small 10, threads from MIXEN_THREADS / host parallelism.
+# --threads pins the worker-lane count of every binary; the scaling bin
+# sweeps its own 1/2/4/8 lane counts regardless.
 set -euo pipefail
 cd "$(dirname "$0")/.."
-SCALE="${1:-small}"
-ITERS="${2:-10}"
+SCALE="small"
+ITERS="10"
+THREADS=()
+POS=0
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --threads)
+      [ $# -ge 2 ] || { echo "error: --threads needs a value" >&2; exit 2; }
+      THREADS=(--threads "$2"); shift 2 ;;
+    *)
+      case $POS in
+        0) SCALE="$1" ;;
+        1) ITERS="$1" ;;
+        *) echo "error: unexpected argument '$1'" >&2; exit 2 ;;
+      esac
+      POS=$((POS + 1)); shift ;;
+  esac
+done
 cargo build --release -p mixen-bench
 mkdir -p results
 for b in table1 table2 table4 fig4 fig5 fig6 fig7 model_check ablation adaptive; do
   echo "=== $b ($SCALE) ==="
-  ./target/release/$b --scale "$SCALE" --iters "$ITERS" | tee "results/${b}_${SCALE}.txt"
+  ./target/release/$b --scale "$SCALE" --iters "$ITERS" "${THREADS[@]}" \
+    | tee "results/${b}_${SCALE}.txt"
 done
-# phases and table3 also emit machine-readable JSON sidecars.
+# phases, table3 and scaling also emit machine-readable JSON sidecars.
 for b in phases table3; do
   echo "=== $b ($SCALE) ==="
-  ./target/release/$b --scale "$SCALE" --iters "$ITERS" \
+  ./target/release/$b --scale "$SCALE" --iters "$ITERS" "${THREADS[@]}" \
     --json "results/${b}_${SCALE}.json" | tee "results/${b}_${SCALE}.txt"
 done
+# The scaling sweep manages its own lane counts (1/2/4/8 via pool overrides),
+# so it deliberately does not receive --threads.
+echo "=== scaling ($SCALE) ==="
+./target/release/scaling --scale "$SCALE" --iters "$ITERS" \
+  --json "results/scaling_${SCALE}.json" | tee "results/scaling_${SCALE}.txt"
 echo "all results written to results/"

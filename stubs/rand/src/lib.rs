@@ -1,7 +1,7 @@
 //! Deterministic shim of the `rand` 0.8 API subset this workspace uses.
 //!
 //! The build environment is offline, so the real crate cannot be fetched.
-//! [`StdRng`] here is a splitmix64 generator — statistically fine for graph
+//! [`rngs::StdRng`] here is a splitmix64 generator — statistically fine for graph
 //! synthesis and shuffling, and fully reproducible from `seed_from_u64`.
 //! Note the streams differ from upstream `rand`'s ChaCha-based `StdRng`,
 //! so generated graphs differ in exact edges (but not in distributional

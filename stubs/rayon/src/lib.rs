@@ -1,400 +1,1376 @@
-//! Sequential shim of the `rayon` API subset this workspace uses.
+//! Vendored `rayon` facade that lowers data-parallel pipelines onto the
+//! workspace's own [`mixen_pool`] work-stealing thread pool.
 //!
 //! The build environment has no network access and no crates.io mirror, so
-//! the real rayon cannot be fetched. This stub keeps the exact call-site API
-//! (`par_iter`, `into_par_iter`, `fold`/`reduce`, `par_sort_unstable`, …)
-//! but executes everything sequentially on the calling thread. Correctness
-//! is unaffected: every parallel pattern in the workspace (disjoint-slot
-//! writes through atomic cursors, per-chunk fold/reduce) is valid under
-//! sequential execution, which is simply the one-thread schedule.
+//! the real rayon cannot be fetched. This crate keeps the subset of rayon's
+//! API that Mixen uses so that every call site across `mixen-graph`,
+//! `mixen-core`, `mixen-algos` and `mixen-baselines` compiles unchanged
+//! against a dependency-free backend — but unlike the original sequential
+//! stub, execution is now **genuinely parallel**:
 //!
-//! [`ParIter`] deliberately does NOT implement [`Iterator`]: the adapter
-//! names (`map`, `filter`, `fold`, …) would otherwise be ambiguous at every
-//! call site that has both the std prelude and `rayon::prelude` in scope.
+//! * Sources (`Range<int>`, `&[T]`, `&mut [T]`, `Vec<T>`, and `zip` /
+//!   `enumerate` combinations of them) are split into at most
+//!   `threads × 4` contiguous, ordered parts.
+//! * Each part is pushed onto the ambient [`mixen_pool`] pool as one task;
+//!   adapters (`map`, `filter`, `flat_map_iter`, …) run fused inside the
+//!   part's task, so a whole pipeline stage is a single chunked job.
+//! * Terminal operations (`collect`, `fold`, `reduce`, `sum`, …) gather the
+//!   per-part results into slots indexed by part number and combine them
+//!   **in part order**, so for a fixed thread count every result —
+//!   including float reductions — is deterministic.
+//!
+//! # Single-thread fallback
+//!
+//! When the ambient pool has one lane (`MIXEN_THREADS=1`, `--threads 1`, or
+//! `mixen_pool::with_threads(1, …)`), every pipeline collapses to exactly
+//! one part that runs inline on the caller. That reproduces the historical
+//! sequential shim bit-for-bit — same iteration order, same float-sum
+//! association — which is what the engine's determinism tests pin down.
+//! With more lanes, results can differ from the 1-thread run only where a
+//! reduction's combine order matters (float addition); part boundaries are
+//! a pure function of `(len, threads)`, so any given thread count is still
+//! reproducible run-to-run.
+//!
+//! # Deviations from real rayon
+//!
+//! * `flat_map` behaves like `flat_map_iter` (inner iterators are consumed
+//!   sequentially within the part that produced them).
+//! * `par_sort` / `par_sort_by` (stable) run sequentially; the unstable
+//!   sorts parallelize via quicksort over `mixen_pool::join`.
+//! * `with_min_len` / `with_max_len` are accepted and ignored.
+//! * `zip` and `enumerate` are only available on splittable sources
+//!   (ranges, slices, and their `zip`/`enumerate` compositions), not on
+//!   arbitrary adapter pipelines.
 
-/// Number of worker threads (always 1: everything runs on the caller).
+use std::cmp::Ordering as CmpOrdering;
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// Total parallelism of the ambient pool (see [`mixen_pool`]).
 pub fn current_num_threads() -> usize {
-    1
+    mixen_pool::current_num_threads()
 }
 
-/// Runs both closures (sequentially) and returns their results.
+/// Runs both closures, potentially in parallel, via [`mixen_pool::join`].
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
-    A: FnOnce() -> RA,
-    B: FnOnce() -> RB,
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
 {
-    (a(), b())
+    mixen_pool::join(a, b)
 }
 
-/// Wrapper turning a sequential [`Iterator`] into a "parallel" iterator.
-pub struct ParIter<I>(I);
+/// How many parts a pipeline is split into per pool lane, so work-stealing
+/// can rebalance uneven parts. A single-lane pool uses exactly one part
+/// (the sequential fallback).
+const PARTS_PER_THREAD: usize = 4;
 
-pub mod iter {
-    use super::ParIter;
+fn default_parts() -> usize {
+    let threads = mixen_pool::current_num_threads();
+    if threads <= 1 {
+        1
+    } else {
+        threads * PARTS_PER_THREAD
+    }
+}
 
-    /// Mirror of `rayon::iter::IntoParallelIterator`.
-    pub trait IntoParallelIterator {
-        type Item;
-        type Iter: ParallelIterator<Item = Self::Item>;
-        fn into_par_iter(self) -> Self::Iter;
+// ---------------------------------------------------------------------------
+// Execution plumbing: sinks, producers, part slots
+// ---------------------------------------------------------------------------
+
+/// Consumer side of a pipeline: receives each part's item stream. Adapters
+/// wrap the downstream sink; sources call `accept` once per part, from the
+/// pool task that owns the part.
+#[doc(hidden)]
+pub trait PartSink<T>: Sync {
+    fn accept<I: Iterator<Item = T>>(&self, part: usize, items: I);
+}
+
+/// A splittable, exactly-sized source: the parallel analogue of a slice.
+/// `split_at` must preserve order (left part first), which is what keeps
+/// every pipeline's part numbering — and thus every reduction — ordered.
+#[doc(hidden)]
+#[allow(clippy::len_without_is_empty)] // splitting only needs the exact length
+pub trait Producer: Send + Sized {
+    type Item;
+    type IntoIter: Iterator<Item = Self::Item>;
+    fn len(&self) -> usize;
+    fn split_at(self, index: usize) -> (Self, Self);
+    fn into_iter(self) -> Self::IntoIter;
+}
+
+/// Splits `producer` into `parts` contiguous chunks and runs one pool task
+/// per chunk. Part boundaries depend only on `(len, parts)`.
+fn drive_producer<P, S>(producer: P, parts: usize, sink: &S)
+where
+    P: Producer,
+    S: PartSink<P::Item>,
+{
+    let len = producer.len();
+    let parts = parts.clamp(1, len.max(1));
+    if parts == 1 {
+        sink.accept(0, producer.into_iter());
+        return;
+    }
+    mixen_pool::scope(|s| {
+        let mut rest = Some(producer);
+        let mut offset = 0usize;
+        for part in 0..parts {
+            let end = len * (part + 1) / parts;
+            let take = end - offset;
+            offset = end;
+            let chunk = if part + 1 == parts {
+                rest.take()
+                    .expect("drive_producer: producer already consumed")
+            } else {
+                let (head, tail) = rest
+                    .take()
+                    .expect("drive_producer: producer already consumed")
+                    .split_at(take);
+                rest = Some(tail);
+                head
+            };
+            s.spawn(move || sink.accept(part, chunk.into_iter()));
+        }
+    });
+}
+
+/// One result slot per part; filled concurrently, drained in part order.
+struct PartSlots<T> {
+    slots: Vec<Mutex<Option<T>>>,
+}
+
+impl<T> PartSlots<T> {
+    fn new(parts: usize) -> Self {
+        PartSlots {
+            slots: (0..parts).map(|_| Mutex::new(None)).collect(),
+        }
     }
 
-    macro_rules! impl_into_par_for_range {
-        ($($t:ty),*) => {$(
-            impl IntoParallelIterator for std::ops::Range<$t> {
-                type Item = $t;
-                type Iter = ParIter<std::ops::Range<$t>>;
+    fn set(&self, part: usize, value: T) {
+        *self.slots[part].lock().unwrap() = Some(value);
+    }
 
-                fn into_par_iter(self) -> Self::Iter {
-                    ParIter(self)
+    /// Filled slots, in part order (parts never driven are skipped).
+    fn into_ordered(self) -> impl Iterator<Item = T> {
+        self.slots
+            .into_iter()
+            .filter_map(|slot| slot.into_inner().unwrap())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The iterator traits
+// ---------------------------------------------------------------------------
+
+/// Mixen's subset of rayon's `ParallelIterator`.
+pub trait ParallelIterator: Sized {
+    type Item;
+
+    /// Feeds this pipeline, split into at most `parts` parts, into `sink`.
+    #[doc(hidden)]
+    fn drive<S: PartSink<Self::Item>>(self, parts: usize, sink: &S);
+
+    // ---- adapters -------------------------------------------------------
+
+    fn map<F, R>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> R + Sync,
+    {
+        Map { base: self, f }
+    }
+
+    fn filter<F>(self, f: F) -> Filter<Self, F>
+    where
+        F: Fn(&Self::Item) -> bool + Sync,
+    {
+        Filter { base: self, f }
+    }
+
+    fn filter_map<F, R>(self, f: F) -> FilterMap<Self, F>
+    where
+        F: Fn(Self::Item) -> Option<R> + Sync,
+    {
+        FilterMap { base: self, f }
+    }
+
+    /// Like rayon's `flat_map_iter`: the inner iterators run sequentially
+    /// within the part that produced them.
+    fn flat_map_iter<F, U>(self, f: F) -> FlatMapIter<Self, F>
+    where
+        F: Fn(Self::Item) -> U + Sync,
+        U: IntoIterator,
+    {
+        FlatMapIter { base: self, f }
+    }
+
+    /// Alias for [`flat_map_iter`](ParallelIterator::flat_map_iter) (see
+    /// the crate-level deviations list).
+    fn flat_map<F, U>(self, f: F) -> FlatMapIter<Self, F>
+    where
+        F: Fn(Self::Item) -> U + Sync,
+        U: IntoIterator,
+    {
+        FlatMapIter { base: self, f }
+    }
+
+    fn copied<'a, T>(self) -> Copied<Self>
+    where
+        Self: ParallelIterator<Item = &'a T>,
+        T: Copy + 'a,
+    {
+        Copied { base: self }
+    }
+
+    fn cloned<'a, T>(self) -> Cloned<Self>
+    where
+        Self: ParallelIterator<Item = &'a T>,
+        T: Clone + 'a,
+    {
+        Cloned { base: self }
+    }
+
+    /// Pairs this pipeline with another length-aware source. Both sides
+    /// must be splittable (sources or `zip`/`enumerate` of sources).
+    fn zip<Z>(self, other: Z) -> ZipIter<Self::Producer, <Z::Iter as IntoProducer>::Producer>
+    where
+        Self: IntoProducer,
+        Z: IntoParallelIterator,
+        Z::Iter: IntoProducer,
+    {
+        ZipIter {
+            a: self.into_producer(),
+            b: other.into_par_iter().into_producer(),
+        }
+    }
+
+    /// Numbers items by their global position (order-preserving).
+    fn enumerate(self) -> EnumerateIter<Self::Producer>
+    where
+        Self: IntoProducer,
+    {
+        EnumerateIter {
+            base: self.into_producer(),
+            offset: 0,
+        }
+    }
+
+    /// Chunk-size hint; accepted and ignored (chunking is `threads × 4`).
+    fn with_min_len(self, _len: usize) -> Self {
+        self
+    }
+
+    /// Chunk-size hint; accepted and ignored.
+    fn with_max_len(self, _len: usize) -> Self {
+        self
+    }
+
+    // ---- terminals ------------------------------------------------------
+
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        struct ForEachSink<'a, F>(&'a F);
+        impl<T, F: Fn(T) + Sync> PartSink<T> for ForEachSink<'_, F> {
+            fn accept<I: Iterator<Item = T>>(&self, _part: usize, items: I) {
+                for item in items {
+                    (self.0)(item);
                 }
             }
-        )*};
-    }
-    impl_into_par_for_range!(u16, u32, u64, usize, i32, i64);
-
-    impl<T> IntoParallelIterator for Vec<T> {
-        type Item = T;
-        type Iter = ParIter<std::vec::IntoIter<T>>;
-
-        fn into_par_iter(self) -> Self::Iter {
-            ParIter(self.into_iter())
         }
+        self.drive(default_parts(), &ForEachSink(&f));
     }
 
-    impl<I: Iterator> IntoParallelIterator for ParIter<I> {
-        type Item = I::Item;
-        type Iter = Self;
-
-        fn into_par_iter(self) -> Self {
-            self
+    fn collect<C>(self) -> C
+    where
+        C: FromIterator<Self::Item>,
+        Self::Item: Send,
+    {
+        let parts = default_parts();
+        struct CollectSink<T> {
+            slots: PartSlots<Vec<T>>,
         }
-    }
-
-    /// Mirror of `rayon::iter::IntoParallelRefIterator` (`.par_iter()`).
-    pub trait IntoParallelRefIterator<'a> {
-        type Item: 'a;
-        type Iter: ParallelIterator<Item = Self::Item>;
-        fn par_iter(&'a self) -> Self::Iter;
-    }
-
-    impl<'a, T: 'a> IntoParallelRefIterator<'a> for [T] {
-        type Item = &'a T;
-        type Iter = ParIter<std::slice::Iter<'a, T>>;
-
-        fn par_iter(&'a self) -> Self::Iter {
-            ParIter(self.iter())
+        impl<T: Send> PartSink<T> for CollectSink<T> {
+            fn accept<I: Iterator<Item = T>>(&self, part: usize, items: I) {
+                self.slots.set(part, items.collect());
+            }
         }
+        let sink = CollectSink {
+            slots: PartSlots::new(parts),
+        };
+        self.drive(parts, &sink);
+        sink.slots.into_ordered().flatten().collect()
     }
 
-    impl<'a, T: 'a> IntoParallelRefIterator<'a> for Vec<T> {
-        type Item = &'a T;
-        type Iter = ParIter<std::slice::Iter<'a, T>>;
-
-        fn par_iter(&'a self) -> Self::Iter {
-            ParIter(self.as_slice().iter())
+    /// Rayon's two-closure fold: yields one accumulator per part actually
+    /// driven, in part order, as a new parallel iterator.
+    fn fold<ID, B, F>(self, identity: ID, fold_op: F) -> VecIter<B>
+    where
+        B: Send,
+        ID: Fn() -> B + Sync,
+        F: Fn(B, Self::Item) -> B + Sync,
+    {
+        let parts = default_parts();
+        struct FoldSink<'a, ID, F, B> {
+            identity: &'a ID,
+            fold_op: &'a F,
+            slots: PartSlots<B>,
         }
-    }
-
-    /// Mirror of `rayon::iter::IntoParallelRefMutIterator`
-    /// (`.par_iter_mut()`).
-    pub trait IntoParallelRefMutIterator<'a> {
-        type Item: 'a;
-        type Iter: ParallelIterator<Item = Self::Item>;
-        fn par_iter_mut(&'a mut self) -> Self::Iter;
-    }
-
-    impl<'a, T: 'a> IntoParallelRefMutIterator<'a> for [T] {
-        type Item = &'a mut T;
-        type Iter = ParIter<std::slice::IterMut<'a, T>>;
-
-        fn par_iter_mut(&'a mut self) -> Self::Iter {
-            ParIter(self.iter_mut())
+        impl<T, B, ID, F> PartSink<T> for FoldSink<'_, ID, F, B>
+        where
+            B: Send,
+            ID: Fn() -> B + Sync,
+            F: Fn(B, T) -> B + Sync,
+        {
+            fn accept<I: Iterator<Item = T>>(&self, part: usize, items: I) {
+                let acc = items.fold((self.identity)(), |acc, item| (self.fold_op)(acc, item));
+                self.slots.set(part, acc);
+            }
+        }
+        let sink = FoldSink {
+            identity: &identity,
+            fold_op: &fold_op,
+            slots: PartSlots::new(parts),
+        };
+        self.drive(parts, &sink);
+        VecIter {
+            vec: sink.slots.into_ordered().collect(),
         }
     }
 
-    impl<'a, T: 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
-        type Item = &'a mut T;
-        type Iter = ParIter<std::slice::IterMut<'a, T>>;
+    /// Folds each part from `identity()`, then combines per-part results in
+    /// part order. With one part this is exactly a sequential fold.
+    fn reduce<ID, F>(self, identity: ID, reduce_op: F) -> Self::Item
+    where
+        Self::Item: Send,
+        ID: Fn() -> Self::Item + Sync,
+        F: Fn(Self::Item, Self::Item) -> Self::Item + Sync,
+    {
+        self.fold(&identity, &reduce_op)
+            .vec
+            .into_iter()
+            .reduce(&reduce_op)
+            .unwrap_or_else(identity)
+    }
 
-        fn par_iter_mut(&'a mut self) -> Self::Iter {
-            ParIter(self.as_mut_slice().iter_mut())
+    fn sum<S>(self) -> S
+    where
+        Self::Item: Send,
+        S: std::iter::Sum<Self::Item> + std::iter::Sum<S> + Send,
+    {
+        let parts = default_parts();
+        struct SumSink<S> {
+            slots: PartSlots<S>,
+        }
+        impl<T, S> PartSink<T> for SumSink<S>
+        where
+            S: std::iter::Sum<T> + Send,
+        {
+            fn accept<I: Iterator<Item = T>>(&self, part: usize, items: I) {
+                self.slots.set(part, items.sum());
+            }
+        }
+        let sink = SumSink {
+            slots: PartSlots::new(parts),
+        };
+        self.drive(parts, &sink);
+        let mut sums: Vec<S> = sink.slots.into_ordered().collect();
+        if sums.len() == 1 {
+            // Bit-for-bit with the sequential fallback: no extra zero term.
+            sums.pop().expect("sum: single part vanished")
+        } else {
+            sums.into_iter().sum()
         }
     }
 
-    /// The adapter surface of `rayon::iter::ParallelIterator`, implemented
-    /// on top of a plain sequential iterator.
-    pub trait ParallelIterator: Sized {
-        type Item;
-        type Inner: Iterator<Item = Self::Item>;
-
-        fn into_seq(self) -> Self::Inner;
-
-        fn map<F, R>(self, f: F) -> ParIter<std::iter::Map<Self::Inner, F>>
-        where
-            F: FnMut(Self::Item) -> R,
-        {
-            ParIter(self.into_seq().map(f))
-        }
-
-        fn filter<F>(self, f: F) -> ParIter<std::iter::Filter<Self::Inner, F>>
-        where
-            F: FnMut(&Self::Item) -> bool,
-        {
-            ParIter(self.into_seq().filter(f))
-        }
-
-        fn filter_map<F, R>(self, f: F) -> ParIter<std::iter::FilterMap<Self::Inner, F>>
-        where
-            F: FnMut(Self::Item) -> Option<R>,
-        {
-            ParIter(self.into_seq().filter_map(f))
-        }
-
-        fn flat_map<F, U>(self, f: F) -> ParIter<std::iter::FlatMap<Self::Inner, U, F>>
-        where
-            F: FnMut(Self::Item) -> U,
-            U: IntoIterator,
-        {
-            ParIter(self.into_seq().flat_map(f))
-        }
-
-        fn flat_map_iter<F, U>(self, f: F) -> ParIter<std::iter::FlatMap<Self::Inner, U, F>>
-        where
-            F: FnMut(Self::Item) -> U,
-            U: IntoIterator,
-        {
-            ParIter(self.into_seq().flat_map(f))
-        }
-
-        fn enumerate(self) -> ParIter<std::iter::Enumerate<Self::Inner>> {
-            ParIter(self.into_seq().enumerate())
-        }
-
-        #[allow(clippy::type_complexity)]
-        fn zip<Z>(
-            self,
-            other: Z,
-        ) -> ParIter<std::iter::Zip<Self::Inner, <Z::Iter as ParallelIterator>::Inner>>
-        where
-            Z: IntoParallelIterator,
-        {
-            ParIter(self.into_seq().zip(other.into_par_iter().into_seq()))
-        }
-
-        fn copied<'a, T>(self) -> ParIter<std::iter::Copied<Self::Inner>>
-        where
-            Self: ParallelIterator<Item = &'a T>,
-            T: 'a + Copy,
-        {
-            ParIter(self.into_seq().copied())
-        }
-
-        fn cloned<'a, T>(self) -> ParIter<std::iter::Cloned<Self::Inner>>
-        where
-            Self: ParallelIterator<Item = &'a T>,
-            T: 'a + Clone,
-        {
-            ParIter(self.into_seq().cloned())
-        }
-
-        fn for_each<F>(self, f: F)
-        where
-            F: FnMut(Self::Item),
-        {
-            self.into_seq().for_each(f)
-        }
-
-        /// Rayon's two-closure fold: sequentially there is exactly one
-        /// "chunk", so this yields a single accumulator.
-        fn fold<ID, B, F>(self, identity: ID, fold_op: F) -> ParIter<std::iter::Once<B>>
-        where
-            ID: Fn() -> B,
-            F: FnMut(B, Self::Item) -> B,
-        {
-            ParIter(std::iter::once(self.into_seq().fold(identity(), fold_op)))
-        }
-
-        fn reduce<ID, F>(self, identity: ID, reduce_op: F) -> Self::Item
-        where
-            ID: Fn() -> Self::Item,
-            F: FnMut(Self::Item, Self::Item) -> Self::Item,
-        {
-            self.into_seq().fold(identity(), reduce_op)
-        }
-
-        fn collect<C: FromIterator<Self::Item>>(self) -> C {
-            self.into_seq().collect()
-        }
-
-        fn sum<S: std::iter::Sum<Self::Item>>(self) -> S {
-            self.into_seq().sum()
-        }
-
-        fn count(self) -> usize {
-            self.into_seq().count()
-        }
-
-        fn any<F>(self, f: F) -> bool
-        where
-            F: FnMut(Self::Item) -> bool,
-        {
-            self.into_seq().any(f)
-        }
-
-        fn all<F>(self, f: F) -> bool
-        where
-            F: FnMut(Self::Item) -> bool,
-        {
-            self.into_seq().all(f)
-        }
-
-        fn max(self) -> Option<Self::Item>
-        where
-            Self::Item: Ord,
-        {
-            self.into_seq().max()
-        }
-
-        fn min(self) -> Option<Self::Item>
-        where
-            Self::Item: Ord,
-        {
-            self.into_seq().min()
-        }
-
-        fn with_min_len(self, _len: usize) -> Self {
-            self
-        }
-
-        fn with_max_len(self, _len: usize) -> Self {
-            self
-        }
+    fn count(self) -> usize
+    where
+        Self::Item: Send,
+    {
+        self.map(|_| 1usize).sum()
     }
 
-    /// Indexed variant; sequentially identical to [`ParallelIterator`].
-    pub trait IndexedParallelIterator: ParallelIterator {}
-
-    impl<I: Iterator> ParallelIterator for ParIter<I> {
-        type Item = I::Item;
-        type Inner = I;
-
-        fn into_seq(self) -> I {
-            self.0
+    fn any<F>(self, f: F) -> bool
+    where
+        F: Fn(Self::Item) -> bool + Sync,
+    {
+        struct AnySink<'a, F> {
+            f: &'a F,
+            found: &'a AtomicBool,
         }
+        impl<T, F: Fn(T) -> bool + Sync> PartSink<T> for AnySink<'_, F> {
+            fn accept<I: Iterator<Item = T>>(&self, _part: usize, mut items: I) {
+                // Parts that start after a hit bail out immediately.
+                if self.found.load(Ordering::Relaxed) {
+                    return;
+                }
+                if items.any(|item| (self.f)(item)) {
+                    self.found.store(true, Ordering::Relaxed);
+                }
+            }
+        }
+        let found = AtomicBool::new(false);
+        self.drive(
+            default_parts(),
+            &AnySink {
+                f: &f,
+                found: &found,
+            },
+        );
+        found.into_inner()
     }
 
-    impl<I: Iterator> IndexedParallelIterator for ParIter<I> {}
-
-    /// Mirror of `rayon::slice::ParallelSliceMut` (`par_sort_*`).
-    pub trait ParallelSliceMut<T> {
-        fn par_sort_unstable(&mut self)
-        where
-            T: Ord;
-
-        fn par_sort_unstable_by<F>(&mut self, compare: F)
-        where
-            F: FnMut(&T, &T) -> std::cmp::Ordering;
-
-        fn par_sort(&mut self)
-        where
-            T: Ord;
-
-        fn par_sort_by<F>(&mut self, compare: F)
-        where
-            F: FnMut(&T, &T) -> std::cmp::Ordering;
+    fn all<F>(self, f: F) -> bool
+    where
+        F: Fn(Self::Item) -> bool + Sync,
+    {
+        !self.any(move |item| !f(item))
     }
 
-    impl<T> ParallelSliceMut<T> for [T] {
-        fn par_sort_unstable(&mut self)
-        where
-            T: Ord,
-        {
-            self.sort_unstable();
-        }
+    fn max(self) -> Option<Self::Item>
+    where
+        Self::Item: Ord + Send,
+    {
+        self.fold(
+            || None,
+            |acc: Option<Self::Item>, item| match acc {
+                Some(best) => Some(best.max(item)),
+                None => Some(item),
+            },
+        )
+        .vec
+        .into_iter()
+        .flatten()
+        .max()
+    }
 
-        fn par_sort_unstable_by<F>(&mut self, compare: F)
-        where
-            F: FnMut(&T, &T) -> std::cmp::Ordering,
-        {
-            self.sort_unstable_by(compare);
-        }
-
-        fn par_sort(&mut self)
-        where
-            T: Ord,
-        {
-            self.sort();
-        }
-
-        fn par_sort_by<F>(&mut self, compare: F)
-        where
-            F: FnMut(&T, &T) -> std::cmp::Ordering,
-        {
-            self.sort_by(compare);
-        }
+    fn min(self) -> Option<Self::Item>
+    where
+        Self::Item: Ord + Send,
+    {
+        self.fold(
+            || None,
+            |acc: Option<Self::Item>, item| match acc {
+                Some(best) => Some(best.min(item)),
+                None => Some(item),
+            },
+        )
+        .vec
+        .into_iter()
+        .flatten()
+        .min()
     }
 }
 
+/// Marker for exactly-sized, order-preserving pipelines (rayon's indexed
+/// iterators). Sources and their `map`/`copied`/`cloned`/`zip`/`enumerate`
+/// combinations qualify.
+pub trait IndexedParallelIterator: ParallelIterator {}
+
+/// Pipelines that can be turned back into a splittable [`Producer`];
+/// required by `zip` and `enumerate`.
+#[doc(hidden)]
+pub trait IntoProducer: ParallelIterator {
+    type Producer: Producer<Item = Self::Item>;
+    fn into_producer(self) -> Self::Producer;
+}
+
+/// Mirror of `rayon::iter::IntoParallelIterator`.
+pub trait IntoParallelIterator {
+    type Item;
+    type Iter: ParallelIterator<Item = Self::Item>;
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// Mirror of `rayon::iter::IntoParallelRefIterator` (`par_iter()`).
+pub trait IntoParallelRefIterator<'a> {
+    type Item: 'a;
+    type Iter: ParallelIterator<Item = Self::Item>;
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+/// Mirror of `rayon::iter::IntoParallelRefMutIterator` (`par_iter_mut()`).
+pub trait IntoParallelRefMutIterator<'a> {
+    type Item: 'a;
+    type Iter: ParallelIterator<Item = Self::Item>;
+    fn par_iter_mut(&'a mut self) -> Self::Iter;
+}
+
+// ---------------------------------------------------------------------------
+// Sources
+// ---------------------------------------------------------------------------
+
+/// Parallel iterator over an integer range.
+pub struct RangeIter<T> {
+    range: Range<T>,
+}
+
+macro_rules! impl_range_source {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for Range<$t> {
+            type Item = $t;
+            type Iter = RangeIter<$t>;
+            fn into_par_iter(self) -> RangeIter<$t> {
+                RangeIter { range: self }
+            }
+        }
+
+        impl Producer for RangeIter<$t> {
+            type Item = $t;
+            type IntoIter = Range<$t>;
+            fn len(&self) -> usize {
+                if self.range.start >= self.range.end {
+                    0
+                } else {
+                    (self.range.end - self.range.start) as usize
+                }
+            }
+            fn split_at(self, index: usize) -> (Self, Self) {
+                let mid = self.range.start + index as $t;
+                (
+                    RangeIter { range: self.range.start..mid },
+                    RangeIter { range: mid..self.range.end },
+                )
+            }
+            fn into_iter(self) -> Range<$t> {
+                self.range
+            }
+        }
+
+        impl ParallelIterator for RangeIter<$t> {
+            type Item = $t;
+            fn drive<S: PartSink<$t>>(self, parts: usize, sink: &S) {
+                drive_producer(self, parts, sink);
+            }
+        }
+
+        impl IndexedParallelIterator for RangeIter<$t> {}
+
+        impl IntoProducer for RangeIter<$t> {
+            type Producer = Self;
+            fn into_producer(self) -> Self {
+                self
+            }
+        }
+
+        impl IntoParallelIterator for RangeIter<$t> {
+            type Item = $t;
+            type Iter = Self;
+            fn into_par_iter(self) -> Self {
+                self
+            }
+        }
+    )*};
+}
+
+impl_range_source!(u16, u32, u64, usize, i32, i64);
+
+/// Parallel iterator over `&[T]`.
+pub struct SliceIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> Producer for SliceIter<'a, T> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (head, tail) = self.slice.split_at(index);
+        (SliceIter { slice: head }, SliceIter { slice: tail })
+    }
+    fn into_iter(self) -> std::slice::Iter<'a, T> {
+        self.slice.iter()
+    }
+}
+
+impl<'a, T: Sync> ParallelIterator for SliceIter<'a, T> {
+    type Item = &'a T;
+    fn drive<S: PartSink<&'a T>>(self, parts: usize, sink: &S) {
+        drive_producer(self, parts, sink);
+    }
+}
+
+impl<T: Sync> IndexedParallelIterator for SliceIter<'_, T> {}
+
+impl<'a, T: Sync> IntoProducer for SliceIter<'a, T> {
+    type Producer = Self;
+    fn into_producer(self) -> Self {
+        self
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for SliceIter<'a, T> {
+    type Item = &'a T;
+    type Iter = Self;
+    fn into_par_iter(self) -> Self {
+        self
+    }
+}
+
+/// Parallel iterator over `&mut [T]`.
+pub struct SliceIterMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> Producer for SliceIterMut<'a, T> {
+    type Item = &'a mut T;
+    type IntoIter = std::slice::IterMut<'a, T>;
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (head, tail) = self.slice.split_at_mut(index);
+        (SliceIterMut { slice: head }, SliceIterMut { slice: tail })
+    }
+    fn into_iter(self) -> std::slice::IterMut<'a, T> {
+        self.slice.iter_mut()
+    }
+}
+
+impl<'a, T: Send> ParallelIterator for SliceIterMut<'a, T> {
+    type Item = &'a mut T;
+    fn drive<S: PartSink<&'a mut T>>(self, parts: usize, sink: &S) {
+        drive_producer(self, parts, sink);
+    }
+}
+
+impl<T: Send> IndexedParallelIterator for SliceIterMut<'_, T> {}
+
+impl<'a, T: Send> IntoProducer for SliceIterMut<'a, T> {
+    type Producer = Self;
+    fn into_producer(self) -> Self {
+        self
+    }
+}
+
+impl<'a, T: Send> IntoParallelIterator for SliceIterMut<'a, T> {
+    type Item = &'a mut T;
+    type Iter = Self;
+    fn into_par_iter(self) -> Self {
+        self
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = SliceIter<'a, T>;
+    fn par_iter(&'a self) -> SliceIter<'a, T> {
+        SliceIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = SliceIter<'a, T>;
+    fn par_iter(&'a self) -> SliceIter<'a, T> {
+        SliceIter { slice: self }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = &'a mut T;
+    type Iter = SliceIterMut<'a, T>;
+    fn par_iter_mut(&'a mut self) -> SliceIterMut<'a, T> {
+        SliceIterMut { slice: self }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Item = &'a mut T;
+    type Iter = SliceIterMut<'a, T>;
+    fn par_iter_mut(&'a mut self) -> SliceIterMut<'a, T> {
+        SliceIterMut { slice: self }
+    }
+}
+
+/// Parallel iterator that owns a `Vec` (`Vec::into_par_iter`, `fold`
+/// output). Parts are materialized by value before being spawned.
+pub struct VecIter<T> {
+    vec: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for VecIter<T> {
+    type Item = T;
+    fn drive<S: PartSink<T>>(self, parts: usize, sink: &S) {
+        let len = self.vec.len();
+        let parts = parts.clamp(1, len.max(1));
+        if parts == 1 {
+            sink.accept(0, self.vec.into_iter());
+            return;
+        }
+        let mut items = self.vec.into_iter();
+        mixen_pool::scope(|s| {
+            let mut offset = 0usize;
+            for part in 0..parts {
+                let end = len * (part + 1) / parts;
+                let chunk: Vec<T> = items.by_ref().take(end - offset).collect();
+                offset = end;
+                s.spawn(move || sink.accept(part, chunk.into_iter()));
+            }
+        });
+    }
+}
+
+impl<T: Send> IndexedParallelIterator for VecIter<T> {}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = VecIter<T>;
+    fn into_par_iter(self) -> VecIter<T> {
+        VecIter { vec: self }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for VecIter<T> {
+    type Item = T;
+    type Iter = Self;
+    fn into_par_iter(self) -> Self {
+        self
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Zip / Enumerate (producer-based, order-preserving)
+// ---------------------------------------------------------------------------
+
+/// Lock-step pairing of two producers (`a.zip(b)`), splittable on both
+/// sides at once.
+pub struct ZipIter<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: Producer, B: Producer> Producer for ZipIter<A, B> {
+    type Item = (A::Item, B::Item);
+    type IntoIter = std::iter::Zip<A::IntoIter, B::IntoIter>;
+    fn len(&self) -> usize {
+        self.a.len().min(self.b.len())
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (a_head, a_tail) = self.a.split_at(index);
+        let (b_head, b_tail) = self.b.split_at(index);
+        (
+            ZipIter {
+                a: a_head,
+                b: b_head,
+            },
+            ZipIter {
+                a: a_tail,
+                b: b_tail,
+            },
+        )
+    }
+    fn into_iter(self) -> Self::IntoIter {
+        Producer::into_iter(self.a).zip(Producer::into_iter(self.b))
+    }
+}
+
+impl<A: Producer, B: Producer> ParallelIterator for ZipIter<A, B> {
+    type Item = (A::Item, B::Item);
+    fn drive<S: PartSink<Self::Item>>(self, parts: usize, sink: &S) {
+        drive_producer(self, parts, sink);
+    }
+}
+
+impl<A: Producer, B: Producer> IndexedParallelIterator for ZipIter<A, B> {}
+
+impl<A: Producer, B: Producer> IntoProducer for ZipIter<A, B> {
+    type Producer = Self;
+    fn into_producer(self) -> Self {
+        self
+    }
+}
+
+impl<A: Producer, B: Producer> IntoParallelIterator for ZipIter<A, B> {
+    type Item = (A::Item, B::Item);
+    type Iter = Self;
+    fn into_par_iter(self) -> Self {
+        self
+    }
+}
+
+/// Globally-numbered items (`.enumerate()`), offset-aware under splits.
+pub struct EnumerateIter<P> {
+    base: P,
+    offset: usize,
+}
+
+impl<P: Producer> Producer for EnumerateIter<P> {
+    type Item = (usize, P::Item);
+    type IntoIter = std::iter::Zip<Range<usize>, P::IntoIter>;
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (head, tail) = self.base.split_at(index);
+        (
+            EnumerateIter {
+                base: head,
+                offset: self.offset,
+            },
+            EnumerateIter {
+                base: tail,
+                offset: self.offset + index,
+            },
+        )
+    }
+    fn into_iter(self) -> Self::IntoIter {
+        let positions = self.offset..self.offset + self.base.len();
+        positions.zip(Producer::into_iter(self.base))
+    }
+}
+
+impl<P: Producer> ParallelIterator for EnumerateIter<P> {
+    type Item = (usize, P::Item);
+    fn drive<S: PartSink<Self::Item>>(self, parts: usize, sink: &S) {
+        drive_producer(self, parts, sink);
+    }
+}
+
+impl<P: Producer> IndexedParallelIterator for EnumerateIter<P> {}
+
+impl<P: Producer> IntoProducer for EnumerateIter<P> {
+    type Producer = Self;
+    fn into_producer(self) -> Self {
+        self
+    }
+}
+
+impl<P: Producer> IntoParallelIterator for EnumerateIter<P> {
+    type Item = (usize, P::Item);
+    type Iter = Self;
+    fn into_par_iter(self) -> Self {
+        self
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Adapters (fused into the part's task via sink wrappers)
+// ---------------------------------------------------------------------------
+
+/// `map` adapter.
+pub struct Map<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, F, R> ParallelIterator for Map<B, F>
+where
+    B: ParallelIterator,
+    F: Fn(B::Item) -> R + Sync,
+{
+    type Item = R;
+    fn drive<S: PartSink<R>>(self, parts: usize, sink: &S) {
+        struct MapSink<'a, F, S> {
+            f: &'a F,
+            inner: &'a S,
+        }
+        impl<T, R, F, S> PartSink<T> for MapSink<'_, F, S>
+        where
+            F: Fn(T) -> R + Sync,
+            S: PartSink<R>,
+        {
+            fn accept<I: Iterator<Item = T>>(&self, part: usize, items: I) {
+                self.inner.accept(part, items.map(self.f));
+            }
+        }
+        let Map { base, f } = self;
+        base.drive(parts, &MapSink { f: &f, inner: sink });
+    }
+}
+
+impl<B, F, R> IndexedParallelIterator for Map<B, F>
+where
+    B: IndexedParallelIterator,
+    F: Fn(B::Item) -> R + Sync,
+{
+}
+
+/// `filter` adapter.
+pub struct Filter<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, F> ParallelIterator for Filter<B, F>
+where
+    B: ParallelIterator,
+    F: Fn(&B::Item) -> bool + Sync,
+{
+    type Item = B::Item;
+    fn drive<S: PartSink<B::Item>>(self, parts: usize, sink: &S) {
+        struct FilterSink<'a, F, S> {
+            f: &'a F,
+            inner: &'a S,
+        }
+        impl<T, F, S> PartSink<T> for FilterSink<'_, F, S>
+        where
+            F: Fn(&T) -> bool + Sync,
+            S: PartSink<T>,
+        {
+            fn accept<I: Iterator<Item = T>>(&self, part: usize, items: I) {
+                self.inner.accept(part, items.filter(|item| (self.f)(item)));
+            }
+        }
+        let Filter { base, f } = self;
+        base.drive(parts, &FilterSink { f: &f, inner: sink });
+    }
+}
+
+/// `filter_map` adapter.
+pub struct FilterMap<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, F, R> ParallelIterator for FilterMap<B, F>
+where
+    B: ParallelIterator,
+    F: Fn(B::Item) -> Option<R> + Sync,
+{
+    type Item = R;
+    fn drive<S: PartSink<R>>(self, parts: usize, sink: &S) {
+        struct FilterMapSink<'a, F, S> {
+            f: &'a F,
+            inner: &'a S,
+        }
+        impl<T, R, F, S> PartSink<T> for FilterMapSink<'_, F, S>
+        where
+            F: Fn(T) -> Option<R> + Sync,
+            S: PartSink<R>,
+        {
+            fn accept<I: Iterator<Item = T>>(&self, part: usize, items: I) {
+                self.inner.accept(part, items.filter_map(self.f));
+            }
+        }
+        let FilterMap { base, f } = self;
+        base.drive(parts, &FilterMapSink { f: &f, inner: sink });
+    }
+}
+
+/// `flat_map_iter` / `flat_map` adapter.
+pub struct FlatMapIter<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, F, U> ParallelIterator for FlatMapIter<B, F>
+where
+    B: ParallelIterator,
+    F: Fn(B::Item) -> U + Sync,
+    U: IntoIterator,
+{
+    type Item = U::Item;
+    fn drive<S: PartSink<U::Item>>(self, parts: usize, sink: &S) {
+        struct FlatSink<'a, F, S> {
+            f: &'a F,
+            inner: &'a S,
+        }
+        impl<T, U, F, S> PartSink<T> for FlatSink<'_, F, S>
+        where
+            F: Fn(T) -> U + Sync,
+            U: IntoIterator,
+            S: PartSink<U::Item>,
+        {
+            fn accept<I: Iterator<Item = T>>(&self, part: usize, items: I) {
+                self.inner.accept(part, items.flat_map(self.f));
+            }
+        }
+        let FlatMapIter { base, f } = self;
+        base.drive(parts, &FlatSink { f: &f, inner: sink });
+    }
+}
+
+/// `copied` adapter.
+pub struct Copied<B> {
+    base: B,
+}
+
+impl<'a, B, T> ParallelIterator for Copied<B>
+where
+    B: ParallelIterator<Item = &'a T>,
+    T: Copy + 'a,
+{
+    type Item = T;
+    fn drive<S: PartSink<T>>(self, parts: usize, sink: &S) {
+        struct CopiedSink<'s, S> {
+            inner: &'s S,
+        }
+        impl<'a, T, S> PartSink<&'a T> for CopiedSink<'_, S>
+        where
+            T: Copy + 'a,
+            S: PartSink<T>,
+        {
+            fn accept<I: Iterator<Item = &'a T>>(&self, part: usize, items: I) {
+                self.inner.accept(part, items.copied());
+            }
+        }
+        self.base.drive(parts, &CopiedSink { inner: sink });
+    }
+}
+
+impl<'a, B, T> IndexedParallelIterator for Copied<B>
+where
+    B: IndexedParallelIterator<Item = &'a T>,
+    T: Copy + 'a,
+{
+}
+
+/// `cloned` adapter.
+pub struct Cloned<B> {
+    base: B,
+}
+
+impl<'a, B, T> ParallelIterator for Cloned<B>
+where
+    B: ParallelIterator<Item = &'a T>,
+    T: Clone + 'a,
+{
+    type Item = T;
+    fn drive<S: PartSink<T>>(self, parts: usize, sink: &S) {
+        struct ClonedSink<'s, S> {
+            inner: &'s S,
+        }
+        impl<'a, T, S> PartSink<&'a T> for ClonedSink<'_, S>
+        where
+            T: Clone + 'a,
+            S: PartSink<T>,
+        {
+            fn accept<I: Iterator<Item = &'a T>>(&self, part: usize, items: I) {
+                self.inner.accept(part, items.cloned());
+            }
+        }
+        self.base.drive(parts, &ClonedSink { inner: sink });
+    }
+}
+
+impl<'a, B, T> IndexedParallelIterator for Cloned<B>
+where
+    B: IndexedParallelIterator<Item = &'a T>,
+    T: Clone + 'a,
+{
+}
+
+// ---------------------------------------------------------------------------
+// Slice sorting
+// ---------------------------------------------------------------------------
+
+/// Below this length (or past the quicksort depth limit) sorting falls
+/// back to `slice::sort_unstable_by` on the current thread.
+const SEQ_SORT_CUTOFF: usize = 4096;
+
+/// Mirror of `rayon::slice::ParallelSliceMut` (`par_sort_*`).
+pub trait ParallelSliceMut<T: Send> {
+    fn as_parallel_slice_mut(&mut self) -> &mut [T];
+
+    /// Parallel unstable sort (quicksort recursing via `mixen_pool::join`,
+    /// sequential below `SEQ_SORT_CUTOFF` or on a single-lane pool).
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord,
+    {
+        self.par_sort_unstable_by(|a, b| a.cmp(b));
+    }
+
+    /// Comparator variant of [`par_sort_unstable`](Self::par_sort_unstable).
+    /// The recursion structure depends only on the data, so the result is
+    /// identical for every multi-threaded pool size.
+    fn par_sort_unstable_by<F>(&mut self, compare: F)
+    where
+        F: Fn(&T, &T) -> CmpOrdering + Sync,
+    {
+        let slice = self.as_parallel_slice_mut();
+        if mixen_pool::current_num_threads() <= 1 {
+            slice.sort_unstable_by(|a, b| compare(a, b));
+            return;
+        }
+        let depth = 2 * usize::BITS.saturating_sub(slice.len().leading_zeros()) + 8;
+        par_quicksort(slice, &compare, depth);
+    }
+
+    /// Stable sort; runs sequentially (no call site needs it parallel).
+    fn par_sort(&mut self)
+    where
+        T: Ord,
+    {
+        self.as_parallel_slice_mut().sort();
+    }
+
+    /// Stable comparator sort; runs sequentially.
+    fn par_sort_by<F>(&mut self, compare: F)
+    where
+        F: FnMut(&T, &T) -> CmpOrdering,
+    {
+        self.as_parallel_slice_mut().sort_by(compare);
+    }
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn as_parallel_slice_mut(&mut self) -> &mut [T] {
+        self
+    }
+}
+
+impl<T: Send> ParallelSliceMut<T> for Vec<T> {
+    fn as_parallel_slice_mut(&mut self) -> &mut [T] {
+        self
+    }
+}
+
+fn par_quicksort<T, F>(v: &mut [T], compare: &F, depth: u32)
+where
+    T: Send,
+    F: Fn(&T, &T) -> CmpOrdering + Sync,
+{
+    if v.len() <= SEQ_SORT_CUTOFF || depth == 0 {
+        v.sort_unstable_by(|a, b| compare(a, b));
+        return;
+    }
+    let pivot_pos = partition(v, compare);
+    let (lo, rest) = v.split_at_mut(pivot_pos);
+    let hi = &mut rest[1..];
+    mixen_pool::join(
+        || par_quicksort(lo, compare, depth - 1),
+        || par_quicksort(hi, compare, depth - 1),
+    );
+}
+
+/// Median-of-three Hoare partition: returns the pivot's final index; every
+/// element left of it compares `<=` pivot and everything right `>=` pivot.
+fn partition<T, F>(v: &mut [T], compare: &F) -> usize
+where
+    F: Fn(&T, &T) -> CmpOrdering,
+{
+    let len = v.len();
+    let mid = len / 2;
+    if compare(&v[mid], &v[0]) == CmpOrdering::Less {
+        v.swap(mid, 0);
+    }
+    if compare(&v[len - 1], &v[0]) == CmpOrdering::Less {
+        v.swap(len - 1, 0);
+    }
+    if compare(&v[len - 1], &v[mid]) == CmpOrdering::Less {
+        v.swap(len - 1, mid);
+    }
+    v.swap(0, mid); // median-of-three pivot parked at index 0
+    let mut i = 1;
+    let mut j = len - 1;
+    loop {
+        while i <= j && compare(&v[i], &v[0]) == CmpOrdering::Less {
+            i += 1;
+        }
+        while i <= j && compare(&v[j], &v[0]) == CmpOrdering::Greater {
+            j -= 1;
+        }
+        if i >= j {
+            break;
+        }
+        v.swap(i, j);
+        i += 1;
+        j -= 1;
+    }
+    v.swap(0, j);
+    j
+}
+
+// ---------------------------------------------------------------------------
+// Modules mirroring rayon's layout
+// ---------------------------------------------------------------------------
+
+/// Iterator traits and adapters (mirrors `rayon::iter`).
+pub mod iter {
+    pub use crate::{
+        Cloned, Copied, EnumerateIter, Filter, FilterMap, FlatMapIter, IndexedParallelIterator,
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, Map,
+        ParallelIterator, RangeIter, SliceIter, SliceIterMut, VecIter, ZipIter,
+    };
+}
+
+/// Slice extensions (mirrors `rayon::slice`).
+pub mod slice {
+    pub use crate::ParallelSliceMut;
+}
+
+/// The traits a call site needs in scope (mirrors `rayon::prelude`).
 pub mod prelude {
-    pub use crate::iter::{
+    pub use crate::{
         IndexedParallelIterator, IntoParallelIterator, IntoParallelRefIterator,
         IntoParallelRefMutIterator, ParallelIterator, ParallelSliceMut,
     };
 }
 
-pub mod slice {
-    pub use crate::iter::ParallelSliceMut;
-}
+// ---------------------------------------------------------------------------
+// Tests
+// ---------------------------------------------------------------------------
 
 #[cfg(test)]
 mod tests {
-    use crate::prelude::*;
+    use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn map_collect_roundtrip() {
-        let v: Vec<u32> = (0u32..5).into_par_iter().map(|x| x * 2).collect();
-        assert_eq!(v, vec![0, 2, 4, 6, 8]);
+        let squares: Vec<u64> = (0u64..100).into_par_iter().map(|x| x * x).collect();
+        assert_eq!(squares.len(), 100);
+        assert_eq!(squares[9], 81);
+        assert_eq!(squares[99], 99 * 99);
     }
 
     #[test]
     fn fold_then_reduce_matches_histogram() {
-        let hist = [0u32, 1, 1, 2]
+        let values: Vec<usize> = (0..1000).map(|i| i % 7).collect();
+        let histogram = values
             .par_iter()
-            .copied()
             .fold(
-                || vec![0usize; 3],
-                |mut h, r| {
-                    h[r as usize] += 1;
-                    h
+                || vec![0usize; 7],
+                |mut acc, &v| {
+                    acc[v] += 1;
+                    acc
                 },
             )
             .reduce(
-                || vec![0usize; 3],
+                || vec![0usize; 7],
                 |mut a, b| {
-                    a.iter_mut().zip(b).for_each(|(x, y)| *x += y);
+                    for (x, y) in a.iter_mut().zip(b) {
+                        *x += y;
+                    }
                     a
                 },
             );
-        assert_eq!(hist, vec![1, 2, 1]);
+        let expected: Vec<usize> = (0..7)
+            .map(|r| values.iter().filter(|&&v| v == r).count())
+            .collect();
+        assert_eq!(histogram, expected);
     }
 
     #[test]
     fn zip_and_mut_iteration() {
-        let mut a = vec![1, 2, 3];
-        let b = vec![10, 20, 30];
-        a.par_iter_mut()
-            .zip(b.par_iter())
-            .for_each(|(x, y)| *x += *y);
-        assert_eq!(a, vec![11, 22, 33]);
+        let src: Vec<u32> = (0..512).collect();
+        let mut dst = vec![0u32; 512];
+        dst.par_iter_mut()
+            .zip(src.par_iter())
+            .for_each(|(d, &s)| *d = s * 2);
+        assert!(dst.iter().enumerate().all(|(i, &v)| v == 2 * i as u32));
     }
 
     #[test]
     fn par_sorts() {
-        let mut v = vec![3, 1, 2];
-        v.par_sort_unstable();
-        assert_eq!(v, vec![1, 2, 3]);
-        v.par_sort_unstable_by(|a, b| b.cmp(a));
-        assert_eq!(v, vec![3, 2, 1]);
+        let mut a: Vec<i64> = (0..3000).map(|i| (i * 7919) % 1000 - 500).collect();
+        let mut b = a.clone();
+        a.sort_unstable();
+        b.par_sort_unstable();
+        assert_eq!(a, b);
+
+        let mut c: Vec<i64> = (0..3000).map(|i| (i * 104_729) % 500).collect();
+        let mut d = c.clone();
+        c.sort();
+        d.par_sort();
+        assert_eq!(c, d);
+    }
+
+    #[test]
+    fn parallel_collect_preserves_source_order() {
+        mixen_pool::with_threads(4, || {
+            let out: Vec<usize> = (0..10_000usize).into_par_iter().map(|i| i).collect();
+            assert_eq!(out, (0..10_000).collect::<Vec<_>>());
+        });
+    }
+
+    #[test]
+    fn parallel_flat_map_iter_preserves_order() {
+        mixen_pool::with_threads(4, || {
+            let out: Vec<usize> = (0..1000usize)
+                .into_par_iter()
+                .flat_map_iter(|i| (0..i % 3).map(move |k| i * 10 + k))
+                .collect();
+            let expected: Vec<usize> = (0..1000)
+                .flat_map(|i| (0..i % 3).map(move |k| i * 10 + k))
+                .collect();
+            assert_eq!(out, expected);
+        });
+    }
+
+    #[test]
+    fn parallel_enumerate_matches_positions() {
+        mixen_pool::with_threads(3, || {
+            let data: Vec<u32> = (100..1100).collect();
+            let ok = data
+                .par_iter()
+                .enumerate()
+                .all(|(i, &v)| v == 100 + i as u32);
+            assert!(ok);
+        });
+    }
+
+    #[test]
+    fn parallel_for_each_visits_everything_once() {
+        mixen_pool::with_threads(4, || {
+            let hits: Vec<AtomicUsize> = (0..5000).map(|_| AtomicUsize::new(0)).collect();
+            (0..5000usize).into_par_iter().for_each(|i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        });
+    }
+
+    #[test]
+    fn parallel_sum_count_minmax() {
+        mixen_pool::with_threads(4, || {
+            let total: u64 = (0u64..100_000).into_par_iter().sum();
+            assert_eq!(total, 100_000 * 99_999 / 2);
+            let evens = (0u64..100_000)
+                .into_par_iter()
+                .filter(|v| v % 2 == 0)
+                .count();
+            assert_eq!(evens, 50_000);
+            assert_eq!((5u32..50).into_par_iter().max(), Some(49));
+            assert_eq!((5u32..50).into_par_iter().min(), Some(5));
+            assert_eq!((5u32..5).into_par_iter().max(), None);
+        });
+    }
+
+    #[test]
+    fn parallel_unstable_sort_sorts_large_inputs() {
+        mixen_pool::with_threads(4, || {
+            let mut v: Vec<u64> = (0..60_000u64)
+                .map(|i| (i * 2_654_435_761) % 100_000)
+                .collect();
+            let mut expected = v.clone();
+            expected.sort_unstable();
+            v.par_sort_unstable();
+            assert_eq!(v, expected);
+
+            // Heavily duplicated keys exercise the equal-element path.
+            let mut dups: Vec<u8> = (0..50_000).map(|i| (i % 3) as u8).collect();
+            let mut dups_expected = dups.clone();
+            dups_expected.sort_unstable();
+            dups.par_sort_unstable();
+            assert_eq!(dups, dups_expected);
+        });
+    }
+
+    #[test]
+    fn single_thread_matches_multi_thread_for_integer_pipelines() {
+        let seq: Vec<usize> = mixen_pool::with_threads(1, || {
+            (0..4096usize)
+                .into_par_iter()
+                .filter(|i| i % 5 != 0)
+                .map(|i| i * 3)
+                .collect()
+        });
+        let par: Vec<usize> = mixen_pool::with_threads(4, || {
+            (0..4096usize)
+                .into_par_iter()
+                .filter(|i| i % 5 != 0)
+                .map(|i| i * 3)
+                .collect()
+        });
+        assert_eq!(seq, par);
     }
 }

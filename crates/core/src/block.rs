@@ -20,7 +20,18 @@
 //! Load balancing (§4.2): block-row heights start at the block side `c`,
 //! but any row range whose edge count exceeds `balance_factor ×` the
 //! average block-row load is split greedily, so the number of non-zeros per
-//! scatter task stays bounded.
+//! scatter task stays bounded. The gather side is balanced the same way:
+//! block-columns whose edge count exceeds the cap are chunked into several
+//! [`GatherTask`]s over disjoint destination sub-ranges.
+//!
+//! Skew also leaves many `(row, col)` blocks completely empty — in a
+//! power-law graph most of the edge mass concentrates in the hub columns.
+//! The partition therefore precomputes *nonempty-block skip lists*: per
+//! block-row the column indices with at least one edge
+//! ([`BlockRow::nonempty_cols`]), and per block-column the row indices with
+//! at least one edge ([`BlockedSubgraph::nonempty_rows`]). Scatter, Gather
+//! and both BFS level kernels iterate the lists instead of the full grid,
+//! so empty blocks cost nothing per iteration.
 
 use mixen_graph::nid;
 use mixen_graph::{Csr, GraphError};
@@ -70,6 +81,131 @@ pub struct BlockRow {
     pub blocks: Vec<Block>,
     /// Total edges in this row range.
     pub nnz: usize,
+    /// Skip list: indices of block-columns with at least one edge here
+    /// (ascending). With `skip_empty_blocks` off it enumerates every
+    /// column, so kernels run identical code over the naive full walk.
+    pub nonempty_cols: Box<[u32]>,
+}
+
+/// One gather task: a block-column (or, when the column is overloaded, one
+/// destination sub-range of it). Tasks tile `0..r` contiguously in
+/// `(col, d_lo)` order, so each owns a disjoint destination segment of the
+/// accumulator — the no-atomics contract of the Gather step.
+#[derive(Clone, Copy, Debug)]
+pub struct GatherTask {
+    /// Block-column index.
+    pub col: u32,
+    /// Local destination range start within the column (inclusive).
+    pub d_lo: u32,
+    /// Local destination range end within the column (exclusive).
+    pub d_hi: u32,
+    /// Edges this task drains per iteration.
+    pub nnz: usize,
+}
+
+impl GatherTask {
+    /// Destinations this task owns.
+    pub fn len(&self) -> usize {
+        (self.d_hi - self.d_lo) as usize
+    }
+
+    /// Whether the destination range is empty (only on an empty subgraph).
+    pub fn is_empty(&self) -> bool {
+        self.d_hi == self.d_lo
+    }
+
+    /// Whether the task spans its whole block-column of `width`
+    /// destinations — the fast path that needs no range filtering.
+    #[inline]
+    pub fn is_full_column(&self, width: usize) -> bool {
+        self.d_lo == 0 && self.d_hi as usize == width
+    }
+}
+
+/// One destination's contribution list within a chunked gather task: the
+/// next `len` entries of [`ChunkIndex::slots`] combine into local
+/// destination `d`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DestRun {
+    /// Local destination within the block-column (`d_lo ≤ d < d_hi`).
+    pub d: u32,
+    /// Number of contributions (edges) into `d` from this block.
+    pub len: u32,
+}
+
+/// Destination-major index of one *chunked* gather task, built once at
+/// partition time. For each nonempty block-row of the task's column (same
+/// order as [`BlockedSubgraph::nonempty_rows`]) it stores a small CSC
+/// fragment: one [`DestRun`] per task-owned destination with ≥ 1 edge in
+/// that block, plus one message-slot reference per edge.
+///
+/// The representation matters: filtering the column's message list at run
+/// time (or source-major slice lists) costs per *(message, chunk)*
+/// incidence, and in a hub column nearly every message intersects every
+/// chunk — the §4.2 split would multiply the column's per-iteration index
+/// traffic by its chunk count. Destination-major, a chunk streams
+/// `8 bytes × active destinations + 4 bytes × own edges`, proportional to
+/// the work it actually owns.
+///
+/// Per destination, contributions are ordered (block-row ascending,
+/// message slot ascending) — exactly the full-column walk's combine
+/// order, so chunked and unchunked gathers are bit-for-bit identical.
+#[derive(Clone, Debug, Default)]
+pub struct ChunkIndex {
+    /// Offsets into `runs`, parallel to the column's skip list (`+ 1`).
+    pub block_ptr: Box<[u32]>,
+    /// Per-block destination runs, `d` ascending within each block.
+    pub runs: Box<[DestRun]>,
+    /// Per edge: the message slot (streamed-bin value index) it draws
+    /// from, grouped by run, in run order.
+    pub slots: Box<[u32]>,
+    /// Per edge, parallel to `slots`: its absolute position in the
+    /// block's `dests` — the per-edge weight index for the weighted
+    /// engine, whose weights sit parallel to `dests`.
+    pub wpos: Box<[u32]>,
+}
+
+impl ChunkIndex {
+    /// The destination runs of the `bi`-th nonempty block-row of the
+    /// task's column. `slots`/`wpos` entries for these runs follow the
+    /// walk order (blocks outer, runs inner), so kernels keep one running
+    /// cursor across the whole task.
+    #[inline]
+    pub fn runs_of(&self, bi: usize) -> &[DestRun] {
+        &self.runs[self.block_ptr[bi] as usize..self.block_ptr[bi + 1] as usize]
+    }
+}
+
+/// How the §4.2 nnz-proportional split shaped the task lists — the
+/// engine-metadata view surfaced as the `tasks_split` / `max_task_nnz`
+/// observability counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SplitStats {
+    /// Scatter tasks (load-balanced block-rows).
+    pub scatter_tasks: usize,
+    /// Extra scatter tasks beyond the fixed-height base grid — how many
+    /// subdivisions the 2×-average nnz cap forced.
+    pub scatter_splits: usize,
+    /// Gather tasks (block-columns, possibly chunked).
+    pub gather_tasks: usize,
+    /// Extra gather tasks beyond one-per-column.
+    pub gather_splits: usize,
+    /// Heaviest scatter task, in edges.
+    pub max_scatter_task_nnz: usize,
+    /// Heaviest gather task, in edges.
+    pub max_gather_task_nnz: usize,
+}
+
+impl SplitStats {
+    /// Total subdivisions the balancer performed on either side.
+    pub fn tasks_split(&self) -> u64 {
+        (self.scatter_splits + self.gather_splits) as u64
+    }
+
+    /// Heaviest task on either side, in edges — the straggler bound.
+    pub fn max_task_nnz(&self) -> u64 {
+        self.max_scatter_task_nnz.max(self.max_gather_task_nnz) as u64
+    }
 }
 
 /// The blocked regular subgraph.
@@ -79,6 +215,15 @@ pub struct BlockedSubgraph {
     c: usize,
     n_col_blocks: usize,
     rows: Vec<BlockRow>,
+    /// Skip list per block-column: indices of block-rows with at least one
+    /// edge there (ascending). Mirrors [`BlockRow::nonempty_cols`].
+    nonempty_rows: Vec<Box<[u32]>>,
+    /// Load-balanced gather task list tiling `0..r` in destination order.
+    gather_tasks: Vec<GatherTask>,
+    /// Per gather task: `Some` precomputed message slices iff the task is a
+    /// chunk of its column (full-column tasks filter nothing).
+    chunk_indexes: Vec<Option<ChunkIndex>>,
+    split_stats: SplitStats,
 }
 
 impl BlockedSubgraph {
@@ -99,14 +244,44 @@ impl BlockedSubgraph {
 
         let rows: Vec<BlockRow> = ranges
             .par_iter()
-            .map(|&(lo, hi)| build_block_row(reg_csr, lo, hi, c, n_col_blocks))
+            .map(|&(lo, hi)| build_block_row(reg_csr, lo, hi, c, n_col_blocks, opts))
             .collect();
+
+        // Column-side skip lists, mirroring the per-row lists.
+        let nonempty_rows: Vec<Box<[u32]>> = (0..n_col_blocks)
+            .into_par_iter()
+            .map(|j| {
+                rows.iter()
+                    .enumerate()
+                    .filter(|(_, row)| !opts.skip_empty_blocks || row.blocks[j].msg_count() > 0)
+                    .map(|(t, _)| nid(t))
+                    .collect::<Vec<u32>>()
+                    .into_boxed_slice()
+            })
+            .collect();
+
+        let gather_tasks = plan_gather_tasks(&rows, r, c, n_col_blocks, opts);
+        let chunk_indexes = build_chunk_indexes(&rows, &nonempty_rows, &gather_tasks, r, c);
+
+        let base_rows = if r == 0 { 0 } else { r.div_ceil(c) };
+        let split_stats = SplitStats {
+            scatter_tasks: rows.len(),
+            scatter_splits: rows.len() - base_rows,
+            gather_tasks: gather_tasks.len(),
+            gather_splits: gather_tasks.len() - n_col_blocks,
+            max_scatter_task_nnz: rows.iter().map(|row| row.nnz).max().unwrap_or(0),
+            max_gather_task_nnz: gather_tasks.iter().map(|t| t.nnz).max().unwrap_or(0),
+        };
 
         Self {
             r,
             c,
             n_col_blocks,
             rows,
+            nonempty_rows,
+            gather_tasks,
+            chunk_indexes,
+            split_stats,
         }
     }
 
@@ -134,6 +309,37 @@ impl BlockedSubgraph {
     /// Block-rows (scatter tasks).
     pub fn rows(&self) -> &[BlockRow] {
         &self.rows
+    }
+
+    /// Skip list of block-column `j`: indices of block-rows whose block
+    /// `(row, j)` holds at least one edge, ascending. With
+    /// `skip_empty_blocks` off this enumerates every row.
+    #[inline]
+    pub fn nonempty_rows(&self, j: usize) -> &[u32] {
+        &self.nonempty_rows[j]
+    }
+
+    /// Load-balanced gather tasks, tiling `0..r` in destination order. One
+    /// per block-column, except columns whose edge count exceeds the
+    /// balance cap, which are chunked into several destination sub-ranges
+    /// (when `gather_balance` is on).
+    pub fn gather_tasks(&self) -> &[GatherTask] {
+        &self.gather_tasks
+    }
+
+    /// Per-task precomputed message slices, parallel to [`gather_tasks`]
+    /// (`Some` exactly for chunk tasks). The gather kernels zip this with
+    /// the task list: `None` takes the full-column path, `Some` walks the
+    /// prebuilt slices with no run-time searching.
+    ///
+    /// [`gather_tasks`]: Self::gather_tasks
+    pub fn chunk_indexes(&self) -> &[Option<ChunkIndex>] {
+        &self.chunk_indexes
+    }
+
+    /// How the §4.2 nnz-proportional split shaped the task lists.
+    pub fn split_stats(&self) -> SplitStats {
+        self.split_stats
     }
 
     /// Total edges across all blocks (must equal the regular subgraph nnz).
@@ -219,6 +425,16 @@ impl BlockedSubgraph {
                         "block ({t},{j}) has a local destination out of 0..{width}"
                     ));
                 }
+                // Sorted per-source destination runs are what lets the
+                // chunk-index builder slice each run into per-task
+                // contiguous sub-runs.
+                for k in 0..blk.msg_count() {
+                    if blk.dests_of(k).windows(2).any(|w| w[0] > w[1]) {
+                        return invariant(format!(
+                            "block ({t},{j}) destination run for source slot {k} is not sorted"
+                        ));
+                    }
+                }
                 row_nnz += blk.nnz();
             }
             let csr_nnz =
@@ -240,6 +456,7 @@ impl BlockedSubgraph {
         if opts.load_balance && !self.rows.is_empty() {
             let base_len = self.r.div_ceil(self.c);
             let avg = (reg_csr.nnz() as f64 / base_len as f64).max(1.0);
+            // lint: allow(truncation) reason=guarded: positive finite f64 cap far below 2^53
             let cap = (opts.balance_factor * avg).ceil() as usize;
             for (t, row) in self.rows.iter().enumerate() {
                 if row.src_end - row.src_start > 1 && row.nnz > cap {
@@ -248,6 +465,125 @@ impl BlockedSubgraph {
                         row.nnz
                     ));
                 }
+            }
+        }
+        // Skip lists must agree with the blocks they index: with skipping
+        // on, exactly the nonempty blocks; with it off, every block.
+        for (t, row) in self.rows.iter().enumerate() {
+            let expected: Vec<u32> = row
+                .blocks
+                .iter()
+                .enumerate()
+                .filter(|(_, blk)| !opts.skip_empty_blocks || blk.msg_count() > 0)
+                .map(|(j, _)| nid(j))
+                .collect();
+            if row.nonempty_cols.as_ref() != expected.as_slice() {
+                return invariant(format!(
+                    "row range {t} skip list {:?} disagrees with its blocks (expected {:?})",
+                    row.nonempty_cols, expected
+                ));
+            }
+        }
+        if self.nonempty_rows.len() != self.n_col_blocks {
+            return invariant(format!(
+                "{} column skip lists for {} column blocks",
+                self.nonempty_rows.len(),
+                self.n_col_blocks
+            ));
+        }
+        for (j, list) in self.nonempty_rows.iter().enumerate() {
+            let expected: Vec<u32> = self
+                .rows
+                .iter()
+                .enumerate()
+                .filter(|(_, row)| !opts.skip_empty_blocks || row.blocks[j].msg_count() > 0)
+                .map(|(t, _)| nid(t))
+                .collect();
+            if list.as_ref() != expected.as_slice() {
+                return invariant(format!(
+                    "column {j} skip list {list:?} disagrees with its blocks (expected {expected:?})"
+                ));
+            }
+        }
+        // Gather tasks tile every column's destination range contiguously,
+        // account for every edge, and respect the balance cap.
+        let mut idx = 0usize;
+        for j in 0..self.n_col_blocks {
+            let width = self.col_range(j).len();
+            let col_nnz: usize = self.rows.iter().map(|row| row.blocks[j].nnz()).sum();
+            let mut covered = 0u32;
+            let mut task_nnz = 0usize;
+            while idx < self.gather_tasks.len() && self.gather_tasks[idx].col as usize == j {
+                let t = self.gather_tasks[idx];
+                idx += 1;
+                if t.d_lo != covered || t.d_hi <= t.d_lo || t.d_hi as usize > width {
+                    return invariant(format!(
+                        "gather task over column {j} spans {}..{}, expected to start at {covered} within 0..{width}",
+                        t.d_lo, t.d_hi
+                    ));
+                }
+                covered = t.d_hi;
+                task_nnz += t.nnz;
+            }
+            if covered as usize != width {
+                return invariant(format!(
+                    "gather tasks cover 0..{covered} of column {j}, expected 0..{width}"
+                ));
+            }
+            if task_nnz != col_nnz {
+                return invariant(format!(
+                    "gather tasks over column {j} account for {task_nnz} edges, blocks hold {col_nnz}"
+                ));
+            }
+        }
+        if idx != self.gather_tasks.len() {
+            return invariant("gather task list has tasks beyond the last column".into());
+        }
+        if opts.gather_balance && self.n_col_blocks > 0 {
+            let avg = (reg_csr.nnz() as f64 / self.n_col_blocks as f64).max(1.0);
+            // lint: allow(truncation) reason=guarded: positive finite f64 cap far below 2^53
+            let cap = (opts.balance_factor * avg).ceil() as usize;
+            for t in &self.gather_tasks {
+                if t.d_hi - t.d_lo > 1 && t.nnz > cap {
+                    return invariant(format!(
+                        "gather task over column {} holds {} edges, above the balance cap {cap}",
+                        t.col, t.nnz
+                    ));
+                }
+            }
+        }
+        // Chunk indexes must be exactly the build-time resolution of each
+        // chunk task's run intersections — the gather kernels trust the
+        // `lo..hi` ranges with unchecked destination writes.
+        if self.chunk_indexes.len() != self.gather_tasks.len() {
+            return invariant(format!(
+                "{} chunk indexes for {} gather tasks",
+                self.chunk_indexes.len(),
+                self.gather_tasks.len()
+            ));
+        }
+        let expected_indexes = build_chunk_indexes(
+            &self.rows,
+            &self.nonempty_rows,
+            &self.gather_tasks,
+            self.r,
+            self.c,
+        );
+        for (ti, (got, want)) in self.chunk_indexes.iter().zip(&expected_indexes).enumerate() {
+            let matches = match (got, want) {
+                (None, None) => true,
+                (Some(g), Some(w)) => {
+                    g.block_ptr == w.block_ptr
+                        && g.runs == w.runs
+                        && g.slots == w.slots
+                        && g.wpos == w.wpos
+                }
+                _ => false,
+            };
+            if !matches {
+                return invariant(format!(
+                    "chunk index of gather task {ti} disagrees with its task's run intersections"
+                ));
             }
         }
         Ok(())
@@ -300,7 +636,14 @@ fn plan_row_ranges(reg_csr: &Csr, c: usize, opts: &MixenOpts) -> Vec<(u32, u32)>
 /// Builds the per-column blocks of one row range in a single pass over the
 /// rows (neighbour lists are sorted, so each row contributes one ascending
 /// run per touched column block).
-fn build_block_row(reg_csr: &Csr, lo: u32, hi: u32, c: usize, n_col_blocks: usize) -> BlockRow {
+fn build_block_row(
+    reg_csr: &Csr,
+    lo: u32,
+    hi: u32,
+    c: usize,
+    n_col_blocks: usize,
+    opts: &MixenOpts,
+) -> BlockRow {
     struct Builder {
         src_ids: Vec<u32>,
         dest_ptr: Vec<u32>,
@@ -331,19 +674,185 @@ fn build_block_row(reg_csr: &Csr, lo: u32, hi: u32, c: usize, n_col_blocks: usiz
             b.dest_ptr.push(nid(b.dests.len()));
         }
     }
+    let blocks: Vec<Block> = builders
+        .into_iter()
+        .map(|b| Block {
+            src_ids: b.src_ids.into_boxed_slice(),
+            dest_ptr: b.dest_ptr.into_boxed_slice(),
+            dests: b.dests.into_boxed_slice(),
+        })
+        .collect();
+    let nonempty_cols: Box<[u32]> = blocks
+        .iter()
+        .enumerate()
+        .filter(|(_, blk)| !opts.skip_empty_blocks || blk.msg_count() > 0)
+        .map(|(j, _)| nid(j))
+        .collect::<Vec<u32>>()
+        .into_boxed_slice();
     BlockRow {
         src_start: lo,
         src_end: hi,
-        blocks: builders
-            .into_iter()
-            .map(|b| Block {
-                src_ids: b.src_ids.into_boxed_slice(),
-                dest_ptr: b.dest_ptr.into_boxed_slice(),
-                dests: b.dests.into_boxed_slice(),
-            })
-            .collect(),
+        blocks,
         nnz,
+        nonempty_cols,
     }
+}
+
+/// Plans the gather task list: one task per block-column, except columns
+/// whose edge count exceeds `balance_factor ×` the average column load —
+/// those are chunked greedily at the cap along the per-destination in-edge
+/// counts, mirroring the scatter-side row split (§4.2).
+fn plan_gather_tasks(
+    rows: &[BlockRow],
+    r: usize,
+    c: usize,
+    n_col_blocks: usize,
+    opts: &MixenOpts,
+) -> Vec<GatherTask> {
+    if n_col_blocks == 0 {
+        return Vec::new();
+    }
+    let col_nnz: Vec<usize> = (0..n_col_blocks)
+        .into_par_iter()
+        .map(|j| rows.iter().map(|row| row.blocks[j].nnz()).sum())
+        .collect();
+    let total_nnz: usize = col_nnz.iter().sum();
+    let avg = (total_nnz as f64 / n_col_blocks as f64).max(1.0);
+    // lint: allow(truncation) reason=guarded: positive finite f64 cap far below 2^53
+    let cap = (opts.balance_factor * avg).ceil() as usize;
+    let mut tasks = Vec::with_capacity(n_col_blocks);
+    for (j, &nnz) in col_nnz.iter().enumerate() {
+        let lo = j * c;
+        let width = nid(((lo + c).min(r)) - lo);
+        if !opts.gather_balance || nnz <= cap || width <= 1 {
+            tasks.push(GatherTask {
+                col: nid(j),
+                d_lo: 0,
+                d_hi: width,
+                nnz,
+            });
+            continue;
+        }
+        // Per-destination in-edge counts within this column, then the same
+        // greedy at-the-cap split as the row planner (a single overloaded
+        // destination still forms its own chunk — per-destination combines
+        // cannot be split without atomics).
+        let mut deg = vec![0usize; width as usize];
+        for row in rows {
+            for &d in row.blocks[j].dests.iter() {
+                deg[d as usize] += 1;
+            }
+        }
+        let mut start = 0u32;
+        let mut acc = 0usize;
+        for (d, &cnt) in deg.iter().enumerate() {
+            if acc > 0 && acc + cnt > cap {
+                tasks.push(GatherTask {
+                    col: nid(j),
+                    d_lo: start,
+                    d_hi: nid(d),
+                    nnz: acc,
+                });
+                start = nid(d);
+                acc = 0;
+            }
+            acc += cnt;
+        }
+        if start < width {
+            tasks.push(GatherTask {
+                col: nid(j),
+                d_lo: start,
+                d_hi: width,
+                nnz: acc,
+            });
+        }
+    }
+    tasks
+}
+
+/// Resolves each chunk task's destination-major index once, at partition
+/// time (see [`ChunkIndex`]). Full-column tasks map to `None`. A counting
+/// sort per (task, block) groups the task's edges by destination while
+/// keeping message slots ascending within each destination — the stable
+/// order the bitwise-determinism contract needs.
+fn build_chunk_indexes(
+    rows: &[BlockRow],
+    nonempty_rows: &[Box<[u32]>],
+    tasks: &[GatherTask],
+    r: usize,
+    c: usize,
+) -> Vec<Option<ChunkIndex>> {
+    tasks
+        .par_iter()
+        .map(|t| {
+            let j = t.col as usize;
+            let lo = j * c;
+            let width = (lo + c).min(r) - lo;
+            if t.is_full_column(width) {
+                return None;
+            }
+            let w = (t.d_hi - t.d_lo) as usize;
+            let list = &nonempty_rows[j];
+            let mut block_ptr = Vec::with_capacity(list.len() + 1);
+            block_ptr.push(0u32);
+            let mut runs = Vec::new();
+            let mut slots = Vec::new();
+            let mut wpos = Vec::new();
+            let mut cnt = vec![0u32; w];
+            for &ti in list.iter() {
+                let blk = &rows[ti as usize].blocks[j];
+                cnt.fill(0);
+                // Pass 1: count this block's edges per task-owned
+                // destination. Runs are sorted (debug_validate), so the
+                // task's share of each is one contiguous sub-run.
+                for k in 0..blk.msg_count() {
+                    let run = blk.dests_of(k);
+                    let a = run.partition_point(|&d| d < t.d_lo);
+                    let b = run.partition_point(|&d| d < t.d_hi);
+                    for &d in &run[a..b] {
+                        cnt[(d - t.d_lo) as usize] += 1;
+                    }
+                }
+                let base_out = slots.len();
+                let mut off = Vec::with_capacity(w);
+                let mut total = 0u32;
+                for (d, &n) in cnt.iter().enumerate() {
+                    off.push(total);
+                    total += n;
+                    if n > 0 {
+                        runs.push(DestRun {
+                            d: t.d_lo + nid(d),
+                            len: n,
+                        });
+                    }
+                }
+                slots.resize(base_out + total as usize, 0);
+                wpos.resize(base_out + total as usize, 0);
+                // Pass 2: place each edge, slots ascending per destination
+                // because `k` ascends.
+                for k in 0..blk.msg_count() {
+                    let base = blk.dest_ptr[k] as usize;
+                    let run = blk.dests_of(k);
+                    let a = run.partition_point(|&d| d < t.d_lo);
+                    let b = run.partition_point(|&d| d < t.d_hi);
+                    for (p, &d) in run[a..b].iter().enumerate() {
+                        let slot = &mut off[(d - t.d_lo) as usize];
+                        let out = base_out + *slot as usize;
+                        slots[out] = nid(k);
+                        wpos[out] = nid(base + a + p);
+                        *slot += 1;
+                    }
+                }
+                block_ptr.push(nid(runs.len()));
+            }
+            Some(ChunkIndex {
+                block_ptr: block_ptr.into_boxed_slice(),
+                runs: runs.into_boxed_slice(),
+                slots: slots.into_boxed_slice(),
+                wpos: wpos.into_boxed_slice(),
+            })
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -525,5 +1034,188 @@ mod tests {
         let mut b = BlockedSubgraph::new(&csr, &o, 1);
         b.rows[0].src_end += 1;
         assert!(b.debug_validate(&csr, &o).is_err());
+    }
+
+    #[test]
+    fn skip_lists_index_exactly_the_nonempty_blocks() {
+        let csr = grid_csr();
+        let o = opts(4);
+        let b = BlockedSubgraph::new(&csr, &o, 1);
+        for row in b.rows() {
+            for (j, blk) in row.blocks.iter().enumerate() {
+                assert_eq!(
+                    row.nonempty_cols.contains(&nid(j)),
+                    blk.msg_count() > 0,
+                    "row {}..{} col {j}",
+                    row.src_start,
+                    row.src_end
+                );
+            }
+        }
+        for j in 0..b.n_col_blocks() {
+            for (t, row) in b.rows().iter().enumerate() {
+                assert_eq!(
+                    b.nonempty_rows(j).contains(&nid(t)),
+                    row.blocks[j].msg_count() > 0
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn skip_lists_enumerate_everything_when_disabled() {
+        let csr = grid_csr();
+        let o = MixenOpts {
+            skip_empty_blocks: false,
+            ..opts(4)
+        };
+        let b = BlockedSubgraph::new(&csr, &o, 1);
+        b.debug_validate(&csr, &o).unwrap();
+        let all: Vec<u32> = (0..b.n_col_blocks()).map(nid).collect();
+        for row in b.rows() {
+            assert_eq!(row.nonempty_cols.as_ref(), all.as_slice());
+        }
+        let all_rows: Vec<u32> = (0..b.rows().len()).map(nid).collect();
+        for j in 0..b.n_col_blocks() {
+            assert_eq!(b.nonempty_rows(j), all_rows.as_slice());
+        }
+    }
+
+    #[test]
+    fn gather_tasks_tile_each_column_and_chunk_hot_ones() {
+        // Column block 0 absorbs nearly all edges: every node points at
+        // destinations 0..4, so with c = 4 the first column must be chunked.
+        let mut edges = Vec::new();
+        for u in 0..16u32 {
+            for d in 0..4u32 {
+                edges.push((u, d));
+            }
+        }
+        edges.push((1, 9));
+        let csr = Csr::from_edges(16, &edges);
+        let o = opts(4);
+        let b = BlockedSubgraph::new(&csr, &o, 1);
+        b.debug_validate(&csr, &o).unwrap();
+        let stats = b.split_stats();
+        assert!(stats.gather_splits > 0, "stats: {stats:?}");
+        assert_eq!(stats.gather_tasks, b.gather_tasks().len());
+        assert_eq!(
+            stats.tasks_split(),
+            (stats.scatter_splits + stats.gather_splits) as u64
+        );
+        // Tasks tile each column contiguously and cover all edges.
+        let total: usize = b.gather_tasks().iter().map(|t| t.nnz).sum();
+        assert_eq!(total, csr.nnz());
+        let covered: usize = b.gather_tasks().iter().map(GatherTask::len).sum();
+        assert_eq!(covered, csr.n_rows());
+        // Unbalanced planning keeps one task per column.
+        let o2 = MixenOpts {
+            gather_balance: false,
+            ..o
+        };
+        let b2 = BlockedSubgraph::new(&csr, &o2, 1);
+        b2.debug_validate(&csr, &o2).unwrap();
+        assert_eq!(b2.gather_tasks().len(), b2.n_col_blocks());
+        assert_eq!(b2.split_stats().gather_splits, 0);
+    }
+
+    #[test]
+    fn split_stats_track_the_heaviest_tasks() {
+        let csr = grid_csr();
+        let b = BlockedSubgraph::new(&csr, &opts(4), 1);
+        let stats = b.split_stats();
+        assert_eq!(stats.scatter_tasks, b.rows().len());
+        assert_eq!(
+            stats.max_scatter_task_nnz,
+            b.rows().iter().map(|r| r.nnz).max().unwrap()
+        );
+        assert_eq!(
+            stats.max_gather_task_nnz,
+            b.gather_tasks().iter().map(|t| t.nnz).max().unwrap()
+        );
+        assert_eq!(
+            stats.max_task_nnz(),
+            stats.max_scatter_task_nnz.max(stats.max_gather_task_nnz) as u64
+        );
+    }
+
+    #[test]
+    fn debug_validate_rejects_broken_skip_lists_and_gather_tasks() {
+        let csr = grid_csr();
+        let o = opts(4);
+        // Corrupted row skip list.
+        let mut b = BlockedSubgraph::new(&csr, &o, 1);
+        b.rows[0].nonempty_cols = Box::new([]);
+        assert!(b.debug_validate(&csr, &o).is_err());
+        // Corrupted column skip list.
+        let mut b = BlockedSubgraph::new(&csr, &o, 1);
+        b.nonempty_rows[0] = Box::new([]);
+        assert!(b.debug_validate(&csr, &o).is_err());
+        // Gather task with a hole in its column tiling.
+        let mut b = BlockedSubgraph::new(&csr, &o, 1);
+        b.gather_tasks[0].d_lo += 1;
+        assert!(b.debug_validate(&csr, &o).is_err());
+        // Gather task nnz no longer matching its blocks.
+        let mut b = BlockedSubgraph::new(&csr, &o, 1);
+        b.gather_tasks[0].nnz += 1;
+        assert!(b.debug_validate(&csr, &o).is_err());
+        // Chunk index present on a full-column task.
+        let mut b = BlockedSubgraph::new(&csr, &o, 1);
+        b.chunk_indexes[0] = Some(ChunkIndex::default());
+        assert!(b.debug_validate(&csr, &o).is_err());
+    }
+
+    #[test]
+    fn chunk_indexes_resolve_exactly_the_tasks_run_intersections() {
+        // 16 sources all hitting column block 0 forces the gather balancer
+        // to chunk it; the full-column tasks must carry no index and the
+        // chunk tasks must partition each message's run by destination.
+        let mut edges = Vec::new();
+        for u in 0..16u32 {
+            for d in 0..4u32 {
+                edges.push((u, d));
+            }
+        }
+        let csr = Csr::from_edges(16, &edges);
+        let o = opts(4);
+        let b = BlockedSubgraph::new(&csr, &o, 1);
+        assert!(b.split_stats().gather_splits > 0);
+        b.debug_validate(&csr, &o).expect("partition is valid");
+        let mut chunked = 0usize;
+        for (t, idx) in b.gather_tasks().iter().zip(b.chunk_indexes()) {
+            let j = t.col as usize;
+            let width = b.col_range(j).len();
+            match idx {
+                None => assert!(t.is_full_column(width)),
+                Some(ci) => {
+                    chunked += 1;
+                    assert!(!t.is_full_column(width));
+                    assert_eq!(ci.block_ptr.len(), b.nonempty_rows(j).len() + 1);
+                    assert_eq!(ci.wpos.len(), ci.slots.len());
+                    // Runs hold exactly the task's nnz, every run sits in
+                    // the task's range, and every contribution points back
+                    // at a real (slot, dests-position) edge of its block.
+                    let mut cursor = 0usize;
+                    for (bi, &ti) in b.nonempty_rows(j).iter().enumerate() {
+                        let blk = &b.rows()[ti as usize].blocks[j];
+                        for run in ci.runs_of(bi) {
+                            assert!(t.d_lo <= run.d && run.d < t.d_hi);
+                            assert!(run.len > 0);
+                            let span = cursor..cursor + run.len as usize;
+                            for (&k, &p) in ci.slots[span.clone()].iter().zip(&ci.wpos[span]) {
+                                assert_eq!(blk.dests[p as usize], run.d);
+                                let (k, p) = (k as usize, p as usize);
+                                assert!((blk.dest_ptr[k] as usize..blk.dest_ptr[k + 1] as usize)
+                                    .contains(&p));
+                            }
+                            cursor += run.len as usize;
+                        }
+                    }
+                    assert_eq!(cursor, ci.slots.len());
+                    assert_eq!(cursor, t.nnz);
+                }
+            }
+        }
+        assert!(chunked > 1, "the hot column should yield several chunks");
     }
 }

@@ -127,13 +127,17 @@ impl MixenEngine {
                 panic!("strict-invariants: {e}");
             }
         }
+        let metrics = Metrics::default();
+        let stats = blocked.split_stats();
+        metrics.tasks_split.set(stats.tasks_split());
+        metrics.max_task_nnz.set(stats.max_task_nnz());
         Self {
             filtered,
             blocked,
             opts,
             filter_seconds,
             partition_seconds,
-            metrics: Metrics::default(),
+            metrics,
         }
     }
 
@@ -330,6 +334,11 @@ impl MixenEngine {
         self.metrics
             .dynamic_bin_slots
             .set(self.blocked.total_msg_slots() as u64);
+        // Re-stamp the partition gauges: a per-run `metrics().reset()` must
+        // not lose metadata that describes the (unchanged) partition.
+        let split = self.blocked.split_stats();
+        self.metrics.tasks_split.set(split.tasks_split());
+        self.metrics.max_task_nnz.set(split.max_task_nnz());
         let mut prev: Vec<V> = if tol.is_some() { x.clone() } else { Vec::new() };
 
         let mut performed = 0usize;

@@ -22,11 +22,21 @@
 //! Counter semantics ("exactness contract"):
 //!
 //! * `edges_scattered` / `edges_gathered` advance by the regular-subgraph
-//!   edge count (`BlockedSubgraph::nnz`) per Main-Phase iteration — the
-//!   kernels unconditionally stream every block, so per-call totals are
-//!   exact, not sampled.
+//!   edge count (`BlockedSubgraph::nnz`) per Main-Phase iteration — every
+//!   nonempty block streams its full compressed slot list per call, so
+//!   per-call totals are exact, not sampled.
 //! * `bin_bytes_streamed` advances by `compressed slots × size_of::<V>()`
-//!   per Scatter — the bytes actually written into the dynamic bins.
+//!   per Scatter *and* per Gather: the counter is total dynamic-bin traffic
+//!   in both directions (bytes written into the bins, plus bytes drained
+//!   from them), so one full Scatter+Gather round counts the slot bytes
+//!   twice. Before PR 5 only the Scatter half was counted, under-reporting
+//!   bin traffic by ~2×.
+//! * `tasks_split` / `max_task_nnz` are gauges describing the §4.2
+//!   nnz-proportional task split of the current partition: how many extra
+//!   tasks the balancer carved beyond the base grid (scatter-row splits +
+//!   gather-column chunks) and the heaviest single task in edges (the
+//!   straggler bound). Stamped at engine construction from
+//!   `BlockedSubgraph::split_stats`.
 //! * `static_bin_recomputes` counts every `StaticBin::compute` (the first
 //!   Pre-Phase build *and* any redundant rebuild: the cache-step ablation,
 //!   or a supervised batch re-entry); `static_bin_reuses` counts Cache-step
@@ -98,11 +108,13 @@ impl Gauge {
 /// written into report snapshots by the supervised runner (`pool_workers`
 /// with gauge semantics, `pool_tasks_executed` as the delta observed across
 /// the run) and have no field in the live [`Metrics`] registry.
-pub const COUNTER_NAMES: [&str; 15] = [
+pub const COUNTER_NAMES: [&str; 17] = [
     "edges_scattered",
     "edges_gathered",
     "bin_bytes_streamed",
     "dynamic_bin_slots",
+    "tasks_split",
+    "max_task_nnz",
     "static_bin_entries",
     "static_bin_reuses",
     "static_bin_recomputes",
@@ -128,6 +140,11 @@ pub struct Metrics {
     pub bin_bytes_streamed: Counter,
     /// Compressed message slots of the current dynamic bins.
     pub dynamic_bin_slots: Gauge,
+    /// §4.2 balancer subdivisions of the current partition (scatter-row
+    /// splits + gather-column chunks beyond the base grid).
+    pub tasks_split: Gauge,
+    /// Heaviest scatter or gather task of the current partition, in edges.
+    pub max_task_nnz: Gauge,
     /// Entries in the current static (seed-cache) bin.
     pub static_bin_entries: Gauge,
     /// Cache-step re-primes served from the static bin.
@@ -168,6 +185,8 @@ impl Metrics {
             ("edges_gathered", self.edges_gathered.get()),
             ("bin_bytes_streamed", self.bin_bytes_streamed.get()),
             ("dynamic_bin_slots", self.dynamic_bin_slots.get()),
+            ("tasks_split", self.tasks_split.get()),
+            ("max_task_nnz", self.max_task_nnz.get()),
             ("static_bin_entries", self.static_bin_entries.get()),
             ("static_bin_reuses", self.static_bin_reuses.get()),
             ("static_bin_recomputes", self.static_bin_recomputes.get()),
@@ -188,6 +207,8 @@ impl Metrics {
         self.edges_gathered.set(0);
         self.bin_bytes_streamed.set(0);
         self.dynamic_bin_slots.set(0);
+        self.tasks_split.set(0);
+        self.max_task_nnz.set(0);
         self.static_bin_entries.set(0);
         self.static_bin_reuses.set(0);
         self.static_bin_recomputes.set(0);
@@ -209,6 +230,8 @@ impl Clone for Metrics {
         m.edges_gathered.set(self.edges_gathered.get());
         m.bin_bytes_streamed.set(self.bin_bytes_streamed.get());
         m.dynamic_bin_slots.set(self.dynamic_bin_slots.get());
+        m.tasks_split.set(self.tasks_split.get());
+        m.max_task_nnz.set(self.max_task_nnz.get());
         m.static_bin_entries.set(self.static_bin_entries.get());
         m.static_bin_reuses.set(self.static_bin_reuses.get());
         m.static_bin_recomputes

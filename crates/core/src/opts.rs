@@ -41,6 +41,17 @@ pub struct MixenOpts {
     /// §6.4: keep at least `min_tasks_per_thread` block-rows per thread by
     /// shrinking the block side on graphs with few regular nodes.
     pub min_tasks_per_thread: usize,
+    /// Chunk block-columns whose edge count exceeds `balance_factor`× the
+    /// average column load into multiple gather tasks over disjoint
+    /// destination sub-ranges — the gather-side mirror of the §4.2 scatter
+    /// split. Disabled, every block-column is exactly one gather task.
+    pub gather_balance: bool,
+    /// Precompute per-row/per-column nonempty-block index lists so the
+    /// Scatter/Gather/BFS kernels walk only blocks that hold edges.
+    /// Disabled, the skip lists enumerate *every* block — the kernels run
+    /// the same code over the naive full walk (the A/B knob of the
+    /// `kernels` perf-regression bench).
+    pub skip_empty_blocks: bool,
 }
 
 impl Default for MixenOpts {
@@ -52,6 +63,8 @@ impl Default for MixenOpts {
             load_balance: true,
             balance_factor: 2.0,
             min_tasks_per_thread: 4,
+            gather_balance: true,
+            skip_empty_blocks: true,
         }
     }
 }
@@ -89,6 +102,7 @@ mod tests {
         assert_eq!(o.ordering, RegularOrdering::HubsFirst);
         assert!(o.cache_step && o.load_balance);
         assert_eq!(o.balance_factor, 2.0);
+        assert!(o.gather_balance && o.skip_empty_blocks);
     }
 
     #[test]

@@ -34,8 +34,8 @@ pub fn scatter<V: PropValue>(
 
 /// [`scatter`] with optional metrics: advances `edges_scattered` by the
 /// subgraph's edge count and `bin_bytes_streamed` by the compressed slot
-/// bytes actually written. The kernel streams every block unconditionally,
-/// so these per-call totals are exact.
+/// bytes actually written. Every nonempty block streams its full slot list
+/// per call, so these per-call totals are exact.
 pub fn scatter_with<V: PropValue>(
     blocked: &BlockedSubgraph,
     x: &mut [V],
@@ -56,16 +56,45 @@ pub fn scatter_with<V: PropValue>(
         .for_each(|((xseg, task), row)| {
             // SAFETY: segments are disjoint sub-slices, one per task.
             let xseg = unsafe { xseg.as_slice_mut() };
-            for (j, blk) in row.blocks.iter().enumerate() {
-                let vals = task.col_mut(j);
-                for (slot, &src) in vals.iter_mut().zip(blk.src_ids.iter()) {
-                    *slot = xseg[src as usize];
-                }
+            for &j in row.nonempty_cols.iter() {
+                stream_block(&row.blocks[j as usize], xseg, task.col_mut(j as usize));
             }
             if let Some(p) = prime {
                 xseg.copy_from_slice(&p[row.src_start as usize..row.src_end as usize]);
             }
         });
+}
+
+/// Streams one block's source values into its bin slots:
+/// `vals[k] = xseg[src_ids[k]]`.
+///
+/// When the block's active sources form a contiguous run (common in the
+/// hub-dense front columns after relocation), the loop collapses to a
+/// straight `copy_from_slice` — a memcpy the compiler vectorizes. The
+/// general path is an unchecked gather: `src_ids` is validated against the
+/// segment height at partition time.
+#[inline]
+fn stream_block<V: PropValue>(blk: &crate::block::Block, xseg: &[V], vals: &mut [V]) {
+    let ids = &blk.src_ids;
+    debug_assert_eq!(vals.len(), ids.len());
+    debug_assert!(ids.iter().all(|&s| (s as usize) < xseg.len()));
+    let (Some(&first), Some(&last)) = (ids.first(), ids.last()) else {
+        return; // Empty block (only reachable with skip lists disabled).
+    };
+    let len = ids.len();
+    if (last - first) as usize + 1 == len {
+        // `src_ids` is strictly ascending, so a span equal to the length
+        // means every source in `first..=last` is present, in order.
+        vals.copy_from_slice(&xseg[first as usize..first as usize + len]);
+        return;
+    }
+    for (slot, &src) in vals.iter_mut().zip(ids.iter()) {
+        // SAFETY: `BlockedSubgraph` construction guarantees (and
+        // `debug_validate` re-checks) that every `src_ids` entry is below
+        // the block-row height, which is exactly `xseg.len()` here — see
+        // the `debug_assert!` above.
+        *slot = unsafe { *xseg.get_unchecked(src as usize) };
+    }
 }
 
 /// Gather + Apply step: drain the bins column-wise, combining into `y`
@@ -82,7 +111,16 @@ where
 
 /// [`gather`] with optional metrics: advances `edges_gathered` by the
 /// subgraph's edge count (every compressed message fans out to all of its
-/// destinations, so the drained-edge total per call is exact).
+/// destinations, so the drained-edge total per call is exact) and
+/// `bin_bytes_streamed` by the compressed slot bytes drained — the counter
+/// tracks bin traffic in *both* directions, see `obs.rs`.
+///
+/// Work is scheduled over [`BlockedSubgraph::gather_tasks`]: one task per
+/// block-column, except columns the §4.2 balancer chunked into destination
+/// sub-ranges. Tasks tile `0..r` contiguously, so each owns a disjoint
+/// `y` segment and the per-destination combine order (block-rows ascending,
+/// sources ascending within a block) is identical to the unchunked walk —
+/// results are bit-for-bit independent of the split.
 pub fn gather_with<V, F>(
     blocked: &BlockedSubgraph,
     bins: &DynamicBins<V>,
@@ -95,31 +133,71 @@ pub fn gather_with<V, F>(
 {
     if let Some(m) = metrics {
         m.edges_gathered.add(blocked.nnz() as u64);
+        m.bin_bytes_streamed
+            .add((blocked.total_msg_slots() * std::mem::size_of::<V>()) as u64);
     }
     let rows = blocked.rows();
     let c = blocked.block_side();
-    let mut segs: Vec<&mut [V]> = Vec::with_capacity(blocked.n_col_blocks());
+    let tasks = blocked.gather_tasks();
+    let bin_tasks = bins.tasks();
+    let mut segs: Vec<&mut [V]> = Vec::with_capacity(tasks.len());
     let mut rest = y;
-    for j in 0..blocked.n_col_blocks() {
-        let len = blocked.col_range(j).len();
-        let (seg, tail) = rest.split_at_mut(len);
+    for t in tasks {
+        let (seg, tail) = rest.split_at_mut(t.len());
         segs.push(seg);
         rest = tail;
     }
-    segs.par_iter_mut().enumerate().for_each(|(j, yseg)| {
-        for (row, task) in rows.iter().zip(bins.tasks()) {
-            let blk = &row.blocks[j];
-            for (k, &val) in task.col(j).iter().enumerate() {
-                for &d in blk.dests_of(k) {
-                    yseg[d as usize].combine(val);
+    let idxs = blocked.chunk_indexes();
+    segs.par_iter_mut()
+        .zip(tasks.par_iter().zip(idxs.par_iter()))
+        .for_each(|(yseg, (t, idx))| {
+            let j = t.col as usize;
+            match idx {
+                // Full-column task: drain every run whole.
+                None => {
+                    for &ti in blocked.nonempty_rows(j) {
+                        let blk = &rows[ti as usize].blocks[j];
+                        let vals = bin_tasks[ti as usize].col(j);
+                        for (k, &val) in vals.iter().enumerate() {
+                            for &d in blk.dests_of(k) {
+                                // SAFETY: `debug_validate` guarantees every
+                                // local destination is below the column
+                                // width, which is exactly `yseg.len()` on
+                                // the full-column path.
+                                unsafe { yseg.get_unchecked_mut(d as usize) }.combine(val);
+                            }
+                        }
+                    }
+                }
+                // Chunk task: destination-major walk over the prebuilt
+                // index — traffic proportional to the edges this chunk
+                // owns, not to the column's message count (which every
+                // chunk of a hub column would otherwise re-scan).
+                Some(ci) => {
+                    let mut cursor = 0usize;
+                    for (bi, &ti) in blocked.nonempty_rows(j).iter().enumerate() {
+                        let vals = bin_tasks[ti as usize].col(j);
+                        for run in ci.runs_of(bi) {
+                            // SAFETY: `debug_validate` rebuilds the index
+                            // from the blocks and compares exactly, so
+                            // `run.d` lies in `[d_lo, d_hi)` and the
+                            // shifted index is below `yseg.len()`.
+                            let y = unsafe { yseg.get_unchecked_mut((run.d - t.d_lo) as usize) };
+                            for &k in &ci.slots[cursor..cursor + run.len as usize] {
+                                // SAFETY: same rebuild check — every slot
+                                // is a valid message index of this block.
+                                y.combine(*unsafe { vals.get_unchecked(k as usize) });
+                            }
+                            cursor += run.len as usize;
+                        }
+                    }
                 }
             }
-        }
-        let col_base = nid(j * c);
-        for (d, yv) in yseg.iter_mut().enumerate() {
-            *yv = finish(col_base + nid(d), *yv);
-        }
-    });
+            let base = nid(j * c) + t.d_lo;
+            for (d, yv) in yseg.iter_mut().enumerate() {
+                *yv = finish(base + nid(d), *yv);
+            }
+        });
 }
 
 /// One sparse BFS level over the blocked structure: merge-join the sorted
@@ -134,19 +212,26 @@ pub fn bfs_level_sparse(
 ) -> Vec<u32> {
     use std::sync::atomic::Ordering;
     let rows = blocked.rows();
+    // Per row: positions of frontier sources per block-column. A row whose
+    // frontier slice is empty contributes an empty outer Vec — no per-block
+    // allocations at all; columns the row has no edges into stay `Vec::new`.
     let active: Vec<Vec<Vec<u32>>> = rows
         .par_iter()
         .map(|row| {
             let lo = frontier.partition_point(|&u| u < row.src_start);
             let hi = frontier.partition_point(|&u| u < row.src_end);
+            if lo == hi {
+                return Vec::new();
+            }
             let local: Vec<u32> = frontier[lo..hi]
                 .iter()
                 .map(|&u| u - row.src_start)
                 .collect();
-            row.blocks
-                .iter()
-                .map(|blk| merge_positions(&blk.src_ids, &local))
-                .collect()
+            let mut acts = vec![Vec::new(); row.blocks.len()];
+            for &j in row.nonempty_cols.iter() {
+                acts[j as usize] = merge_positions(&row.blocks[j as usize].src_ids, &local);
+            }
+            acts
         })
         .collect();
     (0..blocked.n_col_blocks())
@@ -154,8 +239,12 @@ pub fn bfs_level_sparse(
         .flat_map_iter(|j| {
             let col_base = nid(j * blocked.block_side());
             let mut next = Vec::new();
-            for (row, acts) in rows.iter().zip(&active) {
-                let blk = &row.blocks[j];
+            for &ti in blocked.nonempty_rows(j) {
+                let acts = &active[ti as usize];
+                if acts.is_empty() {
+                    continue; // Row had no frontier sources this level.
+                }
+                let blk = &rows[ti as usize].blocks[j];
                 for &k in &acts[j] {
                     for &d in blk.dests_of(k as usize) {
                         let v = col_base + d;
@@ -187,7 +276,8 @@ pub fn bfs_level_dense(
         .flat_map_iter(|j| {
             let col_base = nid(j * blocked.block_side());
             let mut next = Vec::new();
-            for row in rows {
+            for &ti in blocked.nonempty_rows(j) {
+                let row = &rows[ti as usize];
                 let blk = &row.blocks[j];
                 for (k, &src) in blk.src_ids.iter().enumerate() {
                     let u = row.src_start + src;
@@ -364,5 +454,152 @@ mod tests {
         scatter(&b, &mut x, &mut bins, None);
         gather(&b, &bins, &mut y, |v, s| s + v as f32 * 100.0);
         assert_eq!(y, vec![0.0, 100.0, 205.0]);
+    }
+
+    /// Reference `y = A^T x` combined serially from the CSR.
+    fn spmv_reference(csr: &Csr, x: &[f32]) -> Vec<f32> {
+        let mut y = vec![0.0f32; csr.n_cols()];
+        for (u, v) in csr.edges() {
+            y[v as usize] += x[u as usize];
+        }
+        y
+    }
+
+    /// Runs one scatter+gather round under `opts` and returns `y`.
+    fn spmv_under(csr: &Csr, opts: &MixenOpts, x: &[f32]) -> Vec<f32> {
+        let b = BlockedSubgraph::new(csr, opts, 1);
+        b.debug_validate(csr, opts).unwrap();
+        let mut bins: DynamicBins<f32> = DynamicBins::new(&b);
+        let mut xv = x.to_vec();
+        let mut y = vec![0.0f32; csr.n_cols()];
+        scatter(&b, &mut xv, &mut bins, None);
+        gather(&b, &bins, &mut y, |_, s| s);
+        y
+    }
+
+    #[test]
+    fn merge_positions_empty_inputs() {
+        assert!(merge_positions(&[], &[]).is_empty());
+        assert!(merge_positions(&[1, 2, 3], &[]).is_empty());
+        assert!(merge_positions(&[], &[1, 2, 3]).is_empty());
+    }
+
+    #[test]
+    fn merge_positions_all_match() {
+        let ids = [2u32, 5, 9, 11];
+        assert_eq!(merge_positions(&ids, &ids), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn merge_positions_is_duplicate_free_and_sorted() {
+        // Active list with entries absent from src_ids, interleaved.
+        let ids = [1u32, 4, 6, 7, 10];
+        let active = [0u32, 4, 5, 7, 8, 10, 12];
+        let got = merge_positions(&ids, &active);
+        assert_eq!(got, vec![1, 3, 4]);
+        let mut dedup = got.clone();
+        dedup.dedup();
+        assert_eq!(got, dedup, "positions must be strictly ascending");
+    }
+
+    #[test]
+    fn scatter_gather_with_fully_empty_block_rows_and_columns() {
+        // 12 nodes, c = 2: edges only touch the first and last block, so
+        // block-rows 1..4 and block-columns 1..4 are completely empty.
+        let csr = Csr::from_edges(12, &[(0, 1), (1, 0), (10, 11), (11, 10), (0, 11)]);
+        let o = MixenOpts {
+            block_side: 2,
+            min_tasks_per_thread: 1,
+            ..MixenOpts::default()
+        };
+        let b = BlockedSubgraph::new(&csr, &o, 1);
+        b.debug_validate(&csr, &o).unwrap();
+        // Middle rows/columns really are skipped.
+        assert!(b.rows()[2].nonempty_cols.is_empty());
+        assert!(b.nonempty_rows(2).is_empty());
+        let x: Vec<f32> = (0..12).map(|i| (i + 1) as f32).collect();
+        assert_eq!(spmv_under(&csr, &o, &x), spmv_reference(&csr, &x));
+    }
+
+    #[test]
+    fn skip_lists_off_reproduces_the_naive_walk_bitwise() {
+        // The A/B knob of the kernels bench: with every tuning knob off the
+        // kernels walk the full grid, and outputs must be bit-identical.
+        let mut edges = Vec::new();
+        for d in 0..40u32 {
+            edges.push((3u32, d % 24)); // hub row and hub column load
+            edges.push((d % 24, 5u32));
+        }
+        for u in 0..24u32 {
+            edges.push((u, (u * 7 + 1) % 24));
+        }
+        let csr = Csr::from_edges(24, &edges);
+        let x: Vec<f32> = (0..24).map(|i| (i as f32).sin()).collect();
+        let tuned = MixenOpts {
+            block_side: 4,
+            min_tasks_per_thread: 1,
+            ..MixenOpts::default()
+        };
+        let naive = MixenOpts {
+            load_balance: false,
+            gather_balance: false,
+            skip_empty_blocks: false,
+            ..tuned
+        };
+        let a = spmv_under(&csr, &tuned, &x);
+        let b = spmv_under(&csr, &naive, &x);
+        assert_eq!(a, b, "tuned and naive paths must agree bit-for-bit");
+        assert_eq!(a, spmv_reference(&csr, &x));
+    }
+
+    #[test]
+    fn chunked_gather_columns_match_reference() {
+        // Load one block-column far beyond the 2× cap so it gets chunked,
+        // with in-edges spread over many destinations.
+        let mut edges = Vec::new();
+        for u in 0..32u32 {
+            for d in 0..8u32 {
+                edges.push((u, d)); // column block 0 holds 256 edges
+            }
+        }
+        edges.push((0, 20));
+        edges.push((9, 31));
+        let csr = Csr::from_edges(32, &edges);
+        let o = MixenOpts {
+            block_side: 8,
+            min_tasks_per_thread: 1,
+            ..MixenOpts::default()
+        };
+        let b = BlockedSubgraph::new(&csr, &o, 1);
+        b.debug_validate(&csr, &o).unwrap();
+        assert!(
+            b.split_stats().gather_splits > 0,
+            "column 0 should have been chunked, stats: {:?}",
+            b.split_stats()
+        );
+        let x: Vec<f32> = (0..32).map(|i| (i as f32 * 0.37).cos()).collect();
+        assert_eq!(spmv_under(&csr, &o, &x), spmv_reference(&csr, &x));
+    }
+
+    #[test]
+    fn bfs_sparse_skips_inactive_rows() {
+        use std::sync::atomic::{AtomicI32, Ordering};
+        // Path graph 0 -> 1 -> ... -> 11 with c = 2: each level activates
+        // one row, every other row has an empty frontier slice.
+        let edges: Vec<(u32, u32)> = (0..11u32).map(|u| (u, u + 1)).collect();
+        let csr = Csr::from_edges(12, &edges);
+        let b = blocked(&csr, 2);
+        let depth: Vec<AtomicI32> = (0..12).map(|_| AtomicI32::new(-1)).collect();
+        depth[0].store(0, Ordering::Relaxed);
+        let mut frontier = vec![0u32];
+        let mut level = 0;
+        while !frontier.is_empty() {
+            frontier = bfs_level_sparse(&b, &depth, &frontier, level);
+            frontier.sort_unstable();
+            level += 1;
+        }
+        let got: Vec<i32> = depth.iter().map(|d| d.load(Ordering::Relaxed)).collect();
+        let want: Vec<i32> = (0..12).collect();
+        assert_eq!(got, want);
     }
 }

@@ -124,6 +124,10 @@ impl WMixenEngine {
             .into_boxed_slice();
 
         drop(build_span);
+        let metrics = Metrics::default();
+        let stats = blocked.split_stats();
+        metrics.tasks_split.set(stats.tasks_split());
+        metrics.max_task_nnz.set(stats.max_task_nnz());
         Self {
             filtered,
             blocked,
@@ -131,7 +135,7 @@ impl WMixenEngine {
             seed_weights,
             sink_weights,
             build_seconds,
-            metrics: Metrics::default(),
+            metrics,
         }
     }
 
@@ -258,6 +262,9 @@ impl WMixenEngine {
         self.metrics
             .dynamic_bin_slots
             .set(self.blocked.total_msg_slots() as u64);
+        let split = self.blocked.split_stats();
+        self.metrics.tasks_split.set(split.tasks_split());
+        self.metrics.max_task_nnz.set(split.max_task_nnz());
         let mut prev: Vec<V> = if tol.is_some() { x.clone() } else { Vec::new() };
 
         let mut performed = 0usize;
@@ -331,40 +338,70 @@ impl WMixenEngine {
     }
 
     /// Weighted Gather + Apply: like [`scga::gather`], but each destination
-    /// combine applies the edge weight to the streamed value.
+    /// combine applies the edge weight to the streamed value. Scheduled over
+    /// the same load-balanced [`BlockedSubgraph::gather_tasks`] list, with
+    /// weights addressed through `dest_ptr` so chunked tasks pick up each
+    /// source's weight sub-run at the matching offset.
     fn gather_weighted<V, FA>(&self, bins: &DynamicBins<V>, y: &mut [V], finish: FA)
     where
         V: PropValue,
         FA: Fn(NodeId, V) -> V + Sync,
     {
         self.metrics.edges_gathered.add(self.blocked.nnz() as u64);
+        self.metrics
+            .bin_bytes_streamed
+            .add((self.blocked.total_msg_slots() * std::mem::size_of::<V>()) as u64);
         let rows = self.blocked.rows();
         let c = self.blocked.block_side();
-        let mut segs: Vec<&mut [V]> = Vec::with_capacity(self.blocked.n_col_blocks());
+        let tasks = self.blocked.gather_tasks();
+        let bin_tasks = bins.tasks();
+        let mut segs: Vec<&mut [V]> = Vec::with_capacity(tasks.len());
         let mut rest = y;
-        for j in 0..self.blocked.n_col_blocks() {
-            let len = self.blocked.col_range(j).len();
-            let (seg, tail) = rest.split_at_mut(len);
+        for t in tasks {
+            let (seg, tail) = rest.split_at_mut(t.len());
             segs.push(seg);
             rest = tail;
         }
-        segs.par_iter_mut().enumerate().for_each(|(j, yseg)| {
-            for ((row, task), weights) in rows.iter().zip(bins.tasks()).zip(&self.block_weights) {
-                let blk = &row.blocks[j];
-                let wblk = &weights[j];
-                let mut e = 0usize;
-                for (k, &val) in task.col(j).iter().enumerate() {
-                    for &d in blk.dests_of(k) {
-                        yseg[d as usize].combine(val.scale_edge(wblk[e]));
-                        e += 1;
+        let idxs = self.blocked.chunk_indexes();
+        segs.par_iter_mut()
+            .zip(tasks.par_iter().zip(idxs.par_iter()))
+            .for_each(|(yseg, (t, idx))| {
+                let j = t.col as usize;
+                let mut cursor = 0usize;
+                for (bi, &ti) in self.blocked.nonempty_rows(j).iter().enumerate() {
+                    let blk = &rows[ti as usize].blocks[j];
+                    let wblk = &self.block_weights[ti as usize][j];
+                    let vals = bin_tasks[ti as usize].col(j);
+                    match idx {
+                        None => {
+                            for (k, &val) in vals.iter().enumerate() {
+                                let wbase = blk.dest_ptr[k] as usize;
+                                for (i, &d) in blk.dests_of(k).iter().enumerate() {
+                                    yseg[d as usize].combine(val.scale_edge(wblk[wbase + i]));
+                                }
+                            }
+                        }
+                        // Chunk task: destination-major walk; `wpos` maps
+                        // each contribution back to its position in the
+                        // block's `dests`, which is also its per-edge
+                        // weight index.
+                        Some(ci) => {
+                            for run in ci.runs_of(bi) {
+                                let y = &mut yseg[(run.d - t.d_lo) as usize];
+                                let span = cursor..cursor + run.len as usize;
+                                for (&k, &p) in ci.slots[span.clone()].iter().zip(&ci.wpos[span]) {
+                                    y.combine(vals[k as usize].scale_edge(wblk[p as usize]));
+                                }
+                                cursor += run.len as usize;
+                            }
+                        }
                     }
                 }
-            }
-            let col_base = nid(j * c);
-            for (d, yv) in yseg.iter_mut().enumerate() {
-                *yv = finish(col_base + nid(d), *yv);
-            }
-        });
+                let col_base = nid(j * c) + t.d_lo;
+                for (d, yv) in yseg.iter_mut().enumerate() {
+                    *yv = finish(col_base + nid(d), *yv);
+                }
+            });
     }
 }
 

@@ -42,4 +42,9 @@ done
 echo "=== scaling ($SCALE) ==="
 ./target/release/scaling --scale "$SCALE" --iters "$ITERS" \
   --json "results/scaling_${SCALE}.json" | tee "results/scaling_${SCALE}.txt"
+# Kernel microbenchmarks: the regression-baseline protocol pins 4 lanes
+# (EXPERIMENTS.md "Kernel microbenchmarks"), so --threads is fixed here too.
+echo "=== kernels ($SCALE) ==="
+./target/release/kernels --scale "$SCALE" --iters "$ITERS" --threads 4 \
+  --json "results/kernels_${SCALE}.json" | tee "results/kernels_${SCALE}.txt"
 echo "all results written to results/"

@@ -32,7 +32,8 @@ pub use engine::{AnyEngine, Engine, EngineKind};
 pub use hits::{hits, HitsScores};
 pub use indegree::{indegree, indegree_iterated, spmv};
 pub use pagerank::{
-    pagerank, pagerank_adaptive, pagerank_supervised, pagerank_until, PageRankOpts,
+    pagerank, pagerank_adaptive, pagerank_fingerprint_extra, pagerank_supervised,
+    pagerank_supervised_resume, pagerank_until, PageRankOpts,
 };
 pub use ranking::{kendall_tau, kendall_tau_sampled, top_k, top_k_overlap};
 pub use salsa::{salsa, SalsaScores};

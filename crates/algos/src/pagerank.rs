@@ -177,6 +177,64 @@ pub fn pagerank_supervised(
     Ok((scores, report))
 }
 
+/// The [`mixen_core::RunnerOpts::fingerprint_extra`] value a supervised
+/// PageRank run must carry so its checkpoints bind to the algorithm
+/// parameters: resuming with a different damping factor is then rejected as
+/// stale instead of silently producing a hybrid of two different chains.
+pub fn pagerank_fingerprint_extra(opts: &PageRankOpts) -> u64 {
+    u64::from(opts.damping.to_bits())
+}
+
+/// Resumes a supervised PageRank run from the `CKPT1` snapshot at the
+/// runner's configured [`mixen_core::RunnerOpts::checkpoint_path`], then
+/// continues until `iters` *total* iterations (checkpointed ones included).
+///
+/// The snapshot must have been written by a run with the same graph, the
+/// same runner options (including [`pagerank_fingerprint_extra`]), and the
+/// same lane count; any mismatch is a typed staleness error. At a fixed
+/// lane count the final scores are bit-identical to an uninterrupted
+/// `iters`-iteration run.
+#[allow(clippy::result_large_err)] // RunFailure carries the run report by design
+pub fn pagerank_supervised_resume(
+    g: &Graph,
+    runner: &mixen_core::RobustRunner,
+    opts: PageRankOpts,
+    iters: usize,
+) -> Result<(Vec<f32>, mixen_core::RunReport), mixen_core::RunFailure> {
+    assert!(
+        !opts.redistribute,
+        "supervised mode does not support dangling redistribution"
+    );
+    let Some(path) = runner.opts().checkpoint_path.clone() else {
+        return Err(mixen_core::RunFailure {
+            error: mixen_graph::GraphError::Format(
+                "resume requested but the runner has no checkpoint_path configured".into(),
+            ),
+            report: mixen_core::RunReport::default(),
+        });
+    };
+    let resumed = runner
+        .resume_from::<f32>(g, &path)
+        .map_err(|error| mixen_core::RunFailure {
+            error,
+            report: mixen_core::RunReport::default(),
+        })?;
+    let n = g.n().max(1) as f32;
+    let d = opts.damping;
+    let base = (1.0 - d) / n;
+    let out_deg: Vec<u32> = (0..nid(g.n()))
+        .map(|v| nid(g.out_degree(v).max(1)))
+        .collect();
+    let apply = |v: NodeId, sum: f32| (base + d * sum) / out_deg[v as usize] as f32;
+    let (vals, report) = runner.run_resumed(g, resumed, apply, iters)?;
+    let scores = vals
+        .iter()
+        .zip(&out_deg)
+        .map(|(&p, &odeg)| p * odeg as f32)
+        .collect();
+    Ok((scores, report))
+}
+
 /// Adaptive PageRank on the Mixen engine (the delta-iteration extension):
 /// nodes stop propagating once their rank moves by at most `epsilon` per
 /// round. Returns scores and the engine's [`mixen_core::DeltaStats`].
@@ -406,6 +464,54 @@ mod tests {
         ));
         // The report still describes the run up to the fault.
         assert_eq!(failure.report.engine, mixen_core::EngineUsed::Mixen);
+    }
+
+    #[test]
+    fn supervised_resume_is_bit_identical() {
+        let g = Graph::from_pairs(
+            7,
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 0),
+                (3, 0),
+                (3, 2),
+                (1, 4),
+                (2, 5),
+                (4, 5),
+            ],
+        );
+        let dir = std::env::temp_dir().join("mixen_algos_resume");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pr.ckpt");
+        let pr = PageRankOpts::default();
+        let opts = mixen_core::RunnerOpts {
+            checkpoint_path: Some(path.clone()),
+            checkpoint_every: 3,
+            fingerprint_extra: pagerank_fingerprint_extra(&pr),
+            ..mixen_core::RunnerOpts::default()
+        };
+        let runner = mixen_core::RobustRunner::new(opts);
+        let (want, _) = pagerank_supervised(&g, &runner, pr, 10).unwrap();
+        // Simulate an interruption at iteration 6 and resume to 10.
+        let (_, report) = pagerank_supervised(&g, &runner, pr, 6).unwrap();
+        assert!(report.metrics.get("checkpoints_written") >= 2);
+        let (got, report) = pagerank_supervised_resume(&g, &runner, pr, 10).unwrap();
+        assert_eq!(report.iterations, 10);
+        assert_eq!(report.metrics.get("resumes"), 1);
+        for (a, b) in got.iter().zip(&want) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // A different damping factor (wired through fingerprint_extra, as
+        // the CLI does) must be rejected as stale.
+        let changed = mixen_core::RobustRunner::new(mixen_core::RunnerOpts {
+            checkpoint_path: Some(path.clone()),
+            fingerprint_extra: pagerank_fingerprint_extra(&PageRankOpts { damping: 0.9, ..pr }),
+            ..mixen_core::RunnerOpts::default()
+        });
+        let err = pagerank_supervised_resume(&g, &changed, pr, 10).unwrap_err();
+        assert!(matches!(err.error, mixen_graph::GraphError::Format(_)));
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

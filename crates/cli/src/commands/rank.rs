@@ -6,21 +6,37 @@
 //! a NaN/Inf/divergence fault exits with code 1 and a typed error. All other
 //! algorithm/engine combinations get a final non-finite score scan.
 //!
+//! Durability and supervision (all supervised-only):
+//!
+//! * `--checkpoint PATH [--checkpoint-every N]` snapshots the value vector
+//!   atomically every N iterations (`CKPT1`, see `mixen_graph::ckpt`).
+//! * `--resume true` warm-starts from that snapshot and continues to
+//!   `--iters` total iterations; at a fixed `--threads` the scores are
+//!   bit-identical to an uninterrupted run.
+//! * `--deadline-ms N` stops the run at the next batch boundary once the
+//!   wall-clock budget expires — exit code 3, with a final checkpoint when
+//!   `--checkpoint` is set, so a scheduler can resume instead of restart.
+//! * `--stall-ms N` arms the watchdog's per-batch stall budget; stalled
+//!   batches walk the lane-degradation ladder instead of hanging.
+//!
 //! `--metrics-json PATH` (supervised only) writes the full machine-readable
 //! [`mixen_core::RunReport`] — phase timings, counters, degradations — as
 //! pretty-printed JSON. The file is written on failed runs too, so a faulted
 //! run still leaves its diagnostic trail behind.
 
 use std::io::Write;
+use std::path::PathBuf;
+use std::time::Duration;
 
 use crate::args::Args;
 use crate::commands::{build_engine, load_graph};
 use crate::error::CliError;
 use mixen_algos::{
-    collaborative_filtering, hits, indegree, pagerank, pagerank_supervised, salsa, CfOpts,
-    PageRankOpts,
+    collaborative_filtering, hits, indegree, pagerank, pagerank_fingerprint_extra,
+    pagerank_supervised, pagerank_supervised_resume, salsa, CfOpts, PageRankOpts,
 };
 use mixen_core::{DegradationEvent, EngineUsed, RobustRunner, RunReport, RunnerOpts};
+use mixen_graph::GraphError;
 
 /// Writes a supervised run's report as pretty-printed JSON.
 fn write_metrics_json(path: &str, report: &RunReport) -> Result<(), CliError> {
@@ -41,6 +57,13 @@ pub fn run(args: &Args) -> Result<(), CliError> {
         "supervised",
         "metrics-json",
         "threads",
+        "checkpoint",
+        "checkpoint-every",
+        "resume",
+        "deadline-ms",
+        "stall-ms",
+        "inject-stall-ms",
+        "exit-after-checkpoints",
     ])?;
     let path = args.positional(0, "graph.mxg")?;
     let g = load_graph(path)?;
@@ -64,29 +87,73 @@ pub fn run(args: &Args) -> Result<(), CliError> {
             "--metrics-json requires --supervised true (the report is produced by the supervised runner)",
         ));
     }
+    let checkpoint = args.opt("checkpoint").map(PathBuf::from);
+    let resume: bool = args.opt_or("resume", false)?;
+    let deadline_ms: Option<u64> = args.opt_parse("deadline-ms")?;
+    let stall_ms: Option<u64> = args.opt_parse("stall-ms")?;
+    if !supervised {
+        for flag in [
+            "checkpoint",
+            "checkpoint-every",
+            "resume",
+            "deadline-ms",
+            "stall-ms",
+            "inject-stall-ms",
+            "exit-after-checkpoints",
+        ] {
+            if args.opt(flag).is_some() {
+                return Err(CliError::usage(format!(
+                    "--{flag} requires --supervised true (it is a supervised-runner feature)"
+                )));
+            }
+        }
+    }
+    if resume && checkpoint.is_none() {
+        return Err(CliError::usage(
+            "--resume true requires --checkpoint PATH (the snapshot to warm-start from)",
+        ));
+    }
 
     let (label, scores): (&str, Vec<f32>) = if supervised {
         let damping: f32 = args.opt_or("damping", 0.85)?;
-        let runner = RobustRunner::new(RunnerOpts::default());
-        let (scores, report) = match pagerank_supervised(
-            &g,
-            &runner,
-            PageRankOpts {
-                damping,
-                ..PageRankOpts::default()
-            },
-            iters,
-        ) {
+        let pr_opts = PageRankOpts {
+            damping,
+            ..PageRankOpts::default()
+        };
+        let runner_opts = RunnerOpts {
+            checkpoint_path: checkpoint,
+            checkpoint_every: args.opt_or("checkpoint-every", 5usize)?.max(1),
+            deadline: deadline_ms.map(Duration::from_millis),
+            stall_budget: stall_ms.map(Duration::from_millis),
+            fingerprint_extra: pagerank_fingerprint_extra(&pr_opts),
+            inject_stall: args
+                .opt_parse::<u64>("inject-stall-ms")?
+                .map(Duration::from_millis),
+            inject_exit_after_checkpoints: args.opt_parse("exit-after-checkpoints")?,
+            ..RunnerOpts::default()
+        };
+        let runner = RobustRunner::new(runner_opts);
+        let result = if resume {
+            pagerank_supervised_resume(&g, &runner, pr_opts, iters)
+        } else {
+            pagerank_supervised(&g, &runner, pr_opts, iters)
+        };
+        let (scores, report) = match result {
             Ok(ok) => ok,
             Err(f) => {
                 // A faulted run still leaves its report behind.
                 if let Some(path) = metrics_json {
                     write_metrics_json(path, &f.report)?;
                 }
-                return Err(CliError::runtime(format!(
+                let msg = format!(
                     "supervised pagerank failed at iteration {}: {}",
                     f.report.iterations, f.error
-                )));
+                );
+                return Err(if matches!(f.error, GraphError::Deadline { .. }) {
+                    CliError::deadline(msg)
+                } else {
+                    CliError::runtime(msg)
+                });
             }
         };
         if let Some(path) = metrics_json {
@@ -100,6 +167,20 @@ pub fn run(args: &Args) -> Result<(), CliError> {
                 DegradationEvent::EngineFallback { reason } => {
                     eprintln!("warning: degraded to pull baseline: {reason}")
                 }
+                DegradationEvent::WorkerPanic { stage, message } => {
+                    eprintln!("warning: worker panic at stage {stage}: {message}")
+                }
+                DegradationEvent::Stall {
+                    elapsed_ms,
+                    budget_ms,
+                } => eprintln!(
+                    "warning: batch stalled ({elapsed_ms} ms against a {budget_ms} ms budget)"
+                ),
+                DegradationEvent::LaneDegraded {
+                    from_lanes,
+                    to_lanes,
+                    reason,
+                } => eprintln!("warning: degraded {from_lanes} -> {to_lanes} lanes: {reason}"),
             }
         }
         let engine_name = match report.engine {
@@ -110,6 +191,14 @@ pub fn run(args: &Args) -> Result<(), CliError> {
             "supervised: engine {engine_name}, {} iterations, residual {:.3e}",
             report.iterations, report.residual
         );
+        let ckpts = report.metrics.get("checkpoints_written");
+        if ckpts > 0 || report.metrics.get("resumes") > 0 {
+            eprintln!(
+                "durability: {ckpts} checkpoint(s) written ({} bytes), resumed {} time(s)",
+                report.metrics.get("checkpoint_bytes"),
+                report.metrics.get("resumes")
+            );
+        }
         ("pagerank", scores)
     } else {
         let engine = build_engine(args.opt("engine"), &g)?;

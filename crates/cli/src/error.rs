@@ -14,6 +14,11 @@ use mixen_graph::GraphError;
 pub const EXIT_RUNTIME: i32 = 1;
 /// Exit code for usage errors (bad flags, unknown subcommands).
 pub const EXIT_USAGE: i32 = 2;
+/// Exit code for a deadline-exceeded stop: the command was well-formed and
+/// the computation healthy, but the wall-clock budget ran out. Distinct from
+/// [`EXIT_RUNTIME`] so schedulers can retry/resume instead of failing the
+/// job — with `--checkpoint`, progress up to the stop is on disk.
+pub const EXIT_DEADLINE: i32 = 3;
 
 /// A failed CLI invocation, tagged with which exit code it deserves.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -22,6 +27,8 @@ pub enum CliError {
     Usage(String),
     /// The work itself failed; exits with [`EXIT_RUNTIME`].
     Runtime(String),
+    /// The wall-clock deadline expired; exits with [`EXIT_DEADLINE`].
+    Deadline(String),
 }
 
 impl CliError {
@@ -33,17 +40,22 @@ impl CliError {
         CliError::Runtime(msg.into())
     }
 
+    pub fn deadline(msg: impl Into<String>) -> Self {
+        CliError::Deadline(msg.into())
+    }
+
     /// The process exit code this error maps to.
     pub fn exit_code(&self) -> i32 {
         match self {
             CliError::Usage(_) => EXIT_USAGE,
             CliError::Runtime(_) => EXIT_RUNTIME,
+            CliError::Deadline(_) => EXIT_DEADLINE,
         }
     }
 
     pub fn message(&self) -> &str {
         match self {
-            CliError::Usage(m) | CliError::Runtime(m) => m,
+            CliError::Usage(m) | CliError::Runtime(m) | CliError::Deadline(m) => m,
         }
     }
 }
@@ -78,9 +90,13 @@ mod tests {
     fn exit_codes_are_distinct() {
         assert_eq!(CliError::usage("x").exit_code(), EXIT_USAGE);
         assert_eq!(CliError::runtime("x").exit_code(), EXIT_RUNTIME);
+        assert_eq!(CliError::deadline("x").exit_code(), EXIT_DEADLINE);
         assert_ne!(EXIT_USAGE, EXIT_RUNTIME);
+        assert_ne!(EXIT_DEADLINE, EXIT_RUNTIME);
+        assert_ne!(EXIT_DEADLINE, EXIT_USAGE);
         assert_ne!(EXIT_USAGE, 0);
         assert_ne!(EXIT_RUNTIME, 0);
+        assert_ne!(EXIT_DEADLINE, 0);
     }
 
     #[test]

@@ -74,6 +74,8 @@ fn usage(err: Option<&str>) -> ! {
          \x20 stats    <graph.mxg>\n\
          \x20 rank     <graph.mxg> [--algo indegree|pagerank|hits|salsa|cf] [--engine mixen|gpop|ligra|polymer|graphmat]\n\
          \x20          [--iters N] [--top K] [--out scores.tsv] [--supervised true] [--metrics-json report.json]\n\
+         \x20          supervised-only: [--checkpoint snap.ckpt] [--checkpoint-every N] [--resume true]\n\
+         \x20          [--deadline-ms N] [--stall-ms N]\n\
          \x20 bfs      <graph.mxg> [--root N] [--engine ...]\n\
          \n\
          global flags:\n\
@@ -81,7 +83,8 @@ fn usage(err: Option<&str>) -> ! {
          \x20               else the host's available parallelism; 1 = exact sequential order)\n\
          \n\
          datasets: weibo track wiki pld rmat kron road urand\n\
-         exit codes: 0 ok, 1 runtime failure, 2 usage error"
+         exit codes: 0 ok, 1 runtime failure, 2 usage error,\n\
+         \x20           3 deadline exceeded (resume with --resume true from the --checkpoint snapshot)"
     );
     std::process::exit(if err.is_some() { EXIT_USAGE } else { 0 })
 }

@@ -344,3 +344,207 @@ fn binary_exit_codes_follow_the_contract() {
 
     std::fs::remove_dir_all(&dir).ok();
 }
+
+// ---------------------------------------------------------------------------
+// Durability: crash/recovery through the real binary.
+// ---------------------------------------------------------------------------
+
+/// Kill-at-checkpoint recovery: the binary is crashed (hard process exit,
+/// code 86) right after its first snapshot, resumed with `--resume true`,
+/// and the recovered scores must be byte-identical to an uninterrupted run
+/// at the same thread count.
+#[test]
+fn crashed_run_resumes_bit_identical() {
+    let dir = tmpdir("crash_recovery");
+    let mxg = dir.join("g.mxg");
+    let mxg_s = mxg.to_str().unwrap();
+    let ckpt = dir.join("run.ckpt");
+    let ckpt_s = ckpt.to_str().unwrap();
+    let ref_tsv = dir.join("ref.tsv");
+    let res_tsv = dir.join("res.tsv");
+    assert_eq!(
+        run_bin(&[
+            "gen",
+            "--dataset",
+            "wiki",
+            "--scale",
+            "tiny",
+            "--seed",
+            "7",
+            "--out",
+            mxg_s
+        ])
+        .status
+        .code(),
+        Some(0)
+    );
+
+    // Uninterrupted reference at 2 threads.
+    let common = [
+        "rank",
+        mxg_s,
+        "--supervised",
+        "true",
+        "--iters",
+        "12",
+        "--threads",
+        "2",
+    ];
+    let out = run_bin(&[&common[..], &["--out", ref_tsv.to_str().unwrap()]].concat());
+    assert_eq!(out.status.code(), Some(0));
+
+    // Interrupted run: crash right after the first snapshot (iteration 4).
+    let out = run_bin(
+        &[
+            &common[..],
+            &[
+                "--checkpoint",
+                ckpt_s,
+                "--checkpoint-every",
+                "4",
+                "--exit-after-checkpoints",
+                "1",
+            ],
+        ]
+        .concat(),
+    );
+    assert_eq!(out.status.code(), Some(86), "injected crash exit");
+    assert!(ckpt.exists(), "snapshot must survive the crash");
+
+    // Resume to completion; scores must match the reference byte-for-byte.
+    let json = dir.join("recovery.json");
+    let out = run_bin(
+        &[
+            &common[..],
+            &[
+                "--checkpoint",
+                ckpt_s,
+                "--resume",
+                "true",
+                "--out",
+                res_tsv.to_str().unwrap(),
+                "--metrics-json",
+                json.to_str().unwrap(),
+            ],
+        ]
+        .concat(),
+    );
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let a = std::fs::read(&ref_tsv).unwrap();
+    let b = std::fs::read(&res_tsv).unwrap();
+    assert_eq!(a, b, "resumed scores must be bit-identical");
+
+    // The sidecar records the recovery.
+    let report = mixen_core::Json::parse(&std::fs::read_to_string(&json).unwrap()).unwrap();
+    let counters = report.get("counters").unwrap();
+    assert_eq!(counters.get("resumes").unwrap().as_u64(), Some(1));
+    assert!(
+        counters
+            .get("checkpoints_written")
+            .unwrap()
+            .as_u64()
+            .unwrap()
+            >= 1
+    );
+    assert!(report.get("provenance").is_some());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Deadline contract: `--deadline-ms 0` exits with code 3 (not 1), writes a
+/// final checkpoint, and the run resumes cleanly afterwards.
+#[test]
+fn deadline_exit_is_code_3_and_resumable() {
+    let dir = tmpdir("deadline_exit");
+    let mxg = dir.join("g.mxg");
+    let mxg_s = mxg.to_str().unwrap();
+    let ckpt = dir.join("run.ckpt");
+    let ckpt_s = ckpt.to_str().unwrap();
+    assert_eq!(
+        run_bin(&[
+            "gen",
+            "--dataset",
+            "road",
+            "--scale",
+            "tiny",
+            "--out",
+            mxg_s
+        ])
+        .status
+        .code(),
+        Some(0)
+    );
+    let out = run_bin(&[
+        "rank",
+        mxg_s,
+        "--supervised",
+        "true",
+        "--iters",
+        "8",
+        "--deadline-ms",
+        "0",
+        "--checkpoint",
+        ckpt_s,
+    ]);
+    assert_eq!(out.status.code(), Some(3), "deadline exit code");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("deadline"), "stderr: {stderr}");
+    assert!(ckpt.exists(), "deadline stop must leave a snapshot");
+    let out = run_bin(&[
+        "rank",
+        mxg_s,
+        "--supervised",
+        "true",
+        "--iters",
+        "8",
+        "--checkpoint",
+        ckpt_s,
+        "--resume",
+        "true",
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Supervised-only flags without `--supervised true` are usage errors.
+#[test]
+fn durability_flags_require_supervised() {
+    let dir = tmpdir("flags_supervised");
+    let mxg = dir.join("g.mxg");
+    let mxg_s = mxg.to_str().unwrap();
+    assert_eq!(
+        run_bin(&[
+            "gen",
+            "--dataset",
+            "road",
+            "--scale",
+            "tiny",
+            "--out",
+            mxg_s
+        ])
+        .status
+        .code(),
+        Some(0)
+    );
+    for flags in [
+        &["--checkpoint", "/tmp/x.ckpt"][..],
+        &["--deadline-ms", "100"][..],
+        &["--resume", "true"][..],
+    ] {
+        let out = run_bin(&[&["rank", mxg_s][..], flags].concat());
+        assert_eq!(out.status.code(), Some(2), "flags {flags:?}");
+    }
+    // --resume without --checkpoint is a usage error even when supervised.
+    let out = run_bin(&["rank", mxg_s, "--supervised", "true", "--resume", "true"]);
+    assert_eq!(out.status.code(), Some(2));
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -53,7 +53,7 @@ pub use model::PerfModel;
 pub use obs::{Json, Metrics, MetricsSnapshot, Span};
 pub use opts::{MixenOpts, RegularOrdering};
 pub use runner::{
-    DegradationEvent, EngineUsed, NumericIssue, RobustRunner, RunFailure, RunReport, RunnerOpts,
-    ValueCheck,
+    DegradationEvent, EngineUsed, NumericIssue, Resumed, RobustRunner, RunFailure, RunReport,
+    RunnerOpts, ValueCheck,
 };
 pub use wengine::WMixenEngine;

@@ -103,12 +103,14 @@ impl Gauge {
 /// The fixed counter catalogue. Names are the JSON keys of the `counters`
 /// object in every report; see DESIGN.md §6d for the full schema.
 ///
-/// The two `pool_*` entries are *report-level* counters: they describe the
-/// process-wide `mixen-pool` executor rather than one engine, so they are
+/// The `pool_*` entries and the durability/supervision block
+/// (`checkpoints_written` … `lane_degradations`) are *report-level*
+/// counters: they describe the process-wide `mixen-pool` executor or
+/// supervision events of one run rather than one engine, so they are
 /// written into report snapshots by the supervised runner (`pool_workers`
-/// with gauge semantics, `pool_tasks_executed` as the delta observed across
-/// the run) and have no field in the live [`Metrics`] registry.
-pub const COUNTER_NAMES: [&str; 17] = [
+/// and `watchdog_wakeups` with gauge semantics, the rest as per-run
+/// counts) and have no field in the live [`Metrics`] registry.
+pub const COUNTER_NAMES: [&str; 23] = [
     "edges_scattered",
     "edges_gathered",
     "bin_bytes_streamed",
@@ -126,6 +128,12 @@ pub const COUNTER_NAMES: [&str; 17] = [
     "fault_bisect_steps",
     "pool_workers",
     "pool_tasks_executed",
+    "checkpoints_written",
+    "checkpoint_bytes",
+    "resumes",
+    "watchdog_wakeups",
+    "deadline_exceeded",
+    "lane_degradations",
 ];
 
 /// The live metrics registry one engine (or runner) owns. All fields are

@@ -13,6 +13,20 @@
 //!    iterations through the [`ValueCheck`] trait; NaN, Inf, or magnitudes
 //!    beyond [`RunnerOpts::divergence_limit`] stop the run with
 //!    [`GraphError::Numeric`].
+//! 4. **Checkpoint** — with [`RunnerOpts::checkpoint_path`] set, the value
+//!    vector is snapshotted atomically (`CKPT1`, see [`mixen_graph::ckpt`])
+//!    every [`RunnerOpts::checkpoint_every`] iterations, and
+//!    [`RobustRunner::resume_from`] warm-starts an interrupted run; at a
+//!    fixed lane count the resumed run converges to bit-identical output.
+//! 5. **Supervise** — a watchdog thread enforces the wall-clock
+//!    [`RunnerOpts::deadline`] and flags batches that exceed the
+//!    [`RunnerOpts::stall_budget`]. On a stall or a caught pool-worker
+//!    panic the runner walks a degradation ladder — full lanes → halved
+//!    lanes → single-lane inline → pull baseline — re-running the batch at
+//!    each step (batches are pure functions of the previous vector, so the
+//!    retry is safe). A deadline overrun stops the run at the next batch
+//!    boundary with [`GraphError::Deadline`], after writing a final
+//!    checkpoint when checkpointing is on.
 //!
 //! Every outcome — success or failure — carries a [`RunReport`] recording
 //! iterations, the last residual, phase timings, and each degradation event,
@@ -25,9 +39,14 @@
 use mixen_graph::nid;
 use std::fmt;
 use std::io::Read;
-use std::path::Path;
-use std::time::Duration;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
+use mixen_graph::ckpt::{Checkpoint, CkptValue};
+use mixen_graph::io::graph_checksum;
 use mixen_graph::{max_diff, Graph, GraphError, NodeId, PropValue};
 use rayon::prelude::*;
 
@@ -105,6 +124,18 @@ pub enum DegradationEvent {
     /// Mixen preprocessing failed validation; the run continued on the pull
     /// baseline.
     EngineFallback { reason: String },
+    /// A panic escaped a batch (typically a crashed pool worker); the batch
+    /// was retried one ladder stage down.
+    WorkerPanic { stage: String, message: String },
+    /// The watchdog flagged a batch that exceeded the stall budget.
+    Stall { elapsed_ms: u64, budget_ms: u64 },
+    /// The runner stepped down the lane ladder (halve → single-lane inline
+    /// → pull baseline).
+    LaneDegraded {
+        from_lanes: usize,
+        to_lanes: usize,
+        reason: String,
+    },
 }
 
 impl DegradationEvent {
@@ -118,6 +149,29 @@ impl DegradationEvent {
             ]),
             DegradationEvent::EngineFallback { reason } => Json::Obj(vec![
                 ("kind".into(), Json::Str("engine_fallback".into())),
+                ("reason".into(), Json::Str(reason.clone())),
+            ]),
+            DegradationEvent::WorkerPanic { stage, message } => Json::Obj(vec![
+                ("kind".into(), Json::Str("worker_panic".into())),
+                ("stage".into(), Json::Str(stage.clone())),
+                ("message".into(), Json::Str(message.clone())),
+            ]),
+            DegradationEvent::Stall {
+                elapsed_ms,
+                budget_ms,
+            } => Json::Obj(vec![
+                ("kind".into(), Json::Str("stall".into())),
+                ("elapsed_ms".into(), Json::from_u64(*elapsed_ms)),
+                ("budget_ms".into(), Json::from_u64(*budget_ms)),
+            ]),
+            DegradationEvent::LaneDegraded {
+                from_lanes,
+                to_lanes,
+                reason,
+            } => Json::Obj(vec![
+                ("kind".into(), Json::Str("lane_degraded".into())),
+                ("from_lanes".into(), Json::from_u64(*from_lanes as u64)),
+                ("to_lanes".into(), Json::from_u64(*to_lanes as u64)),
                 ("reason".into(), Json::Str(reason.clone())),
             ]),
         }
@@ -158,6 +212,12 @@ pub struct RunReport {
     /// Counter snapshot: engine kernels merged with runner supervision
     /// events (see [`crate::obs::Metrics`] for the catalogue).
     pub metrics: MetricsSnapshot,
+    /// Total lane count the run started with (provenance; 0 until a run
+    /// stamps it).
+    pub threads: usize,
+    /// [`RunnerOpts::fingerprint`] of the run (provenance; the value
+    /// checkpoints carry to reject stale resumes).
+    pub opts_fingerprint: u64,
 }
 
 impl Default for RunReport {
@@ -174,6 +234,8 @@ impl Default for RunReport {
             reentry_pre_seconds: 0.0,
             reentry_post_seconds: 0.0,
             metrics: MetricsSnapshot::default(),
+            threads: 0,
+            opts_fingerprint: 0,
         }
     }
 }
@@ -240,6 +302,20 @@ impl RunReport {
                 Json::Arr(self.degradations.iter().map(|d| d.to_json()).collect()),
             ),
             ("counters".into(), self.metrics.to_json()),
+            (
+                "provenance".into(),
+                Json::Obj(vec![
+                    (
+                        "crate_version".into(),
+                        Json::Str(env!("CARGO_PKG_VERSION").into()),
+                    ),
+                    ("threads".into(), Json::from_u64(self.threads as u64)),
+                    (
+                        "opts_fingerprint".into(),
+                        Json::Str(format!("{:#018x}", self.opts_fingerprint)),
+                    ),
+                ]),
+            ),
         ])
     }
 }
@@ -294,6 +370,30 @@ pub struct RunnerOpts {
     /// Used by the robustness test suite to exercise the fallback path on
     /// graphs that preprocess fine.
     pub inject_preprocess_fault: Option<String>,
+    /// Write `CKPT1` snapshots to this path (atomically, temp + rename)
+    /// during supervised runs; `None` disables checkpointing.
+    pub checkpoint_path: Option<PathBuf>,
+    /// Iterations between snapshots (effective minimum 1). Only consulted
+    /// when [`RunnerOpts::checkpoint_path`] is set.
+    pub checkpoint_every: usize,
+    /// Wall-clock budget for the whole run. Enforced by the watchdog thread
+    /// and checked at batch boundaries (a running batch is never
+    /// interrupted); overruns surface as [`GraphError::Deadline`].
+    pub deadline: Option<Duration>,
+    /// Budget for a single supervised batch. A batch that takes longer is a
+    /// *stall*: the run continues, one degradation-ladder stage down.
+    pub stall_budget: Option<Duration>,
+    /// Extra value folded into [`RunnerOpts::fingerprint`], for algorithm
+    /// parameters the runner cannot see (e.g. the PageRank damping factor).
+    pub fingerprint_extra: u64,
+    /// Fault-injection hook: sleep this long in every `apply` call, making
+    /// each batch overrun a small [`RunnerOpts::stall_budget`]
+    /// deterministically.
+    pub inject_stall: Option<Duration>,
+    /// Fault-injection hook: terminate the process (exit code 86) right
+    /// after the Nth checkpoint write, simulating a crash for the
+    /// kill/resume recovery tests.
+    pub inject_exit_after_checkpoints: Option<u32>,
 }
 
 impl Default for RunnerOpts {
@@ -306,7 +406,49 @@ impl Default for RunnerOpts {
             retry_backoff: Duration::from_millis(5),
             allow_fallback: true,
             inject_preprocess_fault: None,
+            checkpoint_path: None,
+            checkpoint_every: 1,
+            deadline: None,
+            stall_budget: None,
+            fingerprint_extra: 0,
+            inject_stall: None,
+            inject_exit_after_checkpoints: None,
         }
+    }
+}
+
+impl RunnerOpts {
+    /// Deterministic FNV-1a fold of every knob that affects the produced
+    /// values — the Mixen engine shape, the supervision batch size, the
+    /// divergence limit, [`RunnerOpts::fingerprint_extra`], and the lane
+    /// count. Checkpoints carry this value so [`RobustRunner::resume_from`]
+    /// rejects resumes under a configuration that would break the
+    /// bit-identical-output contract.
+    pub fn fingerprint(&self, lanes: usize) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut fold = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        fold(self.mixen.block_side as u64);
+        fold(match self.mixen.ordering {
+            crate::opts::RegularOrdering::Original => 0,
+            crate::opts::RegularOrdering::HubsFirst => 1,
+            crate::opts::RegularOrdering::ByInDegree => 2,
+        });
+        fold(u64::from(self.mixen.cache_step));
+        fold(u64::from(self.mixen.load_balance));
+        fold(self.mixen.balance_factor.to_bits());
+        fold(self.mixen.min_tasks_per_thread as u64);
+        fold(u64::from(self.mixen.gather_balance));
+        fold(u64::from(self.mixen.skip_empty_blocks));
+        fold(self.check_every as u64);
+        fold(self.divergence_limit.to_bits());
+        fold(self.fingerprint_extra);
+        fold(lanes as u64);
+        h
     }
 }
 
@@ -377,7 +519,7 @@ impl RobustRunner {
         iters: usize,
     ) -> Result<(Vec<V>, RunReport), RunFailure>
     where
-        V: PropValue + ValueCheck,
+        V: PropValue + ValueCheck + CkptValue,
         FI: Fn(NodeId) -> V + Sync,
         FA: Fn(NodeId, V) -> V + Sync,
     {
@@ -390,17 +532,152 @@ impl RobustRunner {
     pub fn run_with_report<V, FI, FA>(
         &self,
         g: &Graph,
-        mut report: RunReport,
+        report: RunReport,
         init: FI,
         apply: FA,
         iters: usize,
     ) -> Result<(Vec<V>, RunReport), RunFailure>
     where
-        V: PropValue + ValueCheck,
+        V: PropValue + ValueCheck + CkptValue,
         FI: Fn(NodeId) -> V + Sync,
         FA: Fn(NodeId, V) -> V + Sync,
     {
-        let engine = match self.build_engine(g) {
+        // The initial vector is materialized sequentially: it is O(n) scalar
+        // work, and keeping it off the pool makes iteration 0 immune to
+        // worker faults (it is state, not parallel computation). The engine
+        // then re-reads these exact values through the prev closure, so the
+        // result is bitwise identical to seeding the engine with `init`.
+        let cur0: Vec<V> = (0..nid(g.n())).map(&init).collect();
+        self.run_inner(g, report, cur0, 0, f64::INFINITY, apply, iters)
+    }
+
+    /// Loads and validates a `CKPT1` snapshot for a warm start: the magic,
+    /// payload checksum, graph checksum, runner fingerprint (options + lane
+    /// count), value width, and value count must all match the live run.
+    /// Every mismatch is a typed error naming what went stale.
+    pub fn resume_from<V>(&self, g: &Graph, path: &Path) -> Result<Resumed<V>, GraphError>
+    where
+        V: PropValue + CkptValue,
+    {
+        let ck = Checkpoint::load(path)?;
+        let live_crc = graph_checksum(g);
+        if ck.graph_checksum != live_crc {
+            return Err(GraphError::Format(format!(
+                "stale checkpoint: graph checksum {:#010x} does not match the loaded \
+                 graph's {:#010x}",
+                ck.graph_checksum, live_crc
+            )));
+        }
+        let lanes = mixen_pool::current_num_threads();
+        let fp = self.opts.fingerprint(lanes);
+        if ck.fingerprint != fp {
+            return Err(GraphError::Format(format!(
+                "stale checkpoint: fingerprint {:#018x} does not match the current \
+                 configuration's {:#018x} (runner options, algorithm parameters, or \
+                 lane count changed since the snapshot)",
+                ck.fingerprint, fp
+            )));
+        }
+        let values: Vec<V> = ck.values()?;
+        if values.len() != g.n() {
+            return Err(GraphError::Format(format!(
+                "checkpoint holds {} values for a graph of {} nodes",
+                values.len(),
+                g.n()
+            )));
+        }
+        let iteration = usize::try_from(ck.iteration).map_err(|_| GraphError::Capacity {
+            what: "checkpoint iteration",
+            requested: ck.iteration,
+            limit: usize::MAX as u64,
+        })?;
+        Ok(Resumed {
+            values,
+            iteration,
+            residual: ck.residual,
+        })
+    }
+
+    /// Continues a run from a [`Resumed`] warm start until `total_iters`
+    /// iterations have been completed overall (checkpoint iterations
+    /// included). At a fixed lane count the final values are bit-identical
+    /// to an uninterrupted `total_iters`-iteration run whenever the batch
+    /// composition is bitwise associative — true for PageRank-style kernels
+    /// whose seed values are at their bitwise fixed point.
+    pub fn run_resumed<V, FA>(
+        &self,
+        g: &Graph,
+        resumed: Resumed<V>,
+        apply: FA,
+        total_iters: usize,
+    ) -> Result<(Vec<V>, RunReport), RunFailure>
+    where
+        V: PropValue + ValueCheck + CkptValue,
+        FA: Fn(NodeId, V) -> V + Sync,
+    {
+        let mut report = RunReport::default();
+        report.metrics.add("resumes", 1);
+        self.run_inner(
+            g,
+            report,
+            resumed.values,
+            resumed.iteration,
+            resumed.residual,
+            apply,
+            total_iters,
+        )
+    }
+
+    /// The shared supervised loop behind [`RobustRunner::run_with_report`]
+    /// and [`RobustRunner::run_resumed`]: `cur0` already holds the values
+    /// as of iteration `start_iter`.
+    #[allow(clippy::too_many_arguments)]
+    fn run_inner<V, FA>(
+        &self,
+        g: &Graph,
+        mut report: RunReport,
+        cur0: Vec<V>,
+        start_iter: usize,
+        start_residual: f64,
+        apply: FA,
+        iters: usize,
+    ) -> Result<(Vec<V>, RunReport), RunFailure>
+    where
+        V: PropValue + ValueCheck + CkptValue,
+        FA: Fn(NodeId, V) -> V + Sync,
+    {
+        let base_lanes = mixen_pool::current_num_threads();
+        report.threads = base_lanes;
+        report.opts_fingerprint = self.opts.fingerprint(base_lanes);
+
+        let inject_stall = self.opts.inject_stall;
+        let apply = move |v: NodeId, s: V| {
+            if let Some(d) = inject_stall {
+                std::thread::sleep(d);
+            }
+            apply(v, s)
+        };
+
+        // Engine preprocessing runs parallel passes of its own, so a worker
+        // panic here is caught like a batch panic: with fallback enabled it
+        // degrades to the pull baseline instead of unwinding the caller.
+        let built = match catch_unwind(AssertUnwindSafe(|| self.build_engine(g))) {
+            Ok(result) => result,
+            Err(payload) => {
+                let message = panic_message(payload.as_ref());
+                if !self.opts.allow_fallback {
+                    resume_unwind(payload);
+                }
+                report.degradations.push(DegradationEvent::WorkerPanic {
+                    stage: "preprocess".into(),
+                    message: message.clone(),
+                });
+                Err(GraphError::Invariant(format!(
+                    "worker panic during preprocessing: {message}"
+                )))
+            }
+        };
+        let engine = match built {
             Ok(e) => Some(e),
             Err(err) if self.opts.allow_fallback => {
                 report.degradations.push(DegradationEvent::EngineFallback {
@@ -415,6 +692,8 @@ impl RobustRunner {
         // Pool counters are process-global; remember the entry level so the
         // report carries only this run's task delta.
         let pool_tasks_at_entry = mixen_pool::stats().tasks_executed;
+        let started = Instant::now();
+        let watchdog = Watchdog::spawn(started, self.opts.deadline, self.opts.stall_budget);
         // Merge the engine's kernel counters into the report on every exit,
         // and stamp the executor's shape and work for this run.
         let finish = |report: &mut RunReport| {
@@ -427,43 +706,164 @@ impl RobustRunner {
                 "pool_tasks_executed",
                 pool.tasks_executed.saturating_sub(pool_tasks_at_entry),
             );
+            if let Some(w) = &watchdog {
+                report.metrics.set("watchdog_wakeups", w.wakeups());
+            }
         };
 
         let limit = self.opts.divergence_limit;
         let batch = self.opts.check_every.max(1);
-        let mut cur: Vec<V> = (0..nid(g.n())).into_par_iter().map(&init).collect();
+        let ckpt_cfg = self
+            .opts
+            .checkpoint_path
+            .as_deref()
+            .map(|p| (p, graph_checksum(g)));
+        let ckpt_every = self.opts.checkpoint_every.max(1);
+        let mut ckpts_written = 0u32;
+        let mut last_ckpt = start_iter;
+
+        let mut cur = cur0;
+        report.iterations = start_iter;
+        report.residual = start_residual;
         if let Some(fault) = scan(&cur, limit) {
-            report.iterations = 0;
             finish(&mut report);
             return Err(RunFailure {
-                error: numeric_error(0, fault),
+                error: numeric_error(start_iter, fault),
                 report,
             });
         }
 
-        let mut done = 0usize;
+        let mut stage = Stage::Full;
+        let mut stage_pool: Option<mixen_pool::ThreadPool> = None;
+        let mut done = start_iter;
         while done < iters {
-            let step = batch.min(iters - done);
-            let next: Vec<V> = match &engine {
-                Some(e) => {
-                    let (vals, stats) = if done == 0 {
-                        e.iterate_with_stats(&init, &apply, step)
-                    } else {
-                        let prev = &cur;
-                        e.iterate_with_stats(|v| prev[v as usize], &apply, step)
-                    };
-                    report.absorb(stats);
-                    vals
+            // Deadline enforcement happens at batch boundaries: a durable,
+            // clean stop beats tearing down a half-computed batch.
+            if let Some(deadline) = self.opts.deadline {
+                let elapsed = started.elapsed();
+                if elapsed >= deadline || watchdog.as_ref().is_some_and(|w| w.deadline_hit()) {
+                    report.metrics.set("deadline_exceeded", 1);
+                    if let Some((path, crc)) = ckpt_cfg {
+                        // Make the progress so far durable before stopping.
+                        if let Err(error) = self.write_checkpoint(
+                            path,
+                            crc,
+                            report.opts_fingerprint,
+                            done,
+                            report.residual,
+                            &cur,
+                            &mut report,
+                            &mut ckpts_written,
+                        ) {
+                            finish(&mut report);
+                            return Err(RunFailure { error, report });
+                        }
+                    }
+                    finish(&mut report);
+                    return Err(RunFailure {
+                        error: GraphError::Deadline {
+                            elapsed_ms: dur_ms(started.elapsed()),
+                            budget_ms: dur_ms(deadline),
+                        },
+                        report,
+                    });
                 }
-                None => pull_iterate(g, &cur, &apply, step),
+            }
+
+            let step = batch.min(iters - done);
+            if let Some(w) = &watchdog {
+                w.beat();
+            }
+            let batch_start = Instant::now();
+            // Ladder retry loop: a batch is a pure function of `cur`, so a
+            // panicked attempt can be re-run at the next stage down without
+            // corrupting state. The ladder is finite; when it is exhausted
+            // the panic resumes unwinding (a closure that panics inline has
+            // a genuine bug the supervisor must not swallow).
+            let next: Vec<V> = loop {
+                let eng = match (&engine, stage) {
+                    (Some(e), s) if s != Stage::Pull => Some(e),
+                    _ => None,
+                };
+                let outcome = match eng {
+                    Some(e) => {
+                        let prev = &cur;
+                        run_caught(stage_pool.as_ref(), || {
+                            let (vals, stats) =
+                                e.iterate_with_stats(|v| prev[v as usize], &apply, step);
+                            (vals, Some(stats))
+                        })
+                    }
+                    None => run_caught(stage_pool.as_ref(), || {
+                        (pull_iterate(g, &cur, &apply, step), None)
+                    }),
+                };
+                match outcome {
+                    Ok((vals, stats)) => {
+                        if let Some(s) = stats {
+                            report.absorb(s);
+                        }
+                        break vals;
+                    }
+                    Err(payload) => {
+                        let message = panic_message(payload.as_ref());
+                        report.degradations.push(DegradationEvent::WorkerPanic {
+                            stage: stage.name().into(),
+                            message: message.clone(),
+                        });
+                        if !self.degrade(
+                            &mut stage,
+                            &mut stage_pool,
+                            base_lanes,
+                            format!("worker panic: {message}"),
+                            &mut report,
+                        ) {
+                            resume_unwind(payload);
+                        }
+                    }
+                }
             };
+            let batch_elapsed = batch_start.elapsed();
+            if let Some(w) = &watchdog {
+                w.beat();
+            }
+            // A stall degrades but never aborts: the batch did finish, so
+            // the values are good — the run just is not keeping pace.
+            let watchdog_stall = watchdog.as_ref().is_some_and(|w| w.take_stall());
+            if let Some(budget) = self.opts.stall_budget {
+                if watchdog_stall || batch_elapsed > budget {
+                    report.degradations.push(DegradationEvent::Stall {
+                        elapsed_ms: dur_ms(batch_elapsed),
+                        budget_ms: dur_ms(budget),
+                    });
+                    self.degrade(
+                        &mut stage,
+                        &mut stage_pool,
+                        base_lanes,
+                        format!(
+                            "batch of {step} iterations took {} ms against a stall budget \
+                             of {} ms",
+                            dur_ms(batch_elapsed),
+                            dur_ms(budget)
+                        ),
+                        &mut report,
+                    );
+                }
+            }
+
             if let Some(fault) = scan(&next, limit) {
                 // The fault surfaced somewhere inside this batch; replay it
                 // one iteration at a time from the pre-batch checkpoint so
                 // the error names the first bad iteration, exactly as a
-                // `check_every = 1` run would.
-                let (bad_iter, fault) =
-                    self.locate_fault(&engine, g, &cur, &apply, step, done, fault, &mut report);
+                // `check_every = 1` run would. The replay runs at the
+                // current ladder stage so it reproduces the batch exactly.
+                let eng = match (&engine, stage) {
+                    (Some(e), s) if s != Stage::Pull => Some(e),
+                    _ => None,
+                };
+                let (bad_iter, fault) = on_pool(stage_pool.as_ref(), || {
+                    self.locate_fault(eng, g, &cur, &apply, step, done, fault, &mut report)
+                });
                 report.iterations = bad_iter;
                 finish(&mut report);
                 return Err(RunFailure {
@@ -475,9 +875,90 @@ impl RobustRunner {
             report.iterations = done;
             report.residual = max_diff(&next, &cur);
             cur = next;
+
+            if let Some((path, crc)) = ckpt_cfg {
+                if done - last_ckpt >= ckpt_every || done == iters {
+                    if let Err(error) = self.write_checkpoint(
+                        path,
+                        crc,
+                        report.opts_fingerprint,
+                        done,
+                        report.residual,
+                        &cur,
+                        &mut report,
+                        &mut ckpts_written,
+                    ) {
+                        finish(&mut report);
+                        return Err(RunFailure { error, report });
+                    }
+                    last_ckpt = done;
+                }
+            }
         }
         finish(&mut report);
         Ok((cur, report))
+    }
+
+    /// Writes one atomic `CKPT1` snapshot and updates the durability
+    /// counters; honors the crash-simulation hook.
+    #[allow(clippy::too_many_arguments)]
+    fn write_checkpoint<V: PropValue + CkptValue>(
+        &self,
+        path: &Path,
+        graph_crc: u32,
+        fingerprint: u64,
+        done: usize,
+        residual: f64,
+        values: &[V],
+        report: &mut RunReport,
+        written: &mut u32,
+    ) -> Result<(), GraphError> {
+        let ck = Checkpoint::from_values(done as u64, residual, fingerprint, graph_crc, values);
+        let bytes = ck.save_atomic(path)?;
+        report.metrics.add("checkpoints_written", 1);
+        report.metrics.add("checkpoint_bytes", bytes);
+        *written += 1;
+        if let Some(n) = self.opts.inject_exit_after_checkpoints {
+            if *written >= n {
+                // Crash simulation for the kill/resume recovery tests: die
+                // as abruptly as a SIGKILL would, leaving only the durable
+                // state behind.
+                std::process::exit(86);
+            }
+        }
+        Ok(())
+    }
+
+    /// Steps the degradation ladder down one stage, recording the event and
+    /// installing the reduced-lane pool. Returns `false` when the ladder is
+    /// already exhausted.
+    fn degrade(
+        &self,
+        stage: &mut Stage,
+        stage_pool: &mut Option<mixen_pool::ThreadPool>,
+        base_lanes: usize,
+        reason: String,
+        report: &mut RunReport,
+    ) -> bool {
+        let Some(next) = stage.next() else {
+            return false;
+        };
+        report.metrics.add("lane_degradations", 1);
+        report.degradations.push(DegradationEvent::LaneDegraded {
+            from_lanes: stage.lanes(base_lanes),
+            to_lanes: next.lanes(base_lanes),
+            reason,
+        });
+        if next == Stage::Pull {
+            report.engine = EngineUsed::PullFallback;
+            report.metrics.add("engine_fallbacks", 1);
+        }
+        *stage = next;
+        *stage_pool = match next {
+            Stage::Full => None,
+            s => Some(mixen_pool::ThreadPool::new(s.lanes(base_lanes))),
+        };
+        true
     }
 
     /// Replays a faulty batch from its healthy checkpoint, one iteration at
@@ -490,7 +971,7 @@ impl RobustRunner {
     #[allow(clippy::too_many_arguments)]
     fn locate_fault<V, FA>(
         &self,
-        engine: &Option<MixenEngine>,
+        engine: Option<&MixenEngine>,
         g: &Graph,
         checkpoint: &[V],
         apply: &FA,
@@ -531,6 +1012,206 @@ impl RobustRunner {
         }
         MixenEngine::try_new(g, self.opts.mixen)
     }
+}
+
+/// A validated warm start produced by [`RobustRunner::resume_from`]:
+/// `values` holds the vector as of completed iteration `iteration`.
+#[derive(Clone, Debug)]
+pub struct Resumed<V> {
+    /// The value vector at the snapshot, one entry per node.
+    pub values: Vec<V>,
+    /// Completed iterations at the snapshot.
+    pub iteration: usize,
+    /// The residual (`max_diff`) recorded at the snapshot.
+    pub residual: f64,
+}
+
+/// The degradation ladder. Each stage is strictly cheaper and more isolated
+/// than the one above it; `Pull` is the terminal stage (single-lane pull
+/// baseline — no engine machinery left to shed).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Stage {
+    /// All ambient lanes through the Mixen engine.
+    Full,
+    /// Half the lanes through the Mixen engine.
+    Halved,
+    /// One lane (inline execution — no pool workers) through the engine.
+    Single,
+    /// One lane through the pull baseline.
+    Pull,
+}
+
+impl Stage {
+    fn next(self) -> Option<Stage> {
+        match self {
+            Stage::Full => Some(Stage::Halved),
+            Stage::Halved => Some(Stage::Single),
+            Stage::Single => Some(Stage::Pull),
+            Stage::Pull => None,
+        }
+    }
+
+    fn lanes(self, base: usize) -> usize {
+        match self {
+            Stage::Full => base,
+            Stage::Halved => (base / 2).max(1),
+            Stage::Single | Stage::Pull => 1,
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            Stage::Full => "full_lanes",
+            Stage::Halved => "halved_lanes",
+            Stage::Single => "single_lane",
+            Stage::Pull => "pull_baseline",
+        }
+    }
+}
+
+/// Shared state between the runner thread and its watchdog thread.
+struct WatchdogShared {
+    started: Instant,
+    /// Runner progress beacon: elapsed ms at the last batch boundary.
+    heartbeat_ms: AtomicU64,
+    wakeups: AtomicU64,
+    stalled: AtomicBool,
+    deadline_hit: AtomicBool,
+    done: AtomicBool,
+}
+
+/// A sampling watchdog: a detached thread that wakes on a short tick,
+/// compares wall-clock progress against the deadline and the heartbeat
+/// against the stall budget, and raises sticky flags. The runner reads the
+/// flags at batch boundaries — the watchdog never interrupts computation,
+/// it only observes, so supervision granularity is one batch
+/// (`check_every` iterations).
+struct Watchdog {
+    shared: Arc<WatchdogShared>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Watchdog {
+    /// Starts the watchdog when any budget is configured. Returns `None`
+    /// when there is nothing to watch, or when the thread cannot be spawned
+    /// (the runner's direct elapsed-time checks still enforce both budgets;
+    /// only the asynchronous sampling is lost).
+    fn spawn(
+        started: Instant,
+        deadline: Option<Duration>,
+        stall: Option<Duration>,
+    ) -> Option<Self> {
+        if deadline.is_none() && stall.is_none() {
+            return None;
+        }
+        // Tick at 1/8 of the tightest budget so a breach is observed well
+        // within one budget period, clamped to [1, 25] ms to bound both
+        // sampling error and idle wakeup load.
+        let tightest = match (deadline, stall) {
+            (Some(d), Some(s)) => d.min(s),
+            (Some(d), None) => d,
+            (None, Some(s)) => s,
+            (None, None) => unreachable!("guarded above"),
+        };
+        let tick = (tightest / 8).clamp(Duration::from_millis(1), Duration::from_millis(25));
+        let shared = Arc::new(WatchdogShared {
+            started,
+            heartbeat_ms: AtomicU64::new(0),
+            wakeups: AtomicU64::new(0),
+            stalled: AtomicBool::new(false),
+            deadline_hit: AtomicBool::new(false),
+            done: AtomicBool::new(false),
+        });
+        let s = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name("mixen-watchdog".into())
+            .spawn(move || {
+                while !s.done.load(Ordering::Acquire) {
+                    std::thread::sleep(tick);
+                    s.wakeups.fetch_add(1, Ordering::Relaxed);
+                    let now_ms = dur_ms(s.started.elapsed());
+                    if let Some(d) = deadline {
+                        if now_ms >= dur_ms(d) {
+                            s.deadline_hit.store(true, Ordering::Release);
+                        }
+                    }
+                    if let Some(b) = stall {
+                        let beat = s.heartbeat_ms.load(Ordering::Acquire);
+                        // Budgets below watchdog resolution round up to 1 ms.
+                        if now_ms.saturating_sub(beat) > dur_ms(b).max(1) {
+                            s.stalled.store(true, Ordering::Release);
+                        }
+                    }
+                }
+            })
+            .ok()?;
+        Some(Watchdog {
+            shared,
+            handle: Some(handle),
+        })
+    }
+
+    /// Records runner progress; called at batch boundaries.
+    fn beat(&self) {
+        self.shared
+            .heartbeat_ms
+            .store(dur_ms(self.shared.started.elapsed()), Ordering::Release);
+    }
+
+    fn wakeups(&self) -> u64 {
+        self.shared.wakeups.load(Ordering::Relaxed)
+    }
+
+    /// Consumes the sticky stall flag, so one stall degrades one stage.
+    fn take_stall(&self) -> bool {
+        self.shared.stalled.swap(false, Ordering::AcqRel)
+    }
+
+    fn deadline_hit(&self) -> bool {
+        self.shared.deadline_hit.load(Ordering::Acquire)
+    }
+}
+
+impl Drop for Watchdog {
+    fn drop(&mut self) {
+        self.shared.done.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn dur_ms(d: Duration) -> u64 {
+    u64::try_from(d.as_millis()).unwrap_or(u64::MAX)
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs `f` under the stage's lane override, or on the ambient pool when the
+/// stage is `Full`.
+fn on_pool<R>(pool: Option<&mixen_pool::ThreadPool>, f: impl FnOnce() -> R) -> R {
+    match pool {
+        Some(p) => p.install(f),
+        None => f(),
+    }
+}
+
+/// [`on_pool`] with a panic boundary, so a worker panic surfaces as an
+/// `Err` the degradation ladder can act on instead of unwinding the runner.
+fn run_caught<R>(
+    pool: Option<&mixen_pool::ThreadPool>,
+    f: impl FnOnce() -> R,
+) -> std::thread::Result<R> {
+    catch_unwind(AssertUnwindSafe(|| on_pool(pool, f)))
 }
 
 /// `step` synchronous pull iterations over the in-CSC — the degradation
@@ -987,5 +1668,217 @@ mod tests {
         let failure = runner.load_graph("/no/such/file.mxg").unwrap_err();
         assert!(matches!(failure.error, GraphError::Io(_)));
         assert_eq!(failure.report.load_retries, 0);
+    }
+
+    fn ckpt_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("mixen_runner_ckpt").join(name);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    /// The fingerprint must react to every knob that changes numeric
+    /// behavior — including the lane count, which changes batch scheduling.
+    #[test]
+    fn fingerprint_is_sensitive_to_options_and_lanes() {
+        let base = small_runner().opts().clone();
+        let fp = base.fingerprint(4);
+        assert_ne!(fp, base.fingerprint(2), "lane count must be fingerprinted");
+        let mut o = base.clone();
+        o.check_every = base.check_every + 1;
+        assert_ne!(fp, o.fingerprint(4));
+        let mut o = base.clone();
+        o.divergence_limit = base.divergence_limit * 2.0;
+        assert_ne!(fp, o.fingerprint(4));
+        let mut o = base.clone();
+        o.fingerprint_extra = 0xdead_beef;
+        assert_ne!(fp, o.fingerprint(4));
+        let mut o = base.clone();
+        o.mixen.block_side += 1;
+        assert_ne!(fp, o.fingerprint(4));
+        // Durability plumbing must NOT change the fingerprint: a run with
+        // checkpointing on resumes one without, and vice versa.
+        let mut o = base.clone();
+        o.checkpoint_path = Some(PathBuf::from("/tmp/x.ckpt"));
+        o.checkpoint_every = 7;
+        o.deadline = Some(Duration::from_secs(1));
+        o.stall_budget = Some(Duration::from_secs(1));
+        assert_eq!(fp, o.fingerprint(4));
+    }
+
+    /// Checkpoint cadence: `checkpoint_every = 2` over 5 iterations writes
+    /// at 2, 4, and 5 (final), and the counters record it.
+    #[test]
+    fn checkpoints_are_written_on_cadence() {
+        let g = mixed_graph();
+        let dir = ckpt_dir("cadence");
+        let path = dir.join("run.ckpt");
+        let mut opts = small_runner().opts().clone();
+        opts.check_every = 1;
+        opts.checkpoint_path = Some(path.clone());
+        opts.checkpoint_every = 2;
+        let runner = RobustRunner::new(opts);
+        let (vals, report) = runner
+            .run::<f32, _, _>(&g, |_| 1.0, |_, s| 0.5 * s + 0.1, 5)
+            .unwrap();
+        assert_eq!(report.metrics.get("checkpoints_written"), 3);
+        assert!(report.metrics.get("checkpoint_bytes") > 0);
+        assert_eq!(report.metrics.get("resumes"), 0);
+        // The surviving snapshot is the final state.
+        let resumed: Resumed<f32> = runner.resume_from(&g, &path).unwrap();
+        assert_eq!(resumed.iteration, 5);
+        assert_eq!(resumed.values, vals);
+        assert_eq!(resumed.residual.to_bits(), report.residual.to_bits());
+        assert!(!mixen_graph::ckpt::tmp_path(&path).exists());
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// The durability contract: interrupt a run at iteration 4, resume, and
+    /// the final values are bit-identical to the uninterrupted run at the
+    /// same lane count.
+    #[test]
+    fn resumed_run_is_bit_identical_to_uninterrupted() {
+        let g = mixed_graph();
+        let dir = ckpt_dir("resume");
+        let path = dir.join("run.ckpt");
+        let apply = |v: NodeId, s: f32| 0.85 * s + 0.01 * (v as f32 + 1.0);
+        let init = |v: NodeId| 0.1 * (v as f32 + 1.0);
+        let total = 9usize;
+
+        let plain = small_runner();
+        let (want, _) = plain.run(&g, init, apply, total).unwrap();
+
+        // "Interrupted" run: stop after 4 iterations, leaving a snapshot.
+        let mut opts = plain.opts().clone();
+        opts.checkpoint_path = Some(path.clone());
+        opts.checkpoint_every = 2;
+        let ckpt_runner = RobustRunner::new(opts);
+        let (_, report) = ckpt_runner.run(&g, init, apply, 4).unwrap();
+        assert!(report.metrics.get("checkpoints_written") >= 2);
+
+        let resumed: Resumed<f32> = ckpt_runner.resume_from(&g, &path).unwrap();
+        assert_eq!(resumed.iteration, 4);
+        let (got, report) = ckpt_runner.run_resumed(&g, resumed, apply, total).unwrap();
+        assert_eq!(report.iterations, total);
+        assert_eq!(report.metrics.get("resumes"), 1);
+        for (i, (a, b)) in got.iter().zip(&want).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "node {i}: {a} vs {b}");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Resuming at-or-past the target iteration count is a no-op returning
+    /// the snapshot values unchanged.
+    #[test]
+    fn resume_past_target_returns_snapshot_values() {
+        let g = mixed_graph();
+        let dir = ckpt_dir("noop");
+        let path = dir.join("run.ckpt");
+        let mut opts = small_runner().opts().clone();
+        opts.checkpoint_path = Some(path.clone());
+        let runner = RobustRunner::new(opts);
+        let (want, _) = runner
+            .run::<f32, _, _>(&g, |_| 1.0, |_, s| 0.5 * s + 0.1, 6)
+            .unwrap();
+        let resumed: Resumed<f32> = runner.resume_from(&g, &path).unwrap();
+        let (got, report) = runner
+            .run_resumed(&g, resumed, |_, s: f32| 0.5 * s + 0.1, 6)
+            .unwrap();
+        assert_eq!(report.iterations, 6);
+        for (a, b) in got.iter().zip(&want) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Staleness rejection: a snapshot must not warm-start a different
+    /// graph or a differently-configured runner.
+    #[test]
+    fn stale_checkpoints_are_rejected() {
+        let g = mixed_graph();
+        let dir = ckpt_dir("stale");
+        let path = dir.join("run.ckpt");
+        let mut opts = small_runner().opts().clone();
+        opts.checkpoint_path = Some(path.clone());
+        let runner = RobustRunner::new(opts.clone());
+        runner
+            .run::<f32, _, _>(&g, |_| 1.0, |_, s| 0.5 * s, 3)
+            .unwrap();
+
+        // Different graph → graph-checksum mismatch.
+        let other = Graph::from_pairs(8, &[(0, 1), (1, 2), (2, 3)]);
+        let err = runner.resume_from::<f32>(&other, &path).unwrap_err();
+        assert!(matches!(err, GraphError::Format(_)), "{err}");
+        assert!(err.to_string().contains("graph checksum"), "{err}");
+
+        // Different options → fingerprint mismatch.
+        let mut changed = opts.clone();
+        changed.fingerprint_extra = 1;
+        let err = RobustRunner::new(changed)
+            .resume_from::<f32>(&g, &path)
+            .unwrap_err();
+        assert!(matches!(err, GraphError::Format(_)), "{err}");
+        assert!(err.to_string().contains("fingerprint"), "{err}");
+
+        // Different value type → width mismatch from the decoder.
+        let err = runner.resume_from::<f64>(&g, &path).unwrap_err();
+        assert!(matches!(err, GraphError::Format(_)), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// A zero deadline trips before the first batch: typed error, durable
+    /// final checkpoint, `deadline_exceeded` stamped.
+    #[test]
+    fn zero_deadline_fails_typed_and_checkpoints() {
+        let g = mixed_graph();
+        let dir = ckpt_dir("deadline");
+        let path = dir.join("run.ckpt");
+        let mut opts = small_runner().opts().clone();
+        opts.deadline = Some(Duration::ZERO);
+        opts.checkpoint_path = Some(path.clone());
+        let runner = RobustRunner::new(opts);
+        let failure = runner
+            .run::<f32, _, _>(&g, |_| 1.0, |_, s| 0.5 * s, 10)
+            .unwrap_err();
+        assert!(
+            matches!(failure.error, GraphError::Deadline { .. }),
+            "{}",
+            failure.error
+        );
+        assert_eq!(failure.report.metrics.get("deadline_exceeded"), 1);
+        assert_eq!(failure.report.iterations, 0);
+        // The pre-stop snapshot exists and resumes at iteration 0.
+        let resumed: Resumed<f32> = runner.resume_from(&g, &path).unwrap();
+        assert_eq!(resumed.iteration, 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Provenance stamping: threads, fingerprint, and crate version ride in
+    /// the report and its JSON.
+    #[test]
+    fn report_carries_provenance() {
+        let g = mixed_graph();
+        let runner = small_runner();
+        let (_, report) = runner
+            .run::<f32, _, _>(&g, |_| 1.0, |_, s| 0.5 * s, 2)
+            .unwrap();
+        assert_eq!(report.threads, mixen_pool::current_num_threads());
+        assert_eq!(
+            report.opts_fingerprint,
+            runner.opts().fingerprint(report.threads)
+        );
+        let json = report.to_json();
+        let prov = json.get("provenance").expect("provenance object");
+        assert_eq!(
+            prov.get("crate_version").unwrap().as_str(),
+            Some(env!("CARGO_PKG_VERSION"))
+        );
+        assert_eq!(
+            prov.get("threads").unwrap().as_u64(),
+            Some(report.threads as u64)
+        );
+        assert_eq!(
+            prov.get("opts_fingerprint").unwrap().as_str(),
+            Some(format!("{:#018x}", report.opts_fingerprint).as_str())
+        );
     }
 }

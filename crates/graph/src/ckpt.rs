@@ -1,0 +1,415 @@
+//! Durable iteration checkpoints (`CKPT1`).
+//!
+//! A checkpoint freezes the dense value vector of a supervised run so an
+//! interrupted process can resume and converge to bit-identical output at a
+//! fixed lane count. The container follows the MXG2 conventions from
+//! [`crate::io`]: little-endian fixed-width header, CRC-32/IEEE payload
+//! checksum, and allocation-capped reading of untrusted sizes.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic        5 bytes   b"CKPT1"
+//! iteration    u64       iterations already completed
+//! residual     u64       f64 bit pattern of the last observed residual
+//! fingerprint  u64       RunnerOpts + lane-count fingerprint (staleness)
+//! graph_crc    u32       MXG2 payload checksum of the source graph
+//! value_width  u32       bytes per value (4 for f32, 8 for f64, ...)
+//! count        u64       number of values
+//! payload_crc  u32       CRC-32 of the payload bytes
+//! payload      count × value_width bytes
+//! ```
+//!
+//! `fingerprint` and `graph_crc` are opaque to this module: the reader hands
+//! them back and [`crate::error::GraphError`]-typed rejection of stale
+//! checkpoints happens in the runner, which knows the live graph and opts.
+//! Everything structural — magic, caps, truncation, checksum — is enforced
+//! here, and every failure is a typed error, never a panic.
+
+use std::fs;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+use crate::error::{GraphError, Result};
+use crate::io::{Crc32, MAX_NODES};
+
+/// Magic prefix of the checkpoint container.
+pub const CKPT_MAGIC: &[u8; 5] = b"CKPT1";
+
+/// Hard cap on the per-value byte width accepted from untrusted headers.
+/// The widest supported value type is a small fixed-arity `[f32; K]`.
+pub const MAX_VALUE_WIDTH: u32 = 256;
+
+/// Incremental-read chunk bound, mirroring `io::ALLOC_CHUNK`: never allocate
+/// more than this many bytes up front on the say-so of a header.
+const CHUNK_BYTES: usize = 1 << 20;
+
+/// A value type that can live in a checkpoint payload.
+///
+/// The encoding is the value's little-endian bit pattern, so a
+/// save/load round trip is bitwise lossless — the property the
+/// bit-identical-resume contract rests on.
+pub trait CkptValue: Sized {
+    /// Encoded width in bytes.
+    const WIDTH: u32;
+
+    /// Appends the little-endian encoding of `self` to `out`.
+    fn write_le(&self, out: &mut Vec<u8>);
+
+    /// Decodes a value from exactly [`Self::WIDTH`] bytes.
+    fn read_le(bytes: &[u8]) -> Self;
+}
+
+impl CkptValue for f32 {
+    const WIDTH: u32 = 4;
+
+    fn write_le(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+
+    fn read_le(bytes: &[u8]) -> Self {
+        let mut b = [0u8; 4];
+        b.copy_from_slice(&bytes[..4]);
+        f32::from_le_bytes(b)
+    }
+}
+
+impl CkptValue for f64 {
+    const WIDTH: u32 = 8;
+
+    fn write_le(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+
+    fn read_le(bytes: &[u8]) -> Self {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&bytes[..8]);
+        f64::from_le_bytes(b)
+    }
+}
+
+impl<const K: usize> CkptValue for [f32; K] {
+    // lint: allow(truncation) reason=K is a small compile-time arity, not a node id
+    const WIDTH: u32 = 4 * K as u32;
+
+    fn write_le(&self, out: &mut Vec<u8>) {
+        for v in self {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    fn read_le(bytes: &[u8]) -> Self {
+        let mut out = [0f32; K];
+        for (i, slot) in out.iter_mut().enumerate() {
+            let mut b = [0u8; 4];
+            b.copy_from_slice(&bytes[i * 4..i * 4 + 4]);
+            *slot = f32::from_le_bytes(b);
+        }
+        out
+    }
+}
+
+/// A decoded (or about-to-be-written) checkpoint.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Checkpoint {
+    /// Iterations already completed when the snapshot was taken.
+    pub iteration: u64,
+    /// Residual observed at the snapshot (bit-preserved through the file).
+    pub residual: f64,
+    /// Fingerprint of the runner configuration + lane count that produced
+    /// the snapshot; resuming under a different configuration is rejected.
+    pub fingerprint: u64,
+    /// MXG2 payload checksum of the source graph, pinning the snapshot to
+    /// the exact graph bytes it was computed from.
+    pub graph_checksum: u32,
+    /// Bytes per encoded value.
+    pub value_width: u32,
+    payload: Vec<u8>,
+}
+
+impl Checkpoint {
+    /// Builds a checkpoint from a dense value vector.
+    pub fn from_values<V: CkptValue>(
+        iteration: u64,
+        residual: f64,
+        fingerprint: u64,
+        graph_checksum: u32,
+        values: &[V],
+    ) -> Self {
+        let width = V::WIDTH as usize;
+        let mut payload = Vec::with_capacity(values.len().saturating_mul(width));
+        for v in values {
+            v.write_le(&mut payload);
+        }
+        Checkpoint {
+            iteration,
+            residual,
+            fingerprint,
+            graph_checksum,
+            value_width: V::WIDTH,
+            payload,
+        }
+    }
+
+    /// Number of values in the payload.
+    pub fn count(&self) -> usize {
+        self.payload.len() / (self.value_width.max(1) as usize)
+    }
+
+    /// Total encoded size in bytes (header + payload).
+    pub fn encoded_len(&self) -> u64 {
+        // magic + iteration + residual + fingerprint + graph_crc + width +
+        // count + payload_crc
+        let header = 5 + 8 + 8 + 8 + 4 + 4 + 8 + 4;
+        header + self.payload.len() as u64
+    }
+
+    /// Decodes the payload as a vector of `V`, rejecting width mismatches
+    /// (e.g. an `f64` checkpoint resumed into an `f32` run).
+    pub fn values<V: CkptValue>(&self) -> Result<Vec<V>> {
+        if self.value_width != V::WIDTH {
+            return Err(GraphError::Format(format!(
+                "checkpoint value width is {} bytes, expected {}",
+                self.value_width,
+                V::WIDTH
+            )));
+        }
+        let width = V::WIDTH as usize;
+        Ok(self.payload.chunks_exact(width).map(V::read_le).collect())
+    }
+
+    /// Serializes the checkpoint to a writer.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
+        let mut crc = Crc32::new();
+        crc.update(&self.payload);
+        w.write_all(CKPT_MAGIC)?;
+        w.write_all(&self.iteration.to_le_bytes())?;
+        w.write_all(&self.residual.to_bits().to_le_bytes())?;
+        w.write_all(&self.fingerprint.to_le_bytes())?;
+        w.write_all(&self.graph_checksum.to_le_bytes())?;
+        w.write_all(&self.value_width.to_le_bytes())?;
+        w.write_all(&(self.count() as u64).to_le_bytes())?;
+        w.write_all(&crc.finish().to_le_bytes())?;
+        w.write_all(&self.payload)?;
+        Ok(())
+    }
+
+    /// Reads and validates a checkpoint from a reader. Sizes are capped
+    /// before any allocation and the payload checksum is verified; any
+    /// structural problem surfaces as a typed [`GraphError`].
+    pub fn read_from<R: Read>(r: &mut R) -> Result<Self> {
+        let mut magic = [0u8; 5];
+        r.read_exact(&mut magic).map_err(GraphError::Io)?;
+        if &magic != CKPT_MAGIC {
+            return Err(GraphError::Format(format!(
+                "bad magic {magic:02x?}: not a CKPT1 checkpoint"
+            )));
+        }
+        let iteration = read_u64(r)?;
+        let residual = f64::from_bits(read_u64(r)?);
+        let fingerprint = read_u64(r)?;
+        let graph_checksum = read_u32(r)?;
+        let value_width = read_u32(r)?;
+        let count = read_u64(r)?;
+        let stored_crc = read_u32(r)?;
+        if value_width == 0 || value_width > MAX_VALUE_WIDTH {
+            return Err(GraphError::Capacity {
+                what: "checkpoint value width",
+                requested: u64::from(value_width),
+                limit: u64::from(MAX_VALUE_WIDTH),
+            });
+        }
+        if count >= MAX_NODES {
+            return Err(GraphError::Capacity {
+                what: "checkpoint value count",
+                requested: count,
+                limit: MAX_NODES,
+            });
+        }
+        let total =
+            (count as usize)
+                .checked_mul(value_width as usize)
+                .ok_or(GraphError::Capacity {
+                    what: "checkpoint payload bytes",
+                    requested: count,
+                    limit: usize::MAX as u64,
+                })?;
+        let mut crc = Crc32::new();
+        let mut payload = Vec::with_capacity(total.min(CHUNK_BYTES));
+        let mut buf = vec![0u8; CHUNK_BYTES.min(total.max(1))];
+        let mut left = total;
+        while left > 0 {
+            let take = left.min(buf.len());
+            r.read_exact(&mut buf[..take]).map_err(GraphError::Io)?;
+            crc.update(&buf[..take]);
+            payload.extend_from_slice(&buf[..take]);
+            left -= take;
+        }
+        let computed = crc.finish();
+        if stored_crc != computed {
+            return Err(GraphError::Checksum {
+                stored: stored_crc,
+                computed,
+            });
+        }
+        Ok(Checkpoint {
+            iteration,
+            residual,
+            fingerprint,
+            graph_checksum,
+            value_width,
+            payload,
+        })
+    }
+
+    /// Writes the checkpoint atomically: the bytes land in `<path>.tmp`,
+    /// are fsynced, and only then renamed over `path`. A crash at any point
+    /// leaves either the previous checkpoint or a `.tmp` the loader never
+    /// reads — never a torn file at the final path. Returns the encoded
+    /// size in bytes.
+    pub fn save_atomic(&self, path: &Path) -> Result<u64> {
+        let tmp = tmp_path(path);
+        {
+            let file = fs::File::create(&tmp).map_err(GraphError::Io)?;
+            let mut w = BufWriter::new(file);
+            self.write_to(&mut w).map_err(GraphError::Io)?;
+            w.flush().map_err(GraphError::Io)?;
+            w.get_ref().sync_all().map_err(GraphError::Io)?;
+        }
+        fs::rename(&tmp, path).map_err(GraphError::Io)?;
+        Ok(self.encoded_len())
+    }
+
+    /// Loads and validates a checkpoint from a file.
+    pub fn load(path: &Path) -> Result<Self> {
+        let file = fs::File::open(path).map_err(GraphError::Io)?;
+        let mut r = BufReader::new(file);
+        Checkpoint::read_from(&mut r)
+    }
+}
+
+/// The temp-file sibling `save_atomic` stages into before renaming.
+pub fn tmp_path(path: &Path) -> PathBuf {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(".tmp");
+    PathBuf::from(os)
+}
+
+fn read_u64<R: Read>(r: &mut R) -> Result<u64> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf).map_err(GraphError::Io)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+fn read_u32<R: Read>(r: &mut R) -> Result<u32> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf).map_err(GraphError::Io)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Checkpoint {
+        let vals: Vec<f32> = (0..17).map(|i| i as f32 * 0.25 - 1.0).collect();
+        Checkpoint::from_values(42, 1.5e-3, 0xDEAD_BEEF_CAFE_F00D, 0x1234_5678, &vals)
+    }
+
+    #[test]
+    fn roundtrip_is_bitwise_lossless() {
+        let ck = sample();
+        let mut buf = Vec::new();
+        ck.write_to(&mut buf).unwrap();
+        assert_eq!(&buf[..5], CKPT_MAGIC);
+        assert_eq!(buf.len() as u64, ck.encoded_len());
+        let back = Checkpoint::read_from(&mut buf.as_slice()).unwrap();
+        assert_eq!(back, ck);
+        let vals: Vec<f32> = back.values().unwrap();
+        let orig: Vec<f32> = ck.values().unwrap();
+        for (a, b) in vals.iter().zip(&orig) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn residual_bits_survive_including_infinity() {
+        for res in [f64::INFINITY, 0.0, -0.0, 1.25e-9] {
+            let ck = Checkpoint::from_values::<f32>(1, res, 2, 3, &[1.0]);
+            let mut buf = Vec::new();
+            ck.write_to(&mut buf).unwrap();
+            let back = Checkpoint::read_from(&mut buf.as_slice()).unwrap();
+            assert_eq!(back.residual.to_bits(), res.to_bits());
+        }
+    }
+
+    #[test]
+    fn wider_value_types_roundtrip() {
+        let vals: Vec<[f32; 4]> = vec![[1.0, 2.0, 3.0, 4.0], [0.5; 4]];
+        let ck = Checkpoint::from_values(7, 0.0, 1, 2, &vals);
+        let mut buf = Vec::new();
+        ck.write_to(&mut buf).unwrap();
+        let back = Checkpoint::read_from(&mut buf.as_slice()).unwrap();
+        assert_eq!(back.values::<[f32; 4]>().unwrap(), vals);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let err = Checkpoint::read_from(&mut &b"NOPE!xxxxxxxx"[..]).unwrap_err();
+        assert!(matches!(err, GraphError::Format(_)), "{err}");
+    }
+
+    #[test]
+    fn rejects_truncation_as_io() {
+        let ck = sample();
+        let mut buf = Vec::new();
+        ck.write_to(&mut buf).unwrap();
+        for cut in [3, 20, buf.len() - 1] {
+            let err = Checkpoint::read_from(&mut &buf[..cut]).unwrap_err();
+            assert!(matches!(err, GraphError::Io(_)), "cut {cut}: {err}");
+        }
+    }
+
+    #[test]
+    fn rejects_flipped_payload_byte_as_checksum() {
+        let ck = sample();
+        let mut buf = Vec::new();
+        ck.write_to(&mut buf).unwrap();
+        let last = buf.len() - 1;
+        buf[last] ^= 0x10;
+        let err = Checkpoint::read_from(&mut buf.as_slice()).unwrap_err();
+        assert!(matches!(err, GraphError::Checksum { .. }), "{err}");
+    }
+
+    #[test]
+    fn rejects_absurd_count_without_allocating() {
+        let ck = Checkpoint::from_values::<f32>(0, 0.0, 0, 0, &[1.0]);
+        let mut buf = Vec::new();
+        ck.write_to(&mut buf).unwrap();
+        // Overwrite the count field (offset 5+8+8+8+4+4 = 37) with u64::MAX.
+        buf[37..45].copy_from_slice(&u64::MAX.to_le_bytes());
+        let err = Checkpoint::read_from(&mut buf.as_slice()).unwrap_err();
+        assert!(matches!(err, GraphError::Capacity { .. }), "{err}");
+    }
+
+    #[test]
+    fn rejects_width_mismatch_on_decode() {
+        let ck = Checkpoint::from_values::<f32>(0, 0.0, 0, 0, &[1.0, 2.0]);
+        let err = ck.values::<f64>().unwrap_err();
+        assert!(matches!(err, GraphError::Format(_)), "{err}");
+    }
+
+    #[test]
+    fn save_atomic_leaves_no_tmp_behind() {
+        let dir = std::env::temp_dir().join("mixen_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("a.ckpt");
+        let ck = sample();
+        let bytes = ck.save_atomic(&path).unwrap();
+        assert_eq!(bytes, ck.encoded_len());
+        assert!(!tmp_path(&path).exists());
+        let back = Checkpoint::load(&path).unwrap();
+        assert_eq!(back, ck);
+        std::fs::remove_file(&path).ok();
+    }
+}

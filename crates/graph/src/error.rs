@@ -35,6 +35,10 @@ pub enum GraphError {
     Checksum { stored: u32, computed: u32 },
     /// A supervised run detected NaN/Inf values or divergence.
     Numeric { iteration: usize, msg: String },
+    /// A supervised run exceeded its wall-clock deadline. The run stops at
+    /// the next batch boundary; if checkpointing is enabled the last state
+    /// is durable, so the run can be resumed with a fresh budget.
+    Deadline { elapsed_ms: u64, budget_ms: u64 },
 }
 
 impl fmt::Display for GraphError {
@@ -59,6 +63,13 @@ impl fmt::Display for GraphError {
             GraphError::Numeric { iteration, msg } => {
                 write!(f, "numeric fault at iteration {iteration}: {msg}")
             }
+            GraphError::Deadline {
+                elapsed_ms,
+                budget_ms,
+            } => write!(
+                f,
+                "deadline exceeded: {elapsed_ms} ms elapsed against a budget of {budget_ms} ms"
+            ),
         }
     }
 }
@@ -104,6 +115,7 @@ impl GraphError {
             GraphError::Capacity { .. } => "capacity",
             GraphError::Checksum { .. } => "checksum",
             GraphError::Numeric { .. } => "numeric",
+            GraphError::Deadline { .. } => "deadline",
         }
     }
 }

@@ -101,6 +101,31 @@ impl FaultPlan {
             mask: 1 << (bit % 8),
         }])
     }
+
+    /// Fragmented writes of at most `max_chunk` bytes per call — the
+    /// short-write plan for checkpoint writers, which must loop until every
+    /// byte lands rather than assume one `write` suffices.
+    pub fn short_writes(max_chunk: usize) -> Self {
+        Self::from_faults([Fault::ShortChunks(max_chunk)])
+    }
+
+    /// The disk fills after `k` bytes: every later write is accepted as
+    /// `Ok(0)`, which `write_all` surfaces as `ErrorKind::WriteZero`. A
+    /// checkpoint writer hitting this must fail typed and leave no torn
+    /// file at the final path.
+    pub fn disk_full_at(k: u64) -> Self {
+        Self::from_faults([Fault::TruncateAt(k)])
+    }
+
+    /// Models a torn rename: only the first `k` bytes of the checkpoint
+    /// made it to the final path before the crash. Readers must reject the
+    /// half-written file with a typed error (truncation or checksum),
+    /// never a panic. Byte-wise this is [`FaultPlan::truncate_at`]; the
+    /// separate constructor names the scenario the checkpoint corpus
+    /// exercises.
+    pub fn torn_rename(k: u64) -> Self {
+        Self::from_faults([Fault::TruncateAt(k)])
+    }
 }
 
 /// Shared cursor state for the reader and writer wrappers.

@@ -130,14 +130,7 @@ pub fn write_csr<W: Write>(g: &Graph, w: &mut W) -> io::Result<()> {
     let csr = g.out_csr();
     // First pass over the payload computes the checksum so the header can be
     // written up front without buffering the payload.
-    let mut crc = Crc32::new();
-    for &p in csr.ptr() {
-        crc.update(&(p as u64).to_le_bytes());
-    }
-    for &v in csr.idx() {
-        crc.update(&v.to_le_bytes());
-    }
-    let checksum = crc.finish();
+    let checksum = graph_checksum(g);
 
     w.write_all(MAGIC_V2)?;
     w.write_all(&(csr.n_rows() as u64).to_le_bytes())?;
@@ -150,6 +143,22 @@ pub fn write_csr<W: Write>(g: &Graph, w: &mut W) -> io::Result<()> {
         w.write_all(&v.to_le_bytes())?;
     }
     Ok(())
+}
+
+/// CRC-32/IEEE over the MXG2 payload of `g`'s out-CSR (row pointers as
+/// `u64` LE followed by column indices as `u32` LE) — the exact checksum
+/// [`write_csr`] stores in the header. Exposed so checkpoints can pin the
+/// graph they were computed from and reject stale resumes.
+pub fn graph_checksum(g: &Graph) -> u32 {
+    let csr = g.out_csr();
+    let mut crc = Crc32::new();
+    for &p in csr.ptr() {
+        crc.update(&(p as u64).to_le_bytes());
+    }
+    for &v in csr.idx() {
+        crc.update(&v.to_le_bytes());
+    }
+    crc.finish()
 }
 
 /// Writes the out-CSR of `g` in the legacy `MXG1` format (no checksum),

@@ -23,6 +23,7 @@
 //! Node identifiers are `u32` (the paper uses 32-bit node IDs); edge offsets
 //! are `usize` so graphs larger than 4 G edges remain representable.
 
+pub mod ckpt;
 pub mod classify;
 pub mod components;
 pub mod csr;
@@ -38,6 +39,7 @@ pub mod prop;
 pub mod stats;
 pub mod weighted;
 
+pub use ckpt::{Checkpoint, CkptValue};
 pub use classify::{Classification, NodeClass};
 pub use components::{weakly_connected_components, Components, UnionFind};
 pub use csr::Csr;

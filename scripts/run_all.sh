@@ -4,6 +4,11 @@
 #   defaults: small 10, threads from MIXEN_THREADS / host parallelism.
 # --threads pins the worker-lane count of every binary; the scaling bin
 # sweeps its own 1/2/4/8 lane counts regardless.
+#
+# Robustness contract: every result file is written to a .partial path and
+# moved into place only after its producer exits cleanly, so an interrupted
+# or failing run never leaves a half-written file that looks like a result.
+# Leftover .partial files are removed on exit.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 SCALE="small"
@@ -26,25 +31,48 @@ while [ $# -gt 0 ]; do
 done
 cargo build --release -p mixen-bench
 mkdir -p results
+trap 'rm -f results/*.partial' EXIT
+
+# finish FILE...  — promotes .partial outputs after a clean producer exit.
+finish() {
+  local f
+  for f in "$@"; do
+    mv "${f}.partial" "$f"
+  done
+}
+
 for b in table1 table2 table4 fig4 fig5 fig6 fig7 model_check ablation adaptive; do
   echo "=== $b ($SCALE) ==="
-  ./target/release/$b --scale "$SCALE" --iters "$ITERS" "${THREADS[@]}" \
-    | tee "results/${b}_${SCALE}.txt"
+  txt="results/${b}_${SCALE}.txt"
+  # ${THREADS[@]+...} keeps the empty-array expansion safe under `set -u`
+  # on bash < 4.4.
+  ./target/release/"$b" --scale "$SCALE" --iters "$ITERS" ${THREADS[@]+"${THREADS[@]}"} \
+    | tee "${txt}.partial"
+  finish "$txt"
 done
 # phases, table3 and scaling also emit machine-readable JSON sidecars.
 for b in phases table3; do
   echo "=== $b ($SCALE) ==="
-  ./target/release/$b --scale "$SCALE" --iters "$ITERS" "${THREADS[@]}" \
-    --json "results/${b}_${SCALE}.json" | tee "results/${b}_${SCALE}.txt"
+  txt="results/${b}_${SCALE}.txt"
+  json="results/${b}_${SCALE}.json"
+  ./target/release/"$b" --scale "$SCALE" --iters "$ITERS" ${THREADS[@]+"${THREADS[@]}"} \
+    --json "${json}.partial" | tee "${txt}.partial"
+  finish "$json" "$txt"
 done
 # The scaling sweep manages its own lane counts (1/2/4/8 via pool overrides),
 # so it deliberately does not receive --threads.
 echo "=== scaling ($SCALE) ==="
+txt="results/scaling_${SCALE}.txt"
+json="results/scaling_${SCALE}.json"
 ./target/release/scaling --scale "$SCALE" --iters "$ITERS" \
-  --json "results/scaling_${SCALE}.json" | tee "results/scaling_${SCALE}.txt"
+  --json "${json}.partial" | tee "${txt}.partial"
+finish "$json" "$txt"
 # Kernel microbenchmarks: the regression-baseline protocol pins 4 lanes
 # (EXPERIMENTS.md "Kernel microbenchmarks"), so --threads is fixed here too.
 echo "=== kernels ($SCALE) ==="
+txt="results/kernels_${SCALE}.txt"
+json="results/kernels_${SCALE}.json"
 ./target/release/kernels --scale "$SCALE" --iters "$ITERS" --threads 4 \
-  --json "results/kernels_${SCALE}.json" | tee "results/kernels_${SCALE}.txt"
+  --json "${json}.partial" | tee "${txt}.partial"
+finish "$json" "$txt"
 echo "all results written to results/"

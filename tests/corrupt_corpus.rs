@@ -296,6 +296,119 @@ fn oversized_text_declarations_are_rejected() {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Checkpoint (`CKPT1`) corpus: the durability layer gets the same hostile
+// treatment as the graph formats — every corruption is a typed error.
+// ---------------------------------------------------------------------------
+
+fn sample_checkpoint(g: &Graph) -> (mixen_graph::Checkpoint, Vec<u8>) {
+    let vals: Vec<f32> = (0..g.n()).map(|i| 0.25 + i as f32).collect();
+    let crc = mixen_graph::io::graph_checksum(g);
+    let ck = mixen_graph::Checkpoint::from_values(7, 1.5e-3, 0xfeed_beef, crc, &vals);
+    let mut bytes = Vec::new();
+    ck.write_to(&mut bytes).unwrap();
+    (ck, bytes)
+}
+
+#[test]
+fn checkpoint_truncations_error_never_panic() {
+    let g = sample_graph();
+    let (_, bytes) = sample_checkpoint(&g);
+    for cut in 0..bytes.len() {
+        let err = mixen_graph::Checkpoint::read_from(&mut &bytes[..cut]).expect_err(&format!(
+            "prefix of {cut}/{} bytes must not parse",
+            bytes.len()
+        ));
+        match err {
+            GraphError::Io(_) | GraphError::Format(_) | GraphError::Checksum { .. } => {}
+            other => panic!("unexpected variant for cut {cut}: {other}"),
+        }
+    }
+}
+
+#[test]
+fn checkpoint_payload_flip_is_a_checksum_error() {
+    let g = sample_graph();
+    let (_, bytes) = sample_checkpoint(&g);
+    // Flip one byte in every payload position; all must be caught by the
+    // payload CRC.
+    let header = bytes.len() - g.n() * 4;
+    for pos in header..bytes.len() {
+        let mut mutated = bytes.clone();
+        mutated[pos] ^= 0x04;
+        match mixen_graph::Checkpoint::read_from(&mut mutated.as_slice()) {
+            Err(GraphError::Checksum { stored, computed }) => assert_ne!(stored, computed),
+            other => panic!("payload flip at {pos}: expected checksum error, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn checkpoint_graph_mismatch_is_rejected_on_resume() {
+    let g = sample_graph();
+    let dir = std::env::temp_dir().join("mixen_corpus_ckpt");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("stale.ckpt");
+    let runner = RobustRunner::new(RunnerOpts {
+        checkpoint_path: Some(path.clone()),
+        ..RunnerOpts::default()
+    });
+    runner
+        .run::<f32, _, _>(&g, |_| 1.0, |_, s| 0.5 * s, 3)
+        .unwrap();
+    // Same node count, different edges: only the graph checksum tells them
+    // apart, and it must.
+    let other = Graph::from_pairs(9, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+    let err = runner.resume_from::<f32>(&other, &path).unwrap_err();
+    assert!(matches!(err, GraphError::Format(_)), "{err}");
+    assert!(err.to_string().contains("graph checksum"), "{err}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn torn_half_checkpoint_is_typed_and_old_snapshot_survives() {
+    // The torn-rename scenario: a crash mid-write leaves a half-length tmp
+    // file. The reader rejects the fragment with a typed error, and the
+    // atomic protocol means the previous full snapshot is still intact.
+    let g = sample_graph();
+    let dir = std::env::temp_dir().join("mixen_corpus_torn");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("torn.ckpt");
+    let (ck, bytes) = sample_checkpoint(&g);
+    ck.save_atomic(&path).unwrap();
+    // Simulate the torn in-flight write next to the durable snapshot.
+    let tmp = mixen_graph::ckpt::tmp_path(&path);
+    std::fs::write(&tmp, &bytes[..bytes.len() / 2]).unwrap();
+    let err = mixen_graph::Checkpoint::load(&tmp).unwrap_err();
+    assert!(
+        matches!(err, GraphError::Io(_) | GraphError::Format(_)),
+        "{err}"
+    );
+    let durable = mixen_graph::Checkpoint::load(&path).unwrap();
+    assert_eq!(durable, ck);
+    std::fs::remove_file(&tmp).ok();
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn checkpoint_writes_through_fault_plans_are_typed() {
+    // Disk-full and short-write plans against the checkpoint encoder: the
+    // write fails with a typed I/O error, never a panic.
+    let g = sample_graph();
+    let (ck, bytes) = sample_checkpoint(&g);
+    for k in [0u64, 1, 16, bytes.len() as u64 - 1] {
+        let mut out = Vec::new();
+        let mut w = mixen_graph::FaultyWriter::new(&mut out, FaultPlan::disk_full_at(k));
+        let err = ck.write_to(&mut w).expect_err(&format!("disk full at {k}"));
+        assert_eq!(err.kind(), std::io::ErrorKind::WriteZero);
+    }
+    // Short writes alone must not corrupt anything: the writer loops.
+    let mut out = Vec::new();
+    let mut w = mixen_graph::FaultyWriter::new(&mut out, FaultPlan::short_writes(3));
+    ck.write_to(&mut w).unwrap();
+    assert_eq!(out, bytes);
+}
+
 #[test]
 fn nan_poisoned_pagerank_is_a_numeric_error_with_report() {
     let g = sample_graph();

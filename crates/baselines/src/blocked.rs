@@ -124,6 +124,7 @@ impl<'g> BlockEngine<'g> {
     pub fn bfs(&self, root: NodeId) -> Vec<i32> {
         let n = self.g.n();
         let depth: Vec<AtomicI32> = (0..n).map(|_| AtomicI32::new(-1)).collect();
+        // ordering: single-threaded seeding before any parallel level.
         depth[root as usize].store(0, Ordering::Relaxed);
         let mut frontier = vec![root];
         let mut level = 0i32;

@@ -134,6 +134,7 @@ impl<'g> PartitionedEngine<'g> {
     pub fn bfs(&self, root: NodeId) -> Vec<i32> {
         let n = self.g.n();
         let depth: Vec<AtomicI32> = (0..n).map(|_| AtomicI32::new(-1)).collect();
+        // ordering: single-threaded seeding before any parallel level.
         depth[root as usize].store(0, Ordering::Relaxed);
         let mut frontier = vec![root];
         let mut level = 0i32;
@@ -144,6 +145,9 @@ impl<'g> PartitionedEngine<'g> {
                     let mut next = Vec::new();
                     for &v in self.g.out_neighbors(u) {
                         if depth[v as usize]
+                            // ordering: the claim needs only same-location
+                            // atomicity — the next frontier is consumed
+                            // after the rayon join, which orders claims.
                             .compare_exchange(-1, level + 1, Ordering::Relaxed, Ordering::Relaxed)
                             .is_ok()
                         {

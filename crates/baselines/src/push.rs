@@ -82,6 +82,8 @@ impl<'g> PushEngine<'g> {
         let mut id = vec![0u32; V::LANES];
         V::identity().write_lanes(&mut id);
         slots.par_iter().enumerate().for_each(|(i, s)| {
+            // ordering: the reset is published by the rayon join before any
+            // push touches the slots.
             s.store(id[i % V::LANES], Ordering::Relaxed);
         });
     }
@@ -108,6 +110,8 @@ impl<'g> PushEngine<'g> {
             .map(|v| {
                 let base = v as usize * V::LANES;
                 let lanes: Vec<u32> = (0..V::LANES)
+                    // ordering: push_all's join already ordered every fold
+                    // before this read-only pass.
                     .map(|l| slots[base + l].load(Ordering::Relaxed))
                     .collect();
                 apply(v, V::read_lanes(&lanes))
@@ -120,6 +124,7 @@ impl<'g> PushEngine<'g> {
         let n = self.g.n();
         let m = self.g.m();
         let depth: Vec<AtomicI32> = (0..n).map(|_| AtomicI32::new(-1)).collect();
+        // ordering: single-threaded seeding before any parallel level.
         depth[root as usize].store(0, Ordering::Relaxed);
         let mut frontier = vec![root];
         let mut level = 0i32;
@@ -129,14 +134,20 @@ impl<'g> PushEngine<'g> {
                 // Bottom-up: every unvisited node scans its in-neighbours.
                 (0..n)
                     .into_par_iter()
+                    // ordering: depths ≤ level were published by previous
+                    // levels' joins; this level writes only unvisited slots.
                     .filter(|&v| depth[v].load(Ordering::Relaxed) < 0)
                     .filter_map(|v| {
                         let hit = self
                             .g
                             .in_neighbors(nid(v))
                             .iter()
+                            // ordering: same argument as the filter above.
                             .any(|&u| depth[u as usize].load(Ordering::Relaxed) == level);
                         if hit {
+                            // ordering: each unvisited v is written by at
+                            // most one task (the one that owns v), and the
+                            // value is published by this level's join.
                             depth[v].store(level + 1, Ordering::Relaxed);
                             Some(nid(v))
                         } else {
@@ -155,7 +166,12 @@ impl<'g> PushEngine<'g> {
                                 .compare_exchange(
                                     -1,
                                     level + 1,
+                                    // ordering: the claim needs only
+                                    // same-location atomicity — the next
+                                    // frontier is consumed after the join.
                                     Ordering::Relaxed,
+                                    // ordering: failure means someone else
+                                    // claimed v; nothing further is read.
                                     Ordering::Relaxed,
                                 )
                                 .is_ok()
@@ -176,9 +192,13 @@ impl<'g> PushEngine<'g> {
 /// CAS loop folding `val`'s lane into a 32-bit atomic slot.
 #[inline]
 fn atomic_fold<V: AtomicProp>(slot: &AtomicU32, val: V, lane: usize) {
+    // ordering: the fold is commutative and touches only this slot; the
+    // accumulated result is published to readers by push_all's rayon join,
+    // so the CAS loop needs no cross-location ordering.
     let mut cur = slot.load(Ordering::Relaxed);
     loop {
         let new = V::fold_lane(cur, val, lane);
+        // ordering: same-slot RMW; see the load above.
         match slot.compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed) {
             Ok(_) => return,
             Err(c) => cur = c,

@@ -1,0 +1,111 @@
+//! A race-detecting cell for plain (non-atomic) shared data, analogous to
+//! `loom::cell::UnsafeCell`.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::AtomicU64 as IdCell;
+
+use crate::runtime::{current_ctx, fresh_object_id};
+
+/// Shared data whose accesses the model checker verifies are ordered by
+/// happens-before.
+///
+/// Inside a model execution, every access is a scheduler yield point and is
+/// checked against all other accesses with FastTrack-style epochs: a
+/// write concurrent with any other access (or a read concurrent with a
+/// write) fails the schedule with a data-race report. This is how the model
+/// suite proves that a protocol's *synchronization* — not luck — orders its
+/// payload data: publish via a relaxed store instead of a release store and
+/// the consumer's read is flagged.
+///
+/// Outside a model execution accesses are unchecked and unsynchronized, so
+/// a `RaceCell` must only be shared across threads under `explore`; it is a
+/// modelling tool, not a general-purpose concurrency primitive.
+pub struct RaceCell<T> {
+    id: IdCell,
+    inner: UnsafeCell<T>,
+}
+
+// SAFETY: cross-thread access is only meaningful under the model scheduler,
+// which serializes all model threads (one runs at a time), so the unchecked
+// interior accesses below can never physically overlap in a model run.
+unsafe impl<T: Send> Sync for RaceCell<T> {}
+// SAFETY: owning a RaceCell is owning its `T`; sending the cell moves the
+// value exactly as sending a `T: Send` directly would.
+unsafe impl<T: Send> Send for RaceCell<T> {}
+
+impl<T> RaceCell<T> {
+    /// Creates a cell holding `value`.
+    pub const fn new(value: T) -> RaceCell<T> {
+        RaceCell {
+            id: IdCell::new(0),
+            inner: UnsafeCell::new(value),
+        }
+    }
+
+    fn track(&self, write: bool) {
+        if let Some(ctx) = current_ctx() {
+            let id = self.id.load(std::sync::atomic::Ordering::Relaxed);
+            let oid = if id != 0 {
+                id
+            } else {
+                let fresh = fresh_object_id();
+                match self.id.compare_exchange(
+                    0,
+                    fresh,
+                    std::sync::atomic::Ordering::Relaxed,
+                    std::sync::atomic::Ordering::Relaxed,
+                ) {
+                    Ok(_) => fresh,
+                    Err(raced) => raced,
+                }
+            };
+            ctx.rt.cell_access(ctx.tid, oid, write);
+        }
+    }
+
+    /// Read access: calls `f` with a shared reference to the contents.
+    pub fn with<R>(&self, f: impl FnOnce(&T) -> R) -> R {
+        self.track(false);
+        // SAFETY: model threads are serialized (see the `Sync` impl); the
+        // checker reports — before this access proceeds — any concurrent
+        // write that would make it a data race.
+        f(unsafe { &*self.inner.get() })
+    }
+
+    /// Write access: calls `f` with an exclusive reference to the contents.
+    pub fn with_mut<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        self.track(true);
+        // SAFETY: as in `with`, plus the checker flags concurrent reads.
+        f(unsafe { &mut *self.inner.get() })
+    }
+
+    /// Reads the value (for `Copy` contents).
+    pub fn load(&self) -> T
+    where
+        T: Copy,
+    {
+        self.with(|v| *v)
+    }
+
+    /// Replaces the value.
+    pub fn store(&self, value: T) {
+        self.with_mut(|slot| *slot = value);
+    }
+
+    /// Consumes the cell, returning the contents.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: Default> Default for RaceCell<T> {
+    fn default() -> RaceCell<T> {
+        RaceCell::new(T::default())
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for RaceCell<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RaceCell").finish_non_exhaustive()
+    }
+}

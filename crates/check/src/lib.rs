@@ -1,0 +1,389 @@
+//! `mixen-check` — a dependency-free, loom-style model checker for the
+//! Mixen concurrency primitives.
+//!
+//! The [`sync`], [`thread`] and [`cell`] modules are drop-in facades over
+//! `std::sync` / `std::thread` that `mixen-pool`, `mixen-core` and
+//! `mixen-graph` adopt behind their `model-check` features (compiling to
+//! plain `std` re-exports otherwise). Under [`explore`], the facade turns
+//! every synchronization operation into a yield point of a cooperative
+//! scheduler that runs model threads one at a time, and a DFS explorer with
+//! a CHESS-style bounded number of *preemptions* (involuntary context
+//! switches) enumerates the schedule tree:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use mixen_check::{explore, Config};
+//! use mixen_check::sync::Mutex;
+//! use mixen_check::{cell::RaceCell, thread};
+//!
+//! let report = explore(Config::default(), || {
+//!     let shared = Arc::new((Mutex::new(()), RaceCell::new(0u32)));
+//!     let t = {
+//!         let shared = Arc::clone(&shared);
+//!         thread::spawn(move || {
+//!             let _g = shared.0.lock().unwrap();
+//!             shared.1.store(1);
+//!         })
+//!     };
+//!     {
+//!         let _g = shared.0.lock().unwrap();
+//!         shared.1.store(2);
+//!     }
+//!     t.join().unwrap();
+//! });
+//! assert!(report.failure.is_none(), "{:?}", report.failure);
+//! assert!(report.schedules > 1); // both lock orders were explored
+//! ```
+//!
+//! Failures — deadlocks (including lost wakeups: modeled `wait_timeout`
+//! never times out), data races on [`cell::RaceCell`], panics in model
+//! threads, livelock step-limit overruns — abort the exploration and carry
+//! a *decision string*, the comma-separated branch choices of the failing
+//! schedule. [`replay`] (or [`Config::replay`]) re-runs exactly that
+//! schedule, turning any reported bug into a deterministic unit test.
+
+#![warn(missing_docs)]
+
+pub mod cell;
+mod runtime;
+pub mod sync;
+pub mod thread;
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::sync::Mutex as StdMutex;
+
+use runtime::{advance, Ctx, Decision, Mode, ModelAbort, Runtime};
+
+// ---------------------------------------------------------------------------
+// Public result types
+// ---------------------------------------------------------------------------
+
+/// The class of failure a schedule exhibited.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailureKind {
+    /// No runnable thread, or threads still blocked when the test body
+    /// returned (lost wakeup / leaked thread).
+    Deadlock,
+    /// A model thread (or the test body) panicked.
+    Panic,
+    /// Two [`cell::RaceCell`] accesses were not ordered by happens-before.
+    DataRace,
+    /// A single schedule exceeded the yield-point step limit (livelock).
+    StepLimit,
+}
+
+/// A failing schedule: what went wrong, where, and how to re-run it.
+#[derive(Clone, Debug)]
+pub struct Failure {
+    /// Failure class.
+    pub kind: FailureKind,
+    /// Human-readable description.
+    pub message: String,
+    /// Decision string of the failing schedule; feed it to [`replay`] or
+    /// [`Config::replay`] to reproduce deterministically.
+    pub schedule: String,
+    /// Per-thread event trace of the failing schedule, oldest first.
+    pub trace: Vec<String>,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "model failure ({:?}): {}", self.kind, self.message)?;
+        writeln!(f, "replayable schedule: \"{}\"", self.schedule)?;
+        writeln!(f, "trace ({} events):", self.trace.len())?;
+        for line in &self.trace {
+            writeln!(f, "  {line}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Outcome of an [`explore`] call.
+#[derive(Debug)]
+pub struct Report {
+    /// Schedules explored by the bounded DFS phase.
+    pub schedules: usize,
+    /// Additional seeded random schedules executed (fuzz phase).
+    pub random_schedules: usize,
+    /// True when DFS stopped at [`Config::max_schedules`] before
+    /// exhausting the (bounded) schedule tree.
+    pub capped: bool,
+    /// The first failure found, if any; exploration stops at the first.
+    pub failure: Option<Failure>,
+}
+
+/// Exploration parameters.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// CHESS-style bound on involuntary context switches per schedule
+    /// (switches while the current thread could have continued). Voluntary
+    /// switches at blocking points are always free. Most real concurrency
+    /// bugs manifest within 2 preemptions.
+    pub preemption_bound: usize,
+    /// Safety cap on DFS schedules; hitting it sets [`Report::capped`].
+    pub max_schedules: usize,
+    /// Per-schedule yield-point cap; exceeding it fails as a livelock.
+    pub max_steps: usize,
+    /// Random schedules to run after DFS, with *unbounded* preemptions —
+    /// a seeded fuzz pass beyond the DFS bound. 0 disables.
+    pub random_schedules: usize,
+    /// Seed for the fuzz pass; defaults to `MIXEN_CHECK_SEED` (env) or a
+    /// fixed constant, so runs are reproducible either way.
+    pub seed: Option<u64>,
+    /// When set, runs exactly this decision string once instead of
+    /// exploring (see [`Failure::schedule`]).
+    pub replay: Option<String>,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            preemption_bound: 2,
+            max_schedules: 100_000,
+            max_steps: 100_000,
+            random_schedules: 0,
+            seed: None,
+            replay: None,
+        }
+    }
+}
+
+impl Config {
+    /// A config with the given preemption bound and defaults otherwise.
+    pub fn with_bound(preemption_bound: usize) -> Config {
+        Config {
+            preemption_bound,
+            ..Config::default()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Panic-hook guard
+// ---------------------------------------------------------------------------
+//
+// Model executions panic on purpose (teardown, expected task panics, failing
+// schedules explored thousands of times); without a guard every one of them
+// would spray a backtrace. While at least one explore() is active anywhere
+// in the process, panics on model threads are silenced; all other threads
+// keep the previous hook behaviour.
+
+type PrevHook = Box<dyn Fn(&std::panic::PanicHookInfo<'_>) + Sync + Send + 'static>;
+
+static HOOK_DEPTH: StdMutex<usize> = StdMutex::new(0);
+static PREV_HOOK: StdMutex<Option<PrevHook>> = StdMutex::new(None);
+
+struct HookGuard;
+
+impl HookGuard {
+    fn install() -> HookGuard {
+        let mut depth = HOOK_DEPTH.lock().unwrap_or_else(|e| e.into_inner());
+        *depth += 1;
+        if *depth == 1 {
+            let prev = std::panic::take_hook();
+            *PREV_HOOK.lock().unwrap_or_else(|e| e.into_inner()) = Some(prev);
+            std::panic::set_hook(Box::new(|info| {
+                if runtime::in_model() {
+                    return;
+                }
+                let prev = PREV_HOOK.lock().unwrap_or_else(|e| e.into_inner());
+                if let Some(prev) = prev.as_ref() {
+                    prev(info);
+                }
+            }));
+        }
+        HookGuard
+    }
+}
+
+impl Drop for HookGuard {
+    fn drop(&mut self) {
+        let mut depth = HOOK_DEPTH.lock().unwrap_or_else(|e| e.into_inner());
+        *depth -= 1;
+        if *depth == 0 {
+            let prev = PREV_HOOK.lock().unwrap_or_else(|e| e.into_inner()).take();
+            match prev {
+                Some(prev) => std::panic::set_hook(prev),
+                None => {
+                    let _ = std::panic::take_hook();
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Explorer
+// ---------------------------------------------------------------------------
+
+fn seed_from_env() -> u64 {
+    std::env::var("MIXEN_CHECK_SEED")
+        .ok()
+        .and_then(|s| s.trim().parse::<u64>().ok())
+        .unwrap_or(0x4D49_5845_4E43_4B21) // "MIXENCK!"
+}
+
+fn parse_schedule(s: &str) -> Vec<Decision> {
+    s.split(',')
+        .filter(|part| !part.trim().is_empty())
+        .map(|part| Decision {
+            options: 0, // filled in during the run
+            idx: part.trim().parse::<usize>().unwrap_or(0),
+        })
+        .collect()
+}
+
+/// Runs one schedule to completion; returns the failure, the (extended)
+/// decision path, and the evolved RNG state.
+fn run_once(
+    rt: &Arc<Runtime>,
+    path: Vec<Decision>,
+    mode: Mode,
+    cfg: &Config,
+    rng: u64,
+    f: &dyn Fn(),
+) -> (Vec<Decision>, Option<Failure>, u64) {
+    let bound = match mode {
+        Mode::Dfs => cfg.preemption_bound,
+        // Fuzz and replay run past the DFS bound by design.
+        Mode::Random | Mode::Replay => usize::MAX,
+    };
+    rt.reset(path, mode, bound, cfg.max_steps, rng);
+    runtime::set_ctx(Some(Ctx {
+        rt: Arc::clone(rt),
+        tid: 0,
+    }));
+    let body = catch_unwind(AssertUnwindSafe(f));
+    match body {
+        Ok(()) => rt.finish_main(),
+        Err(payload) => {
+            if payload.downcast_ref::<ModelAbort>().is_none() {
+                rt.record_main_panic(thread::payload_msg(payload.as_ref()));
+            }
+            rt.abort_and_drain();
+        }
+    }
+    runtime::set_ctx(None);
+    rt.take_outcome()
+}
+
+/// Explores the schedules of `f` and returns a [`Report`].
+///
+/// `f` is run once per schedule; it must be deterministic apart from the
+/// scheduling the model controls, and should create all shared state inside
+/// the closure. The first failing schedule stops the exploration.
+pub fn explore(cfg: Config, f: impl Fn()) -> Report {
+    let _hook = HookGuard::install();
+    let rt = Arc::new(Runtime::new());
+    let f: &dyn Fn() = &f;
+
+    if let Some(schedule) = &cfg.replay {
+        let path = parse_schedule(schedule);
+        let (_, failure, _) = run_once(&rt, path, Mode::Replay, &cfg, 1, f);
+        return Report {
+            schedules: 1,
+            random_schedules: 0,
+            capped: false,
+            failure,
+        };
+    }
+
+    let mut path: Vec<Decision> = Vec::new();
+    let mut schedules = 0;
+    let mut capped = false;
+    loop {
+        if schedules >= cfg.max_schedules {
+            capped = true;
+            break;
+        }
+        let (out_path, failure, _) = run_once(&rt, path, Mode::Dfs, &cfg, 1, f);
+        path = out_path;
+        schedules += 1;
+        if failure.is_some() {
+            return Report {
+                schedules,
+                random_schedules: 0,
+                capped,
+                failure,
+            };
+        }
+        if !advance(&mut path) {
+            break;
+        }
+    }
+
+    let mut rng = cfg.seed.unwrap_or_else(seed_from_env);
+    let mut random_done = 0;
+    for _ in 0..cfg.random_schedules {
+        let (_, failure, next_rng) = run_once(&rt, Vec::new(), Mode::Random, &cfg, rng, f);
+        rng = next_rng;
+        random_done += 1;
+        if failure.is_some() {
+            return Report {
+                schedules,
+                random_schedules: random_done,
+                capped,
+                failure,
+            };
+        }
+    }
+
+    Report {
+        schedules,
+        random_schedules: random_done,
+        capped,
+        failure: None,
+    }
+}
+
+/// Like [`explore`], but panics with the full failure report (message,
+/// replayable decision string, event trace) if any schedule fails, and
+/// returns the [`Report`] otherwise. The standard entry point for tests.
+pub fn check(name: &str, cfg: Config, f: impl Fn()) -> Report {
+    let report = explore(cfg, f);
+    if let Some(failure) = &report.failure {
+        panic!(
+            "mixen-check: model \"{name}\" failed after {} DFS + {} random schedule(s)\n{failure}",
+            report.schedules, report.random_schedules
+        );
+    }
+    report
+}
+
+/// Re-runs exactly one schedule of `f` from a decision string (see
+/// [`Failure::schedule`]) and returns its failure, if it still fails.
+pub fn replay(schedule: &str, f: impl Fn()) -> Option<Failure> {
+    let cfg = Config {
+        replay: Some(schedule.to_string()),
+        ..Config::default()
+    };
+    explore(cfg, f).failure
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use runtime::decision_string;
+
+    #[test]
+    fn parse_schedule_roundtrip() {
+        let path = parse_schedule("0,2,1");
+        assert_eq!(path.len(), 3);
+        assert_eq!(path[1].idx, 2);
+        assert_eq!(decision_string(&path), "0,2,1");
+        assert!(parse_schedule("").is_empty());
+    }
+
+    #[test]
+    fn advance_walks_the_odometer() {
+        let mut path = vec![
+            Decision { options: 2, idx: 0 },
+            Decision { options: 3, idx: 2 },
+        ];
+        assert!(advance(&mut path)); // deepest exhausted -> bump shallower
+        assert_eq!(path.len(), 1);
+        assert_eq!(path[0].idx, 1);
+        assert!(!advance(&mut vec![Decision { options: 2, idx: 1 }]));
+    }
+}

@@ -1,0 +1,895 @@
+//! The cooperative scheduler and schedule explorer behind the `sync` facade.
+//!
+//! Model threads are real OS threads, but a baton (the `running` field of
+//! [`SchedState`]) ensures exactly one executes between yield points. Every
+//! instrumented operation (atomic access, mutex lock, condvar wait, spawn,
+//! join, [`RaceCell`](crate::cell::RaceCell) access) is a *yield point*: the
+//! running thread asks the scheduler which thread runs next. Each such choice
+//! is a node in the schedule tree; the explorer enumerates the tree
+//! depth-first with a CHESS-style preemption bound, or samples it with a
+//! seeded RNG in fuzz mode.
+//!
+//! Happens-before is tracked with one vector clock per thread plus one per
+//! mutex (release→acquire), per atomic location (release-store → acquire-load,
+//! with relaxed stores breaking the release sequence) and per
+//! [`RaceCell`](crate::cell::RaceCell) (FastTrack-style epochs); unordered
+//! cell accesses are reported as data races with a replayable schedule.
+
+use std::collections::HashMap;
+use std::panic::panic_any;
+use std::sync::atomic::{AtomicU64, Ordering as StdOrdering};
+use std::sync::Arc;
+use std::sync::{Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+
+use crate::{Failure, FailureKind};
+
+/// Panic payload used to tear down model threads once a failure has been
+/// recorded (or the explorer is resetting). Spawn wrappers swallow it.
+pub(crate) struct ModelAbort;
+
+/// Cap on recorded trace events per execution; failures past this point
+/// still report, but the printed trace is truncated at the front.
+const TRACE_CAP: usize = 2048;
+
+// ---------------------------------------------------------------------------
+// Thread-local model context
+// ---------------------------------------------------------------------------
+
+/// Identity of a model thread: the runtime it belongs to and its thread id.
+#[derive(Clone)]
+pub(crate) struct Ctx {
+    pub(crate) rt: Arc<Runtime>,
+    pub(crate) tid: usize,
+}
+
+thread_local! {
+    static CTX: std::cell::RefCell<Option<Ctx>> = const { std::cell::RefCell::new(None) };
+}
+
+pub(crate) fn current_ctx() -> Option<Ctx> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+pub(crate) fn set_ctx(ctx: Option<Ctx>) {
+    CTX.with(|c| *c.borrow_mut() = ctx);
+}
+
+/// True when the calling OS thread is participating in a model execution.
+/// Used by the panic-hook guard to silence expected per-schedule panics.
+pub(crate) fn in_model() -> bool {
+    CTX.with(|c| c.borrow().is_some())
+}
+
+/// Process-wide id well for facade objects (mutexes, condvars, atomics,
+/// cells). Ids are assigned lazily on first instrumented use, so `const fn
+/// new` stays possible; 0 means "not yet assigned".
+static NEXT_OBJECT_ID: AtomicU64 = AtomicU64::new(1);
+
+pub(crate) fn fresh_object_id() -> u64 {
+    NEXT_OBJECT_ID.fetch_add(1, StdOrdering::Relaxed)
+}
+
+// ---------------------------------------------------------------------------
+// Vector clocks
+// ---------------------------------------------------------------------------
+
+/// A vector clock over model-thread ids. Component `t` counts thread `t`'s
+/// release-class events (unlocks, release stores, tracked cell accesses).
+#[derive(Clone, Default, Debug)]
+pub(crate) struct VClock(Vec<u64>);
+
+impl VClock {
+    fn get(&self, t: usize) -> u64 {
+        self.0.get(t).copied().unwrap_or(0)
+    }
+
+    fn set(&mut self, t: usize, v: u64) {
+        if self.0.len() <= t {
+            self.0.resize(t + 1, 0);
+        }
+        self.0[t] = v;
+    }
+
+    fn tick(&mut self, t: usize) {
+        let v = self.get(t);
+        self.set(t, v + 1);
+    }
+
+    fn join(&mut self, other: &VClock) {
+        for (t, &v) in other.0.iter().enumerate() {
+            if v > self.get(t) {
+                self.set(t, v);
+            }
+        }
+    }
+
+    fn clear(&mut self) {
+        self.0.clear();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler state
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Status {
+    Runnable,
+    BlockedMutex(u64),
+    /// Waiting on condvar `.0`, will reacquire mutex `.1` once notified.
+    BlockedCondvar(u64, u64),
+    BlockedJoin(usize),
+    Finished,
+}
+
+struct ThreadRec {
+    status: Status,
+    clock: VClock,
+    name: String,
+}
+
+#[derive(Default)]
+struct MutexState {
+    locked: bool,
+    /// Joined clocks of all past unlockers; acquirers join this.
+    clock: VClock,
+}
+
+#[derive(Default)]
+struct AtomicState {
+    /// Clock an acquire load of the current value synchronizes with.
+    /// Release stores set it, relaxed stores clear it (broken release
+    /// sequence), RMWs preserve or extend it.
+    release: VClock,
+}
+
+#[derive(Default)]
+struct CellState {
+    /// FastTrack-style epoch of the last write: (writer tid, writer tick).
+    write_tid: usize,
+    write_tick: u64,
+    has_write: bool,
+    /// Per-thread epoch of each thread's last read.
+    reads: VClock,
+}
+
+/// How the explorer picks a branch when the recorded path runs out.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Mode {
+    /// Depth-first: always take branch 0, extend the path.
+    Dfs,
+    /// Seeded xorshift choice at every fresh branch.
+    Random,
+    /// Follow a user-provided decision string; branch 0 past its end.
+    Replay,
+}
+
+/// One branch point: how many options existed and which index was taken.
+#[derive(Clone, Debug)]
+pub(crate) struct Decision {
+    pub(crate) options: usize,
+    pub(crate) idx: usize,
+}
+
+pub(crate) struct SchedState {
+    threads: Vec<ThreadRec>,
+    /// Thread id holding the baton. `usize::MAX` once the execution is done.
+    running: usize,
+    /// Spawned model OS threads that have not yet exited their wrapper.
+    live_os: usize,
+    mutexes: HashMap<u64, MutexState>,
+    atomics: HashMap<u64, AtomicState>,
+    cells: HashMap<u64, CellState>,
+    mode: Mode,
+    path: Vec<Decision>,
+    pos: usize,
+    preemptions: usize,
+    bound: usize,
+    steps: usize,
+    max_steps: usize,
+    rng: u64,
+    trace: Vec<String>,
+    dropped_trace: usize,
+    failure: Option<Failure>,
+    aborting: bool,
+}
+
+impl SchedState {
+    fn trace(&mut self, tid: usize, what: &str) {
+        if self.trace.len() >= TRACE_CAP {
+            self.trace.remove(0);
+            self.dropped_trace += 1;
+        }
+        let name = &self.threads[tid].name;
+        self.trace.push(format!("t{tid} ({name}): {what}"));
+    }
+
+    fn all_finished(&self) -> bool {
+        self.threads.iter().all(|t| t.status == Status::Finished)
+    }
+
+    /// Picks an index in `0..options_len`, replaying the recorded path
+    /// prefix and extending it per the exploration mode past its end.
+    fn choose(&mut self, options_len: usize) -> usize {
+        if options_len <= 1 {
+            return 0;
+        }
+        let idx = if self.pos < self.path.len() {
+            let d = &mut self.path[self.pos];
+            d.options = options_len;
+            d.idx.min(options_len - 1)
+        } else {
+            let idx = match self.mode {
+                Mode::Dfs | Mode::Replay => 0,
+                Mode::Random => (xorshift(&mut self.rng) % options_len as u64) as usize,
+            };
+            self.path.push(Decision {
+                options: options_len,
+                idx,
+            });
+            idx
+        };
+        self.pos += 1;
+        idx
+    }
+
+    /// Chooses the next thread to run. `me_runnable` distinguishes a
+    /// voluntary yield (branch, possibly a preemption) from a forced switch
+    /// (the current thread just blocked or finished). `None` means no thread
+    /// can run — deadlock unless everything has finished.
+    fn schedule_next(&mut self, me: usize, me_runnable: bool) -> Option<usize> {
+        let mut options: Vec<usize> = Vec::new();
+        if me_runnable {
+            options.push(me);
+        }
+        for (t, rec) in self.threads.iter().enumerate() {
+            if t != me && rec.status == Status::Runnable {
+                options.push(t);
+            }
+        }
+        if options.is_empty() {
+            return None;
+        }
+        let len = if me_runnable && self.preemptions >= self.bound {
+            1 // budget exhausted: forced to continue the current thread
+        } else {
+            options.len()
+        };
+        let next = options[self.choose(len)];
+        if me_runnable && next != me {
+            self.preemptions += 1;
+        }
+        Some(next)
+    }
+
+    fn describe_stuck(&self) -> String {
+        let mut lines = Vec::new();
+        for (t, rec) in self.threads.iter().enumerate() {
+            let s = match rec.status {
+                Status::Runnable => "runnable".to_string(),
+                Status::BlockedMutex(m) => format!("blocked locking m{m}"),
+                Status::BlockedCondvar(c, m) => {
+                    format!("waiting on cv{c} (to reacquire m{m})")
+                }
+                Status::BlockedJoin(j) => format!("joining t{j}"),
+                Status::Finished => "finished".to_string(),
+            };
+            lines.push(format!("t{t} ({}): {s}", rec.name));
+        }
+        lines.join("; ")
+    }
+}
+
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+pub(crate) fn decision_string(path: &[Decision]) -> String {
+    path.iter()
+        .map(|d| d.idx.to_string())
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Advances the DFS odometer: bumps the deepest unexhausted decision and
+/// truncates everything below it. Returns false when the tree is exhausted.
+pub(crate) fn advance(path: &mut Vec<Decision>) -> bool {
+    while let Some(last) = path.last_mut() {
+        if last.idx + 1 < last.options {
+            last.idx += 1;
+            return true;
+        }
+        path.pop();
+    }
+    false
+}
+
+// ---------------------------------------------------------------------------
+// Runtime
+// ---------------------------------------------------------------------------
+
+/// What an atomic operation does, for happens-before purposes.
+#[derive(Clone, Copy)]
+pub(crate) enum AtomicAccess {
+    Load,
+    Store,
+    Rmw,
+}
+
+/// One model execution's shared scheduler; lives for a whole `explore` call
+/// and is reset between schedules.
+pub(crate) struct Runtime {
+    state: StdMutex<SchedState>,
+    cv: StdCondvar,
+}
+
+impl Runtime {
+    pub(crate) fn new() -> Runtime {
+        Runtime {
+            state: StdMutex::new(SchedState {
+                threads: Vec::new(),
+                running: 0,
+                live_os: 0,
+                mutexes: HashMap::new(),
+                atomics: HashMap::new(),
+                cells: HashMap::new(),
+                mode: Mode::Dfs,
+                path: Vec::new(),
+                pos: 0,
+                preemptions: 0,
+                bound: usize::MAX,
+                steps: 0,
+                max_steps: usize::MAX,
+                rng: 1,
+                trace: Vec::new(),
+                dropped_trace: 0,
+                failure: None,
+                aborting: false,
+            }),
+            cv: StdCondvar::new(),
+        }
+    }
+
+    /// A panicking model thread may poison the state mutex; the state is
+    /// only ever mutated under serialization, so recovery is always sound.
+    fn lock_state(&self) -> StdMutexGuard<'_, SchedState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Arms the runtime for one execution with the given decision-path
+    /// prefix. Thread 0 (the test closure) is registered and running.
+    pub(crate) fn reset(
+        &self,
+        path: Vec<Decision>,
+        mode: Mode,
+        bound: usize,
+        max_steps: usize,
+        rng: u64,
+    ) {
+        let mut st = self.lock_state();
+        st.threads.clear();
+        st.threads.push(ThreadRec {
+            status: Status::Runnable,
+            clock: VClock::default(),
+            name: "main".to_string(),
+        });
+        st.running = 0;
+        st.live_os = 0;
+        st.mutexes.clear();
+        st.atomics.clear();
+        st.cells.clear();
+        st.mode = mode;
+        st.path = path;
+        st.pos = 0;
+        st.preemptions = 0;
+        st.bound = bound;
+        st.steps = 0;
+        st.max_steps = max_steps;
+        st.rng = if rng == 0 { 0x9E37_79B9_7F4A_7C15 } else { rng };
+        st.trace.clear();
+        st.dropped_trace = 0;
+        st.failure = None;
+        st.aborting = false;
+    }
+
+    /// Harvests the outcome of the last execution: the (possibly extended)
+    /// decision path and the failure, if any.
+    pub(crate) fn take_outcome(&self) -> (Vec<Decision>, Option<Failure>, u64) {
+        let mut st = self.lock_state();
+        (std::mem::take(&mut st.path), st.failure.take(), st.rng)
+    }
+
+    pub(crate) fn is_aborting(&self) -> bool {
+        self.lock_state().aborting
+    }
+
+    fn fail(&self, st: &mut SchedState, kind: FailureKind, message: String) {
+        if st.failure.is_none() {
+            let mut trace = st.trace.clone();
+            if st.dropped_trace > 0 {
+                trace.insert(
+                    0,
+                    format!("... {} earlier events dropped", st.dropped_trace),
+                );
+            }
+            st.failure = Some(Failure {
+                kind,
+                message,
+                schedule: decision_string(&st.path),
+                trace,
+            });
+        }
+        st.aborting = true;
+        self.cv.notify_all();
+    }
+
+    /// Waits until this thread holds the baton again; panics with
+    /// [`ModelAbort`] if the execution is being torn down.
+    fn wait_for_baton<'a>(
+        &'a self,
+        mut st: StdMutexGuard<'a, SchedState>,
+        me: usize,
+    ) -> StdMutexGuard<'a, SchedState> {
+        loop {
+            if st.aborting {
+                drop(st);
+                panic_any(ModelAbort);
+            }
+            if st.running == me {
+                return st;
+            }
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// The current thread blocks (its status is already set); hands the
+    /// baton to some runnable thread or reports a deadlock.
+    fn block_and_wait<'a>(
+        &'a self,
+        mut st: StdMutexGuard<'a, SchedState>,
+        me: usize,
+    ) -> StdMutexGuard<'a, SchedState> {
+        match st.schedule_next(me, false) {
+            Some(next) => {
+                st.running = next;
+                self.cv.notify_all();
+            }
+            None => {
+                let msg = format!("deadlock: no runnable thread — {}", st.describe_stuck());
+                self.fail(&mut st, FailureKind::Deadlock, msg);
+                drop(st);
+                panic_any(ModelAbort);
+            }
+        }
+        self.wait_for_baton(st, me)
+    }
+
+    /// Voluntary yield point ahead of an instrumented operation. Returns
+    /// false when the model run is aborting and the caller should fall
+    /// through to plain `std` behaviour.
+    pub(crate) fn yield_op(&self, me: usize, what: &str) -> bool {
+        let mut st = self.lock_state();
+        if st.aborting {
+            return false;
+        }
+        st.steps += 1;
+        if st.steps > st.max_steps {
+            let max = st.max_steps;
+            let msg = format!("exceeded {max} yield points in one schedule — livelock?");
+            self.fail(&mut st, FailureKind::StepLimit, msg);
+            drop(st);
+            panic_any(ModelAbort);
+        }
+        st.trace(me, what);
+        // `me` is running, hence runnable: schedule_next cannot return None.
+        if let Some(next) = st.schedule_next(me, true) {
+            if next != me {
+                st.running = next;
+                self.cv.notify_all();
+                let st = self.wait_for_baton(st, me);
+                drop(st);
+            }
+        }
+        true
+    }
+
+    // -- mutexes ----------------------------------------------------------
+
+    pub(crate) fn mutex_lock(&self, me: usize, oid: u64) -> bool {
+        if !self.yield_op(me, &format!("lock m{oid}")) {
+            return false;
+        }
+        let mut st = self.lock_state();
+        loop {
+            if st.aborting {
+                return false;
+            }
+            if !st.mutexes.entry(oid).or_default().locked {
+                let m = st.mutexes.get_mut(&oid).expect("mutex state just inserted");
+                m.locked = true;
+                let clock = m.clock.clone();
+                st.threads[me].clock.join(&clock);
+                st.trace(me, &format!("acquired m{oid}"));
+                return true;
+            }
+            st.threads[me].status = Status::BlockedMutex(oid);
+            st.trace(me, &format!("blocked on m{oid}"));
+            st = self.block_and_wait(st, me);
+        }
+    }
+
+    fn unlock_locked(st: &mut SchedState, me: usize, oid: u64) {
+        let clock = st.threads[me].clock.clone();
+        st.threads[me].clock.tick(me);
+        let m = st.mutexes.entry(oid).or_default();
+        m.locked = false;
+        m.clock.join(&clock);
+        for rec in st.threads.iter_mut() {
+            if rec.status == Status::BlockedMutex(oid) {
+                rec.status = Status::Runnable;
+            }
+        }
+        st.trace(me, &format!("released m{oid}"));
+    }
+
+    /// Unlock is deliberately *not* a yield point: between the release and
+    /// the unlocker's next instrumented access no shared state is touched,
+    /// so exploring the switch adds schedules without adding behaviours.
+    pub(crate) fn mutex_unlock(&self, me: usize, oid: u64) {
+        let mut st = self.lock_state();
+        if st.aborting {
+            return;
+        }
+        Self::unlock_locked(&mut st, me, oid);
+    }
+
+    // -- condvars ---------------------------------------------------------
+
+    /// Models `Condvar::wait` (and `wait_timeout`, whose timeout never fires
+    /// in the model: a lost wakeup must surface as a deadlock, not be papered
+    /// over by a timeout). Releases `mid`, blocks until notified, reacquires.
+    pub(crate) fn condvar_wait(&self, me: usize, cvid: u64, mid: u64) -> bool {
+        let mut st = self.lock_state();
+        if st.aborting {
+            return false;
+        }
+        Self::unlock_locked(&mut st, me, mid);
+        st.threads[me].status = Status::BlockedCondvar(cvid, mid);
+        st.trace(me, &format!("waiting on cv{cvid} (released m{mid})"));
+        st = self.block_and_wait(st, me);
+        // Notified; reacquire the mutex like any other contender.
+        loop {
+            if st.aborting {
+                return false;
+            }
+            if !st.mutexes.entry(mid).or_default().locked {
+                let m = st.mutexes.get_mut(&mid).expect("mutex state just inserted");
+                m.locked = true;
+                let clock = m.clock.clone();
+                st.threads[me].clock.join(&clock);
+                st.trace(me, &format!("woke on cv{cvid}, reacquired m{mid}"));
+                return true;
+            }
+            st.threads[me].status = Status::BlockedMutex(mid);
+            st = self.block_and_wait(st, me);
+        }
+    }
+
+    /// Condvars carry no happens-before of their own (the mutex does), so
+    /// notify only flips waiter statuses; it is not a yield point.
+    pub(crate) fn condvar_notify(&self, me: usize, cvid: u64, all: bool) {
+        let mut st = self.lock_state();
+        if st.aborting {
+            return;
+        }
+        let waiters: Vec<usize> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| matches!(r.status, Status::BlockedCondvar(c, _) if c == cvid))
+            .map(|(t, _)| t)
+            .collect();
+        if waiters.is_empty() {
+            st.trace(me, &format!("notify cv{cvid} (no waiters)"));
+            return;
+        }
+        if all {
+            for &t in &waiters {
+                st.threads[t].status = Status::Runnable;
+            }
+            st.trace(me, &format!("notify_all cv{cvid} woke {waiters:?}"));
+        } else {
+            // Which waiter receives a notify_one is a genuine branch.
+            let victim = waiters[st.choose(waiters.len())];
+            st.threads[victim].status = Status::Runnable;
+            st.trace(me, &format!("notify_one cv{cvid} woke t{victim}"));
+        }
+    }
+
+    // -- atomics ----------------------------------------------------------
+
+    /// Applies the happens-before effect of an atomic access that the facade
+    /// has just performed on the real value. Not a yield point: the caller
+    /// already passed through [`Runtime::yield_op`] for this access.
+    pub(crate) fn atomic_effect(
+        &self,
+        me: usize,
+        oid: u64,
+        access: AtomicAccess,
+        ord: std::sync::atomic::Ordering,
+    ) {
+        let mut st = self.lock_state();
+        if st.aborting {
+            return;
+        }
+        let acquire = matches!(
+            ord,
+            StdOrdering::Acquire | StdOrdering::AcqRel | StdOrdering::SeqCst
+        );
+        let release = matches!(
+            ord,
+            StdOrdering::Release | StdOrdering::AcqRel | StdOrdering::SeqCst
+        );
+        match access {
+            AtomicAccess::Load => {
+                if acquire {
+                    let clock = st.atomics.entry(oid).or_default().release.clone();
+                    st.threads[me].clock.join(&clock);
+                }
+            }
+            AtomicAccess::Store => {
+                if release {
+                    let clock = st.threads[me].clock.clone();
+                    st.threads[me].clock.tick(me);
+                    st.atomics.entry(oid).or_default().release = clock;
+                } else {
+                    // A relaxed store breaks the release sequence: a later
+                    // acquire load of this value synchronizes with nothing.
+                    st.atomics.entry(oid).or_default().release.clear();
+                }
+            }
+            AtomicAccess::Rmw => {
+                if acquire {
+                    let clock = st.atomics.entry(oid).or_default().release.clone();
+                    st.threads[me].clock.join(&clock);
+                }
+                if release {
+                    let clock = st.threads[me].clock.clone();
+                    st.threads[me].clock.tick(me);
+                    st.atomics.entry(oid).or_default().release.join(&clock);
+                }
+                // A relaxed RMW leaves the release clock intact: RMWs
+                // continue an existing release sequence.
+            }
+        }
+    }
+
+    // -- race cells -------------------------------------------------------
+
+    pub(crate) fn cell_access(&self, me: usize, oid: u64, write: bool) -> bool {
+        let what = if write { "cell write" } else { "cell read" };
+        if !self.yield_op(me, &format!("{what} c{oid}")) {
+            return false;
+        }
+        let mut st = self.lock_state();
+        if st.aborting {
+            return false;
+        }
+        // Every tracked access gets a fresh epoch so "synchronized at the
+        // same tick" can never be confused with "concurrent".
+        st.threads[me].clock.tick(me);
+        let my_clock = st.threads[me].clock.clone();
+        let cell = st.cells.entry(oid).or_default();
+        let racy_write = cell.has_write && my_clock.get(cell.write_tid) < cell.write_tick;
+        if racy_write {
+            let (wt, wk) = (cell.write_tid, cell.write_tick);
+            let msg = format!(
+                "data race on cell c{oid}: {what} by t{me} is concurrent with write by t{wt} (epoch {wk})",
+            );
+            self.fail(&mut st, FailureKind::DataRace, msg);
+            drop(st);
+            panic_any(ModelAbort);
+        }
+        if write {
+            let racy_read = cell
+                .reads
+                .0
+                .iter()
+                .enumerate()
+                .any(|(t, &k)| k > 0 && my_clock.get(t) < k);
+            if racy_read {
+                let msg = format!(
+                    "data race on cell c{oid}: write by t{me} is concurrent with an earlier read",
+                );
+                self.fail(&mut st, FailureKind::DataRace, msg);
+                drop(st);
+                panic_any(ModelAbort);
+            }
+            cell.write_tid = me;
+            cell.write_tick = my_clock.get(me);
+            cell.has_write = true;
+            cell.reads.clear();
+        } else {
+            let k = my_clock.get(me);
+            cell.reads.set(me, k);
+        }
+        true
+    }
+
+    // -- threads ----------------------------------------------------------
+
+    /// Registers a child thread (runnable, clock inherited from the parent).
+    pub(crate) fn register_thread(&self, parent: usize, name: String) -> usize {
+        let mut st = self.lock_state();
+        st.threads[parent].clock.tick(parent);
+        let clock = st.threads[parent].clock.clone();
+        let tid = st.threads.len();
+        st.threads.push(ThreadRec {
+            status: Status::Runnable,
+            clock,
+            name,
+        });
+        st.live_os += 1;
+        st.trace(parent, &format!("spawned t{tid}"));
+        tid
+    }
+
+    /// Called by a child wrapper before running its closure: waits until the
+    /// scheduler hands it the baton for the first time.
+    pub(crate) fn child_enter(&self, me: usize) {
+        let st = self.lock_state();
+        let st = self.wait_for_baton(st, me);
+        drop(st);
+    }
+
+    /// Called by a child wrapper on the way out (normal return, test panic
+    /// or [`ModelAbort`]); `panic_msg` carries a non-abort panic message.
+    pub(crate) fn child_exit(&self, me: usize, panic_msg: Option<String>) {
+        let mut st = self.lock_state();
+        st.live_os -= 1;
+        st.threads[me].status = Status::Finished;
+        for rec in st.threads.iter_mut() {
+            if rec.status == Status::BlockedJoin(me) {
+                rec.status = Status::Runnable;
+            }
+        }
+        st.trace(me, "exited");
+        if let Some(msg) = panic_msg {
+            self.fail(
+                &mut st,
+                FailureKind::Panic,
+                format!("model thread t{me} panicked: {msg}"),
+            );
+            return;
+        }
+        if st.aborting {
+            self.cv.notify_all(); // let the explorer observe live_os
+            return;
+        }
+        if st.running == me {
+            match st.schedule_next(me, false) {
+                Some(next) => {
+                    st.running = next;
+                    self.cv.notify_all();
+                }
+                None => {
+                    if st.all_finished() {
+                        st.running = usize::MAX;
+                        self.cv.notify_all();
+                    } else {
+                        let msg = format!(
+                            "deadlock: no runnable thread after t{me} exited — {}",
+                            st.describe_stuck()
+                        );
+                        self.fail(&mut st, FailureKind::Deadlock, msg);
+                    }
+                }
+            }
+        } else {
+            self.cv.notify_all();
+        }
+    }
+
+    pub(crate) fn join_thread(&self, me: usize, target: usize) -> bool {
+        if !self.yield_op(me, &format!("join t{target}")) {
+            return false;
+        }
+        let mut st = self.lock_state();
+        if st.aborting {
+            return false;
+        }
+        if st.threads[target].status != Status::Finished {
+            st.threads[me].status = Status::BlockedJoin(target);
+            st.trace(me, &format!("blocked joining t{target}"));
+            st = self.block_and_wait(st, me);
+            if st.aborting {
+                return false;
+            }
+        }
+        let clock = st.threads[target].clock.clone();
+        st.threads[me].clock.join(&clock);
+        st.trace(me, &format!("joined t{target}"));
+        true
+    }
+
+    // -- execution boundary ----------------------------------------------
+
+    /// Thread 0's closure returned normally: mark it finished, let any
+    /// still-runnable threads drain, then wait for all model OS threads to
+    /// exit. Threads still *blocked* at this point are a lost wakeup /
+    /// leaked-thread failure.
+    pub(crate) fn finish_main(&self) {
+        let mut st = self.lock_state();
+        if !st.aborting {
+            st.threads[0].status = Status::Finished;
+            for rec in st.threads.iter_mut() {
+                if rec.status == Status::BlockedJoin(0) {
+                    rec.status = Status::Runnable;
+                }
+            }
+            if st.running == 0 {
+                match st.schedule_next(0, false) {
+                    Some(next) => {
+                        st.running = next;
+                        self.cv.notify_all();
+                    }
+                    None => {
+                        if !st.all_finished() {
+                            let msg = format!(
+                                "threads still blocked when the test body returned \
+                                 (lost wakeup or leaked thread) — {}",
+                                st.describe_stuck()
+                            );
+                            self.fail(&mut st, FailureKind::Deadlock, msg);
+                        } else {
+                            st.running = usize::MAX;
+                        }
+                    }
+                }
+            }
+        }
+        self.drain_os_threads(st);
+    }
+
+    /// Tears down a failed or panicked execution: wake everything with
+    /// [`ModelAbort`] and wait for the model OS threads to exit.
+    pub(crate) fn abort_and_drain(&self) {
+        let mut st = self.lock_state();
+        st.aborting = true;
+        self.cv.notify_all();
+        self.drain_os_threads(st);
+    }
+
+    /// Records a panic that unwound out of the thread-0 closure.
+    pub(crate) fn record_main_panic(&self, msg: String) {
+        let mut st = self.lock_state();
+        self.fail(
+            &mut st,
+            FailureKind::Panic,
+            format!("test body panicked: {msg}"),
+        );
+    }
+
+    fn drain_os_threads(&self, mut st: StdMutexGuard<'_, SchedState>) {
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        while st.live_os > 0 {
+            let timeout = deadline.saturating_duration_since(std::time::Instant::now());
+            if timeout.is_zero() {
+                panic!(
+                    "mixen-check: model OS threads failed to exit within 30s — {}",
+                    st.describe_stuck()
+                );
+            }
+            let (guard, _) = self
+                .cv
+                .wait_timeout(st, timeout)
+                .unwrap_or_else(|e| e.into_inner());
+            st = guard;
+        }
+    }
+}

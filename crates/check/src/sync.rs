@@ -1,0 +1,472 @@
+//! Instrumented drop-in replacements for the `std::sync` primitives the
+//! Mixen crates use.
+//!
+//! Outside a model execution (no [`explore`](crate::explore) on the calling
+//! thread's stack) every type delegates straight to its `std` counterpart,
+//! so a crate compiled with its `model-check` feature but running normal
+//! tests behaves exactly like `std`. Inside a model execution each operation
+//! is a scheduler yield point and feeds the vector-clock machinery.
+
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::AtomicU64 as IdCell;
+use std::sync::atomic::Ordering as IdOrd;
+use std::sync::{
+    Condvar as StdCondvar, LockResult, Mutex as StdMutex, MutexGuard as StdMutexGuard, PoisonError,
+    TryLockError,
+};
+use std::time::Duration;
+
+use crate::runtime::{current_ctx, fresh_object_id, AtomicAccess, Ctx};
+
+/// Lazily assigns a process-unique object id (0 = unassigned) so facade
+/// types keep `const fn new`.
+fn assign_oid(slot: &IdCell) -> u64 {
+    let id = slot.load(IdOrd::Relaxed);
+    if id != 0 {
+        return id;
+    }
+    let fresh = fresh_object_id();
+    match slot.compare_exchange(0, fresh, IdOrd::Relaxed, IdOrd::Relaxed) {
+        Ok(_) => fresh,
+        Err(raced) => raced,
+    }
+}
+
+/// The model-active context, if the calling thread is a model thread.
+fn model_ctx() -> Option<Ctx> {
+    current_ctx()
+}
+
+/// Locks a real mutex, ignoring poisoning (model panics poison freely).
+fn real_lock<T>(m: &StdMutex<T>) -> StdMutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Takes a real mutex the model has just granted to this thread. The model
+/// serializes execution, so the inner lock must be free; poisoning from an
+/// earlier model panic is tolerated.
+fn real_lock_granted<T>(m: &StdMutex<T>) -> StdMutexGuard<'_, T> {
+    match m.try_lock() {
+        Ok(g) => g,
+        Err(TryLockError::Poisoned(e)) => e.into_inner(),
+        Err(TryLockError::WouldBlock) => {
+            unreachable!("mixen-check: inner mutex contended under model serialization")
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Mutex
+// ---------------------------------------------------------------------------
+
+/// Instrumented [`std::sync::Mutex`]. Lock acquisition is a yield point and
+/// a release→acquire edge in the vector-clock order.
+pub struct Mutex<T> {
+    id: IdCell,
+    inner: StdMutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new instrumented mutex.
+    pub const fn new(value: T) -> Mutex<T> {
+        Mutex {
+            id: IdCell::new(0),
+            inner: StdMutex::new(value),
+        }
+    }
+
+    fn oid(&self) -> u64 {
+        assign_oid(&self.id)
+    }
+
+    /// See [`std::sync::Mutex::lock`].
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        match model_ctx() {
+            Some(ctx) => {
+                let modeled = ctx.rt.mutex_lock(ctx.tid, self.oid());
+                let inner = if modeled {
+                    real_lock_granted(&self.inner)
+                } else {
+                    real_lock(&self.inner)
+                };
+                Ok(MutexGuard {
+                    lock: self,
+                    inner: Some(inner),
+                    model: modeled.then_some(ctx),
+                })
+            }
+            None => match self.inner.lock() {
+                Ok(inner) => Ok(MutexGuard {
+                    lock: self,
+                    inner: Some(inner),
+                    model: None,
+                }),
+                Err(poisoned) => Err(PoisonError::new(MutexGuard {
+                    lock: self,
+                    inner: Some(poisoned.into_inner()),
+                    model: None,
+                })),
+            },
+        }
+    }
+
+    /// See [`std::sync::Mutex::into_inner`].
+    pub fn into_inner(self) -> LockResult<T> {
+        self.inner.into_inner()
+    }
+
+    /// See [`std::sync::Mutex::get_mut`].
+    pub fn get_mut(&mut self) -> LockResult<&mut T> {
+        self.inner.get_mut()
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Mutex<T> {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+/// Guard returned by [`Mutex::lock`]; releasing it is the model's
+/// release-edge (not a yield point).
+pub struct MutexGuard<'a, T> {
+    lock: &'a Mutex<T>,
+    inner: Option<StdMutexGuard<'a, T>>,
+    /// `Some` when the lock was acquired through the model scheduler.
+    model: Option<Ctx>,
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard accessed after teardown")
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard accessed after teardown")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the real lock first so the "model says free ⇒ real lock
+        // free" invariant holds when the next model thread acquires.
+        drop(self.inner.take());
+        if let Some(ctx) = self.model.take() {
+            ctx.rt.mutex_unlock(ctx.tid, self.lock.oid());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Condvar
+// ---------------------------------------------------------------------------
+
+/// Result of [`Condvar::wait_timeout`]; in a model execution the timeout
+/// never fires (lost wakeups must surface as deadlocks).
+#[derive(Debug, Clone, Copy)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// True when the wait returned because the timeout elapsed.
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// Instrumented [`std::sync::Condvar`]. `wait` blocks until an explicit
+/// notify; `notify_one` explores the choice of which waiter wakes.
+pub struct Condvar {
+    id: IdCell,
+    inner: StdCondvar,
+}
+
+impl Condvar {
+    /// Creates a new instrumented condition variable.
+    pub const fn new() -> Condvar {
+        Condvar {
+            id: IdCell::new(0),
+            inner: StdCondvar::new(),
+        }
+    }
+
+    fn oid(&self) -> u64 {
+        assign_oid(&self.id)
+    }
+
+    fn wait_model<'a, T>(&self, mut guard: MutexGuard<'a, T>, ctx: Ctx) -> MutexGuard<'a, T> {
+        let lock = guard.lock;
+        // Disarm the guard: the model wait releases/reacquires explicitly.
+        guard.model = None;
+        drop(guard.inner.take());
+        drop(guard);
+        let modeled = self.wait_model_inner(&ctx, lock.oid());
+        let inner = if modeled {
+            real_lock_granted(&lock.inner)
+        } else {
+            real_lock(&lock.inner)
+        };
+        MutexGuard {
+            lock,
+            inner: Some(inner),
+            model: modeled.then_some(ctx),
+        }
+    }
+
+    fn wait_model_inner(&self, ctx: &Ctx, mid: u64) -> bool {
+        ctx.rt.condvar_wait(ctx.tid, self.oid(), mid)
+    }
+
+    /// See [`std::sync::Condvar::wait`].
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        match guard.model.clone() {
+            Some(ctx) => Ok(self.wait_model(guard, ctx)),
+            None => {
+                let lock = guard.lock;
+                let inner = guard.inner.take().expect("guard accessed after teardown");
+                drop(guard);
+                match self.inner.wait(inner) {
+                    Ok(inner) => Ok(MutexGuard {
+                        lock,
+                        inner: Some(inner),
+                        model: None,
+                    }),
+                    Err(poisoned) => Err(PoisonError::new(MutexGuard {
+                        lock,
+                        inner: Some(poisoned.into_inner()),
+                        model: None,
+                    })),
+                }
+            }
+        }
+    }
+
+    /// See [`std::sync::Condvar::wait_timeout`]. Under the model the
+    /// duration is ignored and the wait never times out: a protocol that
+    /// needs the timeout to make progress has a lost-wakeup bug, and the
+    /// model reports it as a deadlock instead of masking it.
+    pub fn wait_timeout<'a, T>(
+        &self,
+        mut guard: MutexGuard<'a, T>,
+        dur: Duration,
+    ) -> LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+        match guard.model.clone() {
+            Some(ctx) => Ok((self.wait_model(guard, ctx), WaitTimeoutResult(false))),
+            None => {
+                let lock = guard.lock;
+                let inner = guard.inner.take().expect("guard accessed after teardown");
+                drop(guard);
+                match self.inner.wait_timeout(inner, dur) {
+                    Ok((inner, timeout)) => Ok((
+                        MutexGuard {
+                            lock,
+                            inner: Some(inner),
+                            model: None,
+                        },
+                        WaitTimeoutResult(timeout.timed_out()),
+                    )),
+                    Err(poisoned) => {
+                        let (inner, timeout) = poisoned.into_inner();
+                        Err(PoisonError::new((
+                            MutexGuard {
+                                lock,
+                                inner: Some(inner),
+                                model: None,
+                            },
+                            WaitTimeoutResult(timeout.timed_out()),
+                        )))
+                    }
+                }
+            }
+        }
+    }
+
+    /// See [`std::sync::Condvar::notify_all`].
+    pub fn notify_all(&self) {
+        if let Some(ctx) = model_ctx() {
+            ctx.rt.condvar_notify(ctx.tid, self.oid(), true);
+        }
+        self.inner.notify_all();
+    }
+
+    /// See [`std::sync::Condvar::notify_one`].
+    pub fn notify_one(&self) {
+        if let Some(ctx) = model_ctx() {
+            ctx.rt.condvar_notify(ctx.tid, self.oid(), false);
+        }
+        self.inner.notify_one();
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Condvar {
+        Condvar::new()
+    }
+}
+
+impl std::fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Condvar").finish_non_exhaustive()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Atomics
+// ---------------------------------------------------------------------------
+
+/// Instrumented atomic integer and boolean types.
+///
+/// Each operation is a scheduler yield point; the claimed [`Ordering`]
+/// drives the vector-clock happens-before edges (relaxed stores break the
+/// release sequence, acquire loads join the location's release clock).
+///
+/// [`Ordering`]: std::sync::atomic::Ordering
+pub mod atomic {
+    pub use std::sync::atomic::Ordering;
+
+    use super::{assign_oid, model_ctx, AtomicAccess, IdCell};
+
+    macro_rules! instrumented_atomic {
+        ($(#[$doc:meta])* $name:ident, $std:ident, $ty:ty, extras = [$($extra:ident),*]) => {
+            $(#[$doc])*
+            pub struct $name {
+                id: IdCell,
+                inner: std::sync::atomic::$std,
+            }
+
+            impl $name {
+                /// Creates a new instrumented atomic.
+                pub const fn new(value: $ty) -> $name {
+                    $name {
+                        id: IdCell::new(0),
+                        inner: std::sync::atomic::$std::new(value),
+                    }
+                }
+
+                fn note(&self, access: AtomicAccess, ord: Ordering, what: &str) {
+                    if let Some(ctx) = model_ctx() {
+                        let oid = assign_oid(&self.id);
+                        if ctx.rt.yield_op(ctx.tid, what) {
+                            ctx.rt.atomic_effect(ctx.tid, oid, access, ord);
+                        }
+                    }
+                }
+
+                /// See the `std` atomic `load`.
+                pub fn load(&self, ord: Ordering) -> $ty {
+                    self.note(AtomicAccess::Load, ord, concat!(stringify!($std), " load"));
+                    self.inner.load(ord)
+                }
+
+                /// See the `std` atomic `store`.
+                pub fn store(&self, value: $ty, ord: Ordering) {
+                    self.note(AtomicAccess::Store, ord, concat!(stringify!($std), " store"));
+                    self.inner.store(value, ord);
+                }
+
+                /// See the `std` atomic `swap`.
+                pub fn swap(&self, value: $ty, ord: Ordering) -> $ty {
+                    self.note(AtomicAccess::Rmw, ord, concat!(stringify!($std), " swap"));
+                    self.inner.swap(value, ord)
+                }
+
+                /// See the `std` atomic `compare_exchange`. The success
+                /// ordering applies as an RMW on success, the failure
+                /// ordering as a load on failure.
+                pub fn compare_exchange(
+                    &self,
+                    current: $ty,
+                    new: $ty,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$ty, $ty> {
+                    let ctx = model_ctx();
+                    let yielded = match &ctx {
+                        Some(c) => c
+                            .rt
+                            .yield_op(c.tid, concat!(stringify!($std), " compare_exchange")),
+                        None => false,
+                    };
+                    let result = self.inner.compare_exchange(current, new, success, failure);
+                    if yielded {
+                        if let Some(c) = &ctx {
+                            let oid = assign_oid(&self.id);
+                            match &result {
+                                Ok(_) => c.rt.atomic_effect(c.tid, oid, AtomicAccess::Rmw, success),
+                                Err(_) => {
+                                    c.rt.atomic_effect(c.tid, oid, AtomicAccess::Load, failure)
+                                }
+                            }
+                        }
+                    }
+                    result
+                }
+
+                /// See the `std` atomic `compare_exchange_weak`. The model
+                /// never fails spuriously (it uses the strong variant), which
+                /// only prunes retry-loop schedules, never adds behaviours.
+                pub fn compare_exchange_weak(
+                    &self,
+                    current: $ty,
+                    new: $ty,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$ty, $ty> {
+                    self.compare_exchange(current, new, success, failure)
+                }
+
+                /// See the `std` atomic `into_inner`.
+                pub fn into_inner(self) -> $ty {
+                    self.inner.into_inner()
+                }
+
+                $(instrumented_atomic!(@extra $extra, $std, $ty);)*
+            }
+
+            impl std::fmt::Debug for $name {
+                fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                    self.inner.fmt(f)
+                }
+            }
+        };
+        (@extra fetch_add, $std:ident, $ty:ty) => {
+            /// See the `std` atomic `fetch_add`.
+            pub fn fetch_add(&self, value: $ty, ord: Ordering) -> $ty {
+                self.note(AtomicAccess::Rmw, ord, concat!(stringify!($std), " fetch_add"));
+                self.inner.fetch_add(value, ord)
+            }
+        };
+        (@extra fetch_sub, $std:ident, $ty:ty) => {
+            /// See the `std` atomic `fetch_sub`.
+            pub fn fetch_sub(&self, value: $ty, ord: Ordering) -> $ty {
+                self.note(AtomicAccess::Rmw, ord, concat!(stringify!($std), " fetch_sub"));
+                self.inner.fetch_sub(value, ord)
+            }
+        };
+    }
+
+    instrumented_atomic!(
+        /// Instrumented [`std::sync::atomic::AtomicBool`].
+        AtomicBool, AtomicBool, bool, extras = []
+    );
+    instrumented_atomic!(
+        /// Instrumented [`std::sync::atomic::AtomicU8`].
+        AtomicU8, AtomicU8, u8, extras = [fetch_add, fetch_sub]
+    );
+    instrumented_atomic!(
+        /// Instrumented [`std::sync::atomic::AtomicU64`].
+        AtomicU64, AtomicU64, u64, extras = [fetch_add, fetch_sub]
+    );
+    instrumented_atomic!(
+        /// Instrumented [`std::sync::atomic::AtomicUsize`].
+        AtomicUsize, AtomicUsize, usize, extras = [fetch_add, fetch_sub]
+    );
+}

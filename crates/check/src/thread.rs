@@ -1,0 +1,148 @@
+//! Instrumented thread spawn/join, mirroring the subset of [`std::thread`]
+//! the Mixen crates use (`Builder::new().name(..).spawn(..)`, `spawn`,
+//! `JoinHandle::join`).
+//!
+//! Inside a model execution, spawned closures become model threads: they
+//! run under the cooperative scheduler, their panics (other than the
+//! model's own teardown signal) are recorded as failures, and `join` is a
+//! yield point that blocks until the target finishes. Outside a model
+//! execution everything passes straight through to `std::thread`.
+
+use std::any::Any;
+use std::io;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use crate::runtime::{current_ctx, set_ctx, Ctx, ModelAbort};
+
+/// Renders a panic payload for failure messages.
+pub(crate) fn payload_msg(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Instrumented [`std::thread::Builder`].
+pub struct Builder {
+    inner: std::thread::Builder,
+}
+
+impl Builder {
+    /// Creates a builder with default settings.
+    pub fn new() -> Builder {
+        Builder {
+            inner: std::thread::Builder::new(),
+        }
+    }
+
+    /// Names the thread-to-be (also used in model failure reports).
+    pub fn name(self, name: String) -> Builder {
+        Builder {
+            inner: self.inner.name(name),
+        }
+    }
+
+    /// See [`std::thread::Builder::spawn`].
+    pub fn spawn<F, T>(self, f: F) -> io::Result<JoinHandle<T>>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        match current_ctx() {
+            Some(ctx) if !ctx.rt.is_aborting() => {
+                let rt = Arc::clone(&ctx.rt);
+                let name = thread_name(&self.inner);
+                let tid = rt.register_thread(ctx.tid, name);
+                let child_rt = Arc::clone(&rt);
+                let inner = self.inner.spawn(move || {
+                    set_ctx(Some(Ctx {
+                        rt: Arc::clone(&child_rt),
+                        tid,
+                    }));
+                    let result = catch_unwind(AssertUnwindSafe(|| {
+                        child_rt.child_enter(tid);
+                        f()
+                    }));
+                    let panic_msg = match &result {
+                        Ok(_) => None,
+                        Err(p) if p.downcast_ref::<ModelAbort>().is_some() => None,
+                        Err(p) => Some(payload_msg(p.as_ref())),
+                    };
+                    child_rt.child_exit(tid, panic_msg);
+                    set_ctx(None);
+                    result
+                })?;
+                // Spawn is a branch point: the child is runnable from here.
+                rt.yield_op(ctx.tid, "spawn handoff");
+                Ok(JoinHandle {
+                    inner,
+                    model: Some((ctx, tid)),
+                })
+            }
+            _ => {
+                let inner = self.inner.spawn(move || Ok(f()))?;
+                Ok(JoinHandle { inner, model: None })
+            }
+        }
+    }
+}
+
+impl Default for Builder {
+    fn default() -> Builder {
+        Builder::new()
+    }
+}
+
+fn thread_name(builder: &std::thread::Builder) -> String {
+    // std::thread::Builder does not expose its name; format the builder's
+    // Debug output instead of threading the name through separately.
+    let dbg = format!("{builder:?}");
+    dbg.split('"').nth(1).unwrap_or("thread").to_string()
+}
+
+/// Spawns an (optionally model-scheduled) thread with default settings.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    Builder::new().spawn(f).expect("failed to spawn thread")
+}
+
+type ThreadResult<T> = Result<T, Box<dyn Any + Send + 'static>>;
+
+/// Instrumented [`std::thread::JoinHandle`].
+pub struct JoinHandle<T> {
+    inner: std::thread::JoinHandle<ThreadResult<T>>,
+    model: Option<(Ctx, usize)>,
+}
+
+impl<T> JoinHandle<T> {
+    /// See [`std::thread::JoinHandle::join`]. In a model execution this is
+    /// a yield point; the joiner synchronizes with everything the joined
+    /// thread did.
+    pub fn join(self) -> std::thread::Result<T> {
+        if let Some((ctx, tid)) = &self.model {
+            ctx.rt.join_thread(ctx.tid, *tid);
+        }
+        match self.inner.join() {
+            Ok(result) => result,
+            Err(payload) => Err(payload),
+        }
+    }
+
+    /// See [`std::thread::JoinHandle::is_finished`].
+    pub fn is_finished(&self) -> bool {
+        self.inner.is_finished()
+    }
+}
+
+impl<T> std::fmt::Debug for JoinHandle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JoinHandle").finish_non_exhaustive()
+    }
+}

@@ -1,0 +1,254 @@
+//! Self-tests for the model checker machinery itself: known-good protocols
+//! must explore cleanly (with more than one schedule), and each failure
+//! class — data race, deadlock, lost wakeup, interleaving-dependent panic —
+//! must be caught and replayable. No Mixen crate is involved; everything
+//! here drives the facade directly.
+
+use std::sync::Arc;
+
+use mixen_check::cell::RaceCell;
+use mixen_check::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use mixen_check::sync::{Condvar, Mutex};
+use mixen_check::{check, explore, replay, thread, Config, FailureKind};
+
+#[test]
+fn mutex_orders_cell_writes() {
+    let report = check("mutex_orders_cell_writes", Config::default(), || {
+        let shared = Arc::new((Mutex::new(()), RaceCell::new(0u32)));
+        let handles: Vec<_> = (0..2)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                thread::spawn(move || {
+                    let _g = shared.0.lock().unwrap();
+                    shared.1.with_mut(|v| *v += i + 1);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let total = shared.1.load();
+        assert_eq!(total, 3);
+    });
+    assert!(
+        report.schedules > 1,
+        "explored {} schedules",
+        report.schedules
+    );
+    assert!(!report.capped);
+}
+
+#[test]
+fn unsynchronized_writes_are_a_data_race() {
+    let body = || {
+        let cell = Arc::new(RaceCell::new(0u32));
+        let cell2 = Arc::clone(&cell);
+        let t = thread::spawn(move || cell2.store(1));
+        cell.store(2);
+        t.join().unwrap();
+    };
+    let report = explore(Config::default(), body);
+    let failure = report.failure.expect("write/write race must be detected");
+    assert_eq!(failure.kind, FailureKind::DataRace);
+    assert!(failure.message.contains("data race"), "{}", failure.message);
+
+    // The printed decision string replays to the same failure class.
+    let replayed = replay(&failure.schedule, body).expect("replay must reproduce the race");
+    assert_eq!(replayed.kind, FailureKind::DataRace);
+}
+
+#[test]
+fn release_acquire_publish_is_clean_but_relaxed_is_not() {
+    // Release store / acquire load carries the cell write across threads.
+    let clean = explore(Config::default(), || {
+        let shared = Arc::new((AtomicBool::new(false), RaceCell::new(0u32)));
+        let producer = {
+            let shared = Arc::clone(&shared);
+            thread::spawn(move || {
+                shared.1.store(42);
+                shared.0.store(true, Ordering::Release);
+            })
+        };
+        if shared.0.load(Ordering::Acquire) {
+            assert_eq!(shared.1.load(), 42);
+        }
+        producer.join().unwrap();
+    });
+    assert!(clean.failure.is_none(), "{:?}", clean.failure);
+    assert!(clean.schedules > 1);
+
+    // The same protocol over relaxed orderings is flagged: the consumer's
+    // read is not ordered after the producer's write.
+    let racy = explore(Config::default(), || {
+        let shared = Arc::new((AtomicBool::new(false), RaceCell::new(0u32)));
+        let producer = {
+            let shared = Arc::clone(&shared);
+            thread::spawn(move || {
+                shared.1.store(42);
+                shared.0.store(true, Ordering::Relaxed);
+            })
+        };
+        if shared.0.load(Ordering::Relaxed) {
+            let _ = shared.1.load();
+        }
+        producer.join().unwrap();
+    });
+    let failure = racy.failure.expect("relaxed publish must be a data race");
+    assert_eq!(failure.kind, FailureKind::DataRace);
+}
+
+#[test]
+fn lock_order_inversion_deadlocks() {
+    let report = explore(Config::default(), || {
+        let locks = Arc::new((Mutex::new(()), Mutex::new(())));
+        let inverted = {
+            let locks = Arc::clone(&locks);
+            thread::spawn(move || {
+                let _a = locks.0.lock().unwrap();
+                let _b = locks.1.lock().unwrap();
+            })
+        };
+        {
+            let _b = locks.1.lock().unwrap();
+            let _a = locks.0.lock().unwrap();
+        }
+        inverted.join().unwrap();
+    });
+    let failure = report.failure.expect("AB-BA inversion must deadlock");
+    assert_eq!(failure.kind, FailureKind::Deadlock);
+    assert!(failure.message.contains("deadlock"), "{}", failure.message);
+    assert!(!failure.trace.is_empty());
+}
+
+/// The classic missed-wakeup window: the consumer checks the flag *outside*
+/// the lock and then waits without re-checking; a producer that fires in
+/// between leaves it waiting forever. Modeled `wait` never times out, so
+/// this surfaces as a deadlock — exactly what the pool's
+/// "serialize the notify against the check-then-wait window" comment and the
+/// re-check in `wait_scope` exist to prevent.
+#[test]
+fn missed_wakeup_is_reported_and_fixed_variant_is_clean() {
+    fn protocol(broken: bool) -> impl Fn() {
+        move || {
+            let shared = Arc::new((AtomicBool::new(false), Mutex::new(()), Condvar::new()));
+            let consumer = {
+                let shared = Arc::clone(&shared);
+                thread::spawn(move || {
+                    if broken {
+                        if !shared.0.load(Ordering::Acquire) {
+                            let guard = shared.1.lock().unwrap();
+                            // BUG: no re-check of the flag under the lock.
+                            let _ = shared.2.wait(guard).unwrap();
+                        }
+                    } else {
+                        let mut guard = shared.1.lock().unwrap();
+                        while !shared.0.load(Ordering::Acquire) {
+                            guard = shared.2.wait(guard).unwrap();
+                        }
+                    }
+                })
+            };
+            shared.0.store(true, Ordering::Release);
+            {
+                let _g = shared.1.lock().unwrap();
+                shared.2.notify_all();
+            }
+            consumer.join().unwrap();
+        }
+    }
+
+    let broken = explore(Config::default(), protocol(true));
+    let failure = broken.failure.expect("missed wakeup must be detected");
+    assert_eq!(failure.kind, FailureKind::Deadlock);
+
+    let fixed = check(
+        "missed_wakeup_fixed_variant",
+        Config::default(),
+        protocol(false),
+    );
+    assert!(fixed.schedules > 1);
+}
+
+/// An interleaving-dependent assertion the bounded DFS cannot reach at
+/// preemption bound 0 (it needs the spawner preempted between two relaxed
+/// stores) but the seeded random phase — which ignores the bound — can.
+#[test]
+fn random_phase_reaches_past_the_dfs_bound() {
+    fn protocol() -> impl Fn() {
+        move || {
+            let x = Arc::new(AtomicUsize::new(0));
+            let observer = {
+                let x = Arc::clone(&x);
+                thread::spawn(move || {
+                    let seen = x.load(Ordering::Relaxed);
+                    assert_ne!(seen, 1, "observer caught the intermediate value");
+                })
+            };
+            x.store(1, Ordering::Relaxed);
+            x.store(2, Ordering::Relaxed);
+            observer.join().unwrap();
+        }
+    }
+
+    // Bound 0: the spawner is never preempted, so the observer only ever
+    // runs once the spawner blocks in join — after both stores.
+    let dfs_only = explore(
+        Config {
+            preemption_bound: 0,
+            ..Config::default()
+        },
+        protocol(),
+    );
+    assert!(dfs_only.failure.is_none(), "{:?}", dfs_only.failure);
+
+    // The fuzz phase schedules freely and finds the window.
+    let fuzzed = explore(
+        Config {
+            preemption_bound: 0,
+            random_schedules: 200,
+            seed: Some(0xC0FFEE),
+            ..Config::default()
+        },
+        protocol(),
+    );
+    let failure = fuzzed
+        .failure
+        .expect("random schedules must find the window");
+    assert_eq!(failure.kind, FailureKind::Panic);
+    assert!(fuzzed.random_schedules >= 1);
+    assert!(
+        failure.message.contains("intermediate value"),
+        "{}",
+        failure.message
+    );
+}
+
+/// Exhaustiveness sanity check: three threads taking one lock each explore
+/// all 3! = 6 completion orders at an unbounded preemption budget (plus
+/// interleavings of the other yield points), and the schedule count is
+/// exact and deterministic across runs.
+#[test]
+fn exploration_is_deterministic() {
+    let run = || {
+        explore(Config::with_bound(1), || {
+            let m = Arc::new(Mutex::new(0u32));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let m = Arc::clone(&m);
+                    thread::spawn(move || {
+                        *m.lock().unwrap() += 1;
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(*m.lock().unwrap(), 2);
+        })
+    };
+    let a = run();
+    let b = run();
+    assert!(a.failure.is_none(), "{:?}", a.failure);
+    assert_eq!(a.schedules, b.schedules);
+    assert!(a.schedules > 1);
+}

@@ -491,6 +491,7 @@ impl MixenEngine {
         let mut frontier: Vec<u32> = Vec::new();
 
         if root_new < r {
+            // ordering: single-threaded seeding before any parallel level.
             reg_depth[root_new].store(0, Ordering::Relaxed);
             frontier.push(nid(root_new));
         } else if root_new < r + s {
@@ -498,6 +499,8 @@ impl MixenEngine {
             let local = nid(root_new - r);
             for &v in f.seed_csr().neighbors(local) {
                 if reg_depth[v as usize]
+                    // ordering: still the sequential seeding phase; CAS only
+                    // dedups multi-edges from the root.
                     .compare_exchange(-1, 1, Ordering::Relaxed, Ordering::Relaxed)
                     .is_ok()
                 {
@@ -528,6 +531,8 @@ impl MixenEngine {
         let mut out = vec![-1i32; n];
         out[root as usize] = 0;
         for v in 0..r {
+            // ordering: all claims were ordered before this read by the
+            // final level's rayon join.
             let d = reg_depth[v].load(Ordering::Relaxed);
             if d >= 0 {
                 out[f.to_old(nid(v)) as usize] = d;
@@ -539,6 +544,8 @@ impl MixenEngine {
                 let mut best = i32::MAX;
                 for &v in f.sink_csc().neighbors(k) {
                     let d = if (v as usize) < r {
+                        // ordering: read-only Post-Phase after the BFS
+                        // levels' joins; no concurrent writers remain.
                         reg_depth[v as usize].load(Ordering::Relaxed)
                     } else if v as usize == root_new {
                         0

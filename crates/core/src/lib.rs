@@ -45,6 +45,30 @@ pub mod runner;
 pub mod scga;
 pub mod wengine;
 
+/// Atomics facade for the concurrency-audited sites (the SCGA claim flags
+/// and the watchdog handshake): under `model-check` these route through the
+/// `mixen-check` instrumented types so schedule exploration sees every
+/// access; otherwise they are plain `std::sync::atomic` re-exports and the
+/// compiled code is identical to using std directly.
+#[cfg(feature = "model-check")]
+pub(crate) mod msync {
+    pub(crate) use mixen_check::sync::atomic;
+}
+#[cfg(not(feature = "model-check"))]
+pub(crate) mod msync {
+    pub(crate) use std::sync::atomic;
+}
+
+/// Model probes (`model-check` feature): handles that let `mixen-check`
+/// tests drive the SCGA write-path claim flags and the watchdog stall/
+/// deadline handshake through the instrumented facade, with synthetic
+/// timestamps instead of real clocks.
+#[cfg(feature = "model-check")]
+pub mod mc {
+    pub use crate::runner::mc::WatchdogProbe;
+    pub use crate::scga::mc::SegProbe;
+}
+
 pub use block::BlockedSubgraph;
 pub use delta::DeltaStats;
 pub use engine::{MixenEngine, PhaseStats};

@@ -61,6 +61,7 @@ impl Counter {
     /// Adds `n` events.
     #[inline]
     pub fn add(&self, n: u64) {
+        // ordering: statistics counter — totals matter, ordering does not.
         self.0.fetch_add(n, Ordering::Relaxed);
     }
 
@@ -73,10 +74,12 @@ impl Counter {
     /// Current value.
     #[inline]
     pub fn get(&self) -> u64 {
+        // ordering: snapshots are read at quiescent points (after joins).
         self.0.load(Ordering::Relaxed)
     }
 
     fn set(&self, v: u64) {
+        // ordering: merge/override path, only used between runs.
         self.0.store(v, Ordering::Relaxed);
     }
 }
@@ -90,12 +93,14 @@ impl Gauge {
     /// Records the current level.
     #[inline]
     pub fn set(&self, v: u64) {
+        // ordering: last-write-wins level indicator; any ordering is fine.
         self.0.store(v, Ordering::Relaxed);
     }
 
     /// Current level.
     #[inline]
     pub fn get(&self) -> u64 {
+        // ordering: snapshots are read at quiescent points (after joins).
         self.0.load(Ordering::Relaxed)
     }
 }

@@ -41,7 +41,10 @@ use std::fmt;
 use std::io::Read;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+// The watchdog handshake atomics route through the crate's model-check
+// facade: plain std re-exports in normal builds, instrumented under the
+// `model-check` feature so `mixen-check` can explore the protocol.
+use crate::msync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -1080,6 +1083,45 @@ struct WatchdogShared {
     done: AtomicBool,
 }
 
+impl WatchdogShared {
+    /// One watchdog observation at wall-clock `now_ms`: compares elapsed
+    /// time against the deadline and the heartbeat against the stall budget,
+    /// raising the sticky flags the runner polls at batch boundaries.
+    /// Factored out of the sampling thread so `model-check` tests can drive
+    /// the handshake with synthetic timestamps (see [`mc::WatchdogProbe`]).
+    fn observe(&self, now_ms: u64, deadline_ms: Option<u64>, stall_ms: Option<u64>) {
+        // ordering: diagnostic tick counter, read only for reporting.
+        self.wakeups.fetch_add(1, Ordering::Relaxed);
+        if let Some(d) = deadline_ms {
+            if now_ms >= d {
+                self.deadline_hit.store(true, Ordering::Release);
+            }
+        }
+        if let Some(b) = stall_ms {
+            let beat = self.heartbeat_ms.load(Ordering::Acquire);
+            // Budgets below watchdog resolution round up to 1 ms.
+            if now_ms.saturating_sub(beat) > b.max(1) {
+                self.stalled.store(true, Ordering::Release);
+            }
+        }
+    }
+
+    /// Records runner progress as of `now_ms`; pairs with the Acquire
+    /// heartbeat load in [`WatchdogShared::observe`].
+    fn beat_at(&self, now_ms: u64) {
+        self.heartbeat_ms.store(now_ms, Ordering::Release);
+    }
+
+    /// Consumes the sticky stall flag, so one stall degrades one stage.
+    fn take_stall(&self) -> bool {
+        self.stalled.swap(false, Ordering::AcqRel)
+    }
+
+    fn deadline_hit(&self) -> bool {
+        self.deadline_hit.load(Ordering::Acquire)
+    }
+}
+
 /// A sampling watchdog: a detached thread that wakes on a short tick,
 /// compares wall-clock progress against the deadline and the heartbeat
 /// against the stall budget, and raises sticky flags. The runner reads the
@@ -1123,25 +1165,14 @@ impl Watchdog {
             done: AtomicBool::new(false),
         });
         let s = Arc::clone(&shared);
+        let deadline_ms = deadline.map(dur_ms);
+        let stall_ms = stall.map(dur_ms);
         let handle = std::thread::Builder::new()
             .name("mixen-watchdog".into())
             .spawn(move || {
                 while !s.done.load(Ordering::Acquire) {
                     std::thread::sleep(tick);
-                    s.wakeups.fetch_add(1, Ordering::Relaxed);
-                    let now_ms = dur_ms(s.started.elapsed());
-                    if let Some(d) = deadline {
-                        if now_ms >= dur_ms(d) {
-                            s.deadline_hit.store(true, Ordering::Release);
-                        }
-                    }
-                    if let Some(b) = stall {
-                        let beat = s.heartbeat_ms.load(Ordering::Acquire);
-                        // Budgets below watchdog resolution round up to 1 ms.
-                        if now_ms.saturating_sub(beat) > dur_ms(b).max(1) {
-                            s.stalled.store(true, Ordering::Release);
-                        }
-                    }
+                    s.observe(dur_ms(s.started.elapsed()), deadline_ms, stall_ms);
                 }
             })
             .ok()?;
@@ -1153,22 +1184,21 @@ impl Watchdog {
 
     /// Records runner progress; called at batch boundaries.
     fn beat(&self) {
-        self.shared
-            .heartbeat_ms
-            .store(dur_ms(self.shared.started.elapsed()), Ordering::Release);
+        self.shared.beat_at(dur_ms(self.shared.started.elapsed()));
     }
 
     fn wakeups(&self) -> u64 {
+        // ordering: reporting-only snapshot of the tick counter.
         self.shared.wakeups.load(Ordering::Relaxed)
     }
 
     /// Consumes the sticky stall flag, so one stall degrades one stage.
     fn take_stall(&self) -> bool {
-        self.shared.stalled.swap(false, Ordering::AcqRel)
+        self.shared.take_stall()
     }
 
     fn deadline_hit(&self) -> bool {
-        self.shared.deadline_hit.load(Ordering::Acquire)
+        self.shared.deadline_hit()
     }
 }
 
@@ -1177,6 +1207,72 @@ impl Drop for Watchdog {
         self.shared.done.store(true, Ordering::Release);
         if let Some(h) = self.handle.take() {
             let _ = h.join();
+        }
+    }
+}
+
+/// Model probes for the watchdog handshake, compiled only under
+/// `model-check`.
+#[cfg(feature = "model-check")]
+pub mod mc {
+    use super::WatchdogShared;
+    use crate::msync::atomic::{AtomicBool, AtomicU64};
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    /// The watchdog's shared state with the clock abstracted away:
+    /// `mixen-check` model tests drive [`WatchdogProbe::beat_at`] and
+    /// [`WatchdogProbe::observe`] with synthetic timestamps from concurrent
+    /// model threads (no sampling thread, no real clock) and assert when
+    /// the sticky stall/deadline flags may and may not rise.
+    #[derive(Clone)]
+    pub struct WatchdogProbe {
+        shared: Arc<WatchdogShared>,
+    }
+
+    impl WatchdogProbe {
+        /// Fresh shared state: no heartbeat yet, no flags raised.
+        pub fn new() -> Self {
+            WatchdogProbe {
+                shared: Arc::new(WatchdogShared {
+                    // Never read by the probe paths; observations carry
+                    // their own timestamps.
+                    started: Instant::now(),
+                    heartbeat_ms: AtomicU64::new(0),
+                    wakeups: AtomicU64::new(0),
+                    stalled: AtomicBool::new(false),
+                    deadline_hit: AtomicBool::new(false),
+                    done: AtomicBool::new(false),
+                }),
+            }
+        }
+
+        /// The runner side of the handshake: a progress beat at `now_ms`.
+        pub fn beat_at(&self, now_ms: u64) {
+            self.shared.beat_at(now_ms);
+        }
+
+        /// The watchdog side: one observation at `now_ms` against the given
+        /// budgets (both in ms).
+        pub fn observe(&self, now_ms: u64, deadline_ms: Option<u64>, stall_ms: Option<u64>) {
+            self.shared.observe(now_ms, deadline_ms, stall_ms);
+        }
+
+        /// Consumes the sticky stall flag, as the runner does at batch
+        /// boundaries.
+        pub fn take_stall(&self) -> bool {
+            self.shared.take_stall()
+        }
+
+        /// Reads the sticky deadline flag.
+        pub fn deadline_hit(&self) -> bool {
+            self.shared.deadline_hit()
+        }
+    }
+
+    impl Default for WatchdogProbe {
+        fn default() -> Self {
+            Self::new()
         }
     }
 }

@@ -249,6 +249,10 @@ pub fn bfs_level_sparse(
                     for &d in blk.dests_of(k as usize) {
                         let v = col_base + d;
                         if depth[v as usize]
+                            // ordering: the depth claim only needs
+                            // same-location atomicity — the next frontier is
+                            // consumed after the rayon join, which orders
+                            // every claim before any reader.
                             .compare_exchange(-1, level + 1, Ordering::Relaxed, Ordering::Relaxed)
                             .is_ok()
                         {
@@ -281,12 +285,17 @@ pub fn bfs_level_dense(
                 let blk = &row.blocks[j];
                 for (k, &src) in blk.src_ids.iter().enumerate() {
                     let u = row.src_start + src;
+                    // ordering: depths at `level` were published by the
+                    // previous level's rayon join; this level only claims
+                    // unvisited slots, so plain atomicity suffices.
                     if depth[u as usize].load(Ordering::Relaxed) != level {
                         continue;
                     }
                     for &d in blk.dests_of(k) {
                         let v = col_base + d;
                         if depth[v as usize]
+                            // ordering: same claim protocol as the sparse
+                            // level — the join orders claims before readers.
                             .compare_exchange(-1, level + 1, Ordering::Relaxed, Ordering::Relaxed)
                             .is_ok()
                         {
@@ -326,8 +335,10 @@ pub(crate) struct SegPtr<'a, V> {
     /// Double-materialization guard: `as_slice_mut`'s contract says exactly
     /// one task may claim the segment; under `debug_assertions` or the
     /// `race-detector` feature a second claim panics instead of aliasing.
+    /// Routed through [`crate::msync`] so `model-check` builds explore the
+    /// claim protocol itself.
     #[cfg(any(debug_assertions, feature = "race-detector"))]
-    claimed: std::sync::atomic::AtomicBool,
+    claimed: crate::msync::atomic::AtomicBool,
     _marker: std::marker::PhantomData<&'a mut [V]>,
 }
 
@@ -349,7 +360,11 @@ impl<V> SegPtr<'_, V> {
         #[cfg(any(debug_assertions, feature = "race-detector"))]
         if self
             .claimed
-            .swap(true, std::sync::atomic::Ordering::Relaxed)
+            // ordering: the claim flag is a diagnostic tripwire, not a
+            // synchronization point — the segment memory itself is handed to
+            // the task by the pool's scope machinery, so the swap needs only
+            // same-location atomicity to make a double claim observable.
+            .swap(true, crate::msync::atomic::Ordering::Relaxed)
         {
             // lint: allow(panic) reason=race detector turning a double-claimed segment into a diagnosable failure
             panic!("SegPtr race detected: segment materialized more than once");
@@ -373,13 +388,58 @@ pub(crate) fn split_by_rows<'a, V>(
             ptr: seg.as_mut_ptr(),
             len,
             #[cfg(any(debug_assertions, feature = "race-detector"))]
-            claimed: std::sync::atomic::AtomicBool::new(false),
+            claimed: crate::msync::atomic::AtomicBool::new(false),
             _marker: std::marker::PhantomData,
         });
         rest = tail;
         offset = row.src_end;
     }
     segs
+}
+
+/// Model probes over the SCGA write path, compiled only under `model-check`.
+#[cfg(feature = "model-check")]
+pub mod mc {
+    use super::SegPtr;
+
+    /// A single scatter segment over a leaked buffer, exposing the
+    /// [`SegPtr`] double-materialization guard to `mixen-check` model tests:
+    /// concurrent model threads race `try_claim` and the checker proves
+    /// exactly one can win under every schedule.
+    #[derive(Clone, Copy)]
+    pub struct SegProbe {
+        seg: &'static SegPtr<'static, f32>,
+    }
+
+    impl SegProbe {
+        /// Builds a probe over a fresh leaked `len`-value segment (leaking
+        /// keeps the probe `'static` and trivially shareable across model
+        /// threads; model tests are short-lived processes).
+        pub fn new(len: usize) -> Self {
+            let buf: &'static mut [f32] = Vec::leak(vec![0.0; len]);
+            let seg = Box::leak(Box::new(SegPtr {
+                ptr: buf.as_mut_ptr(),
+                len,
+                #[cfg(any(debug_assertions, feature = "race-detector"))]
+                claimed: crate::msync::atomic::AtomicBool::new(false),
+                _marker: std::marker::PhantomData,
+            }));
+            SegProbe { seg }
+        }
+
+        /// Claims the segment exactly as a scatter task would. Returns
+        /// `true` when this caller is the legitimate first owner and `false`
+        /// when the race detector caught a double claim.
+        pub fn try_claim(&self) -> bool {
+            // SAFETY: the probe materializes the slice only to exercise the
+            // claim guard and drops it immediately; the guard itself ensures
+            // at most one materialization can coexist.
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| unsafe {
+                let _ = self.seg.as_slice_mut();
+            }))
+            .is_ok()
+        }
+    }
 }
 
 #[cfg(test)]

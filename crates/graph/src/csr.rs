@@ -59,6 +59,8 @@ impl Csr {
             // its degree.
             let idx_cell = SliceWriter::new(&mut idx);
             edges.par_iter().for_each(|&(s, d)| {
+                // ordering: the cursor only reserves a unique slot; the
+                // written values are published by the rayon join below.
                 let slot = cursors[s as usize].fetch_add(1, Ordering::Relaxed);
                 idx_cell.write(slot, d);
             });
@@ -212,6 +214,7 @@ impl Csr {
             let idx_cell = SliceWriter::new(&mut idx);
             (0..self.n_rows).into_par_iter().for_each(|u| {
                 for &v in &self.idx[self.ptr[u]..self.ptr[u + 1]] {
+                    // ordering: slot reservation only, as in from_edges_rect.
                     let slot = cursors[v as usize].fetch_add(1, Ordering::Relaxed);
                     idx_cell.write(slot, nid(u));
                 }
@@ -299,8 +302,10 @@ impl Csr {
 pub(crate) struct SliceWriter<'a, T> {
     ptr: *mut T,
     len: usize,
+    /// Shadow ownership map, routed through [`crate::msync`] so
+    /// `model-check` builds explore the claim protocol itself.
     #[cfg(any(debug_assertions, feature = "race-detector"))]
-    claimed: Box<[std::sync::atomic::AtomicU8]>,
+    claimed: Box<[crate::msync::atomic::AtomicU8]>,
     _marker: std::marker::PhantomData<&'a mut [T]>,
 }
 
@@ -322,7 +327,7 @@ impl<'a, T> SliceWriter<'a, T> {
             len: slice.len(),
             #[cfg(any(debug_assertions, feature = "race-detector"))]
             claimed: (0..slice.len())
-                .map(|_| std::sync::atomic::AtomicU8::new(0))
+                .map(|_| crate::msync::atomic::AtomicU8::new(0))
                 .collect(),
             _marker: std::marker::PhantomData,
         }
@@ -332,6 +337,9 @@ impl<'a, T> SliceWriter<'a, T> {
     pub(crate) fn write(&self, i: usize, value: T) {
         assert!(i < self.len);
         #[cfg(any(debug_assertions, feature = "race-detector"))]
+        // ordering: the claim byte is a diagnostic tripwire — the buffer
+        // itself is published by the construction's rayon join, so the swap
+        // needs only same-location atomicity to expose a double write.
         if self.claimed[i].swap(1, Ordering::Relaxed) != 0 {
             // lint: allow(panic) reason=race detector turning a violated disjoint-write contract into a diagnosable failure
             panic!("SliceWriter race detected: slot {i} written more than once");
@@ -370,6 +378,44 @@ pub fn prefix_sum(counts: &[usize]) -> Vec<usize> {
         ptr.push(acc);
     }
     ptr
+}
+
+/// Model probes over the CSR construction write path, compiled only under
+/// `model-check`.
+#[cfg(feature = "model-check")]
+pub mod mc {
+    use super::SliceWriter;
+
+    /// A leaked [`SliceWriter`] over a small `u32` buffer, exposing the
+    /// disjoint-slot write contract to `mixen-check` model tests:
+    /// concurrent model threads race `try_write` on the same slot and the
+    /// checker proves the shadow map catches every overlap under every
+    /// schedule.
+    #[derive(Clone, Copy)]
+    pub struct SliceWriterProbe {
+        writer: &'static SliceWriter<'static, u32>,
+    }
+
+    impl SliceWriterProbe {
+        /// Builds a probe over a fresh leaked `len`-slot buffer (leaking
+        /// keeps the probe `'static` and trivially shareable across model
+        /// threads; model tests are short-lived processes).
+        pub fn new(len: usize) -> Self {
+            let buf: &'static mut [u32] = Vec::leak(vec![0; len]);
+            let writer = Box::leak(Box::new(SliceWriter::new(buf)));
+            SliceWriterProbe { writer }
+        }
+
+        /// Writes `value` into `slot` exactly as a construction task would.
+        /// Returns `true` when this writer legitimately owned the slot and
+        /// `false` when the race detector caught an overlapping write.
+        pub fn try_write(&self, slot: usize, value: u32) -> bool {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                self.writer.write(slot, value);
+            }))
+            .is_ok()
+        }
+    }
 }
 
 #[cfg(test)]

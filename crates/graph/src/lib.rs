@@ -27,6 +27,26 @@ pub mod ckpt;
 pub mod classify;
 pub mod components;
 pub mod csr;
+
+/// Atomics facade for the concurrency-audited write path (the
+/// [`csr`]-internal `SliceWriter` claim bytes): under `model-check` these
+/// route through the `mixen-check` instrumented types so schedule
+/// exploration sees every access; otherwise they are plain
+/// `std::sync::atomic` re-exports with identical codegen.
+#[cfg(feature = "model-check")]
+pub(crate) mod msync {
+    pub(crate) use mixen_check::sync::atomic;
+}
+#[cfg(not(feature = "model-check"))]
+pub(crate) mod msync {
+    pub(crate) use std::sync::atomic;
+}
+
+/// Model probes (`model-check` feature) for `mixen-check` tests.
+#[cfg(feature = "model-check")]
+pub mod mc {
+    pub use crate::csr::mc::SliceWriterProbe;
+}
 pub mod datasets;
 pub mod degree;
 pub mod edgelist;

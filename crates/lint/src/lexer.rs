@@ -143,7 +143,10 @@ pub fn scan(source: &str) -> Scanned {
                     && i < bytes.len()
                     && (bytes[i] == b'"' || (text != "b" && bytes[i] == b'#'))
                 {
-                    if let Some(next) = skip_raw_or_byte_string(bytes, i, &mut line) {
+                    // `r"…"` / `br"…"` are raw: backslash is plain content.
+                    // Only `b"…"` keeps escape processing.
+                    let raw = text != "b";
+                    if let Some(next) = skip_raw_or_byte_string(bytes, i, raw, &mut line) {
                         mark_code(&mut lines, line);
                         i = next;
                         continue;
@@ -194,7 +197,13 @@ fn skip_string(bytes: &[u8], start: usize, line: &mut usize) -> usize {
     let mut i = start + 1;
     while i < bytes.len() {
         match bytes[i] {
-            b'\\' => i += 2,
+            b'\\' => {
+                // A `\`-newline continuation still ends a source line.
+                if i + 1 < bytes.len() && bytes[i + 1] == b'\n' {
+                    *line += 1;
+                }
+                i += 2;
+            }
             b'"' => return i + 1,
             b'\n' => {
                 *line += 1;
@@ -207,9 +216,16 @@ fn skip_string(bytes: &[u8], start: usize, line: &mut usize) -> usize {
 }
 
 /// Skips a raw or byte string whose prefix ident has just been consumed and
-/// whose next byte is `"` or `#`. Returns the index past the closing
-/// delimiter, or `None` if this is not actually a string start.
-fn skip_raw_or_byte_string(bytes: &[u8], start: usize, line: &mut usize) -> Option<usize> {
+/// whose next byte is `"` or `#`. `raw` says whether the prefix was `r`/`br`
+/// (no escape processing) as opposed to plain `b` (escapes apply). Returns
+/// the index past the closing delimiter, or `None` if this is not actually
+/// a string start.
+fn skip_raw_or_byte_string(
+    bytes: &[u8],
+    start: usize,
+    raw: bool,
+    line: &mut usize,
+) -> Option<usize> {
     let mut i = start;
     let mut hashes = 0usize;
     while i < bytes.len() && bytes[i] == b'#' {
@@ -221,11 +237,16 @@ fn skip_raw_or_byte_string(bytes: &[u8], start: usize, line: &mut usize) -> Opti
     }
     i += 1;
     if hashes == 0 {
-        // Plain b"…" (escapes apply) or r"…" (no escapes; a backslash can't
-        // precede the closing quote meaningfully either way for skipping).
+        // Plain b"…" (escapes apply) or r"…"/br"…" (no escapes at all: in
+        // `r"\"` the backslash is content and the quote closes the string).
         while i < bytes.len() {
             match bytes[i] {
-                b'\\' => i += 2,
+                b'\\' if !raw => {
+                    if i + 1 < bytes.len() && bytes[i + 1] == b'\n' {
+                        *line += 1;
+                    }
+                    i += 2;
+                }
                 b'"' => return Some(i + 1),
                 b'\n' => {
                     *line += 1;
@@ -334,6 +355,50 @@ mod tests {
     fn nested_block_comments() {
         let s = scan("/* outer /* inner unsafe */ still comment */ fn f() {}");
         assert_eq!(idents(&s), vec!["fn", "f"]);
+    }
+
+    #[test]
+    fn deeply_nested_block_comments_with_decoys() {
+        // Depth 3, an inner `/*/` opener lookalike and a quote that must not
+        // start a string; the code after must tokenize on the right line.
+        let s = scan("/* a /* b /* c */ \" */ panic! */\nfn g() {}\n");
+        assert_eq!(idents(&s), vec!["fn", "g"]);
+        let g = s.toks.iter().find(|t| t.text == "g").unwrap();
+        assert_eq!(g.line, 2);
+    }
+
+    #[test]
+    fn raw_string_trailing_backslash_does_not_escape() {
+        // In `r"\"` the backslash is content and the quote closes the
+        // string; the old escape handling ran past it and swallowed the
+        // rest of the file.
+        let s = scan("let a = r\"\\\"; let hit = x.unwrap();");
+        assert!(idents(&s).contains(&"unwrap"), "{:?}", idents(&s));
+        let s = scan("let d = br\"as u32 \\\"; visible_token;");
+        assert!(idents(&s).contains(&"visible_token"));
+    }
+
+    #[test]
+    fn byte_string_keeps_escape_processing() {
+        // `b"\""` is an escaped quote inside the literal, not a closer.
+        let s = scan("let e = b\"\\\" swallowed\"; tail;");
+        assert!(!idents(&s).contains(&"swallowed"));
+        assert!(idents(&s).contains(&"tail"));
+    }
+
+    #[test]
+    fn escaped_newline_in_string_counts_the_line() {
+        // A `\`-newline continuation inside a string literal still ends a
+        // source line; diagnostics after it must not drift.
+        let s = scan("let s = \"a\\\n b\";\nfn late() {}\n");
+        let late = s.toks.iter().find(|t| t.text == "late").unwrap();
+        assert_eq!(late.line, 3);
+    }
+
+    #[test]
+    fn hashed_raw_string_with_backslash_before_closer() {
+        let s = scan("let a = r#\"\\\"# ; after;");
+        assert!(idents(&s).contains(&"after"));
     }
 
     #[test]

@@ -18,7 +18,8 @@ USAGE:
 OPTIONS:
     --root PATH    Workspace root to scan (default: current directory)
     --allow RULE   Globally disable one rule; repeatable.
-                   Rules: safety-comment, panic, truncation, error-type
+                   Rules: safety-comment, panic, truncation, error-type,
+                   ordering
 
 EXIT CODES:
     0  no findings

@@ -6,6 +6,7 @@
 //! | `panic` | no `.unwrap()` / `.expect(…)` / `panic!` in non-test library code of the id-critical crates |
 //! | `truncation` | no bare `as u32` / `as NodeId` narrowing casts on node/edge ids in non-test library code |
 //! | `error-type` | public fallible fns in `mixen-graph`/`mixen-core` return `Result<_, GraphError>`, not `Result<_, String>` |
+//! | `ordering` | every `Ordering::Relaxed` / `Ordering::SeqCst` outside tests carries a `// ordering: <why>` justification (`Acquire`/`Release`/`AcqRel` are allowed bare) |
 //!
 //! Any finding can be suppressed at the site with an inline annotation on
 //! the same or the immediately preceding line:
@@ -26,14 +27,16 @@ pub enum Rule {
     Panic,
     Truncation,
     ErrorType,
+    Ordering,
 }
 
 impl Rule {
-    pub const ALL: [Rule; 4] = [
+    pub const ALL: [Rule; 5] = [
         Rule::SafetyComment,
         Rule::Panic,
         Rule::Truncation,
         Rule::ErrorType,
+        Rule::Ordering,
     ];
 
     /// The stable string id used in diagnostics and `allow(...)` clauses.
@@ -43,6 +46,7 @@ impl Rule {
             Rule::Panic => "panic",
             Rule::Truncation => "truncation",
             Rule::ErrorType => "error-type",
+            Rule::Ordering => "ordering",
         }
     }
 
@@ -59,10 +63,13 @@ impl Rule {
             "mixen-baselines",
         ];
         const ERR_CRATES: &[&str] = &["mixen-graph", "mixen-core"];
+        const ATOMIC_CRATES: &[&str] =
+            &["mixen-pool", "mixen-core", "mixen-graph", "mixen-baselines"];
         match self {
             Rule::SafetyComment => None,
             Rule::Panic | Rule::Truncation => Some(ID_CRATES),
             Rule::ErrorType => Some(ERR_CRATES),
+            Rule::Ordering => Some(ATOMIC_CRATES),
         }
     }
 }
@@ -112,6 +119,7 @@ pub fn check_file(
             Rule::Panic => rule_panic(file, scanned, &in_test, &mut findings),
             Rule::Truncation => rule_truncation(file, scanned, &in_test, &mut findings),
             Rule::ErrorType => rule_error_type(file, scanned, &in_test, &mut findings),
+            Rule::Ordering => rule_ordering(file, scanned, &in_test, &mut findings),
         }
     }
     findings.sort_by(|a, b| {
@@ -485,6 +493,84 @@ fn returns_string_error(ret: &[Tok]) -> bool {
     false
 }
 
+// ---------------------------------------------------------------------------
+// R5: ordering
+// ---------------------------------------------------------------------------
+
+/// `Ordering::Relaxed` and `Ordering::SeqCst` outside tests must carry a
+/// `// ordering: <why>` justification — trailing on the same line, or in the
+/// contiguous comment block directly above (one block may cover a contiguous
+/// run of flagged lines, e.g. a `compare_exchange`'s two orderings).
+/// `Acquire`/`Release`/`AcqRel` are allowed bare: they state their contract;
+/// Relaxed and SeqCst hide an argument the reader can't reconstruct.
+fn rule_ordering(file: &str, scanned: &Scanned, in_test: &[bool], out: &mut Vec<Finding>) {
+    let toks = &scanned.toks;
+    let mut sites: Vec<(usize, usize)> = Vec::new(); // (token index, line)
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident
+            || !matches!(t.text.as_str(), "Relaxed" | "SeqCst")
+            || in_test[i]
+        {
+            continue;
+        }
+        let via_ordering_path = i >= 3
+            && toks[i - 1].text == ":"
+            && toks[i - 2].text == ":"
+            && toks[i - 3].kind == TokKind::Ident
+            && toks[i - 3].text == "Ordering";
+        if via_ordering_path {
+            sites.push((i, t.line));
+        }
+    }
+    let site_lines: Vec<usize> = sites.iter().map(|&(_, l)| l).collect();
+    for (i, line) in sites {
+        if has_ordering_comment(scanned, line, &site_lines)
+            || allowed(scanned, line, Rule::Ordering)
+        {
+            continue;
+        }
+        out.push(Finding {
+            rule: Rule::Ordering,
+            file: file.to_string(),
+            line,
+            msg: format!(
+                "`Ordering::{}` without a `// ordering: <why>` justification \
+                 (use Acquire/Release/AcqRel, or say why this is enough)",
+                toks[i].text
+            ),
+        });
+    }
+}
+
+/// True when the flagged line carries `ordering: <non-empty why>` in a
+/// comment, or such a comment sits in the contiguous run of comment-only /
+/// attribute-only / other-flagged lines directly above.
+fn has_ordering_comment(scanned: &Scanned, line: usize, site_lines: &[usize]) -> bool {
+    let justifies = |comment: &str| {
+        comment
+            .find("ordering:")
+            .is_some_and(|p| !comment[p + "ordering:".len()..].trim().is_empty())
+    };
+    if scanned.line(line).is_some_and(|l| justifies(&l.comment)) {
+        return true;
+    }
+    let mut l = line;
+    while l > 1 {
+        l -= 1;
+        let Some(info) = scanned.line(l) else { break };
+        let comment_only = !info.has_code && !info.comment.is_empty();
+        let attr_only = info.raw.starts_with("#[") || info.raw.starts_with("#![");
+        if comment_only {
+            if justifies(&info.comment) {
+                return true;
+            }
+        } else if !attr_only && !site_lines.contains(&l) {
+            break;
+        }
+    }
+    false
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -592,6 +678,67 @@ mod tests {
     fn pub_crate_fns_are_not_public_api() {
         let src = "pub(crate) fn v() -> Result<(), String> { Ok(()) }\n";
         assert!(run("mixen-core", src).is_empty());
+    }
+
+    #[test]
+    fn bare_relaxed_and_seqcst_flagged() {
+        for kind in ["Relaxed", "SeqCst"] {
+            let src = format!("fn f(c: &AtomicUsize) {{ c.load(Ordering::{kind}); }}\n");
+            let f = run("mixen-pool", &src);
+            assert_eq!(f.len(), 1, "{kind}: {f:?}");
+            assert_eq!(f[0].rule, Rule::Ordering);
+        }
+    }
+
+    #[test]
+    fn acquire_release_acqrel_allowed_bare() {
+        for kind in ["Acquire", "Release", "AcqRel"] {
+            let src = format!("fn f(c: &AtomicUsize) {{ c.swap(1, Ordering::{kind}); }}\n");
+            assert!(run("mixen-pool", &src).is_empty(), "{kind}");
+        }
+    }
+
+    #[test]
+    fn ordering_justifications_accepted() {
+        // Trailing on the same line.
+        let same = "fn f() { c.load(Ordering::Relaxed) } // ordering: stats snapshot\n";
+        assert!(run("mixen-core", same).is_empty());
+        // Comment block directly above.
+        let above = "fn f() {\n    // ordering: published by the join below.\n    c.store(0, Ordering::Relaxed);\n}\n";
+        assert!(run("mixen-core", above).is_empty());
+        // One block covers a contiguous run of flagged lines (CAS pair).
+        let pair = "fn f() {\n    c.compare_exchange(0, 1,\n        // ordering: same-slot claim; join publishes.\n        Ordering::Relaxed,\n        Ordering::Relaxed);\n}\n";
+        assert!(
+            run("mixen-core", pair).is_empty(),
+            "{:?}",
+            run("mixen-core", pair)
+        );
+        // An empty why does not justify.
+        let empty = "fn f() {\n    // ordering:\n    c.store(0, Ordering::Relaxed);\n}\n";
+        assert_eq!(run("mixen-core", empty).len(), 1);
+        // A blank line breaks contiguity.
+        let gap = "fn f() {\n    // ordering: stale.\n\n    c.store(0, Ordering::Relaxed);\n}\n";
+        assert_eq!(run("mixen-core", gap).len(), 1);
+    }
+
+    #[test]
+    fn ordering_allow_annotation_and_scope() {
+        let ann = "fn f() {\n    // lint: allow(ordering) reason=measured hot path\n    c.load(Ordering::SeqCst);\n}\n";
+        assert!(run("mixen-graph", ann).is_empty());
+        // Out-of-scope crates are exempt.
+        let src = "fn f() { c.load(Ordering::Relaxed); }\n";
+        assert!(run("mixen-check", src).is_empty());
+        assert!(run("mixen-cli", src).is_empty());
+        // Test regions are exempt.
+        let test_src = "#[cfg(test)]\nmod tests {\n    fn f() { c.load(Ordering::Relaxed); }\n}\n";
+        assert!(run("mixen-pool", test_src).is_empty());
+    }
+
+    #[test]
+    fn cmp_ordering_and_bare_idents_not_flagged() {
+        // `Relaxed` not reached through `Ordering::` is someone else's enum.
+        assert!(run("mixen-core", "fn f() { let x = Mode::Relaxed; }\n").is_empty());
+        assert!(run("mixen-core", "fn f() -> Ordering { Ordering::Less }\n").is_empty());
     }
 
     #[test]

@@ -1,0 +1,64 @@
+// Fixture: atomic-ordering justifications. Expected findings (under an
+// atomics-audited crate name): ordering at lines 8 and 12. Everything else
+// is justified, annotated, bare-allowed, out of reach, or test code.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn bare_relaxed(c: &AtomicUsize) -> usize {
+    c.load(Ordering::Relaxed)
+}
+
+pub fn bare_seqcst(c: &AtomicUsize) {
+    c.store(1, Ordering::SeqCst);
+}
+
+pub fn trailing_justified(c: &AtomicUsize) -> usize {
+    c.load(Ordering::Relaxed) // ordering: stats snapshot read at quiescence
+}
+
+pub fn block_justified(c: &AtomicUsize) {
+    // ordering: the counter is only read after the join
+    // publishes every increment.
+    c.store(2, Ordering::Relaxed);
+}
+
+pub fn one_block_covers_the_cas_pair(c: &AtomicUsize) {
+    let _ = c.compare_exchange(
+        0,
+        1,
+        // ordering: same-slot claim; the join publishes the result.
+        Ordering::Relaxed,
+        Ordering::Relaxed,
+    );
+}
+
+pub fn acquire_release_bare(c: &AtomicUsize) -> usize {
+    c.store(3, Ordering::Release);
+    c.fetch_add(1, Ordering::AcqRel);
+    c.load(Ordering::Acquire)
+}
+
+pub fn allow_annotation(c: &AtomicUsize) {
+    // lint: allow(ordering) reason=demonstrating the escape hatch
+    c.store(4, Ordering::SeqCst);
+}
+
+pub fn other_orderings_are_not_atomics(a: u32, b: u32) -> std::cmp::Ordering {
+    a.cmp(&b) // Ordering::Less etc. never hold Relaxed/SeqCst
+}
+
+pub fn strings_are_inert() -> &'static str {
+    "Ordering::SeqCst inside a string literal"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tests_may_use_bare_orderings() {
+        let c = AtomicUsize::new(0);
+        assert_eq!(c.load(Ordering::Relaxed), 0);
+        c.store(1, Ordering::SeqCst);
+    }
+}

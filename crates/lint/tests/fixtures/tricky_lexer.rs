@@ -1,0 +1,24 @@
+// Fixture: lexer stress — raw strings, byte strings, escapes and nested
+// block comments. Rule matching must not fire inside any of these regions,
+// must not run past them, and line numbers must survive them: the only
+// expected finding is the panic at the marked line near the end.
+
+pub fn raw_strings() -> usize {
+    let a = r"ends with a backslash \"; // the \ is content, not an escape
+    let b = r"unsafe { x.unwrap() } Ordering::SeqCst";
+    let c = r#"panic!("untouched") "quoted" i as u32"#;
+    let d = br"as NodeId \";
+    let e = b"a real \" escaped quote";
+    a.len() + b.len() + c.len() + d.len() + e.len()
+}
+
+/* nested /* block /* comments */ hide unsafe { x.unwrap() } */ entirely */
+pub fn multi_line_constructs() -> &'static str {
+    "strings may span
+     lines and continue \
+     after an escaped newline"
+}
+
+pub fn the_one_real_finding(x: Option<u32>) -> u32 {
+    x.unwrap()
+}

@@ -56,6 +56,28 @@ fn bad_error_type_fixture() {
 }
 
 #[test]
+fn bad_ordering_fixture() {
+    let got = lint("mixen-pool", "bad_ordering.rs");
+    assert_eq!(got, vec![(Rule::Ordering, 8), (Rule::Ordering, 12)]);
+}
+
+#[test]
+fn bad_ordering_fixture_out_of_scope_crate_is_clean() {
+    assert!(lint("mixen-check", "bad_ordering.rs").is_empty());
+    assert!(lint("mixen-cli", "bad_ordering.rs").is_empty());
+}
+
+#[test]
+fn tricky_lexer_fixture_fires_only_outside_strings_and_comments() {
+    // Raw strings (incl. a trailing backslash before the closing quote),
+    // byte-string escapes, multi-line strings with `\`-newline continuations
+    // and nested block comments all stay inert — and the line number of the
+    // one real finding proves the scanner didn't drift past any of them.
+    let got = lint("mixen-core", "tricky_lexer.rs");
+    assert_eq!(got, vec![(Rule::Panic, 23)]);
+}
+
+#[test]
 fn clean_fixture_is_clean_everywhere() {
     for krate in ["mixen-graph", "mixen-core", "mixen-algos", "mixen-cli"] {
         let got = lint(krate, "clean.rs");

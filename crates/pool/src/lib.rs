@@ -67,9 +67,36 @@ use std::fmt;
 use std::marker::PhantomData;
 use std::ops::Range;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
+
+use crate::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use crate::sync::{thread, Condvar, Mutex};
+
+/// Synchronization facade: with the `model-check` feature every primitive
+/// the pool's protocol relies on (deque/injector/sleep mutexes, the wakeup
+/// and scope condvars, the shutdown/pending atomics, worker spawn/join)
+/// routes through the `mixen-check` instrumented types, so model tests can
+/// exhaustively explore the pool's schedules. Without the feature these are
+/// plain `std` re-exports and the pool compiles exactly as before.
+///
+/// Even with the feature compiled in, the instrumented types behave as
+/// `std` unless the calling thread is inside a `mixen_check::explore`
+/// execution, so enabling `model-check` does not perturb ordinary tests.
+#[cfg(feature = "model-check")]
+pub(crate) mod sync {
+    pub(crate) use mixen_check::sync::atomic;
+    pub(crate) use mixen_check::sync::{Condvar, Mutex};
+    pub(crate) use mixen_check::thread;
+}
+
+/// Plain `std` synchronization (the `model-check` feature is off).
+#[cfg(not(feature = "model-check"))]
+pub(crate) mod sync {
+    pub(crate) use std::sync::atomic;
+    pub(crate) use std::sync::{Condvar, Mutex};
+    pub(crate) use std::thread;
+}
 
 /// A queued unit of work. Scopes erase the `'scope` lifetime before boxing
 /// (see [`Scope::spawn`]), which is sound because a scope never returns until
@@ -116,36 +143,45 @@ pub mod inject {
     /// which makes multi-lane execution fail deterministically while
     /// single-lane inline execution still succeeds.
     pub fn arm_worker_panics(count: u64) {
-        PANICS_ARMED.store(count, Ordering::SeqCst);
+        // ordering: independent test-only flag; tests that arm hooks run
+        // serialized and synchronize with workers via scope completion.
+        PANICS_ARMED.store(count, Ordering::Relaxed);
     }
 
     /// Makes every pooled task sleep for `per_task` before running — a
     /// deterministic stalled-worker simulation for watchdog tests.
     pub fn set_worker_slowdown(per_task: Duration) {
         let nanos = u64::try_from(per_task.as_nanos()).unwrap_or(u64::MAX);
-        SLOW_NANOS.store(nanos, Ordering::SeqCst);
+        // ordering: independent test-only flag, see arm_worker_panics.
+        SLOW_NANOS.store(nanos, Ordering::Relaxed);
     }
 
     /// Disarms all hooks.
     pub fn clear() {
-        PANICS_ARMED.store(0, Ordering::SeqCst);
-        SLOW_NANOS.store(0, Ordering::SeqCst);
+        // ordering: independent test-only flags, see arm_worker_panics.
+        PANICS_ARMED.store(0, Ordering::Relaxed);
+        SLOW_NANOS.store(0, Ordering::Relaxed);
     }
 
     /// Called by the pooled-task wrapper before the user closure runs.
     pub(crate) fn before_task() {
-        let slow = SLOW_NANOS.load(Ordering::SeqCst);
+        // ordering: each hook is a self-contained counter/flag; the only
+        // cross-thread contract is the same-location modification order,
+        // which Relaxed already guarantees.
+        let slow = SLOW_NANOS.load(Ordering::Relaxed);
         if slow > 0 {
             std::thread::sleep(Duration::from_nanos(slow));
         }
-        let mut armed = PANICS_ARMED.load(Ordering::SeqCst);
+        // ordering: same-location modification order is all the decrement
+        // loop needs; CAS atomicity makes each armed panic consumed once.
+        let mut armed = PANICS_ARMED.load(Ordering::Relaxed);
         while armed > 0 {
             let next = if armed == u64::MAX { armed } else { armed - 1 };
             match PANICS_ARMED.compare_exchange_weak(
                 armed,
                 next,
-                Ordering::SeqCst,
-                Ordering::SeqCst,
+                Ordering::Relaxed, // ordering: see the armed load above
+                Ordering::Relaxed, // ordering: failure retries the load
             ) {
                 Ok(_) => panic!("injected worker panic"),
                 Err(seen) => armed = seen,
@@ -189,11 +225,11 @@ impl PoolCore {
     }
 
     /// Spawns the background workers for an already-constructed core.
-    fn start_workers(core: &Arc<PoolCore>) -> Vec<std::thread::JoinHandle<()>> {
+    fn start_workers(core: &Arc<PoolCore>) -> Vec<thread::JoinHandle<()>> {
         (0..core.queues.len())
             .map(|index| {
                 let core = Arc::clone(core);
-                std::thread::Builder::new()
+                thread::Builder::new()
                     .name(format!("mixen-pool-{index}"))
                     .spawn(move || worker_main(core, index))
                     .expect("mixen-pool: failed to spawn worker thread")
@@ -232,6 +268,8 @@ impl PoolCore {
                 continue;
             }
             if let Some(job) = self.queues[victim].lock().unwrap().pop_front() {
+                // ordering: statistics counter; readers only need the
+                // scope-completion Release/Acquire pair for exactness.
                 self.steals.fetch_add(1, Ordering::Relaxed);
                 return Some(job);
             }
@@ -247,6 +285,7 @@ impl PoolCore {
     }
 
     fn run(&self, job: Job) {
+        // ordering: statistics counter, see PoolCore::find_work.
         self.tasks_executed.fetch_add(1, Ordering::Relaxed);
         // Jobs never unwind: every producer (Scope::spawn) wraps the user
         // closure in catch_unwind and stores the payload in the scope.
@@ -434,6 +473,8 @@ pub fn stats() -> PoolStats {
     PoolStats {
         threads: core.threads,
         workers: core.queues.len(),
+        // ordering: monotonic statistics reads; documented as exact only
+        // after a scope completes (whose Release/Acquire pair orders them).
         tasks_executed: core.tasks_executed.load(Ordering::Relaxed),
         steals: core.steals.load(Ordering::Relaxed),
     }
@@ -450,7 +491,7 @@ pub fn stats() -> PoolStats {
 /// functions on the ambient pool instead.
 pub struct ThreadPool {
     core: Arc<PoolCore>,
-    handles: Vec<std::thread::JoinHandle<()>>,
+    handles: Vec<thread::JoinHandle<()>>,
 }
 
 impl ThreadPool {
@@ -482,6 +523,7 @@ impl ThreadPool {
         PoolStats {
             threads: self.core.threads,
             workers: self.core.queues.len(),
+            // ordering: monotonic statistics reads, see the free `stats`.
             tasks_executed: self.core.tasks_executed.load(Ordering::Relaxed),
             steals: self.core.steals.load(Ordering::Relaxed),
         }
@@ -581,11 +623,19 @@ impl<'scope> Scope<'scope> {
         if self.core.queues.is_empty() {
             // Single-lane pool: run inline. A panic unwinds straight through
             // the scope body, exactly like plain sequential code.
+            // ordering: statistics counter, see PoolCore::find_work.
             self.core.tasks_executed.fetch_add(1, Ordering::Relaxed);
             f();
             return;
         }
-        self.state.pending.fetch_add(1, Ordering::SeqCst);
+        // ordering: (audited down from SeqCst) the increment needs no
+        // happens-before edge of its own. It is ordered before this task's
+        // own decrement by same-location modification order, and every
+        // other observer is a waiter that can only see `pending == 0` after
+        // *all* decrements — each of which is Release and pairs with the
+        // waiter's Acquire load. The spawner itself keeps the count nonzero
+        // until the final decrement, so a waiter can never miss this task.
+        self.state.pending.fetch_add(1, Ordering::Relaxed);
         let state = Arc::clone(&self.state);
         let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
             if let Err(payload) = catch_unwind(AssertUnwindSafe(|| {
@@ -618,6 +668,7 @@ impl<'scope> Scope<'scope> {
 impl fmt::Debug for Scope<'_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Scope")
+            // ordering: best-effort diagnostic snapshot only.
             .field("pending", &self.state.pending.load(Ordering::Relaxed))
             .finish()
     }

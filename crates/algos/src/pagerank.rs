@@ -270,6 +270,134 @@ pub fn pagerank_adaptive(
     (scores, stats)
 }
 
+/// Incremental PageRank for long-lived services: keeps the chain's state
+/// between calls so a serving loop can advance a few iterations, publish a
+/// snapshot of the current scores, and continue — following exactly the
+/// trajectory of one uninterrupted run.
+///
+/// In the default (non-redistributing) formulation the stored state is the
+/// engine's *native* state — the propagated values `rank/outdeg` — so a
+/// sequence of [`PageRankStream::advance`] calls is bit-identical to a
+/// single `pagerank` call for the same total iteration count: no
+/// rank↔propagated round-trips are inserted at batch boundaries. With
+/// [`PageRankOpts::redistribute`] the state is the rank vector and each
+/// iteration runs individually, which is already how the batch entry point
+/// evaluates that recurrence.
+pub struct PageRankStream<'a, E: Engine> {
+    engine: &'a E,
+    damping: f32,
+    base: f32,
+    n: f32,
+    redistribute: bool,
+    out_deg: Vec<u32>,
+    is_sink: Vec<bool>,
+    /// Plain mode: propagated values (`rank/outdeg`); redistribute mode:
+    /// ranks.
+    state: Vec<f32>,
+    iterations: usize,
+}
+
+impl<'a, E: Engine> PageRankStream<'a, E> {
+    /// A stream positioned at iteration 0 (the textbook initial ranks).
+    pub fn new(g: &Graph, engine: &'a E, opts: PageRankOpts) -> Self {
+        let n = g.n().max(1) as f32;
+        let d = opts.damping;
+        let base = (1.0 - d) / n;
+        let out_deg: Vec<u32> = (0..nid(g.n()))
+            .map(|v| nid(g.out_degree(v).max(1)))
+            .collect();
+        let is_sink: Vec<bool> = (0..nid(g.n())).map(|v| g.out_degree(v) == 0).collect();
+        let state: Vec<f32> = if opts.redistribute {
+            vec![1.0 / n; g.n()]
+        } else {
+            (0..nid(g.n()))
+                .map(|v| {
+                    // Seeds start at their fixed point — the same contract
+                    // `pagerank` relies on for Mixen's seed caching.
+                    let rank0 = if g.in_degree(v) == 0 { base } else { 1.0 / n };
+                    rank0 / out_deg[v as usize] as f32
+                })
+                .collect()
+        };
+        Self {
+            engine,
+            damping: d,
+            base,
+            n,
+            redistribute: opts.redistribute,
+            out_deg,
+            is_sink,
+            state,
+            iterations: 0,
+        }
+    }
+
+    /// Total iterations advanced so far.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Advances `iters` more iterations; returns the max-norm score change
+    /// across the whole batch (an upper bound on the last iteration's
+    /// change, so `residual <= tol` is a conservative convergence test).
+    pub fn advance(&mut self, iters: usize) -> f64 {
+        if iters == 0 {
+            return 0.0;
+        }
+        let before = self.scores();
+        if self.redistribute {
+            let (base, d, n) = (self.base, self.damping, self.n);
+            for _ in 0..iters {
+                let dangling: f32 = self
+                    .state
+                    .iter()
+                    .zip(&self.is_sink)
+                    .filter(|&(_, &s)| s)
+                    .map(|(&r, _)| r)
+                    .sum();
+                let extra = d * dangling / n;
+                let next = {
+                    let rank = &self.state;
+                    let out_deg = &self.out_deg;
+                    let init = |v: NodeId| rank[v as usize] / out_deg[v as usize] as f32;
+                    let apply = move |_v: NodeId, sum: f32| base + extra + d * sum;
+                    self.engine.iterate(init, apply, 1)
+                };
+                self.state = next;
+            }
+        } else {
+            let next = {
+                let state = &self.state;
+                let out_deg = &self.out_deg;
+                let (base, d) = (self.base, self.damping);
+                let init = |v: NodeId| state[v as usize];
+                let apply = |v: NodeId, sum: f32| (base + d * sum) / out_deg[v as usize] as f32;
+                self.engine.iterate(init, apply, iters)
+            };
+            self.state = next;
+        }
+        self.iterations += iters;
+        self.scores()
+            .iter()
+            .zip(&before)
+            .map(|(a, b)| (a - b).abs() as f64)
+            .fold(0.0, f64::max)
+    }
+
+    /// The current per-node scores (rank values).
+    pub fn scores(&self) -> Vec<f32> {
+        if self.redistribute {
+            self.state.clone()
+        } else {
+            self.state
+                .iter()
+                .zip(&self.out_deg)
+                .map(|(&p, &odeg)| p * odeg as f32)
+                .collect()
+        }
+    }
+}
+
 /// Sum of all PageRank scores — without redistribution this leaks the
 /// dangling mass, so it lies in `(1-d, 1]`; with redistribution it stays at
 /// 1 (up to float error). Exposed for tests and examples.
@@ -339,6 +467,55 @@ mod tests {
                 assert!((x - y).abs() < 1e-5, "iters {iters}: {a:?} vs {b:?}");
             }
         }
+    }
+
+    /// The serving loop's contract: advancing in batches reproduces the
+    /// single-shot run bit-for-bit, because the stream stores the engine's
+    /// native (propagated) state between batches.
+    #[test]
+    fn stream_batches_match_single_shot_bitwise() {
+        use mixen_graph::{Dataset, Scale};
+        let g = Dataset::Weibo.generate(Scale::Tiny, 7);
+        let engine = MixenEngine::new(&g, MixenOpts::default());
+        let opts = PageRankOpts::default();
+        let full = pagerank(&g, &engine, opts, 12);
+        let mut stream = PageRankStream::new(&g, &engine, opts);
+        for batch in [1usize, 3, 8] {
+            let residual = stream.advance(batch);
+            assert!(residual.is_finite());
+        }
+        assert_eq!(stream.iterations(), 12);
+        let streamed = stream.scores();
+        let full_bits: Vec<u32> = full.iter().map(|s| s.to_bits()).collect();
+        let stream_bits: Vec<u32> = streamed.iter().map(|s| s.to_bits()).collect();
+        assert_eq!(full_bits, stream_bits);
+    }
+
+    #[test]
+    fn stream_redistribute_matches_batch_entry_point() {
+        let g = Graph::from_pairs(5, &[(0, 1), (1, 2), (2, 0), (3, 0), (0, 4)]);
+        let engine = ReferenceEngine::new(&g);
+        let opts = PageRankOpts {
+            redistribute: true,
+            ..PageRankOpts::default()
+        };
+        let full = pagerank(&g, &engine, opts, 9);
+        let mut stream = PageRankStream::new(&g, &engine, opts);
+        stream.advance(4);
+        stream.advance(5);
+        assert_eq!(stream.scores(), full);
+        assert!((total_mass(&stream.scores()) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn stream_residual_shrinks_and_zero_advance_is_free() {
+        let g = ring();
+        let engine = ReferenceEngine::new(&g);
+        let mut stream = PageRankStream::new(&g, &engine, PageRankOpts::default());
+        assert_eq!(stream.advance(0), 0.0);
+        let early = stream.advance(5);
+        let late = stream.advance(5);
+        assert!(late <= early, "residual grew: {early} -> {late}");
     }
 
     #[test]

@@ -6,16 +6,49 @@
 //! between score vectors, plus the top-k selection the examples and the
 //! CLI print.
 
+/// The serving-path rank order: descending score, NaN *last*, ties broken
+/// by node ID (ascending) so results are deterministic.
+///
+/// A plain descending `total_cmp` would sort NaN above every finite score
+/// (IEEE total order puts +NaN above +∞), so a single poisoned score would
+/// occupy rank 1 of every served top-k. Here NaN of either sign compares
+/// after all finite and infinite scores.
+fn rank_order(scores: &[f32], i: usize, j: usize) -> std::cmp::Ordering {
+    let (a, b) = (scores[i], scores[j]);
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => std::cmp::Ordering::Equal,
+        (true, false) => std::cmp::Ordering::Greater,
+        (false, true) => std::cmp::Ordering::Less,
+        (false, false) => b.total_cmp(&a),
+    }
+    .then(i.cmp(&j))
+}
+
 /// Indices of the `k` largest scores, in descending score order. Ties are
-/// broken by node ID (ascending) so results are deterministic.
+/// broken by node ID (ascending) so results are deterministic; NaN scores
+/// rank after every finite score (see `rank_order`).
+///
+/// This is a per-request hot path in `mixen-serve`, so selection is
+/// partial: an O(n) `select_nth_unstable_by` narrows the candidates to `k`
+/// before the O(k log k) sort — not the full O(n log n) sort the batch
+/// tools used to pay.
 pub fn top_k(scores: &[f32], k: usize) -> Vec<usize> {
+    let k = k.min(scores.len());
+    if k == 0 {
+        return Vec::new();
+    }
     let mut idx: Vec<usize> = (0..scores.len()).collect();
-    idx.sort_by(|&i, &j| scores[j].total_cmp(&scores[i]).then(i.cmp(&j)));
-    idx.truncate(k.min(scores.len()));
+    if k < idx.len() {
+        idx.select_nth_unstable_by(k - 1, |&i, &j| rank_order(scores, i, j));
+        idx.truncate(k);
+    }
+    idx.sort_unstable_by(|&i, &j| rank_order(scores, i, j));
     idx
 }
 
 /// Fraction of the top-k sets that two score vectors share, in `[0, 1]`.
+/// Inherits [`top_k`]'s NaN-last guard: a poisoned score cannot inflate
+/// either top-k set, so the overlap compares the *valid* leaders.
 pub fn top_k_overlap(a: &[f32], b: &[f32], k: usize) -> f64 {
     assert_eq!(a.len(), b.len());
     let k = k.min(a.len());
@@ -103,6 +136,51 @@ mod tests {
         assert_eq!(top_k(&scores, 3), vec![1, 3, 2]);
         assert_eq!(top_k(&scores, 99).len(), 5);
         assert!(top_k(&scores, 0).is_empty());
+    }
+
+    /// Regression: NaN used to sort *above* +∞ under descending
+    /// `total_cmp`, so one poisoned score owned rank 1 of every served
+    /// top-k. NaN (either sign) must rank last.
+    #[test]
+    fn top_k_orders_nan_last() {
+        let scores = [1.0f32, f32::NAN, 3.0, -f32::NAN, 2.0];
+        assert_eq!(top_k(&scores, 3), vec![2, 4, 0]);
+        // NaNs only appear once every finite score is exhausted, in
+        // node-id order.
+        assert_eq!(top_k(&scores, 5), vec![2, 4, 0, 1, 3]);
+        let all_nan = [f32::NAN; 3];
+        assert_eq!(top_k(&all_nan, 2), vec![0, 1]);
+        // -inf still beats NaN.
+        let with_inf = [f32::NAN, f32::NEG_INFINITY, f32::INFINITY];
+        assert_eq!(top_k(&with_inf, 3), vec![2, 1, 0]);
+    }
+
+    /// The partial-selection path must agree with a full sort on every
+    /// k, NaN entries included.
+    #[test]
+    fn top_k_partial_selection_matches_full_sort() {
+        let scores: Vec<f32> = (0..257)
+            .map(|i| {
+                if i % 51 == 0 {
+                    f32::NAN
+                } else {
+                    ((i as f32) * 0.37).sin() * 10.0
+                }
+            })
+            .collect();
+        let mut full: Vec<usize> = (0..scores.len()).collect();
+        full.sort_by(|&i, &j| rank_order(&scores, i, j));
+        for k in [1, 2, 7, 64, 256, 257, 300] {
+            assert_eq!(top_k(&scores, k), full[..k.min(scores.len())], "k={k}");
+        }
+    }
+
+    #[test]
+    fn overlap_ignores_nan_poisoning() {
+        let clean = [4.0f32, 3.0, 2.0, 1.0];
+        let poisoned = [4.0f32, 3.0, f32::NAN, 1.0];
+        // Ranks 1–2 are unaffected by the poisoned third entry.
+        assert_eq!(top_k_overlap(&clean, &poisoned, 2), 1.0);
     }
 
     #[test]

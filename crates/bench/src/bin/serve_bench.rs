@@ -1,0 +1,72 @@
+//! Serve load benchmark (EXPERIMENTS.md "Serving layer" protocol): starts
+//! an in-process `mixen-serve` server on the first requested dataset and
+//! sweeps closed-loop client concurrency, reporting p50/p99 latency and
+//! sustained QPS per level.
+//!
+//! The server runs with its default worker/queue configuration (4 workers,
+//! 128-slot admission queue) on the global pool width, so `--threads` only
+//! affects the resident engine, not the request path. Latency includes
+//! connect + queueing + service — the full client-visible cost.
+
+use std::sync::Arc;
+
+use mixen_bench::BenchOpts;
+use mixen_core::Json;
+use mixen_serve::{run_load, LoadOpts, ServeOpts, Server};
+
+/// Client concurrency levels of the sweep.
+const SWEEP: [usize; 4] = [1, 2, 4, 8];
+/// Requests per client at each level.
+const REQUESTS_PER_CLIENT: usize = 150;
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    let dataset = *opts.datasets.first().expect("at least one dataset");
+    let g = Arc::new(opts.gen(dataset));
+    println!(
+        "serve load sweep on {} ({:?}): n = {}, m = {}, {} requests/client",
+        dataset.name(),
+        opts.scale,
+        g.n(),
+        g.m(),
+        REQUESTS_PER_CLIENT
+    );
+
+    let handle = Server::start(Arc::clone(&g), ServeOpts::default()).expect("server start");
+    let addr = handle.addr();
+    println!(
+        "{:>6}  {:>8} {:>8} {:>8}  {:>9} {:>9}  {:>9}",
+        "conc", "ok", "reject", "errors", "p50_ms", "p99_ms", "qps"
+    );
+    let mut levels: Vec<Json> = Vec::new();
+    for &concurrency in &SWEEP {
+        let report = run_load(
+            addr,
+            &LoadOpts {
+                concurrency,
+                requests_per_client: REQUESTS_PER_CLIENT,
+                top_k: 10,
+            },
+        );
+        println!(
+            "{:>6}  {:>8} {:>8} {:>8}  {:>9.3} {:>9.3}  {:>9.1}",
+            report.concurrency,
+            report.ok,
+            report.rejected,
+            report.errors,
+            report.p50_ms,
+            report.p99_ms,
+            report.qps
+        );
+        levels.push(report.to_json());
+    }
+    handle.shutdown_and_join();
+
+    opts.write_json_sidecar(
+        "serve_bench",
+        vec![
+            ("dataset".to_string(), Json::Str(dataset.name().to_string())),
+            ("levels".to_string(), Json::Arr(levels)),
+        ],
+    );
+}

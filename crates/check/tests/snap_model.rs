@@ -1,0 +1,104 @@
+//! Model tests for the serving layer's snapshot-swap protocol
+//! (`mixen_core::SnapCell`): under every explored interleaving of `load`
+//! and `publish`,
+//!
+//! * a reader never observes a *torn* pair — the payload it gets always
+//!   belongs to the version it gets (each published payload encodes its
+//!   version, so `*value == version` is the atomicity oracle);
+//! * versions observed by one reader never go backwards (no
+//!   stale-then-fresh-then-stale);
+//! * concurrent writers serialize: versions end at the publish count.
+//!
+//! The cell's atomics and slot mutexes route through `mixen-core`'s
+//! `msync` facade, so the `model-check` build explores real schedules of
+//! the real protocol code, not a re-implementation.
+
+use std::sync::Arc;
+
+use mixen_check::{check, thread, Config};
+use mixen_core::SnapCell;
+
+#[test]
+fn loads_never_tear_and_never_regress_during_swaps() {
+    let report = check(
+        "snapcell_load_vs_publish",
+        Config {
+            preemption_bound: 2,
+            max_schedules: 200_000,
+            ..Config::default()
+        },
+        || {
+            let cell = Arc::new(SnapCell::new(Arc::new(0u64)));
+            let writer = {
+                let cell = Arc::clone(&cell);
+                thread::spawn(move || {
+                    // Two publishes: version 1 then 2, payload == version.
+                    // Two are what make the double-buffer interesting — the
+                    // second overwrites the slot the first retired, which is
+                    // exactly where a torn read would come from.
+                    for v in 1..=2u64 {
+                        assert_eq!(cell.publish(Arc::new(v)), v);
+                    }
+                })
+            };
+            let reader = {
+                let cell = Arc::clone(&cell);
+                thread::spawn(move || {
+                    let mut last = 0u64;
+                    for _ in 0..2 {
+                        let (version, value) = cell.load();
+                        assert_eq!(*value, version, "torn version/payload pair");
+                        assert!(version >= last, "version regressed {last} -> {version}");
+                        last = version;
+                    }
+                })
+            };
+            writer.join().unwrap();
+            reader.join().unwrap();
+            let (version, value) = cell.load();
+            assert_eq!((version, *value), (2, 2));
+        },
+    );
+    assert!(report.schedules > 1, "explored {}", report.schedules);
+}
+
+#[test]
+fn concurrent_writers_serialize_and_lose_no_publish() {
+    let report = check(
+        "snapcell_writer_vs_writer",
+        Config {
+            preemption_bound: 2,
+            max_schedules: 200_000,
+            ..Config::default()
+        },
+        || {
+            let cell = Arc::new(SnapCell::new(Arc::new(0u64)));
+            let writers: Vec<_> = (0..2)
+                .map(|_| {
+                    let cell = Arc::clone(&cell);
+                    thread::spawn(move || {
+                        // Payload mirrors the version the publish got, so
+                        // the final read can check the last write won
+                        // whole, whatever the serialization order.
+                        let (version, _) = cell.load();
+                        let published = cell.publish(Arc::new(version + 1));
+                        assert!(published >= 1);
+                    })
+                })
+                .collect();
+            for w in writers {
+                w.join().unwrap();
+            }
+            // Exactly two publishes happened — versions are handed out
+            // under the writer mutex, so none can be lost or duplicated.
+            assert_eq!(cell.version(), 2);
+            let (version, value) = cell.load();
+            assert_eq!(version, 2);
+            // The payload is whatever the second-serialized writer staged
+            // (it read version 0 or 1 before publishing); it must be one of
+            // those, intact.
+            assert!(*value == 1 || *value == 2, "torn payload {}", *value);
+        },
+    );
+    assert!(report.schedules > 1, "explored {}", report.schedules);
+}

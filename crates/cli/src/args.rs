@@ -69,15 +69,52 @@ impl Args {
         Ok(self.opt_parse(key)?.unwrap_or(default))
     }
 
-    /// Rejects unknown option keys (call after reading the known ones).
+    /// Rejects unknown option keys. Every subcommand calls this *before*
+    /// touching any input, so a typo like `--dedline-ms` is a hard usage
+    /// error (exit 2) naming the flag — never a silently ignored option —
+    /// and close misses get a did-you-mean hint.
     pub fn expect_only(&self, known: &[&str]) -> Result<(), ArgError> {
         for key in self.options.keys() {
             if !known.contains(&key.as_str()) {
-                return Err(format!("unknown flag --{key}"));
+                return Err(match nearest_flag(key, known) {
+                    Some(suggestion) => {
+                        format!("unknown flag --{key} (did you mean --{suggestion}?)")
+                    }
+                    None => format!("unknown flag --{key}"),
+                });
             }
         }
         Ok(())
     }
+}
+
+/// The closest known flag within edit distance 2, for typo hints.
+fn nearest_flag<'a>(key: &str, known: &[&'a str]) -> Option<&'a str> {
+    known
+        .iter()
+        .map(|&k| (edit_distance(key, k), k))
+        .filter(|&(d, _)| d <= 2)
+        .min_by_key(|&(d, _)| d)
+        .map(|(_, k)| k)
+}
+
+/// Levenshtein distance (single-row DP); flags are short so O(|a|·|b|) is
+/// nothing.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut row: Vec<usize> = (0..=b.len()).collect();
+    for (i, &ca) in a.iter().enumerate() {
+        let mut prev_diag = row[0];
+        row[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            let next = (prev_diag + cost).min(row[j] + 1).min(row[j + 1] + 1);
+            prev_diag = row[j + 1];
+            row[j + 1] = next;
+        }
+    }
+    row[b.len()]
 }
 
 #[cfg(test)]
@@ -118,6 +155,30 @@ mod tests {
         let a = parse("--good 1 --bad 2").unwrap();
         assert!(a.expect_only(&["good"]).is_err());
         assert!(a.expect_only(&["good", "bad"]).is_ok());
+    }
+
+    #[test]
+    fn unknown_flag_errors_name_the_flag_and_suggest() {
+        let a = parse("--dedline-ms 5").unwrap();
+        let err = a.expect_only(&["deadline-ms", "iters"]).unwrap_err();
+        assert_eq!(
+            err,
+            "unknown flag --dedline-ms (did you mean --deadline-ms?)"
+        );
+        // Nothing close: no suggestion clause.
+        let a = parse("--zzz 1").unwrap();
+        assert_eq!(
+            a.expect_only(&["deadline-ms"]).unwrap_err(),
+            "unknown flag --zzz"
+        );
+    }
+
+    #[test]
+    fn edit_distance_basics() {
+        assert_eq!(edit_distance("", "abc"), 3);
+        assert_eq!(edit_distance("abc", "abc"), 0);
+        assert_eq!(edit_distance("dedline-ms", "deadline-ms"), 1);
+        assert_eq!(edit_distance("kitten", "sitting"), 3);
     }
 
     #[test]

@@ -5,8 +5,11 @@ use crate::commands::{build_engine, load_graph};
 use crate::error::CliError;
 use mixen_algos::{bfs, default_root, summarize};
 
+/// Flags this subcommand accepts; anything else is a usage error.
+pub const FLAGS: &[&str] = &["root", "engine", "out", "threads"];
+
 pub fn run(args: &Args) -> Result<(), CliError> {
-    args.expect_only(&["root", "engine", "out", "threads"])?;
+    args.expect_only(FLAGS)?;
     let path = args.positional(0, "graph.mxg")?;
     let g = load_graph(path)?;
     let engine = build_engine(args.opt("engine"), &g)?;

@@ -7,8 +7,11 @@ use std::io::BufReader;
 use crate::args::Args;
 use crate::error::CliError;
 
+/// Flags this subcommand accepts; anything else is a usage error.
+pub const FLAGS: &[&str] = &["min-nodes", "max-nodes", "threads"];
+
 pub fn run(args: &Args) -> Result<(), CliError> {
-    args.expect_only(&["min-nodes", "max-nodes", "threads"])?;
+    args.expect_only(FLAGS)?;
     if args.positional_len() != 2 {
         return Err(CliError::usage(
             "convert takes exactly <input> and <output>",

@@ -4,8 +4,11 @@ use crate::args::Args;
 use crate::commands::{parse_dataset, parse_scale};
 use crate::error::CliError;
 
+/// Flags this subcommand accepts; anything else is a usage error.
+pub const FLAGS: &[&str] = &["dataset", "scale", "seed", "out", "threads"];
+
 pub fn run(args: &Args) -> Result<(), CliError> {
-    args.expect_only(&["dataset", "scale", "seed", "out", "threads"])?;
+    args.expect_only(FLAGS)?;
     let dataset = parse_dataset(
         args.opt("dataset")
             .ok_or_else(|| CliError::usage("--dataset is required"))?,

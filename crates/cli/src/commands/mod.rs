@@ -8,6 +8,7 @@ pub mod bfs;
 pub mod convert;
 pub mod gen;
 pub mod rank;
+pub mod serve;
 pub mod stats;
 
 use crate::error::CliError;

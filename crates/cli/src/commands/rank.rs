@@ -46,25 +46,28 @@ fn write_metrics_json(path: &str, report: &RunReport) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Flags this subcommand accepts; anything else is a usage error.
+pub const FLAGS: &[&str] = &[
+    "algo",
+    "engine",
+    "iters",
+    "top",
+    "out",
+    "damping",
+    "supervised",
+    "metrics-json",
+    "threads",
+    "checkpoint",
+    "checkpoint-every",
+    "resume",
+    "deadline-ms",
+    "stall-ms",
+    "inject-stall-ms",
+    "exit-after-checkpoints",
+];
+
 pub fn run(args: &Args) -> Result<(), CliError> {
-    args.expect_only(&[
-        "algo",
-        "engine",
-        "iters",
-        "top",
-        "out",
-        "damping",
-        "supervised",
-        "metrics-json",
-        "threads",
-        "checkpoint",
-        "checkpoint-every",
-        "resume",
-        "deadline-ms",
-        "stall-ms",
-        "inject-stall-ms",
-        "exit-after-checkpoints",
-    ])?;
+    args.expect_only(FLAGS)?;
     let path = args.positional(0, "graph.mxg")?;
     let g = load_graph(path)?;
     let iters: usize = args.opt_or("iters", 20)?;
@@ -267,11 +270,12 @@ pub fn run(args: &Args) -> Result<(), CliError> {
         println!("wrote {} scores to {out}", scores.len());
     }
 
-    let mut ranked: Vec<(usize, f32)> = scores.iter().copied().enumerate().collect();
-    ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
+    // The shared top-k: partial selection, NaN-last — the same ordering the
+    // serving layer exposes (a poisoned score can no longer claim rank 1).
+    let ranked = mixen_algos::top_k(&scores, top);
     println!("top {top} nodes by {label}:");
-    for (v, s) in ranked.iter().take(top) {
-        println!("  {v:>10}  {s:.6}");
+    for &v in &ranked {
+        println!("  {v:>10}  {s:.6}", s = scores[v]);
     }
     Ok(())
 }

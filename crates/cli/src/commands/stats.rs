@@ -6,8 +6,11 @@ use crate::commands::load_graph;
 use crate::error::CliError;
 use mixen_graph::{weakly_connected_components, DegreeDistribution, Direction, StructuralStats};
 
+/// Flags this subcommand accepts; anything else is a usage error.
+pub const FLAGS: &[&str] = &["threads"];
+
 pub fn run(args: &Args) -> Result<(), CliError> {
-    args.expect_only(&["threads"])?;
+    args.expect_only(FLAGS)?;
     let path = args.positional(0, "graph.mxg")?;
     let g = load_graph(path)?;
 

@@ -6,6 +6,7 @@
 //! mixen stats   graph.mxg                    # structure, degrees, components
 //! mixen rank    graph.mxg --algo pagerank --engine mixen --iters 100 --top 10
 //! mixen bfs     graph.mxg --root 0 --engine mixen
+//! mixen serve   graph.mxg --addr 127.0.0.1:7464   # online ranking service
 //! ```
 //!
 //! Exit codes: 0 on success, 1 on runtime failure (missing/corrupt graph,
@@ -28,6 +29,7 @@ fn main() {
         "stats" => commands::stats::run(&parsed),
         "rank" => commands::rank::run(&parsed),
         "bfs" => commands::bfs::run(&parsed),
+        "serve" => commands::serve::run(&parsed),
         "help" | "--help" | "-h" => usage(None),
         other => usage(Some(&format!("unknown subcommand '{other}'"))),
     };
@@ -77,6 +79,8 @@ fn usage(err: Option<&str>) -> ! {
          \x20          supervised-only: [--checkpoint snap.ckpt] [--checkpoint-every N] [--resume true]\n\
          \x20          [--deadline-ms N] [--stall-ms N]\n\
          \x20 bfs      <graph.mxg> [--root N] [--engine ...]\n\
+         \x20 serve    <graph.mxg> [--addr host:port] [--workers N] [--queue-cap N] [--batch-cap N]\n\
+         \x20          [--deadline-ms N] [--refresh-every N] [--iters N] [--damping D] [--port-file PATH]\n\
          \n\
          global flags:\n\
          \x20 --threads N   worker lanes for parallel kernels (default: MIXEN_THREADS env,\n\

@@ -43,6 +43,7 @@ pub mod obs;
 pub mod opts;
 pub mod runner;
 pub mod scga;
+pub mod snap;
 pub mod wengine;
 
 /// Atomics facade for the concurrency-audited sites (the SCGA claim flags
@@ -53,10 +54,12 @@ pub mod wengine;
 #[cfg(feature = "model-check")]
 pub(crate) mod msync {
     pub(crate) use mixen_check::sync::atomic;
+    pub(crate) use mixen_check::sync::Mutex;
 }
 #[cfg(not(feature = "model-check"))]
 pub(crate) mod msync {
     pub(crate) use std::sync::atomic;
+    pub(crate) use std::sync::Mutex;
 }
 
 /// Model probes (`model-check` feature): handles that let `mixen-check`
@@ -80,4 +83,5 @@ pub use runner::{
     DegradationEvent, EngineUsed, NumericIssue, Resumed, RobustRunner, RunFailure, RunReport,
     RunnerOpts, ValueCheck,
 };
+pub use snap::SnapCell;
 pub use wengine::WMixenEngine;

@@ -103,6 +103,15 @@ impl Gauge {
         // ordering: snapshots are read at quiescent points (after joins).
         self.0.load(Ordering::Relaxed)
     }
+
+    /// Raises the level to `v` if it is higher than the current one —
+    /// high-water-mark semantics for values raced by several threads
+    /// (e.g. the largest request batch any serve worker drained).
+    #[inline]
+    pub fn max(&self, v: u64) {
+        // ordering: high-water mark — only the final maximum matters.
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
 }
 
 /// The fixed counter catalogue. Names are the JSON keys of the `counters`
@@ -115,7 +124,12 @@ impl Gauge {
 /// written into report snapshots by the supervised runner (`pool_workers`
 /// and `watchdog_wakeups` with gauge semantics, the rest as per-run
 /// counts) and have no field in the live [`Metrics`] registry.
-pub const COUNTER_NAMES: [&str; 23] = [
+///
+/// The serving block (`requests_served` … `max_batch_size`) is owned by the
+/// `mixen-serve` request path: the server keeps its own [`Metrics`] registry
+/// and exposes it at `/metrics`, merged with the resident engine's kernel
+/// counters (which use the same catalogue, so the merge is by name).
+pub const COUNTER_NAMES: [&str; 28] = [
     "edges_scattered",
     "edges_gathered",
     "bin_bytes_streamed",
@@ -139,6 +153,11 @@ pub const COUNTER_NAMES: [&str; 23] = [
     "watchdog_wakeups",
     "deadline_exceeded",
     "lane_degradations",
+    "requests_served",
+    "requests_rejected",
+    "snapshot_swaps",
+    "request_batches",
+    "max_batch_size",
 ];
 
 /// The live metrics registry one engine (or runner) owns. All fields are
@@ -176,6 +195,19 @@ pub struct Metrics {
     pub batch_reentries: Counter,
     /// Single-iteration re-runs spent locating a fault inside a batch.
     pub fault_bisect_steps: Counter,
+    /// Requests answered with any response, including error statuses
+    /// (serve).
+    pub requests_served: Counter,
+    /// Requests turned away by admission control with a 429 (serve).
+    pub requests_rejected: Counter,
+    /// Rank snapshots published to the readers, the initial one included
+    /// (serve).
+    pub snapshot_swaps: Counter,
+    /// Batches of queued requests drained by the workers (serve);
+    /// `requests_served / request_batches` is the mean batch size.
+    pub request_batches: Counter,
+    /// Largest single batch any worker drained (serve, high-water mark).
+    pub max_batch_size: Gauge,
 }
 
 impl Metrics {
@@ -209,6 +241,11 @@ impl Metrics {
             ("engine_fallbacks", self.engine_fallbacks.get()),
             ("batch_reentries", self.batch_reentries.get()),
             ("fault_bisect_steps", self.fault_bisect_steps.get()),
+            ("requests_served", self.requests_served.get()),
+            ("requests_rejected", self.requests_rejected.get()),
+            ("snapshot_swaps", self.snapshot_swaps.get()),
+            ("request_batches", self.request_batches.get()),
+            ("max_batch_size", self.max_batch_size.get()),
         ]
         .into_iter()
     }
@@ -231,6 +268,11 @@ impl Metrics {
         self.engine_fallbacks.set(0);
         self.batch_reentries.set(0);
         self.fault_bisect_steps.set(0);
+        self.requests_served.set(0);
+        self.requests_rejected.set(0);
+        self.snapshot_swaps.set(0);
+        self.request_batches.set(0);
+        self.max_batch_size.set(0);
     }
 }
 
@@ -255,6 +297,11 @@ impl Clone for Metrics {
         m.engine_fallbacks.set(self.engine_fallbacks.get());
         m.batch_reentries.set(self.batch_reentries.get());
         m.fault_bisect_steps.set(self.fault_bisect_steps.get());
+        m.requests_served.set(self.requests_served.get());
+        m.requests_rejected.set(self.requests_rejected.get());
+        m.snapshot_swaps.set(self.snapshot_swaps.get());
+        m.request_batches.set(self.request_batches.get());
+        m.max_batch_size.set(self.max_batch_size.get());
         m
     }
 }
@@ -490,10 +537,16 @@ impl Json {
     /// Parses `src` as a single JSON value (trailing whitespace allowed).
     /// This is the validating half of the round-trip tests and of the CI
     /// smoke check; it accepts standard JSON, nothing more.
+    ///
+    /// Nesting is capped at [`MAX_JSON_DEPTH`]: the parser recurses per
+    /// container level, so an unbounded input like `[[[[…` would otherwise
+    /// overflow the stack — remotely reachable once bodies arrive over the
+    /// network in `mixen-serve`. Hostile depth surfaces as a typed
+    /// [`GraphError::Capacity`], never a crash.
     pub fn parse(src: &str) -> Result<Json, GraphError> {
         let bytes = src.as_bytes();
         let mut pos = 0usize;
-        let val = parse_value(bytes, &mut pos)?;
+        let val = parse_value(bytes, &mut pos, 0)?;
         skip_ws(bytes, &mut pos);
         if pos != bytes.len() {
             return Err(parse_err(pos, "trailing content after JSON value"));
@@ -501,6 +554,10 @@ impl Json {
         Ok(val)
     }
 }
+
+/// Deepest container nesting [`Json::parse`] accepts. Far above anything a
+/// report produces (reports nest 3–4 levels), far below stack exhaustion.
+pub const MAX_JSON_DEPTH: usize = 96;
 
 fn write_num(out: &mut String, v: f64) {
     if !v.is_finite() {
@@ -591,12 +648,12 @@ fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), GraphError> {
     }
 }
 
-fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, GraphError> {
+fn parse_value(b: &[u8], pos: &mut usize, depth: usize) -> Result<Json, GraphError> {
     skip_ws(b, pos);
     match b.get(*pos) {
         None => Err(parse_err(*pos, "unexpected end of input")),
-        Some(b'{') => parse_obj(b, pos),
-        Some(b'[') => parse_arr(b, pos),
+        Some(b'{') => parse_obj(b, pos, depth),
+        Some(b'[') => parse_arr(b, pos, depth),
         Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
         Some(b't') => parse_lit(b, pos, "true", Json::Bool(true)),
         Some(b'f') => parse_lit(b, pos, "false", Json::Bool(false)),
@@ -684,7 +741,20 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, GraphError> {
     }
 }
 
-fn parse_arr(b: &[u8], pos: &mut usize) -> Result<Json, GraphError> {
+/// Rejects a container opening beyond [`MAX_JSON_DEPTH`] levels.
+fn check_depth(depth: usize) -> Result<(), GraphError> {
+    if depth >= MAX_JSON_DEPTH {
+        return Err(GraphError::Capacity {
+            what: "json nesting depth",
+            requested: depth as u64 + 1,
+            limit: MAX_JSON_DEPTH as u64,
+        });
+    }
+    Ok(())
+}
+
+fn parse_arr(b: &[u8], pos: &mut usize, depth: usize) -> Result<Json, GraphError> {
+    check_depth(depth)?;
     expect(b, pos, b'[')?;
     let mut items = Vec::new();
     skip_ws(b, pos);
@@ -693,7 +763,7 @@ fn parse_arr(b: &[u8], pos: &mut usize) -> Result<Json, GraphError> {
         return Ok(Json::Arr(items));
     }
     loop {
-        items.push(parse_value(b, pos)?);
+        items.push(parse_value(b, pos, depth + 1)?);
         skip_ws(b, pos);
         match b.get(*pos) {
             Some(b',') => *pos += 1,
@@ -706,7 +776,8 @@ fn parse_arr(b: &[u8], pos: &mut usize) -> Result<Json, GraphError> {
     }
 }
 
-fn parse_obj(b: &[u8], pos: &mut usize) -> Result<Json, GraphError> {
+fn parse_obj(b: &[u8], pos: &mut usize, depth: usize) -> Result<Json, GraphError> {
+    check_depth(depth)?;
     expect(b, pos, b'{')?;
     let mut members = Vec::new();
     skip_ws(b, pos);
@@ -719,7 +790,7 @@ fn parse_obj(b: &[u8], pos: &mut usize) -> Result<Json, GraphError> {
         let key = parse_string(b, pos)?;
         skip_ws(b, pos);
         expect(b, pos, b':')?;
-        let val = parse_value(b, pos)?;
+        let val = parse_value(b, pos, depth + 1)?;
         members.push((key, val));
         skip_ws(b, pos);
         match b.get(*pos) {
@@ -860,6 +931,56 @@ mod tests {
         ] {
             assert!(Json::parse(bad).is_err(), "{bad:?} should fail");
         }
+    }
+
+    #[test]
+    fn gauge_max_is_a_high_water_mark() {
+        let g = Gauge::default();
+        g.max(5);
+        g.max(3);
+        assert_eq!(g.get(), 5);
+        g.max(9);
+        assert_eq!(g.get(), 9);
+    }
+
+    /// A remote body of pathological nesting must come back as a typed
+    /// capacity error, not a stack overflow — `Json::parse` fronts network
+    /// input in `mixen-serve`.
+    #[test]
+    fn json_parse_caps_hostile_nesting_depth() {
+        for hostile in [
+            "[".repeat(100_000),
+            format!("{}1{}", "[".repeat(100_000), "]".repeat(100_000)),
+            "{\"a\":".repeat(100_000),
+            format!("{}[{{\"deep\": true}}]{}", "[".repeat(200), "]".repeat(200)),
+        ] {
+            match Json::parse(&hostile) {
+                Err(GraphError::Capacity {
+                    what,
+                    requested,
+                    limit,
+                }) => {
+                    assert_eq!(what, "json nesting depth");
+                    assert_eq!(limit, MAX_JSON_DEPTH as u64);
+                    assert!(requested > limit);
+                }
+                other => panic!("expected a capacity error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn json_parse_accepts_depths_below_the_cap() {
+        let deep = format!(
+            "{}42{}",
+            "[".repeat(MAX_JSON_DEPTH - 1),
+            "]".repeat(MAX_JSON_DEPTH - 1)
+        );
+        let mut expect = Json::Num(42.0);
+        for _ in 0..MAX_JSON_DEPTH - 1 {
+            expect = Json::Arr(vec![expect]);
+        }
+        assert_eq!(Json::parse(&deep).unwrap(), expect);
     }
 
     #[test]

@@ -1,0 +1,169 @@
+//! Admission control: a bounded pending-request queue.
+//!
+//! The accept loop pushes, the request workers pop in batches. Pushing
+//! against a full (or closed) queue fails *immediately* — the accept loop
+//! answers 429 rather than letting latency grow without bound — which is
+//! the whole point: under overload the server sheds load at the door
+//! instead of queueing until every client times out.
+//!
+//! Batch pops are what turns concurrent requests into shared work: one
+//! snapshot load (and one set of metrics updates) serves the whole batch.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// A bounded multi-producer multi-consumer queue with batch pops.
+pub struct Admission<T> {
+    cap: usize,
+    state: Mutex<State<T>>,
+    ready: Condvar,
+}
+
+struct State<T> {
+    queue: VecDeque<T>,
+    closed: bool,
+}
+
+impl<T> Admission<T> {
+    /// A queue admitting at most `cap` pending items (min 1).
+    pub fn new(cap: usize) -> Self {
+        Self {
+            cap: cap.max(1),
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Admits `item`, returning the queue depth after the push; gives the
+    /// item back when the queue is full or closed (the caller owns the
+    /// rejection response).
+    pub fn try_push(&self, item: T) -> Result<usize, T> {
+        let mut st = self.lock();
+        if st.closed || st.queue.len() >= self.cap {
+            return Err(item);
+        }
+        st.queue.push_back(item);
+        let depth = st.queue.len();
+        drop(st);
+        self.ready.notify_one();
+        Ok(depth)
+    }
+
+    /// Blocks until at least one item is available, then drains up to `max`
+    /// items. Returns an empty batch only when the queue is closed *and*
+    /// fully drained — the worker's signal to exit.
+    pub fn pop_batch(&self, max: usize) -> Vec<T> {
+        let mut st = self.lock();
+        loop {
+            if !st.queue.is_empty() {
+                let n = st.queue.len().min(max.max(1));
+                return st.queue.drain(..n).collect();
+            }
+            if st.closed {
+                return Vec::new();
+            }
+            st = self
+                .ready
+                .wait(st)
+                .unwrap_or_else(|poison| poison.into_inner());
+        }
+    }
+
+    /// Closes the queue: future pushes fail, and workers exit once the
+    /// backlog is drained (items already admitted are still served — this
+    /// is the graceful-drain half of shutdown).
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Current queue depth.
+    pub fn len(&self) -> usize {
+        self.lock().queue.len()
+    }
+
+    /// Whether [`Admission::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.lock().closed
+    }
+
+    /// True when no items are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn lock(&self) -> MutexGuard<'_, State<T>> {
+        // A worker that panicked while holding the lock leaves consistent
+        // state (queue mutations are single push/drain calls).
+        self.state
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn bounded_push_rejects_overflow() {
+        let q = Admission::new(2);
+        assert_eq!(q.try_push(1u32), Ok(1));
+        assert_eq!(q.try_push(2), Ok(2));
+        assert_eq!(q.try_push(3), Err(3));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn pop_batch_caps_and_preserves_order() {
+        let q = Admission::new(8);
+        for i in 0..5u32 {
+            q.try_push(i).unwrap();
+        }
+        assert_eq!(q.pop_batch(3), vec![0, 1, 2]);
+        assert_eq!(q.pop_batch(16), vec![3, 4]);
+    }
+
+    #[test]
+    fn close_drains_then_releases_workers() {
+        let q = Arc::new(Admission::new(8));
+        q.try_push(7u32).unwrap();
+        q.close();
+        assert!(q.try_push(8).is_err());
+        // Admitted work is still served after close...
+        assert_eq!(q.pop_batch(4), vec![7]);
+        // ...and only then do poppers get the exit signal.
+        assert_eq!(q.pop_batch(4), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn blocked_pop_wakes_on_push_and_on_close() {
+        let q = Arc::new(Admission::new(4));
+        let popper = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut seen = Vec::new();
+                loop {
+                    let batch = q.pop_batch(2);
+                    if batch.is_empty() {
+                        return seen;
+                    }
+                    seen.extend(batch);
+                }
+            })
+        };
+        for i in 0..6u32 {
+            while q.try_push(i).is_err() {
+                std::thread::yield_now();
+            }
+        }
+        q.close();
+        let mut seen = popper.join().unwrap();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 3, 4, 5]);
+    }
+}

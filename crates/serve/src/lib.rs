@@ -1,0 +1,43 @@
+//! **mixen-serve** — the online ranking service over resident Mixen
+//! engines.
+//!
+//! Everything in the rest of the workspace is batch: load → rank → exit.
+//! This crate turns the same machinery into a long-lived server answering
+//! concurrent queries:
+//!
+//! * **Resident ranking** — one thread owns a prepared
+//!   [`mixen_core::MixenEngine`] and advances PageRank a few iterations at
+//!   a time ([`mixen_algos::PageRankStream`]), following exactly the
+//!   trajectory of a batch run.
+//! * **Atomic snapshots** — each refresh publishes an immutable
+//!   [`RankSnapshot`] through [`mixen_core::SnapCell`]; reads never block
+//!   ranking, ranking never blocks reads, and the swap protocol is
+//!   model-checked (`crates/check/tests/snap_model.rs`).
+//! * **Admission control** — a bounded pending queue ([`Admission`]); over
+//!   capacity the accept loop answers 429 instead of queueing unboundedly.
+//! * **Request batching** — workers drain the queue in batches and serve
+//!   each batch from a single snapshot load.
+//! * **Per-request deadlines** — `?deadline_ms=` (or the configured
+//!   default) counts queueing time against the budget and answers 504 with
+//!   the same typed rendering as the batch runner's
+//!   [`mixen_graph::GraphError::Deadline`].
+//! * **Graceful drain** — SIGINT/SIGTERM (CLI), `POST /admin/shutdown`, or
+//!   [`ServerHandle::shutdown`] stop admission, serve the admitted
+//!   backlog, and join every thread before exit.
+//!
+//! The HTTP layer is hand-rolled over `std::net` (the build environment is
+//! offline; no hyper, no tokio): HTTP/1.1, one request per connection,
+//! bounded head/body sizes. See DESIGN.md §9 for the full protocol and
+//! README for the endpoint table.
+
+pub mod admission;
+pub mod http;
+pub mod loadgen;
+pub mod server;
+pub mod signal;
+pub mod snapshot;
+
+pub use admission::Admission;
+pub use loadgen::{http_get, http_request, run_load, LoadOpts, LoadReport};
+pub use server::{ServeOpts, Server, ServerHandle};
+pub use snapshot::RankSnapshot;

@@ -1,0 +1,232 @@
+//! Closed-loop load generator for the serve bench and the CI smoke job.
+//!
+//! Each client thread issues requests back-to-back (a closed loop: the next
+//! request starts when the previous response lands), mixing top-k and
+//! single-score lookups. Latency is measured connect-to-last-byte, i.e. the
+//! full cost a caller pays, queueing and admission included; 429s are
+//! counted separately so overload shows up as shed load, not as latency.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use mixen_core::Json;
+
+/// Load-generator parameters.
+#[derive(Clone, Debug)]
+pub struct LoadOpts {
+    /// Concurrent client threads.
+    pub concurrency: usize,
+    /// Requests per client thread.
+    pub requests_per_client: usize,
+    /// `k` for the top-k requests in the mix.
+    pub top_k: usize,
+}
+
+impl Default for LoadOpts {
+    fn default() -> Self {
+        Self {
+            concurrency: 4,
+            requests_per_client: 200,
+            top_k: 10,
+        }
+    }
+}
+
+/// One load run's outcome.
+#[derive(Clone, Debug)]
+pub struct LoadReport {
+    pub concurrency: usize,
+    pub requests: u64,
+    pub ok: u64,
+    pub rejected: u64,
+    pub errors: u64,
+    pub p50_ms: f64,
+    pub p99_ms: f64,
+    pub qps: f64,
+    pub elapsed_s: f64,
+}
+
+impl LoadReport {
+    /// The sidecar/bench JSON shape (see EXPERIMENTS.md).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            (
+                "concurrency".into(),
+                Json::from_u64(self.concurrency as u64),
+            ),
+            ("requests".into(), Json::from_u64(self.requests)),
+            ("ok".into(), Json::from_u64(self.ok)),
+            ("rejected".into(), Json::from_u64(self.rejected)),
+            ("errors".into(), Json::from_u64(self.errors)),
+            ("p50_ms".into(), Json::from_f64(self.p50_ms)),
+            ("p99_ms".into(), Json::from_f64(self.p99_ms)),
+            ("qps".into(), Json::from_f64(self.qps)),
+            ("elapsed_s".into(), Json::from_f64(self.elapsed_s)),
+        ])
+    }
+}
+
+/// Issues one HTTP request on a fresh connection; returns the status code
+/// and body.
+pub fn http_request(addr: SocketAddr, request: &str) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5))?;
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(10)))?;
+    // A server shedding load may respond and close before the request is
+    // fully written; treat a write failure as "stop sending" and still try
+    // to read whatever response landed.
+    let write_result = stream
+        .write_all(request.as_bytes())
+        .and_then(|()| stream.flush());
+    let mut raw = String::new();
+    if stream.read_to_string(&mut raw).is_err() && raw.is_empty() {
+        write_result?;
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "no response",
+        ));
+    }
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed status line")
+        })?;
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    Ok((status, body))
+}
+
+/// Convenience: `GET` the path and return `(status, body)`.
+pub fn http_get(addr: SocketAddr, path: &str) -> std::io::Result<(u16, String)> {
+    http_request(
+        addr,
+        &format!("GET {path} HTTP/1.1\r\nHost: mixen\r\nConnection: close\r\n\r\n"),
+    )
+}
+
+/// Runs the closed-loop sweep at one concurrency level.
+pub fn run_load(addr: SocketAddr, opts: &LoadOpts) -> LoadReport {
+    // Discover the node-ID space once so the score lookups spread over it.
+    let n = http_get(addr, "/healthz")
+        .ok()
+        .and_then(|(_, body)| Json::parse(&body).ok())
+        .and_then(|j| j.get("nodes").and_then(Json::as_u64))
+        .unwrap_or(1)
+        .max(1);
+
+    let started = Instant::now();
+    let handles: Vec<_> = (0..opts.concurrency.max(1))
+        .map(|client| {
+            let opts = opts.clone();
+            std::thread::spawn(move || {
+                let mut lat_us: Vec<u64> = Vec::with_capacity(opts.requests_per_client);
+                let (mut ok, mut rejected, mut errors) = (0u64, 0u64, 0u64);
+                for i in 0..opts.requests_per_client {
+                    let path = if i % 3 == 0 {
+                        format!("/rank/top?k={}", opts.top_k)
+                    } else {
+                        let node = (client * 7_919 + i * 104_729) as u64 % n;
+                        format!("/score?node={node}")
+                    };
+                    let t0 = Instant::now();
+                    match http_get(addr, &path) {
+                        Ok((200, _)) => {
+                            ok += 1;
+                            lat_us
+                                .push(u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX));
+                        }
+                        Ok((429, _)) => rejected += 1,
+                        Ok(_) | Err(_) => errors += 1,
+                    }
+                }
+                (lat_us, ok, rejected, errors)
+            })
+        })
+        .collect();
+
+    let mut lat_us: Vec<u64> = Vec::new();
+    let (mut ok, mut rejected, mut errors) = (0u64, 0u64, 0u64);
+    for h in handles {
+        let (l, o, r, e) = h.join().unwrap_or_default();
+        lat_us.extend(l);
+        ok += o;
+        rejected += r;
+        errors += e;
+    }
+    let elapsed_s = started.elapsed().as_secs_f64();
+    lat_us.sort_unstable();
+    LoadReport {
+        concurrency: opts.concurrency,
+        requests: (opts.concurrency.max(1) * opts.requests_per_client) as u64,
+        ok,
+        rejected,
+        errors,
+        p50_ms: percentile_ms(&lat_us, 50.0),
+        p99_ms: percentile_ms(&lat_us, 99.0),
+        qps: if elapsed_s > 0.0 {
+            ok as f64 / elapsed_s
+        } else {
+            0.0
+        },
+        elapsed_s,
+    }
+}
+
+/// Nearest-rank percentile over sorted microsecond samples, in ms.
+fn percentile_ms(sorted_us: &[u64], pct: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let rank = ((pct / 100.0) * (sorted_us.len() - 1) as f64).round();
+    // lint: allow(truncation) reason=rank is a rounded in-range index
+    let idx = (rank as usize).min(sorted_us.len() - 1);
+    sorted_us[idx] as f64 / 1_000.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_from_sorted_samples() {
+        let us: Vec<u64> = (1..=100).map(|i| i * 1_000).collect();
+        assert_eq!(percentile_ms(&us, 50.0), 51.0);
+        assert_eq!(percentile_ms(&us, 99.0), 99.0);
+        assert_eq!(percentile_ms(&[], 50.0), 0.0);
+        assert_eq!(percentile_ms(&[2_500], 99.0), 2.5);
+    }
+
+    #[test]
+    fn report_json_has_the_schema_fields() {
+        let report = LoadReport {
+            concurrency: 2,
+            requests: 10,
+            ok: 9,
+            rejected: 1,
+            errors: 0,
+            p50_ms: 1.5,
+            p99_ms: 4.0,
+            qps: 123.0,
+            elapsed_s: 0.1,
+        };
+        let j = report.to_json();
+        for key in [
+            "concurrency",
+            "requests",
+            "ok",
+            "rejected",
+            "errors",
+            "p50_ms",
+            "p99_ms",
+            "qps",
+            "elapsed_s",
+        ] {
+            assert!(j.get(key).is_some(), "missing {key}");
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Process-signal plumbing for graceful drain, without a libc crate.
+//!
+//! `SIGINT`/`SIGTERM` flip one process-wide atomic; the accept loop polls
+//! it and starts the drain (stop accepting → serve the admitted backlog →
+//! publish nothing further → join). The handler body is a single atomic
+//! store, which is async-signal-safe; everything else happens on normal
+//! threads.
+//!
+//! On non-Unix targets installation is a no-op and shutdown comes only
+//! from `/admin/shutdown` or [`crate::ServerHandle::shutdown`].
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Set by the handler; read by every server's accept loop.
+static SIGNALED: AtomicBool = AtomicBool::new(false);
+
+/// True once `SIGINT` or `SIGTERM` was delivered (after
+/// [`install_handlers`]).
+pub fn requested() -> bool {
+    SIGNALED.load(Ordering::Acquire)
+}
+
+/// Test/CLI hook: simulate signal delivery in-process.
+pub fn raise() {
+    SIGNALED.store(true, Ordering::Release);
+}
+
+#[cfg(unix)]
+extern "C" fn on_signal(_signum: i32) {
+    // Single atomic store: async-signal-safe (no locks, no allocation).
+    SIGNALED.store(true, Ordering::Release);
+}
+
+/// Routes `SIGINT` and `SIGTERM` to the drain flag. Idempotent.
+#[cfg(unix)]
+pub fn install_handlers() {
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    extern "C" {
+        // POSIX `signal(2)`; `sighandler_t` is a function pointer, passed
+        // here as `usize` to avoid declaring the alias.
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    let handler = on_signal as extern "C" fn(i32) as usize;
+    // SAFETY: `signal` is the libc symbol every Linux process links; the
+    // installed handler only performs an atomic store (async-signal-safe
+    // per POSIX) and stays valid for the process lifetime (a static fn).
+    unsafe {
+        signal(SIGINT, handler);
+        signal(SIGTERM, handler);
+    }
+}
+
+/// No-op off Unix: there is no portable handler to install.
+#[cfg(not(unix))]
+pub fn install_handlers() {}

@@ -75,4 +75,14 @@ json="results/kernels_${SCALE}.json"
 ./target/release/kernels --scale "$SCALE" --iters "$ITERS" --threads 4 \
   --json "${json}.partial" | tee "${txt}.partial"
 finish "$json" "$txt"
+# Serving-layer load sweep: closed-loop clients at 1/2/4/8 concurrency
+# against an in-process mixen-serve instance (EXPERIMENTS.md "Serving
+# layer"). The server manages its own request workers, so --threads only
+# pins the resident ranking engine.
+echo "=== serve_bench ($SCALE) ==="
+txt="results/serve_${SCALE}.txt"
+json="results/serve_${SCALE}.json"
+./target/release/serve_bench --scale "$SCALE" --iters "$ITERS" --datasets wiki \
+  ${THREADS[@]+"${THREADS[@]}"} --json "${json}.partial" | tee "${txt}.partial"
+finish "$json" "$txt"
 echo "all results written to results/"

@@ -185,6 +185,21 @@ impl<'g> AnyEngine<'g> {
         }
     }
 
+    /// Like [`AnyEngine::build`], but with explicit Mixen preprocessing
+    /// options (the CLI's `--reorder` path). Baseline kinds have no relabel
+    /// step, so `opts` only affects `EngineKind::Mixen`; callers that must
+    /// reject the combination do so before building.
+    pub fn build_with_mixen_opts(
+        kind: EngineKind,
+        g: &'g mixen_graph::Graph,
+        opts: mixen_core::MixenOpts,
+    ) -> Self {
+        match kind {
+            EngineKind::Mixen => AnyEngine::Mixen(Box::new(MixenEngine::new(g, opts))),
+            other => Self::build(other, g),
+        }
+    }
+
     /// The kind this engine was built as.
     pub fn kind(&self) -> EngineKind {
         match self {
@@ -284,6 +299,26 @@ mod tests {
     fn kind_names() {
         assert_eq!(EngineKind::Mixen.name(), "Mixen");
         assert_eq!(EngineKind::ALL.len(), 5);
+    }
+
+    #[test]
+    fn mixen_opts_build_honors_the_ordering() {
+        use mixen_core::RegularOrdering;
+        let g = toy();
+        let opts = MixenOpts {
+            ordering: RegularOrdering::Dbg,
+            ..MixenOpts::default()
+        };
+        let e = AnyEngine::build_with_mixen_opts(EngineKind::Mixen, &g, opts);
+        match &e {
+            AnyEngine::Mixen(m) => assert_eq!(m.filtered().ordering(), RegularOrdering::Dbg),
+            _ => panic!("expected a Mixen engine"),
+        }
+        let reference = run_engine(&ReferenceEngine::new(&g));
+        let got = run_engine(&e);
+        for (a, b) in got.0.iter().zip(&reference.0) {
+            assert!((a - b).abs() < 1e-4, "reordered mixen diverges");
+        }
     }
 
     #[test]

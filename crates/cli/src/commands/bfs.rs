@@ -12,7 +12,7 @@ pub fn run(args: &Args) -> Result<(), CliError> {
     args.expect_only(FLAGS)?;
     let path = args.positional(0, "graph.mxg")?;
     let g = load_graph(path)?;
-    let engine = build_engine(args.opt("engine"), &g)?;
+    let engine = build_engine(args.opt("engine"), None, &g)?;
     let root: u32 = match args.opt_parse("root")? {
         Some(r) => {
             if (r as usize) >= g.n() {

@@ -13,6 +13,7 @@ pub mod stats;
 
 use crate::error::CliError;
 use mixen_algos::{AnyEngine, EngineKind};
+use mixen_core::{MixenOpts, ReorderChoice};
 use mixen_graph::{Dataset, Graph, Scale};
 
 /// Loads a binary `.mxg` graph; failures are runtime errors with the typed
@@ -43,8 +44,28 @@ pub fn parse_dataset(s: &str) -> Result<Dataset, CliError> {
     })
 }
 
-/// Parses `--engine` and builds it over `g`.
-pub fn build_engine<'g>(s: Option<&str>, g: &'g Graph) -> Result<AnyEngine<'g>, CliError> {
+/// Parses `--reorder`: a regular-region relabel policy name, or `auto` to
+/// let the §5 performance model pick from (α, β, hub fraction).
+pub fn parse_reorder(args: &crate::args::Args) -> Result<Option<ReorderChoice>, CliError> {
+    match args.opt("reorder") {
+        None => Ok(None),
+        Some(s) => ReorderChoice::parse(s).map(Some).ok_or_else(|| {
+            CliError::usage(format!(
+                "unknown reorder policy '{s}' (expected auto, original, \
+                 hubs-first, by-in-degree, dbg or hubsort)"
+            ))
+        }),
+    }
+}
+
+/// Parses `--engine` and builds it over `g`. A `--reorder` choice applies
+/// to the Mixen relabel step only, so combining it with a baseline engine
+/// is a usage error rather than a silent no-op.
+pub fn build_engine<'g>(
+    s: Option<&str>,
+    reorder: Option<ReorderChoice>,
+    g: &'g Graph,
+) -> Result<AnyEngine<'g>, CliError> {
     let kind = match s.unwrap_or("mixen") {
         "mixen" => EngineKind::Mixen,
         "gpop" => EngineKind::Gpop,
@@ -53,5 +74,17 @@ pub fn build_engine<'g>(s: Option<&str>, g: &'g Graph) -> Result<AnyEngine<'g>, 
         "graphmat" => EngineKind::GraphMat,
         other => return Err(CliError::usage(format!("unknown engine '{other}'"))),
     };
-    Ok(AnyEngine::build(kind, g))
+    match reorder {
+        None => Ok(AnyEngine::build(kind, g)),
+        Some(_) if kind != EngineKind::Mixen => Err(CliError::usage(
+            "--reorder applies to the mixen engine only; drop --engine or --reorder",
+        )),
+        Some(choice) => {
+            let opts = MixenOpts {
+                ordering: choice.resolve(g),
+                ..MixenOpts::default()
+            };
+            Ok(AnyEngine::build_with_mixen_opts(kind, g, opts))
+        }
+    }
 }

@@ -29,13 +29,13 @@ use std::path::PathBuf;
 use std::time::Duration;
 
 use crate::args::Args;
-use crate::commands::{build_engine, load_graph};
+use crate::commands::{build_engine, load_graph, parse_reorder};
 use crate::error::CliError;
 use mixen_algos::{
     collaborative_filtering, hits, indegree, pagerank, pagerank_fingerprint_extra,
     pagerank_supervised, pagerank_supervised_resume, salsa, CfOpts, PageRankOpts,
 };
-use mixen_core::{DegradationEvent, EngineUsed, RobustRunner, RunReport, RunnerOpts};
+use mixen_core::{DegradationEvent, EngineUsed, MixenOpts, RobustRunner, RunReport, RunnerOpts};
 use mixen_graph::GraphError;
 
 /// Writes a supervised run's report as pretty-printed JSON.
@@ -57,6 +57,7 @@ pub const FLAGS: &[&str] = &[
     "supervised",
     "metrics-json",
     "threads",
+    "reorder",
     "checkpoint",
     "checkpoint-every",
     "resume",
@@ -90,6 +91,7 @@ pub fn run(args: &Args) -> Result<(), CliError> {
             "--metrics-json requires --supervised true (the report is produced by the supervised runner)",
         ));
     }
+    let reorder = parse_reorder(args)?;
     let checkpoint = args.opt("checkpoint").map(PathBuf::from);
     let resume: bool = args.opt_or("resume", false)?;
     let deadline_ms: Option<u64> = args.opt_parse("deadline-ms")?;
@@ -133,6 +135,16 @@ pub fn run(args: &Args) -> Result<(), CliError> {
                 .opt_parse::<u64>("inject-stall-ms")?
                 .map(Duration::from_millis),
             inject_exit_after_checkpoints: args.opt_parse("exit-after-checkpoints")?,
+            mixen: match reorder {
+                // `auto` resolves against the loaded graph before the
+                // runner builds its engine, so the fingerprint (which
+                // folds the policy id) stays stable across resumes.
+                Some(choice) => MixenOpts {
+                    ordering: choice.resolve(&g),
+                    ..MixenOpts::default()
+                },
+                None => MixenOpts::default(),
+            },
             ..RunnerOpts::default()
         };
         let runner = RobustRunner::new(runner_opts);
@@ -204,7 +216,7 @@ pub fn run(args: &Args) -> Result<(), CliError> {
         }
         ("pagerank", scores)
     } else {
-        let engine = build_engine(args.opt("engine"), &g)?;
+        let engine = build_engine(args.opt("engine"), reorder, &g)?;
         match algo {
             "indegree" => ("indegree", indegree(&engine)),
             "pagerank" => {
@@ -224,7 +236,7 @@ pub fn run(args: &Args) -> Result<(), CliError> {
             }
             "hits" => {
                 let rev = g.reversed();
-                let engine_rev = build_engine(args.opt("engine"), &rev)?;
+                let engine_rev = build_engine(args.opt("engine"), reorder, &rev)?;
                 (
                     "hits-authority",
                     hits(g.n(), &engine, &engine_rev, iters).authority,
@@ -232,7 +244,7 @@ pub fn run(args: &Args) -> Result<(), CliError> {
             }
             "salsa" => {
                 let rev = g.reversed();
-                let engine_rev = build_engine(args.opt("engine"), &rev)?;
+                let engine_rev = build_engine(args.opt("engine"), reorder, &rev)?;
                 (
                     "salsa-authority",
                     salsa(&g, &engine, &engine_rev, iters).authority,

@@ -28,11 +28,14 @@ pub const FLAGS: &[&str] = &[
     "damping",
     "port-file",
     "threads",
+    "reorder",
 ];
 
 pub fn run(args: &Args) -> Result<(), CliError> {
     args.expect_only(FLAGS)?;
     let path = args.positional(0, "graph.mxg")?;
+    let reorder = crate::commands::parse_reorder(args)?;
+    let g = load_graph(path)?;
     let opts = ServeOpts {
         addr: args.opt("addr").unwrap_or("127.0.0.1:7464").to_string(),
         workers: args.opt_or("workers", 4)?,
@@ -44,11 +47,19 @@ pub fn run(args: &Args) -> Result<(), CliError> {
         tol: args.opt_or("tol", 1e-7)?,
         damping: args.opt_or("damping", 0.85)?,
         honor_signals: true,
+        // `auto` resolves against the loaded graph, so the resident engine
+        // preprocesses with the model-selected relabel policy.
+        mixen: match reorder {
+            Some(choice) => mixen_core::MixenOpts {
+                ordering: choice.resolve(&g),
+                ..mixen_core::MixenOpts::default()
+            },
+            None => mixen_core::MixenOpts::default(),
+        },
     };
     if opts.workers == 0 {
         return Err(CliError::usage("--workers must be at least 1"));
     }
-    let g = load_graph(path)?;
     eprintln!(
         "preparing resident engine over {path}: n = {}, m = {}...",
         g.n(),

@@ -213,6 +213,8 @@ impl SplitStats {
 pub struct BlockedSubgraph {
     r: usize,
     c: usize,
+    /// End of the pinned hub domain (`0..hub_end`; 0 = no domain).
+    hub_end: usize,
     n_col_blocks: usize,
     rows: Vec<BlockRow>,
     /// Skip list per block-column: indices of block-rows with at least one
@@ -229,18 +231,37 @@ pub struct BlockedSubgraph {
 impl BlockedSubgraph {
     /// Partitions `reg_csr` (which must be square, `r × r`) according to
     /// `opts`, using `threads` to pick the effective block side (§6.4).
+    /// No hub domain: [`BlockedSubgraph::with_hub_domain`] with `num_hub = 0`.
     pub fn new(reg_csr: &Csr, opts: &MixenOpts, threads: usize) -> Self {
+        Self::with_hub_domain(reg_csr, opts, threads, 0)
+    }
+
+    /// Partitions `reg_csr` treating the hub prefix `0..num_hub` as a
+    /// GRASP-style pinned cache domain: the block side is sized to the
+    /// budget left after the hub working set
+    /// ([`MixenOpts::effective_block_side_domain`]), and scatter block-rows
+    /// are split at the domain boundary and at half the balance cap inside
+    /// it, so the hub domain's (heaviest) tasks land on mixen-pool lanes
+    /// first and spread across all of them.
+    pub fn with_hub_domain(
+        reg_csr: &Csr,
+        opts: &MixenOpts,
+        threads: usize,
+        num_hub: usize,
+    ) -> Self {
         assert_eq!(
             reg_csr.n_rows(),
             reg_csr.n_cols(),
             "regular CSR must be square"
         );
         let r = reg_csr.n_rows();
-        let c = opts.effective_block_side(r, threads);
+        let hub_end = num_hub.min(r);
+        let c = opts.effective_block_side_domain(r, hub_end, threads);
         let n_col_blocks = if r == 0 { 0 } else { r.div_ceil(c) };
 
-        // Row ranges: start from fixed height c, split overloaded ranges.
-        let ranges = plan_row_ranges(reg_csr, c, opts);
+        // Row ranges: start from fixed height c, split overloaded ranges,
+        // then refine the hub domain.
+        let ranges = plan_row_ranges(reg_csr, c, opts, hub_end);
 
         let rows: Vec<BlockRow> = ranges
             .par_iter()
@@ -276,6 +297,7 @@ impl BlockedSubgraph {
         Self {
             r,
             c,
+            hub_end,
             n_col_blocks,
             rows,
             nonempty_rows,
@@ -283,6 +305,11 @@ impl BlockedSubgraph {
             chunk_indexes,
             split_stats,
         }
+    }
+
+    /// End of the pinned hub domain (`0` when no domain was declared).
+    pub fn hub_domain(&self) -> usize {
+        self.hub_end
     }
 
     /// Regular node count.
@@ -590,8 +617,13 @@ impl BlockedSubgraph {
     }
 }
 
-/// Greedy row-range planning with the 2× overload split.
-fn plan_row_ranges(reg_csr: &Csr, c: usize, opts: &MixenOpts) -> Vec<(u32, u32)> {
+/// Greedy row-range planning with the 2× overload split, plus the GRASP
+/// hub-domain refinement: ranges straddling `hub_end` are cut at the domain
+/// boundary, and ranges inside the domain are re-split at half the balance
+/// cap, so the pinned domain's tasks are both isolated and fine-grained
+/// enough to spread across every mixen-pool lane at dispatch time (they sit
+/// at the head of the task list).
+fn plan_row_ranges(reg_csr: &Csr, c: usize, opts: &MixenOpts, hub_end: usize) -> Vec<(u32, u32)> {
     let r = reg_csr.n_rows();
     if r == 0 {
         return Vec::new();
@@ -602,24 +634,25 @@ fn plan_row_ranges(reg_csr: &Csr, c: usize, opts: &MixenOpts) -> Vec<(u32, u32)>
     if !opts.load_balance {
         return base;
     }
+    let ptr = reg_csr.ptr();
     let total_nnz = reg_csr.nnz();
     let avg = (total_nnz as f64 / base.len() as f64).max(1.0);
+    // lint: allow(truncation) reason=guarded: positive finite f64 cap far below 2^53
     let cap = (opts.balance_factor * avg).ceil() as usize;
-    let mut out = Vec::with_capacity(base.len());
-    for (lo, hi) in base {
-        let ptr = reg_csr.ptr();
+    // Split `(lo, hi)` greedily so no multi-node piece exceeds `limit` (a
+    // single huge row still forms its own range — it cannot be split
+    // without breaking bin disjointness).
+    let split_at = |lo: u32, hi: u32, limit: usize, out: &mut Vec<(u32, u32)>| {
         let range_nnz = ptr[hi as usize] - ptr[lo as usize];
-        if range_nnz <= cap {
+        if range_nnz <= limit {
             out.push((lo, hi));
-            continue;
+            return;
         }
-        // Split greedily at the cap (a single huge row still forms its own
-        // range — it cannot be split without breaking bin disjointness).
         let mut start = lo;
         let mut acc = 0usize;
         for u in lo..hi {
             let deg = ptr[u as usize + 1] - ptr[u as usize];
-            if acc > 0 && acc + deg > cap {
+            if acc > 0 && acc + deg > limit {
                 out.push((start, u));
                 start = u;
                 acc = 0;
@@ -628,6 +661,19 @@ fn plan_row_ranges(reg_csr: &Csr, c: usize, opts: &MixenOpts) -> Vec<(u32, u32)>
         }
         if start < hi {
             out.push((start, hi));
+        }
+    };
+    let hub_cap = (cap / 2).max(1);
+    let mut out = Vec::with_capacity(base.len());
+    for (lo, hi) in base {
+        if (lo as usize) >= hub_end {
+            split_at(lo, hi, cap, &mut out);
+        } else if (hi as usize) <= hub_end {
+            split_at(lo, hi, hub_cap, &mut out);
+        } else {
+            // Straddles the domain boundary: cut there first.
+            split_at(lo, nid(hub_end), hub_cap, &mut out);
+            split_at(nid(hub_end), hi, cap, &mut out);
         }
     }
     out

@@ -27,12 +27,13 @@
 use mixen_graph::nid;
 use std::sync::atomic::{AtomicI32, Ordering};
 
-use mixen_graph::{Graph, GraphError, NodeId, PropValue};
+use mixen_graph::{Classification, Graph, GraphError, NodeId, PropValue};
 use rayon::prelude::*;
 
 use crate::bins::{DynamicBins, StaticBin};
 use crate::block::BlockedSubgraph;
 use crate::filter::FilteredGraph;
+use crate::model::PerfModel;
 use crate::obs::{Json, Metrics, Span};
 use crate::opts::MixenOpts;
 
@@ -105,16 +106,39 @@ pub struct MixenEngine {
 impl MixenEngine {
     /// Preprocesses `g`: filtering/relabeling, then 2-D partitioning.
     pub fn new(g: &Graph, opts: MixenOpts) -> Self {
+        Self::build(g, opts, None)
+    }
+
+    /// Preprocesses `g` with the relabel policy the §5 performance model
+    /// (α, β, hub fraction — [`PerfModel::preferred_ordering`]) predicts to
+    /// win, overriding `opts.ordering` — the `--reorder auto` path. The
+    /// classification is computed once and reused for the build; the chosen
+    /// policy is visible in [`MixenEngine::opts`] and the `reorder_policy`
+    /// obs gauge.
+    pub fn new_auto(g: &Graph, opts: MixenOpts) -> Self {
+        let class = Classification::of(g);
+        let model = PerfModel::from_classification(g, &class, opts.block_side);
+        let opts = MixenOpts {
+            ordering: model.preferred_ordering(),
+            ..opts
+        };
+        Self::build(g, opts, Some(&class))
+    }
+
+    fn build(g: &Graph, opts: MixenOpts, class: Option<&Classification>) -> Self {
         let threads = rayon::current_num_threads();
         let mut filter_seconds = 0.0;
         let filtered = {
             let _span = Span::new(&mut filter_seconds);
-            FilteredGraph::with_ordering(g, opts.ordering)
+            match class {
+                Some(class) => FilteredGraph::from_classification(g, class, opts.ordering),
+                None => FilteredGraph::with_ordering(g, opts.ordering),
+            }
         };
         let mut partition_seconds = 0.0;
         let blocked = {
             let _span = Span::new(&mut partition_seconds);
-            BlockedSubgraph::new(filtered.reg_csr(), &opts, threads)
+            BlockedSubgraph::with_hub_domain(filtered.reg_csr(), &opts, threads, filtered.num_hub())
         };
         #[cfg(feature = "strict-invariants")]
         {
@@ -131,6 +155,12 @@ impl MixenEngine {
         let stats = blocked.split_stats();
         metrics.tasks_split.set(stats.tasks_split());
         metrics.max_task_nnz.set(stats.max_task_nnz());
+        metrics.reorder_policy.set(opts.ordering.policy_id());
+        metrics
+            .relabel_micros
+            // lint: allow(truncation) reason=guarded: non-negative wall-clock micros far below 2^53
+            .set((filtered.relabel_seconds() * 1e6) as u64);
+        metrics.hub_domain_side.set(blocked.block_side() as u64);
         Self {
             filtered,
             blocked,
@@ -334,11 +364,22 @@ impl MixenEngine {
         self.metrics
             .dynamic_bin_slots
             .set(self.blocked.total_msg_slots() as u64);
-        // Re-stamp the partition gauges: a per-run `metrics().reset()` must
-        // not lose metadata that describes the (unchanged) partition.
+        // Re-stamp the partition and reorder gauges: a per-run
+        // `metrics().reset()` must not lose metadata that describes the
+        // (unchanged) partition and relabel policy.
         let split = self.blocked.split_stats();
         self.metrics.tasks_split.set(split.tasks_split());
         self.metrics.max_task_nnz.set(split.max_task_nnz());
+        self.metrics
+            .reorder_policy
+            .set(self.opts.ordering.policy_id());
+        self.metrics
+            .relabel_micros
+            // lint: allow(truncation) reason=guarded: non-negative wall-clock micros far below 2^53
+            .set((self.filtered.relabel_seconds() * 1e6) as u64);
+        self.metrics
+            .hub_domain_side
+            .set(self.blocked.block_side() as u64);
         let mut prev: Vec<V> = if tol.is_some() { x.clone() } else { Vec::new() };
 
         let mut performed = 0usize;

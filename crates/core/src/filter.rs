@@ -18,7 +18,9 @@
 use mixen_graph::nid;
 use mixen_graph::{Classification, Csr, Graph, GraphError, NodeClass, NodeId};
 
+use crate::obs::Span;
 use crate::opts::RegularOrdering;
+use crate::reorder;
 
 /// The filtered, relabeled form of a graph (Mixen's preprocessing output).
 #[derive(Clone, Debug)]
@@ -40,6 +42,9 @@ pub struct FilteredGraph {
     /// [`FilteredGraph::debug_validate`] knows which stability guarantees
     /// apply.
     ordering: RegularOrdering,
+    /// Wall-clock cost of the regular-region relabel passes (the
+    /// `relabel_micros` obs gauge).
+    relabel_seconds: f64,
 }
 
 impl FilteredGraph {
@@ -62,71 +67,64 @@ impl FilteredGraph {
         ordering: RegularOrdering,
     ) -> Self {
         let n = g.n();
-        // Bucket order: hub-regular, non-hub-regular, seed, sink, isolated.
-        let bucket = |u: NodeId| -> usize {
+        // Class census: regular nodes (in original order) go through the
+        // reorder passes; the other classes keep stable cursor assignment.
+        let mut regulars: Vec<NodeId> = Vec::new();
+        let (mut num_seed, mut num_sink, mut num_isolated) = (0usize, 0usize, 0usize);
+        for u in 0..nid(n) {
             match class.class(u) {
-                NodeClass::Regular => {
-                    if ordering == RegularOrdering::HubsFirst && class.is_hub(u) {
-                        0
-                    } else {
-                        1
-                    }
-                }
-                NodeClass::Seed => 2,
-                NodeClass::Sink => 3,
-                NodeClass::Isolated => 4,
+                NodeClass::Regular => regulars.push(u),
+                NodeClass::Seed => num_seed += 1,
+                NodeClass::Sink => num_sink += 1,
+                NodeClass::Isolated => num_isolated += 1,
             }
+        }
+        let num_regular = regulars.len();
+
+        // Only hubs that are also Regular sit at the front of the regular
+        // range; `class.hub_count()` would overcount by including hub seeds
+        // and hub sinks, which live in their own class ranges. `Original`
+        // runs no pass, so no hub prefix exists.
+        let num_hub = match ordering {
+            RegularOrdering::Original => 0,
+            _ => regulars.iter().filter(|&&u| class.is_hub(u)).count(),
         };
-        let mut bucket_counts = [0usize; 5];
-        for u in 0..nid(n) {
-            bucket_counts[bucket(u)] += 1;
+
+        // Apply the ordering's relabel passes left to right (§4.1 step 2 —
+        // the composable form of hub relocation; see `crate::reorder`).
+        let mut relabel_seconds = 0.0;
+        {
+            let _span = Span::new(&mut relabel_seconds);
+            for pass in reorder::passes(ordering) {
+                pass.apply(g, class, num_hub, &mut regulars);
+            }
         }
-        let mut offsets = [0usize; 5];
-        let mut acc = 0;
-        for (o, &c) in offsets.iter_mut().zip(&bucket_counts) {
-            *o = acc;
-            acc += c;
-        }
-        // Stable assignment: scanning old IDs in order preserves relative
-        // order within each bucket.
+
+        // Regular new IDs follow the pass output; seed/sink/isolated keep
+        // original relative order via stable cursors behind the regulars.
         let mut perm = vec![0 as NodeId; n];
-        let mut cursors = offsets;
+        for (new, &old) in regulars.iter().enumerate() {
+            perm[old as usize] = nid(new);
+        }
+        let mut cursors = [
+            num_regular,
+            num_regular + num_seed,
+            num_regular + num_seed + num_sink,
+        ];
         for u in 0..nid(n) {
-            let b = bucket(u);
+            let b = match class.class(u) {
+                NodeClass::Regular => continue,
+                NodeClass::Seed => 0,
+                NodeClass::Sink => 1,
+                NodeClass::Isolated => 2,
+            };
             perm[u as usize] = nid(cursors[b]);
             cursors[b] += 1;
-        }
-        if ordering == RegularOrdering::ByInDegree {
-            // Extension: stable full sort of the regular range by
-            // descending in-degree.
-            let r_total = bucket_counts[0] + bucket_counts[1];
-            let mut regulars: Vec<NodeId> = (0..nid(n))
-                .filter(|&u| class.class(u) == NodeClass::Regular)
-                .collect();
-            regulars.sort_by_key(|&u| std::cmp::Reverse(g.in_degree(u)));
-            debug_assert_eq!(regulars.len(), r_total);
-            for (new, &old) in regulars.iter().enumerate() {
-                perm[old as usize] = nid(new);
-            }
         }
         let mut inv = vec![0 as NodeId; n];
         for (old, &new) in perm.iter().enumerate() {
             inv[new as usize] = nid(old);
         }
-
-        // Only hubs that are also Regular sit at the front of the regular
-        // range; `class.hub_count()` would overcount by including hub seeds
-        // and hub sinks, which live in their own class ranges.
-        let num_hub = match ordering {
-            RegularOrdering::Original => 0,
-            _ => (0..nid(n))
-                .filter(|&u| class.class(u) == NodeClass::Regular && class.is_hub(u))
-                .count(),
-        };
-        let num_regular = bucket_counts[0] + bucket_counts[1];
-        let num_seed = bucket_counts[2];
-        let num_sink = bucket_counts[3];
-        let num_isolated = bucket_counts[4];
         let r = nid(num_regular);
         let seed_end = nid(num_regular + num_seed);
 
@@ -181,6 +179,7 @@ impl FilteredGraph {
             sink_csc,
             out_degree,
             ordering,
+            relabel_seconds,
         }
     }
 
@@ -254,11 +253,15 @@ impl FilteredGraph {
         // original relative order, i.e. `inv` is strictly increasing. The
         // regular range is checked per hub/non-hub sub-range under
         // `HubsFirst`, as one range under `Original`, and not at all under
-        // `ByInDegree` (which re-sorts regulars by in-degree).
+        // `ByInDegree` (which re-sorts regulars by in-degree). `Dbg`
+        // regroups the non-hub suffix, leaving only the hub prefix stable;
+        // `HubSort` re-sorts the hub prefix, leaving only the suffix stable.
         let mut ranges = match self.ordering {
             RegularOrdering::HubsFirst => vec![(0, self.num_hub), (self.num_hub, r)],
             RegularOrdering::Original => vec![(0, r)],
             RegularOrdering::ByInDegree => vec![],
+            RegularOrdering::Dbg => vec![(0, self.num_hub)],
+            RegularOrdering::HubSort => vec![(self.num_hub, r)],
         };
         ranges.extend([(r, r + s), (r + s, r + s + k), (r + s + k, n)]);
         for (lo, hi) in ranges {
@@ -276,6 +279,13 @@ impl FilteredGraph {
     /// The regular-range ordering this graph was built with.
     pub fn ordering(&self) -> RegularOrdering {
         self.ordering
+    }
+
+    /// Wall-clock seconds the regular-region relabel passes took (a subset
+    /// of the engine's filter time; stamped into the `relabel_micros` obs
+    /// gauge).
+    pub fn relabel_seconds(&self) -> f64 {
+        self.relabel_seconds
     }
 
     /// Original node count.
@@ -639,14 +649,37 @@ mod tests {
     #[test]
     fn debug_validate_accepts_every_ordering() {
         let g = toy();
-        for ordering in [
-            RegularOrdering::HubsFirst,
-            RegularOrdering::Original,
-            RegularOrdering::ByInDegree,
-        ] {
+        for ordering in RegularOrdering::ALL {
             let f = FilteredGraph::with_ordering(&g, ordering);
             f.debug_validate().unwrap();
         }
+    }
+
+    #[test]
+    fn hub_prefix_survives_dbg_and_hubsort() {
+        use mixen_graph::{Dataset, Scale};
+        let g = Dataset::Rmat.generate(Scale::Tiny, 7);
+        let class = mixen_graph::Classification::of(&g);
+        for ordering in [RegularOrdering::Dbg, RegularOrdering::HubSort] {
+            let f = FilteredGraph::with_ordering(&g, ordering);
+            // Every position below num_hub holds a hub, none above does.
+            for new in 0..f.num_regular() as NodeId {
+                assert_eq!(
+                    class.is_hub(f.to_old(new)),
+                    (new as usize) < f.num_hub(),
+                    "{:?}: new id {new}",
+                    ordering
+                );
+            }
+            f.debug_validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn relabel_cost_is_recorded() {
+        let g = toy();
+        let f = FilteredGraph::new(&g);
+        assert!(f.relabel_seconds() >= 0.0);
     }
 
     #[test]

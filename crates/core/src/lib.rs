@@ -41,6 +41,7 @@ pub mod filter;
 pub mod model;
 pub mod obs;
 pub mod opts;
+pub mod reorder;
 pub mod runner;
 pub mod scga;
 pub mod snap;
@@ -79,6 +80,7 @@ pub use filter::FilteredGraph;
 pub use model::PerfModel;
 pub use obs::{Json, Metrics, MetricsSnapshot, Span};
 pub use opts::{MixenOpts, RegularOrdering};
+pub use reorder::{ReorderChoice, ReorderPolicy};
 pub use runner::{
     DegradationEvent, EngineUsed, NumericIssue, Resumed, RobustRunner, RunFailure, RunReport,
     RunnerOpts, ValueCheck,

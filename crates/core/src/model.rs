@@ -15,6 +15,9 @@
 //! compares these predictions against the cache simulator's measured
 //! traffic.
 
+use mixen_graph::{nid, Classification, Graph, NodeClass};
+
+use crate::opts::RegularOrdering;
 use crate::FilteredGraph;
 
 /// Inputs of the §5 model for one graph + block configuration.
@@ -28,20 +31,84 @@ pub struct PerfModel {
     pub alpha: f64,
     /// Regular-edge fraction `β`.
     pub beta: f64,
+    /// Hub fraction `h`: regular hubs over regular nodes. Not part of the
+    /// paper's Eq. 1/2 traffic terms, but the third input of the reorder
+    /// policy selection ([`PerfModel::preferred_ordering`]).
+    pub hub_frac: f64,
     /// Block side `c` in nodes.
     pub c: usize,
 }
 
 impl PerfModel {
-    /// Builds the model from a filtered graph and block side.
+    /// Builds the model from a filtered graph and block side. `hub_frac`
+    /// reflects the graph *as built*: under `Original` ordering no hub
+    /// prefix exists and the fraction is 0.
     pub fn from_filtered(f: &FilteredGraph, c: usize) -> Self {
         Self {
             n: f.n(),
             m: f.m(),
             alpha: f.alpha(),
             beta: f.beta(),
+            hub_frac: if f.num_regular() == 0 {
+                0.0
+            } else {
+                f.num_hub() as f64 / f.num_regular() as f64
+            },
             c,
         }
+    }
+
+    /// Builds the model from a bare classification, *before* any filtered
+    /// graph exists — the `--reorder auto` path, where the selected policy
+    /// decides how the graph is then built. `β` needs one O(m) edge scan
+    /// (regular→regular edges); everything else comes from the class census.
+    pub fn from_classification(g: &Graph, class: &Classification, c: usize) -> Self {
+        let n = g.n();
+        let m = g.m();
+        let mut num_regular = 0usize;
+        let mut num_hub = 0usize;
+        for u in 0..nid(n) {
+            if class.class(u) == NodeClass::Regular {
+                num_regular += 1;
+                if class.is_hub(u) {
+                    num_hub += 1;
+                }
+            }
+        }
+        let m_tilde = g
+            .edges()
+            .filter(|&(u, v)| {
+                class.class(u) == NodeClass::Regular && class.class(v) == NodeClass::Regular
+            })
+            .count();
+        Self {
+            n,
+            m,
+            alpha: if n == 0 {
+                0.0
+            } else {
+                num_regular as f64 / n as f64
+            },
+            beta: if m == 0 {
+                0.0
+            } else {
+                m_tilde as f64 / m as f64
+            },
+            hub_frac: if num_regular == 0 {
+                0.0
+            } else {
+                num_hub as f64 / num_regular as f64
+            },
+            c,
+        }
+    }
+
+    /// The relabel policy the model statistics (α, β, hub fraction) predict
+    /// to win — the engine's `--reorder auto` selection. The decision tree
+    /// lives in [`crate::reorder::select_policy`]; the measured backing is
+    /// the EXPERIMENTS.md reordering shoot-out.
+    pub fn preferred_ordering(&self) -> RegularOrdering {
+        crate::reorder::select_policy(self.alpha, self.beta, self.hub_frac)
     }
 
     /// Number of regular nodes `r = αn`.
@@ -111,6 +178,7 @@ mod tests {
             m: 172_200_000,
             alpha: 1.0,
             beta: 1.0,
+            hub_frac: 0.0,
             c: 64 * 1024,
         };
         let blocks = m.block_random();
@@ -132,6 +200,7 @@ mod tests {
             m: 10_000,
             alpha: 1.0,
             beta: 1.0,
+            hub_frac: 0.0,
             c: 100,
         };
         // §5: at α = β = 1, Mixen traffic 4n + 4m exceeds Block's 4m + 3n.
@@ -147,6 +216,7 @@ mod tests {
             m: 45_000_000,
             alpha: 0.01,
             beta: 0.06,
+            hub_frac: 0.02,
             c: 65536,
         };
         assert!(m.mixen_traffic() < 0.2 * m.pull_traffic());
@@ -161,6 +231,7 @@ mod tests {
             m: 30_000_000,
             alpha: 1.0,
             beta: 1.0,
+            hub_frac: 0.0,
             c: 1000,
         };
         let half = PerfModel { alpha: 0.5, ..base };
@@ -181,12 +252,31 @@ mod tests {
     }
 
     #[test]
+    fn classification_model_agrees_with_filtered_model() {
+        use mixen_graph::{Dataset, Scale};
+        let g = Dataset::Wiki.generate(Scale::Tiny, 11);
+        let class = Classification::of(&g);
+        let from_class = PerfModel::from_classification(&g, &class, 65536);
+        let f = FilteredGraph::new(&g);
+        let from_filtered = PerfModel::from_filtered(&f, 65536);
+        assert!((from_class.alpha - from_filtered.alpha).abs() < 1e-12);
+        assert!((from_class.beta - from_filtered.beta).abs() < 1e-12);
+        assert!((from_class.hub_frac - from_filtered.hub_frac).abs() < 1e-12);
+        // Both routes agree on the selected policy, by construction.
+        assert_eq!(
+            from_class.preferred_ordering(),
+            from_filtered.preferred_ordering()
+        );
+    }
+
+    #[test]
     fn empty_graph_model() {
         let m = PerfModel {
             n: 0,
             m: 0,
             alpha: 0.0,
             beta: 0.0,
+            hub_frac: 0.0,
             c: 64,
         };
         assert_eq!(m.mixen_traffic(), 0.0);

@@ -129,13 +129,16 @@ impl Gauge {
 /// `mixen-serve` request path: the server keeps its own [`Metrics`] registry
 /// and exposes it at `/metrics`, merged with the resident engine's kernel
 /// counters (which use the same catalogue, so the merge is by name).
-pub const COUNTER_NAMES: [&str; 28] = [
+pub const COUNTER_NAMES: [&str; 31] = [
     "edges_scattered",
     "edges_gathered",
     "bin_bytes_streamed",
     "dynamic_bin_slots",
     "tasks_split",
     "max_task_nnz",
+    "reorder_policy",
+    "relabel_micros",
+    "hub_domain_side",
     "static_bin_entries",
     "static_bin_reuses",
     "static_bin_recomputes",
@@ -177,6 +180,16 @@ pub struct Metrics {
     pub tasks_split: Gauge,
     /// Heaviest scatter or gather task of the current partition, in edges.
     pub max_task_nnz: Gauge,
+    /// Relabel policy the engine was built with
+    /// (`RegularOrdering::policy_id`: 0 original, 1 hubs-first,
+    /// 2 by-in-degree, 3 dbg, 4 hubsort).
+    pub reorder_policy: Gauge,
+    /// Wall-clock cost of the regular-region relabel passes, in
+    /// microseconds.
+    pub relabel_micros: Gauge,
+    /// Effective block side after GRASP hub-domain pinning, in nodes
+    /// (equals the plain effective side when pinning is disengaged).
+    pub hub_domain_side: Gauge,
     /// Entries in the current static (seed-cache) bin.
     pub static_bin_entries: Gauge,
     /// Cache-step re-primes served from the static bin.
@@ -232,6 +245,9 @@ impl Metrics {
             ("dynamic_bin_slots", self.dynamic_bin_slots.get()),
             ("tasks_split", self.tasks_split.get()),
             ("max_task_nnz", self.max_task_nnz.get()),
+            ("reorder_policy", self.reorder_policy.get()),
+            ("relabel_micros", self.relabel_micros.get()),
+            ("hub_domain_side", self.hub_domain_side.get()),
             ("static_bin_entries", self.static_bin_entries.get()),
             ("static_bin_reuses", self.static_bin_reuses.get()),
             ("static_bin_recomputes", self.static_bin_recomputes.get()),
@@ -259,6 +275,9 @@ impl Metrics {
         self.dynamic_bin_slots.set(0);
         self.tasks_split.set(0);
         self.max_task_nnz.set(0);
+        self.reorder_policy.set(0);
+        self.relabel_micros.set(0);
+        self.hub_domain_side.set(0);
         self.static_bin_entries.set(0);
         self.static_bin_reuses.set(0);
         self.static_bin_recomputes.set(0);
@@ -287,6 +306,9 @@ impl Clone for Metrics {
         m.dynamic_bin_slots.set(self.dynamic_bin_slots.get());
         m.tasks_split.set(self.tasks_split.get());
         m.max_task_nnz.set(self.max_task_nnz.get());
+        m.reorder_policy.set(self.reorder_policy.get());
+        m.relabel_micros.set(self.relabel_micros.get());
+        m.hub_domain_side.set(self.hub_domain_side.get());
         m.static_bin_entries.set(self.static_bin_entries.get());
         m.static_bin_reuses.set(self.static_bin_reuses.get());
         m.static_bin_recomputes

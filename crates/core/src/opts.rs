@@ -19,6 +19,53 @@ pub enum RegularOrdering {
     /// degree-reordering strategy of frameworks like Gorder/DegreeSort,
     /// exposed to compare against the paper's cheaper two-bucket split.
     ByInDegree,
+    /// Degree-Based Grouping (Faldu et al.): hub extraction, then the
+    /// non-hub suffix regrouped into coarse logarithmic degree classes
+    /// (stable within each class). See `crate::reorder::DegreeGroup`.
+    Dbg,
+    /// HubSort (Faldu et al.): hub extraction, then only the hub prefix
+    /// sorted by descending in-degree. See `crate::reorder::HubDegreeSort`.
+    HubSort,
+}
+
+impl RegularOrdering {
+    /// Every policy, in shoot-out table order.
+    pub const ALL: [RegularOrdering; 5] = [
+        RegularOrdering::Original,
+        RegularOrdering::HubsFirst,
+        RegularOrdering::ByInDegree,
+        RegularOrdering::Dbg,
+        RegularOrdering::HubSort,
+    ];
+
+    /// The CLI/report name of the policy (the `--reorder` vocabulary).
+    pub fn name(self) -> &'static str {
+        match self {
+            RegularOrdering::Original => "original",
+            RegularOrdering::HubsFirst => "hubs-first",
+            RegularOrdering::ByInDegree => "by-in-degree",
+            RegularOrdering::Dbg => "dbg",
+            RegularOrdering::HubSort => "hubsort",
+        }
+    }
+
+    /// Parses a policy name as accepted by `--reorder` (without `auto`;
+    /// see `crate::reorder::ReorderChoice` for the full flag vocabulary).
+    pub fn parse(s: &str) -> Option<Self> {
+        RegularOrdering::ALL.into_iter().find(|o| o.name() == s)
+    }
+
+    /// Stable numeric ID stamped into the `reorder_policy` obs gauge and
+    /// folded into checkpoint fingerprints.
+    pub fn policy_id(self) -> u64 {
+        match self {
+            RegularOrdering::Original => 0,
+            RegularOrdering::HubsFirst => 1,
+            RegularOrdering::ByInDegree => 2,
+            RegularOrdering::Dbg => 3,
+            RegularOrdering::HubSort => 4,
+        }
+    }
 }
 
 /// Configuration for [`crate::MixenEngine`].
@@ -89,6 +136,23 @@ impl MixenOpts {
         let cap = r.div_ceil(want_tasks).max(256);
         self.block_side.min(cap).max(1)
     }
+
+    /// GRASP-style cache-domain sizing: the hub prefix `0..num_hub` is a
+    /// pinned domain whose property values stay hot across every block-row,
+    /// so regular-region blocks are sized to the budget left after the hub
+    /// working set — `block_side − num_hub` destination values instead of
+    /// `block_side`. Pinning engages only while the hub set leaves at least
+    /// half the budget (a larger hub set cannot stay resident anyway, and
+    /// carving it out would just shred the grid), and the result keeps both
+    /// the §6.4 small-graph shrink and the 256-node floor of
+    /// [`MixenOpts::effective_block_side`].
+    pub fn effective_block_side_domain(&self, r: usize, num_hub: usize, threads: usize) -> usize {
+        let base = self.effective_block_side(r, threads);
+        if num_hub == 0 || num_hub * 2 > self.block_side {
+            return base;
+        }
+        base.min((self.block_side - num_hub).max(256))
+    }
 }
 
 #[cfg(test)]
@@ -130,5 +194,51 @@ mod tests {
     #[should_panic(expected = "block side must be positive")]
     fn zero_block_side_rejected() {
         let _ = MixenOpts::default().with_block_side(0);
+    }
+
+    #[test]
+    fn policy_names_round_trip() {
+        for o in RegularOrdering::ALL {
+            assert_eq!(RegularOrdering::parse(o.name()), Some(o));
+        }
+        assert_eq!(RegularOrdering::parse("auto"), None);
+        // IDs are distinct and stable (checkpoint fingerprints rely on
+        // them).
+        let ids: Vec<u64> = RegularOrdering::ALL.iter().map(|o| o.policy_id()).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn hub_domain_shrinks_the_block_side() {
+        let o = MixenOpts::default();
+        // Large graph, 16 Ki hubs pinned: 64 Ki − 16 Ki = 48 Ki leftover.
+        let c = o.effective_block_side_domain(100_000_000, 16 * 1024, 1);
+        assert_eq!(c, 48 * 1024);
+    }
+
+    #[test]
+    fn hub_domain_pinning_disengages_when_hubs_overflow_the_budget() {
+        let o = MixenOpts::default();
+        // No hubs: identical to the plain sizing.
+        assert_eq!(
+            o.effective_block_side_domain(100_000_000, 0, 1),
+            o.effective_block_side(100_000_000, 1)
+        );
+        // Hub set above half the budget: pinning off.
+        assert_eq!(
+            o.effective_block_side_domain(100_000_000, 40 * 1024, 1),
+            o.effective_block_side(100_000_000, 1)
+        );
+    }
+
+    #[test]
+    fn hub_domain_respects_the_small_graph_shrink_and_floor() {
+        let o = MixenOpts::default();
+        // Small-graph cap still applies (and is already below the leftover).
+        let plain = o.effective_block_side(100_000, 20);
+        assert_eq!(o.effective_block_side_domain(100_000, 1024, 20), plain);
+        // The 256-node floor holds even with a near-half-budget hub set.
+        let c = o.effective_block_side_domain(100_000_000, 32 * 1024 - 100, 1);
+        assert!(c >= 256, "c = {c}");
     }
 }

@@ -1,0 +1,339 @@
+//! Composable regular-region relabel passes (the reordering shoot-out).
+//!
+//! Mixen's hub-prefix relabel is one point in the lightweight-reordering
+//! design space mapped out by Faldu et al. ("A Closer Look at Lightweight
+//! Graph Reordering"). This module factors the relabel step of §4.1 into
+//! [`ReorderPolicy`] passes that compose left to right over the regular
+//! region:
+//!
+//! * [`HubExtract`] — the paper's stable hub/non-hub partition (hubs first,
+//!   original relative order preserved on both sides).
+//! * [`DegreeSort`] — full stable sort by descending in-degree (the
+//!   DegreeSort/Gorder-family strategy, `RegularOrdering::ByInDegree`).
+//! * [`DegreeGroup`] — Degree-Based Grouping: after hub extraction, the
+//!   non-hub suffix is regrouped into logarithmic degree classes (higher
+//!   classes first, stable within a class). Cheaper than a full sort and,
+//!   on power-law graphs, captures most of its locality benefit.
+//! * [`HubDegreeSort`] — HubSort: after hub extraction, only the hub prefix
+//!   is sorted by descending in-degree; the (much larger) non-hub suffix
+//!   keeps its original order, so the hottest cache lines cluster at the
+//!   very front of the property vector.
+//!
+//! Every composition keeps the hub prefix contiguous (`DegreeGroup` and
+//! `HubDegreeSort` never move a node across the hub boundary), which is what
+//! lets the GRASP-style cache-domain sizing in
+//! [`MixenOpts::effective_block_side_domain`] treat `0..num_hub` as a pinned
+//! value range.
+//!
+//! [`MixenOpts::effective_block_side_domain`]: crate::MixenOpts::effective_block_side_domain
+
+use mixen_graph::{Classification, Graph, NodeId};
+
+use crate::opts::RegularOrdering;
+
+/// One relabel pass over the regular region.
+///
+/// `regulars` lists the *original* IDs of the regular nodes in their current
+/// relabeled order: position `i` becomes new ID `i`. A pass permutes the
+/// slice in place; `num_hub` is the length of the hub prefix the composition
+/// maintains (0 when no hub pass runs). Passes must keep the hub prefix
+/// contiguous: a node may move within `0..num_hub` or within `num_hub..r`,
+/// never across the boundary — [`FilteredGraph::debug_validate`] and the
+/// reorder property tests enforce this for every composition.
+///
+/// [`FilteredGraph::debug_validate`]: crate::FilteredGraph::debug_validate
+pub trait ReorderPolicy: Sync {
+    /// Short pass name, for logs and obs.
+    fn name(&self) -> &'static str;
+
+    /// Permutes `regulars` in place (see the trait docs for the contract).
+    fn apply(&self, g: &Graph, class: &Classification, num_hub: usize, regulars: &mut [NodeId]);
+}
+
+/// The paper's hub relocation: stable partition with hubs first.
+pub struct HubExtract;
+
+impl ReorderPolicy for HubExtract {
+    fn name(&self) -> &'static str {
+        "hub-extract"
+    }
+
+    fn apply(&self, _g: &Graph, class: &Classification, _num_hub: usize, regulars: &mut [NodeId]) {
+        // Stable partition: hubs keep their relative order at the front,
+        // non-hubs theirs behind.
+        let mut hubs = Vec::new();
+        let mut rest = Vec::new();
+        for &u in regulars.iter() {
+            if class.is_hub(u) {
+                hubs.push(u);
+            } else {
+                rest.push(u);
+            }
+        }
+        regulars[..hubs.len()].copy_from_slice(&hubs);
+        regulars[hubs.len()..].copy_from_slice(&rest);
+    }
+}
+
+/// Full stable sort of the regular region by descending in-degree
+/// (`RegularOrdering::ByInDegree`).
+pub struct DegreeSort;
+
+impl ReorderPolicy for DegreeSort {
+    fn name(&self) -> &'static str {
+        "degree-sort"
+    }
+
+    fn apply(&self, g: &Graph, _class: &Classification, _num_hub: usize, regulars: &mut [NodeId]) {
+        regulars.sort_by_key(|&u| std::cmp::Reverse(g.in_degree(u)));
+    }
+}
+
+/// The logarithmic degree class DBG groups by: nodes whose in-degrees share
+/// a power-of-two range land in the same group and are never reordered
+/// relative to each other.
+#[inline]
+fn degree_group(in_degree: usize) -> u32 {
+    (in_degree + 1).ilog2()
+}
+
+/// Degree-Based Grouping over the non-hub suffix: coarse logarithmic degree
+/// classes, higher classes first, stable within each class.
+pub struct DegreeGroup;
+
+impl ReorderPolicy for DegreeGroup {
+    fn name(&self) -> &'static str {
+        "degree-group"
+    }
+
+    fn apply(&self, g: &Graph, _class: &Classification, num_hub: usize, regulars: &mut [NodeId]) {
+        regulars[num_hub..].sort_by_key(|&u| std::cmp::Reverse(degree_group(g.in_degree(u))));
+    }
+}
+
+/// HubSort's second pass: descending in-degree sort of the hub prefix only.
+pub struct HubDegreeSort;
+
+impl ReorderPolicy for HubDegreeSort {
+    fn name(&self) -> &'static str {
+        "hub-degree-sort"
+    }
+
+    fn apply(&self, g: &Graph, _class: &Classification, num_hub: usize, regulars: &mut [NodeId]) {
+        regulars[..num_hub].sort_by_key(|&u| std::cmp::Reverse(g.in_degree(u)));
+    }
+}
+
+/// The pass composition behind each [`RegularOrdering`], applied left to
+/// right by `FilteredGraph::from_classification`.
+pub fn passes(ordering: RegularOrdering) -> &'static [&'static dyn ReorderPolicy] {
+    static HUB_EXTRACT: HubExtract = HubExtract;
+    static DEGREE_SORT: DegreeSort = DegreeSort;
+    static DEGREE_GROUP: DegreeGroup = DegreeGroup;
+    static HUB_DEGREE_SORT: HubDegreeSort = HubDegreeSort;
+    static ORIGINAL: [&dyn ReorderPolicy; 0] = [];
+    static HUBS_FIRST: [&dyn ReorderPolicy; 1] = [&HUB_EXTRACT];
+    static BY_IN_DEGREE: [&dyn ReorderPolicy; 1] = [&DEGREE_SORT];
+    static DBG: [&dyn ReorderPolicy; 2] = [&HUB_EXTRACT, &DEGREE_GROUP];
+    static HUBSORT: [&dyn ReorderPolicy; 2] = [&HUB_EXTRACT, &HUB_DEGREE_SORT];
+    match ordering {
+        RegularOrdering::Original => &ORIGINAL,
+        RegularOrdering::HubsFirst => &HUBS_FIRST,
+        RegularOrdering::ByInDegree => &BY_IN_DEGREE,
+        RegularOrdering::Dbg => &DBG,
+        RegularOrdering::HubSort => &HUBSORT,
+    }
+}
+
+/// A `--reorder` value: a concrete policy, or `auto` — let the §5
+/// performance model pick from (α, β, hub fraction).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReorderChoice {
+    /// `PerfModel::preferred_ordering` decides at preprocessing time.
+    Auto,
+    /// A fixed policy.
+    Fixed(RegularOrdering),
+}
+
+impl ReorderChoice {
+    /// Parses a `--reorder` flag value (`auto` or a policy name).
+    pub fn parse(s: &str) -> Option<Self> {
+        if s == "auto" {
+            return Some(ReorderChoice::Auto);
+        }
+        RegularOrdering::parse(s).map(ReorderChoice::Fixed)
+    }
+
+    /// Resolves the choice against a concrete graph: `Auto` classifies `g`
+    /// and asks the performance model, `Fixed` is returned as-is.
+    pub fn resolve(self, g: &Graph) -> RegularOrdering {
+        match self {
+            ReorderChoice::Fixed(o) => o,
+            ReorderChoice::Auto => {
+                let class = Classification::of(g);
+                crate::model::PerfModel::from_classification(
+                    g,
+                    &class,
+                    crate::MixenOpts::default().block_side,
+                )
+                .preferred_ordering()
+            }
+        }
+    }
+}
+
+/// Policy selection from the §5 model statistics (see
+/// `PerfModel::preferred_ordering` for the entry point).
+///
+/// The decision tree is calibrated against the shoot-out measurements in
+/// EXPERIMENTS.md ("Reordering shoot-out"):
+///
+/// * Degenerate ends keep the paper's plain hub prefix (`HubsFirst`): a
+///   negligible regular region (α ≤ 0.05, the weibo profile) leaves nothing
+///   worth reordering, and α ≈ β ≈ 1 means classification found no
+///   connectivity structure at all (the uniform urand/road profiles), where
+///   every intra-region reordering measured as a wash — so the cheapest
+///   relabel wins.
+/// * Strong skew picks `HubSort`: either the hub prefix dominates the
+///   regular region (hub fraction ≥ 0.5 — the web-like wiki profile,
+///   measured 1.5× over the identity relabel) or nearly all edge mass is
+///   regular↔regular (β ≥ 0.9 — the synthetic power-law rmat/kron
+///   profiles, measured 1.3×). Ordering the hot prefix by in-degree packs
+///   the most-referenced property words into the fewest cache lines.
+/// * The moderate-skew middle (track/pld-like) regroups the heavy non-hub
+///   tail into logarithmic degree classes: `Dbg`.
+pub fn select_policy(alpha: f64, beta: f64, hub_frac: f64) -> RegularOrdering {
+    if alpha <= 0.05 || (alpha >= 0.95 && beta >= 0.95) {
+        return RegularOrdering::HubsFirst;
+    }
+    if hub_frac >= 0.5 || beta >= 0.9 {
+        return RegularOrdering::HubSort;
+    }
+    RegularOrdering::Dbg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mixen_graph::nid;
+
+    /// A small skewed graph: node 0 receives from everyone, 1 from half.
+    fn skewed() -> Graph {
+        let mut edges = Vec::new();
+        for u in 1..12u32 {
+            edges.push((u, 0));
+            if u % 2 == 0 {
+                edges.push((u, 1));
+            }
+            edges.push((0, u));
+        }
+        Graph::from_pairs(12, &edges)
+    }
+
+    fn regular_ids(g: &Graph, class: &Classification) -> Vec<NodeId> {
+        (0..nid(g.n()))
+            .filter(|&u| class.class(u) == mixen_graph::NodeClass::Regular)
+            .collect()
+    }
+
+    #[test]
+    fn every_composition_is_a_permutation() {
+        let g = skewed();
+        let class = Classification::of(&g);
+        let base = regular_ids(&g, &class);
+        let num_hub = base.iter().filter(|&&u| class.is_hub(u)).count();
+        for ordering in RegularOrdering::ALL {
+            let mut ids = base.clone();
+            let hubs = if ordering == RegularOrdering::Original {
+                0
+            } else {
+                num_hub
+            };
+            for pass in passes(ordering) {
+                pass.apply(&g, &class, hubs, &mut ids);
+            }
+            let mut sorted = ids.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, base, "{} lost or duplicated nodes", ordering.name());
+        }
+    }
+
+    #[test]
+    fn hub_passes_keep_the_prefix_contiguous() {
+        let g = skewed();
+        let class = Classification::of(&g);
+        let base = regular_ids(&g, &class);
+        let num_hub = base.iter().filter(|&&u| class.is_hub(u)).count();
+        assert!(num_hub > 0, "test graph must have hubs");
+        for ordering in [
+            RegularOrdering::HubsFirst,
+            RegularOrdering::Dbg,
+            RegularOrdering::HubSort,
+        ] {
+            let mut ids = base.clone();
+            for pass in passes(ordering) {
+                pass.apply(&g, &class, num_hub, &mut ids);
+            }
+            for (i, &u) in ids.iter().enumerate() {
+                assert_eq!(
+                    class.is_hub(u),
+                    i < num_hub,
+                    "{}: position {i} violates the hub prefix",
+                    ordering.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn degree_group_is_coarser_than_degree_sort() {
+        // Degrees 1 and 2 share a logarithmic group; 0 and 7 do not.
+        assert_eq!(degree_group(1), degree_group(2));
+        assert_ne!(degree_group(0), degree_group(7));
+        // Groups are monotone in degree.
+        assert!(degree_group(100) > degree_group(10));
+    }
+
+    #[test]
+    fn hub_degree_sort_orders_the_prefix_descending() {
+        let g = skewed();
+        let class = Classification::of(&g);
+        let mut ids = regular_ids(&g, &class);
+        let num_hub = ids.iter().filter(|&&u| class.is_hub(u)).count();
+        for pass in passes(RegularOrdering::HubSort) {
+            pass.apply(&g, &class, num_hub, &mut ids);
+        }
+        let degs: Vec<usize> = ids[..num_hub].iter().map(|&u| g.in_degree(u)).collect();
+        assert!(degs.windows(2).all(|w| w[0] >= w[1]), "degs {degs:?}");
+    }
+
+    #[test]
+    fn choice_parses_every_policy_and_auto() {
+        assert_eq!(ReorderChoice::parse("auto"), Some(ReorderChoice::Auto));
+        for o in RegularOrdering::ALL {
+            assert_eq!(
+                ReorderChoice::parse(o.name()),
+                Some(ReorderChoice::Fixed(o))
+            );
+        }
+        assert_eq!(ReorderChoice::parse("fastest"), None);
+    }
+
+    #[test]
+    fn selection_covers_the_three_profiles() {
+        // The measured (α, β, hub_frac) of the shoot-out profiles at small
+        // scale — the selector must reproduce the calibrated picks.
+        // Uniform (urand): no classification structure, everything a wash.
+        assert_eq!(select_policy(1.0, 1.0, 0.52), RegularOrdering::HubsFirst);
+        // Skewed synthetic (rmat): edge mass almost all regular↔regular.
+        assert_eq!(select_policy(0.55, 0.98, 0.28), RegularOrdering::HubSort);
+        // Web-like (wiki): the hub prefix dominates the regular region.
+        assert_eq!(select_policy(0.22, 0.75, 0.72), RegularOrdering::HubSort);
+        // Moderate skew (track/pld): regroup the heavy non-hub tail.
+        assert_eq!(select_policy(0.46, 0.59, 0.27), RegularOrdering::Dbg);
+        assert_eq!(select_policy(0.56, 0.83, 0.18), RegularOrdering::Dbg);
+        // Degenerate ends fall back to the paper's default.
+        assert_eq!(select_policy(0.0, 0.0, 0.0), RegularOrdering::HubsFirst);
+        assert_eq!(select_policy(0.01, 0.03, 1.0), RegularOrdering::HubsFirst);
+    }
+}

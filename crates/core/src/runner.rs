@@ -436,11 +436,7 @@ impl RunnerOpts {
             }
         };
         fold(self.mixen.block_side as u64);
-        fold(match self.mixen.ordering {
-            crate::opts::RegularOrdering::Original => 0,
-            crate::opts::RegularOrdering::HubsFirst => 1,
-            crate::opts::RegularOrdering::ByInDegree => 2,
-        });
+        fold(self.mixen.ordering.policy_id());
         fold(u64::from(self.mixen.cache_step));
         fold(u64::from(self.mixen.load_balance));
         fold(self.mixen.balance_factor.to_bits());

@@ -11,12 +11,8 @@ use mixen_core::{MixenEngine, MixenOpts, RegularOrdering, WMixenEngine};
 use mixen_graph::gen::{kronecker, uniform};
 use mixen_graph::{Graph, WGraph};
 
-fn orderings() -> [RegularOrdering; 3] {
-    [
-        RegularOrdering::HubsFirst,
-        RegularOrdering::Original,
-        RegularOrdering::ByInDegree,
-    ]
+fn orderings() -> [RegularOrdering; 5] {
+    RegularOrdering::ALL
 }
 
 fn degree_sum(e: &MixenEngine, g: &Graph) -> Vec<f32> {

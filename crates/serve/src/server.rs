@@ -59,6 +59,10 @@ pub struct ServeOpts {
     /// Off by default so in-process tests are isolated; the CLI turns it
     /// on.
     pub honor_signals: bool,
+    /// Options for the resident [`mixen_core::MixenEngine`] — the CLI's
+    /// `--reorder` flag lands here (as a resolved `ordering`), so the
+    /// serving engine preprocesses with the requested relabel policy.
+    pub mixen: mixen_core::MixenOpts,
 }
 
 impl Default for ServeOpts {
@@ -74,6 +78,7 @@ impl Default for ServeOpts {
             tol: 1e-7,
             damping: 0.85,
             honor_signals: false,
+            mixen: mixen_core::MixenOpts::default(),
         }
     }
 }

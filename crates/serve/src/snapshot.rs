@@ -11,7 +11,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use mixen_algos::{PageRankOpts, PageRankStream};
-use mixen_core::{Json, MetricsSnapshot, MixenEngine, MixenOpts, SnapCell};
+use mixen_core::{Json, MetricsSnapshot, MixenEngine, SnapCell};
 use mixen_graph::Graph;
 
 use crate::server::Shared;
@@ -59,7 +59,7 @@ impl RankSnapshot {
 /// or at the iteration cap, then idle; exits when shutdown is requested.
 pub(crate) fn ranking_loop(shared: &Shared, graph: &Arc<Graph>, cell: &SnapCell<RankSnapshot>) {
     let opts = &shared.opts;
-    let engine = MixenEngine::new(graph, MixenOpts::default());
+    let engine = MixenEngine::new(graph, opts.mixen);
     let pr_opts = PageRankOpts {
         damping: opts.damping,
         redistribute: false,

@@ -6,7 +6,7 @@
 //! ```
 
 use mixen_algos::{pagerank, pagerank_until, PageRankOpts};
-use mixen_core::{MixenEngine, MixenOpts};
+use mixen_core::{MixenEngine, MixenOpts, RegularOrdering};
 use mixen_graph::{Graph, StructuralStats};
 
 fn main() {
@@ -36,9 +36,25 @@ fn main() {
         stats.frac_isolated * 100.0
     );
 
-    // Preprocess: one scan classifies + relabels, then 2-D blocking.
-    let engine = MixenEngine::new(&g, MixenOpts::default());
+    // Preprocess: one scan classifies + relabels, then 2-D blocking. The
+    // relabel policy is selectable (`MixenOpts::ordering`, or `--reorder`
+    // on the CLI); `new_auto` lets the §5 performance model pick one from
+    // the measured (α, β, hub fraction).
+    let engine = MixenEngine::new_auto(&g, MixenOpts::default());
     let f = engine.filtered();
+    println!(
+        "reorder: model picked '{}' (relabel took {:.1} µs)",
+        f.ordering().name(),
+        f.relabel_seconds() * 1e6
+    );
+    // A fixed policy works too, e.g. Degree-Based Grouping:
+    let _dbg_engine = MixenEngine::new(
+        &g,
+        MixenOpts {
+            ordering: RegularOrdering::Dbg,
+            ..MixenOpts::default()
+        },
+    );
     println!(
         "filter: {} regular ({} hubs) / {} seed / {} sink / {} isolated; alpha = {:.2}, beta = {:.2}",
         f.num_regular(),

@@ -75,6 +75,16 @@ json="results/kernels_${SCALE}.json"
 ./target/release/kernels --scale "$SCALE" --iters "$ITERS" --threads 4 \
   --json "${json}.partial" | tee "${txt}.partial"
 finish "$json" "$txt"
+# Reordering shoot-out: every relabel policy over the uniform/skewed/
+# web-like profiles, with simulated cache behaviour and measured PageRank
+# time per policy (EXPERIMENTS.md "Reordering shoot-out"). Same pinned
+# 4-lane protocol as the kernels baseline.
+echo "=== reorder ($SCALE) ==="
+txt="results/reorder_${SCALE}.txt"
+json="results/reorder_${SCALE}.json"
+./target/release/reorder --scale "$SCALE" --iters "$ITERS" --threads 4 \
+  --json "${json}.partial" | tee "${txt}.partial"
+finish "$json" "$txt"
 # Serving-layer load sweep: closed-loop clients at 1/2/4/8 concurrency
 # against an in-process mixen-serve instance (EXPERIMENTS.md "Serving
 # layer"). The server manages its own request workers, so --threads only

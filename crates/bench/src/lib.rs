@@ -115,6 +115,18 @@ impl BenchOpts {
                     }
                     opts.threads = Some(n);
                 }
+                "--affinity" => {
+                    let v = value("--affinity");
+                    let policy =
+                        mixen_pool::affinity::AffinityPolicy::parse(&v).unwrap_or_else(|| {
+                            usage(&format!(
+                                "bad --affinity '{v}' (off, auto, or a CPU list like 0,2,4)"
+                            ))
+                        });
+                    // Installed immediately — before `--threads` builds the
+                    // global pool below — so workers pin at spawn.
+                    mixen_pool::affinity::configure(policy);
+                }
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown flag '{other}'")),
             }
@@ -193,6 +205,7 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "usage: <bin> [--scale tiny|small|medium|large] [--seed N] [--iters N] \
          [--datasets weibo,track,...] [--json out.json] [--threads N] \
+         [--affinity off|auto|0,2,4] \
          [--reorder auto|original|hubs-first|by-in-degree|dbg|hubsort]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 })

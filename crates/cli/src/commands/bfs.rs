@@ -6,13 +6,13 @@ use crate::error::CliError;
 use mixen_algos::{bfs, default_root, summarize};
 
 /// Flags this subcommand accepts; anything else is a usage error.
-pub const FLAGS: &[&str] = &["root", "engine", "out", "threads"];
+pub const FLAGS: &[&str] = &["root", "engine", "out", "threads", "affinity"];
 
 pub fn run(args: &Args) -> Result<(), CliError> {
     args.expect_only(FLAGS)?;
     let path = args.positional(0, "graph.mxg")?;
     let g = load_graph(path)?;
-    let engine = build_engine(args.opt("engine"), None, &g)?;
+    let engine = build_engine(args.opt("engine"), None, None, &g)?;
     let root: u32 = match args.opt_parse("root")? {
         Some(r) => {
             if (r as usize) >= g.n() {

@@ -8,7 +8,7 @@ use crate::args::Args;
 use crate::error::CliError;
 
 /// Flags this subcommand accepts; anything else is a usage error.
-pub const FLAGS: &[&str] = &["min-nodes", "max-nodes", "threads"];
+pub const FLAGS: &[&str] = &["min-nodes", "max-nodes", "threads", "affinity"];
 
 pub fn run(args: &Args) -> Result<(), CliError> {
     args.expect_only(FLAGS)?;

@@ -5,7 +5,7 @@ use crate::commands::{parse_dataset, parse_scale};
 use crate::error::CliError;
 
 /// Flags this subcommand accepts; anything else is a usage error.
-pub const FLAGS: &[&str] = &["dataset", "scale", "seed", "out", "threads"];
+pub const FLAGS: &[&str] = &["dataset", "scale", "seed", "out", "threads", "affinity"];
 
 pub fn run(args: &Args) -> Result<(), CliError> {
     args.expect_only(FLAGS)?;

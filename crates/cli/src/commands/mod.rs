@@ -13,7 +13,7 @@ pub mod stats;
 
 use crate::error::CliError;
 use mixen_algos::{AnyEngine, EngineKind};
-use mixen_core::{MixenOpts, ReorderChoice};
+use mixen_core::{BinEncoding, MixenOpts, ReorderChoice};
 use mixen_graph::{Dataset, Graph, Scale};
 
 /// Loads a binary `.mxg` graph; failures are runtime errors with the typed
@@ -58,12 +58,26 @@ pub fn parse_reorder(args: &crate::args::Args) -> Result<Option<ReorderChoice>, 
     }
 }
 
-/// Parses `--engine` and builds it over `g`. A `--reorder` choice applies
-/// to the Mixen relabel step only, so combining it with a baseline engine
-/// is a usage error rather than a silent no-op.
+/// Parses `--bin-encoding`: the dynamic-bin value encoding (`f32` lossless
+/// default, `f16`/`q16` compressed 16-bit streams).
+pub fn parse_bin_encoding(args: &crate::args::Args) -> Result<Option<BinEncoding>, CliError> {
+    match args.opt("bin-encoding") {
+        None => Ok(None),
+        Some(s) => BinEncoding::parse(s).map(Some).ok_or_else(|| {
+            CliError::usage(format!(
+                "unknown bin encoding '{s}' (expected f32, f16 or q16)"
+            ))
+        }),
+    }
+}
+
+/// Parses `--engine` and builds it over `g`. `--reorder` and
+/// `--bin-encoding` tune the Mixen engine only, so combining either with a
+/// baseline engine is a usage error rather than a silent no-op.
 pub fn build_engine<'g>(
     s: Option<&str>,
     reorder: Option<ReorderChoice>,
+    bin_encoding: Option<BinEncoding>,
     g: &'g Graph,
 ) -> Result<AnyEngine<'g>, CliError> {
     let kind = match s.unwrap_or("mixen") {
@@ -74,17 +88,28 @@ pub fn build_engine<'g>(
         "graphmat" => EngineKind::GraphMat,
         other => return Err(CliError::usage(format!("unknown engine '{other}'"))),
     };
-    match reorder {
-        None => Ok(AnyEngine::build(kind, g)),
-        Some(_) if kind != EngineKind::Mixen => Err(CliError::usage(
-            "--reorder applies to the mixen engine only; drop --engine or --reorder",
-        )),
-        Some(choice) => {
-            let opts = MixenOpts {
-                ordering: choice.resolve(g),
-                ..MixenOpts::default()
-            };
-            Ok(AnyEngine::build_with_mixen_opts(kind, g, opts))
+    if kind != EngineKind::Mixen {
+        if reorder.is_some() {
+            return Err(CliError::usage(
+                "--reorder applies to the mixen engine only; drop --engine or --reorder",
+            ));
         }
+        if bin_encoding.is_some() {
+            return Err(CliError::usage(
+                "--bin-encoding applies to the mixen engine only; drop --engine or --bin-encoding",
+            ));
+        }
+        return Ok(AnyEngine::build(kind, g));
     }
+    if reorder.is_none() && bin_encoding.is_none() {
+        return Ok(AnyEngine::build(kind, g));
+    }
+    let mut opts = MixenOpts::default();
+    if let Some(choice) = reorder {
+        opts.ordering = choice.resolve(g);
+    }
+    if let Some(enc) = bin_encoding {
+        opts.bin_encoding = enc;
+    }
+    Ok(AnyEngine::build_with_mixen_opts(kind, g, opts))
 }

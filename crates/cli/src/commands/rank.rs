@@ -29,7 +29,7 @@ use std::path::PathBuf;
 use std::time::Duration;
 
 use crate::args::Args;
-use crate::commands::{build_engine, load_graph, parse_reorder};
+use crate::commands::{build_engine, load_graph, parse_bin_encoding, parse_reorder};
 use crate::error::CliError;
 use mixen_algos::{
     collaborative_filtering, hits, indegree, pagerank, pagerank_fingerprint_extra,
@@ -57,7 +57,9 @@ pub const FLAGS: &[&str] = &[
     "supervised",
     "metrics-json",
     "threads",
+    "affinity",
     "reorder",
+    "bin-encoding",
     "checkpoint",
     "checkpoint-every",
     "resume",
@@ -92,6 +94,7 @@ pub fn run(args: &Args) -> Result<(), CliError> {
         ));
     }
     let reorder = parse_reorder(args)?;
+    let bin_encoding = parse_bin_encoding(args)?;
     let checkpoint = args.opt("checkpoint").map(PathBuf::from);
     let resume: bool = args.opt_or("resume", false)?;
     let deadline_ms: Option<u64> = args.opt_parse("deadline-ms")?;
@@ -135,15 +138,20 @@ pub fn run(args: &Args) -> Result<(), CliError> {
                 .opt_parse::<u64>("inject-stall-ms")?
                 .map(Duration::from_millis),
             inject_exit_after_checkpoints: args.opt_parse("exit-after-checkpoints")?,
-            mixen: match reorder {
+            mixen: {
+                let mut m = MixenOpts::default();
                 // `auto` resolves against the loaded graph before the
                 // runner builds its engine, so the fingerprint (which
                 // folds the policy id) stays stable across resumes.
-                Some(choice) => MixenOpts {
-                    ordering: choice.resolve(&g),
-                    ..MixenOpts::default()
-                },
-                None => MixenOpts::default(),
+                if let Some(choice) = reorder {
+                    m.ordering = choice.resolve(&g);
+                }
+                // Folded into the fingerprint too: resuming under a
+                // different stream encoding changes the numerics.
+                if let Some(enc) = bin_encoding {
+                    m.bin_encoding = enc;
+                }
+                m
             },
             ..RunnerOpts::default()
         };
@@ -216,7 +224,7 @@ pub fn run(args: &Args) -> Result<(), CliError> {
         }
         ("pagerank", scores)
     } else {
-        let engine = build_engine(args.opt("engine"), reorder, &g)?;
+        let engine = build_engine(args.opt("engine"), reorder, bin_encoding, &g)?;
         match algo {
             "indegree" => ("indegree", indegree(&engine)),
             "pagerank" => {
@@ -236,7 +244,7 @@ pub fn run(args: &Args) -> Result<(), CliError> {
             }
             "hits" => {
                 let rev = g.reversed();
-                let engine_rev = build_engine(args.opt("engine"), reorder, &rev)?;
+                let engine_rev = build_engine(args.opt("engine"), reorder, bin_encoding, &rev)?;
                 (
                     "hits-authority",
                     hits(g.n(), &engine, &engine_rev, iters).authority,
@@ -244,7 +252,7 @@ pub fn run(args: &Args) -> Result<(), CliError> {
             }
             "salsa" => {
                 let rev = g.reversed();
-                let engine_rev = build_engine(args.opt("engine"), reorder, &rev)?;
+                let engine_rev = build_engine(args.opt("engine"), reorder, bin_encoding, &rev)?;
                 (
                     "salsa-authority",
                     salsa(&g, &engine, &engine_rev, iters).authority,

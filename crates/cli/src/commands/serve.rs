@@ -28,6 +28,7 @@ pub const FLAGS: &[&str] = &[
     "damping",
     "port-file",
     "threads",
+    "affinity",
     "reorder",
 ];
 

@@ -7,7 +7,7 @@ use crate::error::CliError;
 use mixen_graph::{weakly_connected_components, DegreeDistribution, Direction, StructuralStats};
 
 /// Flags this subcommand accepts; anything else is a usage error.
-pub const FLAGS: &[&str] = &["threads"];
+pub const FLAGS: &[&str] = &["threads", "affinity"];
 
 pub fn run(args: &Args) -> Result<(), CliError> {
     args.expect_only(FLAGS)?;

@@ -22,6 +22,7 @@ fn main() {
         .next()
         .unwrap_or_else(|| usage(Some("missing subcommand")));
     let parsed = Args::parse(argv).unwrap_or_else(|e| usage(Some(&e)));
+    configure_affinity(&parsed);
     configure_threads(&parsed);
     let result = match sub.as_str() {
         "gen" => commands::gen::run(&parsed),
@@ -61,6 +62,24 @@ fn configure_threads(args: &Args) {
     }
 }
 
+/// Applies a global `--affinity <off|auto|list>` override before any pool
+/// worker spawns. Must run before `configure_threads`, which may create the
+/// global pool — workers pin themselves at spawn. The flag beats the
+/// `MIXEN_AFFINITY` environment variable (the env path is consulted only
+/// when no explicit policy was configured).
+fn configure_affinity(args: &Args) {
+    if let Some(spec) = args.opt("affinity") {
+        match mixen_pool::affinity::AffinityPolicy::parse(spec) {
+            Some(policy) => {
+                mixen_pool::affinity::configure(policy);
+            }
+            None => usage(Some(&format!(
+                "bad --affinity '{spec}' (expected off, auto, or a CPU list like 0,2,4)"
+            ))),
+        }
+    }
+}
+
 fn usage(err: Option<&str>) -> ! {
     if let Some(e) = err {
         eprintln!("error: {e}\n");
@@ -76,6 +95,7 @@ fn usage(err: Option<&str>) -> ! {
          \x20 stats    <graph.mxg>\n\
          \x20 rank     <graph.mxg> [--algo indegree|pagerank|hits|salsa|cf] [--engine mixen|gpop|ligra|polymer|graphmat]\n\
          \x20          [--iters N] [--top K] [--out scores.tsv] [--supervised true] [--metrics-json report.json]\n\
+         \x20          [--reorder auto|original|hubs-first|by-in-degree|dbg|hubsort] [--bin-encoding f32|f16|q16]\n\
          \x20          supervised-only: [--checkpoint snap.ckpt] [--checkpoint-every N] [--resume true]\n\
          \x20          [--deadline-ms N] [--stall-ms N]\n\
          \x20 bfs      <graph.mxg> [--root N] [--engine ...]\n\
@@ -85,6 +105,8 @@ fn usage(err: Option<&str>) -> ! {
          global flags:\n\
          \x20 --threads N   worker lanes for parallel kernels (default: MIXEN_THREADS env,\n\
          \x20               else the host's available parallelism; 1 = exact sequential order)\n\
+         \x20 --affinity S  pin pool lanes to CPUs: off (default), auto (lane i -> CPU i),\n\
+         \x20               or a comma list like 0,2,4 (default: MIXEN_AFFINITY env; Linux only)\n\
          \n\
          datasets: weibo track wiki pld rmat kron road urand\n\
          exit codes: 0 ok, 1 runtime failure, 2 usage error,\n\

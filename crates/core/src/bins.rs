@@ -18,22 +18,332 @@ use rayon::prelude::*;
 
 use crate::block::BlockedSubgraph;
 
-/// Per-iteration value streams, one `Vec` per (block-row task, block-col).
+/// Value encoding of the dynamic bins.
+///
+/// `F32` streams full-width property values. The 16-bit encodings halve
+/// Main-Phase bin traffic for 4-byte property types — the paper's kernels
+/// are bandwidth-bound, so stream bytes translate almost directly into
+/// Main-Phase seconds:
+///
+/// * `F16` — IEEE 754 binary16 (hand-rolled converters, no external
+///   dependency). Relative round-trip error ≤ 2⁻¹¹ per value for the
+///   normal range; values above 65504 overflow to ∞ and are rejected.
+/// * `Q16` — 16-bit fixed point against a per-Scatter global scale
+///   (`max |x|`): `q = round(v / scale × 32767)`. Absolute error is
+///   bounded by `scale / 65534`, uniformly across the range.
+///
+/// Both lossy encodings are gated by a measured accuracy budget at
+/// Scatter time ([`plan_codec`]): the worst per-value round-trip error
+/// relative to the stream's magnitude must stay within
+/// [`ACCURACY_BUDGET`], otherwise the Scatter fails with a typed
+/// [`GraphError::Numeric`]. Compression applies only to property types
+/// that opt in (`PropValue::ENCODABLE`, i.e. `f32`); other types silently
+/// keep full-width streams.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum BinEncoding {
+    /// Full-width values — lossless, the paper's layout.
+    #[default]
+    F32,
+    /// IEEE binary16 values (2 bytes per slot).
+    F16,
+    /// 16-bit fixed point against a per-Scatter global scale.
+    Q16,
+}
+
+impl BinEncoding {
+    /// Every encoding, in report order.
+    pub const ALL: [BinEncoding; 3] = [BinEncoding::F32, BinEncoding::F16, BinEncoding::Q16];
+
+    /// The CLI/report name (`--bin-encoding` vocabulary).
+    pub fn name(self) -> &'static str {
+        match self {
+            BinEncoding::F32 => "f32",
+            BinEncoding::F16 => "f16",
+            BinEncoding::Q16 => "q16",
+        }
+    }
+
+    /// Parses an encoding name as accepted by `--bin-encoding`.
+    pub fn parse(s: &str) -> Option<Self> {
+        BinEncoding::ALL.into_iter().find(|e| e.name() == s)
+    }
+
+    /// Stable numeric ID stamped into the `bin_encoding` obs gauge and
+    /// folded into checkpoint fingerprints (a resume under a different
+    /// encoding changes the numerics and must be rejected).
+    pub fn encoding_id(self) -> u64 {
+        match self {
+            BinEncoding::F32 => 0,
+            BinEncoding::F16 => 1,
+            BinEncoding::Q16 => 2,
+        }
+    }
+
+    /// Whether slots are stored as 16-bit words instead of full values.
+    pub fn is_compressed(self) -> bool {
+        !matches!(self, BinEncoding::F32)
+    }
+
+    /// The encoding actually used for property type `V`: types that do not
+    /// opt into the 16-bit stream hooks keep full-width bins.
+    pub fn effective<V: PropValue>(self) -> Self {
+        if V::ENCODABLE {
+            self
+        } else {
+            BinEncoding::F32
+        }
+    }
+}
+
+/// The rank-agreement accuracy budget of the lossy encodings: the worst
+/// per-value round-trip error, relative to the stream's maximum
+/// magnitude, tolerated before Scatter rejects the encoding with
+/// [`GraphError::Numeric`].
+pub const ACCURACY_BUDGET: f64 = 1e-3;
+
+/// Encodes an `f32` as IEEE binary16 bits with round-to-nearest-even.
+/// Out-of-range magnitudes map to ±∞ (caught by the accuracy gate).
+pub fn f16_from_f32(v: f32) -> u16 {
+    let bits = v.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xff) as i32;
+    let man = bits & 0x007f_ffff;
+    if exp == 0xff {
+        // Inf / NaN: keep the class (any NaN payload collapses to a quiet
+        // one — payloads are never semantically meaningful here).
+        return sign | 0x7c00 | if man != 0 { 0x0200 } else { 0 };
+    }
+    // Unbiased exponent, rebased for binary16 (bias 15).
+    let e = exp - 127 + 15;
+    if e >= 0x1f {
+        return sign | 0x7c00; // overflow to infinity
+    }
+    if e <= 0 {
+        // Subnormal or zero: shift the (implicit-1) mantissa right.
+        if e < -10 {
+            return sign; // underflows to zero even after rounding
+        }
+        let man = man | 0x0080_0000; // make the leading 1 explicit
+        let shift = 14 - e; // 14..=24
+        let half = man >> (shift - 1);
+        // Round to nearest, ties to even.
+        let rounded = (half >> 1) + (half & (half >> 1) & 1);
+        let sticky = (man & ((1u32 << (shift - 1)) - 1)) != 0;
+        let rounded = if sticky && half & 1 == 1 && rounded == half >> 1 {
+            rounded + 1
+        } else {
+            rounded
+        };
+        return sign | rounded as u16;
+    }
+    // Normal: keep the top 10 mantissa bits, round-to-nearest-even on the
+    // 13 dropped bits. Mantissa overflow carries into the exponent, which
+    // is exactly the right thing (1.999... rounds up to 2.0).
+    // lint: allow(truncation) reason=e is a 5-bit binary16 exponent, not an id
+    let base = (e as u32) << 10 | (man >> 13);
+    let round_bit = man & 0x1000;
+    let sticky = man & 0x0fff;
+    let rounded = if round_bit != 0 && (sticky != 0 || base & 1 == 1) {
+        base + 1
+    } else {
+        base
+    };
+    if rounded >= 0x7c00 {
+        return sign | 0x7c00; // rounding overflowed past the max finite
+    }
+    sign | rounded as u16
+}
+
+/// Decodes IEEE binary16 bits to `f32` (arithmetic path; exact).
+fn f16_to_f32_arith(bits: u16) -> f32 {
+    // lint: allow(truncation) reason=widening u16 bit-field extractions, not ids
+    let sign = ((bits as u32) & 0x8000) << 16;
+    // lint: allow(truncation) reason=widening u16 bit-field extractions, not ids
+    let exp = ((bits >> 10) & 0x1f) as u32;
+    // lint: allow(truncation) reason=widening u16 bit-field extractions, not ids
+    let man = (bits & 0x03ff) as u32;
+    let out = match (exp, man) {
+        (0, 0) => sign,
+        (0, _) => {
+            // Subnormal: value = man × 2⁻²⁴. Normalize into f32.
+            let shift = man.leading_zeros() - 21; // 1..=10
+            let man = (man << shift) & 0x03ff;
+            let exp = 127 - 15 - shift + 1;
+            sign | (exp << 23) | (man << 13)
+        }
+        (0x1f, 0) => sign | 0x7f80_0000,
+        (0x1f, _) => sign | 0x7fc0_0000 | (man << 13),
+        _ => sign | ((exp + 127 - 15) << 23) | (man << 13),
+    };
+    f32::from_bits(out)
+}
+
+/// Decodes IEEE binary16 bits to `f32`.
+///
+/// With the `f16-bins` feature a 64 Ki-entry lookup table (built once from
+/// the arithmetic path, so the two are bit-identical by construction)
+/// replaces the bit manipulation — a worthwhile trade on gather-bound
+/// runs, where the table stays resident next to the streams it decodes.
+#[inline]
+pub fn f16_to_f32(bits: u16) -> f32 {
+    #[cfg(feature = "f16-bins")]
+    {
+        static TABLE: std::sync::OnceLock<Vec<f32>> = std::sync::OnceLock::new();
+        let table =
+            TABLE.get_or_init(|| (0..=u16::MAX).map(f16_to_f32_arith).collect::<Vec<f32>>());
+        table[bits as usize]
+    }
+    #[cfg(not(feature = "f16-bins"))]
+    f16_to_f32_arith(bits)
+}
+
+/// The per-Scatter codec of a compressed bin round: encoding plus the Q16
+/// quantization scale measured from that round's source values. Stored in
+/// the bins by Scatter so the matching Gather decodes with the same
+/// parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct BinCodec {
+    enc: BinEncoding,
+    /// Q16 dequantization step, `scale / 32767` (0 on an all-zero round).
+    q_step: f32,
+    /// Q16 quantization factor, `32767 / scale` (0 on an all-zero round).
+    q_inv: f32,
+}
+
+impl BinCodec {
+    /// The lossless (F32) codec.
+    pub fn identity() -> Self {
+        Self {
+            enc: BinEncoding::F32,
+            q_step: 0.0,
+            q_inv: 0.0,
+        }
+    }
+
+    /// The encoding this codec implements.
+    pub fn encoding(self) -> BinEncoding {
+        self.enc
+    }
+
+    /// Encodes one streamed value into its 16-bit slot. Only meaningful
+    /// for the compressed encodings.
+    #[inline]
+    pub fn encode(self, v: f32) -> u16 {
+        match self.enc {
+            BinEncoding::F32 => 0,
+            BinEncoding::F16 => f16_from_f32(v),
+            // `as i16` saturates on overflow/NaN in Rust, so a hostile
+            // value that slipped past the gate still cannot corrupt
+            // neighbouring slots — it just decodes clamped.
+            BinEncoding::Q16 => ((v * self.q_inv).round() as i16) as u16,
+        }
+    }
+
+    /// Decodes one 16-bit slot back to the streamed value.
+    #[inline]
+    pub fn decode(self, bits: u16) -> f32 {
+        match self.enc {
+            BinEncoding::F32 => 0.0,
+            BinEncoding::F16 => f16_to_f32(bits),
+            BinEncoding::Q16 => (bits as i16) as f32 * self.q_step,
+        }
+    }
+}
+
+/// Plans the codec of one Scatter round over the source values it will
+/// stream, enforcing the [`ACCURACY_BUDGET`] gate: every streamed slot is
+/// some `x[u]`, so scanning `x` bounds the exact per-message round-trip
+/// error. Rejections are typed [`GraphError::Numeric`] — non-finite
+/// sources, f16 overflow (`|v| > 65504`), or any round-trip error above
+/// the budget relative to the stream's maximum magnitude.
+pub fn plan_codec<V: PropValue>(enc: BinEncoding, x: &[V]) -> Result<BinCodec, GraphError> {
+    let numeric = |msg: String| {
+        Err(GraphError::Numeric {
+            iteration: 0,
+            msg,
+        })
+    };
+    let enc = enc.effective::<V>();
+    if !enc.is_compressed() {
+        return Ok(BinCodec::identity());
+    }
+    let mut max_abs = 0f32;
+    for v in x {
+        let f = v.to_stream_f32();
+        if !f.is_finite() {
+            return numeric(format!(
+                "{} bin encoding cannot stream non-finite source value {f}",
+                enc.name()
+            ));
+        }
+        max_abs = max_abs.max(f.abs());
+    }
+    let codec = match enc {
+        BinEncoding::F16 => BinCodec {
+            enc,
+            q_step: 0.0,
+            q_inv: 0.0,
+        },
+        BinEncoding::Q16 => BinCodec {
+            enc,
+            q_step: max_abs / 32767.0,
+            q_inv: if max_abs > 0.0 { 32767.0 / max_abs } else { 0.0 },
+        },
+        BinEncoding::F32 => BinCodec::identity(),
+    };
+    if max_abs > 0.0 {
+        let mut max_err = 0f64;
+        for v in x {
+            let f = v.to_stream_f32();
+            let err = (codec.decode(codec.encode(f)) as f64 - f as f64).abs();
+            max_err = max_err.max(err);
+        }
+        let rel = max_err / max_abs as f64;
+        if !rel.is_finite() || rel > ACCURACY_BUDGET {
+            return numeric(format!(
+                "{} bin encoding round-trip error {rel:.3e} exceeds the {ACCURACY_BUDGET:.0e} \
+                 rank-agreement budget (stream magnitude up to {max_abs:.6e})",
+                enc.name()
+            ));
+        }
+    }
+    Ok(codec)
+}
+
+/// Per-iteration value streams, one stream per (block-row task, block-col)
+/// — full-width `V` slots under [`BinEncoding::F32`], 16-bit words under
+/// the compressed encodings.
 #[derive(Clone, Debug)]
 pub struct DynamicBins<V> {
     per_task: Vec<TaskBins<V>>,
+    /// Effective encoding for `V` (requested encoding, or `F32` when `V`
+    /// does not opt into compression).
+    encoding: BinEncoding,
+    /// The codec of the last Scatter round (carries the Q16 scale).
+    codec: BinCodec,
 }
 
-/// The bins owned by one scatter task (one per block-column).
+/// The bins owned by one scatter task (one stream per block-column;
+/// exactly one of `per_col`/`packed` is populated, by encoding).
 #[derive(Clone, Debug)]
 pub struct TaskBins<V> {
     per_col: Vec<Vec<V>>,
+    packed: Vec<Vec<u16>>,
 }
 
 impl<V: PropValue> DynamicBins<V> {
-    /// Allocates value streams sized to the compressed message counts of
-    /// `blocked`. Allocation happens once; iterations only overwrite.
+    /// Allocates full-width value streams sized to the compressed message
+    /// counts of `blocked`. Allocation happens once; iterations only
+    /// overwrite.
     pub fn new(blocked: &BlockedSubgraph) -> Self {
+        Self::with_encoding(blocked, BinEncoding::F32)
+    }
+
+    /// Like [`DynamicBins::new`] with an explicit value encoding. Types
+    /// that do not opt into compression (`!V::ENCODABLE`) silently fall
+    /// back to full-width streams.
+    pub fn with_encoding(blocked: &BlockedSubgraph, encoding: BinEncoding) -> Self {
+        let encoding = encoding.effective::<V>();
         let per_task = blocked
             .rows()
             .iter()
@@ -41,17 +351,63 @@ impl<V: PropValue> DynamicBins<V> {
                 per_col: row
                     .blocks
                     .iter()
-                    .map(|b| vec![V::identity(); b.msg_count()])
+                    .map(|b| {
+                        if encoding.is_compressed() {
+                            Vec::new()
+                        } else {
+                            vec![V::identity(); b.msg_count()]
+                        }
+                    })
+                    .collect(),
+                packed: row
+                    .blocks
+                    .iter()
+                    .map(|b| {
+                        if encoding.is_compressed() {
+                            vec![0u16; b.msg_count()]
+                        } else {
+                            Vec::new()
+                        }
+                    })
                     .collect(),
             })
             .collect();
-        let bins = Self { per_task };
+        let bins = Self {
+            per_task,
+            encoding,
+            codec: BinCodec::identity(),
+        };
         #[cfg(feature = "strict-invariants")]
         if let Err(e) = bins.debug_validate(blocked) {
             // lint: allow(panic) reason=strict-invariants mode turns violated bin metadata into loud failures
             panic!("strict-invariants: {e}");
         }
         bins
+    }
+
+    /// The effective value encoding of these streams.
+    pub fn encoding(&self) -> BinEncoding {
+        self.encoding
+    }
+
+    /// Bytes one slot occupies under the active encoding — the factor the
+    /// `bin_bytes_streamed` counter multiplies slot counts by.
+    pub fn bytes_per_slot(&self) -> usize {
+        if self.encoding.is_compressed() {
+            2
+        } else {
+            std::mem::size_of::<V>()
+        }
+    }
+
+    /// The codec of the last Scatter round (Gather decodes with it).
+    pub(crate) fn codec(&self) -> BinCodec {
+        self.codec
+    }
+
+    /// Records the codec a Scatter round encoded with.
+    pub(crate) fn set_codec(&mut self, codec: BinCodec) {
+        self.codec = codec;
     }
 
     /// Mutable slice of all task bins (scatter side).
@@ -68,15 +424,16 @@ impl<V: PropValue> DynamicBins<V> {
     pub fn total_slots(&self) -> usize {
         self.per_task
             .iter()
-            .flat_map(|t| t.per_col.iter())
-            .map(Vec::len)
+            .flat_map(|t| t.per_col.iter().map(Vec::len).zip(t.packed.iter().map(Vec::len)))
+            .map(|(full, packed)| full + packed)
             .sum()
     }
 
     /// Validates the bin metadata against the partition it was allocated
     /// for: one task per block-row, one stream per block-column, and every
-    /// stream sized to its block's compressed message count. Used by the
-    /// `strict-invariants` feature and callable directly from tests.
+    /// stream (in the representation the encoding selects) sized to its
+    /// block's compressed message count. Used by the `strict-invariants`
+    /// feature and callable directly from tests.
     pub fn debug_validate(&self, blocked: &BlockedSubgraph) -> Result<(), GraphError> {
         let invariant = |msg: String| Err(GraphError::Invariant(msg));
         if self.per_task.len() != blocked.rows().len() {
@@ -86,20 +443,28 @@ impl<V: PropValue> DynamicBins<V> {
                 blocked.rows().len()
             ));
         }
+        let packed = self.encoding.is_compressed();
         for (t, (task, row)) in self.per_task.iter().zip(blocked.rows()).enumerate() {
-            if task.per_col.len() != row.blocks.len() {
+            if task.per_col.len() != row.blocks.len() || task.packed.len() != row.blocks.len() {
                 return invariant(format!(
-                    "task {t} has {} streams for {} blocks",
+                    "task {t} has {} full / {} packed streams for {} blocks",
                     task.per_col.len(),
+                    task.packed.len(),
                     row.blocks.len()
                 ));
             }
-            for (j, (stream, blk)) in task.per_col.iter().zip(&row.blocks).enumerate() {
-                if stream.len() != blk.msg_count() {
+            for (j, blk) in row.blocks.iter().enumerate() {
+                let (active, idle) = if packed {
+                    (task.packed[j].len(), task.per_col[j].len())
+                } else {
+                    (task.per_col[j].len(), task.packed[j].len())
+                };
+                if active != blk.msg_count() || idle != 0 {
                     return invariant(format!(
-                        "bin ({t},{j}) holds {} slots, block compresses to {} messages",
-                        stream.len(),
-                        blk.msg_count()
+                        "bin ({t},{j}) holds {active} slots (+{idle} idle), block compresses \
+                         to {} messages under {}",
+                        blk.msg_count(),
+                        self.encoding.name()
                     ));
                 }
             }
@@ -109,16 +474,40 @@ impl<V: PropValue> DynamicBins<V> {
 }
 
 impl<V: PropValue> TaskBins<V> {
-    /// The value stream for block-column `j`.
+    /// The full-width value stream for block-column `j` (empty under a
+    /// compressed encoding — the kernels then read [`TaskBins::packed_col`]).
     #[inline]
     pub fn col(&self, j: usize) -> &[V] {
         &self.per_col[j]
     }
 
-    /// Mutable value stream for block-column `j`.
+    /// Mutable full-width value stream for block-column `j`.
     #[inline]
     pub fn col_mut(&mut self, j: usize) -> &mut [V] {
         &mut self.per_col[j]
+    }
+
+    /// The 16-bit stream for block-column `j` (empty under `F32`).
+    #[inline]
+    pub(crate) fn packed_col(&self, j: usize) -> &[u16] {
+        &self.packed[j]
+    }
+
+    /// Mutable 16-bit stream for block-column `j`.
+    #[inline]
+    pub(crate) fn packed_col_mut(&mut self, j: usize) -> &mut [u16] {
+        &mut self.packed[j]
+    }
+
+    /// Base address of column `j`'s active stream — a software-prefetch
+    /// target only, never dereferenced directly.
+    #[inline]
+    pub(crate) fn col_prefetch_ptr(&self, j: usize) -> *const u8 {
+        if self.packed[j].is_empty() {
+            self.per_col[j].as_ptr() as *const u8
+        } else {
+            self.packed[j].as_ptr() as *const u8
+        }
     }
 }
 
@@ -249,5 +638,97 @@ mod tests {
         let seed_csr = Csr::from_edges_rect(1, 2, &[(0, 1)]);
         let sta = StaticBin::compute(&seed_csr, &[[1.0f32, 2.0]], 2);
         assert_eq!(sta.values(), &[[0.0, 0.0], [1.0, 2.0]]);
+    }
+
+    #[test]
+    fn f16_round_trip_is_exact_for_representable_values() {
+        // Values with <= 10 mantissa bits and in-range exponents survive
+        // the f32 -> f16 -> f32 round trip bit-for-bit.
+        for v in [0.0f32, -0.0, 1.0, -1.0, 0.5, 0.25, 1.5, 65504.0, 6.1035156e-5] {
+            let back = f16_to_f32(f16_from_f32(v));
+            assert_eq!(back.to_bits(), v.to_bits(), "value {v}");
+        }
+    }
+
+    #[test]
+    fn f16_round_trip_error_is_bounded_by_half_ulp() {
+        // Relative error for normal f16 values is at most 2^-11 (half an
+        // ulp of a 10-bit mantissa) — comfortably inside ACCURACY_BUDGET.
+        let mut seed = 0x2545_f491u32;
+        for _ in 0..10_000 {
+            seed = seed.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+            let v = (seed as f32 / u32::MAX as f32).mul_add(2000.0, -1000.0);
+            let back = f16_to_f32(f16_from_f32(v));
+            let rel = ((back - v) / v.abs().max(1e-30)).abs();
+            assert!(rel <= 4.8829e-4, "value {v} -> {back}, rel err {rel}");
+        }
+    }
+
+    #[test]
+    fn f16_special_values() {
+        assert_eq!(f16_from_f32(f32::INFINITY), 0x7c00);
+        assert_eq!(f16_from_f32(f32::NEG_INFINITY), 0xfc00);
+        assert!(f16_to_f32(f16_from_f32(f32::NAN)).is_nan());
+        // Overflow saturates to infinity, underflow flushes toward zero.
+        assert_eq!(f16_from_f32(1.0e6), 0x7c00);
+        assert_eq!(f16_to_f32(f16_from_f32(1.0e-10)), 0.0);
+    }
+
+    #[test]
+    fn q16_round_trip_error_is_bounded_by_the_step() {
+        let xs: Vec<f32> = (0..4096)
+            .map(|i| ((i as f32).mul_add(0.37, -757.0)).sin() * 900.0)
+            .collect();
+        let codec = plan_codec::<f32>(BinEncoding::Q16, &xs).unwrap();
+        assert_eq!(codec.encoding(), BinEncoding::Q16);
+        for &v in &xs {
+            let back = codec.decode(codec.encode(v));
+            // Half a quantisation step of slack either way.
+            assert!((back - v).abs() <= codec.q_step * 0.5 + 1e-9, "{v} -> {back}");
+        }
+    }
+
+    #[test]
+    fn codec_planner_rejects_out_of_budget_ranges() {
+        // f16 cannot represent 1e30 at all: the round-trip error blows
+        // through the budget and the planner must say so, typed.
+        let hostile = vec![1.0e30f32, 1.0];
+        let err = plan_codec::<f32>(BinEncoding::F16, &hostile).unwrap_err();
+        assert_eq!(err.kind_name(), "numeric");
+        // Non-finite inputs are rejected by both compressed encodings.
+        let nan = vec![f32::NAN, 1.0];
+        assert_eq!(plan_codec::<f32>(BinEncoding::F16, &nan).unwrap_err().kind_name(), "numeric");
+        assert_eq!(plan_codec::<f32>(BinEncoding::Q16, &nan).unwrap_err().kind_name(), "numeric");
+        // F32 is lossless and never rejects.
+        assert!(plan_codec::<f32>(BinEncoding::F32, &nan).is_ok());
+    }
+
+    #[test]
+    fn effective_encoding_downgrades_unencodable_types() {
+        use mixen_graph::MinF32;
+        assert_eq!(BinEncoding::F16.effective::<MinF32>(), BinEncoding::F32);
+        assert_eq!(BinEncoding::Q16.effective::<f32>(), BinEncoding::Q16);
+    }
+
+    #[test]
+    fn encoding_parse_and_names_round_trip() {
+        for enc in BinEncoding::ALL {
+            assert_eq!(BinEncoding::parse(enc.name()), Some(enc));
+        }
+        assert_eq!(BinEncoding::parse("brotli"), None);
+    }
+
+    /// The LUT decode path (feature `f16-bins`) is built from the arithmetic
+    /// path, so the two must agree bit-for-bit on every possible pattern.
+    #[test]
+    fn f16_decode_paths_agree_on_all_bit_patterns() {
+        for bits in 0..=u16::MAX {
+            let lut = f16_to_f32(bits);
+            let arith = f16_to_f32_arith(bits);
+            assert!(
+                lut.to_bits() == arith.to_bits() || (lut.is_nan() && arith.is_nan()),
+                "bits {bits:#06x}: lut {lut} vs arith {arith}"
+            );
+        }
     }
 }

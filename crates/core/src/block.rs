@@ -226,6 +226,10 @@ pub struct BlockedSubgraph {
     /// chunk of its column (full-column tasks filter nothing).
     chunk_indexes: Vec<Option<ChunkIndex>>,
     split_stats: SplitStats,
+    /// Inner-loop unroll width the SCGA kernels run at (1, 2, 4 or 8).
+    kernel_width: usize,
+    /// Software-prefetch look-ahead of the kernels (0 disables).
+    prefetch_distance: usize,
 }
 
 impl BlockedSubgraph {
@@ -253,6 +257,12 @@ impl BlockedSubgraph {
             reg_csr.n_rows(),
             reg_csr.n_cols(),
             "regular CSR must be square"
+        );
+        assert!(
+            crate::opts::KERNEL_WIDTHS.contains(&opts.kernel_width),
+            "kernel_width {} is not one of {:?}",
+            opts.kernel_width,
+            crate::opts::KERNEL_WIDTHS
         );
         let r = reg_csr.n_rows();
         let hub_end = num_hub.min(r);
@@ -304,7 +314,23 @@ impl BlockedSubgraph {
             gather_tasks,
             chunk_indexes,
             split_stats,
+            kernel_width: opts.kernel_width,
+            prefetch_distance: opts.prefetch_distance,
         }
+    }
+
+    /// Inner-loop unroll width of the SCGA kernels over this partition
+    /// ([`MixenOpts::kernel_width`]; bit-for-bit identical across widths).
+    #[inline]
+    pub fn kernel_width(&self) -> usize {
+        self.kernel_width
+    }
+
+    /// Software-prefetch look-ahead of the SCGA kernels
+    /// ([`MixenOpts::prefetch_distance`]; 0 disables).
+    #[inline]
+    pub fn prefetch_distance(&self) -> usize {
+        self.prefetch_distance
     }
 
     /// End of the pinned hub domain (`0` when no domain was declared).
@@ -613,6 +639,11 @@ impl BlockedSubgraph {
                 ));
             }
         }
+        // Kernel-width identity: the configured unroll width must walk the
+        // partition bit-for-bit like the scalar path — the contract the
+        // unchecked SIMD-width loops in `scga` cite in their SAFETY
+        // comments.
+        crate::scga::width_identity_check(self)?;
         Ok(())
     }
 }

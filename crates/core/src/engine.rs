@@ -161,6 +161,13 @@ impl MixenEngine {
             // lint: allow(truncation) reason=guarded: non-negative wall-clock micros far below 2^53
             .set((filtered.relabel_seconds() * 1e6) as u64);
         metrics.hub_domain_side.set(blocked.block_side() as u64);
+        metrics.kernel_width.set(blocked.kernel_width() as u64);
+        metrics
+            .prefetch_distance
+            .set(blocked.prefetch_distance() as u64);
+        // Stamps the *requested* encoding; runs re-stamp the effective one
+        // (which depends on the property type V).
+        metrics.bin_encoding.set(opts.bin_encoding.encoding_id());
         Self {
             filtered,
             blocked,
@@ -182,6 +189,13 @@ impl MixenEngine {
             return Err(GraphError::Invariant(format!(
                 "balance_factor must be a positive finite number, got {}",
                 opts.balance_factor
+            )));
+        }
+        if !crate::opts::KERNEL_WIDTHS.contains(&opts.kernel_width) {
+            return Err(GraphError::Invariant(format!(
+                "kernel_width must be one of {:?}, got {}",
+                crate::opts::KERNEL_WIDTHS,
+                opts.kernel_width
             )));
         }
         let engine = Self::new(g, opts);
@@ -258,14 +272,39 @@ impl MixenEngine {
     /// `x'[v] = apply(v, Σ_{u→v} x[u])` and returns the final values in
     /// original-ID order. `init` provides iteration-0 values; both closures
     /// receive original node IDs.
+    ///
+    /// Panics if a compressed bin encoding rejects the value range;
+    /// fallible callers use [`MixenEngine::try_iterate`].
     pub fn iterate<V, FI, FA>(&self, init: FI, apply: FA, iters: usize) -> Vec<V>
     where
         V: PropValue,
         FI: Fn(NodeId) -> V + Sync,
         FA: Fn(NodeId, V) -> V + Sync,
     {
-        self.run(init, apply, iters, None, &mut PhaseStats::default())
-            .0
+        self.try_iterate(init, apply, iters).unwrap_or_else(|e| {
+            // lint: allow(panic) reason=infallible under the default F32 bins; compressed encodings surface budget violations through try_iterate
+            panic!("iterate: {e}")
+        })
+    }
+
+    /// Fallible [`MixenEngine::iterate`]: a compressed bin encoding whose
+    /// measured accuracy budget is violated surfaces as
+    /// [`GraphError::Numeric`] (stamped with the failing iteration) instead
+    /// of panicking. Infallible under the default `F32` encoding.
+    pub fn try_iterate<V, FI, FA>(
+        &self,
+        init: FI,
+        apply: FA,
+        iters: usize,
+    ) -> Result<Vec<V>, GraphError>
+    where
+        V: PropValue,
+        FI: Fn(NodeId) -> V + Sync,
+        FA: Fn(NodeId, V) -> V + Sync,
+    {
+        Ok(self
+            .try_run(init, apply, iters, None, &mut PhaseStats::default())?
+            .0)
     }
 
     /// Like [`MixenEngine::iterate`], additionally returning the per-phase
@@ -282,7 +321,12 @@ impl MixenEngine {
         FA: Fn(NodeId, V) -> V + Sync,
     {
         let mut stats = PhaseStats::default();
-        let (vals, performed) = self.run(init, apply, iters, None, &mut stats);
+        let (vals, performed) = self
+            .try_run(init, apply, iters, None, &mut stats)
+            .unwrap_or_else(|e| {
+                // lint: allow(panic) reason=infallible under the default F32 bins; compressed encodings surface budget violations through try_iterate
+                panic!("iterate_with_stats: {e}")
+            });
         stats.iterations = performed;
         (vals, stats)
     }
@@ -302,7 +346,28 @@ impl MixenEngine {
         FI: Fn(NodeId) -> V + Sync,
         FA: Fn(NodeId, V) -> V + Sync,
     {
-        self.run(
+        self.try_iterate_until(init, apply, tol, max_iters)
+            .unwrap_or_else(|e| {
+                // lint: allow(panic) reason=infallible under the default F32 bins; compressed encodings surface budget violations through try_iterate_until
+                panic!("iterate_until: {e}")
+            })
+    }
+
+    /// Fallible [`MixenEngine::iterate_until`]; see
+    /// [`MixenEngine::try_iterate`] for the error contract.
+    pub fn try_iterate_until<V, FI, FA>(
+        &self,
+        init: FI,
+        apply: FA,
+        tol: f64,
+        max_iters: usize,
+    ) -> Result<(Vec<V>, usize), GraphError>
+    where
+        V: PropValue,
+        FI: Fn(NodeId) -> V + Sync,
+        FA: Fn(NodeId, V) -> V + Sync,
+    {
+        self.try_run(
             init,
             apply,
             max_iters,
@@ -311,14 +376,14 @@ impl MixenEngine {
         )
     }
 
-    fn run<V, FI, FA>(
+    fn try_run<V, FI, FA>(
         &self,
         init: FI,
         apply: FA,
         max_iters: usize,
         tol: Option<f64>,
         stats: &mut PhaseStats,
-    ) -> (Vec<V>, usize)
+    ) -> Result<(Vec<V>, usize), GraphError>
     where
         V: PropValue,
         FI: Fn(NodeId) -> V + Sync,
@@ -330,7 +395,7 @@ impl MixenEngine {
         let s = f.num_seed();
 
         if max_iters == 0 {
-            return ((0..nid(n)).into_par_iter().map(&init).collect(), 0);
+            return Ok(((0..nid(n)).into_par_iter().map(&init).collect(), 0));
         }
 
         // Seed values are constant for the whole run.
@@ -360,7 +425,7 @@ impl MixenEngine {
             .collect();
         let mut y: Vec<V> = vec![V::identity(); r];
         self.prime(&mut y, &sta, &seed_vals);
-        let mut bins: DynamicBins<V> = DynamicBins::new(&self.blocked);
+        let mut bins: DynamicBins<V> = DynamicBins::with_encoding(&self.blocked, self.opts.bin_encoding);
         self.metrics
             .dynamic_bin_slots
             .set(self.blocked.total_msg_slots() as u64);
@@ -380,6 +445,16 @@ impl MixenEngine {
         self.metrics
             .hub_domain_side
             .set(self.blocked.block_side() as u64);
+        self.metrics
+            .kernel_width
+            .set(self.blocked.kernel_width() as u64);
+        self.metrics
+            .prefetch_distance
+            .set(self.blocked.prefetch_distance() as u64);
+        // The *effective* encoding for this run's property type V.
+        self.metrics
+            .bin_encoding
+            .set(bins.encoding().encoding_id());
         let mut prev: Vec<V> = if tol.is_some() { x.clone() } else { Vec::new() };
 
         let mut performed = 0usize;
@@ -396,13 +471,14 @@ impl MixenEngine {
             };
             {
                 let _span = Span::new(&mut stats.scatter_seconds);
-                crate::scga::scatter_with(
+                crate::scga::try_scatter_with(
                     &self.blocked,
                     &mut x,
                     &mut bins,
                     cache_from,
                     Some(&self.metrics),
-                );
+                )
+                .map_err(|e| stamp_iteration(e, t))?;
                 if cache_from.is_some() {
                     self.metrics.static_bin_reuses.inc();
                 }
@@ -444,7 +520,7 @@ impl MixenEngine {
             let _span = Span::new(&mut stats.post_seconds);
             self.assemble(&x, x_prev, &seed_vals, &apply)
         };
-        (out, performed)
+        Ok((out, performed))
     }
 
     /// Primes an accumulator with the static-bin contents (or recomputes the
@@ -611,6 +687,17 @@ impl MixenEngine {
             }
         }
         out
+    }
+}
+
+/// Re-stamps a [`GraphError::Numeric`] raised inside an iteration with the
+/// iteration number it failed on. The codec planner runs before the graph
+/// walk and reports iteration 0; the engine is the only layer that knows
+/// which sweep was in flight.
+fn stamp_iteration(e: GraphError, t: usize) -> GraphError {
+    match e {
+        GraphError::Numeric { msg, .. } => GraphError::Numeric { iteration: t, msg },
+        other => other,
     }
 }
 

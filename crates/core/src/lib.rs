@@ -79,6 +79,7 @@ pub use engine::{MixenEngine, PhaseStats};
 pub use filter::FilteredGraph;
 pub use model::PerfModel;
 pub use obs::{Json, Metrics, MetricsSnapshot, Span};
+pub use bins::BinEncoding;
 pub use opts::{MixenOpts, RegularOrdering};
 pub use reorder::{ReorderChoice, ReorderPolicy};
 pub use runner::{

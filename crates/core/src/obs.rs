@@ -25,12 +25,24 @@
 //!   edge count (`BlockedSubgraph::nnz`) per Main-Phase iteration — every
 //!   nonempty block streams its full compressed slot list per call, so
 //!   per-call totals are exact, not sampled.
-//! * `bin_bytes_streamed` advances by `compressed slots × size_of::<V>()`
+//! * `bin_bytes_streamed` advances by `compressed slots × bytes per slot`
 //!   per Scatter *and* per Gather: the counter is total dynamic-bin traffic
 //!   in both directions (bytes written into the bins, plus bytes drained
 //!   from them), so one full Scatter+Gather round counts the slot bytes
 //!   twice. Before PR 5 only the Scatter half was counted, under-reporting
-//!   bin traffic by ~2×.
+//!   bin traffic by ~2×. A slot is `size_of::<V>()` bytes under the
+//!   full-width `F32` bin encoding and 2 bytes under the compressed
+//!   (`F16`/`Q16`) encodings; `bin_bytes_saved` counts the difference —
+//!   traffic a compressed encoding avoided relative to full-width slots
+//!   (Scatter side; the Gather drain saves the same amount again but the
+//!   counter tracks the written stream once per round so the ratio
+//!   `saved / (saved + streamed_scatter_half)` stays interpretable).
+//! * `kernel_width` / `prefetch_distance` / `bin_encoding` are gauges
+//!   mirroring the raw-speed knobs the engine was built with
+//!   (`MixenOpts::{kernel_width, prefetch_distance, bin_encoding}`; the
+//!   encoding gauge stamps `BinEncoding::encoding_id` — the *effective*
+//!   one per run, which falls back to 0/F32 for property types that cannot
+//!   compress).
 //! * `tasks_split` / `max_task_nnz` are gauges describing the §4.2
 //!   nnz-proportional task split of the current partition: how many extra
 //!   tasks the balancer carved beyond the base grid (scatter-row splits +
@@ -129,16 +141,20 @@ impl Gauge {
 /// `mixen-serve` request path: the server keeps its own [`Metrics`] registry
 /// and exposes it at `/metrics`, merged with the resident engine's kernel
 /// counters (which use the same catalogue, so the merge is by name).
-pub const COUNTER_NAMES: [&str; 31] = [
+pub const COUNTER_NAMES: [&str; 35] = [
     "edges_scattered",
     "edges_gathered",
     "bin_bytes_streamed",
+    "bin_bytes_saved",
     "dynamic_bin_slots",
     "tasks_split",
     "max_task_nnz",
     "reorder_policy",
     "relabel_micros",
     "hub_domain_side",
+    "kernel_width",
+    "prefetch_distance",
+    "bin_encoding",
     "static_bin_entries",
     "static_bin_reuses",
     "static_bin_recomputes",
@@ -171,8 +187,12 @@ pub struct Metrics {
     pub edges_scattered: Counter,
     /// Regular edges drained from the bins into accumulators (per Gather).
     pub edges_gathered: Counter,
-    /// Bytes written into the dynamic bins (compressed slots × value size).
+    /// Bytes written into the dynamic bins (compressed slots × bytes per
+    /// slot under the active bin encoding).
     pub bin_bytes_streamed: Counter,
+    /// Bytes a compressed bin encoding avoided writing relative to
+    /// full-width slots (per Scatter).
+    pub bin_bytes_saved: Counter,
     /// Compressed message slots of the current dynamic bins.
     pub dynamic_bin_slots: Gauge,
     /// §4.2 balancer subdivisions of the current partition (scatter-row
@@ -190,6 +210,13 @@ pub struct Metrics {
     /// Effective block side after GRASP hub-domain pinning, in nodes
     /// (equals the plain effective side when pinning is disengaged).
     pub hub_domain_side: Gauge,
+    /// Inner-loop unroll width of the SCGA kernels (1, 2, 4 or 8).
+    pub kernel_width: Gauge,
+    /// Software-prefetch look-ahead of the SCGA kernels (0 = disabled).
+    pub prefetch_distance: Gauge,
+    /// Effective dynamic-bin value encoding
+    /// (`BinEncoding::encoding_id`: 0 f32, 1 f16, 2 q16).
+    pub bin_encoding: Gauge,
     /// Entries in the current static (seed-cache) bin.
     pub static_bin_entries: Gauge,
     /// Cache-step re-primes served from the static bin.
@@ -242,12 +269,16 @@ impl Metrics {
             ("edges_scattered", self.edges_scattered.get()),
             ("edges_gathered", self.edges_gathered.get()),
             ("bin_bytes_streamed", self.bin_bytes_streamed.get()),
+            ("bin_bytes_saved", self.bin_bytes_saved.get()),
             ("dynamic_bin_slots", self.dynamic_bin_slots.get()),
             ("tasks_split", self.tasks_split.get()),
             ("max_task_nnz", self.max_task_nnz.get()),
             ("reorder_policy", self.reorder_policy.get()),
             ("relabel_micros", self.relabel_micros.get()),
             ("hub_domain_side", self.hub_domain_side.get()),
+            ("kernel_width", self.kernel_width.get()),
+            ("prefetch_distance", self.prefetch_distance.get()),
+            ("bin_encoding", self.bin_encoding.get()),
             ("static_bin_entries", self.static_bin_entries.get()),
             ("static_bin_reuses", self.static_bin_reuses.get()),
             ("static_bin_recomputes", self.static_bin_recomputes.get()),
@@ -272,12 +303,16 @@ impl Metrics {
         self.edges_scattered.set(0);
         self.edges_gathered.set(0);
         self.bin_bytes_streamed.set(0);
+        self.bin_bytes_saved.set(0);
         self.dynamic_bin_slots.set(0);
         self.tasks_split.set(0);
         self.max_task_nnz.set(0);
         self.reorder_policy.set(0);
         self.relabel_micros.set(0);
         self.hub_domain_side.set(0);
+        self.kernel_width.set(0);
+        self.prefetch_distance.set(0);
+        self.bin_encoding.set(0);
         self.static_bin_entries.set(0);
         self.static_bin_reuses.set(0);
         self.static_bin_recomputes.set(0);
@@ -303,12 +338,16 @@ impl Clone for Metrics {
         m.edges_scattered.set(self.edges_scattered.get());
         m.edges_gathered.set(self.edges_gathered.get());
         m.bin_bytes_streamed.set(self.bin_bytes_streamed.get());
+        m.bin_bytes_saved.set(self.bin_bytes_saved.get());
         m.dynamic_bin_slots.set(self.dynamic_bin_slots.get());
         m.tasks_split.set(self.tasks_split.get());
         m.max_task_nnz.set(self.max_task_nnz.get());
         m.reorder_policy.set(self.reorder_policy.get());
         m.relabel_micros.set(self.relabel_micros.get());
         m.hub_domain_side.set(self.hub_domain_side.get());
+        m.kernel_width.set(self.kernel_width.get());
+        m.prefetch_distance.set(self.prefetch_distance.get());
+        m.bin_encoding.set(self.bin_encoding.get());
         m.static_bin_entries.set(self.static_bin_entries.get());
         m.static_bin_reuses.set(self.static_bin_reuses.get());
         m.static_bin_recomputes

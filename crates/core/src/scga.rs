@@ -12,17 +12,98 @@
 //!   destination segment of `y`.
 
 use mixen_graph::nid;
-use mixen_graph::{NodeId, PropValue};
+use mixen_graph::{GraphError, NodeId, PropValue};
 use rayon::prelude::*;
 
-use crate::bins::DynamicBins;
-use crate::block::BlockedSubgraph;
+use crate::bins::{plan_codec, BinCodec, DynamicBins};
+use crate::block::{Block, BlockedSubgraph, ChunkIndex};
 use crate::obs::Metrics;
+
+/// Best-effort read prefetch of the cache line holding `p`. Compiles to a
+/// single `prefetcht0` on x86-64 and to nothing elsewhere (aarch64's
+/// `_prefetch` intrinsic is not stable) — a pure latency hint that never
+/// reads or writes memory, so it cannot affect results.
+#[inline(always)]
+pub(crate) fn prefetch_read<T>(p: *const T) {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: `_mm_prefetch` is a hint instruction; it performs no memory
+    // access and is architecturally defined for any address, valid or not.
+    unsafe {
+        std::arch::x86_64::_mm_prefetch::<{ std::arch::x86_64::_MM_HINT_T0 }>(p as *const i8);
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = p;
+}
+
+/// Read-side view of one (task, column) bin stream, monomorphized per
+/// representation so the gather inner loops stay branch-free: full-width
+/// streams read `V` directly, packed streams decode 16-bit words through
+/// the Scatter round's codec.
+trait BinRead<V>: Copy {
+    /// Number of message slots in the stream.
+    fn len(self) -> usize;
+    /// Reads slot `k`.
+    ///
+    /// SAFETY: callers must keep `k < self.len()`; the kernels derive `k`
+    /// from partition metadata that `debug_validate` checks against the
+    /// stream sizes.
+    unsafe fn get(self, k: usize) -> V;
+    /// Stream base address — a software-prefetch target only.
+    fn base_ptr(self) -> *const u8;
+}
+
+#[derive(Clone, Copy)]
+struct FullRead<'a, V>(&'a [V]);
+
+impl<V: PropValue> BinRead<V> for FullRead<'_, V> {
+    #[inline(always)]
+    fn len(self) -> usize {
+        self.0.len()
+    }
+
+    // SAFETY: caller proves `k < self.len()` (the `BinRead::get` contract).
+    #[inline(always)]
+    unsafe fn get(self, k: usize) -> V {
+        *self.0.get_unchecked(k) // width: k < len is the BinRead::get contract, proved at every call site
+    }
+
+    #[inline(always)]
+    fn base_ptr(self) -> *const u8 {
+        self.0.as_ptr() as *const u8
+    }
+}
+
+#[derive(Clone, Copy)]
+struct PackedRead<'a> {
+    data: &'a [u16],
+    codec: BinCodec,
+}
+
+impl<V: PropValue> BinRead<V> for PackedRead<'_> {
+    #[inline(always)]
+    fn len(self) -> usize {
+        self.data.len()
+    }
+
+    // SAFETY: caller proves `k < self.len()` (the `BinRead::get` contract).
+    #[inline(always)]
+    unsafe fn get(self, k: usize) -> V {
+        V::from_stream_f32(self.codec.decode(*self.data.get_unchecked(k))) // width: k < len is the BinRead::get contract, proved at every call site
+    }
+
+    #[inline(always)]
+    fn base_ptr(self) -> *const u8 {
+        self.data.as_ptr() as *const u8
+    }
+}
 
 /// Scatter step: stream each block-row's source values into its dynamic
 /// bins (one value per compressed message slot). If `prime` is given, the
 /// now-dead source segment is overwritten with the corresponding slice of
 /// `prime` afterwards — Mixen's Cache step.
+///
+/// Panics if the bins use a compressed encoding and `x` violates the
+/// accuracy budget; fallible callers use [`try_scatter_with`].
 pub fn scatter<V: PropValue>(
     blocked: &BlockedSubgraph,
     x: &mut [V],
@@ -33,8 +114,10 @@ pub fn scatter<V: PropValue>(
 }
 
 /// [`scatter`] with optional metrics: advances `edges_scattered` by the
-/// subgraph's edge count and `bin_bytes_streamed` by the compressed slot
-/// bytes actually written. Every nonempty block streams its full slot list
+/// subgraph's edge count, `bin_bytes_streamed` by the compressed slot
+/// bytes actually written (2 per slot under a 16-bit encoding), and
+/// `bin_bytes_saved` by the traffic a compressed encoding avoided relative
+/// to full-width slots. Every nonempty block streams its full slot list
 /// per call, so these per-call totals are exact.
 pub fn scatter_with<V: PropValue>(
     blocked: &BlockedSubgraph,
@@ -43,11 +126,51 @@ pub fn scatter_with<V: PropValue>(
     prime: Option<&[V]>,
     metrics: Option<&Metrics>,
 ) {
+    try_scatter_with(blocked, x, bins, prime, metrics).unwrap_or_else(|e| {
+        // lint: allow(panic) reason=infallible for full-width bins; compressed encodings surface budget violations through try_scatter_with
+        panic!("scatter: {e}")
+    });
+}
+
+/// Fallible [`scatter_with`]: under a compressed bin encoding the round's
+/// codec is planned against `x` first ([`plan_codec`]) and a violated
+/// accuracy budget surfaces as [`GraphError::Numeric`] before anything is
+/// streamed. Full-width bins never fail.
+pub fn try_scatter_with<V: PropValue>(
+    blocked: &BlockedSubgraph,
+    x: &mut [V],
+    bins: &mut DynamicBins<V>,
+    prime: Option<&[V]>,
+    metrics: Option<&Metrics>,
+) -> Result<(), GraphError> {
+    try_scatter_at_width(blocked, x, bins, prime, metrics, blocked.kernel_width())
+}
+
+/// Width-pinned [`try_scatter_with`], backing [`width_identity_check`] and
+/// the cross-width identity tests. Production callers go through the
+/// partition's configured [`BlockedSubgraph::kernel_width`].
+pub fn try_scatter_at_width<V: PropValue>(
+    blocked: &BlockedSubgraph,
+    x: &mut [V],
+    bins: &mut DynamicBins<V>,
+    prime: Option<&[V]>,
+    metrics: Option<&Metrics>,
+    width: usize,
+) -> Result<(), GraphError> {
+    let codec = plan_codec::<V>(bins.encoding(), x)?;
+    bins.set_codec(codec);
     if let Some(m) = metrics {
         m.edges_scattered.add(blocked.nnz() as u64);
-        m.bin_bytes_streamed
-            .add((blocked.total_msg_slots() * std::mem::size_of::<V>()) as u64);
+        let slots = blocked.total_msg_slots() as u64;
+        let bps = bins.bytes_per_slot();
+        m.bin_bytes_streamed.add(slots * bps as u64);
+        let full = std::mem::size_of::<V>();
+        if bps < full {
+            m.bin_bytes_saved.add(slots * (full - bps) as u64);
+        }
     }
+    let packed = bins.encoding().is_compressed();
+    let dist = blocked.prefetch_distance();
     let rows = blocked.rows();
     let segs = split_by_rows(x, blocked);
     segs.par_iter()
@@ -56,25 +179,39 @@ pub fn scatter_with<V: PropValue>(
         .for_each(|((xseg, task), row)| {
             // SAFETY: segments are disjoint sub-slices, one per task.
             let xseg = unsafe { xseg.as_slice_mut() };
-            for &j in row.nonempty_cols.iter() {
-                stream_block(&row.blocks[j as usize], xseg, task.col_mut(j as usize));
+            let cols = &row.nonempty_cols;
+            for (i, &j) in cols.iter().enumerate() {
+                if dist > 0 {
+                    if let Some(&ja) = cols.get(i + dist) {
+                        // Touch the bin stream this task will fill `dist`
+                        // blocks from now, hiding its first-write miss.
+                        prefetch_read(task.col_prefetch_ptr(ja as usize));
+                    }
+                }
+                let blk = &row.blocks[j as usize];
+                if packed {
+                    stream_block_packed(blk, xseg, task.packed_col_mut(j as usize), codec, width);
+                } else {
+                    stream_block_full(blk, xseg, task.col_mut(j as usize), width);
+                }
             }
             if let Some(p) = prime {
                 xseg.copy_from_slice(&p[row.src_start as usize..row.src_end as usize]);
             }
         });
+    Ok(())
 }
 
-/// Streams one block's source values into its bin slots:
-/// `vals[k] = xseg[src_ids[k]]`.
+/// Streams one block's source values into its full-width bin slots:
+/// `vals[k] = xseg[src_ids[k]]`, at unroll width `width`.
 ///
 /// When the block's active sources form a contiguous run (common in the
 /// hub-dense front columns after relocation), the loop collapses to a
-/// straight `copy_from_slice` — a memcpy the compiler vectorizes. The
-/// general path is an unchecked gather: `src_ids` is validated against the
-/// segment height at partition time.
+/// straight `copy_from_slice` — a memcpy the compiler vectorizes
+/// regardless of the configured width. The general path is a `width`-wide
+/// chunked unchecked gather ([`copy_slots`]).
 #[inline]
-fn stream_block<V: PropValue>(blk: &crate::block::Block, xseg: &[V], vals: &mut [V]) {
+fn stream_block_full<V: PropValue>(blk: &Block, xseg: &[V], vals: &mut [V], width: usize) {
     let ids = &blk.src_ids;
     debug_assert_eq!(vals.len(), ids.len());
     debug_assert!(ids.iter().all(|&s| (s as usize) < xseg.len()));
@@ -88,12 +225,95 @@ fn stream_block<V: PropValue>(blk: &crate::block::Block, xseg: &[V], vals: &mut 
         vals.copy_from_slice(&xseg[first as usize..first as usize + len]);
         return;
     }
-    for (slot, &src) in vals.iter_mut().zip(ids.iter()) {
+    match width {
+        1 => copy_slots::<V, 1>(ids, xseg, vals),
+        2 => copy_slots::<V, 2>(ids, xseg, vals),
+        4 => copy_slots::<V, 4>(ids, xseg, vals),
+        _ => copy_slots::<V, 8>(ids, xseg, vals),
+    }
+}
+
+/// The general scatter copy at unroll width `W`: explicit `W`-wide chunks
+/// of independent unchecked loads feeding one contiguous store, plus a
+/// checked scalar tail. Copies are element-wise, so the width can never
+/// change the stored values — `width_identity_check` pins every width
+/// bit-for-bit against the scalar walk.
+#[inline]
+fn copy_slots<V: PropValue, const W: usize>(ids: &[u32], xseg: &[V], vals: &mut [V]) {
+    let len = ids.len();
+    debug_assert_eq!(vals.len(), len);
+    let mut k = 0;
+    while k + W <= len {
         // SAFETY: `BlockedSubgraph` construction guarantees (and
-        // `debug_validate` re-checks) that every `src_ids` entry is below
-        // the block-row height, which is exactly `xseg.len()` here — see
-        // the `debug_assert!` above.
-        *slot = unsafe { *xseg.get_unchecked(src as usize) };
+        // `debug_validate` re-checks, together with its width-identity
+        // check) that every `src_ids` entry is below the block-row height,
+        // which is exactly `xseg.len()`; `k + W <= len` keeps the id reads
+        // in bounds.
+        let loaded: [V; W] = std::array::from_fn(|i| unsafe {
+            *xseg.get_unchecked(*ids.get_unchecked(k + i) as usize) // width: W independent loads under the chunk bound k + W <= len
+        });
+        vals[k..k + W].copy_from_slice(&loaded);
+        k += W;
+    }
+    for i in k..len {
+        vals[i] = xseg[ids[i] as usize];
+    }
+}
+
+/// [`stream_block_full`] for the 16-bit compressed representation: values
+/// are encoded through the Scatter round's codec on the way into the
+/// stream. No memcpy fast path exists across representations, so the
+/// contiguous-run case goes through the same chunked encode.
+#[inline]
+fn stream_block_packed<V: PropValue>(
+    blk: &Block,
+    xseg: &[V],
+    out: &mut [u16],
+    codec: BinCodec,
+    width: usize,
+) {
+    let ids = &blk.src_ids;
+    debug_assert_eq!(out.len(), ids.len());
+    debug_assert!(ids.iter().all(|&s| (s as usize) < xseg.len()));
+    if ids.is_empty() {
+        return; // Empty block (only reachable with skip lists disabled).
+    }
+    match width {
+        1 => encode_slots::<V, 1>(ids, xseg, out, codec),
+        2 => encode_slots::<V, 2>(ids, xseg, out, codec),
+        4 => encode_slots::<V, 4>(ids, xseg, out, codec),
+        _ => encode_slots::<V, 8>(ids, xseg, out, codec),
+    }
+}
+
+/// [`copy_slots`] through a 16-bit codec: `W` independent unchecked loads
+/// are encoded and stored as one contiguous chunk, plus a checked scalar
+/// tail. Encoding is per-element, so the width cannot change the stored
+/// words.
+#[inline]
+fn encode_slots<V: PropValue, const W: usize>(
+    ids: &[u32],
+    xseg: &[V],
+    out: &mut [u16],
+    codec: BinCodec,
+) {
+    let len = ids.len();
+    debug_assert_eq!(out.len(), len);
+    let mut k = 0;
+    while k + W <= len {
+        // SAFETY: same bounds proof as `copy_slots` — validated `src_ids`
+        // below `xseg.len()`, id reads under the chunk bound.
+        let enc: [u16; W] = std::array::from_fn(|i| {
+            codec.encode(
+                unsafe { *xseg.get_unchecked(*ids.get_unchecked(k + i) as usize) } // SAFETY: ids validated below xseg.len(); width: W loads under the chunk bound k + W <= len
+                    .to_stream_f32(),
+            )
+        });
+        out[k..k + W].copy_from_slice(&enc);
+        k += W;
+    }
+    for i in k..len {
+        out[i] = codec.encode(xseg[ids[i] as usize].to_stream_f32());
     }
 }
 
@@ -120,7 +340,8 @@ where
 /// sub-ranges. Tasks tile `0..r` contiguously, so each owns a disjoint
 /// `y` segment and the per-destination combine order (block-rows ascending,
 /// sources ascending within a block) is identical to the unchunked walk —
-/// results are bit-for-bit independent of the split.
+/// results are bit-for-bit independent of the split, and — enforced by
+/// [`width_identity_check`] — of the kernel width.
 pub fn gather_with<V, F>(
     blocked: &BlockedSubgraph,
     bins: &DynamicBins<V>,
@@ -131,15 +352,53 @@ pub fn gather_with<V, F>(
     V: PropValue,
     F: Fn(NodeId, V) -> V + Sync,
 {
+    gather_at_width(blocked, bins, y, finish, metrics, blocked.kernel_width());
+}
+
+/// Width-pinned [`gather_with`], backing [`width_identity_check`] and the
+/// cross-width identity tests.
+pub fn gather_at_width<V, F>(
+    blocked: &BlockedSubgraph,
+    bins: &DynamicBins<V>,
+    y: &mut [V],
+    finish: F,
+    metrics: Option<&Metrics>,
+    width: usize,
+) where
+    V: PropValue,
+    F: Fn(NodeId, V) -> V + Sync,
+{
     if let Some(m) = metrics {
         m.edges_gathered.add(blocked.nnz() as u64);
         m.bin_bytes_streamed
-            .add((blocked.total_msg_slots() * std::mem::size_of::<V>()) as u64);
+            .add((blocked.total_msg_slots() * bins.bytes_per_slot()) as u64);
     }
+    let bin_tasks = bins.tasks();
+    if bins.encoding().is_compressed() {
+        let codec = bins.codec();
+        gather_impl(blocked, y, finish, width, |ti, j| PackedRead {
+            data: bin_tasks[ti].packed_col(j),
+            codec,
+        });
+    } else {
+        gather_impl(blocked, y, finish, width, |ti, j| FullRead(bin_tasks[ti].col(j)));
+    }
+}
+
+/// The gather scheduling skeleton, generic over the bin representation
+/// (`mk(task, col)` builds the stream reader) with the inner loops
+/// dispatched once per block to the const-width kernels.
+fn gather_impl<V, F, R, MK>(blocked: &BlockedSubgraph, y: &mut [V], finish: F, width: usize, mk: MK)
+where
+    V: PropValue,
+    F: Fn(NodeId, V) -> V + Sync,
+    R: BinRead<V>,
+    MK: Fn(usize, usize) -> R + Sync,
+{
     let rows = blocked.rows();
     let c = blocked.block_side();
+    let dist = blocked.prefetch_distance();
     let tasks = blocked.gather_tasks();
-    let bin_tasks = bins.tasks();
     let mut segs: Vec<&mut [V]> = Vec::with_capacity(tasks.len());
     let mut rest = y;
     for t in tasks {
@@ -152,20 +411,27 @@ pub fn gather_with<V, F>(
         .zip(tasks.par_iter().zip(idxs.par_iter()))
         .for_each(|(yseg, (t, idx))| {
             let j = t.col as usize;
+            let list = blocked.nonempty_rows(j);
             match idx {
                 // Full-column task: drain every run whole.
                 None => {
-                    for &ti in blocked.nonempty_rows(j) {
-                        let blk = &rows[ti as usize].blocks[j];
-                        let vals = bin_tasks[ti as usize].col(j);
-                        for (k, &val) in vals.iter().enumerate() {
-                            for &d in blk.dests_of(k) {
-                                // SAFETY: `debug_validate` guarantees every
-                                // local destination is below the column
-                                // width, which is exactly `yseg.len()` on
-                                // the full-column path.
-                                unsafe { yseg.get_unchecked_mut(d as usize) }.combine(val);
+                    for (i, &ti) in list.iter().enumerate() {
+                        if dist > 0 {
+                            if let Some(&ta) = list.get(i + dist) {
+                                // Touch the bin stream drained `dist`
+                                // blocks from now — the next dynamic-bin
+                                // segment of this column walk.
+                                prefetch_read(mk(ta as usize, j).base_ptr());
                             }
+                        }
+                        let blk = &rows[ti as usize].blocks[j];
+                        let r = mk(ti as usize, j);
+                        debug_assert_eq!(r.len(), blk.msg_count());
+                        match width {
+                            1 => drain_full::<V, R, 1>(blk, r, yseg),
+                            2 => drain_full::<V, R, 2>(blk, r, yseg),
+                            4 => drain_full::<V, R, 4>(blk, r, yseg),
+                            _ => drain_full::<V, R, 8>(blk, r, yseg),
                         }
                     }
                 }
@@ -174,21 +440,22 @@ pub fn gather_with<V, F>(
                 // owns, not to the column's message count (which every
                 // chunk of a hub column would otherwise re-scan).
                 Some(ci) => {
+                    // Hoisted out of the unchecked run loop: the chunk base
+                    // is invariant across the whole task.
+                    let d_lo = t.d_lo;
                     let mut cursor = 0usize;
-                    for (bi, &ti) in blocked.nonempty_rows(j).iter().enumerate() {
-                        let vals = bin_tasks[ti as usize].col(j);
-                        for run in ci.runs_of(bi) {
-                            // SAFETY: `debug_validate` rebuilds the index
-                            // from the blocks and compares exactly, so
-                            // `run.d` lies in `[d_lo, d_hi)` and the
-                            // shifted index is below `yseg.len()`.
-                            let y = unsafe { yseg.get_unchecked_mut((run.d - t.d_lo) as usize) };
-                            for &k in &ci.slots[cursor..cursor + run.len as usize] {
-                                // SAFETY: same rebuild check — every slot
-                                // is a valid message index of this block.
-                                y.combine(*unsafe { vals.get_unchecked(k as usize) });
+                    for (bi, &ti) in list.iter().enumerate() {
+                        if dist > 0 {
+                            if let Some(&ta) = list.get(bi + dist) {
+                                prefetch_read(mk(ta as usize, j).base_ptr());
                             }
-                            cursor += run.len as usize;
+                        }
+                        let r = mk(ti as usize, j);
+                        match width {
+                            1 => drain_chunk::<V, R, 1>(ci, bi, r, yseg, d_lo, &mut cursor, dist),
+                            2 => drain_chunk::<V, R, 2>(ci, bi, r, yseg, d_lo, &mut cursor, dist),
+                            4 => drain_chunk::<V, R, 4>(ci, bi, r, yseg, d_lo, &mut cursor, dist),
+                            _ => drain_chunk::<V, R, 8>(ci, bi, r, yseg, d_lo, &mut cursor, dist),
                         }
                     }
                 }
@@ -198,6 +465,127 @@ pub fn gather_with<V, F>(
                 *yv = finish(base + nid(d), *yv);
             }
         });
+}
+
+/// Drains one block's full message stream into the column's `y` segment at
+/// unroll width `W`: the next `W` streamed values are loaded up front,
+/// then fanned out to their destination runs in slot order — exactly the
+/// scalar walk's per-destination combine order, so results are bit-for-bit
+/// width-independent (enforced by [`width_identity_check`]).
+#[inline]
+fn drain_full<V: PropValue, R: BinRead<V>, const W: usize>(blk: &Block, r: R, yseg: &mut [V]) {
+    let n = r.len();
+    let mut k = 0;
+    while k + W <= n {
+        // SAFETY: `k + W <= n` keeps every front-loaded read below the
+        // stream length (the `BinRead::get` contract).
+        let vals: [V; W] = std::array::from_fn(|i| unsafe { r.get(k + i) });
+        for (i, v) in vals.into_iter().enumerate() {
+            for &d in blk.dests_of(k + i) {
+                // SAFETY: `debug_validate` guarantees every local
+                // destination is below the column width, which is exactly
+                // `yseg.len()` on the full-column path; its width-identity
+                // check additionally pins this walk bit-for-bit to the
+                // scalar combine order.
+                unsafe { yseg.get_unchecked_mut(d as usize) }.combine(v); // width: W-slot fan-out in ascending slot order, same as scalar
+            }
+        }
+        k += W;
+    }
+    for i in k..n {
+        // SAFETY: `i < n` — scalar tail of the same walk.
+        let v = unsafe { r.get(i) };
+        for &d in blk.dests_of(i) {
+            // SAFETY: same destination bound proof as the chunked loop above.
+            unsafe { yseg.get_unchecked_mut(d as usize) }.combine(v); // width: scalar tail, destinations below the column width
+        }
+    }
+}
+
+/// Drains one block's runs of a chunk task at unroll width `W`. Each run
+/// combines into a single destination accumulator strictly sequentially —
+/// the `W`-wide part only front-loads slot reads — so the width never
+/// changes the combine order (enforced by [`width_identity_check`]).
+#[inline]
+fn drain_chunk<V: PropValue, R: BinRead<V>, const W: usize>(
+    ci: &ChunkIndex,
+    bi: usize,
+    r: R,
+    yseg: &mut [V],
+    d_lo: u32,
+    cursor: &mut usize,
+    dist: usize,
+) {
+    let runs = ci.runs_of(bi);
+    for (ri, run) in runs.iter().enumerate() {
+        if dist > 0 {
+            if let Some(ahead) = runs.get(ri + dist) {
+                // Touch the destination of the run `dist` ahead — the
+                // y side is the random access of a chunk walk.
+                if let Some(slot) = yseg.get((ahead.d - d_lo) as usize) {
+                    prefetch_read(slot);
+                }
+            }
+        }
+        // Hoisted invariants: the run's destination and length are loop
+        // constants for the inner slot walk (`d_lo` is hoisted one level
+        // further, being task-invariant).
+        let rl = run.len as usize;
+        let span = &ci.slots[*cursor..*cursor + rl];
+        // SAFETY: `debug_validate` rebuilds the chunk index from the
+        // blocks and compares exactly, so `run.d` lies in `[d_lo, d_hi)`
+        // and the shifted index is below `yseg.len()`; its width-identity
+        // check additionally pins every width to the scalar combine order.
+        let y = unsafe { yseg.get_unchecked_mut((run.d - d_lo) as usize) }; // width: run destination, invariant across the run (hoisted load)
+        let mut i = 0;
+        while i + W <= rl {
+            // SAFETY: `i + W <= rl` keeps the span reads in bounds, and
+            // every slot is a valid message index of this block (same
+            // rebuild check).
+            let vals: [V; W] = std::array::from_fn(|p| unsafe {
+                r.get(*span.get_unchecked(i + p) as usize) // width: W front-loaded slot reads under the chunk bound i + W <= rl
+            });
+            // Strictly sequential fold — the exact scalar combine order.
+            for v in vals {
+                y.combine(v);
+            }
+            i += W;
+        }
+        for p in i..rl {
+            // SAFETY: `p < rl` — scalar tail over the same validated span.
+            y.combine(unsafe { r.get(*span.get_unchecked(p) as usize) }); // width: scalar tail under the span bound
+        }
+        *cursor += rl;
+    }
+}
+
+/// Runs one `f32` scatter+gather round over `blocked` at the scalar width
+/// and at its configured kernel width, and verifies the two outputs are
+/// bit-for-bit identical — the invariant every `// width:` annotated
+/// unchecked loop in this module cites. Wired into
+/// [`BlockedSubgraph::debug_validate`] (strict-invariants builds and
+/// tests), never the hot path.
+pub fn width_identity_check(blocked: &BlockedSubgraph) -> Result<(), GraphError> {
+    let w = blocked.kernel_width();
+    if w == 1 || blocked.r() == 0 {
+        return Ok(());
+    }
+    let run = |width: usize| -> Result<Vec<f32>, GraphError> {
+        let mut bins: DynamicBins<f32> = DynamicBins::new(blocked);
+        let mut x: Vec<f32> = (0..blocked.r())
+            .map(|i| (i as f32).mul_add(1e-3, 1.0).sin())
+            .collect();
+        let mut y = vec![0.0f32; blocked.r()];
+        try_scatter_at_width(blocked, &mut x, &mut bins, None, None, width)?;
+        gather_at_width(blocked, &bins, &mut y, |_, s| s, None, width);
+        Ok(y)
+    };
+    if run(1)? != run(w)? {
+        return Err(GraphError::Invariant(format!(
+            "kernel width {w} diverged bit-for-bit from the scalar walk"
+        )));
+    }
+    Ok(())
 }
 
 /// One sparse BFS level over the blocked structure: merge-join the sorted
@@ -661,5 +1049,183 @@ mod tests {
         let got: Vec<i32> = depth.iter().map(|d| d.load(Ordering::Relaxed)).collect();
         let want: Vec<i32> = (0..12).collect();
         assert_eq!(got, want);
+    }
+
+    /// A skewed fixture exercising both gather paths (chunked hub column +
+    /// full-column tasks) and the non-contiguous scatter path.
+    fn skewed_csr() -> Csr {
+        let mut edges = Vec::new();
+        for u in 0..32u32 {
+            for d in 0..8u32 {
+                edges.push((u, d));
+            }
+        }
+        for u in 0..32u32 {
+            edges.push((u, (u * 7 + 3) % 32));
+        }
+        edges.push((0, 20));
+        edges.push((9, 31));
+        Csr::from_edges(32, &edges)
+    }
+
+    #[test]
+    fn every_kernel_width_is_bitwise_identical_to_scalar() {
+        let csr = skewed_csr();
+        let x: Vec<f32> = (0..32).map(|i| (i as f32 * 0.37).cos()).collect();
+        let reference = spmv_reference(&csr, &x);
+        for &w in &crate::opts::KERNEL_WIDTHS {
+            let o = MixenOpts {
+                block_side: 8,
+                min_tasks_per_thread: 1,
+                kernel_width: w,
+                ..MixenOpts::default()
+            };
+            let y = spmv_under(&csr, &o, &x);
+            assert_eq!(y, spmv_reference(&csr, &x), "width {w} broke the numerics");
+            assert_eq!(y, reference, "width {w} diverged from width 1");
+        }
+    }
+
+    #[test]
+    fn width_identity_check_passes_on_real_partitions() {
+        let csr = skewed_csr();
+        for &w in &crate::opts::KERNEL_WIDTHS {
+            let o = MixenOpts {
+                block_side: 8,
+                min_tasks_per_thread: 1,
+                kernel_width: w,
+                ..MixenOpts::default()
+            };
+            let b = BlockedSubgraph::new(&csr, &o, 1);
+            width_identity_check(&b).unwrap();
+        }
+    }
+
+    #[test]
+    fn prefetch_distance_never_affects_results() {
+        let csr = skewed_csr();
+        let x: Vec<f32> = (0..32).map(|i| (i as f32 * 0.11).sin()).collect();
+        let base = spmv_under(
+            &csr,
+            &MixenOpts {
+                block_side: 8,
+                min_tasks_per_thread: 1,
+                prefetch_distance: 0,
+                ..MixenOpts::default()
+            },
+            &x,
+        );
+        for dist in [1usize, 3, 16] {
+            let o = MixenOpts {
+                block_side: 8,
+                min_tasks_per_thread: 1,
+                prefetch_distance: dist,
+                ..MixenOpts::default()
+            };
+            assert_eq!(spmv_under(&csr, &o, &x), base, "distance {dist} changed y");
+        }
+    }
+
+    /// One compressed scatter+gather round; returns `y` or the budget error.
+    fn spmv_encoded(
+        csr: &Csr,
+        enc: crate::bins::BinEncoding,
+        x: &[f32],
+    ) -> Result<Vec<f32>, mixen_graph::GraphError> {
+        let o = MixenOpts {
+            block_side: 8,
+            min_tasks_per_thread: 1,
+            ..MixenOpts::default()
+        };
+        let b = BlockedSubgraph::new(csr, &o, 1);
+        let mut bins: DynamicBins<f32> = DynamicBins::with_encoding(&b, enc);
+        assert_eq!(bins.encoding(), enc);
+        assert_eq!(bins.bytes_per_slot(), if enc.is_compressed() { 2 } else { 4 });
+        let mut xv = x.to_vec();
+        let mut y = vec![0.0f32; csr.n_cols()];
+        try_scatter_with(&b, &mut xv, &mut bins, None, None)?;
+        gather(&b, &bins, &mut y, |_, s| s);
+        Ok(y)
+    }
+
+    #[test]
+    fn compressed_encodings_stay_within_the_accuracy_budget() {
+        let csr = skewed_csr();
+        let x: Vec<f32> = (0..32).map(|i| (i as f32 * 0.37).cos()).collect();
+        let exact = spmv_reference(&csr, &x);
+        let max_mag = exact.iter().fold(0.0f64, |m, &v| m.max(v.abs() as f64));
+        for enc in [crate::bins::BinEncoding::F16, crate::bins::BinEncoding::Q16] {
+            let y = spmv_encoded(&csr, enc, &x).unwrap();
+            // Per-message error is budget-bounded and each destination sums
+            // a handful of messages, so the output agreement stays within a
+            // small multiple of the budget relative to the output scale.
+            let worst = exact
+                .iter()
+                .zip(&y)
+                .map(|(&a, &b)| (a as f64 - b as f64).abs())
+                .fold(0.0f64, f64::max);
+            assert!(
+                worst <= crate::bins::ACCURACY_BUDGET * max_mag.max(1.0) * 16.0,
+                "{}: worst deviation {worst:.3e}",
+                enc.name()
+            );
+        }
+    }
+
+    #[test]
+    fn hostile_value_range_is_rejected_with_a_typed_numeric_error() {
+        let csr = skewed_csr();
+        // 1e30 overflows f16 to infinity -> round-trip error blows the budget.
+        let mut x = vec![1.0f32; 32];
+        x[7] = 1.0e30;
+        let err = spmv_encoded(&csr, crate::bins::BinEncoding::F16, &x).unwrap_err();
+        assert!(
+            matches!(err, mixen_graph::GraphError::Numeric { .. }),
+            "expected GraphError::Numeric, got {err:?}"
+        );
+        // Non-finite sources are rejected by every lossy encoding.
+        x[7] = f32::NAN;
+        for enc in [crate::bins::BinEncoding::F16, crate::bins::BinEncoding::Q16] {
+            let err = spmv_encoded(&csr, enc, &x).unwrap_err();
+            assert!(matches!(err, mixen_graph::GraphError::Numeric { .. }));
+        }
+    }
+
+    #[test]
+    fn compressed_bins_halve_streamed_bytes_in_metrics() {
+        let csr = skewed_csr();
+        let o = MixenOpts {
+            block_side: 8,
+            min_tasks_per_thread: 1,
+            ..MixenOpts::default()
+        };
+        let b = BlockedSubgraph::new(&csr, &o, 1);
+        let slots = b.total_msg_slots() as u64;
+        let m = crate::obs::Metrics::default();
+        let mut x: Vec<f32> = (0..32).map(|i| (i as f32 * 0.5).sin()).collect();
+        let mut bins: DynamicBins<f32> =
+            DynamicBins::with_encoding(&b, crate::bins::BinEncoding::Q16);
+        let mut y = vec![0.0f32; 32];
+        try_scatter_with(&b, &mut x, &mut bins, None, Some(&m)).unwrap();
+        gather_with(&b, &bins, &mut y, |_, s| s, Some(&m));
+        let snap = m.snapshot();
+        assert_eq!(snap.get("bin_bytes_streamed"), slots * 2 * 2);
+        assert_eq!(snap.get("bin_bytes_saved"), slots * 2);
+    }
+
+    #[test]
+    fn unencodable_property_types_fall_back_to_full_width() {
+        use mixen_graph::MinF32;
+        let csr = skewed_csr();
+        let o = MixenOpts {
+            block_side: 8,
+            min_tasks_per_thread: 1,
+            ..MixenOpts::default()
+        };
+        let b = BlockedSubgraph::new(&csr, &o, 1);
+        let bins: DynamicBins<MinF32> =
+            DynamicBins::with_encoding(&b, crate::bins::BinEncoding::F16);
+        assert_eq!(bins.encoding(), crate::bins::BinEncoding::F32);
+        assert_eq!(bins.bytes_per_slot(), std::mem::size_of::<MinF32>());
     }
 }

@@ -367,6 +367,9 @@ impl WMixenEngine {
             .zip(tasks.par_iter().zip(idxs.par_iter()))
             .for_each(|(yseg, (t, idx))| {
                 let j = t.col as usize;
+                // Hoisted out of the per-run loop: the chunk base is
+                // invariant across the whole task (mirrors `scga`).
+                let d_lo = t.d_lo;
                 let mut cursor = 0usize;
                 for (bi, &ti) in self.blocked.nonempty_rows(j).iter().enumerate() {
                     let blk = &rows[ti as usize].blocks[j];
@@ -387,7 +390,7 @@ impl WMixenEngine {
                         // weight index.
                         Some(ci) => {
                             for run in ci.runs_of(bi) {
-                                let y = &mut yseg[(run.d - t.d_lo) as usize];
+                                let y = &mut yseg[(run.d - d_lo) as usize];
                                 let span = cursor..cursor + run.len as usize;
                                 for (&k, &p) in ci.slots[span.clone()].iter().zip(&ci.wpos[span]) {
                                     y.combine(vals[k as usize].scale_edge(wblk[p as usize]));

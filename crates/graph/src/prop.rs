@@ -30,6 +30,28 @@ pub trait PropValue: Copy + Send + Sync + PartialEq + std::fmt::Debug + 'static 
     /// (weighted SpMV, `(+, ×)`), additive for the min monoid (tropical
     /// `(min, +)` — shortest-path relaxation).
     fn scale_edge(self, w: f32) -> Self;
+
+    /// Whether the value can round-trip through the 16-bit compressed
+    /// dynamic-bin encodings (Mixen's `BinEncoding::{F16, Q16}`). Only
+    /// single-`f32` property types opt in; for every other type the
+    /// engines silently keep full-width streams and never call the
+    /// conversion hooks below.
+    const ENCODABLE: bool = false;
+
+    /// Projects the value to the `f32` the compressed encodings store.
+    /// Meaningful only when [`PropValue::ENCODABLE`]; the default is a
+    /// placeholder that is never reached by the engines.
+    #[inline]
+    fn to_stream_f32(self) -> f32 {
+        0.0
+    }
+
+    /// Rebuilds a value from a (possibly lossy) streamed `f32`. Meaningful
+    /// only when [`PropValue::ENCODABLE`]; see [`PropValue::to_stream_f32`].
+    #[inline]
+    fn from_stream_f32(_v: f32) -> Self {
+        Self::identity()
+    }
 }
 
 impl PropValue for f32 {
@@ -51,6 +73,18 @@ impl PropValue for f32 {
     #[inline]
     fn scale_edge(self, w: f32) -> Self {
         self * w
+    }
+
+    const ENCODABLE: bool = true;
+
+    #[inline]
+    fn to_stream_f32(self) -> f32 {
+        self
+    }
+
+    #[inline]
+    fn from_stream_f32(v: f32) -> Self {
+        v
     }
 }
 
@@ -308,6 +342,17 @@ mod tests {
         assert_eq!(MinF32(3.0).scale_edge(2.0), MinF32(5.0));
         // Identity stays absorbing under the tropical scale.
         assert!(MinF32::identity().scale_edge(1.0).0.is_infinite());
+    }
+
+    #[test]
+    fn stream_hooks_round_trip_only_for_f32() {
+        assert!(f32::ENCODABLE);
+        assert_eq!(3.25f32.to_stream_f32(), 3.25);
+        assert_eq!(f32::from_stream_f32(3.25), 3.25);
+        // Every other type keeps full-width streams.
+        assert!(!f64::ENCODABLE);
+        assert!(!<[f32; 2]>::ENCODABLE);
+        assert!(!MinF32::ENCODABLE);
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! | `truncation` | no bare `as u32` / `as NodeId` narrowing casts on node/edge ids in non-test library code |
 //! | `error-type` | public fallible fns in `mixen-graph`/`mixen-core` return `Result<_, GraphError>`, not `Result<_, String>` |
 //! | `ordering` | every `Ordering::Relaxed` / `Ordering::SeqCst` outside tests carries a `// ordering: <why>` justification (`Acquire`/`Release`/`AcqRel` are allowed bare) |
+//! | `width` | every `get_unchecked` / `get_unchecked_mut` in `mixen-core` library code carries a `// width: <why>` justification naming the bound that makes the index safe |
 //!
 //! Any finding can be suppressed at the site with an inline annotation on
 //! the same or the immediately preceding line:
@@ -28,15 +29,17 @@ pub enum Rule {
     Truncation,
     ErrorType,
     Ordering,
+    Width,
 }
 
 impl Rule {
-    pub const ALL: [Rule; 5] = [
+    pub const ALL: [Rule; 6] = [
         Rule::SafetyComment,
         Rule::Panic,
         Rule::Truncation,
         Rule::ErrorType,
         Rule::Ordering,
+        Rule::Width,
     ];
 
     /// The stable string id used in diagnostics and `allow(...)` clauses.
@@ -47,6 +50,7 @@ impl Rule {
             Rule::Truncation => "truncation",
             Rule::ErrorType => "error-type",
             Rule::Ordering => "ordering",
+            Rule::Width => "width",
         }
     }
 
@@ -65,11 +69,16 @@ impl Rule {
         const ERR_CRATES: &[&str] = &["mixen-graph", "mixen-core"];
         const ATOMIC_CRATES: &[&str] =
             &["mixen-pool", "mixen-core", "mixen-graph", "mixen-baselines"];
+        // The unchecked-indexing kernels live in mixen-core's scga module;
+        // other crates are expected not to use `get_unchecked` at all (the
+        // safety-comment rule still covers their `unsafe` blocks).
+        const WIDTH_CRATES: &[&str] = &["mixen-core"];
         match self {
             Rule::SafetyComment => None,
             Rule::Panic | Rule::Truncation => Some(ID_CRATES),
             Rule::ErrorType => Some(ERR_CRATES),
             Rule::Ordering => Some(ATOMIC_CRATES),
+            Rule::Width => Some(WIDTH_CRATES),
         }
     }
 }
@@ -120,6 +129,7 @@ pub fn check_file(
             Rule::Truncation => rule_truncation(file, scanned, &in_test, &mut findings),
             Rule::ErrorType => rule_error_type(file, scanned, &in_test, &mut findings),
             Rule::Ordering => rule_ordering(file, scanned, &in_test, &mut findings),
+            Rule::Width => rule_width(file, scanned, &in_test, &mut findings),
         }
     }
     findings.sort_by(|a, b| {
@@ -524,7 +534,7 @@ fn rule_ordering(file: &str, scanned: &Scanned, in_test: &[bool], out: &mut Vec<
     }
     let site_lines: Vec<usize> = sites.iter().map(|&(_, l)| l).collect();
     for (i, line) in sites {
-        if has_ordering_comment(scanned, line, &site_lines)
+        if has_tagged_comment(scanned, line, &site_lines, "ordering:")
             || allowed(scanned, line, Rule::Ordering)
         {
             continue;
@@ -542,14 +552,15 @@ fn rule_ordering(file: &str, scanned: &Scanned, in_test: &[bool], out: &mut Vec<
     }
 }
 
-/// True when the flagged line carries `ordering: <non-empty why>` in a
+/// True when the flagged line carries `<tag> <non-empty why>` in a
 /// comment, or such a comment sits in the contiguous run of comment-only /
-/// attribute-only / other-flagged lines directly above.
-fn has_ordering_comment(scanned: &Scanned, line: usize, site_lines: &[usize]) -> bool {
+/// attribute-only / other-flagged lines directly above. Shared by the
+/// `ordering` (`tag = "ordering:"`) and `width` (`tag = "width:"`) rules.
+fn has_tagged_comment(scanned: &Scanned, line: usize, site_lines: &[usize], tag: &str) -> bool {
     let justifies = |comment: &str| {
         comment
-            .find("ordering:")
-            .is_some_and(|p| !comment[p + "ordering:".len()..].trim().is_empty())
+            .find(tag)
+            .is_some_and(|p| !comment[p + tag.len()..].trim().is_empty())
     };
     if scanned.line(line).is_some_and(|l| justifies(&l.comment)) {
         return true;
@@ -569,6 +580,56 @@ fn has_ordering_comment(scanned: &Scanned, line: usize, site_lines: &[usize]) ->
         }
     }
     false
+}
+
+// ---------------------------------------------------------------------------
+// R6: width
+// ---------------------------------------------------------------------------
+
+/// Every `get_unchecked` / `get_unchecked_mut` call outside tests must carry
+/// a `// width: <why>` justification naming the bound that makes the index
+/// in range — trailing on the same line, or in the contiguous comment block
+/// directly above (one block may cover a run of flagged lines, e.g. a
+/// W-wide load followed by its store). The SIMD-width kernels in `scga` are
+/// the intended audience: their `// SAFETY:` comments argue the pointer is
+/// valid, the `width:` tag argues the *index arithmetic* stays in bounds at
+/// every unroll width.
+fn rule_width(file: &str, scanned: &Scanned, in_test: &[bool], out: &mut Vec<Finding>) {
+    let toks = &scanned.toks;
+    let mut sites: Vec<(usize, usize)> = Vec::new(); // (token index, line)
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident
+            || !matches!(t.text.as_str(), "get_unchecked" | "get_unchecked_mut")
+            || in_test[i]
+        {
+            continue;
+        }
+        // Only call sites: `.get_unchecked(` / `.get_unchecked_mut(`.
+        let is_call = i >= 1
+            && toks[i - 1].text == "."
+            && toks.get(i + 1).is_some_and(|n| n.text == "(");
+        if is_call {
+            sites.push((i, t.line));
+        }
+    }
+    let site_lines: Vec<usize> = sites.iter().map(|&(_, l)| l).collect();
+    for (i, line) in sites {
+        if has_tagged_comment(scanned, line, &site_lines, "width:")
+            || allowed(scanned, line, Rule::Width)
+        {
+            continue;
+        }
+        out.push(Finding {
+            rule: Rule::Width,
+            file: file.to_string(),
+            line,
+            msg: format!(
+                "`{}` without a `// width: <why>` justification naming the \
+                 bound that keeps the index in range",
+                toks[i].text
+            ),
+        });
+    }
 }
 
 #[cfg(test)]
@@ -739,6 +800,46 @@ mod tests {
         // `Relaxed` not reached through `Ordering::` is someone else's enum.
         assert!(run("mixen-core", "fn f() { let x = Mode::Relaxed; }\n").is_empty());
         assert!(run("mixen-core", "fn f() -> Ordering { Ordering::Less }\n").is_empty());
+    }
+
+    #[test]
+    fn bare_get_unchecked_flagged_in_core_only() {
+        let src = "fn f(v: &[u32]) { unsafe { v.get_unchecked(0) }; }\n";
+        let f = run("mixen-core", src);
+        assert!(f.iter().any(|x| x.rule == Rule::Width), "{f:?}");
+        // Out-of-scope crates are exempt (safety-comment still applies).
+        assert!(run("mixen-graph", src)
+            .iter()
+            .all(|x| x.rule != Rule::Width));
+        // Non-call mentions (e.g. a doc string identifier) are not flagged.
+        assert!(run("mixen-core", "fn f() { let get_unchecked = 3; }\n")
+            .iter()
+            .all(|x| x.rule != Rule::Width));
+    }
+
+    #[test]
+    fn width_justifications_accepted() {
+        // Trailing on the same line.
+        let same = "fn f(v: &[u32]) {\n    // SAFETY: k < len by the loop bound.\n    unsafe { v.get_unchecked(0) }; // width: k < len by the loop bound\n}\n";
+        assert!(run("mixen-core", same).is_empty(), "{:?}", run("mixen-core", same));
+        // Comment block directly above covers a contiguous run of sites
+        // (the second `unsafe` still owes its own SAFETY comment — only
+        // the width findings are checked here).
+        let above = "fn f(v: &mut [u32]) {\n    // SAFETY: both indexes bounded by msg_count.\n    // width: both indexes bounded by msg_count at every unroll width.\n    unsafe { v.get_unchecked(0) };\n    unsafe { v.get_unchecked_mut(1) };\n}\n";
+        let f = run("mixen-core", above);
+        assert!(f.iter().all(|x| x.rule != Rule::Width), "{f:?}");
+        // An empty why does not justify.
+        let empty = "fn f(v: &[u32]) {\n    // SAFETY: fine.\n    // width:\n    unsafe { v.get_unchecked(0) };\n}\n";
+        assert!(run("mixen-core", empty).iter().any(|x| x.rule == Rule::Width));
+        // The allow annotation suppresses, with a reason.
+        let ann = "fn f(v: &[u32]) {\n    // SAFETY: fine.\n    // lint: allow(width) reason=index is a constant zero\n    unsafe { v.get_unchecked(0) };\n}\n";
+        assert!(run("mixen-core", ann).is_empty());
+        // Test regions are exempt (the safety-comment rule still applies
+        // to `unsafe` everywhere, so filter to width findings only).
+        let test_src = "#[cfg(test)]\nmod tests {\n    fn f(v: &[u32]) { unsafe { v.get_unchecked(0) }; }\n}\n";
+        assert!(run("mixen-core", test_src)
+            .iter()
+            .all(|x| x.rule != Rule::Width));
     }
 
     #[test]

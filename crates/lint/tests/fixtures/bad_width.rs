@@ -1,0 +1,21 @@
+// Fixture: unchecked indexing without the `// width:` justification.
+// Expected findings under mixen-core: width at lines 6 and 14.
+
+pub fn sum2(xs: &[f32]) -> f32 {
+    // SAFETY: caller guarantees xs.len() >= 2.
+    let a = unsafe { *xs.get_unchecked(0) };
+    a
+}
+
+pub fn bump(xs: &mut [f32]) {
+    // SAFETY: caller guarantees xs is non-empty.
+    // width:
+    // (an empty why must not justify)
+    unsafe { *xs.get_unchecked_mut(0) += 1.0 };
+}
+
+pub fn fine(xs: &[f32]) -> f32 {
+    // SAFETY: caller guarantees xs is non-empty.
+    // width: index 0 in range for any non-empty slice.
+    unsafe { *xs.get_unchecked(0) }
+}

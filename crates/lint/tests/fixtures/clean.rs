@@ -21,6 +21,7 @@ pub fn fallible(n: usize) -> Result<NodeId, GraphError> {
 
 pub fn read_first(xs: &[u32]) -> u32 {
     // SAFETY: slice is non-empty — guarded by the caller's contract below.
+    // width: index 0 is in range for any non-empty slice.
     unsafe { *xs.get_unchecked(0) }
 }
 

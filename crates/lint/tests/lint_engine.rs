@@ -68,6 +68,18 @@ fn bad_ordering_fixture_out_of_scope_crate_is_clean() {
 }
 
 #[test]
+fn bad_width_fixture() {
+    let got = lint("mixen-core", "bad_width.rs");
+    assert_eq!(got, vec![(Rule::Width, 6), (Rule::Width, 14)]);
+}
+
+#[test]
+fn bad_width_fixture_out_of_scope_crate_is_clean() {
+    assert!(lint("mixen-graph", "bad_width.rs").is_empty());
+    assert!(lint("mixen-pool", "bad_width.rs").is_empty());
+}
+
+#[test]
 fn tricky_lexer_fixture_fires_only_outside_strings_and_comments() {
     // Raw strings (incl. a trailing backslash before the closing quote),
     // byte-string escapes, multi-line strings with `\`-newline continuations

@@ -60,6 +60,8 @@
 
 #![warn(missing_docs)]
 
+pub mod affinity;
+
 use std::any::Any;
 use std::cell::RefCell;
 use std::collections::VecDeque;
@@ -294,6 +296,9 @@ impl PoolCore {
 }
 
 fn worker_main(core: Arc<PoolCore>, index: usize) {
+    // Best-effort CPU pinning (lane index + 1; the caller is lane 0).
+    // Off by default; see the `affinity` module docs.
+    affinity::apply_to_worker(index);
     WORKER.with(|w| {
         *w.borrow_mut() = Some(WorkerCtx {
             core: Arc::clone(&core),

@@ -155,6 +155,60 @@ proptest! {
     }
 
     #[test]
+    fn kernel_widths_are_bit_for_bit_identical(g in arb_graph()) {
+        // DESIGN.md §11: wider kernels reorder *loads*, never *combines*, so
+        // every width must produce the scalar path's bits exactly — including
+        // with prefetch enabled, which must be a pure hint.
+        let init = |v: u32| (v % 7) as f32 + 0.25;
+        let apply = |_: u32, s: f32| 0.85 * s + 0.15;
+        let want = MixenEngine::new(
+            &g,
+            MixenOpts { kernel_width: 1, prefetch_distance: 0, ..small_opts() },
+        )
+        .iterate::<f32, _, _>(init, apply, 3);
+        for width in [2usize, 4, 8] {
+            for prefetch in [0usize, 2] {
+                let got = MixenEngine::new(
+                    &g,
+                    MixenOpts { kernel_width: width, prefetch_distance: prefetch, ..small_opts() },
+                )
+                .iterate::<f32, _, _>(init, apply, 3);
+                for (a, b) in got.iter().zip(&want) {
+                    prop_assert_eq!(
+                        a.to_bits(), b.to_bits(),
+                        "width {} prefetch {}: {} vs {}", width, prefetch, a, b
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compressed_encodings_stay_within_the_accuracy_budget(g in arb_graph()) {
+        // F16/Q16 streams trade bits for bandwidth but plan_codec guarantees
+        // the per-iteration error stays under ACCURACY_BUDGET; over a short
+        // damped run the final ranks must agree to well under 1e-2.
+        use mixen_core::BinEncoding;
+        let init = |v: u32| (v % 7) as f32 * 0.1 + 0.1;
+        let apply = |_: u32, s: f32| 0.85 * s + 0.15;
+        let want = MixenEngine::new(&g, small_opts()).iterate::<f32, _, _>(init, apply, 3);
+        let scale = want.iter().fold(1e-3f32, |m, v| m.max(v.abs()));
+        for enc in [BinEncoding::F16, BinEncoding::Q16] {
+            let got = MixenEngine::new(
+                &g,
+                MixenOpts { bin_encoding: enc, ..small_opts() },
+            )
+            .iterate::<f32, _, _>(init, apply, 3);
+            for (a, b) in got.iter().zip(&want) {
+                prop_assert!(
+                    (a - b).abs() / scale < 1e-2,
+                    "{:?}: {} vs {} (scale {})", enc, a, b, scale
+                );
+            }
+        }
+    }
+
+    #[test]
     fn structural_stats_fractions_sum_to_one(g in arb_graph()) {
         let s = StructuralStats::of(&g);
         let sum = s.frac_regular + s.frac_seed + s.frac_sink + s.frac_isolated;
